@@ -1,0 +1,111 @@
+// Ablation A5: the paper's Hash-CAM scheme vs. the related-work baselines
+// ([6] two-choice, [7] cuckoo, [8] Bloom+CAM, [9] Kirsch one-move, plus a
+// conventional single-hash table), all behind the same LookupTable
+// interface on identical key streams.
+//
+// Metrics are the hardware-relevant costs: bucket reads per lookup (DDR
+// bursts), writes + relocations per insert (the paper's criticism of
+// cuckoo/one-move), and insert failures at rising load factor.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table_printer.hpp"
+#include "core/hash_cam_table.hpp"
+#include "net/trace.hpp"
+#include "table/bloom_cam.hpp"
+#include "table/cuckoo.hpp"
+#include "table/kirsch_one_move.hpp"
+#include "table/single_hash.hpp"
+#include "table/two_choice.hpp"
+
+using namespace flowcam;
+
+namespace {
+
+std::vector<std::unique_ptr<table::LookupTable>> make_tables() {
+    std::vector<std::unique_ptr<table::LookupTable>> tables;
+    // All sized to ~64k-66k slots so load factors line up.
+    table::BucketTableConfig single;
+    single.buckets = 16384;
+    single.ways = 4;
+    tables.push_back(std::make_unique<table::SingleHashTable>(single));
+
+    table::BucketTableConfig two;
+    two.buckets = 8192;
+    two.ways = 4;
+    tables.push_back(std::make_unique<table::TwoChoiceTable>(two));
+    tables.push_back(std::make_unique<table::CuckooTable>(two));
+
+    table::BloomCamConfig bloom;
+    bloom.table.buckets = 16384;
+    bloom.table.ways = 4;
+    bloom.cam_capacity = 1024;
+    bloom.bloom_bits = 1 << 16;
+    tables.push_back(std::make_unique<table::BloomCamTable>(bloom));
+
+    table::KirschConfig kirsch;
+    kirsch.buckets_per_level = 16384;
+    kirsch.levels = 4;
+    kirsch.cam_capacity = 64;
+    tables.push_back(std::make_unique<table::KirschOneMoveTable>(kirsch));
+
+    core::FlowLutConfig hash_cam;
+    hash_cam.buckets_per_mem = 8192;
+    hash_cam.ways = 4;
+    hash_cam.cam_capacity = 1024;
+    tables.push_back(std::make_unique<core::HashCamTable>(hash_cam));
+    return tables;
+}
+
+}  // namespace
+
+int main() {
+    for (const double load : {0.5, 0.8, 0.95}) {
+        auto tables = make_tables();
+        TablePrinter printer({"scheme", "capacity", "insert failures", "reads/lookup (hit)",
+                              "reads/lookup (miss)", "writes+moves/insert", "CAM searches/op"});
+        for (auto& dut : tables) {
+            const auto keys = static_cast<u64>(load * static_cast<double>(dut->capacity()));
+            // Build phase.
+            u64 failures = 0;
+            for (u64 i = 0; i < keys; ++i) {
+                const auto bytes = net::synth_tuple(i, 7).key_bytes();
+                failures += !dut->insert({bytes.data(), bytes.size()}, i).is_ok();
+            }
+            const double writes_per_insert =
+                static_cast<double>(dut->stats().bucket_writes + dut->stats().relocations) /
+                static_cast<double>(dut->stats().inserts);
+            // Hit-probe phase.
+            dut->reset_stats();
+            for (u64 i = 0; i < 5000; ++i) {
+                const auto bytes = net::synth_tuple(i % keys, 7).key_bytes();
+                (void)dut->lookup({bytes.data(), bytes.size()});
+            }
+            const double hit_reads = dut->stats().reads_per_lookup();
+            // Miss-probe phase.
+            dut->reset_stats();
+            for (u64 i = 0; i < 5000; ++i) {
+                const auto bytes = net::synth_tuple(i + (u64{1} << 40), 7).key_bytes();
+                (void)dut->lookup({bytes.data(), bytes.size()});
+            }
+            const double miss_reads = dut->stats().reads_per_lookup();
+            const double cam_per_op =
+                static_cast<double>(dut->stats().cam_searches) / 5000.0;
+
+            printer.add_row({dut->name(), std::to_string(dut->capacity()),
+                             std::to_string(failures), TablePrinter::fixed(hit_reads, 2),
+                             TablePrinter::fixed(miss_reads, 2),
+                             TablePrinter::fixed(writes_per_insert, 2),
+                             TablePrinter::fixed(cam_per_op, 2)});
+        }
+        printer.print(std::cout, "Ablation A5: baselines at load factor " +
+                                     TablePrinter::percent(load, 0));
+        std::cout << "\n";
+    }
+    std::cout << "shape check: hash-cam matches two-choice on lookup cost while absorbing\n"
+                 "overflow in the CAM (no failures until far higher load); cuckoo pays\n"
+                 "relocations on insert (the paper's nondeterministic-build critique);\n"
+                 "single-hash fails earliest.\n";
+    return 0;
+}

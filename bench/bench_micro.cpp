@@ -1,0 +1,117 @@
+// Google-benchmark microbenches for the hot software paths: hash digest
+// throughput per family, CAM search, Hash-CAM functional operations, DRAM
+// controller command throughput, and trace generation.
+#include <benchmark/benchmark.h>
+
+#include "cam/cam.hpp"
+#include "core/flow_lut.hpp"
+#include "core/hash_cam_table.hpp"
+#include "dram/controller.hpp"
+#include "hash/hash_function.hpp"
+#include "net/trace.hpp"
+
+using namespace flowcam;
+
+namespace {
+
+void BM_HashDigest(benchmark::State& state) {
+    const auto kind = static_cast<hash::HashKind>(state.range(0));
+    const auto h = hash::make_hash(kind, 1);
+    const auto key = net::synth_tuple(1, 1).key_bytes();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h->digest({key.data(), key.size()}));
+    }
+    state.SetLabel(to_string(kind));
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * key.size());
+}
+BENCHMARK(BM_HashDigest)->DenseRange(0, 4);
+
+void BM_CamLookup(benchmark::State& state) {
+    cam::Cam device(static_cast<std::size_t>(state.range(0)));
+    for (i64 i = 0; i < state.range(0); ++i) {
+        const auto key = net::synth_tuple(static_cast<u64>(i), 2).key_bytes();
+        (void)device.insert({key.data(), key.size()}, static_cast<u64>(i));
+    }
+    const auto probe = net::synth_tuple(static_cast<u64>(state.range(0) / 2), 2).key_bytes();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(device.lookup({probe.data(), probe.size()}));
+    }
+}
+BENCHMARK(BM_CamLookup)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_HashCamFunctionalLookup(benchmark::State& state) {
+    core::FlowLutConfig config;
+    config.buckets_per_mem = 1 << 14;
+    core::HashCamTable table(config);
+    for (u64 i = 0; i < 10000; ++i) {
+        const auto key = net::synth_tuple(i, 3).key_bytes();
+        (void)table.insert({key.data(), key.size()}, i + 1);
+    }
+    u64 cursor = 0;
+    for (auto _ : state) {
+        const auto key = net::synth_tuple(cursor++ % 10000, 3).key_bytes();
+        benchmark::DoNotOptimize(table.lookup({key.data(), key.size()}));
+    }
+}
+BENCHMARK(BM_HashCamFunctionalLookup);
+
+void BM_DramRandomReads(benchmark::State& state) {
+    const dram::DramTimings timings = dram::ddr3_1600();
+    dram::Geometry geometry;
+    dram::ControllerConfig config;
+    config.refresh_enabled = false;
+    config.interleave_bytes = 64;
+    dram::DramController controller("bench", timings, geometry, config);
+    Xoshiro256 rng(1);
+    Cycle now = 0;
+    u64 id = 1;
+    u64 completed = 0;
+    for (auto _ : state) {
+        // Keep the queue fed and tick until one read completes.
+        while (true) {
+            dram::MemRequest request;
+            request.id = id;
+            request.byte_address = rng.bounded(1 << 20) * 64;
+            request.bursts = 2;
+            if (!controller.enqueue(request)) break;
+            ++id;
+        }
+        controller.tick(now++);
+        while (controller.pop_response()) ++completed;
+        benchmark::DoNotOptimize(completed);
+    }
+    state.counters["reads/ktick"] =
+        benchmark::Counter(static_cast<double>(completed) * 1000.0 / static_cast<double>(now));
+}
+BENCHMARK(BM_DramRandomReads);
+
+void BM_TraceGeneration(benchmark::State& state) {
+    net::TraceConfig config;
+    net::TraceGenerator generator(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generator.next());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_FlowLutStep(benchmark::State& state) {
+    core::FlowLutConfig config;
+    config.buckets_per_mem = 1 << 12;
+    core::FlowLut lut(config);
+    u64 i = 0;
+    for (auto _ : state) {
+        if (lut.now() % 2 == 0) {
+            (void)lut.offer(net::NTuple::from_five_tuple(net::synth_tuple(i++ % 1000, 4)),
+                            i, 64);
+        }
+        lut.step();
+        while (lut.pop_completion()) {
+        }
+    }
+    state.counters["sim-Mdesc/s"] = lut.mdesc_per_second();
+}
+BENCHMARK(BM_FlowLutStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Table II(A) reproduction: processing rate under defined hash patterns —
+// load balancing and bank selection.
+//
+// Stimulus classes, as in the paper:
+//  * "random hash"             — random bucket indices on both paths, hash-
+//                                 affine balancing (~50 % path-A load);
+//  * "unique hash, bank incr"  — bucket index increments by one per
+//                                 descriptor (banks rotate 0..7) at path-A
+//                                 loads of 50 % / 25 % / 0 %.
+// Every key is unique, so each descriptor exercises lookup + insert, as in
+// the paper's table-build tests. 10 k descriptors at a 100 MHz input rate.
+//
+// Paper reference: random/50.8 % -> 44.05 Mdesc/s; bank-increment at
+// 50 / 25 / 0 % -> 44.59 / 41.09 / 36.53 Mdesc/s.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace flowcam;
+
+namespace {
+
+core::FlowLutConfig bench_config(core::BalancePolicy policy, double weight_a) {
+    core::FlowLutConfig config;
+    config.buckets_per_mem = u64{1} << 16;
+    config.ways = 4;
+    config.cam_capacity = 2048;
+    config.balance = policy;
+    config.weight_a = weight_a;
+    return config;
+}
+
+}  // namespace
+
+int main() {
+    constexpr u64 kDescriptors = 10000;
+    Xoshiro256 pattern_rng(2014);
+    TablePrinter table({"test", "load path A", "proc. rate (Mdesc/s)", "paper (Mdesc/s)"});
+
+    // Random hash on both paths, hash-bit balancing.
+    {
+        core::FlowLut lut(bench_config(core::BalancePolicy::kHashBit, 0.5));
+        const u64 buckets = lut.config().buckets_per_mem;
+        auto result = bench::run_raw_pattern(
+            lut, [&](u64) { return pattern_rng.bounded(buckets); }, kDescriptors, 1);
+        table.add_row({"Random hash", TablePrinter::percent(result.load_fraction_a, 1),
+                       TablePrinter::fixed(result.mdesc_per_s, 2), "44.05 (load 50.8%)"});
+    }
+
+    // Unique hash with bank increment at three path-A loads.
+    const struct {
+        double weight;
+        const char* paper;
+    } rows[] = {{0.5, "44.59"}, {0.25, "41.09"}, {0.0, "36.53"}};
+    for (const auto& row : rows) {
+        core::FlowLut lut(bench_config(core::BalancePolicy::kWeightedHash, row.weight));
+        auto result = bench::run_raw_pattern(
+            lut, [](u64 i) { return i; }, kDescriptors, 2);
+        table.add_row({"Unique hash, bank increment",
+                       TablePrinter::percent(result.load_fraction_a, 1),
+                       TablePrinter::fixed(result.mdesc_per_s, 2), row.paper});
+    }
+
+    table.print(std::cout,
+                "Table II(A): load balance & bank selection (10k descriptors, 100 MHz input)");
+
+    // Phase 2: the load-balancing effect itself. The build phase above is
+    // insert-bound and inherently symmetric (every miss visits both paths),
+    // so the balancer weight barely moves it — to expose the skew cost the
+    // paper measures, probe an already-built table with lookup-only traffic
+    // at full fabric rate (200 MHz input, memory-bound).
+    TablePrinter skew({"path-A weight", "load path A", "lookup rate (Mdesc/s)"});
+    for (const double weight : {0.5, 0.25, 0.0}) {
+        core::FlowLutConfig config = bench_config(core::BalancePolicy::kWeightedHash, weight);
+        core::FlowLut lut(config);
+        // Preload 10k real flows (placement splits them over both memory
+        // sets), then probe them all-hit at full rate.
+        net::UniformFlowWorkload population(10000, 31);
+        for (const auto& tuple : population.flows()) {
+            (void)lut.preload(net::NTuple::from_five_tuple(tuple));
+        }
+        const auto result = bench::run_throughput(
+            lut,
+            [&](u64 i) { return population.flows()[i % population.flows().size()]; },
+            kDescriptors, 1);
+        skew.add_row({TablePrinter::fixed(weight, 2),
+                      TablePrinter::percent(result.load_fraction_a, 1),
+                      TablePrinter::fixed(result.mdesc_per_s, 2)});
+    }
+    skew.print(std::cout,
+               "Load-balance effect on lookup-bound traffic (table built, 200 MHz input)");
+
+    bench::print_shape_note(
+        "random hash performs within a few percent of the bank-increment pattern\n"
+        "(the Bank Selector re-spreads random banks), and the build-phase rows match\n"
+        "the paper's ~44 Mdesc/s scale. The lookup-bound skew effect is direction-\n"
+        "consistent but smaller than the paper's 44.59 -> 36.53 (-18%): our modeled\n"
+        "channel has more random-read headroom (~100 M buckets/s) than the\n"
+        "prototype's, so one path absorbs the skewed load with less penalty.");
+    return 0;
+}

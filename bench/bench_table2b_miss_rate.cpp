@@ -1,0 +1,54 @@
+// Table II(B) reproduction: processing rate vs. flow miss rate on a table
+// preloaded with 10 k entries, probed with 10 k descriptors whose match
+// fraction is controlled.
+//
+// Paper reference: miss 100/75/50/25/0 % ->
+//   46.90 / 54.97 / 70.16 / 94.36 / 96.92 Mdesc/s,
+// with the §V-B consequence that any miss rate <= 50 % sustains > 70 Mpps,
+// i.e. 40 GbE line rate at minimum packet size.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "net/linerate.hpp"
+
+using namespace flowcam;
+
+int main() {
+    constexpr u64 kTableFlows = 10000;
+    constexpr u64 kDescriptors = 10000;
+
+    TablePrinter table(
+        {"flow miss rate", "proc. rate (Mdesc/s)", "supports (Gbps @64B)", "paper (Mdesc/s)"});
+    const struct {
+        double miss;
+        const char* paper;
+    } rows[] = {{1.00, "46.90"}, {0.75, "54.97"}, {0.50, "70.16"}, {0.25, "94.36"}, {0.0, "96.92"}};
+
+    double rate_at_50 = 0.0;
+    for (const auto& row : rows) {
+        core::FlowLutConfig config;
+        config.buckets_per_mem = u64{1} << 14;
+        config.ways = 4;
+        config.cam_capacity = 2048;
+        core::FlowLut lut(config);
+        bench::MissRateWorkload workload(lut, kTableFlows, 1.0 - row.miss, 42);
+        const auto result = bench::run_throughput(
+            lut, [&](u64 i) { return workload(i); }, kDescriptors, 2);
+        if (row.miss == 0.50) rate_at_50 = result.mdesc_per_s;
+        table.add_row({TablePrinter::percent(row.miss, 0),
+                       TablePrinter::fixed(result.mdesc_per_s, 2),
+                       TablePrinter::fixed(net::supported_gbps(result.mdesc_per_s), 1),
+                       row.paper});
+    }
+    table.print(std::cout,
+                "Table II(B): flow match on a 10k-entry table (10k probes, 100 MHz input)");
+
+    std::cout << "40 GbE requires " << TablePrinter::fixed(net::mpps({40.0, 64.0, 12.0}), 2)
+              << " Mpps (12B IPG) / " << TablePrinter::fixed(net::mpps({40.0, 64.0, 1.0}), 2)
+              << " Mpps (1B IPG); at 50% miss this design sustains "
+              << TablePrinter::fixed(rate_at_50, 2) << " Mdesc/s.\n";
+    bench::print_shape_note(
+        "rate rises monotonically as the miss rate falls; >70 Mdesc/s at <=50% miss\n"
+        "(the paper's 40GbE claim), approaching the 100 MHz input bound at 0% miss.");
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Shared helpers for the experiment benches: the descriptor-pattern
+// workloads of the paper's Table II and a steady-state throughput runner.
+//
+// Measurement protocol (mirrors §V-A): preload the table where applicable,
+// then offer 10 thousand descriptors at a fixed input rate and report the
+// average processing rate in Mdesc/s over the busy interval.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+#include "core/flow_lut.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::bench {
+
+struct RunResult {
+    double mdesc_per_s = 0.0;
+    double load_fraction_a = 0.0;
+    core::FlowLutStats stats;
+};
+
+/// Offer `count` descriptors produced by `next_key` every
+/// `cycles_per_offer` system cycles (2 => 100 MHz input on the 200 MHz
+/// fabric — the top of the paper's 60..100 MHz test range), then drain.
+inline RunResult run_throughput(core::FlowLut& lut,
+                                const std::function<net::FiveTuple(u64)>& next_key,
+                                u64 count, u32 cycles_per_offer = 2) {
+    const Cycle start = lut.now();
+    u64 offered = 0;
+    u64 ts = 1;
+    while (offered < count) {
+        if (lut.now() % cycles_per_offer == 0) {
+            const net::FiveTuple tuple = next_key(offered);
+            if (lut.offer(net::NTuple::from_five_tuple(tuple), ts, 64)) {
+                ++offered;
+                ts += 17;
+            }
+        }
+        lut.step();
+    }
+    (void)lut.drain();
+    RunResult result;
+    result.stats = lut.stats();
+    result.mdesc_per_s = sim::mega_per_second(result.stats.completions, lut.now() - start,
+                                              lut.config().system_clock_hz);
+    result.load_fraction_a = result.stats.load_fraction_a();
+    return result;
+}
+
+/// Raw-hash variant for Table II(A): descriptors carry explicit bucket
+/// indices; keys are unique so every descriptor exercises the full
+/// lookup+insert path, as in the paper's hash-pattern tests.
+inline RunResult run_raw_pattern(core::FlowLut& lut,
+                                 const std::function<u64(u64)>& bucket_of, u64 count,
+                                 u64 seed, u32 cycles_per_offer = 2) {
+    Xoshiro256 rng(seed);
+    const Cycle start = lut.now();
+    u64 offered = 0;
+    while (offered < count) {
+        if (lut.now() % cycles_per_offer == 0) {
+            const u64 bucket = bucket_of(offered);
+            const net::NTuple key =
+                net::NTuple::from_five_tuple(net::synth_tuple(offered, seed ^ 0xFACE));
+            if (lut.offer_raw(key, bucket, bucket, rng(), offered + 1, 64)) ++offered;
+        }
+        lut.step();
+    }
+    (void)lut.drain();
+    RunResult result;
+    result.stats = lut.stats();
+    result.mdesc_per_s = sim::mega_per_second(result.stats.completions, lut.now() - start,
+                                              lut.config().system_clock_hz);
+    result.load_fraction_a = result.stats.load_fraction_a();
+    return result;
+}
+
+/// A Table II(B)-style probe set: preload `table_flows` flows, then build a
+/// mixed stream with the requested hit fraction.
+struct MissRateWorkload {
+    MissRateWorkload(core::FlowLut& lut, u64 table_flows, double hit_rate, u64 seed)
+        : population(table_flows, seed), hit_rate_(hit_rate), rng_(seed ^ 0xAB) {
+        for (const auto& tuple : population.flows()) {
+            (void)lut.preload(net::NTuple::from_five_tuple(tuple));
+        }
+    }
+
+    net::FiveTuple operator()(u64 /*i*/) {
+        if (rng_.uniform() < hit_rate_) {
+            return population.flows()[rng_.bounded(population.flows().size())];
+        }
+        return net::synth_tuple(miss_counter_++ + (u64{1} << 32), 0xD15C);
+    }
+
+    net::UniformFlowWorkload population;
+    double hit_rate_;
+    Xoshiro256 rng_;
+    u64 miss_counter_ = 0;
+};
+
+inline void print_shape_note(const std::string& note) {
+    std::cout << "\nshape check: " << note << "\n\n";
+}
+
+}  // namespace flowcam::bench

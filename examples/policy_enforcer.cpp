@@ -1,0 +1,131 @@
+// Policy enforcer example — security policy enforcement (paper §I) on top
+// of the flow processor: every new flow is classified once against a TCAM
+// rule set; subsequent packets inherit the cached per-FID verdict (the
+// flow-granular fast path the Flow LUT exists to provide). Expired flows
+// are exported as NetFlow v5 datagrams.
+//
+//   $ ./policy_enforcer
+#include <cstdio>
+#include <map>
+
+#include "analyzer/netflow_export.hpp"
+#include "classifier/policy.hpp"
+#include "common/rng.hpp"
+#include "core/flow_lut.hpp"
+#include "net/trace.hpp"
+
+using namespace flowcam;
+
+int main() {
+    // --- Rule set: a small but realistic enterprise edge policy. --------
+    classifier::PolicyEngine policy(256, classifier::Action::kPermit);
+    {
+        classifier::Rule rule;
+        rule.name = "deny-telnet";
+        rule.action = classifier::Action::kDeny;
+        rule.dst_port = 23;
+        rule.priority = 100;
+        (void)policy.add_rule(rule);
+    }
+    {
+        classifier::Rule rule;
+        rule.name = "deny-smb";
+        rule.action = classifier::Action::kDeny;
+        rule.dst_port = 445;
+        rule.priority = 100;
+        (void)policy.add_rule(rule);
+    }
+    {
+        classifier::Rule rule;
+        rule.name = "mirror-dns";
+        rule.action = classifier::Action::kMirror;
+        rule.dst_port = 53;
+        rule.priority = 50;
+        (void)policy.add_rule(rule);
+    }
+    {
+        classifier::Rule rule;
+        rule.name = "ratelimit-bulk";
+        rule.action = classifier::Action::kRateLimit;
+        rule.dst_port = 8080;
+        rule.priority = 10;
+        (void)policy.add_rule(rule);
+    }
+
+    // --- Flow processor + NetFlow exporter. ------------------------------
+    core::FlowLutConfig config;
+    config.buckets_per_mem = u64{1} << 13;
+    config.cam_capacity = 512;
+    config.flow_timeout_ns = 20'000'000;  // 20 ms for a quick demo
+    config.housekeeping_scan_per_cycle = 8;
+    core::FlowLut lut(config);
+
+    analyzer::NetflowV5Exporter exporter;
+    u64 datagrams = 0;
+    lut.flow_state().set_export_callback([&](const core::FlowRecord& record) {
+        datagrams += exporter.add(record).size();
+    });
+
+    // --- Traffic: a trace with deliberate policy violations mixed in. ----
+    net::TraceConfig trace_config;
+    net::TraceGenerator generator(trace_config);
+    Xoshiro256 rng(55);
+
+    std::map<std::string, u64> packets_by_action;
+    u64 offered = 0;
+    constexpr u64 kPackets = 15000;
+    u64 last_ts = 0;
+    while (offered < kPackets) {
+        net::PacketRecord record = generator.next();
+        if (rng.chance(0.05)) {
+            // Make one in twenty flows violate policy.
+            record.tuple.dst_port = rng.chance(0.5) ? 23 : 445;
+        }
+        last_ts = record.timestamp_ns;
+        while (!lut.offer(net::NTuple::from_five_tuple(record.tuple), record.timestamp_ns,
+                          record.frame_bytes)) {
+            lut.step();
+        }
+        ++offered;
+        lut.step();
+        while (const auto completion = lut.pop_completion()) {
+            if (completion->fid == kInvalidFlowId) continue;
+            const auto tuple = net::FiveTuple::from_key_bytes(completion->key.view());
+            const auto verdict = policy.verdict_for(completion->fid, tuple);
+            ++packets_by_action[to_string(verdict.action)];
+        }
+    }
+    (void)lut.drain();
+    while (const auto completion = lut.pop_completion()) {
+        if (completion->fid == kInvalidFlowId) continue;
+        const auto tuple = net::FiveTuple::from_key_bytes(completion->key.view());
+        ++packets_by_action[to_string(policy.verdict_for(completion->fid, tuple).action)];
+    }
+
+    // Quiet period: expire everything and export.
+    while (!lut.offer(net::NTuple::from_five_tuple(net::synth_tuple(1, 77)),
+                      last_ts + 1'000'000'000, 64)) {
+        lut.step();
+    }
+    lut.run(300000);
+    (void)lut.drain();
+    datagrams += 1;
+    const auto tail = exporter.flush();
+
+    // --- Report. -----------------------------------------------------------
+    std::printf("processed %llu packets at %.2f Mdesc/s\n",
+                static_cast<unsigned long long>(lut.stats().completions),
+                lut.mdesc_per_second());
+    std::printf("\nper-packet verdicts (flow-cached after first packet):\n");
+    for (const auto& [action, count] : packets_by_action) {
+        std::printf("  %-10s %llu\n", action.c_str(), static_cast<unsigned long long>(count));
+    }
+    std::printf("\nclassifier: %llu slow-path classifications, %llu cache hits (%llu rules)\n",
+                static_cast<unsigned long long>(policy.stats().classified),
+                static_cast<unsigned long long>(policy.stats().cache_hits),
+                static_cast<unsigned long long>(policy.rule_count()));
+    std::printf("netflow: %llu flows exported in %llu datagrams (+%zu B final partial)\n",
+                static_cast<unsigned long long>(exporter.flows_exported()),
+                static_cast<unsigned long long>(datagrams), tail.size());
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a Flow LUT, push packets through it, read back flow IDs
+// and per-flow statistics.
+//
+//   $ ./quickstart
+//
+// This walks the public API end to end in under a hundred lines: configure,
+// offer descriptors, step the cycle simulation, pop completions, and query
+// the flow-state block.
+#include <cstdio>
+
+#include "core/flow_lut.hpp"
+#include "net/tuple.hpp"
+
+using namespace flowcam;
+
+int main() {
+    // 1. Configure. Defaults model the paper's prototype: 200 MHz fabric,
+    //    two 32-bit DDR3-1600 channels behind quarter-rate controllers.
+    core::FlowLutConfig config;
+    config.buckets_per_mem = u64{1} << 14;  // 16k buckets x 4 ways x 2 mems
+    config.cam_capacity = 1024;
+    core::FlowLut lut(config);
+
+    // 2. Describe some traffic: three packets of flow A, one of flow B.
+    net::FiveTuple flow_a;
+    flow_a.src_ip = 0x0A000001;  // 10.0.0.1
+    flow_a.dst_ip = 0x5DB8D822;  // 93.184.216.34
+    flow_a.src_port = 49152;
+    flow_a.dst_port = 443;
+    flow_a.protocol = net::kProtoTcp;
+
+    net::FiveTuple flow_b = flow_a;
+    flow_b.src_port = 49153;  // one field differs -> a different flow
+
+    const net::FiveTuple packets[] = {flow_a, flow_a, flow_b, flow_a};
+
+    // 3. Offer descriptors and run the cycle simulation until drained.
+    u64 timestamp_ns = 1000;
+    for (const auto& tuple : packets) {
+        while (!lut.offer(net::NTuple::from_five_tuple(tuple), timestamp_ns, 64)) {
+            lut.step();  // input FIFO full: apply backpressure
+        }
+        timestamp_ns += 1000;
+    }
+    if (!lut.drain()) {
+        std::fprintf(stderr, "simulation failed to drain\n");
+        return 1;
+    }
+
+    // 4. Pop completions: one per packet, in retirement order.
+    std::printf("%-45s %-18s %s\n", "flow", "FID", "disposition");
+    while (const auto completion = lut.pop_completion()) {
+        const auto tuple = net::FiveTuple::from_key_bytes(completion->key.view());
+        std::printf("%-45s %-18llu %s\n", tuple.to_string().c_str(),
+                    static_cast<unsigned long long>(completion->fid),
+                    completion->is_new_flow ? "new flow" : "hit");
+    }
+
+    // 5. Per-flow statistics from the Flow State block.
+    std::printf("\nactive flows: %zu\n", lut.flow_state().active_flows());
+    for (const auto& record : lut.flow_state().snapshot()) {
+        const auto tuple = net::FiveTuple::from_key_bytes(record.key.view());
+        std::printf("  %s  packets=%llu bytes=%llu\n", tuple.to_string().c_str(),
+                    static_cast<unsigned long long>(record.packets),
+                    static_cast<unsigned long long>(record.bytes));
+    }
+
+    // 6. Throughput and memory-system statistics.
+    std::printf("\nprocessed %llu descriptors in %llu cycles (%.2f Mdesc/s at 200 MHz)\n",
+                static_cast<unsigned long long>(lut.stats().completions),
+                static_cast<unsigned long long>(lut.now()), lut.mdesc_per_second());
+    std::printf("DDR3 channel A: %llu reads, %llu writes, protocol %s\n",
+                static_cast<unsigned long long>(
+                    lut.controller(core::Path::kA).stats().reads_completed),
+                static_cast<unsigned long long>(
+                    lut.controller(core::Path::kA).stats().writes_completed),
+                lut.controller(core::Path::kA).protocol_status().to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Traffic analyzer example — the paper's §V-C system integration: a flow
+// processor fed from a packet buffer, with event and stats engines on top.
+//
+//   $ ./traffic_analyzer [packets]
+//
+// Generates a realistic trace (calibrated to the paper's Fig. 6 flow-growth
+// curve), streams it through the analyzer, and prints the NetFlow-style
+// report: top talkers, protocol mix, security events and lookup rate.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analyzer/analyzer.hpp"
+#include "net/trace.hpp"
+
+using namespace flowcam;
+
+int main(int argc, char** argv) {
+    const u64 packet_count = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+
+    analyzer::AnalyzerConfig config;
+    config.lut.buckets_per_mem = u64{1} << 14;
+    config.lut.cam_capacity = 2048;
+    config.heavy_hitter_bytes = 64 << 10;  // 64 KB flags a heavy flow
+    config.port_scan_threshold = 32;
+
+    analyzer::TrafficAnalyzer analyzer(config);
+
+    net::TraceConfig trace_config;
+    trace_config.seed = 2014;
+    net::TraceGenerator generator(trace_config);
+
+    std::printf("streaming %llu packets through the traffic analyzer...\n",
+                static_cast<unsigned long long>(packet_count));
+    for (u64 i = 0; i < packet_count; ++i) {
+        const net::PacketRecord record = generator.next();
+        while (!analyzer.feed_record(record)) analyzer.step();  // backpressure
+        analyzer.step();
+    }
+    if (!analyzer.drain()) {
+        std::fprintf(stderr, "analyzer failed to drain\n");
+        return 1;
+    }
+
+    std::cout << analyzer.report(10);
+
+    std::printf("--- events (first 10) ---\n");
+    u64 shown = 0;
+    for (const auto& event : analyzer.events()) {
+        if (event.kind == analyzer::EventKind::kNewFlow) continue;  // too many to list
+        std::printf("  [%s] %s value=%llu\n", analyzer::to_string(event.kind),
+                    event.tuple.to_string().c_str(),
+                    static_cast<unsigned long long>(event.value));
+        if (++shown == 10) break;
+    }
+    std::printf("  (plus %llu new-flow events)\n",
+                static_cast<unsigned long long>(analyzer.lut().stats().new_flows));
+
+    const auto& stats = analyzer.lut().stats();
+    std::printf("--- flow LUT pipeline ---\n");
+    std::printf("  CAM stage hits: %llu | LU1 hits: %llu | LU2 hits: %llu | new flows: %llu\n",
+                static_cast<unsigned long long>(stats.cam_hits),
+                static_cast<unsigned long long>(stats.lu1_hits),
+                static_cast<unsigned long long>(stats.lu2_hits),
+                static_cast<unsigned long long>(stats.new_flows));
+    std::printf("  new-flow ratio B/A = %.2f%% (paper Fig. 6: 33.81%% at 10k packets)\n",
+                100.0 * static_cast<double>(stats.new_flows) /
+                    static_cast<double>(stats.completions));
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "analyzer/analyzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flowcam::analyzer {
+
+const char* to_string(EventKind kind) {
+    switch (kind) {
+        case EventKind::kNewFlow: return "new-flow";
+        case EventKind::kFlowExpired: return "flow-expired";
+        case EventKind::kHeavyHitter: return "heavy-hitter";
+        case EventKind::kPortScan: return "port-scan";
+        case EventKind::kTablePressure: return "table-pressure";
+    }
+    return "?";
+}
+
+TrafficAnalyzer::TrafficAnalyzer(const AnalyzerConfig& config)
+    : config_(config), lut_(config.lut) {
+    lut_.flow_state().set_export_callback([this](const core::FlowRecord& record) {
+        raise(EventKind::kFlowExpired, net::FiveTuple::from_key_bytes(record.key.view()),
+              record.bytes, record.last_ns);
+    });
+}
+
+bool TrafficAnalyzer::feed_frame(std::span<const u8> frame, u64 timestamp_ns) {
+    const auto parsed = net::parse_packet(frame);
+    if (!parsed) {
+        ++stats_.unparseable;
+        return true;  // consumed (dropped to the slow path in hardware).
+    }
+    net::PacketRecord record;
+    record.timestamp_ns = timestamp_ns;
+    record.tuple = parsed->tuple;
+    record.frame_bytes = parsed->frame_bytes;
+    return feed_record(record);
+}
+
+bool TrafficAnalyzer::feed_record(const net::PacketRecord& record) {
+    if (packet_buffer_.size() >= config_.packet_buffer_depth) {
+        ++stats_.dropped_buffer_full;
+        return false;
+    }
+    packet_buffer_.push_back(record);
+    return true;
+}
+
+void TrafficAnalyzer::pump_buffer() {
+    while (!packet_buffer_.empty()) {
+        const net::PacketRecord& record = packet_buffer_.front();
+        if (!lut_.offer(net::NTuple::from_five_tuple(record.tuple), record.timestamp_ns,
+                        record.frame_bytes)) {
+            return;  // Flow LUT backpressure; retry next cycle.
+        }
+        ++stats_.packets;
+        stats_.bytes += record.frame_bytes;
+        ++stats_.packets_by_protocol[record.tuple.protocol];
+        stats_.bytes_by_dst_port[record.tuple.dst_port] += record.frame_bytes;
+        packet_buffer_.pop_front();
+    }
+}
+
+void TrafficAnalyzer::pump_completions() {
+    while (const auto completion = lut_.pop_completion()) {
+        const auto tuple = net::FiveTuple::from_key_bytes(completion->key.view());
+        if (completion->is_new_flow) {
+            raise(EventKind::kNewFlow, tuple, completion->fid, completion->timestamp_ns);
+            auto& ports = ports_touched_[tuple.src_ip];
+            ports.insert(tuple.dst_port);
+            if (ports.size() == config_.port_scan_threshold) {
+                raise(EventKind::kPortScan, tuple, ports.size(), completion->timestamp_ns);
+            }
+        }
+        if (completion->fid != kInvalidFlowId) {
+            const core::FlowRecord* record = lut_.flow_state().find(completion->fid);
+            if (record != nullptr && record->bytes >= config_.heavy_hitter_bytes &&
+                !heavy_reported_.contains(completion->fid)) {
+                heavy_reported_.insert(completion->fid);
+                raise(EventKind::kHeavyHitter, tuple, record->bytes, completion->timestamp_ns);
+            }
+        }
+    }
+    const double load = static_cast<double>(lut_.table().size()) /
+                        static_cast<double>(lut_.table().capacity());
+    if (!pressure_reported_ && load >= config_.table_pressure) {
+        pressure_reported_ = true;
+        raise(EventKind::kTablePressure, net::FiveTuple{},
+              static_cast<u64>(load * 100.0), 0);
+    }
+}
+
+void TrafficAnalyzer::step() {
+    pump_buffer();
+    lut_.step();
+    pump_completions();
+}
+
+bool TrafficAnalyzer::drain(u64 max_cycles) {
+    for (u64 i = 0; i < max_cycles; ++i) {
+        if (packet_buffer_.empty() && lut_.drained()) {
+            pump_completions();
+            return true;
+        }
+        step();
+    }
+    return packet_buffer_.empty() && lut_.drained();
+}
+
+void TrafficAnalyzer::raise(EventKind kind, const net::FiveTuple& tuple, u64 value,
+                            u64 timestamp_ns) {
+    events_.push_back(Event{kind, tuple, value, timestamp_ns});
+}
+
+std::vector<core::FlowRecord> TrafficAnalyzer::top_flows(std::size_t n) const {
+    auto flows = lut_.flow_state().snapshot();
+    std::partial_sort(flows.begin(), flows.begin() + std::min(n, flows.size()), flows.end(),
+                      [](const core::FlowRecord& a, const core::FlowRecord& b) {
+                          return a.bytes > b.bytes;
+                      });
+    flows.resize(std::min(n, flows.size()));
+    return flows;
+}
+
+std::string TrafficAnalyzer::report(std::size_t top_n) const {
+    std::ostringstream os;
+    os << "=== traffic analyzer report ===\n";
+    os << "packets: " << stats_.packets << "  bytes: " << stats_.bytes
+       << "  mean size: " << stats_.mean_packet_bytes() << " B\n";
+    os << "active flows: " << lut_.flow_state().active_flows()
+       << "  new flows: " << lut_.stats().new_flows
+       << "  expired: " << lut_.flow_state().expired_total() << "\n";
+    os << "lookup rate: " << lut_.mdesc_per_second() << " Mdesc/s\n";
+    os << "events: " << events_.size() << "\n";
+    os << "--- top " << top_n << " flows by bytes ---\n";
+    for (const auto& record : top_flows(top_n)) {
+        os << "  " << net::FiveTuple::from_key_bytes(record.key.view()).to_string() << "  "
+           << record.bytes << " B in " << record.packets << " pkts\n";
+    }
+    return os.str();
+}
+
+}  // namespace flowcam::analyzer

@@ -1,0 +1,102 @@
+// Traffic analyzer — the §V-C system integration around the Flow LUT:
+// a packet buffer feeding the flow processor, an event engine raising
+// security-relevant events, and a stats engine aggregating per-flow and
+// per-port statistics (the NetFlow application the prototype targets).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/flow_lut.hpp"
+#include "net/headers.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::analyzer {
+
+/// Events the event engine raises.
+enum class EventKind : u8 {
+    kNewFlow,
+    kFlowExpired,
+    kHeavyHitter,    ///< flow crossed the byte threshold.
+    kPortScan,       ///< one source touched many distinct destination ports.
+    kTablePressure,  ///< lookup structure approaching capacity.
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+struct Event {
+    EventKind kind;
+    net::FiveTuple tuple;
+    u64 value = 0;  ///< bytes for heavy hitter, port count for scan, etc.
+    u64 timestamp_ns = 0;
+};
+
+struct AnalyzerConfig {
+    core::FlowLutConfig lut;
+    u64 heavy_hitter_bytes = 10u << 20;  ///< 10 MB
+    u32 port_scan_threshold = 64;        ///< distinct dst ports per src IP.
+    double table_pressure = 0.9;         ///< of total capacity.
+    std::size_t packet_buffer_depth = 256;
+};
+
+/// Aggregated statistics the stats engine maintains.
+struct TrafficStats {
+    u64 packets = 0;
+    u64 bytes = 0;
+    u64 unparseable = 0;
+    u64 dropped_buffer_full = 0;
+    std::map<u8, u64> packets_by_protocol;
+    std::map<u16, u64> bytes_by_dst_port;
+
+    [[nodiscard]] double mean_packet_bytes() const {
+        return packets == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(packets);
+    }
+};
+
+class TrafficAnalyzer {
+  public:
+    explicit TrafficAnalyzer(const AnalyzerConfig& config);
+
+    /// Feed one raw Ethernet frame (the packet-buffer FPGA's input).
+    /// Returns false if the packet buffer is full (tail drop).
+    [[nodiscard]] bool feed_frame(std::span<const u8> frame, u64 timestamp_ns);
+
+    /// Feed a pre-parsed trace record (bypasses the header parser).
+    [[nodiscard]] bool feed_record(const net::PacketRecord& record);
+
+    /// Advance the whole system by one system-clock cycle.
+    void step();
+
+    /// Run until everything offered has been processed.
+    bool drain(u64 max_cycles = 10'000'000);
+
+    [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+    [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+    [[nodiscard]] core::FlowLut& lut() { return lut_; }
+
+    /// Top `n` live flows by bytes.
+    [[nodiscard]] std::vector<core::FlowRecord> top_flows(std::size_t n) const;
+
+    /// Render a human-readable report.
+    [[nodiscard]] std::string report(std::size_t top_n = 10) const;
+
+  private:
+    void pump_buffer();
+    void pump_completions();
+    void raise(EventKind kind, const net::FiveTuple& tuple, u64 value, u64 timestamp_ns);
+
+    AnalyzerConfig config_;
+    core::FlowLut lut_;
+    std::deque<net::PacketRecord> packet_buffer_;
+    TrafficStats stats_;
+    std::vector<Event> events_;
+    std::map<u32, std::set<u16>> ports_touched_;  ///< src ip -> dst ports.
+    std::set<FlowId> heavy_reported_;
+    bool pressure_reported_ = false;
+};
+
+}  // namespace flowcam::analyzer

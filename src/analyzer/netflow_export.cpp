@@ -1,0 +1,149 @@
+#include "analyzer/netflow_export.hpp"
+
+#include <optional>
+
+namespace flowcam::analyzer {
+namespace {
+
+void put_be(std::vector<u8>& out, u64 value, std::size_t bytes) {
+    for (std::size_t i = 0; i < bytes; ++i) {
+        out.push_back(static_cast<u8>(value >> (8 * (bytes - 1 - i))));
+    }
+}
+
+u64 get_be(std::span<const u8> data, std::size_t offset, std::size_t bytes) {
+    u64 value = 0;
+    for (std::size_t i = 0; i < bytes; ++i) value = (value << 8) | data[offset + i];
+    return value;
+}
+
+NetflowV5Record record_from(const core::FlowRecord& flow, const net::FiveTuple& tuple) {
+    NetflowV5Record record;
+    record.src_addr = tuple.src_ip;
+    record.dst_addr = tuple.dst_ip;
+    record.src_port = tuple.src_port;
+    record.dst_port = tuple.dst_port;
+    record.protocol = tuple.protocol;
+    record.packets = static_cast<u32>(std::min<u64>(flow.packets, 0xFFFFFFFFull));
+    record.bytes = static_cast<u32>(std::min<u64>(flow.bytes, 0xFFFFFFFFull));
+    record.first_ms = static_cast<u32>(flow.first_ns / 1'000'000);
+    record.last_ms = static_cast<u32>(flow.last_ns / 1'000'000);
+    return record;
+}
+
+}  // namespace
+
+std::vector<std::vector<u8>> NetflowV5Exporter::add(const core::FlowRecord& record) {
+    std::vector<std::vector<u8>> out;
+    if (record.key.size() != net::FiveTuple::kKeyBytes) {
+        ++skipped_;  // v5 cannot carry IPv6 / wider n-tuples.
+        return out;
+    }
+    pending_.push_back(
+        record_from(record, net::FiveTuple::from_key_bytes(record.key.view())));
+    if (pending_.size() >= kNetflowV5MaxRecords) {
+        out.push_back(flush());
+    }
+    return out;
+}
+
+std::vector<u8> NetflowV5Exporter::flush() {
+    NetflowV5Datagram datagram;
+    datagram.header.count = static_cast<u16>(pending_.size());
+    datagram.header.flow_sequence = flow_sequence_;
+    datagram.header.engine_id = engine_id_;
+    if (!pending_.empty()) {
+        datagram.header.sys_uptime_ms = pending_.back().last_ms;
+    }
+    datagram.records = std::move(pending_);
+    pending_.clear();
+    flow_sequence_ += datagram.header.count;
+    return serialize(datagram);
+}
+
+std::vector<u8> serialize(const NetflowV5Datagram& datagram) {
+    std::vector<u8> out;
+    out.reserve(kNetflowV5HeaderBytes + datagram.records.size() * kNetflowV5RecordBytes);
+    const NetflowV5Header& header = datagram.header;
+    put_be(out, header.version, 2);
+    put_be(out, datagram.records.size(), 2);
+    put_be(out, header.sys_uptime_ms, 4);
+    put_be(out, header.unix_secs, 4);
+    put_be(out, header.unix_nsecs, 4);
+    put_be(out, header.flow_sequence, 4);
+    out.push_back(header.engine_type);
+    out.push_back(header.engine_id);
+    put_be(out, header.sampling, 2);
+
+    for (const NetflowV5Record& record : datagram.records) {
+        put_be(out, record.src_addr, 4);
+        put_be(out, record.dst_addr, 4);
+        put_be(out, record.next_hop, 4);
+        put_be(out, record.input_snmp, 2);
+        put_be(out, record.output_snmp, 2);
+        put_be(out, record.packets, 4);
+        put_be(out, record.bytes, 4);
+        put_be(out, record.first_ms, 4);
+        put_be(out, record.last_ms, 4);
+        put_be(out, record.src_port, 2);
+        put_be(out, record.dst_port, 2);
+        out.push_back(0);  // pad1
+        out.push_back(record.tcp_flags);
+        out.push_back(record.protocol);
+        out.push_back(record.tos);
+        put_be(out, record.src_as, 2);
+        put_be(out, record.dst_as, 2);
+        out.push_back(record.src_mask);
+        out.push_back(record.dst_mask);
+        put_be(out, 0, 2);  // pad2
+    }
+    return out;
+}
+
+std::optional<NetflowV5Datagram> parse_netflow_v5(std::span<const u8> bytes) {
+    if (bytes.size() < kNetflowV5HeaderBytes) return std::nullopt;
+    NetflowV5Datagram datagram;
+    NetflowV5Header& header = datagram.header;
+    header.version = static_cast<u16>(get_be(bytes, 0, 2));
+    if (header.version != kNetflowV5Version) return std::nullopt;
+    header.count = static_cast<u16>(get_be(bytes, 2, 2));
+    if (header.count > kNetflowV5MaxRecords) return std::nullopt;
+    if (bytes.size() < kNetflowV5HeaderBytes + header.count * kNetflowV5RecordBytes) {
+        return std::nullopt;
+    }
+    header.sys_uptime_ms = static_cast<u32>(get_be(bytes, 4, 4));
+    header.unix_secs = static_cast<u32>(get_be(bytes, 8, 4));
+    header.unix_nsecs = static_cast<u32>(get_be(bytes, 12, 4));
+    header.flow_sequence = static_cast<u32>(get_be(bytes, 16, 4));
+    header.engine_type = bytes[20];
+    header.engine_id = bytes[21];
+    header.sampling = static_cast<u16>(get_be(bytes, 22, 2));
+
+    datagram.records.reserve(header.count);
+    for (u16 i = 0; i < header.count; ++i) {
+        const std::size_t base = kNetflowV5HeaderBytes + i * kNetflowV5RecordBytes;
+        NetflowV5Record record;
+        record.src_addr = static_cast<u32>(get_be(bytes, base + 0, 4));
+        record.dst_addr = static_cast<u32>(get_be(bytes, base + 4, 4));
+        record.next_hop = static_cast<u32>(get_be(bytes, base + 8, 4));
+        record.input_snmp = static_cast<u16>(get_be(bytes, base + 12, 2));
+        record.output_snmp = static_cast<u16>(get_be(bytes, base + 14, 2));
+        record.packets = static_cast<u32>(get_be(bytes, base + 16, 4));
+        record.bytes = static_cast<u32>(get_be(bytes, base + 20, 4));
+        record.first_ms = static_cast<u32>(get_be(bytes, base + 24, 4));
+        record.last_ms = static_cast<u32>(get_be(bytes, base + 28, 4));
+        record.src_port = static_cast<u16>(get_be(bytes, base + 32, 2));
+        record.dst_port = static_cast<u16>(get_be(bytes, base + 34, 2));
+        record.tcp_flags = bytes[base + 37];
+        record.protocol = bytes[base + 38];
+        record.tos = bytes[base + 39];
+        record.src_as = static_cast<u16>(get_be(bytes, base + 40, 2));
+        record.dst_as = static_cast<u16>(get_be(bytes, base + 42, 2));
+        record.src_mask = bytes[base + 44];
+        record.dst_mask = bytes[base + 45];
+        datagram.records.push_back(record);
+    }
+    return datagram;
+}
+
+}  // namespace flowcam::analyzer

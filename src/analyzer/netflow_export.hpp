@@ -1,0 +1,96 @@
+// NetFlow v5 export codec.
+//
+// The prototype targets "the NetFlow application" (paper §II); the stats
+// engine's natural output is therefore NetFlow v5 export datagrams: a
+// 24-byte header plus up to 30 fixed 48-byte flow records. This module
+// serializes expired FlowRecords into wire-format datagrams and parses
+// them back (for the tests and for downstream collectors).
+//
+// IPv6 flows cannot be represented in v5 (32-bit address fields); they are
+// counted and skipped, as real v5 exporters do.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/flow_state.hpp"
+#include "net/tuple.hpp"
+
+namespace flowcam::analyzer {
+
+inline constexpr u16 kNetflowV5Version = 5;
+inline constexpr std::size_t kNetflowV5HeaderBytes = 24;
+inline constexpr std::size_t kNetflowV5RecordBytes = 48;
+inline constexpr std::size_t kNetflowV5MaxRecords = 30;
+
+struct NetflowV5Header {
+    u16 version = kNetflowV5Version;
+    u16 count = 0;            ///< records in this datagram (1..30).
+    u32 sys_uptime_ms = 0;
+    u32 unix_secs = 0;
+    u32 unix_nsecs = 0;
+    u32 flow_sequence = 0;    ///< cumulative exported-flow count.
+    u8 engine_type = 0;
+    u8 engine_id = 0;
+    u16 sampling = 0;
+};
+
+struct NetflowV5Record {
+    u32 src_addr = 0;
+    u32 dst_addr = 0;
+    u32 next_hop = 0;
+    u16 input_snmp = 0;
+    u16 output_snmp = 0;
+    u32 packets = 0;
+    u32 bytes = 0;
+    u32 first_ms = 0;  ///< sys-uptime at first packet.
+    u32 last_ms = 0;   ///< sys-uptime at last packet.
+    u16 src_port = 0;
+    u16 dst_port = 0;
+    u8 tcp_flags = 0;
+    u8 protocol = 0;
+    u8 tos = 0;
+    u16 src_as = 0;
+    u16 dst_as = 0;
+    u8 src_mask = 0;
+    u8 dst_mask = 0;
+};
+
+struct NetflowV5Datagram {
+    NetflowV5Header header;
+    std::vector<NetflowV5Record> records;
+};
+
+/// Accumulates expired flows and emits full datagrams (30 records) —
+/// call flush() for a final partial one.
+class NetflowV5Exporter {
+  public:
+    explicit NetflowV5Exporter(u8 engine_id = 1) : engine_id_(engine_id) {}
+
+    /// Add one dead flow. Returns a serialized datagram when one fills up.
+    /// IPv6 / non-IPv4 keys are counted in skipped_non_v4() and dropped.
+    [[nodiscard]] std::vector<std::vector<u8>> add(const core::FlowRecord& record);
+
+    /// Serialize whatever is pending (possibly empty).
+    [[nodiscard]] std::vector<u8> flush();
+
+    [[nodiscard]] u64 flows_exported() const { return flow_sequence_; }
+    [[nodiscard]] u64 skipped_non_v4() const { return skipped_; }
+    [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+  private:
+    std::vector<NetflowV5Record> pending_;
+    u32 flow_sequence_ = 0;
+    u64 skipped_ = 0;
+    u8 engine_id_;
+};
+
+/// Serialize one datagram (big-endian wire format).
+[[nodiscard]] std::vector<u8> serialize(const NetflowV5Datagram& datagram);
+
+/// Parse a datagram; nullopt on malformed input (wrong version, short
+/// buffer, count mismatch).
+[[nodiscard]] std::optional<NetflowV5Datagram> parse_netflow_v5(std::span<const u8> bytes);
+
+}  // namespace flowcam::analyzer

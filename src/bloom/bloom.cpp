@@ -1,0 +1,110 @@
+#include "bloom/bloom.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace flowcam::bloom {
+
+BloomFilter::BloomFilter(u64 bit_count, u32 hash_count, hash::HashKind kind, u64 seed) {
+    const u64 rounded = ceil_pow2(std::max<u64>(bit_count, 64));
+    bits_.assign(rounded / 64, 0);
+    bit_mask_ = rounded - 1;
+    hashes_.reserve(hash_count);
+    for (u32 i = 0; i < hash_count; ++i) {
+        hashes_.push_back(hash::make_hash(kind, seed + 0x51ed2701 * (i + 1)));
+    }
+}
+
+u64 BloomFilter::position(std::size_t hash_index, std::span<const u8> key) const {
+    return hashes_[hash_index]->digest(key) & bit_mask_;
+}
+
+void BloomFilter::add(std::span<const u8> key) {
+    for (std::size_t i = 0; i < hashes_.size(); ++i) {
+        const u64 pos = position(i, key);
+        bits_[pos / 64] |= u64{1} << (pos % 64);
+    }
+    ++items_;
+}
+
+bool BloomFilter::maybe_contains(std::span<const u8> key) const {
+    for (std::size_t i = 0; i < hashes_.size(); ++i) {
+        const u64 pos = position(i, key);
+        if ((bits_[pos / 64] & (u64{1} << (pos % 64))) == 0) return false;
+    }
+    return true;
+}
+
+u64 BloomFilter::set_bit_count() const {
+    u64 total = 0;
+    for (const u64 word : bits_) total += static_cast<u64>(std::popcount(word));
+    return total;
+}
+
+void BloomFilter::clear() {
+    bits_.assign(bits_.size(), 0);
+    items_ = 0;
+}
+
+CountingBloom::CountingBloom(u64 counter_count, u32 hash_count, hash::HashKind kind, u64 seed) {
+    const u64 rounded = ceil_pow2(std::max<u64>(counter_count, 64));
+    counters_.assign(rounded, 0);
+    mask_ = rounded - 1;
+    hashes_.reserve(hash_count);
+    for (u32 i = 0; i < hash_count; ++i) {
+        hashes_.push_back(hash::make_hash(kind, seed + 0x71d67fff * (i + 1)));
+    }
+}
+
+u64 CountingBloom::position(std::size_t hash_index, std::span<const u8> key) const {
+    return hashes_[hash_index]->digest(key) & mask_;
+}
+
+void CountingBloom::add(std::span<const u8> key) {
+    for (std::size_t i = 0; i < hashes_.size(); ++i) {
+        u8& counter = counters_[position(i, key)];
+        if (counter == kMaxCount) {
+            ++saturations_;
+        } else {
+            ++counter;
+        }
+    }
+}
+
+void CountingBloom::remove(std::span<const u8> key) {
+    for (std::size_t i = 0; i < hashes_.size(); ++i) {
+        u8& counter = counters_[position(i, key)];
+        // A saturated counter can never be decremented safely; a zero counter
+        // indicates a remove of a key that was never added (caller bug, but
+        // we keep the filter sound rather than underflow).
+        if (counter > 0 && counter < kMaxCount) --counter;
+    }
+}
+
+bool CountingBloom::maybe_contains(std::span<const u8> key) const {
+    for (std::size_t i = 0; i < hashes_.size(); ++i) {
+        if (counters_[position(i, key)] == 0) return false;
+    }
+    return true;
+}
+
+ParallelBloom::ParallelBloom(u32 banks, u64 bits_per_bank, hash::HashKind kind, u64 seed) {
+    assert(banks > 0);
+    banks_.reserve(banks);
+    for (u32 i = 0; i < banks; ++i) {
+        banks_.emplace_back(bits_per_bank, 1, kind, seed + 0x2545f491 * (i + 1));
+    }
+}
+
+void ParallelBloom::add(std::span<const u8> key) {
+    for (auto& bank : banks_) bank.add(key);
+}
+
+bool ParallelBloom::maybe_contains(std::span<const u8> key) const {
+    for (const auto& bank : banks_) {
+        if (!bank.maybe_contains(key)) return false;
+    }
+    return true;
+}
+
+}  // namespace flowcam::bloom

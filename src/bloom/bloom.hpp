@@ -1,0 +1,103 @@
+// Bloom filter substrates — the related-work baseline family ([2]-[5], [8]
+// in the paper). Three variants:
+//   * BloomFilter        — classic k-hash bit vector.
+//   * CountingBloom      — 4-bit counters, supports deletion (flow timeout).
+//   * ParallelBloom      — k independent banks probed concurrently, one hash
+//                          each, as in the parallel bloom filter papers the
+//                          related-work section cites; models on-chip BRAM
+//                          banks with single-port access.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::bloom {
+
+/// Theoretical false-positive probability for an (m, n, k) Bloom filter.
+[[nodiscard]] inline double theoretical_fpp(u64 bits, u64 items, u32 hashes) {
+    if (bits == 0) return 1.0;
+    const double exponent = -static_cast<double>(hashes) * static_cast<double>(items) /
+                            static_cast<double>(bits);
+    return std::pow(1.0 - std::exp(exponent), hashes);
+}
+
+/// Optimal hash count k = (m/n) ln 2, at least 1.
+[[nodiscard]] inline u32 optimal_hash_count(u64 bits, u64 expected_items) {
+    if (expected_items == 0) return 1;
+    const double k = std::log(2.0) * static_cast<double>(bits) / static_cast<double>(expected_items);
+    return std::max<u32>(1, static_cast<u32>(std::lround(k)));
+}
+
+class BloomFilter {
+  public:
+    BloomFilter(u64 bit_count, u32 hash_count, hash::HashKind kind = hash::HashKind::kH3,
+                u64 seed = 1);
+
+    void add(std::span<const u8> key);
+    [[nodiscard]] bool maybe_contains(std::span<const u8> key) const;
+
+    [[nodiscard]] u64 bit_count() const { return bits_.size() * 64; }
+    [[nodiscard]] u32 hash_count() const { return static_cast<u32>(hashes_.size()); }
+    [[nodiscard]] u64 items_added() const { return items_; }
+    [[nodiscard]] u64 set_bit_count() const;
+    void clear();
+
+  private:
+    [[nodiscard]] u64 position(std::size_t hash_index, std::span<const u8> key) const;
+
+    std::vector<u64> bits_;
+    u64 bit_mask_;  // bit_count - 1 (power of two)
+    std::vector<std::unique_ptr<hash::HashFunction>> hashes_;
+    u64 items_ = 0;
+};
+
+class CountingBloom {
+  public:
+    CountingBloom(u64 counter_count, u32 hash_count, hash::HashKind kind = hash::HashKind::kH3,
+                  u64 seed = 1);
+
+    void add(std::span<const u8> key);
+    /// Decrement the key's counters; saturated counters are left untouched
+    /// (the standard safe-deletion rule).
+    void remove(std::span<const u8> key);
+    [[nodiscard]] bool maybe_contains(std::span<const u8> key) const;
+
+    [[nodiscard]] u64 counter_count() const { return counters_.size(); }
+    [[nodiscard]] u64 saturation_events() const { return saturations_; }
+
+  private:
+    static constexpr u8 kMaxCount = 15;  // 4-bit counters, as in hardware.
+
+    [[nodiscard]] u64 position(std::size_t hash_index, std::span<const u8> key) const;
+
+    std::vector<u8> counters_;
+    u64 mask_;
+    std::vector<std::unique_ptr<hash::HashFunction>> hashes_;
+    u64 saturations_ = 0;
+};
+
+/// k single-hash banks probed in parallel; a key is "present" iff every bank
+/// agrees. Equivalent filtering power to a classic Bloom filter with k
+/// hashes and m/k bits per bank, but each bank is an independently ported
+/// memory — the property the parallel-bloom papers exploit for line rate.
+class ParallelBloom {
+  public:
+    ParallelBloom(u32 banks, u64 bits_per_bank, hash::HashKind kind = hash::HashKind::kH3,
+                  u64 seed = 1);
+
+    void add(std::span<const u8> key);
+    [[nodiscard]] bool maybe_contains(std::span<const u8> key) const;
+
+    [[nodiscard]] u32 bank_count() const { return static_cast<u32>(banks_.size()); }
+
+  private:
+    std::vector<BloomFilter> banks_;
+};
+
+}  // namespace flowcam::bloom

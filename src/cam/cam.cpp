@@ -1,0 +1,70 @@
+#include "cam/cam.hpp"
+
+namespace flowcam::cam {
+
+Cam::Cam(std::size_t capacity) : slots_(capacity) {
+    free_list_.reserve(capacity);
+    // LIFO order with the lowest slot on top: hardware priority encoders
+    // allocate the lowest free match line first.
+    for (std::size_t i = capacity; i > 0; --i) {
+        free_list_.push_back(static_cast<u32>(i - 1));
+    }
+    index_.reserve(capacity * 2);
+}
+
+std::optional<u64> Cam::lookup(std::span<const u8> key) {
+    ++stats_.lookups;
+    auto result = peek(key);
+    if (result) ++stats_.hits;
+    return result;
+}
+
+std::optional<u64> Cam::peek(std::span<const u8> key) const {
+    const auto it = index_.find(CamKey::from_span(key));
+    if (it == index_.end()) return std::nullopt;
+    return slots_[it->second].payload;
+}
+
+Status Cam::insert(std::span<const u8> key, u64 payload) {
+    ++stats_.inserts;
+    const CamKey cam_key = CamKey::from_span(key);
+    if (index_.contains(cam_key)) return Status(StatusCode::kAlreadyExists);
+    if (free_list_.empty()) {
+        ++stats_.insert_failures;
+        return Status(StatusCode::kCapacityExceeded, "CAM full");
+    }
+    const u32 slot = free_list_.back();
+    free_list_.pop_back();
+    slots_[slot] = Slot{cam_key, payload, true};
+    index_.emplace(cam_key, slot);
+    stats_.peak_occupancy = std::max<u64>(stats_.peak_occupancy, index_.size());
+    return Status::ok();
+}
+
+Status Cam::erase(std::span<const u8> key) {
+    const auto it = index_.find(CamKey::from_span(key));
+    if (it == index_.end()) return Status(StatusCode::kNotFound);
+    slots_[it->second].valid = false;
+    free_list_.push_back(it->second);
+    index_.erase(it);
+    ++stats_.erases;
+    return Status::ok();
+}
+
+std::optional<u32> Cam::slot_of(std::span<const u8> key) const {
+    const auto it = index_.find(CamKey::from_span(key));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+}
+
+void Cam::clear() {
+    const std::size_t capacity = slots_.size();
+    slots_.assign(capacity, Slot{});
+    free_list_.clear();
+    for (std::size_t i = capacity; i > 0; --i) {
+        free_list_.push_back(static_cast<u32>(i - 1));
+    }
+    index_.clear();
+}
+
+}  // namespace flowcam::cam

@@ -1,0 +1,120 @@
+// Binary Content Addressable Memory model.
+//
+// In the paper's Hash-CAM table (Fig. 1) a small on-chip CAM absorbs hash
+// collisions that overflow a bucket. A hardware CAM compares the search key
+// against every stored entry in parallel in one cycle; we model that as an
+// O(n) scan guarded by an exact-match map for large CAMs, while keeping the
+// single-cycle timing semantics at the architectural level.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace flowcam::cam {
+
+/// Fixed-width CAM key. The Flow LUT stores n-tuple descriptors up to
+/// 320 bits (IPv6 5-tuple); 40 bytes covers that and leaves headroom.
+inline constexpr std::size_t kMaxKeyBytes = 40;
+
+struct CamKey {
+    std::array<u8, kMaxKeyBytes> bytes{};
+    u8 length = 0;
+
+    [[nodiscard]] static CamKey from_span(std::span<const u8> data) {
+        CamKey key;
+        key.length = static_cast<u8>(std::min(data.size(), kMaxKeyBytes));
+        std::copy_n(data.begin(), key.length, key.bytes.begin());
+        return key;
+    }
+
+    [[nodiscard]] std::span<const u8> view() const { return {bytes.data(), length}; }
+
+    friend bool operator==(const CamKey& a, const CamKey& b) {
+        return a.length == b.length &&
+               std::equal(a.bytes.begin(), a.bytes.begin() + a.length, b.bytes.begin());
+    }
+};
+
+struct CamKeyHash {
+    std::size_t operator()(const CamKey& key) const {
+        // FNV-1a over the valid bytes; only used for the software index.
+        u64 h = 0xcbf29ce484222325ull;
+        for (u8 i = 0; i < key.length; ++i) {
+            h ^= key.bytes[i];
+            h *= 0x100000001b3ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/// Statistics the CAM exposes to the resource model and benches.
+struct CamStats {
+    u64 lookups = 0;
+    u64 hits = 0;
+    u64 inserts = 0;
+    u64 insert_failures = 0;  ///< CAM full — the paper's capacity cliff.
+    u64 erases = 0;
+    u64 peak_occupancy = 0;
+};
+
+class Cam {
+  public:
+    /// `capacity` entries, each carrying a 64-bit payload (the flow ID /
+    /// table index in the Flow LUT use case).
+    explicit Cam(std::size_t capacity);
+
+    /// Parallel search; returns the payload of the matching entry.
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key);
+
+    /// Search without disturbing statistics (used by invariant checks).
+    [[nodiscard]] std::optional<u64> peek(std::span<const u8> key) const;
+
+    /// Insert a (key, payload) pair into a free slot.
+    /// kAlreadyExists if present (payload untouched), kCapacityExceeded when
+    /// no free slot — the event the paper sizes the CAM to make negligible.
+    Status insert(std::span<const u8> key, u64 payload);
+
+    /// Remove an entry; kNotFound if absent.
+    Status erase(std::span<const u8> key);
+
+    /// Slot index occupied by `key`, if any (models the match-line encoder).
+    [[nodiscard]] std::optional<u32> slot_of(std::span<const u8> key) const;
+
+    /// Slot the next successful insert will occupy (the priority encoder's
+    /// current pick). Lets FID_GEN derive the flow ID before inserting.
+    [[nodiscard]] std::optional<u32> next_free_slot() const {
+        if (free_list_.empty()) return std::nullopt;
+        return free_list_.back();
+    }
+
+    [[nodiscard]] std::size_t size() const { return index_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+    [[nodiscard]] bool full() const { return free_list_.empty(); }
+    [[nodiscard]] const CamStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = CamStats{}; }
+
+    /// Remove every entry.
+    void clear();
+
+  private:
+    struct Slot {
+        CamKey key;
+        u64 payload = 0;
+        bool valid = false;
+    };
+
+    std::vector<Slot> slots_;
+    std::vector<u32> free_list_;  // LIFO of free slot indices.
+    std::unordered_map<CamKey, u32, CamKeyHash> index_;  // software accelerator
+    CamStats stats_;
+};
+
+}  // namespace flowcam::cam

@@ -1,0 +1,50 @@
+#include "cam/tcam.hpp"
+
+#include <algorithm>
+
+namespace flowcam::cam {
+
+bool Tcam::matches(const TcamEntry& entry, std::span<const u8> key) {
+    if (entry.value.length > key.size()) return false;
+    for (u8 i = 0; i < entry.value.length; ++i) {
+        const u8 mask = entry.mask.bytes[i];
+        if ((key[i] & mask) != (entry.value.bytes[i] & mask)) return false;
+    }
+    return true;
+}
+
+std::optional<u64> Tcam::lookup(std::span<const u8> key) const {
+    const TcamEntry* best = nullptr;
+    for (const auto& entry : entries_) {
+        if (matches(entry, key) && (best == nullptr || entry.priority > best->priority)) {
+            best = &entry;
+        }
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->payload;
+}
+
+Status Tcam::insert(const TcamEntry& entry) {
+    if (entries_.size() >= capacity_) {
+        return Status(StatusCode::kCapacityExceeded, "TCAM full");
+    }
+    const auto duplicate = std::any_of(entries_.begin(), entries_.end(), [&](const TcamEntry& e) {
+        return e.value == entry.value && e.mask == entry.mask;
+    });
+    if (duplicate) return Status(StatusCode::kAlreadyExists);
+    entries_.push_back(entry);
+    return Status::ok();
+}
+
+Status Tcam::erase(std::span<const u8> value, std::span<const u8> mask) {
+    const CamKey v = CamKey::from_span(value);
+    const CamKey m = CamKey::from_span(mask);
+    const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const TcamEntry& e) {
+        return e.value == v && e.mask == m;
+    });
+    if (it == entries_.end()) return Status(StatusCode::kNotFound);
+    entries_.erase(it);
+    return Status::ok();
+}
+
+}  // namespace flowcam::cam

@@ -1,0 +1,49 @@
+// Ternary CAM model: entries carry a care-mask per bit and a priority.
+// The paper's conclusion notes the scheme "is scalable with respect to ...
+// number of tuples for lookup"; wildcarded tuple matching (as in OpenFlow
+// classifiers) is the natural extension and needs a TCAM at the collision
+// stage. Provided for the classifier example and ablations.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cam/cam.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace flowcam::cam {
+
+struct TcamEntry {
+    CamKey value;
+    CamKey mask;       ///< bit set = care; cleared = wildcard.
+    u32 priority = 0;  ///< higher wins among multiple matches.
+    u64 payload = 0;
+};
+
+class Tcam {
+  public:
+    explicit Tcam(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Highest-priority entry matching `key` under each entry's mask.
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key) const;
+
+    /// Insert an entry. kCapacityExceeded when full. Duplicate (value, mask)
+    /// pairs are rejected with kAlreadyExists.
+    Status insert(const TcamEntry& entry);
+
+    /// Remove the entry with exactly this (value, mask).
+    Status erase(std::span<const u8> value, std::span<const u8> mask);
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  private:
+    static bool matches(const TcamEntry& entry, std::span<const u8> key);
+
+    std::size_t capacity_;
+    std::vector<TcamEntry> entries_;
+};
+
+}  // namespace flowcam::cam

@@ -1,0 +1,87 @@
+#include "classifier/policy.hpp"
+
+namespace flowcam::classifier {
+
+const char* to_string(Action action) {
+    switch (action) {
+        case Action::kPermit: return "permit";
+        case Action::kDeny: return "deny";
+        case Action::kRateLimit: return "rate-limit";
+        case Action::kMirror: return "mirror";
+        case Action::kLog: return "log";
+    }
+    return "?";
+}
+
+PolicyEngine::PolicyEngine(std::size_t tcam_capacity, Action default_action)
+    : tcam_(tcam_capacity), default_action_(default_action) {}
+
+cam::TcamEntry PolicyEngine::encode(const Rule& rule, u64 payload) {
+    // Build the 13-byte value/mask pair matching FiveTuple::key_bytes():
+    // [0..3] src ip | [4..7] dst ip | [8..9] src port | [10..11] dst port
+    // | [12] protocol.
+    net::FiveTuple value_tuple;
+    value_tuple.src_ip = rule.src_ip;
+    value_tuple.dst_ip = rule.dst_ip;
+    value_tuple.src_port = rule.src_port;
+    value_tuple.dst_port = rule.dst_port;
+    value_tuple.protocol = rule.protocol;
+    const auto value_bytes = value_tuple.key_bytes();
+
+    std::array<u8, net::FiveTuple::kKeyBytes> mask_bytes{};
+    const auto prefix_mask = [](u8 prefix) -> u32 {
+        return prefix == 0 ? 0u : ~u32{0} << (32 - prefix);
+    };
+    const u32 src_mask = prefix_mask(rule.src_prefix);
+    const u32 dst_mask = prefix_mask(rule.dst_prefix);
+    for (int i = 0; i < 4; ++i) {
+        mask_bytes[i] = static_cast<u8>(src_mask >> (8 * (3 - i)));
+        mask_bytes[4 + i] = static_cast<u8>(dst_mask >> (8 * (3 - i)));
+    }
+    if (rule.src_port != 0) mask_bytes[8] = mask_bytes[9] = 0xFF;
+    if (rule.dst_port != 0) mask_bytes[10] = mask_bytes[11] = 0xFF;
+    if (rule.protocol != 0) mask_bytes[12] = 0xFF;
+
+    cam::TcamEntry entry;
+    entry.value = cam::CamKey::from_span({value_bytes.data(), value_bytes.size()});
+    entry.mask = cam::CamKey::from_span({mask_bytes.data(), mask_bytes.size()});
+    entry.priority = rule.priority;
+    entry.payload = payload;
+    return entry;
+}
+
+Status PolicyEngine::add_rule(const Rule& rule) {
+    const Status status = tcam_.insert(encode(rule, rules_.size()));
+    if (!status.is_ok()) return status;
+    rules_.push_back(rule);
+    return Status::ok();
+}
+
+Verdict PolicyEngine::classify(const net::FiveTuple& tuple) {
+    ++stats_.classified;
+    const auto key = tuple.key_bytes();
+    Verdict verdict;
+    if (const auto hit = tcam_.lookup({key.data(), key.size()})) {
+        const Rule& rule = rules_.at(*hit);
+        verdict.action = rule.action;
+        verdict.rule = rule.name;
+    } else {
+        verdict.action = default_action_;
+        verdict.rule = "default";
+    }
+    ++stats_.by_action[static_cast<u8>(verdict.action)];
+    return verdict;
+}
+
+Verdict PolicyEngine::verdict_for(FlowId fid, const net::FiveTuple& tuple) {
+    const auto it = cache_.find(fid);
+    if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+    }
+    const Verdict verdict = classify(tuple);
+    cache_.emplace(fid, verdict);
+    return verdict;
+}
+
+}  // namespace flowcam::classifier

@@ -1,0 +1,97 @@
+// Flow policy classifier — the "security policy enforcement" application
+// from the paper's introduction, built on the TCAM substrate.
+//
+// A RuleSet holds prioritized wildcard rules over the 5-tuple (prefix masks
+// on addresses, exact-or-any ports/protocol) mapped to actions. The
+// PolicyEngine classifies each *new flow* once (rules are flow-granular, so
+// per-packet work stays in the Flow LUT) and caches the verdict per FID —
+// exactly how hardware separates the slow classification path from the
+// fast flow-match path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cam/tcam.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "net/tuple.hpp"
+
+namespace flowcam::classifier {
+
+enum class Action : u8 {
+    kPermit,
+    kDeny,
+    kRateLimit,
+    kMirror,   ///< copy to the inspection engine (paper §V-C's second FPGA).
+    kLog,
+};
+
+[[nodiscard]] const char* to_string(Action action);
+
+/// One wildcard rule over the IPv4 5-tuple.
+struct Rule {
+    std::string name;
+    u32 priority = 0;  ///< higher wins.
+    Action action = Action::kPermit;
+
+    // Address prefixes: (value, prefix_len). prefix_len 0 = any.
+    u32 src_ip = 0;
+    u8 src_prefix = 0;
+    u32 dst_ip = 0;
+    u8 dst_prefix = 0;
+    // Ports/protocol: 0 = any (ports 0 are not classifiable anyway).
+    u16 src_port = 0;
+    u16 dst_port = 0;
+    u8 protocol = 0;
+};
+
+struct Verdict {
+    Action action = Action::kPermit;
+    std::string rule;  ///< matching rule name ("default" if none).
+};
+
+struct PolicyStats {
+    u64 classified = 0;
+    u64 cache_hits = 0;
+    std::unordered_map<u8, u64> by_action;
+};
+
+class PolicyEngine {
+  public:
+    /// `tcam_capacity` bounds the rule table, as in hardware.
+    /// `default_action` applies when no rule matches.
+    explicit PolicyEngine(std::size_t tcam_capacity = 256,
+                          Action default_action = Action::kPermit);
+
+    /// Install a rule; kCapacityExceeded when the TCAM is full.
+    Status add_rule(const Rule& rule);
+
+    /// Classify a tuple against the rule TCAM (the slow path).
+    [[nodiscard]] Verdict classify(const net::FiveTuple& tuple);
+
+    /// Per-flow fast path: first call for a FID classifies and caches;
+    /// later calls return the cached verdict.
+    [[nodiscard]] Verdict verdict_for(FlowId fid, const net::FiveTuple& tuple);
+
+    /// Drop the cached verdict (flow expired / rules changed).
+    void invalidate(FlowId fid) { cache_.erase(fid); }
+    void invalidate_all() { cache_.clear(); }
+
+    [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
+    [[nodiscard]] const PolicyStats& stats() const { return stats_; }
+
+  private:
+    /// Encode a rule into TCAM value/mask over the 13-byte 5-tuple key.
+    [[nodiscard]] static cam::TcamEntry encode(const Rule& rule, u64 payload);
+
+    cam::Tcam tcam_;
+    Action default_action_;
+    std::vector<Rule> rules_;  ///< payloads index into this.
+    std::unordered_map<FlowId, Verdict> cache_;
+    PolicyStats stats_;
+};
+
+}  // namespace flowcam::classifier

@@ -1,0 +1,49 @@
+// Small bit-manipulation helpers used by the hash and DRAM address-mapping
+// code. All constexpr so the compiler can fold address math.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace flowcam {
+
+/// True iff x is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two. Precondition: is_pow2(x).
+[[nodiscard]] constexpr u32 log2_pow2(u64 x) {
+    return static_cast<u32>(std::countr_zero(x));
+}
+
+/// Smallest power of two >= x (x <= 2^63).
+[[nodiscard]] constexpr u64 ceil_pow2(u64 x) {
+    return x <= 1 ? 1 : u64{1} << (64 - std::countl_zero(x - 1));
+}
+
+/// Ceiling division for unsigned integers.
+[[nodiscard]] constexpr u64 ceil_div(u64 num, u64 den) { return (num + den - 1) / den; }
+
+/// Extract bit field [lo, lo+width) from x.
+[[nodiscard]] constexpr u64 bits(u64 x, u32 lo, u32 width) {
+    return (x >> lo) & ((width >= 64) ? ~u64{0} : ((u64{1} << width) - 1));
+}
+
+/// Fold a 64-bit value down to `width` bits by XOR-ing 64/width slices.
+/// This mimics how hardware hash blocks reduce wide digests to index widths.
+[[nodiscard]] constexpr u64 xor_fold(u64 x, u32 width) {
+    if (width >= 64) return x;
+    if (width == 0) return 0;  // a zero-width index has one possible value
+    u64 folded = 0;
+    while (x != 0) {
+        folded ^= x & ((u64{1} << width) - 1);
+        x >>= width;
+    }
+    return folded;
+}
+
+/// Parity (XOR-reduction) of x — one AND-XOR tree in hardware.
+[[nodiscard]] constexpr u32 parity(u64 x) { return std::popcount(x) & 1u; }
+
+}  // namespace flowcam

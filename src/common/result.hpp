@@ -1,0 +1,86 @@
+// Minimal status/expected vocabulary. We avoid exceptions on hot simulation
+// paths (CppCoreGuidelines E.x: use exceptions for exceptional conditions;
+// a lookup miss or a full CAM is an expected outcome, not an error).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flowcam {
+
+enum class StatusCode {
+    kOk,
+    kNotFound,
+    kAlreadyExists,
+    kCapacityExceeded,
+    kInvalidArgument,
+    kFailedPrecondition,
+    kUnavailable,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+    switch (code) {
+        case StatusCode::kOk: return "ok";
+        case StatusCode::kNotFound: return "not-found";
+        case StatusCode::kAlreadyExists: return "already-exists";
+        case StatusCode::kCapacityExceeded: return "capacity-exceeded";
+        case StatusCode::kInvalidArgument: return "invalid-argument";
+        case StatusCode::kFailedPrecondition: return "failed-precondition";
+        case StatusCode::kUnavailable: return "unavailable";
+    }
+    return "unknown";
+}
+
+class Status {
+  public:
+    Status() = default;
+    explicit Status(StatusCode code, std::string message = {})
+        : code_(code), message_(std::move(message)) {}
+
+    [[nodiscard]] static Status ok() { return Status{}; }
+
+    [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+    [[nodiscard]] StatusCode code() const { return code_; }
+    [[nodiscard]] const std::string& message() const { return message_; }
+
+    [[nodiscard]] std::string to_string() const {
+        std::string out = flowcam::to_string(code_);
+        if (!message_.empty()) {
+            out += ": ";
+            out += message_;
+        }
+        return out;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/// Expected-style result: either a value or a Status describing why not.
+template <typename T>
+class Result {
+  public:
+    Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+    Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+    [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(value_); }
+    explicit operator bool() const { return has_value(); }
+
+    [[nodiscard]] const T& value() const& { return std::get<T>(value_); }
+    [[nodiscard]] T& value() & { return std::get<T>(value_); }
+    [[nodiscard]] T&& value() && { return std::get<T>(std::move(value_)); }
+
+    [[nodiscard]] const Status& status() const { return std::get<Status>(value_); }
+
+    [[nodiscard]] T value_or(T fallback) const {
+        return has_value() ? value() : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, Status> value_;
+};
+
+}  // namespace flowcam

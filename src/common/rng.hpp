@@ -1,0 +1,67 @@
+// Deterministic, seedable PRNG used everywhere in the simulator so that every
+// experiment is reproducible from its configuration alone.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace flowcam {
+
+/// xoshiro256** — fast, high-quality, 64-bit state-of-the-art generator.
+/// Satisfies std::uniform_random_bit_generator so it plugs into <random>.
+class Xoshiro256 {
+  public:
+    using result_type = u64;
+
+    explicit Xoshiro256(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /// SplitMix64 seeding per the reference implementation: expands one 64-bit
+    /// seed into 256 bits of well-mixed state.
+    void reseed(u64 seed) {
+        for (auto& word : state_) {
+            seed += 0x9e3779b97f4a7c15ull;
+            u64 z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    result_type operator()() {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+    u64 bounded(u64 bound) {
+        if (bound == 0) return 0;
+        const u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            const u64 sample = (*this)();
+            if (sample >= threshold) return sample % bound;
+        }
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Bernoulli trial with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+    u64 state_[4] = {};
+};
+
+}  // namespace flowcam

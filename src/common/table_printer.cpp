@@ -1,0 +1,57 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace flowcam {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os, const std::string& title) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const auto render_line = [&](const std::vector<std::string>& cells) {
+        os << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cell << " |";
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 1;
+    for (const auto width : widths) total += width + 3;
+
+    if (!title.empty()) os << title << '\n';
+    os << std::string(total, '-') << '\n';
+    render_line(headers_);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) render_line(row);
+    os << std::string(total, '-') << '\n';
+}
+
+std::string TablePrinter::fixed(double value, int decimals) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string TablePrinter::percent(double fraction, int decimals) {
+    return fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace flowcam

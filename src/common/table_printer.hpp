@@ -1,0 +1,33 @@
+// Console table renderer used by the benchmark harness to print rows in the
+// same shape as the paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flowcam {
+
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /// Append one row; cells beyond the header count are dropped, missing
+    /// cells render empty.
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with aligned columns, a header rule and an optional title.
+    void print(std::ostream& os, const std::string& title = {}) const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Numeric formatting helpers for bench output.
+    static std::string fixed(double value, int decimals);
+    static std::string percent(double fraction, int decimals);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flowcam

@@ -1,0 +1,40 @@
+// Fundamental fixed-width aliases and small value types shared by every
+// flowcam module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace flowcam {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulation time in clock cycles of the owning clock domain.
+using Cycle = u64;
+
+/// Sentinel for "no cycle / not scheduled".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Flow identifier handed out by FID_GEN. 0 is reserved as invalid.
+using FlowId = u64;
+inline constexpr FlowId kInvalidFlowId = 0;
+
+/// Index of a location inside one of the lookup structures.
+struct TableIndex {
+    enum class Where : u8 { kNone, kCam, kMem1, kMem2 };
+    Where where = Where::kNone;
+    u64 slot = 0;  ///< CAM entry index, or bucket*K+way for DDR memories.
+
+    [[nodiscard]] constexpr bool valid() const { return where != Where::kNone; }
+    friend constexpr bool operator==(const TableIndex&, const TableIndex&) = default;
+};
+
+}  // namespace flowcam

@@ -1,0 +1,86 @@
+// The messages that flow between the Flow LUT's hardware blocks (Fig. 2):
+// packet descriptors, lookup jobs, match verdicts, update requests and flow
+// ID completions.
+#pragma once
+
+#include "common/types.hpp"
+#include "net/tuple.hpp"
+
+namespace flowcam::core {
+
+/// Which memory set / lookup path. The paper's scheme is symmetric in A/B.
+enum class Path : u8 { kA = 0, kB = 1 };
+
+[[nodiscard]] constexpr Path other(Path path) {
+    return path == Path::kA ? Path::kB : Path::kA;
+}
+[[nodiscard]] constexpr u32 index_of(Path path) { return static_cast<u32>(path); }
+[[nodiscard]] constexpr const char* to_string(Path path) {
+    return path == Path::kA ? "A" : "B";
+}
+
+/// Lookup stage: LU1 = first lookup (from the sequencer), LU2 = second
+/// lookup (redirected after an LU1 miss on the other path).
+enum class Stage : u8 { kLu1 = 1, kLu2 = 2 };
+
+/// A packet descriptor entering the Flow LUT: the extracted n-tuple plus
+/// both precomputed hash indices (the hardware hashes at packet arrival).
+struct Descriptor {
+    u64 seq = 0;  ///< arrival order, for ordering checks.
+    net::NTuple key;
+    u64 index_a = 0;  ///< bucket index in memory set A (Hash1).
+    u64 index_b = 0;  ///< bucket index in memory set B (Hash2).
+    u64 digest = 0;   ///< 64-bit digest used for balancing decisions.
+    u64 timestamp_ns = 0;
+    u32 frame_bytes = 0;
+};
+
+/// One in-flight lookup on one path.
+struct LookupJob {
+    Descriptor descriptor;
+    Stage stage = Stage::kLu1;
+    [[nodiscard]] u64 bucket_index(Path path) const {
+        return path == Path::kA ? descriptor.index_a : descriptor.index_b;
+    }
+};
+
+/// Update request handed to an Updt block (paper Fig. 5 inputs).
+enum class UpdateKind : u8 { kInsert, kDelete };
+
+struct UpdateRequest {
+    UpdateKind kind = UpdateKind::kInsert;
+    net::NTuple key;
+    u64 bucket_index = 0;  ///< target bucket in the owning path's memory.
+    u32 way = 0;           ///< slot within the bucket.
+    Cycle enqueued_at = 0;
+};
+
+/// What FID_GEN emits: one completion per descriptor, in retirement order.
+struct Completion {
+    u64 seq = 0;
+    FlowId fid = kInvalidFlowId;
+    bool is_new_flow = false;
+    bool via_cam = false;
+    Cycle retired_at = 0;   ///< system-clock cycle.
+    u64 timestamp_ns = 0;
+    u32 frame_bytes = 0;
+    net::NTuple key;
+};
+
+/// FID encoding: location-derived flow IDs, as the paper's FID_GEN creates
+/// them "based on the search result" (a match index value).
+[[nodiscard]] constexpr FlowId make_fid(TableIndex location) {
+    // 2 bits of "where" | 48 bits of slot, +1 so 0 stays invalid.
+    return (static_cast<u64>(location.where) << 48 | location.slot) + 1;
+}
+
+[[nodiscard]] constexpr TableIndex fid_location(FlowId fid) {
+    TableIndex location;
+    if (fid == kInvalidFlowId) return location;
+    const u64 raw = fid - 1;
+    location.where = static_cast<TableIndex::Where>(raw >> 48);
+    location.slot = raw & ((u64{1} << 48) - 1);
+    return location;
+}
+
+}  // namespace flowcam::core

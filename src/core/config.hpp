@@ -1,0 +1,117 @@
+// Configuration of the Flow LUT (paper Figs. 1-2) and its prototype-derived
+// defaults: 200 MHz system clock, quarter-rate controllers in front of two
+// 32-bit DDR3 channels at an 800 MHz command clock (DDR3-1600 grade).
+#pragma once
+
+#include <cstddef>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+#include "dram/controller.hpp"
+#include "dram/timing.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::core {
+
+/// Load-balancer policy of the Sequencer (paper Fig. 2). Hash-affine
+/// policies preserve per-flow ordering by construction; kWeightedHash with
+/// weight 0 reproduces the paper's "all data through path B" experiment.
+enum class BalancePolicy : u8 {
+    kHashBit,       ///< path = one digest bit; ~50 % split, flow-affine.
+    kWeightedHash,  ///< path A with probability `weight_a` (flow-affine:
+                    ///< derived from the key digest, not a coin flip).
+    kAlternate,     ///< strict round-robin (NOT flow-affine; ablation only).
+    kLeastLoaded,   ///< shorter DLU queue wins (NOT flow-affine; ablation).
+};
+
+[[nodiscard]] constexpr const char* to_string(BalancePolicy policy) {
+    switch (policy) {
+        case BalancePolicy::kHashBit: return "hash-bit";
+        case BalancePolicy::kWeightedHash: return "weighted-hash";
+        case BalancePolicy::kAlternate: return "alternate";
+        case BalancePolicy::kLeastLoaded: return "least-loaded";
+    }
+    return "?";
+}
+
+/// Where a new entry goes when both candidate buckets have room.
+enum class InsertPolicy : u8 {
+    kFirstFit,     ///< Mem1 bucket, then Mem2 bucket, then CAM (Fig. 1 text).
+    kLeastLoaded,  ///< emptier bucket first (balanced-allocations flavor).
+};
+
+struct FlowLutConfig {
+    // --- Geometry of the lookup structure -------------------------------
+    u64 buckets_per_mem = u64{1} << 16;  ///< hash locations per memory set.
+    u32 ways = 4;                        ///< K entries per hash location.
+    u32 entry_bytes = 16;                ///< serialized entry footprint.
+    std::size_t cam_capacity = 1024;     ///< collision CAM depth.
+
+    // --- Hashing ---------------------------------------------------------
+    hash::HashKind hash_kind = hash::HashKind::kH3;
+    u64 hash_seed = 0x5eed;
+
+    // --- Clocking --------------------------------------------------------
+    double system_clock_hz = 200e6;  ///< Flow LUT fabric clock.
+    u32 memory_clock_ratio = 4;      ///< quarter-rate controller.
+
+    // --- DRAM ------------------------------------------------------------
+    dram::DramTimings timings = dram::ddr3_1600();
+    dram::Geometry geometry{};  ///< per channel; defaults 8 banks.
+    dram::ControllerConfig controller{};
+
+    // --- Policies --------------------------------------------------------
+    BalancePolicy balance = BalancePolicy::kHashBit;
+    double weight_a = 0.5;  ///< for kWeightedHash.
+    InsertPolicy insert_policy = InsertPolicy::kLeastLoaded;
+
+    // --- Queue depths (hardware FIFOs) ------------------------------------
+    std::size_t input_depth = 64;
+    std::size_t lu_queue_depth = 64;
+    std::size_t match_queue_depth = 64;
+    std::size_t update_queue_depth = 64;
+    std::size_t output_depth = 128;
+
+    // --- Update block (BWr_Gen, Fig. 5) -----------------------------------
+    u32 burst_write_threshold = 8;   ///< release when this many updates wait.
+    Cycle burst_write_timeout = 64;  ///< ...or when the oldest is this stale.
+
+    // --- Flow state housekeeping ------------------------------------------
+    u64 flow_timeout_ns = 30'000'000'000ull;  ///< 30 s idle timeout.
+    u32 housekeeping_scan_per_cycle = 4;      ///< records scanned per cycle.
+
+    // --- Derived ----------------------------------------------------------
+    [[nodiscard]] u64 bucket_bytes() const { return u64{ways} * entry_bytes; }
+    [[nodiscard]] u64 burst_bytes() const {
+        return u64{geometry.bus_bytes} * timings.burst_length;
+    }
+    [[nodiscard]] u32 bursts_per_bucket() const {
+        return static_cast<u32>(ceil_div(bucket_bytes(), burst_bytes()));
+    }
+    /// DDR footprint of one bucket, padded up to whole bursts so no two
+    /// buckets ever share a burst (a burst is the write granularity).
+    [[nodiscard]] u64 bucket_stride() const {
+        return u64{bursts_per_bucket()} * burst_bytes();
+    }
+    [[nodiscard]] u64 bucket_address(u64 bucket_index) const {
+        return bucket_index * bucket_stride();
+    }
+    [[nodiscard]] u64 table_capacity() const {
+        return buckets_per_mem * ways * 2 + cam_capacity;
+    }
+    /// DDR bytes needed per memory set.
+    [[nodiscard]] u64 mem_bytes() const { return buckets_per_mem * bucket_stride(); }
+
+    /// The published prototype configuration: 8 M flow entries over two
+    /// 512 MB channels (paper §IV-C).
+    [[nodiscard]] static FlowLutConfig prototype_8m() {
+        FlowLutConfig config;
+        config.buckets_per_mem = u64{1} << 20;  // 1 M buckets x 4 ways x 2 = 8 M
+        config.ways = 4;
+        config.cam_capacity = 4096;
+        config.geometry.rows = 65536;
+        return config;
+    }
+};
+
+}  // namespace flowcam::core

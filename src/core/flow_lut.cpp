@@ -1,0 +1,524 @@
+#include "core/flow_lut.hpp"
+
+#include <cassert>
+
+namespace flowcam::core {
+namespace {
+
+/// Request-id tag bits so read and write completions demultiplex cleanly.
+constexpr u64 kWriteTag = u64{1} << 63;
+
+/// Map key for the in-flight tracker.
+std::string key_string(const net::NTuple& key) {
+    const auto view = key.view();
+    return {reinterpret_cast<const char*>(view.data()), view.size()};
+}
+
+}  // namespace
+
+FlowLut::PathState::PathState(const FlowLutConfig& config, const std::string& name)
+    : ready(config.geometry.banks),
+      updates(config.burst_write_threshold, config.burst_write_timeout,
+              config.update_queue_depth) {
+    dram::ControllerConfig controller_config = config.controller;
+    controller_config.interleave_bytes = config.bucket_stride();
+    controller = std::make_unique<dram::DramController>(name, config.timings, config.geometry,
+                                                        controller_config);
+}
+
+FlowLut::FlowLut(const FlowLutConfig& config)
+    : config_(config),
+      table_(config),
+      flow_state_(config.flow_timeout_ns, config.housekeeping_scan_per_cycle),
+      paths_{PathState(config, "ddr3-A"), PathState(config, "ddr3-B")},
+      rng_(config.hash_seed ^ 0x5e00beefull) {}
+
+bool FlowLut::offer(const net::NTuple& key, u64 timestamp_ns, u32 frame_bytes) {
+    const auto view = key.view();
+    return offer_raw(key, table_.indexer().index(0, view), table_.indexer().index(1, view),
+                     table_.indexer().digest(0, view), timestamp_ns, frame_bytes);
+}
+
+bool FlowLut::offer_raw(const net::NTuple& key, u64 index_a, u64 index_b, u64 digest,
+                        u64 timestamp_ns, u32 frame_bytes) {
+    ++stats_.offered;
+    if (input_full()) {
+        ++stats_.rejected_input_full;
+        --stats_.offered;
+        return false;
+    }
+    Descriptor descriptor;
+    descriptor.seq = next_seq_++;
+    descriptor.key = key;
+    descriptor.index_a = index_a % config_.buckets_per_mem;
+    descriptor.index_b = index_b % config_.buckets_per_mem;
+    descriptor.digest = digest;
+    descriptor.timestamp_ns = timestamp_ns;
+    descriptor.frame_bytes = frame_bytes;
+    stream_time_ns_ = std::max(stream_time_ns_, timestamp_ns);
+    input_.push_back(std::move(descriptor));
+    return true;
+}
+
+std::optional<Completion> FlowLut::pop_completion() {
+    if (output_.empty()) return std::nullopt;
+    Completion completion = std::move(output_.front());
+    output_.pop_front();
+    return completion;
+}
+
+Path FlowLut::balance(const Descriptor& descriptor) const {
+    switch (config_.balance) {
+        case BalancePolicy::kHashBit:
+            return (descriptor.digest >> 17 & 1u) ? Path::kB : Path::kA;
+        case BalancePolicy::kWeightedHash: {
+            // Flow-affine weighting: a digest-derived uniform in [0,1).
+            const double unit =
+                static_cast<double>(descriptor.digest >> 11) * 0x1.0p-53;
+            return unit < config_.weight_a ? Path::kA : Path::kB;
+        }
+        case BalancePolicy::kAlternate:
+            return (alternate_rotor_++ & 1u) ? Path::kB : Path::kA;
+        case BalancePolicy::kLeastLoaded:
+            return paths_[0].ready.size() <= paths_[1].ready.size() ? Path::kA : Path::kB;
+    }
+    return Path::kA;
+}
+
+u32 FlowLut::bank_of(Path path, u64 address) const {
+    return paths_[index_of(path)].controller->address_map().decode(address).bank;
+}
+
+void FlowLut::enqueue_lookup(Path path, LookupJob job) {
+    PathState& state = paths_[index_of(path)];
+    const u64 address = bucket_address(job.bucket_index(path));
+    if (state.filter.read_blocked(address)) {
+        state.filter.park(address, std::move(job));
+        return;
+    }
+    state.ready.push(bank_of(path, address), std::move(job));
+}
+
+void FlowLut::dispatch_inputs(Cycle now) {
+    bool path_used[2] = {false, false};
+    // Up to two descriptors per cycle — one entering each path — matching
+    // the paper's "process two lookup requests simultaneously".
+    for (u32 round = 0; round < 2 && !input_.empty(); ++round) {
+        Descriptor& descriptor = input_.front();
+
+        // Per-flow interlock: while an older packet of this flow is still
+        // in the pipeline, later packets wait in the per-key waiting room
+        // (the flow-granularity Req Filter waiting list) and resolve when
+        // the elder retires — otherwise a younger packet could retire
+        // first (paper §IV-A ordering promise).
+        const std::string flow_key = key_string(descriptor.key);
+        if (inflight_keys_.contains(flow_key)) {
+            waiting_room_[flow_key].push_back(std::move(descriptor));
+            ++waiting_now_;
+            input_.pop_front();
+            ++stats_.dispatched;
+            continue;
+        }
+
+        // Sequencer stage 1: the collision CAM answers immediately.
+        if (const auto cam_hit = table_.search_cam(descriptor.key.view())) {
+            Completion completion;
+            completion.seq = descriptor.seq;
+            completion.fid = cam_hit->payload;
+            completion.via_cam = true;
+            completion.retired_at = now;
+            completion.timestamp_ns = descriptor.timestamp_ns;
+            completion.frame_bytes = descriptor.frame_bytes;
+            completion.key = descriptor.key;
+            ++stats_.cam_hits;
+            retire(std::move(completion));
+            input_.pop_front();
+            ++stats_.dispatched;
+            continue;
+        }
+
+        const Path path = balance(descriptor);
+        const u32 path_index = index_of(path);
+        if (path_used[path_index]) break;  // that path's LU1 port is taken.
+        PathState& state = paths_[path_index];
+        if (state.ready.size() >= config_.lu_queue_depth) break;  // backpressure.
+
+        path_used[path_index] = true;
+        ++stats_.path_dispatch[path_index];
+        ++stats_.dispatched;
+        ++inflight_keys_[flow_key];
+        LookupJob job;
+        job.descriptor = std::move(descriptor);
+        job.stage = Stage::kLu1;
+        input_.pop_front();
+        enqueue_lookup(path, std::move(job));
+    }
+}
+
+void FlowLut::pump_responses(Path path) {
+    PathState& state = paths_[index_of(path)];
+    while (auto response = state.controller->pop_response()) {
+        if ((response->id & kWriteTag) != 0) {
+            const auto it = state.outstanding_writes.find(response->id);
+            assert(it != state.outstanding_writes.end());
+            const u64 address = it->second;
+            state.outstanding_writes.erase(it);
+            for (LookupJob& job : state.filter.update_retired(address)) {
+                state.ready.push(bank_of(path, address), std::move(job));
+            }
+        } else {
+            const auto it = state.outstanding_reads.find(response->id);
+            assert(it != state.outstanding_reads.end());
+            LookupJob job = std::move(it->second);
+            state.outstanding_reads.erase(it);
+            const u64 address = bucket_address(job.bucket_index(path));
+            state.filter.read_retired(address);
+            state.match_queue.emplace_back(std::move(job), std::move(response->data));
+        }
+    }
+}
+
+void FlowLut::run_flow_match(Path path, Cycle now) {
+    PathState& state = paths_[index_of(path)];
+    // The Flow Match comparator handles one bucket per cycle per path
+    // (K parallel comparators in hardware).
+    if (state.match_queue.empty()) return;
+    auto [job, data] = std::move(state.match_queue.front());
+    state.match_queue.pop_front();
+
+    const auto way = HashCamTable::match_in_bucket_bytes(data, config_.ways,
+                                                         config_.entry_bytes,
+                                                         job.descriptor.key.view());
+    if (way) {
+        const u64 bucket = job.bucket_index(path);
+        TableIndex location;
+        location.where =
+            path == Path::kA ? TableIndex::Where::kMem1 : TableIndex::Where::kMem2;
+        location.slot = bucket * config_.ways + *way;
+        Completion completion;
+        completion.seq = job.descriptor.seq;
+        completion.fid = make_fid(location);
+        completion.retired_at = now;
+        completion.timestamp_ns = job.descriptor.timestamp_ns;
+        completion.frame_bytes = job.descriptor.frame_bytes;
+        completion.key = job.descriptor.key;
+        (job.stage == Stage::kLu1 ? stats_.lu1_hits : stats_.lu2_hits) += 1;
+        retire_pipelined(std::move(completion), now);
+        return;
+    }
+
+    if (job.stage == Stage::kLu1) {
+        // Redirect to the other path for the second lookup (Fig. 2 step 2).
+        job.stage = Stage::kLu2;
+        enqueue_lookup(other(path), std::move(job));
+        return;
+    }
+    handle_lu2_miss(path, job, now);
+}
+
+void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
+    const auto key = job.descriptor.key.view();
+
+    // A concurrent packet of the same flow may have inserted the key while
+    // this lookup was in flight (its DDR write not yet visible to our read).
+    // The functional re-check — in hardware, a comparison against the
+    // pending-update list in the Updt block — resolves it.
+    const SearchResult existing = table_.search(key);
+    Completion completion;
+    completion.seq = job.descriptor.seq;
+    completion.retired_at = now;
+    completion.timestamp_ns = job.descriptor.timestamp_ns;
+    completion.frame_bytes = job.descriptor.frame_bytes;
+    completion.key = job.descriptor.key;
+    if (existing.hit()) {
+        completion.fid = existing.payload;
+        completion.via_cam = existing.stage == MatchStage::kCam;
+        ++stats_.resolved_inflight;
+        retire_pipelined(std::move(completion), now);
+        return;
+    }
+
+    // Genuinely new flow: choose a location, create the entry functionally,
+    // emit the FID now (the paper's Mem Updt "output[s] the corresponding
+    // location index for that entry"), and schedule the DDR write.
+    auto placement = table_.choose_placement(key);
+    if (!placement) {
+        completion.fid = kInvalidFlowId;
+        ++stats_.drops;
+        retire_pipelined(std::move(completion), now);
+        return;
+    }
+    TableIndex location = placement.value();
+    if (location.where == TableIndex::Where::kCam) {
+        // The CAM's priority encoder determines the slot, hence the FID,
+        // before the entry is written.
+        const auto slot = table_.collision_cam().next_free_slot();
+        assert(slot.has_value());
+        location.slot = *slot;
+        const FlowId fid = make_fid(location);
+        const Status status = table_.insert_at(location, key, fid);
+        assert(status.is_ok());
+        (void)status;
+        completion.fid = fid;
+        completion.via_cam = true;
+        completion.is_new_flow = true;
+        ++stats_.new_flows;
+        retire_pipelined(std::move(completion), now);
+        return;
+    }
+
+    const FlowId fid = make_fid(location);
+    const Status status = table_.insert_at(location, key, fid);
+    assert(status.is_ok());
+    (void)status;
+    completion.fid = fid;
+    completion.is_new_flow = true;
+    ++stats_.new_flows;
+
+    // Register the pending DDR write with the owning path's Req Filter and
+    // queue the update through Req_Arb/BWr_Gen.
+    const Path owner =
+        location.where == TableIndex::Where::kMem1 ? Path::kA : Path::kB;
+    PathState& owner_state = paths_[index_of(owner)];
+    const u64 bucket = location.slot / config_.ways;
+    owner_state.filter.update_created(bucket_address(bucket));
+    UpdateRequest update;
+    update.kind = UpdateKind::kInsert;
+    update.key = job.descriptor.key;
+    update.bucket_index = bucket;
+    update.way = static_cast<u32>(location.slot % config_.ways);
+    const bool accepted = owner_state.updates.submit(std::move(update), now);
+    assert(accepted);  // update_queue_depth sized to make overflow impossible
+    (void)accepted;
+    retire_pipelined(std::move(completion), now);
+}
+
+void FlowLut::pump_updates(Path path, Cycle now) {
+    PathState& state = paths_[index_of(path)];
+    for (UpdateRequest& request : state.updates.release(now)) {
+        state.write_queue.push_back(std::move(request));
+    }
+}
+
+void FlowLut::issue_memory(Path path, Cycle now) {
+    PathState& state = paths_[index_of(path)];
+    (void)now;
+
+    // One memory request per user-clock cycle per path (quarter-rate user
+    // interface width). Writes first: BWr_Gen released them as a batch so
+    // consecutive cycles issue consecutive writes — a long write burst.
+    if (!state.write_queue.empty()) {
+        UpdateRequest& request = state.write_queue.front();
+        const u64 address = bucket_address(request.bucket_index);
+        if (request.kind == UpdateKind::kDelete && state.filter.delete_blocked(address)) {
+            return;  // wait for in-flight reads of this bucket to drain.
+        }
+        if (request.kind == UpdateKind::kDelete) {
+            // Apply the functional erase at issue time so reads accepted
+            // before this instant still matched the old contents.
+            TableIndex location;
+            location.where =
+                path == Path::kA ? TableIndex::Where::kMem1 : TableIndex::Where::kMem2;
+            location.slot = request.bucket_index * config_.ways + request.way;
+            const FlowId fid = make_fid(location);
+            if (table_.erase_at(location, request.key.view()).is_ok()) {
+                flow_state_.on_deleted(fid);
+                ++stats_.deletes_applied;
+            }
+            state.filter.update_created(address);
+        }
+        dram::MemRequest mem_request;
+        mem_request.id = kWriteTag | state.next_request_id++;
+        mem_request.is_write = true;
+        mem_request.byte_address = address;
+        mem_request.bursts = config_.bursts_per_bucket();
+        mem_request.write_data = table_.serialize_bucket(mem_of(path), request.bucket_index);
+        if (state.controller->enqueue(mem_request)) {
+            state.outstanding_writes.emplace(mem_request.id, address);
+            state.write_queue.pop_front();
+        }
+        return;
+    }
+
+    // Otherwise issue the next bank-selected lookup.
+    const LookupJob* next = state.ready.peek_rotating();
+    if (next == nullptr) return;
+    const u64 address = bucket_address(next->bucket_index(path));
+    dram::MemRequest mem_request;
+    mem_request.id = state.next_request_id++;
+    mem_request.is_write = false;
+    mem_request.byte_address = address;
+    mem_request.bursts = config_.bursts_per_bucket();
+    if (state.controller->enqueue(mem_request)) {
+        auto job = state.ready.pop_rotating();
+        assert(job.has_value());
+        state.filter.read_issued(address);
+        state.outstanding_reads.emplace(mem_request.id, std::move(*job));
+    }
+}
+
+void FlowLut::housekeeping(Cycle now) {
+    for (const FlowRecord& record : flow_state_.scan_expired(stream_time_ns_)) {
+        const auto key = record.key.view();
+        const auto location = table_.locate(key);
+        if (!location) continue;  // already gone.
+        if (location->where == TableIndex::Where::kCam) {
+            // On-chip CAM entries die immediately.
+            if (table_.erase_at(*location, key).is_ok()) {
+                flow_state_.on_deleted(record.fid);
+                ++stats_.deletes_applied;
+            }
+            continue;
+        }
+        const Path owner =
+            location->where == TableIndex::Where::kMem1 ? Path::kA : Path::kB;
+        PathState& state = paths_[index_of(owner)];
+        if (state.updates.delete_pending(key)) continue;
+        UpdateRequest request;
+        request.kind = UpdateKind::kDelete;
+        request.key = record.key;
+        request.bucket_index = location->slot / config_.ways;
+        request.way = static_cast<u32>(location->slot % config_.ways);
+        (void)state.updates.submit(std::move(request), now);
+    }
+}
+
+void FlowLut::retire_pipelined(Completion completion, Cycle now) {
+    const net::NTuple key = completion.key;
+    retire(std::move(completion));
+    release_inflight(key, now);
+}
+
+void FlowLut::release_inflight(const net::NTuple& key, Cycle now) {
+    const std::string flow_key = key_string(key);
+    const auto it = inflight_keys_.find(flow_key);
+    if (it == inflight_keys_.end()) return;
+    if (--it->second > 0) return;
+    inflight_keys_.erase(it);
+
+    // Resolve waiters for this flow, oldest first. A waiter whose key now
+    // exists retires immediately (after its elder — we are past the elder's
+    // retire). If the flow is still absent (elder dropped or was deleted),
+    // the waiter enters the pipeline as the new elder and the rest keep
+    // waiting on it.
+    const auto room = waiting_room_.find(flow_key);
+    if (room == waiting_room_.end()) return;
+    while (!room->second.empty()) {
+        const SearchResult existing = table_.search(room->second.front().key.view());
+        if (existing.hit()) {
+            Descriptor descriptor = std::move(room->second.front());
+            room->second.pop_front();
+            --waiting_now_;
+            Completion completion;
+            completion.seq = descriptor.seq;
+            completion.fid = existing.payload;
+            completion.via_cam = existing.stage == MatchStage::kCam;
+            completion.retired_at = now;
+            completion.timestamp_ns = descriptor.timestamp_ns;
+            completion.frame_bytes = descriptor.frame_bytes;
+            completion.key = std::move(descriptor.key);
+            retire(std::move(completion));
+            continue;
+        }
+        Descriptor descriptor = std::move(room->second.front());
+        room->second.pop_front();
+        --waiting_now_;
+        ++inflight_keys_[flow_key];
+        LookupJob job;
+        job.descriptor = std::move(descriptor);
+        job.stage = Stage::kLu1;
+        enqueue_lookup(balance(job.descriptor), std::move(job));
+        break;
+    }
+    if (room->second.empty()) waiting_room_.erase(room);
+}
+
+void FlowLut::retire(Completion completion) {
+    if (completion.fid != kInvalidFlowId) {
+        flow_state_.on_packet(completion.fid, completion.key, completion.timestamp_ns,
+                              completion.frame_bytes);
+    }
+    ++stats_.completions;
+    // The output queue is unbounded on purpose: the hardware FID stream
+    // sinks into the Flow State pipeline at line rate, and dropping
+    // completions here would silently lose descriptors (output_depth only
+    // sizes the modeled FIFO for the resource estimator).
+    output_.push_back(std::move(completion));
+}
+
+void FlowLut::tick(Cycle now) {
+    // Response-side first so freed resources are visible to the issue side
+    // within the same cycle (hardware would pipeline; order only affects
+    // latency by one cycle, not correctness).
+    pump_responses(Path::kA);
+    pump_responses(Path::kB);
+    run_flow_match(Path::kA, now);
+    run_flow_match(Path::kB, now);
+    dispatch_inputs(now);
+    housekeeping(now);
+    pump_updates(Path::kA, now);
+    pump_updates(Path::kB, now);
+    issue_memory(Path::kA, now);
+    issue_memory(Path::kB, now);
+}
+
+void FlowLut::step() {
+    for (u32 sub = 0; sub < config_.memory_clock_ratio; ++sub) {
+        const Cycle memory_cycle = now_ * config_.memory_clock_ratio + sub;
+        paths_[0].controller->tick(memory_cycle);
+        paths_[1].controller->tick(memory_cycle);
+    }
+    tick(now_);
+    ++now_;
+}
+
+void FlowLut::run(u64 cycles) {
+    for (u64 i = 0; i < cycles; ++i) step();
+}
+
+bool FlowLut::drained() const {
+    const auto path_idle = [](const PathState& state) {
+        return state.ready.empty() && state.match_queue.empty() && state.write_queue.empty() &&
+               state.outstanding_reads.empty() && state.outstanding_writes.empty() &&
+               state.updates.backlog() == 0 && state.filter.parked_now() == 0;
+    };
+    return input_.empty() && waiting_now_ == 0 && path_idle(paths_[0]) && path_idle(paths_[1]);
+}
+
+bool FlowLut::drain(u64 max_cycles) {
+    for (u64 i = 0; i < max_cycles; ++i) {
+        if (drained()) return true;
+        step();
+    }
+    return drained();
+}
+
+Result<FlowId> FlowLut::preload(const net::NTuple& key) {
+    const auto view = key.view();
+    if (const SearchResult existing = table_.search(view); existing.hit()) {
+        return Status(StatusCode::kAlreadyExists);
+    }
+    auto placement = table_.choose_placement(view);
+    if (!placement) return placement.status();
+    TableIndex location = placement.value();
+
+    if (location.where == TableIndex::Where::kCam) {
+        const auto slot = table_.collision_cam().next_free_slot();
+        location.slot = slot.value_or(0);
+        const FlowId fid = make_fid(location);
+        const Status status = table_.insert_at(location, view, fid);
+        if (!status.is_ok()) return status;
+        return fid;
+    }
+
+    const FlowId fid = make_fid(location);
+    const Status status = table_.insert_at(location, view, fid);
+    if (!status.is_ok()) return status;
+    const Path owner = location.where == TableIndex::Where::kMem1 ? Path::kA : Path::kB;
+    const u64 bucket = location.slot / config_.ways;
+    paths_[index_of(owner)].controller->device().write(
+        bucket_address(bucket), table_.serialize_bucket(mem_of(owner), bucket));
+    return fid;
+}
+
+}  // namespace flowcam::core

@@ -1,0 +1,194 @@
+// The timed Flow LUT engine — the paper's Fig. 2 assembled:
+//
+//              +-----------+        +-----------+
+//   input ---> | SEQUENCER | -----> |  DLU A/B  | <---> DDR3 ctrl A/B
+//              | (+ CAM)   |  LU1   | BankSel   |
+//              +-----------+        | ReqFilter |
+//                    ^              | MemCtrl   |
+//                    |              +-----+-----+
+//                    |                    | read data
+//                    |              +-----v-----+   miss(LU1): redirect to
+//              FID_GEN <---match--- | FlowMatch |-> other path as LU2
+//                    |              +-----+-----+   miss(LU2): Ins_req
+//                    v                    |
+//               completions         +-----v-----+
+//                                   |   Updt    |  (Req_Arb + BWr_Gen)
+//               FlowState --Del_req>| burst wr  | --> DLU write path
+//              (housekeeping)       +-----------+
+//
+// Timing model: FlowLut ticks at the system clock (200 MHz default); each
+// DDR3 controller ticks `memory_clock_ratio` (4) times per system cycle,
+// modeling the quarter-rate UniPhy front-end. All lookup data is read back
+// from the simulated DDR3 device bytes and compared by Flow Match — the
+// functional HashCamTable is authoritative for placement decisions, and a
+// property test asserts timed answers always match functional answers
+// (which is precisely the Request Filter's job to guarantee).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "core/bank_selector.hpp"
+#include "core/blocks.hpp"
+#include "core/config.hpp"
+#include "core/flow_state.hpp"
+#include "core/hash_cam_table.hpp"
+#include "core/req_filter.hpp"
+#include "core/update_block.hpp"
+#include "dram/controller.hpp"
+#include "sim/fifo.hpp"
+#include "sim/stats.hpp"
+#include "sim/ticker.hpp"
+
+namespace flowcam::core {
+
+struct FlowLutStats {
+    u64 offered = 0;
+    u64 rejected_input_full = 0;
+    u64 dispatched = 0;
+    u64 completions = 0;
+    u64 cam_hits = 0;       ///< answered at the sequencer's CAM stage.
+    u64 lu1_hits = 0;       ///< answered by the first memory lookup.
+    u64 lu2_hits = 0;       ///< answered by the redirected second lookup.
+    u64 resolved_inflight = 0;  ///< LU2 miss resolved by re-search (race with
+                                ///< a concurrent insert of the same key).
+    u64 new_flows = 0;
+    u64 drops = 0;          ///< table completely full.
+    u64 deletes_applied = 0;
+    u64 path_dispatch[2] = {0, 0};  ///< LU1 sent to path A / B.
+
+    [[nodiscard]] double load_fraction_a() const {
+        const u64 total = path_dispatch[0] + path_dispatch[1];
+        return total == 0 ? 0.0
+                          : static_cast<double>(path_dispatch[0]) / static_cast<double>(total);
+    }
+};
+
+class FlowLut final : public sim::Ticker {
+  public:
+    explicit FlowLut(const FlowLutConfig& config);
+
+    // ---- Input side ------------------------------------------------------
+    /// Offer one packet descriptor; false when the input FIFO is full
+    /// (line-side backpressure). Hash indices are computed here, as the
+    /// hardware hashes at packet arrival.
+    [[nodiscard]] bool offer(const net::NTuple& key, u64 timestamp_ns = 0, u32 frame_bytes = 64);
+
+    /// Offer a raw descriptor with explicit bucket indices — the Table II(A)
+    /// "hash pattern" stimulus where the DUT is driven by synthetic hash
+    /// sequences instead of real tuples.
+    [[nodiscard]] bool offer_raw(const net::NTuple& key, u64 index_a, u64 index_b, u64 digest,
+                                 u64 timestamp_ns = 0, u32 frame_bytes = 64);
+
+    [[nodiscard]] bool input_full() const { return input_.size() >= config_.input_depth; }
+
+    // ---- Output side -----------------------------------------------------
+    [[nodiscard]] std::optional<Completion> pop_completion();
+
+    // ---- Clocking --------------------------------------------------------
+    /// Advance one system-clock cycle (controllers tick 4x inside).
+    void step();
+    void run(u64 cycles);
+    /// Run until all offered descriptors have retired (or budget exhausted);
+    /// returns true when fully drained.
+    bool drain(u64 max_cycles = 10'000'000);
+
+    void tick(Cycle now) override;  // sim::Ticker (system clock domain)
+    [[nodiscard]] std::string name() const override { return "flow-lut"; }
+
+    [[nodiscard]] Cycle now() const { return now_; }
+    [[nodiscard]] bool drained() const;
+
+    // ---- Maintenance / instrumentation ------------------------------------
+    /// Instant insert bypassing timing (test/bench preload): functional
+    /// entry + DDR device bytes are both written. Returns the FID.
+    Result<FlowId> preload(const net::NTuple& key);
+
+    [[nodiscard]] HashCamTable& table() { return table_; }
+    [[nodiscard]] const HashCamTable& table() const { return table_; }
+    [[nodiscard]] FlowStateBlock& flow_state() { return flow_state_; }
+    [[nodiscard]] const FlowStateBlock& flow_state() const { return flow_state_; }
+    [[nodiscard]] dram::DramController& controller(Path path) {
+        return *paths_[index_of(path)].controller;
+    }
+    [[nodiscard]] const FlowLutStats& stats() const { return stats_; }
+    [[nodiscard]] const UpdateBlock& update_block(Path path) const {
+        return paths_[index_of(path)].updates;
+    }
+    [[nodiscard]] const FlowLutConfig& config() const { return config_; }
+
+    /// Throughput in Mdesc/s over the cycles elapsed so far (paper Table II
+    /// metric) at the configured system clock.
+    [[nodiscard]] double mdesc_per_second() const {
+        return sim::mega_per_second(stats_.completions, now_, config_.system_clock_hz);
+    }
+
+  private:
+    struct PathState {
+        std::unique_ptr<dram::DramController> controller;
+        BankSelector<LookupJob> ready;  ///< bank-ordered lookups (Bank Sel).
+        ReqFilter<LookupJob> filter;    ///< Req Filter.
+        std::deque<std::pair<LookupJob, std::vector<u8>>> match_queue;
+        UpdateBlock updates;            ///< Req_Arb + BWr_Gen.
+        std::deque<UpdateRequest> write_queue;  ///< released, awaiting issue.
+        std::unordered_map<u64, LookupJob> outstanding_reads;
+        std::unordered_map<u64, u64> outstanding_writes;  ///< id -> address.
+        u64 next_request_id = 1;
+
+        PathState(const FlowLutConfig& config, const std::string& name);
+    };
+
+    // Pipeline phases, one call each per system cycle.
+    void pump_responses(Path path);
+    void run_flow_match(Path path, Cycle now);
+    void dispatch_inputs(Cycle now);
+    void pump_updates(Path path, Cycle now);
+    void issue_memory(Path path, Cycle now);
+    void housekeeping(Cycle now);
+
+    void enqueue_lookup(Path path, LookupJob job);
+    void handle_lu2_miss(Path path, const LookupJob& job, Cycle now);
+    void retire(Completion completion);
+    /// Retire a pipelined descriptor's completion, then release its key and
+    /// resolve any same-flow packets parked in the waiting room.
+    void retire_pipelined(Completion completion, Cycle now);
+    /// A pipelined descriptor for `key` left the pipeline; resolve waiters.
+    void release_inflight(const net::NTuple& key, Cycle now);
+    [[nodiscard]] Path balance(const Descriptor& descriptor) const;
+    [[nodiscard]] u32 bank_of(Path path, u64 address) const;
+    [[nodiscard]] u64 bucket_address(u64 bucket_index) const {
+        return config_.bucket_address(bucket_index);
+    }
+    [[nodiscard]] u32 mem_of(Path path) const { return index_of(path); }
+    /// Submit one update request; applies functional delete at issue time.
+    void submit_update(Path path, UpdateRequest request, Cycle now);
+
+    FlowLutConfig config_;
+    HashCamTable table_;
+    FlowStateBlock flow_state_;
+    PathState paths_[2];
+    std::deque<Descriptor> input_;
+    std::deque<Completion> output_;
+    /// Keys currently inside the lookup pipeline (dispatched, not retired).
+    /// A later packet of a flow with an in-flight elder must not enter the
+    /// pipeline at all: depending on timing it could resolve faster than
+    /// the elder (e.g. its bucket read lands after the elder's insert write
+    /// while the elder is still on its second-lookup detour) and retire out
+    /// of order. Such packets wait per key in `waiting_room_` — the flow-
+    /// granularity instance of the paper's Req Filter "waiting list" — and
+    /// resolve when their elder retires.
+    std::unordered_map<std::string, u32> inflight_keys_;
+    std::unordered_map<std::string, std::deque<Descriptor>> waiting_room_;
+    std::size_t waiting_now_ = 0;
+    FlowLutStats stats_;
+    Cycle now_ = 0;
+    u64 next_seq_ = 0;
+    u64 stream_time_ns_ = 0;
+    mutable Xoshiro256 rng_;  ///< reserved for randomized policies.
+    mutable u32 alternate_rotor_ = 0;
+};
+
+}  // namespace flowcam::core

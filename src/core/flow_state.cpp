@@ -1,0 +1,78 @@
+#include "core/flow_state.hpp"
+
+#include <algorithm>
+
+namespace flowcam::core {
+
+void FlowStateBlock::on_packet(FlowId fid, const net::NTuple& key, u64 timestamp_ns,
+                               u32 frame_bytes) {
+    auto [it, inserted] = records_.try_emplace(fid);
+    FlowRecord& record = it->second;
+    if (inserted) {
+        record.fid = fid;
+        record.key = key;
+        record.first_ns = timestamp_ns;
+        scan_ring_.push_back(fid);
+    } else if (!(record.key == key)) {
+        // The location-derived FID was reused by a different flow after a
+        // delete: export the stale record and restart it for the new key.
+        if (export_) export_(record);
+        record = FlowRecord{};
+        record.fid = fid;
+        record.key = key;
+        record.first_ns = timestamp_ns;
+    }
+    ++record.packets;
+    record.bytes += frame_bytes;
+    record.last_ns = std::max(record.last_ns, timestamp_ns);
+}
+
+void FlowStateBlock::on_deleted(FlowId fid) {
+    const auto it = records_.find(fid);
+    if (it == records_.end()) return;
+    if (export_) export_(it->second);
+    records_.erase(it);
+    // scan_ring_ keeps the stale fid; scan_expired() skips missing records.
+}
+
+std::vector<FlowRecord> FlowStateBlock::scan_expired(u64 now_ns) {
+    std::vector<FlowRecord> expired;
+    if (scan_ring_.empty()) return expired;
+    // At most one full pass over the ring per call: an expired record is
+    // reported once per call, and again on later calls until it is deleted
+    // (the Update block's Req_Arb de-duplicates the resulting Del_reqs).
+    const u32 budget =
+        static_cast<u32>(std::min<std::size_t>(scan_per_cycle_, scan_ring_.size()));
+    for (u32 i = 0; i < budget; ++i) {
+        if (scan_cursor_ >= scan_ring_.size()) {
+            scan_cursor_ = 0;
+            // Compact the ring occasionally: drop fids without records.
+            if (scan_ring_.size() > records_.size() * 2) {
+                std::erase_if(scan_ring_, [&](FlowId fid) { return !records_.contains(fid); });
+            }
+            if (scan_ring_.empty()) break;
+        }
+        const FlowId fid = scan_ring_[scan_cursor_++];
+        const auto it = records_.find(fid);
+        if (it == records_.end()) continue;
+        if (now_ns >= it->second.last_ns && now_ns - it->second.last_ns >= timeout_ns_) {
+            expired.push_back(it->second);
+            ++expired_total_;
+        }
+    }
+    return expired;
+}
+
+const FlowRecord* FlowStateBlock::find(FlowId fid) const {
+    const auto it = records_.find(fid);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<FlowRecord> FlowStateBlock::snapshot() const {
+    std::vector<FlowRecord> out;
+    out.reserve(records_.size());
+    for (const auto& [fid, record] : records_) out.push_back(record);
+    return out;
+}
+
+}  // namespace flowcam::core

@@ -1,0 +1,77 @@
+// The Flow State block: per-flow records (NetFlow-style counters) plus the
+// housekeeping function that "periodically checks and removes timeout flow
+// entries to allow new flow entries to be stored" (paper §IV-B) — the
+// source of Del_req into the Update block.
+//
+// The prototype stores 512 bits of per-flow state in DDR3; we keep the
+// record host-side (it is substrate for the lookup experiments, not their
+// subject) but preserve the architectural interface: records are keyed by
+// the location-derived FID, expiry emits Del_req(key, location), and an
+// export callback hands the dead record to the stats engine.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/blocks.hpp"
+#include "net/tuple.hpp"
+
+namespace flowcam::core {
+
+struct FlowRecord {
+    FlowId fid = kInvalidFlowId;
+    net::NTuple key;
+    u64 packets = 0;
+    u64 bytes = 0;
+    u64 first_ns = 0;
+    u64 last_ns = 0;
+
+    [[nodiscard]] double duration_s() const {
+        return static_cast<double>(last_ns - first_ns) / 1e9;
+    }
+};
+
+class FlowStateBlock {
+  public:
+    /// `timeout_ns`: idle time after which a flow expires.
+    /// `scan_per_cycle`: records examined per housekeeping tick.
+    FlowStateBlock(u64 timeout_ns, u32 scan_per_cycle)
+        : timeout_ns_(timeout_ns), scan_per_cycle_(scan_per_cycle) {}
+
+    /// Record a packet for `fid` (creates the record on first sight).
+    void on_packet(FlowId fid, const net::NTuple& key, u64 timestamp_ns, u32 frame_bytes);
+
+    /// The flow's entry was removed from the table; drop and export the
+    /// record.
+    void on_deleted(FlowId fid);
+
+    /// Housekeeping tick: scan a few records; expired flows are returned so
+    /// the Flow LUT can turn them into Del_req. `now_ns` is stream time.
+    [[nodiscard]] std::vector<FlowRecord> scan_expired(u64 now_ns);
+
+    /// Export hook: called with each record when its flow dies.
+    void set_export_callback(std::function<void(const FlowRecord&)> callback) {
+        export_ = std::move(callback);
+    }
+
+    [[nodiscard]] const FlowRecord* find(FlowId fid) const;
+    [[nodiscard]] std::size_t active_flows() const { return records_.size(); }
+    [[nodiscard]] u64 expired_total() const { return expired_total_; }
+
+    /// Snapshot of live records (for top-N reports).
+    [[nodiscard]] std::vector<FlowRecord> snapshot() const;
+
+  private:
+    u64 timeout_ns_;
+    u32 scan_per_cycle_;
+    std::unordered_map<FlowId, FlowRecord> records_;
+    std::vector<FlowId> scan_ring_;  ///< insertion-ordered fids for scanning.
+    std::size_t scan_cursor_ = 0;
+    u64 expired_total_ = 0;
+    std::function<void(const FlowRecord&)> export_;
+};
+
+}  // namespace flowcam::core

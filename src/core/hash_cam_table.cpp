@@ -1,0 +1,231 @@
+#include "core/hash_cam_table.hpp"
+
+#include <cassert>
+
+#include "core/blocks.hpp"
+
+namespace flowcam::core {
+
+HashCamTable::HashCamTable(const FlowLutConfig& config)
+    : config_(config),
+      indexer_(config.hash_kind, config.hash_seed, config.buckets_per_mem, /*paths=*/2),
+      cam_(config.cam_capacity) {
+    // The entry wire format must at least hold an IPv4 5-tuple key.
+    assert(config.entry_bytes >= kEntryHeaderBytes + net::FiveTuple::kKeyBytes);
+    for (auto& mem : mems_) {
+        mem.assign(static_cast<std::size_t>(config.buckets_per_mem) * config.ways,
+                   table::Entry{});
+    }
+}
+
+SearchResult HashCamTable::search(std::span<const u8> key) {
+    ++stats_.lookups;
+    // Stage 1: CAM.
+    ++stats_.cam_searches;
+    if (const auto slot = cam_.slot_of(key)) {
+        ++stage_stats_.cam_hits;
+        ++stats_.hits;
+        SearchResult result;
+        result.stage = MatchStage::kCam;
+        result.location = TableIndex{TableIndex::Where::kCam, *slot};
+        result.payload = *cam_.peek(key);
+        return result;
+    }
+    // Stages 2 and 3: the two memory sets, short-circuit.
+    for (u32 mem = 0; mem < 2; ++mem) {
+        ++stats_.bucket_reads;
+        SearchResult result = search_mem(mem, key);
+        if (result.hit()) {
+            (mem == 0 ? stage_stats_.mem1_hits : stage_stats_.mem2_hits) += 1;
+            ++stats_.hits;
+            return result;
+        }
+    }
+    ++stage_stats_.misses;
+    return SearchResult{};
+}
+
+SearchResult HashCamTable::search_mem(u32 mem, std::span<const u8> key) const {
+    const u64 bucket_index = indexer_.index(mem, key);
+    for (u32 way = 0; way < config_.ways; ++way) {
+        const u64 slot = slot_of(bucket_index, way);
+        const table::Entry& entry = entry_at(mem, slot);
+        if (entry.matches(key)) {
+            SearchResult result;
+            result.stage = mem == 0 ? MatchStage::kMem1 : MatchStage::kMem2;
+            result.location =
+                TableIndex{mem == 0 ? TableIndex::Where::kMem1 : TableIndex::Where::kMem2, slot};
+            result.payload = entry.payload;
+            return result;
+        }
+    }
+    return SearchResult{};
+}
+
+std::optional<SearchResult> HashCamTable::search_cam(std::span<const u8> key) {
+    ++stats_.cam_searches;
+    const auto slot = cam_.slot_of(key);
+    if (!slot) return std::nullopt;
+    SearchResult result;
+    result.stage = MatchStage::kCam;
+    result.location = TableIndex{TableIndex::Where::kCam, *slot};
+    result.payload = *cam_.peek(key);
+    return result;
+}
+
+std::optional<u64> HashCamTable::lookup(std::span<const u8> key) {
+    const SearchResult result = search(key);
+    if (!result.hit()) return std::nullopt;
+    return result.payload;
+}
+
+Result<TableIndex> HashCamTable::choose_placement(std::span<const u8> key) const {
+    const u64 idx[2] = {indexer_.index(0, key), indexer_.index(1, key)};
+
+    const auto first_free_way = [&](u32 mem) -> std::optional<u32> {
+        for (u32 way = 0; way < config_.ways; ++way) {
+            if (!entry_at(mem, slot_of(idx[mem], way)).valid) return way;
+        }
+        return std::nullopt;
+    };
+
+    u32 order[2] = {0, 1};
+    if (config_.insert_policy == InsertPolicy::kLeastLoaded &&
+        bucket_occupancy(1, idx[1]) < bucket_occupancy(0, idx[0])) {
+        order[0] = 1;
+        order[1] = 0;
+    }
+    for (const u32 mem : order) {
+        if (const auto way = first_free_way(mem)) {
+            return TableIndex{mem == 0 ? TableIndex::Where::kMem1 : TableIndex::Where::kMem2,
+                              slot_of(idx[mem], *way)};
+        }
+    }
+    // Both buckets full: collision goes to the CAM (Fig. 1).
+    if (!cam_.full()) {
+        // Slot is assigned by the CAM itself at insert; report a placeholder
+        // location — insert_at(kCam, ...) resolves the real slot.
+        return TableIndex{TableIndex::Where::kCam, 0};
+    }
+    return Status(StatusCode::kCapacityExceeded, "buckets and CAM full");
+}
+
+Status HashCamTable::insert_at(TableIndex location, std::span<const u8> key, u64 payload) {
+    switch (location.where) {
+        case TableIndex::Where::kCam: {
+            const Status status = cam_.insert(key, payload);
+            if (status.is_ok()) {
+                ++stats_.cam_inserts;
+                ++size_;
+            }
+            return status;
+        }
+        case TableIndex::Where::kMem1:
+        case TableIndex::Where::kMem2: {
+            const u32 mem = location.where == TableIndex::Where::kMem1 ? 0 : 1;
+            table::Entry& entry = mems_[mem][location.slot];
+            if (entry.valid) {
+                return Status(StatusCode::kFailedPrecondition, "slot already occupied");
+            }
+            entry.assign(key, payload);
+            ++stats_.bucket_writes;
+            ++size_;
+            return Status::ok();
+        }
+        case TableIndex::Where::kNone: break;
+    }
+    return Status(StatusCode::kInvalidArgument, "invalid placement");
+}
+
+Status HashCamTable::insert(std::span<const u8> key, u64 payload) {
+    ++stats_.inserts;
+    // Duplicate check via locate() so the internal probe does not inflate
+    // the lookup statistics.
+    if (locate(key)) return Status(StatusCode::kAlreadyExists);
+    auto placement = choose_placement(key);
+    if (!placement) {
+        ++stats_.insert_failures;
+        return placement.status();
+    }
+    return insert_at(placement.value(), key, payload);
+}
+
+Status HashCamTable::erase_at(TableIndex location, std::span<const u8> key) {
+    switch (location.where) {
+        case TableIndex::Where::kCam:
+            if (cam_.erase(key).is_ok()) {
+                --size_;
+                return Status::ok();
+            }
+            return Status(StatusCode::kNotFound);
+        case TableIndex::Where::kMem1:
+        case TableIndex::Where::kMem2: {
+            const u32 mem = location.where == TableIndex::Where::kMem1 ? 0 : 1;
+            table::Entry& entry = mems_[mem][location.slot];
+            if (!entry.matches(key)) return Status(StatusCode::kNotFound);
+            entry.valid = false;
+            ++stats_.bucket_writes;
+            --size_;
+            return Status::ok();
+        }
+        case TableIndex::Where::kNone: break;
+    }
+    return Status(StatusCode::kInvalidArgument, "invalid location");
+}
+
+Status HashCamTable::erase(std::span<const u8> key) {
+    ++stats_.erases;
+    const auto location = locate(key);
+    if (!location) return Status(StatusCode::kNotFound);
+    return erase_at(*location, key);
+}
+
+std::optional<TableIndex> HashCamTable::locate(std::span<const u8> key) const {
+    if (const auto slot = cam_.slot_of(key)) {
+        return TableIndex{TableIndex::Where::kCam, *slot};
+    }
+    for (u32 mem = 0; mem < 2; ++mem) {
+        const SearchResult result = search_mem(mem, key);
+        if (result.hit()) return result.location;
+    }
+    return std::nullopt;
+}
+
+std::vector<u8> HashCamTable::serialize_bucket(u32 mem, u64 bucket_index) const {
+    std::vector<u8> bytes(config_.bucket_bytes(), 0);
+    for (u32 way = 0; way < config_.ways; ++way) {
+        const table::Entry& entry = entry_at(mem, slot_of(bucket_index, way));
+        u8* cell = bytes.data() + static_cast<std::size_t>(way) * config_.entry_bytes;
+        if (!entry.valid) continue;
+        cell[0] = static_cast<u8>(1u | (entry.key_length << 1));
+        std::copy_n(entry.key.begin(), entry.key_length, cell + kEntryHeaderBytes);
+    }
+    return bytes;
+}
+
+std::optional<u32> HashCamTable::match_in_bucket_bytes(std::span<const u8> bucket_bytes,
+                                                       u32 ways, u32 entry_bytes,
+                                                       std::span<const u8> key) {
+    for (u32 way = 0; way < ways; ++way) {
+        const std::size_t base = static_cast<std::size_t>(way) * entry_bytes;
+        if (base + entry_bytes > bucket_bytes.size()) break;
+        const u8 flags = bucket_bytes[base];
+        if ((flags & 1u) == 0) continue;
+        const u32 length = flags >> 1;
+        if (length != key.size()) continue;
+        if (std::equal(key.begin(), key.end(), bucket_bytes.begin() + base + kEntryHeaderBytes)) {
+            return way;
+        }
+    }
+    return std::nullopt;
+}
+
+u32 HashCamTable::bucket_occupancy(u32 mem, u64 bucket_index) const {
+    u32 count = 0;
+    for (u32 way = 0; way < config_.ways; ++way) {
+        if (entry_at(mem, slot_of(bucket_index, way)).valid) ++count;
+    }
+    return count;
+}
+
+}  // namespace flowcam::core

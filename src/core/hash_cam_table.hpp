@@ -1,0 +1,121 @@
+// The functional Hash-CAM table of the paper's Fig. 1: a two-choice hash
+// table over two independent memory sets (Mem1/Mem2, each bucket holding K
+// entries) plus a collision CAM.
+//
+// Search order is the paper's three-stage short-circuit pipeline:
+//   CAM  ->  Hash1/Mem1  ->  Hash2/Mem2
+// A match at any stage answers without touching later stages — that is what
+// lets the dual-path engine start the next search early.
+//
+// This class is the *functional* model (authoritative contents + placement
+// decisions). The timed engine (FlowLut) wraps it with DDR traffic, and a
+// property test asserts timed results always equal functional results.
+// It also implements table::LookupTable so the baseline bench can compare
+// the scheme head-to-head with the related-work structures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cam/cam.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "hash/index_gen.hpp"
+#include "table/lookup_table.hpp"
+
+namespace flowcam::core {
+
+/// Which pipeline stage answered a search (for stage-occupancy statistics).
+enum class MatchStage : u8 { kMiss = 0, kCam = 1, kMem1 = 2, kMem2 = 3 };
+
+struct SearchResult {
+    MatchStage stage = MatchStage::kMiss;
+    TableIndex location;
+    u64 payload = 0;
+
+    [[nodiscard]] bool hit() const { return stage != MatchStage::kMiss; }
+};
+
+class HashCamTable final : public table::LookupTable {
+  public:
+    explicit HashCamTable(const FlowLutConfig& config);
+
+    // --- table::LookupTable interface ------------------------------------
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key) override;
+    Status insert(std::span<const u8> key, u64 payload) override;
+    Status erase(std::span<const u8> key) override;
+    [[nodiscard]] u64 size() const override { return size_; }
+    [[nodiscard]] u64 capacity() const override { return config_.table_capacity(); }
+    [[nodiscard]] std::string name() const override { return "hash-cam"; }
+
+    // --- Detailed API used by the timed engine ---------------------------
+    /// Full three-stage search with stage/location detail.
+    [[nodiscard]] SearchResult search(std::span<const u8> key);
+
+    /// Search only one memory set (one path's Flow Match does exactly this).
+    [[nodiscard]] SearchResult search_mem(u32 mem, std::span<const u8> key) const;
+
+    /// CAM-only search (the sequencer's stage-1 check).
+    [[nodiscard]] std::optional<SearchResult> search_cam(std::span<const u8> key);
+
+    /// Decide where a new key would be stored, without storing it:
+    /// Mem1/Mem2 bucket way per the insert policy, CAM as last resort.
+    [[nodiscard]] Result<TableIndex> choose_placement(std::span<const u8> key) const;
+
+    /// Write `key`->`payload` at a previously chosen location.
+    Status insert_at(TableIndex location, std::span<const u8> key, u64 payload);
+
+    /// Remove whatever is stored at `location` (must match `key`).
+    Status erase_at(TableIndex location, std::span<const u8> key);
+
+    /// Location of `key` if present.
+    [[nodiscard]] std::optional<TableIndex> locate(std::span<const u8> key) const;
+
+    // --- DDR mirroring helpers --------------------------------------------
+    /// Serialized bytes of one bucket (what the hardware stores in DDR).
+    [[nodiscard]] std::vector<u8> serialize_bucket(u32 mem, u64 bucket_index) const;
+
+    /// Compare a key against raw bucket bytes read back from DDR; returns
+    /// the matching way. This is the Flow Match comparator and is
+    /// deliberately independent of the functional arrays.
+    [[nodiscard]] static std::optional<u32> match_in_bucket_bytes(
+        std::span<const u8> bucket_bytes, u32 ways, u32 entry_bytes, std::span<const u8> key);
+
+    // --- Introspection -----------------------------------------------------
+    [[nodiscard]] const hash::IndexGenerator& indexer() const { return indexer_; }
+    [[nodiscard]] const cam::Cam& collision_cam() const { return cam_; }
+    [[nodiscard]] u64 cam_entries() const { return cam_.size(); }
+    [[nodiscard]] u32 bucket_occupancy(u32 mem, u64 bucket_index) const;
+    [[nodiscard]] const FlowLutConfig& config() const { return config_; }
+
+    /// Count of searches answered per stage (pipeline statistics).
+    struct StageStats {
+        u64 cam_hits = 0;
+        u64 mem1_hits = 0;
+        u64 mem2_hits = 0;
+        u64 misses = 0;
+    };
+    [[nodiscard]] const StageStats& stage_stats() const { return stage_stats_; }
+
+    /// Entry wire format: [0] = flags (bit0 valid, bits 1-6 key length),
+    /// [1 .. 1+len) key bytes, remainder zero.
+    static constexpr u32 kEntryHeaderBytes = 1;
+
+  private:
+    [[nodiscard]] const table::Entry& entry_at(u32 mem, u64 slot) const {
+        return mems_[mem][slot];
+    }
+    [[nodiscard]] u64 slot_of(u64 bucket_index, u32 way) const {
+        return bucket_index * config_.ways + way;
+    }
+
+    FlowLutConfig config_;
+    hash::IndexGenerator indexer_;
+    std::vector<table::Entry> mems_[2];
+    cam::Cam cam_;
+    u64 size_ = 0;
+    StageStats stage_stats_;
+};
+
+}  // namespace flowcam::core

@@ -1,0 +1,106 @@
+// The DLU's Request Filter (paper Fig. 4): "manage[s] the proceeding
+// requests and group[s] certain requests into a waiting list if necessary.
+// This is to avoid the corner cases, for instance if one request is updating
+// the memory while another request is trying to access the same location."
+//
+// Concretely, per bucket address it tracks:
+//  * pending updates (insert/delete writes not yet completed in DDR) — new
+//    lookups to that address are parked until the write retires, so a read
+//    never observes half-applied state;
+//  * in-flight reads — delete writes wait for them, so a read never returns
+//    an entry that was already functionally erased (stale-hit hazard).
+//
+// Parking is FIFO per address: once any lookup for an address is parked,
+// later lookups for the same address park behind it even if the block
+// clears in between. That preserves per-flow order (same flow => same
+// bucket address on a given path).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace flowcam::core {
+
+template <typename Job>
+class ReqFilter {
+  public:
+    /// True if a lookup for `addr` must be parked right now.
+    [[nodiscard]] bool read_blocked(u64 addr) const {
+        const auto it = state_.find(addr);
+        return it != state_.end() &&
+               (it->second.pending_updates > 0 || !it->second.parked.empty());
+    }
+
+    /// Park a lookup until the blocking update retires.
+    void park(u64 addr, Job job) {
+        state_[addr].parked.push_back(std::move(job));
+        ++parked_total_;
+    }
+
+    /// An update write targeting `addr` was created (insert decision or
+    /// delete issue). Blocks new reads.
+    void update_created(u64 addr) { ++state_[addr].pending_updates; }
+
+    /// The update write completed in DDR. Returns lookups now released, in
+    /// FIFO order; the caller re-injects them into the bank selector.
+    [[nodiscard]] std::vector<Job> update_retired(u64 addr) {
+        const auto it = state_.find(addr);
+        if (it == state_.end()) return {};
+        if (it->second.pending_updates > 0) --it->second.pending_updates;
+        std::vector<Job> released;
+        if (it->second.pending_updates == 0) {
+            released.reserve(it->second.parked.size());
+            while (!it->second.parked.empty()) {
+                released.push_back(std::move(it->second.parked.front()));
+                it->second.parked.pop_front();
+            }
+        }
+        erase_if_idle(it);
+        return released;
+    }
+
+    /// Read issued to / retired from the memory controller.
+    void read_issued(u64 addr) { ++state_[addr].inflight_reads; }
+    void read_retired(u64 addr) {
+        const auto it = state_.find(addr);
+        if (it == state_.end()) return;
+        if (it->second.inflight_reads > 0) --it->second.inflight_reads;
+        erase_if_idle(it);
+    }
+
+    /// True if a *delete* write to `addr` must wait (reads in flight).
+    [[nodiscard]] bool delete_blocked(u64 addr) const {
+        const auto it = state_.find(addr);
+        return it != state_.end() && it->second.inflight_reads > 0;
+    }
+
+    [[nodiscard]] u64 parked_total() const { return parked_total_; }
+    [[nodiscard]] std::size_t tracked_addresses() const { return state_.size(); }
+    [[nodiscard]] std::size_t parked_now() const {
+        std::size_t count = 0;
+        for (const auto& [addr, entry] : state_) count += entry.parked.size();
+        return count;
+    }
+
+  private:
+    struct AddrState {
+        u32 pending_updates = 0;
+        u32 inflight_reads = 0;
+        std::deque<Job> parked;
+    };
+
+    void erase_if_idle(typename std::unordered_map<u64, AddrState>::iterator it) {
+        if (it->second.pending_updates == 0 && it->second.inflight_reads == 0 &&
+            it->second.parked.empty()) {
+            state_.erase(it);
+        }
+    }
+
+    std::unordered_map<u64, AddrState> state_;
+    u64 parked_total_ = 0;
+};
+
+}  // namespace flowcam::core

@@ -1,0 +1,49 @@
+#include "core/update_block.hpp"
+
+namespace flowcam::core {
+
+bool UpdateBlock::submit(UpdateRequest request, Cycle now) {
+    if (!can_accept()) return false;
+    auto& pending =
+        request.kind == UpdateKind::kInsert ? pending_inserts_ : pending_deletes_;
+    const std::string key = key_of(request.key.view());
+    if (pending.contains(key)) {
+        ++stats_.duplicates_merged;
+        return true;  // merged into the already-queued request.
+    }
+    pending.insert(key);
+    if (request.kind == UpdateKind::kInsert) {
+        ++stats_.inserts_accepted;
+    } else {
+        ++stats_.deletes_accepted;
+    }
+    request.enqueued_at = now;
+    queue_.push_back(std::move(request));
+    return true;
+}
+
+std::vector<UpdateRequest> UpdateBlock::release(Cycle now) {
+    if (queue_.empty()) return {};
+    const bool threshold_hit = queue_.size() >= burst_threshold_;
+    const bool timed_out = now >= queue_.front().enqueued_at + timeout_;
+    if (!threshold_hit && !timed_out) return {};
+
+    (threshold_hit ? stats_.releases_on_threshold : stats_.releases_on_timeout) += 1;
+
+    std::vector<UpdateRequest> batch;
+    const std::size_t take = std::min<std::size_t>(queue_.size(), burst_threshold_);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        UpdateRequest request = std::move(queue_.front());
+        queue_.pop_front();
+        auto& pending =
+            request.kind == UpdateKind::kInsert ? pending_inserts_ : pending_deletes_;
+        pending.erase(key_of(request.key.view()));
+        batch.push_back(std::move(request));
+    }
+    ++stats_.bursts_released;
+    stats_.requests_released += batch.size();
+    return batch;
+}
+
+}  // namespace flowcam::core

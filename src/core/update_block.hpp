@@ -1,0 +1,80 @@
+// The Update block (paper Fig. 5): a request arbitrator (Req_Arb) feeding a
+// burst write generator (BWr_Gen).
+//
+// Req_Arb classifies incoming requests into deletions (from the Flow State
+// housekeeping) and insertions (from Flow Match misses), de-duplicates
+// same-key requests, and "schedules the input deletion/insertion requests
+// and forwards them as update requests in an optimized sequence".
+//
+// BWr_Gen "monitor[s] both the time gap since the last update and the
+// number of ongoing update requests, in order to issue burst write requests
+// at timeout or at the time when the request count reaches the target
+// limit" — this is the knob that turns scattered single writes into long
+// write bursts, exploiting the Fig. 3 bandwidth curve.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/blocks.hpp"
+
+namespace flowcam::core {
+
+struct UpdateBlockStats {
+    u64 inserts_accepted = 0;
+    u64 deletes_accepted = 0;
+    u64 duplicates_merged = 0;
+    u64 bursts_released = 0;
+    u64 requests_released = 0;
+    u64 releases_on_timeout = 0;
+    u64 releases_on_threshold = 0;
+
+    [[nodiscard]] double mean_burst_length() const {
+        return bursts_released == 0
+                   ? 0.0
+                   : static_cast<double>(requests_released) / static_cast<double>(bursts_released);
+    }
+};
+
+class UpdateBlock {
+  public:
+    UpdateBlock(u32 burst_threshold, Cycle timeout, std::size_t depth)
+        : burst_threshold_(burst_threshold), timeout_(timeout), depth_(depth) {}
+
+    [[nodiscard]] bool can_accept() const { return queue_.size() < depth_; }
+
+    /// Req_Arb entry point. Duplicate keys (same kind) are merged.
+    /// Returns false when the queue is full.
+    [[nodiscard]] bool submit(UpdateRequest request, Cycle now);
+
+    /// BWr_Gen: returns the batch to issue this cycle (empty most cycles).
+    /// A batch is released when the queue reaches the threshold or the
+    /// oldest request exceeds the timeout.
+    [[nodiscard]] std::vector<UpdateRequest> release(Cycle now);
+
+    /// True if a delete for this key is already queued (housekeeping guard).
+    [[nodiscard]] bool delete_pending(std::span<const u8> key) const {
+        return pending_deletes_.contains(key_of(key));
+    }
+
+    [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+    [[nodiscard]] const UpdateBlockStats& stats() const { return stats_; }
+
+  private:
+    [[nodiscard]] static std::string key_of(std::span<const u8> key) {
+        return std::string(reinterpret_cast<const char*>(key.data()), key.size());
+    }
+
+    u32 burst_threshold_;
+    Cycle timeout_;
+    std::size_t depth_;
+    std::deque<UpdateRequest> queue_;
+    std::unordered_set<std::string> pending_inserts_;
+    std::unordered_set<std::string> pending_deletes_;
+    UpdateBlockStats stats_;
+};
+
+}  // namespace flowcam::core

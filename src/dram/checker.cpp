@@ -1,0 +1,180 @@
+#include "dram/checker.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace flowcam::dram {
+namespace {
+
+/// max(now, base + delta) guarded by a "has this ever happened" flag so the
+/// cold-start state does not fabricate constraints.
+Cycle after(bool ever, Cycle base, u64 delta, Cycle now) {
+    return ever ? std::max(now, base + delta) : now;
+}
+
+}  // namespace
+
+TimingChecker::TimingChecker(const DramTimings& timings, const Geometry& geometry)
+    : timings_(timings), geometry_(geometry), banks_(geometry.banks) {}
+
+bool TimingChecker::row_open(u32 bank, u32 row) const {
+    const BankState& state = banks_.at(bank);
+    return state.active && state.row == row;
+}
+
+Cycle TimingChecker::act_earliest(u32 bank, Cycle now) const {
+    const BankState& b = banks_[bank];
+    Cycle t = now;
+    t = after(b.ever_pre, b.last_pre, timings_.trp, t);
+    t = after(b.ever_act, b.last_act, timings_.trc, t);
+    // tRRD against the most recent ACT on any bank.
+    if (!act_history_.empty()) {
+        t = std::max(t, act_history_.back() + timings_.trrd);
+    }
+    // tFAW: at most 4 ACTs in any tFAW window -> the 4th-previous ACT gates.
+    if (act_history_.size() >= 4) {
+        t = std::max(t, act_history_[act_history_.size() - 4] + timings_.tfaw);
+    }
+    // tRFC after refresh.
+    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
+    return t;
+}
+
+Cycle TimingChecker::pre_earliest(u32 bank, Cycle now) const {
+    const BankState& b = banks_[bank];
+    Cycle t = now;
+    t = after(b.ever_act, b.last_act, timings_.tras, t);
+    t = after(b.ever_read, b.last_read, timings_.trtp, t);
+    // Write recovery: tWR counts from the end of write data.
+    if (b.ever_write) {
+        const Cycle data_end = b.last_write + timings_.cwl + timings_.burst_cycles();
+        t = std::max(t, data_end + timings_.twr);
+    }
+    return t;
+}
+
+Cycle TimingChecker::read_earliest(Cycle now) const {
+    Cycle t = now;
+    t = after(ever_read_, last_read_cmd_, timings_.tccd, t);
+    t = after(ever_write_, last_write_cmd_, timings_.write_to_read(), t);
+    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
+    return t;
+}
+
+Cycle TimingChecker::write_earliest(Cycle now) const {
+    Cycle t = now;
+    t = after(ever_write_, last_write_cmd_, timings_.tccd, t);
+    t = after(ever_read_, last_read_cmd_, timings_.read_to_write(), t);
+    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
+    return t;
+}
+
+Cycle TimingChecker::refresh_earliest(Cycle now) const {
+    Cycle t = now;
+    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
+    // All banks must be precharged; the caller is responsible for issuing
+    // PREs, but the refresh cannot start before those precharges complete.
+    for (const BankState& b : banks_) {
+        if (b.ever_pre) t = std::max(t, b.last_pre + timings_.trp);
+    }
+    return t;
+}
+
+Cycle TimingChecker::earliest_issue(const Command& cmd, Cycle now) const {
+    switch (cmd.type) {
+        case CommandType::kActivate: return act_earliest(cmd.bank, now);
+        case CommandType::kPrecharge: return pre_earliest(cmd.bank, now);
+        case CommandType::kRead: {
+            const BankState& b = banks_[cmd.bank];
+            Cycle t = read_earliest(now);
+            t = after(b.ever_act, b.last_act, timings_.trcd, t);
+            return t;
+        }
+        case CommandType::kWrite: {
+            const BankState& b = banks_[cmd.bank];
+            Cycle t = write_earliest(now);
+            t = after(b.ever_act, b.last_act, timings_.trcd, t);
+            return t;
+        }
+        case CommandType::kRefresh: return refresh_earliest(now);
+    }
+    return now;
+}
+
+Status TimingChecker::record(const Command& cmd, Cycle cycle) {
+    const auto fail = [&](const char* constraint) {
+        return Status(StatusCode::kFailedPrecondition,
+                      std::string(to_string(cmd.type)) + " at cycle " + std::to_string(cycle) +
+                          " violates " + constraint);
+    };
+
+    if (cmd.type != CommandType::kRefresh && cmd.bank >= banks_.size()) {
+        return Status(StatusCode::kInvalidArgument, "bank out of range");
+    }
+
+    switch (cmd.type) {
+        case CommandType::kActivate: {
+            BankState& b = banks_[cmd.bank];
+            if (b.active) return fail("bank-already-active (missing PRE)");
+            if (cycle < act_earliest(cmd.bank, cycle)) return fail("tRP/tRC/tRRD/tFAW/tRFC");
+            b.active = true;
+            b.row = cmd.row;
+            b.last_act = cycle;
+            b.ever_act = true;
+            act_history_.push_back(cycle);
+            if (act_history_.size() > 8) act_history_.pop_front();
+            return Status::ok();
+        }
+        case CommandType::kPrecharge: {
+            BankState& b = banks_[cmd.bank];
+            if (!b.active) return Status::ok();  // PRE on idle bank is a legal NOP.
+            if (cycle < pre_earliest(cmd.bank, cycle)) return fail("tRAS/tRTP/tWR");
+            b.active = false;
+            b.last_pre = cycle;
+            b.ever_pre = true;
+            return Status::ok();
+        }
+        case CommandType::kRead: {
+            BankState& b = banks_[cmd.bank];
+            if (!b.active) return fail("read-on-idle-bank");
+            if (b.row != cmd.row) return fail("read-row-mismatch");
+            if (cycle < earliest_issue(cmd, cycle)) return fail("tRCD/tCCD/WTR");
+            const Cycle data_start = cycle + timings_.cl;
+            if (data_start < dq_end_) return fail("DQ-bus-overlap");
+            b.last_read = cycle;
+            b.ever_read = true;
+            last_read_cmd_ = cycle;
+            ever_read_ = true;
+            dq_busy_ += timings_.burst_cycles();
+            dq_end_ = data_start + timings_.burst_cycles();
+            return Status::ok();
+        }
+        case CommandType::kWrite: {
+            BankState& b = banks_[cmd.bank];
+            if (!b.active) return fail("write-on-idle-bank");
+            if (b.row != cmd.row) return fail("write-row-mismatch");
+            if (cycle < earliest_issue(cmd, cycle)) return fail("tRCD/tCCD/RTW");
+            const Cycle data_start = cycle + timings_.cwl;
+            if (data_start < dq_end_) return fail("DQ-bus-overlap");
+            b.last_write = cycle;
+            b.ever_write = true;
+            last_write_cmd_ = cycle;
+            ever_write_ = true;
+            dq_busy_ += timings_.burst_cycles();
+            dq_end_ = data_start + timings_.burst_cycles();
+            return Status::ok();
+        }
+        case CommandType::kRefresh: {
+            for (const BankState& b : banks_) {
+                if (b.active) return fail("refresh-with-open-bank");
+            }
+            if (cycle < refresh_earliest(cycle)) return fail("tRFC/tRP");
+            last_refresh_ = cycle;
+            ever_refresh_ = true;
+            return Status::ok();
+        }
+    }
+    return Status(StatusCode::kInvalidArgument, "unknown command");
+}
+
+}  // namespace flowcam::dram

@@ -1,0 +1,86 @@
+// DDR3 timing-constraint tracker.
+//
+// Dual use:
+//  * the controller asks `earliest_issue(cmd)` to schedule commands as early
+//    as legally possible;
+//  * tests replay command streams through `record()` which returns an error
+//    for any protocol violation, so the scheduler cannot fake bandwidth.
+//
+// Tracked constraints (single rank): tRCD, tRP, tRAS, tRC, tCCD, tRTP, tWR,
+// tWTR (via write_to_read), read-to-write turnaround, tRRD, tFAW, tREFI/tRFC,
+// row state per bank, and DQ-bus occupancy (one burst at a time).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "dram/command.hpp"
+#include "dram/timing.hpp"
+
+namespace flowcam::dram {
+
+class TimingChecker {
+  public:
+    TimingChecker(const DramTimings& timings, const Geometry& geometry);
+
+    /// Earliest cycle >= `now` at which `cmd` may legally issue.
+    [[nodiscard]] Cycle earliest_issue(const Command& cmd, Cycle now) const;
+
+    /// Validate and record a command issued at `cycle`. Returns a non-ok
+    /// Status naming the violated constraint if the command is illegal
+    /// (state is not updated in that case).
+    Status record(const Command& cmd, Cycle cycle);
+
+    /// True iff `bank` has `row` open.
+    [[nodiscard]] bool row_open(u32 bank, u32 row) const;
+    [[nodiscard]] bool bank_active(u32 bank) const { return banks_[bank].active; }
+    [[nodiscard]] i64 open_row(u32 bank) const { return banks_[bank].active ? banks_[bank].row : -1; }
+
+    /// DQ-bus busy cycles accumulated so far (read+write bursts).
+    [[nodiscard]] u64 dq_busy_cycles() const { return dq_busy_; }
+    /// End cycle of the last data burst on the bus.
+    [[nodiscard]] Cycle dq_last_end() const { return dq_end_; }
+
+    [[nodiscard]] const DramTimings& timings() const { return timings_; }
+    [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+
+  private:
+    struct BankState {
+        bool active = false;
+        u32 row = 0;
+        Cycle last_act = 0;
+        Cycle last_pre = 0;
+        Cycle last_read = 0;        ///< command time
+        Cycle last_write = 0;       ///< command time
+        bool ever_act = false;
+        bool ever_pre = false;
+        bool ever_read = false;
+        bool ever_write = false;
+    };
+
+    [[nodiscard]] Cycle act_earliest(u32 bank, Cycle now) const;
+    [[nodiscard]] Cycle pre_earliest(u32 bank, Cycle now) const;
+    [[nodiscard]] Cycle read_earliest(Cycle now) const;
+    [[nodiscard]] Cycle write_earliest(Cycle now) const;
+    [[nodiscard]] Cycle refresh_earliest(Cycle now) const;
+
+    DramTimings timings_;
+    Geometry geometry_;
+    std::vector<BankState> banks_;
+
+    // Rank-level state.
+    Cycle last_read_cmd_ = 0;
+    Cycle last_write_cmd_ = 0;
+    bool ever_read_ = false;
+    bool ever_write_ = false;
+    Cycle last_refresh_ = 0;
+    bool ever_refresh_ = false;
+    std::deque<Cycle> act_history_;  ///< for the tFAW window (last 4 ACTs).
+
+    u64 dq_busy_ = 0;
+    Cycle dq_end_ = 0;
+};
+
+}  // namespace flowcam::dram

@@ -1,0 +1,131 @@
+// DDR3 command vocabulary and device geometry.
+#pragma once
+
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace flowcam::dram {
+
+enum class CommandType : u8 {
+    kActivate,   ///< open a row in a bank
+    kPrecharge,  ///< close the open row of a bank
+    kRead,       ///< burst read from the open row
+    kWrite,      ///< burst write to the open row
+    kRefresh,    ///< all-bank refresh
+};
+
+[[nodiscard]] constexpr const char* to_string(CommandType type) {
+    switch (type) {
+        case CommandType::kActivate: return "ACT";
+        case CommandType::kPrecharge: return "PRE";
+        case CommandType::kRead: return "RD";
+        case CommandType::kWrite: return "WR";
+        case CommandType::kRefresh: return "REF";
+    }
+    return "?";
+}
+
+struct Command {
+    CommandType type;
+    u32 bank = 0;
+    u32 row = 0;
+    u32 col = 0;  ///< burst-aligned column (in bus words).
+};
+
+/// Geometry of one channel's DRAM array.
+struct Geometry {
+    u32 banks = 8;
+    u32 rows = 16384;
+    u32 cols = 1024;      ///< columns per row, in bus words.
+    u32 bus_bytes = 4;    ///< data-bus width (paper: two 32-bit channels).
+
+    [[nodiscard]] constexpr u64 row_bytes() const { return u64{cols} * bus_bytes; }
+    [[nodiscard]] constexpr u64 bank_bytes() const { return row_bytes() * rows; }
+    [[nodiscard]] constexpr u64 channel_bytes() const { return bank_bytes() * banks; }
+};
+
+/// Physical location of one burst.
+struct BurstAddress {
+    u32 bank = 0;
+    u32 row = 0;
+    u32 col = 0;
+
+    friend constexpr bool operator==(const BurstAddress&, const BurstAddress&) = default;
+};
+
+/// How linear byte addresses spread across banks — the knob behind the
+/// paper's "bank selection" results (Table II(A)).
+enum class MapPolicy : u8 {
+    kBankLow,   ///< bank bits just above the burst offset: consecutive
+                ///< buckets rotate across banks (the design intent).
+    kBankHigh,  ///< bank bits at the top: consecutive buckets share a bank
+                ///< (adversarial, serializes on tRC).
+};
+
+/// Decodes linear byte addresses into (bank, row, col) under a MapPolicy.
+///
+/// `interleave_bytes` is the granule at which banks rotate under kBankLow —
+/// the Flow LUT sets it to its bucket size so one bucket (possibly several
+/// bursts) stays inside a single row of a single bank while *consecutive*
+/// buckets rotate across banks. Must be a multiple of the burst size and
+/// divide the row size.
+class AddressMap {
+  public:
+    AddressMap(const Geometry& geometry, u32 burst_length, MapPolicy policy,
+               u64 interleave_bytes = 0)
+        : geometry_(geometry),
+          burst_bytes_(u64{burst_length} * geometry.bus_bytes),
+          interleave_(interleave_bytes == 0 ? burst_bytes_ : interleave_bytes),
+          policy_(policy) {}
+
+    /// Byte address -> burst location of the burst containing the address.
+    [[nodiscard]] BurstAddress decode(u64 byte_address) const {
+        BurstAddress out;
+        const u64 row_bytes = geometry_.row_bytes();
+        switch (policy_) {
+            case MapPolicy::kBankLow: {
+                // chunk index = [row | chunk-in-row | bank]
+                const u64 chunk = byte_address / interleave_;
+                const u64 offset = byte_address % interleave_;
+                out.bank = static_cast<u32>(chunk % geometry_.banks);
+                const u64 rest = chunk / geometry_.banks;
+                const u64 chunks_per_row = row_bytes / interleave_;
+                const u64 row_offset = (rest % chunks_per_row) * interleave_ + offset;
+                out.col = align_col(row_offset);
+                out.row = static_cast<u32>((rest / chunks_per_row) % geometry_.rows);
+                break;
+            }
+            case MapPolicy::kBankHigh: {
+                // byte = [bank | row | col]
+                const u64 row_offset = byte_address % row_bytes;
+                out.col = align_col(row_offset);
+                const u64 rest = byte_address / row_bytes;
+                out.row = static_cast<u32>(rest % geometry_.rows);
+                out.bank = static_cast<u32>((rest / geometry_.rows) % geometry_.banks);
+                break;
+            }
+        }
+        return out;
+    }
+
+    [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+    [[nodiscard]] MapPolicy policy() const { return policy_; }
+    [[nodiscard]] u64 interleave_bytes() const { return interleave_; }
+
+  private:
+    /// Byte offset within a row -> burst-aligned column (in bus words).
+    [[nodiscard]] u32 align_col(u64 row_offset) const {
+        const u64 burst_words = burst_bytes_ / geometry_.bus_bytes;
+        const u64 word = row_offset / geometry_.bus_bytes;
+        return static_cast<u32>(word - word % burst_words);
+    }
+
+    Geometry geometry_;
+    u64 burst_bytes_;
+    u64 interleave_;
+    MapPolicy policy_;
+};
+
+}  // namespace flowcam::dram

@@ -1,0 +1,215 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flowcam::dram {
+
+DramController::DramController(std::string name, const DramTimings& timings,
+                               const Geometry& geometry, const ControllerConfig& config)
+    : name_(std::move(name)),
+      timings_(timings),
+      config_(config),
+      checker_(timings, geometry),
+      device_(geometry, timings.burst_length),
+      map_(geometry, timings.burst_length, config.map_policy, config.interleave_bytes),
+      next_refresh_(timings.trefi) {}
+
+bool DramController::enqueue(const MemRequest& request) {
+    auto& queue = request.is_write ? writes_ : reads_;
+    const std::size_t depth =
+        request.is_write ? config_.write_queue_depth : config_.read_queue_depth;
+    if (queue.size() >= depth) return false;
+
+    Pending pending;
+    pending.request = request;
+    pending.location = map_.decode(request.byte_address);
+    pending.accepted_at = now_;
+    queue.push_back(std::move(pending));
+    if (request.is_write) {
+        ++stats_.writes_accepted;
+    } else {
+        ++stats_.reads_accepted;
+    }
+    return true;
+}
+
+std::optional<MemResponse> DramController::pop_response() {
+    if (responses_.empty()) return std::nullopt;
+    MemResponse response = std::move(responses_.front());
+    responses_.pop_front();
+    return response;
+}
+
+void DramController::issue(const Command& cmd, Cycle now) {
+    const Status status = checker_.record(cmd, now);
+    if (!status.is_ok() && protocol_status_.is_ok()) protocol_status_ = status;
+    switch (cmd.type) {
+        case CommandType::kActivate: ++stats_.activates; break;
+        case CommandType::kPrecharge: ++stats_.precharges; break;
+        case CommandType::kRefresh: ++stats_.refreshes; break;
+        default: break;
+    }
+}
+
+bool DramController::try_refresh(Cycle now) {
+    if (!config_.refresh_enabled) return false;
+    if (!refresh_pending_ && now >= next_refresh_) refresh_pending_ = true;
+    if (!refresh_pending_) return false;
+
+    // Precharge any open bank first (one command per cycle).
+    for (u32 bank = 0; bank < checker_.geometry().banks; ++bank) {
+        if (checker_.bank_active(bank)) {
+            const Command pre{CommandType::kPrecharge, bank, 0, 0};
+            if (checker_.earliest_issue(pre, now) <= now) {
+                issue(pre, now);
+                return true;
+            }
+            return false;  // wait for tRAS/tWR to elapse.
+        }
+    }
+    const Command ref{CommandType::kRefresh, 0, 0, 0};
+    if (checker_.earliest_issue(ref, now) <= now) {
+        issue(ref, now);
+        refresh_pending_ = false;
+        next_refresh_ += timings_.trefi;
+        return true;
+    }
+    return false;
+}
+
+bool DramController::drain_writes_now(Cycle now) const {
+    if (writes_.empty()) return false;
+    if (write_drain_mode_) return true;
+    if (writes_.size() >= config_.write_drain_high) return true;
+    if (now >= writes_.front().accepted_at + config_.write_age_limit) return true;
+    return reads_.empty();
+}
+
+void DramController::complete(Pending&& pending, Cycle data_end, Cycle now) {
+    MemResponse response;
+    response.id = pending.request.id;
+    response.is_write = pending.request.is_write;
+    response.accepted_at = pending.accepted_at;
+    if (pending.request.is_write) {
+        device_.write(pending.request.byte_address, pending.request.write_data);
+        ++stats_.writes_completed;
+    } else {
+        response.data = device_.read(pending.request.byte_address, pending.request.bursts);
+        ++stats_.reads_completed;
+        stats_.read_latency.add(static_cast<double>(data_end - pending.accepted_at));
+    }
+    response.completed_at = data_end;
+    in_flight_.push_back(InFlight{std::move(response), data_end});
+    (void)now;
+}
+
+bool DramController::schedule_queue(std::deque<Pending>& queue, bool is_write, Cycle now) {
+    if (queue.empty()) return false;
+    const auto column_of = [&](const Pending& p, u32 burst) {
+        return p.location.col + burst * timings_.burst_length;
+    };
+
+    // Pass 1 (first-ready): oldest request whose row is open and whose next
+    // RD/WR may issue this cycle.
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (!checker_.row_open(it->location.bank, it->location.row)) continue;
+        const auto type = is_write ? CommandType::kWrite : CommandType::kRead;
+        const Command cmd{type, it->location.bank, it->location.row,
+                          column_of(*it, it->issued_bursts)};
+        if (checker_.earliest_issue(cmd, now) > now) continue;
+
+        if (is_write != last_was_write_) {
+            ++stats_.rw_turnarounds;
+            last_was_write_ = is_write;
+        }
+        if (!it->classified) {
+            ++stats_.row_hits;
+            it->classified = true;
+        }
+        issue(cmd, now);
+        ++it->issued_bursts;
+        if (it->issued_bursts == it->request.bursts) {
+            const Cycle latency = is_write ? timings_.cwl : timings_.cl;
+            const Cycle data_end = now + latency + timings_.burst_cycles();
+            complete(std::move(*it), data_end, now);
+            queue.erase(it);
+        }
+        return true;
+    }
+
+    // Pass 2: oldest request whose bank is idle -> ACT.
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (checker_.bank_active(it->location.bank)) continue;
+        const Command act{CommandType::kActivate, it->location.bank, it->location.row, 0};
+        if (checker_.earliest_issue(act, now) > now) continue;
+        if (!it->classified) {
+            ++stats_.row_misses;
+            it->classified = true;
+        }
+        issue(act, now);
+        return true;
+    }
+
+    // Pass 3: oldest request blocked by a conflicting open row -> PRE.
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        const u32 bank = it->location.bank;
+        if (!checker_.bank_active(bank) || checker_.row_open(bank, it->location.row)) continue;
+        // Do not close a row that an older request in either queue still
+        // wants (keep the hit streak alive).
+        const auto wants_open_row = [&](const std::deque<Pending>& other) {
+            return std::any_of(other.begin(), other.end(), [&](const Pending& p) {
+                return p.location.bank == bank &&
+                       static_cast<i64>(p.location.row) == checker_.open_row(bank);
+            });
+        };
+        if (wants_open_row(reads_) || wants_open_row(writes_)) continue;
+        const Command pre{CommandType::kPrecharge, bank, 0, 0};
+        if (checker_.earliest_issue(pre, now) > now) continue;
+        if (!it->classified) {
+            ++stats_.row_conflicts;
+            // Not marking classified: the follow-up ACT counts it as a miss
+            // only if still unclassified — so mark here to count once.
+            it->classified = true;
+        }
+        issue(pre, now);
+        return true;
+    }
+    return false;
+}
+
+void DramController::tick(Cycle now) {
+    now_ = now;
+    // Deliver matured completions (data fully transferred).
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+        if (it->ready_at <= now) {
+            responses_.push_back(std::move(it->response));
+            it = in_flight_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Refresh has absolute priority when due.
+    if (try_refresh(now)) return;
+
+    // Phase selection with hysteresis.
+    if (write_drain_mode_) {
+        if (writes_.size() <= config_.write_drain_low) write_drain_mode_ = false;
+    } else if (writes_.size() >= config_.write_drain_high ||
+               (!writes_.empty() && now >= writes_.front().accepted_at + config_.write_age_limit)) {
+        write_drain_mode_ = true;
+    }
+
+    const bool write_phase = drain_writes_now(now);
+    if (write_phase) {
+        if (schedule_queue(writes_, true, now)) return;
+        // Opportunistically serve reads when no write can issue this cycle.
+        (void)schedule_queue(reads_, false, now);
+    } else {
+        if (schedule_queue(reads_, false, now)) return;
+        (void)schedule_queue(writes_, true, now);
+    }
+}
+
+}  // namespace flowcam::dram

@@ -1,0 +1,62 @@
+// Functional DRAM array: sparse byte storage addressed in burst units.
+// Timing lives in TimingChecker / DramController; this class only stores
+// bits, so tests can verify data integrity end-to-end through the scheduler.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/command.hpp"
+
+namespace flowcam::dram {
+
+class DramDevice {
+  public:
+    DramDevice(const Geometry& geometry, u32 burst_length)
+        : geometry_(geometry), burst_bytes_(geometry.bus_bytes * burst_length) {}
+
+    [[nodiscard]] u32 burst_bytes() const { return burst_bytes_; }
+    [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+
+    /// Read `count` consecutive bursts starting at the burst containing
+    /// `byte_address`. Unwritten memory reads as zero, as after init.
+    [[nodiscard]] std::vector<u8> read(u64 byte_address, u32 count = 1) const {
+        std::vector<u8> out;
+        out.reserve(static_cast<std::size_t>(count) * burst_bytes_);
+        const u64 first = byte_address / burst_bytes_;
+        for (u64 burst = first; burst < first + count; ++burst) {
+            const auto it = storage_.find(burst);
+            if (it != storage_.end()) {
+                out.insert(out.end(), it->second.begin(), it->second.end());
+            } else {
+                out.insert(out.end(), burst_bytes_, 0);
+            }
+        }
+        return out;
+    }
+
+    /// Write bytes starting at a burst-aligned address; data shorter than a
+    /// multiple of the burst size is zero-padded (models data-mask bits off).
+    void write(u64 byte_address, std::span<const u8> data) {
+        const u64 first = byte_address / burst_bytes_;
+        std::size_t offset = 0;
+        for (u64 burst = first; offset < data.size(); ++burst) {
+            auto& cell = storage_[burst];
+            cell.resize(burst_bytes_, 0);
+            const std::size_t chunk = std::min<std::size_t>(burst_bytes_, data.size() - offset);
+            std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(offset), chunk, cell.begin());
+            offset += chunk;
+        }
+    }
+
+    [[nodiscard]] std::size_t touched_bursts() const { return storage_.size(); }
+
+  private:
+    Geometry geometry_;
+    u32 burst_bytes_;
+    std::unordered_map<u64, std::vector<u8>> storage_;
+};
+
+}  // namespace flowcam::dram

@@ -1,0 +1,48 @@
+// Reproduces the paper's Figure 3 experiment: DQ bandwidth utilization for
+// alternating groups of N read bursts and N write bursts to the *same row*
+// of one bank at BL = 8, computed against a given speed grade.
+//
+// Commands are issued as early as the TimingChecker allows, exactly like an
+// ideal controller with an infinitely deep queue; utilization is data-busy
+// cycles over elapsed cycles. Increasing N amortizes the read<->write bus
+// turnaround, which is the entire point of the paper's burst-grouping
+// machinery (BWr_Gen and the DLU's request grouping).
+#pragma once
+
+#include "common/types.hpp"
+#include "dram/checker.hpp"
+#include "dram/timing.hpp"
+
+namespace flowcam::dram {
+
+struct PatternResult {
+    u64 bursts_per_direction = 0;
+    u64 total_bursts = 0;
+    Cycle elapsed_cycles = 0;
+    double dq_utilization = 0.0;
+    double bandwidth_mbytes_per_s = 0.0;  ///< for a 32-bit (4-byte) bus.
+};
+
+/// Run `rounds` repetitions of (N reads, N writes) on one open row.
+///
+/// `turnaround_penalty` models fixed controller-pipeline overhead added on
+/// every read<->write direction switch beyond raw JEDEC timing. 0 gives the
+/// pure JEDEC bound; ~10 cycles reproduces the absolute utilization floor of
+/// the paper's Fig. 3 (20 % at N=1), which was computed for a quarter-rate
+/// vendor controller front-end rather than bare DRAM timing.
+[[nodiscard]] PatternResult run_same_row_rw_pattern(const DramTimings& timings,
+                                                    u32 bursts_per_direction, u32 rounds = 64,
+                                                    u32 turnaround_penalty = 0);
+
+/// Alternative pattern: all accesses random rows in one bank (worst case the
+/// paper mentions: "successive read accesses to different rows of a bank"
+/// pay the full row cycle time tRC).
+[[nodiscard]] PatternResult run_random_row_single_bank(const DramTimings& timings, u32 accesses,
+                                                       u64 seed = 42);
+
+/// Random rows spread over all `banks` with an ideal bank-interleaving
+/// scheduler — what the DLU's Bank Selector approximates.
+[[nodiscard]] PatternResult run_random_row_banked(const DramTimings& timings, u32 banks,
+                                                  u32 accesses, u64 seed = 42);
+
+}  // namespace flowcam::dram

@@ -1,0 +1,155 @@
+// QDRII+ SRAM model — the technology the paper argues *against* for large
+// flow tables (§I): "the memory densities of the latest QDRII+ SRAMs are
+// restricted to a maximum of 144 Megabits", while DDR3 offers gigabytes.
+// The authors' earlier design [11] used QDRII SRAM and topped out at 128 K
+// entries.
+//
+// QDR (quad data rate) SRAM has separate read and write ports, each DDR,
+// with fixed low latency and no banks/rows/refresh — every cycle can issue
+// one read AND one write. The model is correspondingly simple: constant
+// latency, per-port burst-of-2, deterministic throughput. Used by the
+// memory-technology ablation bench to reproduce the paper's capacity-vs-
+// speed trade-off quantitatively.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/ticker.hpp"
+
+namespace flowcam::dram {
+
+struct QdrConfig {
+    double clock_mhz = 550.0;   ///< QDRII+ speed grade (e.g. Cypress 550 MHz).
+    u32 bus_bytes = 4;          ///< x36 part ~ 4 data bytes per transfer.
+    u32 burst_length = 4;       ///< BL4 per access (two clock edges x 2).
+    u32 read_latency = 2;       ///< fixed cycles from command to data.
+    u64 capacity_mbits = 144;   ///< the density ceiling the paper cites.
+    std::size_t queue_depth = 16;
+};
+
+struct QdrStats {
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 rejected_capacity = 0;  ///< addresses beyond the 144 Mbit ceiling.
+};
+
+/// Constant-latency dual-port SRAM. Request/response interface mirrors
+/// DramController so benches can drive both identically.
+class QdrSram final : public sim::Ticker {
+  public:
+    explicit QdrSram(std::string name, const QdrConfig& config)
+        : name_(std::move(name)), config_(config) {}
+
+    /// Bytes of one access (per-port burst).
+    [[nodiscard]] u32 access_bytes() const { return config_.bus_bytes * config_.burst_length; }
+    [[nodiscard]] u64 capacity_bytes() const { return config_.capacity_mbits * 1024 * 1024 / 8; }
+
+    /// One read and one write may be accepted per cycle (independent ports).
+    [[nodiscard]] bool enqueue_read(u64 id, u64 byte_address) {
+        if (byte_address + access_bytes() > capacity_bytes()) {
+            ++stats_.rejected_capacity;
+            return false;
+        }
+        if (reads_.size() >= config_.queue_depth) return false;
+        reads_.push_back(Pending{id, byte_address});
+        return true;
+    }
+
+    [[nodiscard]] bool enqueue_write(u64 id, u64 byte_address, std::vector<u8> data) {
+        if (byte_address + access_bytes() > capacity_bytes()) {
+            ++stats_.rejected_capacity;
+            return false;
+        }
+        if (writes_.size() >= config_.queue_depth) return false;
+        writes_.push_back(Pending{id, byte_address, std::move(data)});
+        return true;
+    }
+
+    struct Response {
+        u64 id;
+        bool is_write;
+        std::vector<u8> data;
+    };
+
+    [[nodiscard]] std::optional<Response> pop_response() {
+        if (responses_.empty()) return std::nullopt;
+        Response response = std::move(responses_.front());
+        responses_.pop_front();
+        return response;
+    }
+
+    void tick(Cycle now) override {
+        // Deliver matured reads.
+        while (!in_flight_.empty() && in_flight_.front().ready_at <= now) {
+            responses_.push_back(std::move(in_flight_.front().response));
+            in_flight_.pop_front();
+        }
+        // Read port: one access per cycle, fixed latency.
+        if (!reads_.empty()) {
+            Pending pending = std::move(reads_.front());
+            reads_.pop_front();
+            ++stats_.reads;
+            Response response{pending.id, false, read_bytes(pending.address)};
+            in_flight_.push_back(InFlight{now + config_.read_latency, std::move(response)});
+        }
+        // Write port: one access per cycle, immediate commit.
+        if (!writes_.empty()) {
+            Pending pending = std::move(writes_.front());
+            writes_.pop_front();
+            ++stats_.writes;
+            write_bytes(pending.address, pending.data);
+            responses_.push_back(Response{pending.id, true, {}});
+        }
+    }
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] const QdrStats& stats() const { return stats_; }
+    [[nodiscard]] bool idle() const {
+        return reads_.empty() && writes_.empty() && in_flight_.empty() && responses_.empty();
+    }
+
+    /// Peak random-access rate in million accesses per second per port —
+    /// the QDR selling point the paper concedes before rejecting it on
+    /// capacity grounds.
+    [[nodiscard]] double peak_maccess_per_s() const { return config_.clock_mhz; }
+
+  private:
+    struct Pending {
+        u64 id;
+        u64 address;
+        std::vector<u8> data;
+    };
+    struct InFlight {
+        Cycle ready_at;
+        Response response;
+    };
+
+    [[nodiscard]] std::vector<u8> read_bytes(u64 address) const {
+        std::vector<u8> out(access_bytes(), 0);
+        const auto it = storage_.find(address / access_bytes());
+        if (it != storage_.end()) out = it->second;
+        return out;
+    }
+
+    void write_bytes(u64 address, const std::vector<u8>& data) {
+        auto& cell = storage_[address / access_bytes()];
+        cell = data;
+        cell.resize(access_bytes(), 0);
+    }
+
+    std::string name_;
+    QdrConfig config_;
+    std::deque<Pending> reads_;
+    std::deque<Pending> writes_;
+    std::deque<InFlight> in_flight_;
+    std::deque<Response> responses_;
+    std::unordered_map<u64, std::vector<u8>> storage_;
+    QdrStats stats_;
+};
+
+}  // namespace flowcam::dram

@@ -1,0 +1,94 @@
+#include "dram/timing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flowcam::dram {
+namespace {
+
+/// Convert a nanosecond constraint to clock cycles, with a floor in nCK
+/// (JEDEC expresses many constraints as max(n nCK, t ns)).
+constexpr u32 ns_to_ck(double ns, double tck_ns, u32 floor_ck = 0) {
+    const auto ck = static_cast<u32>((ns + tck_ns - 1e-9) / tck_ns);  // ceil
+    return ck > floor_ck ? ck : floor_ck;
+}
+
+}  // namespace
+
+DramTimings ddr3_1066e() {
+    constexpr double tck = 1.875;
+    DramTimings t;
+    t.grade = "DDR3-1066E";
+    t.tck_ns = tck;
+    t.burst_length = 8;
+    t.cl = 7;
+    t.cwl = 6;
+    t.trcd = 7;                              // 13.125 ns
+    t.trp = 7;                               // 13.125 ns
+    t.tras = ns_to_ck(37.5, tck);            // 20
+    t.trc = ns_to_ck(50.625, tck);           // 27
+    t.tccd = 4;
+    t.trtp = ns_to_ck(7.5, tck, 4);          // 4
+    t.twr = ns_to_ck(15.0, tck);             // 8
+    t.twtr = ns_to_ck(7.5, tck, 4);          // 4
+    t.trrd = ns_to_ck(7.5, tck, 4);          // 4 (x8 devices)
+    t.tfaw = ns_to_ck(37.5, tck);            // 20
+    t.trefi = ns_to_ck(7800.0, tck);         // 4160
+    t.trfc = ns_to_ck(110.0, tck);           // 59 (1 Gb density)
+    return t;
+}
+
+DramTimings ddr3_1333() {
+    constexpr double tck = 1.5;
+    DramTimings t;
+    t.grade = "DDR3-1333";
+    t.tck_ns = tck;
+    t.burst_length = 8;
+    t.cl = 9;
+    t.cwl = 7;
+    t.trcd = 9;
+    t.trp = 9;
+    t.tras = ns_to_ck(36.0, tck);            // 24
+    t.trc = ns_to_ck(49.5, tck);             // 33
+    t.tccd = 4;
+    t.trtp = ns_to_ck(7.5, tck, 4);          // 5
+    t.twr = ns_to_ck(15.0, tck);             // 10
+    t.twtr = ns_to_ck(7.5, tck, 4);          // 5
+    t.trrd = ns_to_ck(7.5, tck, 4);          // 5
+    t.tfaw = ns_to_ck(45.0, tck);            // 30
+    t.trefi = ns_to_ck(7800.0, tck);         // 5200
+    t.trfc = ns_to_ck(110.0, tck);           // 74
+    return t;
+}
+
+DramTimings ddr3_1600() {
+    constexpr double tck = 1.25;
+    DramTimings t;
+    t.grade = "DDR3-1600";
+    t.tck_ns = tck;
+    t.burst_length = 8;
+    t.cl = 11;
+    t.cwl = 8;
+    t.trcd = 11;
+    t.trp = 11;
+    t.tras = ns_to_ck(35.0, tck);            // 28
+    t.trc = ns_to_ck(48.75, tck);            // 39
+    t.tccd = 4;
+    t.trtp = ns_to_ck(7.5, tck, 4);          // 6
+    t.twr = ns_to_ck(15.0, tck);             // 12
+    t.twtr = ns_to_ck(7.5, tck, 4);          // 6
+    t.trrd = ns_to_ck(7.5, tck, 4);          // 6
+    t.tfaw = ns_to_ck(40.0, tck);            // 32
+    t.trefi = ns_to_ck(7800.0, tck);         // 6240
+    t.trfc = ns_to_ck(110.0, tck);           // 88
+    return t;
+}
+
+DramTimings timings_by_name(const std::string& name) {
+    if (name == "DDR3-1066" || name == "DDR3-1066E") return ddr3_1066e();
+    if (name == "DDR3-1333") return ddr3_1333();
+    if (name == "DDR3-1600") return ddr3_1600();
+    throw std::invalid_argument("unknown DRAM speed grade: " + name);
+}
+
+}  // namespace flowcam::dram

@@ -1,0 +1,67 @@
+// JEDEC-style DDR3 timing parameter sets.
+//
+// All values are in memory-clock cycles (nCK) unless suffixed _ns. The
+// figure-3 experiment of the paper is computed from Micron's DDR3-1066
+// (-187E) data sheet; the prototype runs its DDR3 at an 800 MHz I/O clock
+// (DDR3-1600). Both speed grades are provided, plus DDR3-1333 for sweeps.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace flowcam::dram {
+
+struct DramTimings {
+    std::string grade;   ///< human-readable speed-grade name.
+    double tck_ns;       ///< memory clock period (command clock).
+    u32 burst_length;    ///< BL, transfers per access (8 for DDR3).
+    u32 cl;              ///< CAS (read) latency, RL = CL.
+    u32 cwl;             ///< CAS write latency, WL = CWL.
+    u32 trcd;            ///< ACT -> RD/WR to same bank.
+    u32 trp;             ///< PRE -> ACT to same bank.
+    u32 tras;            ///< ACT -> PRE to same bank.
+    u32 trc;             ///< ACT -> ACT to same bank (tRAS + tRP).
+    u32 tccd;            ///< RD->RD / WR->WR command spacing (4 for DDR3).
+    u32 trtp;            ///< RD -> PRE.
+    u32 twr;             ///< end of write data -> PRE (write recovery).
+    u32 twtr;            ///< end of write data -> RD command.
+    u32 trrd;            ///< ACT -> ACT to different banks.
+    u32 tfaw;            ///< rolling window for four ACTs.
+    u32 trefi;           ///< average REF interval.
+    u32 trfc;            ///< REF -> next valid command.
+
+    /// Data-bus cycles one burst occupies: BL transfers over a DDR bus.
+    [[nodiscard]] constexpr u32 burst_cycles() const { return burst_length / 2; }
+
+    /// Minimum RD command -> WR command spacing (same rank):
+    /// RL + tCCD + 2 - WL (JEDEC DDR3 spec clause on read-to-write turnaround).
+    [[nodiscard]] constexpr u32 read_to_write() const { return cl + tccd + 2 - cwl; }
+
+    /// Minimum WR command -> RD command spacing (same rank):
+    /// WL + BL/2 + tWTR.
+    [[nodiscard]] constexpr u32 write_to_read() const { return cwl + burst_cycles() + twtr; }
+
+    /// Memory-clock frequency in Hz.
+    [[nodiscard]] constexpr double clock_hz() const { return 1e9 / tck_ns; }
+
+    /// Peak data-bus bandwidth in bytes/s for a bus of `bus_bytes` width.
+    [[nodiscard]] constexpr double peak_bandwidth_bytes(double bus_bytes) const {
+        return clock_hz() * 2.0 * bus_bytes;  // DDR: two transfers per clock.
+    }
+};
+
+/// Micron DDR3-1066 (-187E), 1 Gb part (the paper's Fig. 3 reference [12]).
+/// tCK = 1.875 ns. CL-tRCD-tRP = 7-7-7. tRFC for the 1 Gb density = 110 ns.
+[[nodiscard]] DramTimings ddr3_1066e();
+
+/// DDR3-1333 (-15E), CL9, for parameter sweeps.
+[[nodiscard]] DramTimings ddr3_1333();
+
+/// DDR3-1600 (-125), CL11: the prototype's 800 MHz I/O clock grade.
+[[nodiscard]] DramTimings ddr3_1600();
+
+/// Look up by name ("DDR3-1066", "DDR3-1333", "DDR3-1600").
+[[nodiscard]] DramTimings timings_by_name(const std::string& name);
+
+}  // namespace flowcam::dram

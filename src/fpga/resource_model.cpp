@@ -1,0 +1,125 @@
+#include "fpga/resource_model.hpp"
+
+#include "common/bitops.hpp"
+
+namespace flowcam::fpga {
+namespace {
+
+/// Dual-clock FIFO: M20K storage plus pointer/CDC logic.
+BlockUsage fifo(const std::string& name, u64 depth, u64 width_bits) {
+    BlockUsage usage;
+    usage.block = name;
+    usage.memory_bits = depth * width_bits;
+    const u32 address_bits = log2_pow2(ceil_pow2(depth));
+    usage.alms = 40 + 6ull * address_bits;              // pointers, compare, CDC
+    usage.registers = 60 + 8ull * address_bits;
+    return usage;
+}
+
+}  // namespace
+
+ResourceReport estimate(const core::FlowLutConfig& config, u32 tuple_bits) {
+    ResourceReport report;
+    const u64 entry_bits = u64{config.entry_bytes} * 8;
+    const u64 bucket_bits = entry_bits * config.ways;
+    const u32 index_bits = log2_pow2(ceil_pow2(config.buckets_per_mem));
+    const u64 fid_bits = 50;  // 48-bit slot + 2-bit where.
+
+    // --- Two DDR3 UniPhy quarter-rate controllers -------------------------
+    // Calibrated against Altera's published UniPhy utilization for 32-bit
+    // quarter-rate DDR3 on Stratix V (~5 kALM, ~7 kregs, PHY read FIFOs).
+    for (int channel = 0; channel < 2; ++channel) {
+        BlockUsage controller;
+        controller.block = std::string("ddr3-uniphy-") + (channel == 0 ? "A" : "B");
+        controller.alms = 4500;
+        controller.registers = 9500;
+        controller.memory_bits = 147456;  // PHY read/write leveling FIFOs
+        report.blocks.push_back(controller);
+    }
+
+    // --- Hash blocks (H3 XOR matrices, two per path) ----------------------
+    BlockUsage hash;
+    hash.block = "index-generation";
+    // One XOR tree per index bit over tuple_bits inputs, 2 hashes x 2 paths.
+    hash.alms = 4ull * index_bits * (tuple_bits / 6 + 1);
+    hash.registers = 4ull * (tuple_bits + index_bits);
+    report.blocks.push_back(hash);
+
+    // --- Collision CAM -----------------------------------------------------
+    // Register-based CAM: storage + one comparator per entry + encoder.
+    BlockUsage cam;
+    cam.block = "collision-cam";
+    cam.registers = config.cam_capacity * 3;  // valid + aging + lock bits
+    cam.memory_bits = config.cam_capacity * (tuple_bits + fid_bits);
+    cam.alms = config.cam_capacity * (tuple_bits / 32 + 1);  // match trees
+    report.blocks.push_back(cam);
+
+    // --- Sequencer (load balancer + CAM stage arbitration) ----------------
+    BlockUsage sequencer;
+    sequencer.block = "sequencer";
+    sequencer.alms = 450;
+    sequencer.registers = 2ull * (tuple_bits + 2 * index_bits + 64);
+    report.blocks.push_back(sequencer);
+    report.blocks.push_back(fifo("input-fifo", config.input_depth,
+                                 tuple_bits + 2ull * index_bits + 96));
+
+    // --- Per path: DLU (Bank Sel + Req Filter + Mem Ctrl), Flow Match,
+    //     Updt (Req_Arb + BWr_Gen) ------------------------------------------
+    for (int path = 0; path < 2; ++path) {
+        const std::string suffix = path == 0 ? "-A" : "-B";
+        BlockUsage dlu;
+        dlu.block = "dlu" + suffix;
+        // Bank selector: per-bank queues' control + rotation pick network.
+        dlu.alms = 300 + 70ull * config.geometry.banks;
+        dlu.registers = 500 + 40ull * config.geometry.banks;
+        report.blocks.push_back(dlu);
+        report.blocks.push_back(fifo("dlu-bank-queues" + suffix,
+                                     config.lu_queue_depth,
+                                     tuple_bits + index_bits + 16));
+        report.blocks.push_back(fifo("req-filter-waitlist" + suffix, 32,
+                                     tuple_bits + index_bits + 16));
+
+        BlockUsage match;
+        match.block = "flow-match" + suffix;
+        // K parallel tuple comparators against one bucket readback.
+        match.alms = config.ways * (tuple_bits / 4 + 8);
+        match.registers = bucket_bits / 4 + tuple_bits;
+        report.blocks.push_back(match);
+        report.blocks.push_back(
+            fifo("readback-fifo" + suffix, config.match_queue_depth, bucket_bits / 2));
+
+        BlockUsage updt;
+        updt.block = "updt" + suffix;
+        updt.alms = 350;  // Req_Arb priority logic + BWr_Gen counters/timers
+        updt.registers = 420;
+        report.blocks.push_back(updt);
+        report.blocks.push_back(fifo("updt-queue" + suffix, config.update_queue_depth,
+                                     tuple_bits + index_bits + 8));
+    }
+
+    // --- FID_GEN + Flow State interface ------------------------------------
+    BlockUsage fid;
+    fid.block = "fid-gen";
+    fid.alms = 220;
+    fid.registers = 2 * fid_bits + 64;
+    report.blocks.push_back(fid);
+    report.blocks.push_back(fifo("output-fifo", config.output_depth, fid_bits + 16));
+
+    BlockUsage housekeeping;
+    housekeeping.block = "flow-state-housekeeping";
+    housekeeping.alms = 600;  // timeout compare + scan pointer + Del_req gen
+    housekeeping.registers = 2000;
+    // On-chip cache of per-flow timestamps for the scanner (the bulk of the
+    // 512-bit records lives in DDR3, §V-C).
+    housekeeping.memory_bits = 49152ull * 32;
+    report.blocks.push_back(housekeeping);
+
+    for (const BlockUsage& block : report.blocks) {
+        report.total_alms += block.alms;
+        report.total_memory_bits += block.memory_bits;
+        report.total_registers += block.registers;
+    }
+    return report;
+}
+
+}  // namespace flowcam::fpga

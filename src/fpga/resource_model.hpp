@@ -1,0 +1,54 @@
+// Static FPGA resource estimator — the Table I substitute.
+//
+// Quartus synthesis is not reproducible without the RTL and toolchain, so
+// we reproduce the *accounting*: a per-block resource model (ALMs, block
+// memory bits, registers) whose constants are calibrated such that the
+// paper's prototype configuration (8 M flows, two quarter-rate DDR3
+// controllers, Stratix V 5SGXEA7N2F45C2) lands near Table I:
+//   31,006 ALMs (13 %) | 2,604,288 block-memory bits (5 %) | 39,664 regs
+//   2 PLLs | 2 DLLs.
+// The value of the model is the breakdown — which block dominates which
+// resource and how usage scales with CAM depth, queue sizes and tuple
+// width — which is what a designer would use the paper's Table I for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+
+namespace flowcam::fpga {
+
+struct BlockUsage {
+    std::string block;
+    u64 alms = 0;
+    u64 memory_bits = 0;
+    u64 registers = 0;
+};
+
+struct ResourceReport {
+    std::vector<BlockUsage> blocks;
+    u64 total_alms = 0;
+    u64 total_memory_bits = 0;
+    u64 total_registers = 0;
+    u32 plls = 2;  ///< system + memory reference clocks.
+    u32 dlls = 2;  ///< one per DDR3 interface.
+
+    /// Device capacities of the Stratix V 5SGXEA7N2F45C2.
+    static constexpr u64 kDeviceAlms = 234720;
+    static constexpr u64 kDeviceMemoryBits = 52428800;  ///< 50 Mbit M20K.
+
+    [[nodiscard]] double alm_fraction() const {
+        return static_cast<double>(total_alms) / kDeviceAlms;
+    }
+    [[nodiscard]] double memory_fraction() const {
+        return static_cast<double>(total_memory_bits) / kDeviceMemoryBits;
+    }
+};
+
+/// Estimate resources for a Flow LUT configuration. `tuple_bits` is the
+/// widest key the comparators must handle (104 for an IPv4 5-tuple).
+[[nodiscard]] ResourceReport estimate(const core::FlowLutConfig& config, u32 tuple_bits = 104);
+
+}  // namespace flowcam::fpga

@@ -1,0 +1,34 @@
+#include "hash/crc32c.hpp"
+
+#include <array>
+
+namespace flowcam::hash {
+namespace {
+
+constexpr u32 kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<u32, 256> make_table() {
+    std::array<u32, 256> table{};
+    for (u32 byte = 0; byte < 256; ++byte) {
+        u32 crc = byte;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+        }
+        table[byte] = crc;
+    }
+    return table;
+}
+
+constexpr std::array<u32, 256> kTable = make_table();
+
+}  // namespace
+
+u32 crc32c(std::span<const u8> bytes, u32 seed) {
+    u32 crc = ~seed;
+    for (const u8 byte : bytes) {
+        crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+}  // namespace flowcam::hash

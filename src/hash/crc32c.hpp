@@ -1,0 +1,38 @@
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// CRCs are the canonical FPGA hash: an LFSR over the key bits. CRC-32C in
+// particular has good dispersion on structured network headers, which is why
+// it is also used by iSCSI and ext4. Table-driven (slice-by-1) software
+// implementation; hardware equivalent is a parallel XOR tree.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::hash {
+
+/// Raw streaming CRC-32C over bytes, init/final XOR 0xFFFFFFFF.
+[[nodiscard]] u32 crc32c(std::span<const u8> bytes, u32 seed = 0);
+
+class Crc32cHash final : public HashFunction {
+  public:
+    explicit Crc32cHash(u64 seed) : seed_(seed) {}
+
+    [[nodiscard]] u64 digest(std::span<const u8> bytes) const override {
+        // Two passes with decorrelated seeds give a 64-bit digest; the upper
+        // half uses a rotated seed so digest(x) high/low words differ.
+        const u32 lo = crc32c(bytes, static_cast<u32>(seed_));
+        const u32 hi = crc32c(bytes, static_cast<u32>(seed_ >> 32) ^ lo ^ 0x9e3779b9u);
+        return (static_cast<u64>(hi) << 32) | lo;
+    }
+
+    [[nodiscard]] std::string name() const override { return "crc32c"; }
+
+  private:
+    u64 seed_;
+};
+
+}  // namespace flowcam::hash

@@ -1,0 +1,33 @@
+#include "hash/hash_function.hpp"
+
+#include "hash/crc32c.hpp"
+#include "hash/h3.hpp"
+#include "hash/lookup3.hpp"
+#include "hash/murmur3.hpp"
+#include "hash/tabulation.hpp"
+
+namespace flowcam::hash {
+
+const char* to_string(HashKind kind) {
+    switch (kind) {
+        case HashKind::kCrc32c: return "crc32c";
+        case HashKind::kLookup3: return "lookup3";
+        case HashKind::kMurmur3: return "murmur3";
+        case HashKind::kTabulation: return "tabulation";
+        case HashKind::kH3: return "h3";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<HashFunction> make_hash(HashKind kind, u64 seed) {
+    switch (kind) {
+        case HashKind::kCrc32c: return std::make_unique<Crc32cHash>(seed);
+        case HashKind::kLookup3: return std::make_unique<Lookup3Hash>(seed);
+        case HashKind::kMurmur3: return std::make_unique<Murmur3Hash>(seed);
+        case HashKind::kTabulation: return std::make_unique<TabulationHash>(seed);
+        case HashKind::kH3: return std::make_unique<H3Hash>(seed);
+    }
+    return nullptr;
+}
+
+}  // namespace flowcam::hash

@@ -1,0 +1,34 @@
+#include "hash/h3.hpp"
+
+#include "common/rng.hpp"
+
+namespace flowcam::hash {
+
+H3Hash::H3Hash(u64 seed, std::size_t max_key_bytes) : rows_(max_key_bytes) {
+    Xoshiro256 rng(seed ^ 0x48334833c3a5c3a5ull);
+    // Draw one random 64-bit column per key *bit*, then precompute the XOR of
+    // all selected columns for each possible byte value (28 entries per byte
+    // position) so digest() is one table read + XOR per key byte.
+    for (auto& row : rows_) {
+        u64 columns[8];
+        for (auto& column : columns) column = rng();
+        row.resize(256);
+        for (u32 value = 0; value < 256; ++value) {
+            u64 acc = 0;
+            for (int bit = 0; bit < 8; ++bit) {
+                if ((value >> bit) & 1u) acc ^= columns[bit];
+            }
+            row[value] = acc;
+        }
+    }
+}
+
+u64 H3Hash::digest(std::span<const u8> bytes) const {
+    u64 h = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        h ^= rows_[i % rows_.size()][bytes[i]];
+    }
+    return h;
+}
+
+}  // namespace flowcam::hash

@@ -1,0 +1,32 @@
+// H3 hash family (Carter & Wegman): h(x) = Q·x over GF(2), where Q is a
+// random bit matrix. Each output bit is the XOR (parity) of a random subset
+// of key bits — exactly one LUT/XOR tree per output bit in an FPGA, making H3
+// the archetypal hardware hash and the most faithful model of the "Index
+// Generation" block in the paper's Fig. 1.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::hash {
+
+class H3Hash final : public HashFunction {
+  public:
+    /// `max_key_bytes` bounds the matrix width; longer keys are pre-folded.
+    explicit H3Hash(u64 seed, std::size_t max_key_bytes = 64);
+
+    [[nodiscard]] u64 digest(std::span<const u8> bytes) const override;
+
+    [[nodiscard]] std::string name() const override { return "h3"; }
+
+  private:
+    // rows_[byte_position][byte_value] = XOR of the 8 per-bit matrix columns
+    // selected by that byte value — a precomputed byte-granular view of Q.
+    std::vector<std::vector<u64>> rows_;
+};
+
+}  // namespace flowcam::hash

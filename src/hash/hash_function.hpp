@@ -1,0 +1,43 @@
+// Common interface for the hash blocks used to index the Flow LUT.
+//
+// The paper's scheme hashes an n-tuple packet descriptor with "two
+// pre-selected hash functions" (§III-B). We provide several families with
+// hardware-realistic cost profiles: CRC (LFSR-based), H3 (XOR matrix — the
+// classic FPGA hash block), Jenkins lookup3, Murmur3 and tabulation hashing.
+// All are deterministic functions of (seed, bytes).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace flowcam::hash {
+
+class HashFunction {
+  public:
+    virtual ~HashFunction() = default;
+
+    /// 64-bit digest of the byte string.
+    [[nodiscard]] virtual u64 digest(std::span<const u8> bytes) const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class HashKind : u8 {
+    kCrc32c,
+    kLookup3,
+    kMurmur3,
+    kTabulation,
+    kH3,
+};
+
+[[nodiscard]] const char* to_string(HashKind kind);
+
+/// Factory. `seed` differentiates independent instances of the same kind
+/// (e.g. Hash1/Hash2 in the paper's two-choice table).
+[[nodiscard]] std::unique_ptr<HashFunction> make_hash(HashKind kind, u64 seed);
+
+}  // namespace flowcam::hash

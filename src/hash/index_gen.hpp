@@ -1,0 +1,60 @@
+// The "Index Generation" block of the paper's Fig. 1: hashes an n-tuple key
+// with two (or more) pre-selected hash functions and reduces each digest to a
+// bucket index for its memory set.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::hash {
+
+class IndexGenerator {
+  public:
+    /// `buckets_per_mem` must be a power of two (a hardware index is a bit
+    /// slice). `paths` is 2 for the paper's dual-hash scheme; >2 models the
+    /// multi-path extension sketched in the paper's conclusion.
+    IndexGenerator(HashKind kind, u64 seed, u64 buckets_per_mem, u32 paths = 2)
+        : buckets_(buckets_per_mem), index_bits_(log2_pow2(ceil_pow2(buckets_per_mem))) {
+        for (u32 path = 0; path < paths; ++path) {
+            // Seeds are decorrelated per path; same kind for all paths, as in
+            // a real duplicated hardware hash block.
+            hashes_.push_back(make_hash(kind, seed + 0x9e3779b97f4a7c15ull * (path + 1)));
+        }
+    }
+
+    [[nodiscard]] u32 paths() const { return static_cast<u32>(hashes_.size()); }
+    [[nodiscard]] u64 buckets_per_mem() const { return buckets_; }
+
+    /// Full 64-bit digest on `path` (used by tables that also store a
+    /// verification fingerprint).
+    [[nodiscard]] u64 digest(u32 path, std::span<const u8> key) const {
+        return hashes_.at(path)->digest(key);
+    }
+
+    /// Bucket index on `path`: XOR-fold of the digest down to index width,
+    /// then clamp to the bucket count (identity when count is a power of 2).
+    [[nodiscard]] u64 index(u32 path, std::span<const u8> key) const {
+        return xor_fold(digest(path, key), index_bits_) % buckets_;
+    }
+
+    /// All per-path indices at once, as the hardware computes them in
+    /// parallel on packet arrival.
+    [[nodiscard]] std::vector<u64> indices(std::span<const u8> key) const {
+        std::vector<u64> out;
+        out.reserve(hashes_.size());
+        for (u32 path = 0; path < hashes_.size(); ++path) out.push_back(index(path, key));
+        return out;
+    }
+
+  private:
+    std::vector<std::unique_ptr<HashFunction>> hashes_;
+    u64 buckets_;
+    u32 index_bits_;
+};
+
+}  // namespace flowcam::hash

@@ -1,0 +1,67 @@
+#include "hash/lookup3.hpp"
+
+namespace flowcam::hash {
+namespace {
+
+constexpr u32 rot(u32 x, int k) { return (x << k) | (x >> (32 - k)); }
+
+struct Triple {
+    u32 a, b, c;
+};
+
+void mix(Triple& t) {
+    t.a -= t.c; t.a ^= rot(t.c, 4); t.c += t.b;
+    t.b -= t.a; t.b ^= rot(t.a, 6); t.a += t.c;
+    t.c -= t.b; t.c ^= rot(t.b, 8); t.b += t.a;
+    t.a -= t.c; t.a ^= rot(t.c, 16); t.c += t.b;
+    t.b -= t.a; t.b ^= rot(t.a, 19); t.a += t.c;
+    t.c -= t.b; t.c ^= rot(t.b, 4); t.b += t.a;
+}
+
+void final_mix(Triple& t) {
+    t.c ^= t.b; t.c -= rot(t.b, 14);
+    t.a ^= t.c; t.a -= rot(t.c, 11);
+    t.b ^= t.a; t.b -= rot(t.a, 25);
+    t.c ^= t.b; t.c -= rot(t.b, 16);
+    t.a ^= t.c; t.a -= rot(t.c, 4);
+    t.b ^= t.a; t.b -= rot(t.a, 14);
+    t.c ^= t.b; t.c -= rot(t.b, 24);
+}
+
+u32 read_u32_le(const u8* p, std::size_t available) {
+    u32 value = 0;
+    for (std::size_t i = 0; i < 4 && i < available; ++i) {
+        value |= static_cast<u32>(p[i]) << (8 * i);
+    }
+    return value;
+}
+
+}  // namespace
+
+u64 lookup3(std::span<const u8> bytes, u32 seed_pc, u32 seed_pb) {
+    const auto length = static_cast<u32>(bytes.size());
+    Triple t{0xdeadbeefu + length + seed_pc, 0xdeadbeefu + length + seed_pc,
+             0xdeadbeefu + length + seed_pc};
+    t.c += seed_pb;
+
+    const u8* p = bytes.data();
+    std::size_t remaining = bytes.size();
+    while (remaining > 12) {
+        t.a += read_u32_le(p, remaining);
+        t.b += read_u32_le(p + 4, remaining - 4);
+        t.c += read_u32_le(p + 8, remaining - 8);
+        mix(t);
+        p += 12;
+        remaining -= 12;
+    }
+
+    if (remaining > 0) {
+        t.a += read_u32_le(p, remaining);
+        if (remaining > 4) t.b += read_u32_le(p + 4, remaining - 4);
+        if (remaining > 8) t.c += read_u32_le(p + 8, remaining - 8);
+        final_mix(t);
+    }
+    return (static_cast<u64>(t.c) << 32) | t.b;
+}
+
+}  // namespace flowcam::hash

@@ -1,0 +1,31 @@
+// Bob Jenkins' lookup3 (hashlittle2 variant) producing a 64-bit digest.
+// A classic software/NPU flow hash; included as one of the selectable
+// "pre-selected hash functions" of the paper's scheme.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::hash {
+
+/// hashlittle2: returns (pc<<32)|pb after mixing with the two 32-bit seeds.
+[[nodiscard]] u64 lookup3(std::span<const u8> bytes, u32 seed_pc, u32 seed_pb);
+
+class Lookup3Hash final : public HashFunction {
+  public:
+    explicit Lookup3Hash(u64 seed) : seed_(seed) {}
+
+    [[nodiscard]] u64 digest(std::span<const u8> bytes) const override {
+        return lookup3(bytes, static_cast<u32>(seed_), static_cast<u32>(seed_ >> 32));
+    }
+
+    [[nodiscard]] std::string name() const override { return "lookup3"; }
+
+  private:
+    u64 seed_;
+};
+
+}  // namespace flowcam::hash

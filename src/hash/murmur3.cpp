@@ -1,0 +1,69 @@
+#include "hash/murmur3.hpp"
+
+namespace flowcam::hash {
+namespace {
+
+constexpr u64 rotl64(u64 x, int r) { return (x << r) | (x >> (64 - r)); }
+
+constexpr u64 fmix64(u64 k) {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return k;
+}
+
+u64 read_u64_le(const u8* p) {
+    u64 value = 0;
+    for (int i = 0; i < 8; ++i) value |= static_cast<u64>(p[i]) << (8 * i);
+    return value;
+}
+
+}  // namespace
+
+Murmur3Digest murmur3_x64_128(std::span<const u8> bytes, u64 seed) {
+    const std::size_t nblocks = bytes.size() / 16;
+    u64 h1 = seed;
+    u64 h2 = seed;
+    constexpr u64 c1 = 0x87c37b91114253d5ull;
+    constexpr u64 c2 = 0x4cf5ad432745937full;
+
+    const u8* data = bytes.data();
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        u64 k1 = read_u64_le(data + i * 16);
+        u64 k2 = read_u64_le(data + i * 16 + 8);
+
+        k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+        h1 = rotl64(h1, 27); h1 += h2; h1 = h1 * 5 + 0x52dce729;
+        k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+        h2 = rotl64(h2, 31); h2 += h1; h2 = h2 * 5 + 0x38495ab5;
+    }
+
+    const u8* tail = data + nblocks * 16;
+    const std::size_t tail_len = bytes.size() & 15u;
+    u64 k1 = 0;
+    u64 k2 = 0;
+    for (std::size_t i = tail_len; i > 8; --i) k2 |= static_cast<u64>(tail[i - 1]) << ((i - 9) * 8);
+    if (tail_len > 8) {
+        k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+    }
+    for (std::size_t i = std::min<std::size_t>(tail_len, 8); i > 0; --i) {
+        k1 |= static_cast<u64>(tail[i - 1]) << ((i - 1) * 8);
+    }
+    if (tail_len > 0) {
+        k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+    }
+
+    h1 ^= static_cast<u64>(bytes.size());
+    h2 ^= static_cast<u64>(bytes.size());
+    h1 += h2;
+    h2 += h1;
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 += h2;
+    h2 += h1;
+    return Murmur3Digest{h1, h2};
+}
+
+}  // namespace flowcam::hash

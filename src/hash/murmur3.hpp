@@ -1,0 +1,34 @@
+// MurmurHash3 x64/128 (Austin Appleby, public domain), truncated to the low
+// 64 bits of the 128-bit digest.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::hash {
+
+struct Murmur3Digest {
+    u64 lo;
+    u64 hi;
+};
+
+[[nodiscard]] Murmur3Digest murmur3_x64_128(std::span<const u8> bytes, u64 seed);
+
+class Murmur3Hash final : public HashFunction {
+  public:
+    explicit Murmur3Hash(u64 seed) : seed_(seed) {}
+
+    [[nodiscard]] u64 digest(std::span<const u8> bytes) const override {
+        return murmur3_x64_128(bytes, seed_).lo;
+    }
+
+    [[nodiscard]] std::string name() const override { return "murmur3"; }
+
+  private:
+    u64 seed_;
+};
+
+}  // namespace flowcam::hash

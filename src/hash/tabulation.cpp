@@ -1,0 +1,30 @@
+#include "hash/tabulation.hpp"
+
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace flowcam::hash {
+
+TabulationHash::TabulationHash(u64 seed, std::size_t max_key_bytes)
+    : tables_(max_key_bytes) {
+    Xoshiro256 rng(seed ^ 0x7ab17a7e5eedull);
+    for (auto& table : tables_) {
+        for (auto& entry : table) entry = rng();
+    }
+}
+
+u64 TabulationHash::digest(std::span<const u8> bytes) const {
+    u64 h = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        const auto pos = i % tables_.size();
+        const u64 entry = tables_[pos][bytes[i]];
+        // Wrap-around keys mix in the lap count so byte 0 and byte 64 of a
+        // long key do not cancel under XOR.
+        const auto lap = static_cast<int>((i / tables_.size()) % 63);
+        h ^= std::rotl(entry, lap);
+    }
+    return h;
+}
+
+}  // namespace flowcam::hash

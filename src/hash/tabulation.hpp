@@ -1,0 +1,31 @@
+// Simple tabulation hashing: per-byte-position random tables XORed together.
+// 3-independent and remarkably strong in practice (Pătraşcu & Thorup); in
+// hardware it is one block-RAM read per key byte plus an XOR tree, which is
+// why it is a natural fit for FPGA hash blocks alongside H3.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/hash_function.hpp"
+
+namespace flowcam::hash {
+
+class TabulationHash final : public HashFunction {
+  public:
+    /// `max_key_bytes` positions are supported; longer keys wrap around with
+    /// a position-dependent rotation so no byte is silently ignored.
+    explicit TabulationHash(u64 seed, std::size_t max_key_bytes = 64);
+
+    [[nodiscard]] u64 digest(std::span<const u8> bytes) const override;
+
+    [[nodiscard]] std::string name() const override { return "tabulation"; }
+
+  private:
+    std::vector<std::array<u64, 256>> tables_;
+};
+
+}  // namespace flowcam::hash

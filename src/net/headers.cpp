@@ -1,0 +1,136 @@
+#include "net/headers.hpp"
+
+#include <algorithm>
+
+namespace flowcam::net {
+namespace {
+
+void put16(std::vector<u8>& out, u16 value) {
+    out.push_back(static_cast<u8>(value >> 8));
+    out.push_back(static_cast<u8>(value));
+}
+
+void put32(std::vector<u8>& out, u32 value) {
+    put16(out, static_cast<u16>(value >> 16));
+    put16(out, static_cast<u16>(value));
+}
+
+u16 get16(std::span<const u8> data, std::size_t offset) {
+    return static_cast<u16>((data[offset] << 8) | data[offset + 1]);
+}
+
+u32 get32(std::span<const u8> data, std::size_t offset) {
+    return (static_cast<u32>(get16(data, offset)) << 16) | get16(data, offset + 2);
+}
+
+}  // namespace
+
+u16 ipv4_header_checksum(std::span<const u8> header) {
+    u32 sum = 0;
+    for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+        sum += get16(header, i);
+    }
+    if (header.size() % 2 == 1) sum += static_cast<u32>(header.back()) << 8;
+    while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+    return static_cast<u16>(~sum);
+}
+
+std::vector<u8> build_packet(const PacketSpec& spec) {
+    std::vector<u8> frame;
+    const bool is_tcp = spec.tuple.protocol == kProtoTcp;
+    const std::size_t l4_bytes = is_tcp ? 20 : 8;
+    const auto ip_total =
+        static_cast<u16>(kIpv4MinHeaderBytes + l4_bytes + spec.payload_bytes);
+    frame.reserve(kEthHeaderBytes + ip_total + 4);
+
+    // Ethernet.
+    frame.insert(frame.end(), spec.dst_mac.octets.begin(), spec.dst_mac.octets.end());
+    frame.insert(frame.end(), spec.src_mac.octets.begin(), spec.src_mac.octets.end());
+    if (spec.vlan) {
+        put16(frame, kEtherTypeVlan);
+        put16(frame, *spec.vlan & 0x0FFF);
+    }
+    put16(frame, kEtherTypeIpv4);
+
+    // IPv4 (no options).
+    const std::size_t ip_start = frame.size();
+    frame.push_back(0x45);  // version 4, IHL 5
+    frame.push_back(0);     // DSCP/ECN
+    put16(frame, ip_total);
+    put16(frame, 0x1234);  // identification
+    put16(frame, 0x4000);  // DF, fragment offset 0
+    frame.push_back(spec.ttl);
+    frame.push_back(spec.tuple.protocol);
+    put16(frame, 0);  // checksum placeholder
+    put32(frame, spec.tuple.src_ip);
+    put32(frame, spec.tuple.dst_ip);
+    const u16 checksum = ipv4_header_checksum(
+        std::span<const u8>{frame.data() + ip_start, kIpv4MinHeaderBytes});
+    frame[ip_start + 10] = static_cast<u8>(checksum >> 8);
+    frame[ip_start + 11] = static_cast<u8>(checksum);
+
+    // L4.
+    if (is_tcp) {
+        put16(frame, spec.tuple.src_port);
+        put16(frame, spec.tuple.dst_port);
+        put32(frame, 0);        // seq
+        put32(frame, 0);        // ack
+        frame.push_back(0x50);  // data offset 5
+        frame.push_back(0x10);  // ACK flag
+        put16(frame, 0xFFFF);   // window
+        put16(frame, 0);        // checksum (not computed for synthetic packets)
+        put16(frame, 0);        // urgent
+    } else {
+        put16(frame, spec.tuple.src_port);
+        put16(frame, spec.tuple.dst_port);
+        put16(frame, static_cast<u16>(8 + spec.payload_bytes));
+        put16(frame, 0);  // checksum
+    }
+
+    frame.insert(frame.end(), spec.payload_bytes, 0);
+    return frame;
+}
+
+std::optional<ParsedPacket> parse_packet(std::span<const u8> frame) {
+    if (frame.size() < kEthHeaderBytes + kIpv4MinHeaderBytes) return std::nullopt;
+
+    std::size_t offset = 12;
+    u16 ether_type = get16(frame, offset);
+    offset += 2;
+    bool has_vlan = false;
+    if (ether_type == kEtherTypeVlan) {
+        if (frame.size() < offset + 4) return std::nullopt;
+        has_vlan = true;
+        offset += 2;  // skip TCI
+        ether_type = get16(frame, offset);
+        offset += 2;
+    }
+    if (ether_type != kEtherTypeIpv4) return std::nullopt;
+
+    if (frame.size() < offset + kIpv4MinHeaderBytes) return std::nullopt;
+    const u8 version_ihl = frame[offset];
+    if ((version_ihl >> 4) != 4) return std::nullopt;
+    const std::size_t ihl_bytes = static_cast<std::size_t>(version_ihl & 0x0F) * 4;
+    if (ihl_bytes < kIpv4MinHeaderBytes || frame.size() < offset + ihl_bytes) return std::nullopt;
+
+    ParsedPacket parsed;
+    parsed.has_vlan = has_vlan;
+    parsed.ip_total_length = get16(frame, offset + 2);
+    parsed.frame_bytes = static_cast<u16>(frame.size());
+    parsed.tuple.protocol = frame[offset + 9];
+    parsed.tuple.src_ip = get32(frame, offset + 12);
+    parsed.tuple.dst_ip = get32(frame, offset + 16);
+
+    const std::size_t l4 = offset + ihl_bytes;
+    if (parsed.tuple.protocol == kProtoTcp || parsed.tuple.protocol == kProtoUdp) {
+        if (frame.size() < l4 + 4) return std::nullopt;
+        parsed.tuple.src_port = get16(frame, l4);
+        parsed.tuple.dst_port = get16(frame, l4 + 2);
+    } else {
+        parsed.tuple.src_port = 0;
+        parsed.tuple.dst_port = 0;
+    }
+    return parsed;
+}
+
+}  // namespace flowcam::net

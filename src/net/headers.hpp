@@ -1,0 +1,54 @@
+// Minimal Ethernet/IPv4/TCP/UDP header codecs: enough to build raw test
+// packets and to extract the 5-tuple descriptor the way the prototype's
+// header parser does in front of the Flow LUT.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/tuple.hpp"
+
+namespace flowcam::net {
+
+inline constexpr u16 kEtherTypeIpv4 = 0x0800;
+inline constexpr u16 kEtherTypeVlan = 0x8100;
+inline constexpr std::size_t kEthHeaderBytes = 14;
+inline constexpr std::size_t kIpv4MinHeaderBytes = 20;
+
+struct MacAddress {
+    std::array<u8, 6> octets{};
+};
+
+/// Everything needed to synthesize one well-formed packet.
+struct PacketSpec {
+    MacAddress src_mac;
+    MacAddress dst_mac;
+    std::optional<u16> vlan;  ///< 802.1Q tag if set.
+    FiveTuple tuple;
+    u16 payload_bytes = 0;
+    u8 ttl = 64;
+};
+
+/// Serialize a packet (L2 through L4 + zero payload). No FCS.
+[[nodiscard]] std::vector<u8> build_packet(const PacketSpec& spec);
+
+/// Result of parsing a raw frame.
+struct ParsedPacket {
+    FiveTuple tuple;
+    u16 ip_total_length = 0;
+    u16 frame_bytes = 0;  ///< L2 frame size as given (no FCS).
+    bool has_vlan = false;
+};
+
+/// Parse Ethernet[+VLAN]/IPv4/{TCP,UDP}. Returns nullopt for anything the
+/// flow path cannot classify (non-IPv4, truncated, unsupported protocol —
+/// ICMP parses with zero ports, matching how flow processors bucket it).
+[[nodiscard]] std::optional<ParsedPacket> parse_packet(std::span<const u8> frame);
+
+/// RFC 1071 checksum over a header.
+[[nodiscard]] u16 ipv4_header_checksum(std::span<const u8> header);
+
+}  // namespace flowcam::net

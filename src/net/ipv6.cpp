@@ -1,0 +1,164 @@
+#include "net/ipv6.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "net/headers.hpp"
+
+namespace flowcam::net {
+namespace {
+
+void put16v(std::vector<u8>& out, u16 value) {
+    out.push_back(static_cast<u8>(value >> 8));
+    out.push_back(static_cast<u8>(value));
+}
+
+u16 get16s(std::span<const u8> data, std::size_t offset) {
+    return static_cast<u16>((data[offset] << 8) | data[offset + 1]);
+}
+
+}  // namespace
+
+Ipv6Address Ipv6Address::from_words(u64 hi, u64 lo) {
+    Ipv6Address address;
+    for (int i = 0; i < 8; ++i) {
+        address.octets[i] = static_cast<u8>(hi >> (8 * (7 - i)));
+        address.octets[8 + i] = static_cast<u8>(lo >> (8 * (7 - i)));
+    }
+    return address;
+}
+
+std::string Ipv6Address::to_string() const {
+    // Canonical-enough form: eight colon-separated hex groups (no ::
+    // compression; this is diagnostic output, not RFC 5952).
+    std::ostringstream os;
+    os << std::hex;
+    for (int group = 0; group < 8; ++group) {
+        if (group > 0) os << ':';
+        os << ((octets[group * 2] << 8) | octets[group * 2 + 1]);
+    }
+    return os.str();
+}
+
+std::array<u8, SixTuple::kKeyBytes> SixTuple::key_bytes() const {
+    std::array<u8, kKeyBytes> out{};
+    std::copy(src_ip.octets.begin(), src_ip.octets.end(), out.begin());
+    std::copy(dst_ip.octets.begin(), dst_ip.octets.end(), out.begin() + 16);
+    out[32] = static_cast<u8>(src_port >> 8);
+    out[33] = static_cast<u8>(src_port);
+    out[34] = static_cast<u8>(dst_port >> 8);
+    out[35] = static_cast<u8>(dst_port);
+    out[36] = protocol;
+    return out;
+}
+
+SixTuple SixTuple::from_key_bytes(std::span<const u8> bytes) {
+    SixTuple t;
+    if (bytes.size() < kKeyBytes) return t;
+    std::copy_n(bytes.begin(), 16, t.src_ip.octets.begin());
+    std::copy_n(bytes.begin() + 16, 16, t.dst_ip.octets.begin());
+    t.src_port = static_cast<u16>((bytes[32] << 8) | bytes[33]);
+    t.dst_port = static_cast<u16>((bytes[34] << 8) | bytes[35]);
+    t.protocol = bytes[36];
+    return t;
+}
+
+NTuple SixTuple::to_ntuple() const {
+    const auto key = key_bytes();
+    return NTuple(std::span<const u8>{key.data(), key.size()});
+}
+
+std::string SixTuple::to_string() const {
+    std::ostringstream os;
+    os << '[' << src_ip.to_string() << "]:" << src_port << " -> [" << dst_ip.to_string()
+       << "]:" << dst_port << " proto " << static_cast<int>(protocol);
+    return os.str();
+}
+
+std::vector<u8> build_packet_v6(const Ipv6PacketSpec& spec) {
+    std::vector<u8> frame;
+    const bool is_tcp = spec.tuple.protocol == kProtoTcp;
+    const std::size_t l4_bytes = is_tcp ? 20 : 8;
+    const auto payload_length = static_cast<u16>(l4_bytes + spec.payload_bytes);
+    frame.reserve(kEthHeaderBytes + kIpv6HeaderBytes + payload_length);
+
+    // Ethernet (zero MACs; flow identification ignores L2).
+    frame.insert(frame.end(), 12, 0);
+    put16v(frame, kEtherTypeIpv6);
+
+    // IPv6 fixed header.
+    frame.push_back(0x60);  // version 6, traffic class 0 (upper nibble)
+    frame.push_back(0);     // traffic class / flow label
+    frame.push_back(0);
+    frame.push_back(0);
+    put16v(frame, payload_length);
+    frame.push_back(spec.tuple.protocol);  // next header
+    frame.push_back(spec.hop_limit);
+    frame.insert(frame.end(), spec.tuple.src_ip.octets.begin(), spec.tuple.src_ip.octets.end());
+    frame.insert(frame.end(), spec.tuple.dst_ip.octets.begin(), spec.tuple.dst_ip.octets.end());
+
+    // L4 (same shapes as the IPv4 codec).
+    if (is_tcp) {
+        put16v(frame, spec.tuple.src_port);
+        put16v(frame, spec.tuple.dst_port);
+        frame.insert(frame.end(), 8, 0);  // seq + ack
+        frame.push_back(0x50);
+        frame.push_back(0x10);
+        put16v(frame, 0xFFFF);
+        put16v(frame, 0);
+        put16v(frame, 0);
+    } else {
+        put16v(frame, spec.tuple.src_port);
+        put16v(frame, spec.tuple.dst_port);
+        put16v(frame, static_cast<u16>(8 + spec.payload_bytes));
+        put16v(frame, 0);
+    }
+    frame.insert(frame.end(), spec.payload_bytes, 0);
+    return frame;
+}
+
+std::optional<ParsedPacketV6> parse_packet_v6(std::span<const u8> frame) {
+    if (frame.size() < kEthHeaderBytes + kIpv6HeaderBytes) return std::nullopt;
+    if (get16s(frame, 12) != kEtherTypeIpv6) return std::nullopt;
+
+    const std::size_t ip = kEthHeaderBytes;
+    if ((frame[ip] >> 4) != 6) return std::nullopt;
+
+    ParsedPacketV6 parsed;
+    parsed.payload_length = get16s(frame, ip + 4);
+    parsed.frame_bytes = static_cast<u16>(frame.size());
+    const u8 next_header = frame[ip + 6];
+    // Fast path handles TCP/UDP/ICMPv6 directly after the fixed header;
+    // anything else (extension headers) goes to the slow path.
+    if (next_header != kProtoTcp && next_header != kProtoUdp && next_header != 58) {
+        return std::nullopt;
+    }
+    parsed.tuple.protocol = next_header;
+    std::copy_n(frame.begin() + static_cast<std::ptrdiff_t>(ip + 8), 16,
+                parsed.tuple.src_ip.octets.begin());
+    std::copy_n(frame.begin() + static_cast<std::ptrdiff_t>(ip + 24), 16,
+                parsed.tuple.dst_ip.octets.begin());
+
+    const std::size_t l4 = ip + kIpv6HeaderBytes;
+    if (next_header == kProtoTcp || next_header == kProtoUdp) {
+        if (frame.size() < l4 + 4) return std::nullopt;
+        parsed.tuple.src_port = get16s(frame, l4);
+        parsed.tuple.dst_port = get16s(frame, l4 + 2);
+    }
+    return parsed;
+}
+
+SixTuple synth_tuple_v6(u64 flow_index, u64 seed) {
+    Xoshiro256 rng(seed ^ (flow_index * 0x9e3779b97f4a7c15ull + 0x76543210));
+    SixTuple t;
+    // 2001:db8::/32 documentation prefix with random interface ids.
+    t.src_ip = Ipv6Address::from_words(0x20010db800000000ull | (rng() & 0xFFFFFFFF), rng());
+    t.dst_ip = Ipv6Address::from_words(0x20010db800000000ull | (rng() & 0xFFFFFFFF), rng());
+    t.src_port = static_cast<u16>(rng.bounded(65535 - 1024) + 1024);
+    t.dst_port = rng.chance(0.7) ? 443 : static_cast<u16>(rng.bounded(65535 - 1024) + 1024);
+    t.protocol = rng.chance(0.85) ? kProtoTcp : kProtoUdp;
+    return t;
+}
+
+}  // namespace flowcam::net

@@ -1,0 +1,77 @@
+// IPv6 flow keys and header codec.
+//
+// The paper's scheme is "scalable with respect to flow table entries and
+// number of tuples for lookup" (§VI); an IPv6 5-tuple is the canonical
+// wider tuple: 37 bytes serialized (2x16B addresses + ports + protocol),
+// which still fits the NTuple/CAM key budget (40 B) and a 48-byte table
+// entry. This header provides the address type, the 5-tuple, and an
+// Ethernet/IPv6/{TCP,UDP} codec mirroring the IPv4 one.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/tuple.hpp"
+
+namespace flowcam::net {
+
+inline constexpr u16 kEtherTypeIpv6 = 0x86DD;
+inline constexpr std::size_t kIpv6HeaderBytes = 40;
+
+struct Ipv6Address {
+    std::array<u8, 16> octets{};
+
+    [[nodiscard]] static Ipv6Address from_words(u64 hi, u64 lo);
+    [[nodiscard]] std::string to_string() const;
+
+    friend auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+};
+
+/// IPv6 5-tuple, 37 bytes serialized.
+struct SixTuple {
+    Ipv6Address src_ip;
+    Ipv6Address dst_ip;
+    u16 src_port = 0;
+    u16 dst_port = 0;
+    u8 protocol = 0;
+
+    static constexpr std::size_t kKeyBytes = 37;
+
+    [[nodiscard]] std::array<u8, kKeyBytes> key_bytes() const;
+    [[nodiscard]] static SixTuple from_key_bytes(std::span<const u8> bytes);
+    [[nodiscard]] NTuple to_ntuple() const;
+    [[nodiscard]] std::string to_string() const;
+
+    friend auto operator<=>(const SixTuple&, const SixTuple&) = default;
+};
+
+/// Packet spec for synthesizing IPv6 frames.
+struct Ipv6PacketSpec {
+    SixTuple tuple;
+    u16 payload_bytes = 0;
+    u8 hop_limit = 64;
+};
+
+/// Serialize Ethernet/IPv6/{TCP,UDP} (no FCS, no extension headers).
+[[nodiscard]] std::vector<u8> build_packet_v6(const Ipv6PacketSpec& spec);
+
+struct ParsedPacketV6 {
+    SixTuple tuple;
+    u16 payload_length = 0;
+    u16 frame_bytes = 0;
+};
+
+/// Parse an Ethernet/IPv6/{TCP,UDP} frame. Extension headers are not
+/// traversed (the hardware fast path punts those to software);
+/// frames with extension headers return nullopt.
+[[nodiscard]] std::optional<ParsedPacketV6> parse_packet_v6(std::span<const u8> frame);
+
+/// Deterministic synthetic IPv6 tuple per flow index (mirrors synth_tuple).
+[[nodiscard]] SixTuple synth_tuple_v6(u64 flow_index, u64 seed);
+
+}  // namespace flowcam::net

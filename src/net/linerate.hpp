@@ -1,0 +1,45 @@
+// Ethernet line-rate arithmetic (paper §V-B).
+//
+// "For general analysis of flow processing, a minimum Layer 1 Ethernet
+// packet size of 72 bytes is assumed... At 40Gbps Ethernet link, the packet
+// processing rate is required to be 59.52 Mpps with a standard interframe
+// gap of 12-byte time. If the IPG is reduced to 1-byte time in the worst
+// case, the packet processing rate is required to be 68.49 Mpps."
+//
+// The 72-byte L1 size = 64-byte minimum frame + 7-byte preamble + 1-byte
+// SFD; the IPG rides on top.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace flowcam::net {
+
+inline constexpr double kPreambleSfdBytes = 8.0;   // 7 preamble + 1 SFD
+inline constexpr double kStandardIpgBytes = 12.0;  // IEEE 802.3
+inline constexpr double kMinFrameBytes = 64.0;     // min L2 frame (with FCS)
+
+struct LineRateQuery {
+    double link_gbps = 40.0;
+    double l2_frame_bytes = kMinFrameBytes;
+    double ipg_bytes = kStandardIpgBytes;
+};
+
+/// Packets per second the link can carry wall-to-wall.
+[[nodiscard]] constexpr double packets_per_second(const LineRateQuery& q) {
+    const double wire_bytes = q.l2_frame_bytes + kPreambleSfdBytes + q.ipg_bytes;
+    return q.link_gbps * 1e9 / 8.0 / wire_bytes;
+}
+
+[[nodiscard]] constexpr double mpps(const LineRateQuery& q) {
+    return packets_per_second(q) / 1e6;
+}
+
+/// Inverse question the paper answers in §V-B: what throughput (Gbps) does a
+/// processor sustaining `lookup_mpps` support at minimum packet size?
+[[nodiscard]] constexpr double supported_gbps(double lookup_mpps, double l2_frame_bytes = kMinFrameBytes,
+                                              double ipg_bytes = kStandardIpgBytes) {
+    const double wire_bytes = l2_frame_bytes + kPreambleSfdBytes + ipg_bytes;
+    return lookup_mpps * 1e6 * wire_bytes * 8.0 / 1e9;
+}
+
+}  // namespace flowcam::net

@@ -1,0 +1,113 @@
+#include "net/trace.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace flowcam::net {
+
+FiveTuple synth_tuple(u64 flow_index, u64 seed) {
+    // One RNG draw sequence per flow index: fully deterministic, collision-
+    // free enough for billions of flows (96 bits of entropy in the tuple).
+    Xoshiro256 rng(seed ^ (flow_index * 0x9e3779b97f4a7c15ull + 0x1234567));
+    FiveTuple t;
+    // Public-looking addresses, avoiding 0.0.0.0/8 and 255.x.
+    t.src_ip = static_cast<u32>(rng.bounded(0xDFFFFFFF - 0x01000000) + 0x01000000);
+    t.dst_ip = static_cast<u32>(rng.bounded(0xDFFFFFFF - 0x01000000) + 0x01000000);
+    // Client ephemeral port to a popular service port mix.
+    t.src_port = static_cast<u16>(rng.bounded(65535 - 1024) + 1024);
+    constexpr u16 kServices[] = {80, 443, 53, 22, 25, 123, 8080, 3306};
+    t.dst_port = rng.chance(0.7) ? kServices[rng.bounded(8)]
+                                 : static_cast<u16>(rng.bounded(65535 - 1024) + 1024);
+    t.protocol = rng.chance(0.8) ? kProtoTcp : (rng.chance(0.9) ? kProtoUdp : kProtoIcmp);
+    return t;
+}
+
+TraceGenerator::TraceGenerator(const TraceConfig& config)
+    : config_(config), rng_(config.seed) {
+    assert(config.discount > 0.0 && config.discount < 1.0);
+    assert(config.strength > -config.discount);
+}
+
+u64 TraceGenerator::draw_flow() {
+    const auto t = static_cast<double>(assignments_.size());
+    const double k = static_cast<double>(flow_count_);
+    const double denom = config_.strength + t;
+    const double p_new = (config_.strength + config_.discount * k) / denom;
+    if (assignments_.empty() || rng_.uniform() < p_new) {
+        return flow_count_++;  // new flow
+    }
+    // Existing flow j with probability ∝ (n_j - d): pick a uniformly random
+    // previous packet (∝ n_j), accept with probability (n_j - d)/n_j.
+    // Acceptance ≥ 1-d, so this terminates in O(1) expected iterations.
+    for (;;) {
+        const u64 candidate = assignments_[rng_.bounded(assignments_.size())];
+        const double n_j = static_cast<double>(flow_sizes_[candidate]);
+        if (rng_.uniform() < 1.0 - config_.discount / n_j) return candidate;
+    }
+}
+
+PacketRecord TraceGenerator::next() {
+    const u64 flow = draw_flow();
+    assignments_.push_back(flow);
+    if (flow >= flow_sizes_.size()) flow_sizes_.push_back(0);
+    ++flow_sizes_[flow];
+
+    PacketRecord record;
+    record.flow_index = flow;
+    record.tuple = tuple_for_flow(flow);
+    // Exponential inter-arrival around the configured mean.
+    const double gap = -config_.mean_gap_ns * std::log(1.0 - rng_.uniform());
+    now_ns_ += static_cast<u64>(gap) + 1;
+    record.timestamp_ns = now_ns_;
+    // Tri-modal size mix.
+    const u64 roll = rng_.bounded(1000);
+    if (roll < config_.p64_milli) {
+        record.frame_bytes = 64;
+    } else if (roll < config_.p64_milli + config_.p576_milli) {
+        record.frame_bytes = 576;
+    } else {
+        record.frame_bytes = 1500;
+    }
+    return record;
+}
+
+FiveTuple TraceGenerator::tuple_for_flow(u64 flow_index) {
+    return synth_tuple(flow_index, config_.seed);
+}
+
+std::vector<FlowGrowthPoint> measure_flow_growth(const TraceConfig& config,
+                                                 const std::vector<u64>& windows) {
+    TraceGenerator generator(config);
+    std::vector<FlowGrowthPoint> points;
+    points.reserve(windows.size());
+    u64 emitted = 0;
+    for (const u64 window : windows) {
+        while (emitted < window) {
+            (void)generator.next();
+            ++emitted;
+        }
+        FlowGrowthPoint point;
+        point.packets = window;
+        point.new_flows = generator.flow_count();
+        point.ratio = static_cast<double>(point.new_flows) / static_cast<double>(window);
+        points.push_back(point);
+    }
+    return points;
+}
+
+UniformFlowWorkload::UniformFlowWorkload(u64 flow_count, u64 seed) : rng_(seed ^ 0xBEEF) {
+    flows_.reserve(flow_count);
+    for (u64 i = 0; i < flow_count; ++i) flows_.push_back(synth_tuple(i, seed));
+}
+
+PacketRecord UniformFlowWorkload::next() {
+    PacketRecord record;
+    record.flow_index = rng_.bounded(flows_.size());
+    record.tuple = flows_[record.flow_index];
+    now_ns_ += 17;
+    record.timestamp_ns = now_ns_;
+    record.frame_bytes = 64;
+    return record;
+}
+
+}  // namespace flowcam::net

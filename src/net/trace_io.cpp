@@ -1,0 +1,79 @@
+#include "net/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace flowcam::net {
+namespace {
+
+constexpr std::size_t kRecordBytes = 24;
+
+void put_le(u8* out, u64 value, std::size_t bytes) {
+    for (std::size_t i = 0; i < bytes; ++i) out[i] = static_cast<u8>(value >> (8 * i));
+}
+
+u64 get_le(const u8* in, std::size_t bytes) {
+    u64 value = 0;
+    for (std::size_t i = 0; i < bytes; ++i) value |= static_cast<u64>(in[i]) << (8 * i);
+    return value;
+}
+
+}  // namespace
+
+Status write_trace(const std::string& path, const std::vector<PacketRecord>& records) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status(StatusCode::kUnavailable, "cannot open " + path);
+
+    std::array<u8, 8> header{};
+    std::memcpy(header.data(), kTraceMagic, 4);
+    put_le(header.data() + 4, records.size(), 4);
+    out.write(reinterpret_cast<const char*>(header.data()), header.size());
+
+    std::array<u8, kRecordBytes> record{};
+    for (const PacketRecord& packet : records) {
+        put_le(record.data(), packet.timestamp_ns, 8);
+        put_le(record.data() + 8, packet.tuple.src_ip, 4);
+        put_le(record.data() + 12, packet.tuple.dst_ip, 4);
+        put_le(record.data() + 16, packet.tuple.src_port, 2);
+        put_le(record.data() + 18, packet.tuple.dst_port, 2);
+        record[20] = packet.tuple.protocol;
+        record[21] = 0;
+        put_le(record.data() + 22, packet.frame_bytes, 2);
+        out.write(reinterpret_cast<const char*>(record.data()), record.size());
+    }
+    if (!out) return Status(StatusCode::kUnavailable, "short write to " + path);
+    return Status::ok();
+}
+
+Result<std::vector<PacketRecord>> read_trace(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status(StatusCode::kUnavailable, "cannot open " + path);
+
+    std::array<u8, 8> header{};
+    in.read(reinterpret_cast<char*>(header.data()), header.size());
+    if (!in || std::memcmp(header.data(), kTraceMagic, 4) != 0) {
+        return Status(StatusCode::kInvalidArgument, "bad trace magic in " + path);
+    }
+    const u64 count = get_le(header.data() + 4, 4);
+
+    std::vector<PacketRecord> records;
+    records.reserve(count);
+    std::array<u8, kRecordBytes> record{};
+    for (u64 i = 0; i < count; ++i) {
+        in.read(reinterpret_cast<char*>(record.data()), record.size());
+        if (!in) return Status(StatusCode::kInvalidArgument, "truncated trace " + path);
+        PacketRecord packet;
+        packet.timestamp_ns = get_le(record.data(), 8);
+        packet.tuple.src_ip = static_cast<u32>(get_le(record.data() + 8, 4));
+        packet.tuple.dst_ip = static_cast<u32>(get_le(record.data() + 12, 4));
+        packet.tuple.src_port = static_cast<u16>(get_le(record.data() + 16, 2));
+        packet.tuple.dst_port = static_cast<u16>(get_le(record.data() + 18, 2));
+        packet.tuple.protocol = record[20];
+        packet.frame_bytes = static_cast<u16>(get_le(record.data() + 22, 2));
+        records.push_back(packet);
+    }
+    return records;
+}
+
+}  // namespace flowcam::net

@@ -1,0 +1,27 @@
+// Binary trace file format ("FCT1"): a fixed 16-byte little-endian record
+// per packet. Lets examples persist generated traces and re-run experiments
+// on identical input without carrying a pcap dependency.
+//
+// Record layout: u64 timestamp_ns | u32 src_ip | u32 dst_ip  (16 bytes)
+//                u16 src_port | u16 dst_port | u8 proto | u8 pad | u16 bytes
+// (so 24 bytes total per record, after the 8-byte file header).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::net {
+
+inline constexpr char kTraceMagic[4] = {'F', 'C', 'T', '1'};
+
+/// Write records to `path`. Returns kUnavailable when the file cannot open.
+Status write_trace(const std::string& path, const std::vector<PacketRecord>& records);
+
+/// Read a whole trace file back.
+Result<std::vector<PacketRecord>> read_trace(const std::string& path);
+
+}  // namespace flowcam::net

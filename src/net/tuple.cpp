@@ -1,0 +1,78 @@
+#include "net/tuple.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flowcam::net {
+namespace {
+
+void put_be(u8* out, u64 value, std::size_t bytes) {
+    for (std::size_t i = 0; i < bytes; ++i) {
+        out[i] = static_cast<u8>(value >> (8 * (bytes - 1 - i)));
+    }
+}
+
+u64 get_be(const u8* in, std::size_t bytes) {
+    u64 value = 0;
+    for (std::size_t i = 0; i < bytes; ++i) value = (value << 8) | in[i];
+    return value;
+}
+
+}  // namespace
+
+std::array<u8, FiveTuple::kKeyBytes> FiveTuple::key_bytes() const {
+    std::array<u8, kKeyBytes> out{};
+    put_be(out.data(), src_ip, 4);
+    put_be(out.data() + 4, dst_ip, 4);
+    put_be(out.data() + 8, src_port, 2);
+    put_be(out.data() + 10, dst_port, 2);
+    out[12] = protocol;
+    return out;
+}
+
+FiveTuple FiveTuple::from_key_bytes(std::span<const u8> bytes) {
+    FiveTuple t;
+    if (bytes.size() < kKeyBytes) return t;
+    t.src_ip = static_cast<u32>(get_be(bytes.data(), 4));
+    t.dst_ip = static_cast<u32>(get_be(bytes.data() + 4, 4));
+    t.src_port = static_cast<u16>(get_be(bytes.data() + 8, 2));
+    t.dst_port = static_cast<u16>(get_be(bytes.data() + 10, 2));
+    t.protocol = bytes[12];
+    return t;
+}
+
+std::string FiveTuple::to_string() const {
+    const auto ip = [](u32 addr) {
+        std::ostringstream os;
+        os << ((addr >> 24) & 0xFF) << '.' << ((addr >> 16) & 0xFF) << '.' << ((addr >> 8) & 0xFF)
+           << '.' << (addr & 0xFF);
+        return os.str();
+    };
+    std::ostringstream os;
+    os << ip(src_ip) << ':' << src_port << " -> " << ip(dst_ip) << ':' << dst_port << " proto "
+       << static_cast<int>(protocol);
+    return os.str();
+}
+
+NTuple::NTuple(std::span<const u8> bytes) {
+    length_ = std::min(bytes.size(), kMaxBytes);
+    std::copy_n(bytes.begin(), length_, bytes_.begin());
+}
+
+NTuple NTuple::from_five_tuple(const FiveTuple& tuple) {
+    const auto key = tuple.key_bytes();
+    return NTuple(std::span<const u8>{key.data(), key.size()});
+}
+
+void NTuple::append_field(u64 value, std::size_t bytes) {
+    const std::size_t room = kMaxBytes - length_;
+    const std::size_t take = std::min(bytes, room);
+    // Keep the least-significant `take` bytes so a truncated field is still
+    // discriminating.
+    for (std::size_t i = 0; i < take; ++i) {
+        bytes_[length_ + i] = static_cast<u8>(value >> (8 * (take - 1 - i)));
+    }
+    length_ += take;
+}
+
+}  // namespace flowcam::net

@@ -1,0 +1,86 @@
+// Flow keys: the classic IPv4 5-tuple and a generalized n-tuple container.
+//
+// The paper identifies flows by "common n-tuple information" — destination/
+// source addresses, destination/source ports and protocol (§III-B). The
+// serialized byte form of a tuple is the key fed to the hash blocks and
+// stored in the Flow LUT for exact match.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace flowcam::net {
+
+/// IPv4 5-tuple, 13 bytes serialized.
+struct FiveTuple {
+    u32 src_ip = 0;
+    u32 dst_ip = 0;
+    u16 src_port = 0;
+    u16 dst_port = 0;
+    u8 protocol = 0;
+
+    static constexpr std::size_t kKeyBytes = 13;
+
+    /// Canonical big-endian byte serialization (what the header parser
+    /// extracts on the wire path).
+    [[nodiscard]] std::array<u8, kKeyBytes> key_bytes() const;
+    [[nodiscard]] static FiveTuple from_key_bytes(std::span<const u8> bytes);
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+};
+
+struct FiveTupleHash {
+    std::size_t operator()(const FiveTuple& t) const {
+        // FNV-1a over the serialized key; only for host-side std containers.
+        u64 h = 0xcbf29ce484222325ull;
+        for (const u8 byte : t.key_bytes()) {
+            h ^= byte;
+            h *= 0x100000001b3ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/// Generalized n-tuple: a bounded byte string of header fields. Covers IPv6
+/// 5-tuples (37 bytes) and user-defined field sets; the Flow LUT treats keys
+/// opaquely, which is what makes the scheme "scalable with respect to ...
+/// number of tuples" (paper §VI).
+class NTuple {
+  public:
+    static constexpr std::size_t kMaxBytes = 40;
+
+    NTuple() = default;
+    explicit NTuple(std::span<const u8> bytes);
+    [[nodiscard]] static NTuple from_five_tuple(const FiveTuple& tuple);
+
+    [[nodiscard]] std::span<const u8> view() const { return {bytes_.data(), length_}; }
+    [[nodiscard]] std::size_t size() const { return length_; }
+    [[nodiscard]] bool empty() const { return length_ == 0; }
+
+    /// Append one field (big-endian). Silently truncates at kMaxBytes — the
+    /// hardware key register has a fixed width.
+    void append_field(u64 value, std::size_t bytes);
+
+    friend bool operator==(const NTuple& a, const NTuple& b) {
+        return a.length_ == b.length_ &&
+               std::equal(a.bytes_.begin(), a.bytes_.begin() + a.length_, b.bytes_.begin());
+    }
+
+  private:
+    std::array<u8, kMaxBytes> bytes_{};
+    std::size_t length_ = 0;
+};
+
+/// Protocol numbers used across examples and tests.
+inline constexpr u8 kProtoTcp = 6;
+inline constexpr u8 kProtoUdp = 17;
+inline constexpr u8 kProtoIcmp = 1;
+
+}  // namespace flowcam::net

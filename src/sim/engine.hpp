@@ -1,0 +1,70 @@
+// The simulation engine: a fixed-order cycle loop over registered Tickers.
+//
+// Clock domains: the engine's base cycle is the *system* clock (200 MHz in
+// the paper's prototype). A component registered with ticks_per_cycle = m
+// belongs to a clock domain running m times faster — e.g. the DDR3 command
+// clock behind a quarter-rate controller (m = 4, 800 MHz). Within one system
+// cycle the faster domain's ticks are interleaved before the commit phase, so
+// cross-domain FIFOs still obey the one-cycle visibility rule of the slower
+// (consumer-facing) domain.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/ticker.hpp"
+
+namespace flowcam::sim {
+
+class Engine {
+  public:
+    /// Register a block. Order of registration is tick order within a cycle;
+    /// callers should register in pipeline order (sources first).
+    void add(Ticker& ticker, u32 ticks_per_cycle = 1) {
+        blocks_.push_back(Entry{&ticker, ticks_per_cycle});
+    }
+
+    /// Register a commit hook (normally Fifo<T>::commit) run after all ticks.
+    void add_commit(std::function<void()> hook) { commits_.push_back(std::move(hook)); }
+
+    /// Execute one system-clock cycle.
+    void step() {
+        for (auto& entry : blocks_) {
+            for (u32 sub = 0; sub < entry.ticks_per_cycle; ++sub) {
+                entry.ticker->tick(now_ * entry.ticks_per_cycle + sub);
+            }
+        }
+        for (auto& hook : commits_) hook();
+        ++now_;
+    }
+
+    /// Run `cycles` system-clock cycles.
+    void run(u64 cycles) {
+        for (u64 i = 0; i < cycles; ++i) step();
+    }
+
+    /// Run until `done()` returns true or the cycle budget is exhausted.
+    /// Returns true if the predicate fired.
+    bool run_until(const std::function<bool()>& done, u64 max_cycles) {
+        for (u64 i = 0; i < max_cycles; ++i) {
+            if (done()) return true;
+            step();
+        }
+        return done();
+    }
+
+    [[nodiscard]] Cycle now() const { return now_; }
+
+  private:
+    struct Entry {
+        Ticker* ticker;
+        u32 ticks_per_cycle;
+    };
+    std::vector<Entry> blocks_;
+    std::vector<std::function<void()>> commits_;
+    Cycle now_ = 0;
+};
+
+}  // namespace flowcam::sim

@@ -1,0 +1,103 @@
+// Bounded FIFO with hardware-like two-phase semantics.
+//
+// In RTL, a value written into a register FIFO this cycle is visible to the
+// consumer only on the next cycle. We model that with a staging area: pushes
+// go to `staged_`, and `commit()` (called once per cycle by the simulation
+// engine, between cycles) moves staged entries into the visible queue. This
+// makes block tick order irrelevant to functional results — a key property
+// for deterministic simulation (and asserted by tests/sim_fifo_test.cpp).
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace flowcam::sim {
+
+template <typename T>
+class Fifo {
+  public:
+    explicit Fifo(std::size_t capacity, std::string name = "fifo")
+        : capacity_(capacity), name_(std::move(name)) {
+        assert(capacity_ > 0);
+    }
+
+    /// True if a push would be accepted this cycle (combinational "ready").
+    /// Hardware full/empty flags are computed against committed + staged
+    /// occupancy so a producer cannot overfill within one cycle.
+    [[nodiscard]] bool can_push() const {
+        return queue_.size() + staged_.size() < capacity_;
+    }
+
+    /// Stage one element for visibility next cycle. Returns false when full.
+    [[nodiscard]] bool push(T value) {
+        if (!can_push()) return false;
+        staged_.push_back(std::move(value));
+        ++total_pushed_;
+        return true;
+    }
+
+    [[nodiscard]] bool empty() const { return queue_.empty(); }
+    [[nodiscard]] std::size_t size() const { return queue_.size(); }
+    [[nodiscard]] std::size_t staged_size() const { return staged_.size(); }
+    [[nodiscard]] std::size_t occupancy() const { return queue_.size() + staged_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// Front element visible this cycle; nullopt when empty.
+    [[nodiscard]] const T* front() const { return queue_.empty() ? nullptr : &queue_.front(); }
+
+    /// Pop the front element. Precondition: !empty().
+    T pop() {
+        assert(!queue_.empty());
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        ++total_popped_;
+        return value;
+    }
+
+    std::optional<T> try_pop() {
+        if (queue_.empty()) return std::nullopt;
+        return pop();
+    }
+
+    /// Move staged pushes into the visible queue. Called by the engine once
+    /// per cycle after all tickers have run.
+    void commit() {
+        while (!staged_.empty()) {
+            queue_.push_back(std::move(staged_.front()));
+            staged_.pop_front();
+        }
+    }
+
+    void clear() {
+        queue_.clear();
+        staged_.clear();
+    }
+
+    [[nodiscard]] u64 total_pushed() const { return total_pushed_; }
+    [[nodiscard]] u64 total_popped() const { return total_popped_; }
+
+    /// Iteration over committed entries (for schedulers that scan queues,
+    /// e.g. the DLU bank selector). Mutation via iterators is allowed — the
+    /// bank selector removes from the middle, like a hardware pick network.
+    auto begin() { return queue_.begin(); }
+    auto end() { return queue_.end(); }
+    auto begin() const { return queue_.begin(); }
+    auto end() const { return queue_.end(); }
+    auto erase(typename std::deque<T>::iterator it) { ++total_popped_; return queue_.erase(it); }
+
+  private:
+    std::size_t capacity_;
+    std::string name_;
+    std::deque<T> queue_;
+    std::deque<T> staged_;
+    u64 total_pushed_ = 0;
+    u64 total_popped_ = 0;
+};
+
+}  // namespace flowcam::sim

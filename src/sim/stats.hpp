@@ -1,0 +1,130 @@
+// Lightweight statistics primitives: counters, min/max/mean accumulators,
+// fixed-bucket histograms and windowed rate meters. These drive every number
+// the benchmark harness prints, so they are deliberately simple and exact.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace flowcam::sim {
+
+/// Monotonic event counter.
+class Counter {
+  public:
+    void inc(u64 by = 1) { value_ += by; }
+    [[nodiscard]] u64 value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/// Accumulates samples and reports count/sum/mean/min/max.
+class Accumulator {
+  public:
+    void add(double sample) {
+        ++count_;
+        sum_ += sample;
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+
+    [[nodiscard]] u64 count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+    [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    void reset() { *this = Accumulator{}; }
+
+  private:
+    u64 count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear histogram over [0, bucket_width * bucket_count); overflow bucket
+/// collects the tail. Used for latency distributions.
+class Histogram {
+  public:
+    Histogram(double bucket_width, std::size_t bucket_count)
+        : bucket_width_(bucket_width), buckets_(bucket_count + 1, 0) {}
+
+    void add(double sample) {
+        acc_.add(sample);
+        auto idx = static_cast<std::size_t>(std::max(sample, 0.0) / bucket_width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+
+    [[nodiscard]] const Accumulator& summary() const { return acc_; }
+    [[nodiscard]] u64 bucket(std::size_t i) const { return buckets_.at(i); }
+    [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+    /// Value below which `fraction` of the samples fall (bucket-granular).
+    [[nodiscard]] double percentile(double fraction) const {
+        const u64 total = acc_.count();
+        if (total == 0) return 0.0;
+        const auto target = static_cast<u64>(std::ceil(fraction * static_cast<double>(total)));
+        u64 seen = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            seen += buckets_[i];
+            if (seen >= target) return bucket_width_ * static_cast<double>(i + 1);
+        }
+        return bucket_width_ * static_cast<double>(buckets_.size());
+    }
+
+  private:
+    double bucket_width_;
+    std::vector<u64> buckets_;
+    Accumulator acc_;
+};
+
+/// Busy/idle tracker for a shared resource (e.g. the DQ bus): ratio of busy
+/// cycles to elapsed cycles over a measurement window.
+class UtilizationMeter {
+  public:
+    void mark_busy(Cycle now, u64 busy_cycles = 1) {
+        last_cycle_ = std::max(last_cycle_, now + busy_cycles);
+        busy_ += busy_cycles;
+    }
+
+    void observe(Cycle now) { last_cycle_ = std::max(last_cycle_, now); }
+
+    void start_window(Cycle now) {
+        window_start_ = now;
+        busy_ = 0;
+        last_cycle_ = now;
+    }
+
+    [[nodiscard]] u64 busy_cycles() const { return busy_; }
+    [[nodiscard]] u64 elapsed_cycles() const {
+        return last_cycle_ > window_start_ ? last_cycle_ - window_start_ : 0;
+    }
+    [[nodiscard]] double utilization() const {
+        const u64 elapsed = elapsed_cycles();
+        return elapsed == 0 ? 0.0 : static_cast<double>(busy_) / static_cast<double>(elapsed);
+    }
+
+  private:
+    Cycle window_start_ = 0;
+    Cycle last_cycle_ = 0;
+    u64 busy_ = 0;
+};
+
+/// Converts an event count over simulated cycles at a clock frequency into a
+/// mega-events-per-second rate — the unit of the paper's Table II.
+[[nodiscard]] inline double mega_per_second(u64 events, Cycle cycles, double clock_hz) {
+    if (cycles == 0) return 0.0;
+    const double seconds = static_cast<double>(cycles) / clock_hz;
+    return static_cast<double>(events) / seconds / 1e6;
+}
+
+}  // namespace flowcam::sim

@@ -1,0 +1,25 @@
+// Cycle-driven simulation contract. Every hardware block in the Flow LUT
+// model is a Ticker: the engine calls tick() exactly once per cycle of the
+// block's clock domain, in a fixed deterministic order that mirrors the RTL
+// pipeline direction (consumers before producers is handled by two-phase
+// queues, see fifo.hpp).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace flowcam::sim {
+
+class Ticker {
+  public:
+    virtual ~Ticker() = default;
+
+    /// Advance one clock cycle. `now` is the cycle number being executed.
+    virtual void tick(Cycle now) = 0;
+
+    /// Stable block name for diagnostics and statistics dumps.
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace flowcam::sim

@@ -1,0 +1,85 @@
+#include "table/bloom_cam.hpp"
+
+namespace flowcam::table {
+
+BloomCamTable::BloomCamTable(const BloomCamConfig& config)
+    : config_(config),
+      indexer_(config.table.hash_kind, config.table.seed, config.table.buckets, /*paths=*/1),
+      entries_(static_cast<std::size_t>(config.table.buckets) * config.table.ways),
+      cam_(config.cam_capacity),
+      diverted_(config.bloom_bits, config.bloom_hashes, hash::HashKind::kH3,
+                config.table.seed ^ 0xB100F) {}
+
+std::optional<u64> BloomCamTable::lookup(std::span<const u8> key) {
+    ++stats_.lookups;
+    // The Bloom filter steers: keys recorded as diverted search the CAM
+    // first; everything else goes straight to its bucket.
+    if (diverted_.maybe_contains(key)) {
+        ++stats_.cam_searches;
+        if (const auto hit = cam_.lookup(key)) {
+            ++stats_.hits;
+            return hit;
+        }
+        ++bloom_false_positives_;  // steered to CAM but not there.
+    }
+    ++stats_.bucket_reads;
+    for (const Entry& entry : bucket(indexer_.index(0, key))) {
+        if (entry.matches(key)) {
+            ++stats_.hits;
+            return entry.payload;
+        }
+    }
+    return std::nullopt;
+}
+
+Status BloomCamTable::insert(std::span<const u8> key, u64 payload) {
+    ++stats_.inserts;
+    ++stats_.bucket_reads;
+    auto slots = bucket(indexer_.index(0, key));
+    Entry* free_slot = nullptr;
+    for (Entry& entry : slots) {
+        if (entry.matches(key)) return Status(StatusCode::kAlreadyExists);
+        if (!entry.valid && free_slot == nullptr) free_slot = &entry;
+    }
+    if (free_slot != nullptr) {
+        free_slot->assign(key, payload);
+        ++stats_.bucket_writes;
+        ++size_;
+        return Status::ok();
+    }
+
+    // Bucket overflow: divert to the CAM and remember that in the filter.
+    ++stats_.cam_searches;
+    if (cam_.peek(key)) return Status(StatusCode::kAlreadyExists);
+    const Status status = cam_.insert(key, payload);
+    if (!status.is_ok()) {
+        ++stats_.insert_failures;
+        return status;
+    }
+    ++stats_.cam_inserts;
+    diverted_.add(key);
+    ++size_;
+    return Status::ok();
+}
+
+Status BloomCamTable::erase(std::span<const u8> key) {
+    ++stats_.erases;
+    ++stats_.bucket_reads;
+    for (Entry& entry : bucket(indexer_.index(0, key))) {
+        if (entry.matches(key)) {
+            entry.valid = false;
+            ++stats_.bucket_writes;
+            --size_;
+            return Status::ok();
+        }
+    }
+    ++stats_.cam_searches;
+    if (cam_.erase(key).is_ok()) {
+        diverted_.remove(key);
+        --size_;
+        return Status::ok();
+    }
+    return Status(StatusCode::kNotFound);
+}
+
+}  // namespace flowcam::table

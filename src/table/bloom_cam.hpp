@@ -1,0 +1,57 @@
+// Baseline 4: "Non-collision Hash Scheme Using Bloom Filter and CAM"
+// (Li [8]). A single-hash bucket table backed by a CAM for colliding keys;
+// a counting Bloom filter in front of the CAM records which keys were
+// diverted there so most lookups skip the CAM search.
+#pragma once
+
+#include <memory>
+
+#include "bloom/bloom.hpp"
+#include "cam/cam.hpp"
+#include "hash/index_gen.hpp"
+#include "table/lookup_table.hpp"
+#include "table/single_hash.hpp"
+
+namespace flowcam::table {
+
+struct BloomCamConfig {
+    BucketTableConfig table;
+    std::size_t cam_capacity = 256;
+    u64 bloom_bits = 1 << 14;
+    u32 bloom_hashes = 4;
+};
+
+class BloomCamTable final : public LookupTable {
+  public:
+    explicit BloomCamTable(const BloomCamConfig& config);
+
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key) override;
+    Status insert(std::span<const u8> key, u64 payload) override;
+    Status erase(std::span<const u8> key) override;
+
+    [[nodiscard]] u64 size() const override { return size_; }
+    [[nodiscard]] u64 capacity() const override {
+        return static_cast<u64>(config_.table.buckets) * config_.table.ways +
+               config_.cam_capacity;
+    }
+    [[nodiscard]] std::string name() const override { return "bloom+cam"; }
+
+    /// Lookups where the Bloom filter wrongly pointed at the CAM.
+    [[nodiscard]] u64 bloom_false_positives() const { return bloom_false_positives_; }
+    [[nodiscard]] const cam::Cam& overflow_cam() const { return cam_; }
+
+  private:
+    [[nodiscard]] std::span<Entry> bucket(u64 index) {
+        return {entries_.data() + index * config_.table.ways, config_.table.ways};
+    }
+
+    BloomCamConfig config_;
+    hash::IndexGenerator indexer_;
+    std::vector<Entry> entries_;
+    cam::Cam cam_;
+    bloom::CountingBloom diverted_;
+    u64 size_ = 0;
+    u64 bloom_false_positives_ = 0;
+};
+
+}  // namespace flowcam::table

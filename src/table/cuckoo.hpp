@@ -1,0 +1,59 @@
+// Baseline 3: cuckoo hashing (Thinh et al. [7] applied it on FPGA for
+// pattern matching). Two hash functions; an insert that finds both buckets
+// full kicks a resident entry to its alternate location. The paper calls out
+// the drawback this bench quantifies: "the nondeterministic time to build up
+// a hash table because the newly inserted keys sometimes need to kick out
+// the keys that are already there" — we record the kick-chain length
+// distribution. Lookup stays O(1): exactly two bucket probes.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/index_gen.hpp"
+#include "sim/stats.hpp"
+#include "table/lookup_table.hpp"
+#include "table/single_hash.hpp"
+
+namespace flowcam::table {
+
+class CuckooTable final : public LookupTable {
+  public:
+    /// `max_kicks` bounds the displacement chain; exceeding it fails the
+    /// insert (a real system would rehash).
+    CuckooTable(const BucketTableConfig& config, u32 max_kicks = 64);
+
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key) override;
+    Status insert(std::span<const u8> key, u64 payload) override;
+    Status erase(std::span<const u8> key) override;
+
+    [[nodiscard]] u64 size() const override { return size_; }
+    [[nodiscard]] u64 capacity() const override {
+        return static_cast<u64>(config_.buckets) * config_.ways * 2;
+    }
+    [[nodiscard]] std::string name() const override { return "cuckoo"; }
+
+    /// Kick-chain length histogram (the nondeterministic-insert evidence).
+    [[nodiscard]] const sim::Histogram& kick_histogram() const { return kicks_; }
+
+    /// Residents dropped by exhausted kick chains (0 below safe load).
+    [[nodiscard]] u64 lost_entries() const { return lost_entries_; }
+
+  private:
+    [[nodiscard]] std::span<Entry> bucket(u32 mem, u64 index) {
+        return {mems_[mem].data() + index * config_.ways, config_.ways};
+    }
+    /// Try to place into any free way of (mem, index); true on success.
+    bool place(u32 mem, u64 index, std::span<const u8> key, u64 payload);
+
+    BucketTableConfig config_;
+    u32 max_kicks_;
+    hash::IndexGenerator indexer_;
+    std::vector<Entry> mems_[2];
+    u64 size_ = 0;
+    sim::Histogram kicks_{1.0, 129};
+    Xoshiro256 victim_rng_;  ///< seeded; random-walk victim selection.
+    u64 lost_entries_ = 0;
+};
+
+}  // namespace flowcam::table

@@ -1,0 +1,107 @@
+#include "table/kirsch_one_move.hpp"
+
+namespace flowcam::table {
+
+KirschOneMoveTable::KirschOneMoveTable(const KirschConfig& config)
+    : config_(config),
+      indexer_(config.hash_kind, config.seed, config.buckets_per_level, config.levels),
+      levels_(static_cast<std::size_t>(config.buckets_per_level) * config.levels),
+      cam_(config.cam_capacity) {}
+
+Entry& KirschOneMoveTable::slot(u32 level, std::span<const u8> key) {
+    const u64 index = indexer_.index(level, key);
+    return levels_[static_cast<std::size_t>(level) * config_.buckets_per_level + index];
+}
+
+std::optional<u64> KirschOneMoveTable::lookup(std::span<const u8> key) {
+    ++stats_.lookups;
+    for (u32 level = 0; level < config_.levels; ++level) {
+        ++stats_.bucket_reads;
+        const Entry& entry = slot(level, key);
+        if (entry.matches(key)) {
+            ++stats_.hits;
+            return entry.payload;
+        }
+    }
+    ++stats_.cam_searches;
+    if (const auto hit = cam_.lookup(key)) {
+        ++stats_.hits;
+        return hit;
+    }
+    return std::nullopt;
+}
+
+Status KirschOneMoveTable::insert(std::span<const u8> key, u64 payload) {
+    ++stats_.inserts;
+
+    // Duplicate scan + find first empty level.
+    i32 first_free = -1;
+    for (u32 level = 0; level < config_.levels; ++level) {
+        ++stats_.bucket_reads;
+        Entry& entry = slot(level, key);
+        if (entry.matches(key)) return Status(StatusCode::kAlreadyExists);
+        if (!entry.valid && first_free < 0) first_free = static_cast<i32>(level);
+    }
+    ++stats_.cam_searches;
+    if (cam_.peek(key)) return Status(StatusCode::kAlreadyExists);
+
+    if (first_free >= 0) {
+        slot(static_cast<u32>(first_free), key).assign(key, payload);
+        ++stats_.bucket_writes;
+        ++size_;
+        return Status::ok();
+    }
+
+    // All levels occupied for this key: try ONE move — find a resident whose
+    // own next-choice slot is free, relocate it, take its place.
+    for (u32 level = 0; level < config_.levels; ++level) {
+        Entry& resident = slot(level, key);
+        const std::span<const u8> rkey{resident.key.data(), resident.key_length};
+        for (u32 other = 0; other < config_.levels; ++other) {
+            if (other == level) continue;
+            ++stats_.bucket_reads;
+            Entry& alternative = slot(other, rkey);
+            if (!alternative.valid) {
+                alternative = resident;
+                resident.assign(key, payload);
+                stats_.bucket_writes += 2;
+                ++stats_.relocations;
+                ++moves_;
+                ++size_;
+                return Status::ok();
+            }
+        }
+    }
+
+    // One move was not enough: overflow list (CAM).
+    const Status status = cam_.insert(key, payload);
+    if (!status.is_ok()) {
+        ++stats_.insert_failures;
+        return status;
+    }
+    ++stats_.cam_inserts;
+    ++size_;
+    return Status::ok();
+}
+
+Status KirschOneMoveTable::erase(std::span<const u8> key) {
+    ++stats_.erases;
+    for (u32 level = 0; level < config_.levels; ++level) {
+        ++stats_.bucket_reads;
+        Entry& entry = slot(level, key);
+        if (entry.matches(key)) {
+            entry.valid = false;
+            ++stats_.bucket_writes;
+            --size_;
+            return Status::ok();
+        }
+    }
+    ++stats_.cam_searches;
+    if (cam_.erase(key).is_ok()) {
+        --size_;
+        return Status::ok();
+    }
+    return Status(StatusCode::kNotFound);
+}
+
+}  // namespace flowcam::table

@@ -1,0 +1,90 @@
+// Common interface for all flow-lookup structures, so the baseline
+// comparison bench (ablation A5) drives the paper's Hash-CAM scheme and the
+// related-work schemes ([6]-[9]) through identical key streams.
+//
+// Cost accounting: every implementation reports how many bucket reads,
+// bucket writes, entry relocations and CAM operations each call generated.
+// On the FPGA those are the expensive operations (DDR bursts and CAM
+// searches), so they are the fair comparison metric for a functional model.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace flowcam::table {
+
+struct AccessStats {
+    u64 lookups = 0;
+    u64 hits = 0;
+    u64 inserts = 0;
+    u64 insert_failures = 0;
+    u64 erases = 0;
+    u64 bucket_reads = 0;    ///< DDR burst reads a hardware version would do.
+    u64 bucket_writes = 0;   ///< DDR burst writes.
+    u64 relocations = 0;     ///< entries moved (cuckoo kicks, one-move).
+    u64 cam_searches = 0;
+    u64 cam_inserts = 0;
+
+    [[nodiscard]] double reads_per_lookup() const {
+        return lookups == 0 ? 0.0 : static_cast<double>(bucket_reads) / static_cast<double>(lookups);
+    }
+};
+
+class LookupTable {
+  public:
+    virtual ~LookupTable() = default;
+
+    /// Find the payload stored under `key`.
+    [[nodiscard]] virtual std::optional<u64> lookup(std::span<const u8> key) = 0;
+
+    /// Insert `key` -> `payload`. kAlreadyExists / kCapacityExceeded on
+    /// the expected failure modes.
+    virtual Status insert(std::span<const u8> key, u64 payload) = 0;
+
+    /// Remove `key`.
+    virtual Status erase(std::span<const u8> key) = 0;
+
+    [[nodiscard]] virtual u64 size() const = 0;
+    [[nodiscard]] virtual u64 capacity() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    [[nodiscard]] const AccessStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = AccessStats{}; }
+
+    [[nodiscard]] double load_factor() const {
+        return capacity() == 0 ? 0.0 : static_cast<double>(size()) / static_cast<double>(capacity());
+    }
+
+  protected:
+    AccessStats stats_;
+};
+
+/// A stored entry: the full key (the paper stores original tuples and
+/// compares them exactly — no fingerprint false positives) plus payload.
+struct Entry {
+    static constexpr std::size_t kKeyCapacity = 40;
+    std::array<u8, kKeyCapacity> key{};
+    u8 key_length = 0;
+    u64 payload = 0;
+    bool valid = false;
+
+    [[nodiscard]] bool matches(std::span<const u8> candidate) const {
+        return valid && key_length == candidate.size() &&
+               std::equal(candidate.begin(), candidate.end(), key.begin());
+    }
+
+    void assign(std::span<const u8> candidate, u64 value) {
+        key_length = static_cast<u8>(std::min(candidate.size(), kKeyCapacity));
+        std::copy_n(candidate.begin(), key_length, key.begin());
+        payload = value;
+        valid = true;
+    }
+};
+
+}  // namespace flowcam::table

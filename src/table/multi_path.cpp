@@ -1,0 +1,116 @@
+#include "table/multi_path.hpp"
+
+#include <limits>
+
+namespace flowcam::table {
+
+MultiPathTable::MultiPathTable(const MultiPathConfig& config)
+    : config_(config),
+      indexer_(config.hash_kind, config.seed, config.buckets_per_mem, config.paths),
+      mems_(config.paths),
+      cam_(config.cam_capacity) {
+    for (auto& mem : mems_) {
+        mem.assign(static_cast<std::size_t>(config.buckets_per_mem) * config.ways, Entry{});
+    }
+}
+
+u32 MultiPathTable::occupancy(u32 mem, u64 index) const {
+    u32 count = 0;
+    for (u32 way = 0; way < config_.ways; ++way) {
+        if (mems_[mem][index * config_.ways + way].valid) ++count;
+    }
+    return count;
+}
+
+std::optional<u64> MultiPathTable::lookup(std::span<const u8> key) {
+    ++stats_.lookups;
+    last_probes_ = 0;
+    // Stage 1: CAM.
+    ++stats_.cam_searches;
+    if (const auto hit = cam_.lookup(key)) {
+        ++stats_.hits;
+        return hit;
+    }
+    // Stages 2..D+1: memory sets in order, short-circuit on match.
+    for (u32 mem = 0; mem < config_.paths; ++mem) {
+        ++stats_.bucket_reads;
+        ++last_probes_;
+        for (const Entry& entry : bucket(mem, indexer_.index(mem, key))) {
+            if (entry.matches(key)) {
+                ++stats_.hits;
+                return entry.payload;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+Status MultiPathTable::insert(std::span<const u8> key, u64 payload) {
+    ++stats_.inserts;
+    // Duplicate scan across CAM and all candidate buckets.
+    if (cam_.peek(key)) return Status(StatusCode::kAlreadyExists);
+    std::vector<u64> indices(config_.paths);
+    for (u32 mem = 0; mem < config_.paths; ++mem) {
+        indices[mem] = indexer_.index(mem, key);
+        ++stats_.bucket_reads;
+        for (const Entry& entry : bucket(mem, indices[mem])) {
+            if (entry.matches(key)) return Status(StatusCode::kAlreadyExists);
+        }
+    }
+
+    // Least-loaded choice among the D candidate buckets (ties to the
+    // lowest path index, a deterministic hardware arbiter).
+    u32 best_mem = 0;
+    u32 best_occupancy = std::numeric_limits<u32>::max();
+    for (u32 mem = 0; mem < config_.paths; ++mem) {
+        const u32 occ = occupancy(mem, indices[mem]);
+        if (occ < best_occupancy) {
+            best_occupancy = occ;
+            best_mem = mem;
+        }
+    }
+    if (best_occupancy < config_.ways) {
+        for (Entry& entry : bucket(best_mem, indices[best_mem])) {
+            if (!entry.valid) {
+                entry.assign(key, payload);
+                ++stats_.bucket_writes;
+                ++size_;
+                return Status::ok();
+            }
+        }
+    }
+
+    // Every candidate bucket full: the collision CAM absorbs it.
+    ++stats_.cam_searches;
+    const Status status = cam_.insert(key, payload);
+    if (!status.is_ok()) {
+        ++stats_.insert_failures;
+        return status;
+    }
+    ++stats_.cam_inserts;
+    ++size_;
+    return Status::ok();
+}
+
+Status MultiPathTable::erase(std::span<const u8> key) {
+    ++stats_.erases;
+    for (u32 mem = 0; mem < config_.paths; ++mem) {
+        ++stats_.bucket_reads;
+        for (Entry& entry : bucket(mem, indexer_.index(mem, key))) {
+            if (entry.matches(key)) {
+                entry.valid = false;
+                ++stats_.bucket_writes;
+                --size_;
+                return Status::ok();
+            }
+        }
+    }
+    ++stats_.cam_searches;
+    if (cam_.erase(key).is_ok()) {
+        --size_;
+        return Status::ok();
+    }
+    return Status(StatusCode::kNotFound);
+}
+
+}  // namespace flowcam::table

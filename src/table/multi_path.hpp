@@ -1,0 +1,69 @@
+// Multi-path multi-hashing Hash-CAM — the paper's future-work extension:
+// "A multi-path multi-hashing lookup could be considered to replace the
+// current dual-hash scheme, for operating at a higher Ethernet link rate"
+// (§VI).
+//
+// Generalizes the Fig. 1 structure to D independent memory sets, each with
+// its own hash function and K-way buckets, plus one collision CAM. Search
+// remains a short-circuit pipeline CAM -> Mem_1 -> ... -> Mem_D; insertion
+// places into the least-loaded candidate bucket. More paths means more
+// parallel first lookups per cycle in a timed design and lower overflow
+// pressure at equal total capacity — quantified in bench_baseline_tables'
+// companion test and the multi_path unit tests.
+#pragma once
+
+#include <vector>
+
+#include "cam/cam.hpp"
+#include "hash/index_gen.hpp"
+#include "table/lookup_table.hpp"
+#include "table/single_hash.hpp"
+
+namespace flowcam::table {
+
+struct MultiPathConfig {
+    u32 paths = 4;           ///< D memory sets (2 = the paper's base scheme).
+    u64 buckets_per_mem = 1024;
+    u32 ways = 4;
+    std::size_t cam_capacity = 256;
+    hash::HashKind hash_kind = hash::HashKind::kH3;
+    u64 seed = 11;
+};
+
+class MultiPathTable final : public LookupTable {
+  public:
+    explicit MultiPathTable(const MultiPathConfig& config);
+
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key) override;
+    Status insert(std::span<const u8> key, u64 payload) override;
+    Status erase(std::span<const u8> key) override;
+
+    [[nodiscard]] u64 size() const override { return size_; }
+    [[nodiscard]] u64 capacity() const override {
+        return static_cast<u64>(config_.buckets_per_mem) * config_.ways * config_.paths +
+               config_.cam_capacity;
+    }
+    [[nodiscard]] std::string name() const override {
+        return "multi-path-" + std::to_string(config_.paths);
+    }
+
+    /// Number of memory-set probes the last lookup needed (1..D); the
+    /// timed benefit of more paths is that probes run on parallel channels.
+    [[nodiscard]] u32 last_probe_count() const { return last_probes_; }
+    [[nodiscard]] u64 cam_entries() const { return cam_.size(); }
+
+  private:
+    [[nodiscard]] std::span<Entry> bucket(u32 mem, u64 index) {
+        return {mems_[mem].data() + index * config_.ways, config_.ways};
+    }
+    [[nodiscard]] u32 occupancy(u32 mem, u64 index) const;
+
+    MultiPathConfig config_;
+    hash::IndexGenerator indexer_;
+    std::vector<std::vector<Entry>> mems_;
+    cam::Cam cam_;
+    u64 size_ = 0;
+    u32 last_probes_ = 0;
+};
+
+}  // namespace flowcam::table

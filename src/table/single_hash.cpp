@@ -1,0 +1,64 @@
+#include "table/single_hash.hpp"
+
+namespace flowcam::table {
+
+SingleHashTable::SingleHashTable(const BucketTableConfig& config)
+    : config_(config),
+      indexer_(config.hash_kind, config.seed, config.buckets, /*paths=*/1),
+      entries_(static_cast<std::size_t>(config.buckets) * config.ways) {}
+
+std::optional<u64> SingleHashTable::lookup(std::span<const u8> key) {
+    ++stats_.lookups;
+    ++stats_.bucket_reads;
+    for (const Entry& entry : bucket(indexer_.index(0, key))) {
+        if (entry.matches(key)) {
+            ++stats_.hits;
+            return entry.payload;
+        }
+    }
+    return std::nullopt;
+}
+
+Status SingleHashTable::insert(std::span<const u8> key, u64 payload) {
+    ++stats_.inserts;
+    ++stats_.bucket_reads;
+    auto slots = bucket(indexer_.index(0, key));
+    Entry* free_slot = nullptr;
+    for (Entry& entry : slots) {
+        if (entry.matches(key)) return Status(StatusCode::kAlreadyExists);
+        if (!entry.valid && free_slot == nullptr) free_slot = &entry;
+    }
+    if (free_slot == nullptr) {
+        ++stats_.insert_failures;
+        return Status(StatusCode::kCapacityExceeded, "bucket overflow");
+    }
+    free_slot->assign(key, payload);
+    ++stats_.bucket_writes;
+    ++size_;
+    return Status::ok();
+}
+
+Status SingleHashTable::erase(std::span<const u8> key) {
+    ++stats_.erases;
+    ++stats_.bucket_reads;
+    for (Entry& entry : bucket(indexer_.index(0, key))) {
+        if (entry.matches(key)) {
+            entry.valid = false;
+            ++stats_.bucket_writes;
+            --size_;
+            return Status::ok();
+        }
+    }
+    return Status(StatusCode::kNotFound);
+}
+
+u32 SingleHashTable::bucket_occupancy(std::span<const u8> key) const {
+    const u64 index = indexer_.index(0, key);
+    u32 count = 0;
+    for (u32 way = 0; way < config_.ways; ++way) {
+        if (entries_[index * config_.ways + way].valid) ++count;
+    }
+    return count;
+}
+
+}  // namespace flowcam::table

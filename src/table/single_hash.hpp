@@ -1,0 +1,48 @@
+// Baseline 1: conventional single-hash bucketized table. The scheme the
+// paper's related work starts from — collisions beyond K ways in one bucket
+// are unresolvable and the insert fails.
+#pragma once
+
+#include <vector>
+
+#include "hash/index_gen.hpp"
+#include "table/lookup_table.hpp"
+
+namespace flowcam::table {
+
+struct BucketTableConfig {
+    u64 buckets = 1024;
+    u32 ways = 4;  ///< K entries per bucket (one DDR burst's worth).
+    hash::HashKind hash_kind = hash::HashKind::kH3;
+    u64 seed = 1;
+};
+
+class SingleHashTable final : public LookupTable {
+  public:
+    explicit SingleHashTable(const BucketTableConfig& config);
+
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key) override;
+    Status insert(std::span<const u8> key, u64 payload) override;
+    Status erase(std::span<const u8> key) override;
+
+    [[nodiscard]] u64 size() const override { return size_; }
+    [[nodiscard]] u64 capacity() const override {
+        return static_cast<u64>(config_.buckets) * config_.ways;
+    }
+    [[nodiscard]] std::string name() const override { return "single-hash"; }
+
+    /// Occupancy of the bucket `key` maps to (for distribution analysis).
+    [[nodiscard]] u32 bucket_occupancy(std::span<const u8> key) const;
+
+  private:
+    [[nodiscard]] std::span<Entry> bucket(u64 index) {
+        return {entries_.data() + index * config_.ways, config_.ways};
+    }
+
+    BucketTableConfig config_;
+    hash::IndexGenerator indexer_;
+    std::vector<Entry> entries_;
+    u64 size_ = 0;
+};
+
+}  // namespace flowcam::table

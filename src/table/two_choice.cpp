@@ -1,0 +1,81 @@
+#include "table/two_choice.hpp"
+
+namespace flowcam::table {
+
+TwoChoiceTable::TwoChoiceTable(const BucketTableConfig& config)
+    : config_(config), indexer_(config.hash_kind, config.seed, config.buckets, /*paths=*/2) {
+    for (auto& mem : mems_) {
+        mem.assign(static_cast<std::size_t>(config.buckets) * config.ways, Entry{});
+    }
+}
+
+u32 TwoChoiceTable::occupancy(u32 mem, u64 index) const {
+    u32 count = 0;
+    for (u32 way = 0; way < config_.ways; ++way) {
+        if (mems_[mem][index * config_.ways + way].valid) ++count;
+    }
+    return count;
+}
+
+std::optional<u64> TwoChoiceTable::lookup(std::span<const u8> key) {
+    ++stats_.lookups;
+    for (u32 mem = 0; mem < 2; ++mem) {
+        ++stats_.bucket_reads;
+        for (const Entry& entry : bucket(mem, indexer_.index(mem, key))) {
+            if (entry.matches(key)) {
+                ++stats_.hits;
+                return entry.payload;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+Status TwoChoiceTable::insert(std::span<const u8> key, u64 payload) {
+    ++stats_.inserts;
+    const u64 idx0 = indexer_.index(0, key);
+    const u64 idx1 = indexer_.index(1, key);
+    stats_.bucket_reads += 2;
+
+    // Duplicate check across both candidate buckets first.
+    for (u32 mem = 0; mem < 2; ++mem) {
+        for (const Entry& entry : bucket(mem, mem == 0 ? idx0 : idx1)) {
+            if (entry.matches(key)) return Status(StatusCode::kAlreadyExists);
+        }
+    }
+
+    // Less-loaded choice, ties to Mem1 (deterministic hardware arbiter).
+    const u32 occ0 = occupancy(0, idx0);
+    const u32 occ1 = occupancy(1, idx1);
+    const u32 mem = occ1 < occ0 ? 1 : 0;
+    const u64 index = mem == 0 ? idx0 : idx1;
+    for (Entry& entry : bucket(mem, index)) {
+        if (!entry.valid) {
+            entry.assign(key, payload);
+            ++stats_.bucket_writes;
+            ++size_;
+            return Status::ok();
+        }
+    }
+    // Chosen bucket full means both full (we picked the emptier one).
+    ++stats_.insert_failures;
+    return Status(StatusCode::kCapacityExceeded, "both buckets full");
+}
+
+Status TwoChoiceTable::erase(std::span<const u8> key) {
+    ++stats_.erases;
+    for (u32 mem = 0; mem < 2; ++mem) {
+        ++stats_.bucket_reads;
+        for (Entry& entry : bucket(mem, indexer_.index(mem, key))) {
+            if (entry.matches(key)) {
+                entry.valid = false;
+                ++stats_.bucket_writes;
+                --size_;
+                return Status::ok();
+            }
+        }
+    }
+    return Status(StatusCode::kNotFound);
+}
+
+}  // namespace flowcam::table

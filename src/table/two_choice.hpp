@@ -1,0 +1,42 @@
+// Baseline 2: two-choice ("balanced allocations", Azar et al. [6]) —
+// the multi-choice hashing the paper's related work credits with bloom-level
+// speed at a lower collision rate. Insert goes to the less-loaded of the two
+// candidate buckets; lookup probes both.
+#pragma once
+
+#include <vector>
+
+#include "hash/index_gen.hpp"
+#include "table/lookup_table.hpp"
+#include "table/single_hash.hpp"
+
+namespace flowcam::table {
+
+class TwoChoiceTable final : public LookupTable {
+  public:
+    explicit TwoChoiceTable(const BucketTableConfig& config);
+
+    [[nodiscard]] std::optional<u64> lookup(std::span<const u8> key) override;
+    Status insert(std::span<const u8> key, u64 payload) override;
+    Status erase(std::span<const u8> key) override;
+
+    [[nodiscard]] u64 size() const override { return size_; }
+    [[nodiscard]] u64 capacity() const override {
+        return static_cast<u64>(config_.buckets) * config_.ways * 2;
+    }
+    [[nodiscard]] std::string name() const override { return "two-choice"; }
+
+  private:
+    /// mem = 0 or 1 (the two independent halves, as in the paper's Fig. 1).
+    [[nodiscard]] std::span<Entry> bucket(u32 mem, u64 index) {
+        return {mems_[mem].data() + index * config_.ways, config_.ways};
+    }
+    [[nodiscard]] u32 occupancy(u32 mem, u64 index) const;
+
+    BucketTableConfig config_;
+    hash::IndexGenerator indexer_;
+    std::vector<Entry> mems_[2];
+    u64 size_ = 0;
+};
+
+}  // namespace flowcam::table

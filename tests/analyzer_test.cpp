@@ -1,0 +1,155 @@
+// Traffic-analyzer tests: raw-frame ingestion through the header parser,
+// statistics aggregation, and the event engine (new flow, heavy hitter,
+// port scan, flow expiry).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analyzer/analyzer.hpp"
+#include "net/headers.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::analyzer {
+namespace {
+
+AnalyzerConfig small_config() {
+    AnalyzerConfig config;
+    config.lut.buckets_per_mem = 1 << 10;
+    config.lut.cam_capacity = 64;
+    return config;
+}
+
+net::PacketRecord record_of(u64 flow, u64 ts, u16 bytes = 64) {
+    net::PacketRecord record;
+    record.tuple = net::synth_tuple(flow, 5);
+    record.timestamp_ns = ts;
+    record.frame_bytes = bytes;
+    return record;
+}
+
+u64 count_events(const TrafficAnalyzer& analyzer, EventKind kind) {
+    return static_cast<u64>(std::count_if(
+        analyzer.events().begin(), analyzer.events().end(),
+        [&](const Event& event) { return event.kind == kind; }));
+}
+
+TEST(AnalyzerTest, CountsPacketsAndBytes) {
+    TrafficAnalyzer analyzer(small_config());
+    for (u64 i = 0; i < 100; ++i) {
+        ASSERT_TRUE(analyzer.feed_record(record_of(i % 10, i + 1, 100)));
+    }
+    ASSERT_TRUE(analyzer.drain());
+    EXPECT_EQ(analyzer.stats().packets, 100u);
+    EXPECT_EQ(analyzer.stats().bytes, 10000u);
+    EXPECT_DOUBLE_EQ(analyzer.stats().mean_packet_bytes(), 100.0);
+    EXPECT_EQ(analyzer.lut().flow_state().active_flows(), 10u);
+}
+
+TEST(AnalyzerTest, RaisesNewFlowEvents) {
+    TrafficAnalyzer analyzer(small_config());
+    for (u64 i = 0; i < 5; ++i) ASSERT_TRUE(analyzer.feed_record(record_of(i, i + 1)));
+    ASSERT_TRUE(analyzer.drain());
+    EXPECT_EQ(count_events(analyzer, EventKind::kNewFlow), 5u);
+}
+
+TEST(AnalyzerTest, ParsesRawFrames) {
+    TrafficAnalyzer analyzer(small_config());
+    net::PacketSpec spec;
+    spec.tuple = net::synth_tuple(1, 5);
+    const auto frame = net::build_packet(spec);
+    ASSERT_TRUE(analyzer.feed_frame(frame, 1));
+    ASSERT_TRUE(analyzer.drain());
+    EXPECT_EQ(analyzer.stats().packets, 1u);
+    EXPECT_EQ(analyzer.stats().unparseable, 0u);
+}
+
+TEST(AnalyzerTest, UnparseableFramesCounted) {
+    TrafficAnalyzer analyzer(small_config());
+    const std::vector<u8> garbage(10, 0xFF);
+    ASSERT_TRUE(analyzer.feed_frame(garbage, 1));
+    EXPECT_EQ(analyzer.stats().unparseable, 1u);
+    EXPECT_EQ(analyzer.stats().packets, 0u);
+}
+
+TEST(AnalyzerTest, HeavyHitterEventOnce) {
+    AnalyzerConfig config = small_config();
+    config.heavy_hitter_bytes = 10000;
+    TrafficAnalyzer analyzer(config);
+    for (u64 i = 0; i < 20; ++i) {
+        ASSERT_TRUE(analyzer.feed_record(record_of(1, i + 1, 1500)));
+    }
+    ASSERT_TRUE(analyzer.drain());
+    EXPECT_EQ(count_events(analyzer, EventKind::kHeavyHitter), 1u);
+}
+
+TEST(AnalyzerTest, PortScanDetected) {
+    AnalyzerConfig config = small_config();
+    config.port_scan_threshold = 16;
+    TrafficAnalyzer analyzer(config);
+    // One source IP probing many destination ports.
+    net::FiveTuple base = net::synth_tuple(1, 5);
+    for (u16 port = 1; port <= 32; ++port) {
+        net::PacketRecord record;
+        record.tuple = base;
+        record.tuple.dst_port = port;
+        record.timestamp_ns = port;
+        record.frame_bytes = 64;
+        ASSERT_TRUE(analyzer.feed_record(record));
+    }
+    ASSERT_TRUE(analyzer.drain());
+    EXPECT_EQ(count_events(analyzer, EventKind::kPortScan), 1u);
+}
+
+TEST(AnalyzerTest, TopFlowsSortedByBytes) {
+    TrafficAnalyzer analyzer(small_config());
+    for (u64 i = 0; i < 30; ++i) ASSERT_TRUE(analyzer.feed_record(record_of(1, i + 1, 1500)));
+    for (u64 i = 0; i < 5; ++i) ASSERT_TRUE(analyzer.feed_record(record_of(2, 100 + i, 64)));
+    ASSERT_TRUE(analyzer.drain());
+    const auto top = analyzer.top_flows(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_GT(top[0].bytes, top[1].bytes);
+    EXPECT_EQ(top[0].bytes, 45000u);
+}
+
+TEST(AnalyzerTest, ReportRenders) {
+    TrafficAnalyzer analyzer(small_config());
+    for (u64 i = 0; i < 10; ++i) ASSERT_TRUE(analyzer.feed_record(record_of(i, i + 1)));
+    ASSERT_TRUE(analyzer.drain());
+    const std::string report = analyzer.report(3);
+    EXPECT_NE(report.find("packets: 10"), std::string::npos);
+    EXPECT_NE(report.find("top 3 flows"), std::string::npos);
+}
+
+TEST(AnalyzerTest, BufferBackpressureDropsTail) {
+    AnalyzerConfig config = small_config();
+    config.packet_buffer_depth = 4;
+    TrafficAnalyzer analyzer(config);
+    u64 accepted = 0;
+    for (u64 i = 0; i < 20; ++i) accepted += analyzer.feed_record(record_of(i, i + 1));
+    EXPECT_EQ(accepted, 4u);
+    EXPECT_EQ(analyzer.stats().dropped_buffer_full, 16u);
+    ASSERT_TRUE(analyzer.drain());
+    EXPECT_EQ(analyzer.stats().packets, 4u);
+}
+
+TEST(AnalyzerTest, ProtocolBreakdownTracked) {
+    TrafficAnalyzer analyzer(small_config());
+    net::PacketRecord tcp = record_of(1, 1);
+    tcp.tuple.protocol = net::kProtoTcp;
+    net::PacketRecord udp = record_of(2, 2);
+    udp.tuple.protocol = net::kProtoUdp;
+    ASSERT_TRUE(analyzer.feed_record(tcp));
+    ASSERT_TRUE(analyzer.feed_record(udp));
+    ASSERT_TRUE(analyzer.drain());
+    EXPECT_EQ(analyzer.stats().packets_by_protocol.at(net::kProtoTcp), 1u);
+    EXPECT_EQ(analyzer.stats().packets_by_protocol.at(net::kProtoUdp), 1u);
+}
+
+TEST(AnalyzerTest, EventKindNames) {
+    EXPECT_STREQ(to_string(EventKind::kNewFlow), "new-flow");
+    EXPECT_STREQ(to_string(EventKind::kHeavyHitter), "heavy-hitter");
+    EXPECT_STREQ(to_string(EventKind::kPortScan), "port-scan");
+}
+
+}  // namespace
+}  // namespace flowcam::analyzer

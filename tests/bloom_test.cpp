@@ -1,0 +1,140 @@
+// Bloom-filter substrate tests: the no-false-negative guarantee, measured
+// vs. theoretical false-positive rates, counting deletion, and the parallel
+// banked variant from the related-work papers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bloom/bloom.hpp"
+#include "common/rng.hpp"
+
+namespace flowcam::bloom {
+namespace {
+
+std::vector<u8> key_of(u64 value) {
+    std::vector<u8> key(13, 0);
+    for (int i = 0; i < 8; ++i) key[i] = static_cast<u8>(value >> (8 * i));
+    return key;
+}
+
+TEST(BloomMath, TheoreticalFppSane) {
+    // More bits -> lower fpp; more items -> higher fpp.
+    EXPECT_LT(theoretical_fpp(1 << 16, 1000, 4), theoretical_fpp(1 << 12, 1000, 4));
+    EXPECT_LT(theoretical_fpp(1 << 14, 100, 4), theoretical_fpp(1 << 14, 10000, 4));
+    EXPECT_DOUBLE_EQ(theoretical_fpp(0, 10, 2), 1.0);
+}
+
+TEST(BloomMath, OptimalHashCount) {
+    // m/n = 16 bits per item -> k ~ 11.
+    EXPECT_NEAR(optimal_hash_count(16000, 1000), 11u, 1);
+    EXPECT_GE(optimal_hash_count(10, 1000000), 1u);
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+    BloomFilter filter(1 << 14, 4);
+    for (u64 i = 0; i < 1000; ++i) filter.add(key_of(i));
+    for (u64 i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(filter.maybe_contains(key_of(i))) << i;
+    }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTheory) {
+    constexpr u64 kBits = 1 << 14;
+    constexpr u64 kItems = 2000;
+    constexpr u32 kHashes = 4;
+    BloomFilter filter(kBits, kHashes);
+    for (u64 i = 0; i < kItems; ++i) filter.add(key_of(i));
+
+    u64 false_positives = 0;
+    constexpr u64 kProbes = 20000;
+    for (u64 i = 0; i < kProbes; ++i) {
+        if (filter.maybe_contains(key_of(1'000'000 + i))) ++false_positives;
+    }
+    const double measured = static_cast<double>(false_positives) / kProbes;
+    const double expected = theoretical_fpp(kBits, kItems, kHashes);
+    EXPECT_NEAR(measured, expected, expected * 0.5 + 0.005);
+}
+
+TEST(BloomFilterTest, ClearResets) {
+    BloomFilter filter(1 << 10, 3);
+    filter.add(key_of(1));
+    EXPECT_GT(filter.set_bit_count(), 0u);
+    filter.clear();
+    EXPECT_EQ(filter.set_bit_count(), 0u);
+    EXPECT_FALSE(filter.maybe_contains(key_of(1)));
+}
+
+TEST(BloomFilterTest, RoundsBitCountToPow2) {
+    BloomFilter filter(1000, 2);
+    EXPECT_EQ(filter.bit_count(), 1024u);
+}
+
+TEST(CountingBloomTest, AddRemoveRestoresAbsence) {
+    CountingBloom filter(1 << 12, 4);
+    filter.add(key_of(7));
+    EXPECT_TRUE(filter.maybe_contains(key_of(7)));
+    filter.remove(key_of(7));
+    EXPECT_FALSE(filter.maybe_contains(key_of(7)));
+}
+
+TEST(CountingBloomTest, RemoveKeepsOtherKeys) {
+    CountingBloom filter(1 << 12, 4);
+    for (u64 i = 0; i < 100; ++i) filter.add(key_of(i));
+    filter.remove(key_of(50));
+    for (u64 i = 0; i < 100; ++i) {
+        if (i == 50) continue;
+        EXPECT_TRUE(filter.maybe_contains(key_of(i))) << i;
+    }
+}
+
+TEST(CountingBloomTest, SaturationIsCountedNotCorrupted) {
+    CountingBloom filter(64, 1);
+    // Slam one key far past the 4-bit counter max.
+    for (int i = 0; i < 100; ++i) filter.add(key_of(1));
+    EXPECT_GT(filter.saturation_events(), 0u);
+    EXPECT_TRUE(filter.maybe_contains(key_of(1)));
+    // A saturated counter must never decrement to zero.
+    for (int i = 0; i < 200; ++i) filter.remove(key_of(1));
+    EXPECT_TRUE(filter.maybe_contains(key_of(1)));
+}
+
+TEST(ParallelBloomTest, NoFalseNegatives) {
+    ParallelBloom filter(4, 1 << 12);
+    for (u64 i = 0; i < 500; ++i) filter.add(key_of(i));
+    for (u64 i = 0; i < 500; ++i) {
+        EXPECT_TRUE(filter.maybe_contains(key_of(i))) << i;
+    }
+}
+
+TEST(ParallelBloomTest, FiltersUnknownKeys) {
+    ParallelBloom filter(4, 1 << 12);
+    for (u64 i = 0; i < 500; ++i) filter.add(key_of(i));
+    u64 false_positives = 0;
+    for (u64 i = 0; i < 5000; ++i) {
+        if (filter.maybe_contains(key_of(1'000'000 + i))) ++false_positives;
+    }
+    // 4 banks of 4096 bits with 500 items: comfortably below 1 %.
+    EXPECT_LT(false_positives, 50u);
+}
+
+TEST(ParallelBloomTest, MoreBanksLowerFpp) {
+    // Equal total bit budget: 2 banks x 4096 vs 4 banks x 2048.
+    ParallelBloom two(2, 1 << 12);
+    ParallelBloom four(4, 1 << 11);
+    for (u64 i = 0; i < 1500; ++i) {
+        two.add(key_of(i));
+        four.add(key_of(i));
+    }
+    u64 fp_two = 0;
+    u64 fp_four = 0;
+    for (u64 i = 0; i < 20000; ++i) {
+        fp_two += two.maybe_contains(key_of(5'000'000 + i));
+        fp_four += four.maybe_contains(key_of(5'000'000 + i));
+    }
+    // At this load (m/n ~ 5.5 bits/key) the optimum k is ~4, so the
+    // 4-bank filter should beat the 2-bank one (paper's [3]-[5] argument).
+    EXPECT_LT(fp_four, fp_two);
+}
+
+}  // namespace
+}  // namespace flowcam::bloom

@@ -1,0 +1,192 @@
+// CAM and TCAM substrate tests: exact-match semantics, capacity handling,
+// slot management (priority-encoder behaviour), statistics, and ternary
+// wildcard matching with priorities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cam/cam.hpp"
+#include "cam/tcam.hpp"
+#include "common/rng.hpp"
+
+namespace flowcam::cam {
+namespace {
+
+std::vector<u8> key_of(u64 value) {
+    std::vector<u8> key(13, 0);
+    for (int i = 0; i < 8; ++i) key[i] = static_cast<u8>(value >> (8 * i));
+    return key;
+}
+
+TEST(CamTest, InsertLookupRoundtrip) {
+    Cam cam(16);
+    const auto key = key_of(1);
+    ASSERT_TRUE(cam.insert(key, 111).is_ok());
+    const auto hit = cam.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 111u);
+}
+
+TEST(CamTest, MissingKeyIsMiss) {
+    Cam cam(16);
+    EXPECT_FALSE(cam.lookup(key_of(42)).has_value());
+}
+
+TEST(CamTest, DuplicateInsertRejected) {
+    Cam cam(16);
+    ASSERT_TRUE(cam.insert(key_of(1), 1).is_ok());
+    const Status status = cam.insert(key_of(1), 2);
+    EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+    EXPECT_EQ(*cam.lookup(key_of(1)), 1u);  // payload unchanged
+}
+
+TEST(CamTest, CapacityExceeded) {
+    Cam cam(4);
+    for (u64 i = 0; i < 4; ++i) ASSERT_TRUE(cam.insert(key_of(i), i).is_ok());
+    EXPECT_TRUE(cam.full());
+    const Status status = cam.insert(key_of(99), 99);
+    EXPECT_EQ(status.code(), StatusCode::kCapacityExceeded);
+    EXPECT_EQ(cam.stats().insert_failures, 1u);
+}
+
+TEST(CamTest, EraseFreesSlot) {
+    Cam cam(2);
+    ASSERT_TRUE(cam.insert(key_of(1), 1).is_ok());
+    ASSERT_TRUE(cam.insert(key_of(2), 2).is_ok());
+    ASSERT_TRUE(cam.erase(key_of(1)).is_ok());
+    EXPECT_FALSE(cam.lookup(key_of(1)).has_value());
+    EXPECT_TRUE(cam.insert(key_of(3), 3).is_ok());
+    EXPECT_EQ(cam.size(), 2u);
+}
+
+TEST(CamTest, EraseMissingIsNotFound) {
+    Cam cam(4);
+    EXPECT_EQ(cam.erase(key_of(5)).code(), StatusCode::kNotFound);
+}
+
+TEST(CamTest, PriorityEncoderAllocatesLowestSlotFirst) {
+    Cam cam(8);
+    ASSERT_TRUE(cam.insert(key_of(10), 10).is_ok());
+    EXPECT_EQ(cam.slot_of(key_of(10)).value(), 0u);
+    ASSERT_TRUE(cam.insert(key_of(11), 11).is_ok());
+    EXPECT_EQ(cam.slot_of(key_of(11)).value(), 1u);
+}
+
+TEST(CamTest, NextFreeSlotPredictsInsert) {
+    Cam cam(8);
+    for (u64 i = 0; i < 3; ++i) ASSERT_TRUE(cam.insert(key_of(i), i).is_ok());
+    const auto predicted = cam.next_free_slot();
+    ASSERT_TRUE(predicted.has_value());
+    ASSERT_TRUE(cam.insert(key_of(100), 100).is_ok());
+    EXPECT_EQ(cam.slot_of(key_of(100)).value(), *predicted);
+}
+
+TEST(CamTest, StatsTrackOperations) {
+    Cam cam(8);
+    (void)cam.insert(key_of(1), 1);
+    (void)cam.lookup(key_of(1));
+    (void)cam.lookup(key_of(2));
+    (void)cam.erase(key_of(1));
+    EXPECT_EQ(cam.stats().inserts, 1u);
+    EXPECT_EQ(cam.stats().lookups, 2u);
+    EXPECT_EQ(cam.stats().hits, 1u);
+    EXPECT_EQ(cam.stats().erases, 1u);
+    EXPECT_EQ(cam.stats().peak_occupancy, 1u);
+}
+
+TEST(CamTest, ClearEmptiesEverything) {
+    Cam cam(8);
+    for (u64 i = 0; i < 5; ++i) ASSERT_TRUE(cam.insert(key_of(i), i).is_ok());
+    cam.clear();
+    EXPECT_EQ(cam.size(), 0u);
+    for (u64 i = 0; i < 5; ++i) EXPECT_FALSE(cam.peek(key_of(i)).has_value());
+    // Full capacity available again.
+    for (u64 i = 0; i < 8; ++i) EXPECT_TRUE(cam.insert(key_of(100 + i), i).is_ok());
+}
+
+TEST(CamTest, ChurnStressKeepsConsistency) {
+    Cam cam(64);
+    Xoshiro256 rng(5);
+    std::vector<u64> alive;
+    for (int round = 0; round < 2000; ++round) {
+        if (!alive.empty() && rng.chance(0.4)) {
+            const std::size_t pick = rng.bounded(alive.size());
+            ASSERT_TRUE(cam.erase(key_of(alive[pick])).is_ok());
+            alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+        } else if (alive.size() < 64) {
+            const u64 value = rng();
+            if (cam.insert(key_of(value), value).is_ok()) alive.push_back(value);
+        }
+    }
+    EXPECT_EQ(cam.size(), alive.size());
+    for (const u64 value : alive) {
+        const auto hit = cam.peek(key_of(value));
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, value);
+    }
+}
+
+TEST(TcamTest, ExactMatchWhenFullMask) {
+    Tcam tcam(8);
+    TcamEntry entry;
+    entry.value = CamKey::from_span(key_of(7));
+    entry.mask.length = entry.value.length;
+    for (u8 i = 0; i < entry.mask.length; ++i) entry.mask.bytes[i] = 0xFF;
+    entry.payload = 77;
+    ASSERT_TRUE(tcam.insert(entry).is_ok());
+    EXPECT_EQ(tcam.lookup(key_of(7)).value(), 77u);
+    EXPECT_FALSE(tcam.lookup(key_of(8)).has_value());
+}
+
+TEST(TcamTest, WildcardMatchesAnything) {
+    Tcam tcam(8);
+    TcamEntry wildcard;
+    wildcard.value = CamKey::from_span(key_of(0));
+    wildcard.mask.length = wildcard.value.length;  // all-zero mask = any
+    wildcard.payload = 1;
+    ASSERT_TRUE(tcam.insert(wildcard).is_ok());
+    EXPECT_EQ(tcam.lookup(key_of(123)).value(), 1u);
+}
+
+TEST(TcamTest, HigherPriorityWins) {
+    Tcam tcam(8);
+    TcamEntry any;
+    any.value = CamKey::from_span(key_of(0));
+    any.mask.length = any.value.length;
+    any.priority = 1;
+    any.payload = 100;
+    ASSERT_TRUE(tcam.insert(any).is_ok());
+
+    TcamEntry exact;
+    exact.value = CamKey::from_span(key_of(5));
+    exact.mask.length = exact.value.length;
+    for (u8 i = 0; i < exact.mask.length; ++i) exact.mask.bytes[i] = 0xFF;
+    exact.priority = 10;
+    exact.payload = 200;
+    ASSERT_TRUE(tcam.insert(exact).is_ok());
+
+    EXPECT_EQ(tcam.lookup(key_of(5)).value(), 200u);   // exact beats any
+    EXPECT_EQ(tcam.lookup(key_of(6)).value(), 100u);   // falls back
+}
+
+TEST(TcamTest, EraseByValueAndMask) {
+    Tcam tcam(4);
+    TcamEntry entry;
+    entry.value = CamKey::from_span(key_of(3));
+    entry.mask.length = entry.value.length;
+    ASSERT_TRUE(tcam.insert(entry).is_ok());
+    EXPECT_TRUE(tcam.erase(key_of(3), std::vector<u8>(13, 0)).is_ok());
+    EXPECT_EQ(tcam.size(), 0u);
+}
+
+TEST(TcamTest, CapacityAndDuplicates) {
+    Tcam tcam(1);
+    TcamEntry entry;
+    entry.value = CamKey::from_span(key_of(1));
+    entry.mask.length = entry.value.length;
+    ASSERT_TRUE(tcam.insert(entry).is_ok());
+    EXPECT_EQ(tcam.insert(entry).code(), StatusCode::kCapacityExceeded);
+}
+
+}  // namespace
+}  // namespace flowcam::cam

@@ -1,0 +1,145 @@
+// Policy-classifier tests: wildcard rule matching, priorities, prefix
+// masks, the per-FID verdict cache, and TCAM capacity behaviour.
+#include <gtest/gtest.h>
+
+#include "classifier/policy.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::classifier {
+namespace {
+
+net::FiveTuple tuple(u32 src, u32 dst, u16 sport, u16 dport, u8 proto = net::kProtoTcp) {
+    net::FiveTuple t;
+    t.src_ip = src;
+    t.dst_ip = dst;
+    t.src_port = sport;
+    t.dst_port = dport;
+    t.protocol = proto;
+    return t;
+}
+
+TEST(Policy, DefaultActionWhenNoRules) {
+    PolicyEngine engine(16, Action::kDeny);
+    const Verdict verdict = engine.classify(tuple(1, 2, 3, 4));
+    EXPECT_EQ(verdict.action, Action::kDeny);
+    EXPECT_EQ(verdict.rule, "default");
+}
+
+TEST(Policy, ExactRuleMatches) {
+    PolicyEngine engine;
+    Rule rule;
+    rule.name = "block-telnet";
+    rule.action = Action::kDeny;
+    rule.dst_port = 23;
+    rule.priority = 10;
+    ASSERT_TRUE(engine.add_rule(rule).is_ok());
+
+    EXPECT_EQ(engine.classify(tuple(1, 2, 40000, 23)).action, Action::kDeny);
+    EXPECT_EQ(engine.classify(tuple(1, 2, 40000, 22)).action, Action::kPermit);
+}
+
+TEST(Policy, PrefixMaskMatchesSubnet) {
+    PolicyEngine engine;
+    Rule rule;
+    rule.name = "mirror-internal";
+    rule.action = Action::kMirror;
+    rule.src_ip = 0x0A000000;  // 10.0.0.0/8
+    rule.src_prefix = 8;
+    ASSERT_TRUE(engine.add_rule(rule).is_ok());
+
+    EXPECT_EQ(engine.classify(tuple(0x0A010203, 2, 1, 2)).action, Action::kMirror);
+    EXPECT_EQ(engine.classify(tuple(0x0B010203, 2, 1, 2)).action, Action::kPermit);
+}
+
+TEST(Policy, HigherPriorityWins) {
+    PolicyEngine engine;
+    Rule broad;
+    broad.name = "limit-subnet";
+    broad.action = Action::kRateLimit;
+    broad.dst_ip = 0xC0A80000;  // 192.168.0.0/16
+    broad.dst_prefix = 16;
+    broad.priority = 1;
+    ASSERT_TRUE(engine.add_rule(broad).is_ok());
+
+    Rule narrow;
+    narrow.name = "allow-dns-server";
+    narrow.action = Action::kPermit;
+    narrow.dst_ip = 0xC0A80035;  // 192.168.0.53/32
+    narrow.dst_prefix = 32;
+    narrow.priority = 100;
+    ASSERT_TRUE(engine.add_rule(narrow).is_ok());
+
+    EXPECT_EQ(engine.classify(tuple(1, 0xC0A80035, 1, 53)).action, Action::kPermit);
+    EXPECT_EQ(engine.classify(tuple(1, 0xC0A80099, 1, 53)).action, Action::kRateLimit);
+}
+
+TEST(Policy, ProtocolOnlyRule) {
+    PolicyEngine engine;
+    Rule rule;
+    rule.name = "log-udp";
+    rule.action = Action::kLog;
+    rule.protocol = net::kProtoUdp;
+    ASSERT_TRUE(engine.add_rule(rule).is_ok());
+    EXPECT_EQ(engine.classify(tuple(1, 2, 3, 4, net::kProtoUdp)).action, Action::kLog);
+    EXPECT_EQ(engine.classify(tuple(1, 2, 3, 4, net::kProtoTcp)).action, Action::kPermit);
+}
+
+TEST(Policy, VerdictCachePerFid) {
+    PolicyEngine engine;
+    Rule rule;
+    rule.name = "deny-all-http";
+    rule.action = Action::kDeny;
+    rule.dst_port = 80;
+    ASSERT_TRUE(engine.add_rule(rule).is_ok());
+
+    const auto flow = tuple(1, 2, 40000, 80);
+    const Verdict first = engine.verdict_for(42, flow);
+    EXPECT_EQ(first.action, Action::kDeny);
+    EXPECT_EQ(engine.stats().classified, 1u);
+
+    const Verdict second = engine.verdict_for(42, flow);
+    EXPECT_EQ(second.action, Action::kDeny);
+    EXPECT_EQ(engine.stats().classified, 1u);  // cached, not re-classified
+    EXPECT_EQ(engine.stats().cache_hits, 1u);
+
+    engine.invalidate(42);
+    (void)engine.verdict_for(42, flow);
+    EXPECT_EQ(engine.stats().classified, 2u);
+}
+
+TEST(Policy, TcamCapacityBoundsRules) {
+    PolicyEngine engine(2);
+    Rule rule;
+    rule.dst_port = 1;
+    ASSERT_TRUE(engine.add_rule(rule).is_ok());
+    rule.dst_port = 2;
+    ASSERT_TRUE(engine.add_rule(rule).is_ok());
+    rule.dst_port = 3;
+    EXPECT_EQ(engine.add_rule(rule).code(), StatusCode::kCapacityExceeded);
+    EXPECT_EQ(engine.rule_count(), 2u);
+}
+
+TEST(Policy, ActionStatsAccumulate) {
+    PolicyEngine engine;
+    Rule rule;
+    rule.name = "deny-ssh";
+    rule.action = Action::kDeny;
+    rule.dst_port = 22;
+    ASSERT_TRUE(engine.add_rule(rule).is_ok());
+    (void)engine.classify(tuple(1, 2, 3, 22));
+    (void)engine.classify(tuple(1, 2, 3, 22));
+    (void)engine.classify(tuple(1, 2, 3, 80));
+    EXPECT_EQ(engine.stats().by_action.at(static_cast<u8>(Action::kDeny)), 2u);
+    EXPECT_EQ(engine.stats().by_action.at(static_cast<u8>(Action::kPermit)), 1u);
+}
+
+TEST(Policy, ActionNames) {
+    EXPECT_STREQ(to_string(Action::kPermit), "permit");
+    EXPECT_STREQ(to_string(Action::kDeny), "deny");
+    EXPECT_STREQ(to_string(Action::kRateLimit), "rate-limit");
+    EXPECT_STREQ(to_string(Action::kMirror), "mirror");
+    EXPECT_STREQ(to_string(Action::kLog), "log");
+}
+
+}  // namespace
+}  // namespace flowcam::classifier

@@ -1,0 +1,183 @@
+// Unit tests for the common substrate: bit utilities, RNG, Result/Status,
+// and the bench table renderer.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+
+namespace flowcam {
+namespace {
+
+TEST(Bitops, IsPow2) {
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(u64{1} << 40));
+    EXPECT_FALSE(is_pow2((u64{1} << 40) + 1));
+}
+
+TEST(Bitops, Log2Pow2) {
+    EXPECT_EQ(log2_pow2(1), 0u);
+    EXPECT_EQ(log2_pow2(2), 1u);
+    EXPECT_EQ(log2_pow2(1024), 10u);
+    EXPECT_EQ(log2_pow2(u64{1} << 63), 63u);
+}
+
+TEST(Bitops, CeilPow2) {
+    EXPECT_EQ(ceil_pow2(0), 1u);
+    EXPECT_EQ(ceil_pow2(1), 1u);
+    EXPECT_EQ(ceil_pow2(3), 4u);
+    EXPECT_EQ(ceil_pow2(1024), 1024u);
+    EXPECT_EQ(ceil_pow2(1025), 2048u);
+}
+
+TEST(Bitops, CeilDiv) {
+    EXPECT_EQ(ceil_div(0, 4), 0u);
+    EXPECT_EQ(ceil_div(1, 4), 1u);
+    EXPECT_EQ(ceil_div(4, 4), 1u);
+    EXPECT_EQ(ceil_div(5, 4), 2u);
+    EXPECT_EQ(ceil_div(64, 32), 2u);
+    EXPECT_EQ(ceil_div(65, 32), 3u);
+}
+
+TEST(Bitops, BitsExtract) {
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bits(0xABCD, 8, 8), 0xABu);
+    EXPECT_EQ(bits(~u64{0}, 0, 64), ~u64{0});
+}
+
+TEST(Bitops, XorFold) {
+    // Folding to >= 64 bits is the identity.
+    EXPECT_EQ(xor_fold(0x123456789abcdef0ull, 64), 0x123456789abcdef0ull);
+    // Folding to 8 bits XORs the 8 bytes together.
+    u64 x = 0x0102030405060708ull;
+    u64 expected = 0x01 ^ 0x02 ^ 0x03 ^ 0x04 ^ 0x05 ^ 0x06 ^ 0x07 ^ 0x08;
+    EXPECT_EQ(xor_fold(x, 8), expected);
+    // Result always fits the width.
+    for (u32 width = 1; width < 64; ++width) {
+        EXPECT_LT(xor_fold(0xdeadbeefcafebabeull, width), u64{1} << width) << width;
+    }
+}
+
+TEST(Bitops, XorFoldZeroWidthTerminates) {
+    // Regression: width 0 (a single-bucket table) must return 0, not spin.
+    EXPECT_EQ(xor_fold(0xdeadbeefull, 0), 0u);
+    EXPECT_EQ(xor_fold(0, 0), 0u);
+}
+
+TEST(Bitops, Parity) {
+    EXPECT_EQ(parity(0), 0u);
+    EXPECT_EQ(parity(1), 1u);
+    EXPECT_EQ(parity(3), 0u);
+    EXPECT_EQ(parity(7), 1u);
+}
+
+TEST(Rng, Deterministic) {
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedIsInRange) {
+    Xoshiro256 rng(7);
+    for (u64 bound : {u64{1}, u64{2}, u64{3}, u64{10}, u64{1000}, u64{1} << 40}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversRange) {
+    Xoshiro256 rng(7);
+    std::set<u64> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.bounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Xoshiro256 rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectesProbability) {
+    Xoshiro256 rng(11);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Status, OkByDefault) {
+    Status status;
+    EXPECT_TRUE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kOk);
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+    Status status(StatusCode::kNotFound, "missing key");
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kNotFound);
+    EXPECT_EQ(status.to_string(), "not-found: missing key");
+}
+
+TEST(ResultType, HoldsValue) {
+    Result<int> result(42);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_EQ(result.value_or(0), 42);
+}
+
+TEST(ResultType, HoldsStatus) {
+    Result<int> result(Status(StatusCode::kCapacityExceeded));
+    ASSERT_FALSE(result.has_value());
+    EXPECT_EQ(result.status().code(), StatusCode::kCapacityExceeded);
+    EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(TablePrinterTest, RendersAlignedRows) {
+    TablePrinter table({"name", "value"});
+    table.add_row({"alpha", "1"});
+    table.add_row({"b", "22222"});
+    std::ostringstream os;
+    table.print(os, "title");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+    TablePrinter table({"a", "b", "c"});
+    table.add_row({"only"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericHelpers) {
+    EXPECT_EQ(TablePrinter::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::percent(0.5, 1), "50.0%");
+}
+
+}  // namespace
+}  // namespace flowcam

@@ -1,0 +1,230 @@
+// Unit tests for the Flow LUT's internal hardware blocks: the Request
+// Filter's park/release hazard handling, the Bank Selector's rotation and
+// ordering guarantees, and the Update block's Req_Arb + BWr_Gen batching.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bank_selector.hpp"
+#include "core/blocks.hpp"
+#include "core/req_filter.hpp"
+#include "core/update_block.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::core {
+namespace {
+
+net::NTuple key_of(u64 value) {
+    return net::NTuple::from_five_tuple(net::synth_tuple(value, 1));
+}
+
+TEST(ReqFilterTest, UnblockedByDefault) {
+    ReqFilter<int> filter;
+    EXPECT_FALSE(filter.read_blocked(0x100));
+    EXPECT_FALSE(filter.delete_blocked(0x100));
+}
+
+TEST(ReqFilterTest, PendingUpdateBlocksReads) {
+    ReqFilter<int> filter;
+    filter.update_created(0x100);
+    EXPECT_TRUE(filter.read_blocked(0x100));
+    EXPECT_FALSE(filter.read_blocked(0x200));  // other addresses unaffected
+    const auto released = filter.update_retired(0x100);
+    EXPECT_TRUE(released.empty());
+    EXPECT_FALSE(filter.read_blocked(0x100));
+}
+
+TEST(ReqFilterTest, ParkedReadsReleasedInFifoOrder) {
+    ReqFilter<int> filter;
+    filter.update_created(0x100);
+    filter.park(0x100, 1);
+    filter.park(0x100, 2);
+    filter.park(0x100, 3);
+    const auto released = filter.update_retired(0x100);
+    EXPECT_EQ(released, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ReqFilterTest, MultiplePendingUpdatesAllMustRetire) {
+    ReqFilter<int> filter;
+    filter.update_created(0x100);
+    filter.update_created(0x100);
+    filter.park(0x100, 7);
+    EXPECT_TRUE(filter.update_retired(0x100).empty());  // one still pending
+    EXPECT_TRUE(filter.read_blocked(0x100));
+    const auto released = filter.update_retired(0x100);
+    EXPECT_EQ(released, (std::vector<int>{7}));
+}
+
+TEST(ReqFilterTest, ParkedQueueBlocksEvenAfterUpdateCountZero) {
+    // Per-flow ordering: once anything is parked on an address, later reads
+    // must park behind it.
+    ReqFilter<int> filter;
+    filter.update_created(0x100);
+    filter.park(0x100, 1);
+    // Blocked because parked queue is non-empty even if we ask hypothetically.
+    EXPECT_TRUE(filter.read_blocked(0x100));
+}
+
+TEST(ReqFilterTest, InflightReadsBlockDeletes) {
+    ReqFilter<int> filter;
+    filter.read_issued(0x100);
+    filter.read_issued(0x100);
+    EXPECT_TRUE(filter.delete_blocked(0x100));
+    filter.read_retired(0x100);
+    EXPECT_TRUE(filter.delete_blocked(0x100));
+    filter.read_retired(0x100);
+    EXPECT_FALSE(filter.delete_blocked(0x100));
+}
+
+TEST(ReqFilterTest, StateCleanedUpWhenIdle) {
+    ReqFilter<int> filter;
+    filter.update_created(0x100);
+    (void)filter.update_retired(0x100);
+    filter.read_issued(0x200);
+    filter.read_retired(0x200);
+    EXPECT_EQ(filter.tracked_addresses(), 0u);
+}
+
+TEST(ReqFilterTest, ParkedTotalAccumulates) {
+    ReqFilter<int> filter;
+    filter.update_created(1);
+    filter.park(1, 1);
+    filter.park(1, 2);
+    EXPECT_EQ(filter.parked_total(), 2u);
+    EXPECT_EQ(filter.parked_now(), 2u);
+    (void)filter.update_retired(1);
+    EXPECT_EQ(filter.parked_total(), 2u);  // historical count
+    EXPECT_EQ(filter.parked_now(), 0u);
+}
+
+TEST(BankSelectorTest, RotatesAcrossBanks) {
+    BankSelector<int> selector(4);
+    selector.push(0, 100);
+    selector.push(1, 101);
+    selector.push(2, 102);
+    selector.push(0, 103);
+    // Rotation starts after bank 0 (rotor init 0 -> first pick bank 1).
+    EXPECT_EQ(selector.pop_rotating().value(), 101);
+    EXPECT_EQ(selector.pop_rotating().value(), 102);
+    EXPECT_EQ(selector.pop_rotating().value(), 100);
+    EXPECT_EQ(selector.pop_rotating().value(), 103);
+    EXPECT_FALSE(selector.pop_rotating().has_value());
+}
+
+TEST(BankSelectorTest, SameBankStaysFifo) {
+    BankSelector<int> selector(8);
+    for (int i = 0; i < 10; ++i) selector.push(3, i);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(selector.pop_rotating().value(), i);
+}
+
+TEST(BankSelectorTest, PeekMatchesPop) {
+    BankSelector<int> selector(4);
+    selector.push(2, 42);
+    selector.push(3, 43);
+    const int* peeked = selector.peek_rotating();
+    ASSERT_NE(peeked, nullptr);
+    EXPECT_EQ(*peeked, selector.pop_rotating().value());
+}
+
+TEST(BankSelectorTest, SizeAndPeakTracked) {
+    BankSelector<int> selector(2);
+    selector.push(0, 1);
+    selector.push(1, 2);
+    selector.push(0, 3);
+    EXPECT_EQ(selector.size(), 3u);
+    EXPECT_EQ(selector.peak_size(), 3u);
+    (void)selector.pop_rotating();
+    EXPECT_EQ(selector.size(), 2u);
+    EXPECT_EQ(selector.peak_size(), 3u);
+}
+
+TEST(BankSelectorTest, BankModuloWraps) {
+    BankSelector<int> selector(4);
+    selector.push(7, 70);  // 7 % 4 == 3
+    EXPECT_EQ(selector.bank_depth(3), 1u);
+}
+
+UpdateRequest insert_req(u64 key, u64 bucket) {
+    UpdateRequest request;
+    request.kind = UpdateKind::kInsert;
+    request.key = key_of(key);
+    request.bucket_index = bucket;
+    return request;
+}
+
+TEST(UpdateBlockTest, ReleasesOnThreshold) {
+    UpdateBlock block(4, 1000, 64);
+    for (u64 i = 0; i < 3; ++i) {
+        ASSERT_TRUE(block.submit(insert_req(i, i), 0));
+        EXPECT_TRUE(block.release(0).empty());
+    }
+    ASSERT_TRUE(block.submit(insert_req(3, 3), 0));
+    const auto batch = block.release(0);
+    EXPECT_EQ(batch.size(), 4u);
+    EXPECT_EQ(block.stats().releases_on_threshold, 1u);
+    EXPECT_EQ(block.backlog(), 0u);
+}
+
+TEST(UpdateBlockTest, ReleasesOnTimeout) {
+    UpdateBlock block(8, 50, 64);
+    ASSERT_TRUE(block.submit(insert_req(1, 1), 10));
+    EXPECT_TRUE(block.release(59).empty());
+    const auto batch = block.release(60);  // 10 + 50
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_EQ(block.stats().releases_on_timeout, 1u);
+}
+
+TEST(UpdateBlockTest, DuplicateKeysMerged) {
+    UpdateBlock block(8, 100, 64);
+    ASSERT_TRUE(block.submit(insert_req(1, 1), 0));
+    ASSERT_TRUE(block.submit(insert_req(1, 1), 0));
+    EXPECT_EQ(block.backlog(), 1u);
+    EXPECT_EQ(block.stats().duplicates_merged, 1u);
+}
+
+TEST(UpdateBlockTest, InsertAndDeleteOfSameKeyBothKept) {
+    UpdateBlock block(8, 100, 64);
+    UpdateRequest del = insert_req(1, 1);
+    del.kind = UpdateKind::kDelete;
+    ASSERT_TRUE(block.submit(insert_req(1, 1), 0));
+    ASSERT_TRUE(block.submit(del, 0));
+    EXPECT_EQ(block.backlog(), 2u);  // different kinds do not merge
+    EXPECT_TRUE(block.delete_pending(key_of(1).view()));
+}
+
+TEST(UpdateBlockTest, DeletePendingClearsAfterRelease) {
+    UpdateBlock block(1, 100, 64);
+    UpdateRequest del = insert_req(2, 2);
+    del.kind = UpdateKind::kDelete;
+    ASSERT_TRUE(block.submit(del, 0));
+    EXPECT_TRUE(block.delete_pending(key_of(2).view()));
+    (void)block.release(0);
+    EXPECT_FALSE(block.delete_pending(key_of(2).view()));
+}
+
+TEST(UpdateBlockTest, FifoOrderWithinBatch) {
+    UpdateBlock block(4, 100, 64);
+    for (u64 i = 0; i < 4; ++i) ASSERT_TRUE(block.submit(insert_req(i, i), 0));
+    const auto batch = block.release(0);
+    ASSERT_EQ(batch.size(), 4u);
+    for (u64 i = 0; i < 4; ++i) EXPECT_EQ(batch[i].bucket_index, i);
+}
+
+TEST(UpdateBlockTest, DepthBoundsBacklog) {
+    UpdateBlock block(100, 10000, 4);
+    for (u64 i = 0; i < 4; ++i) ASSERT_TRUE(block.submit(insert_req(i, i), 0));
+    EXPECT_FALSE(block.can_accept());
+    EXPECT_FALSE(block.submit(insert_req(99, 99), 0));
+}
+
+TEST(UpdateBlockTest, MeanBurstLengthStat) {
+    UpdateBlock block(4, 1000, 64);
+    for (u64 i = 0; i < 8; ++i) {
+        ASSERT_TRUE(block.submit(insert_req(i, i), 0));
+        (void)block.release(0);
+    }
+    EXPECT_DOUBLE_EQ(block.stats().mean_burst_length(), 4.0);
+}
+
+}  // namespace
+}  // namespace flowcam::core

@@ -1,0 +1,97 @@
+// Pattern-simulator tests: the Figure 3 curve properties (monotonic,
+// saturating, turnaround-dominated at N=1) and the bank-interleaving
+// speedup that motivates the DLU's Bank Selector.
+#include <gtest/gtest.h>
+
+#include "dram/pattern_sim.hpp"
+
+namespace flowcam::dram {
+namespace {
+
+TEST(Fig3Pattern, UtilizationMonotonicInBurstCount) {
+    const DramTimings t = ddr3_1066e();
+    double previous = 0.0;
+    for (u32 n : {1u, 2u, 4u, 8u, 16u, 35u}) {
+        const PatternResult result = run_same_row_rw_pattern(t, n, 64);
+        EXPECT_GT(result.dq_utilization, previous) << "N=" << n;
+        previous = result.dq_utilization;
+    }
+}
+
+TEST(Fig3Pattern, SingleBurstPaysFullTurnaround) {
+    const DramTimings t = ddr3_1066e();
+    // Steady state analytical value: per RD+WR pair, 2 bursts of data
+    // (8 cycles) plus the RD->WR and WR->RD bubbles.
+    const PatternResult result = run_same_row_rw_pattern(t, 1, 256);
+    // JEDEC-exact bubbles: RD->WR gap leaves 2 idle DQ cycles; WR->RD
+    // leaves 11. Utilization = 8 / (8 + 13) = 38.1 %.
+    EXPECT_NEAR(result.dq_utilization, 8.0 / 21.0, 0.01);
+}
+
+TEST(Fig3Pattern, LargeBurstsApproachSaturation) {
+    const DramTimings t = ddr3_1066e();
+    const PatternResult result = run_same_row_rw_pattern(t, 35, 64);
+    EXPECT_GT(result.dq_utilization, 0.90);
+}
+
+TEST(Fig3Pattern, CalibratedOverheadReproducesPaperFloor) {
+    // With the vendor-controller turnaround penalty the paper's absolute
+    // numbers emerge: ~20 % at N=1, ~90 % at N=35.
+    const DramTimings t = ddr3_1066e();
+    const PatternResult n1 = run_same_row_rw_pattern(t, 1, 256, 10);
+    const PatternResult n35 = run_same_row_rw_pattern(t, 35, 64, 10);
+    EXPECT_NEAR(n1.dq_utilization, 0.20, 0.03);
+    EXPECT_NEAR(n35.dq_utilization, 0.90, 0.03);
+}
+
+TEST(Fig3Pattern, BandwidthScalesWithUtilization) {
+    const DramTimings t = ddr3_1066e();
+    const PatternResult result = run_same_row_rw_pattern(t, 8, 64);
+    // Peak for 32-bit DDR3-1066: 1066.67 MT/s * 4 B = ~4266 MB/s.
+    const double peak = t.peak_bandwidth_bytes(4.0) / 1e6;
+    EXPECT_NEAR(result.bandwidth_mbytes_per_s, result.dq_utilization * peak, peak * 0.02);
+}
+
+TEST(Fig3Pattern, FasterGradeSameShape) {
+    const DramTimings t = ddr3_1600();
+    const PatternResult n1 = run_same_row_rw_pattern(t, 1, 64);
+    const PatternResult n35 = run_same_row_rw_pattern(t, 35, 64);
+    EXPECT_LT(n1.dq_utilization, n35.dq_utilization);
+    EXPECT_GT(n35.dq_utilization, 0.85);
+}
+
+TEST(RandomRowPattern, SingleBankIsTrcBound) {
+    const DramTimings t = ddr3_1066e();
+    const PatternResult result = run_random_row_single_bank(t, 200);
+    // Each access costs ~tRC cycles and moves one 4-cycle burst.
+    const double expected = 4.0 / static_cast<double>(t.trc);
+    EXPECT_NEAR(result.dq_utilization, expected, expected * 0.25);
+}
+
+TEST(RandomRowPattern, BankInterleavingRecoversBandwidth) {
+    const DramTimings t = ddr3_1066e();
+    const PatternResult one = run_random_row_banked(t, 1, 400);
+    const PatternResult eight = run_random_row_banked(t, 8, 400);
+    // The Bank Selector's rationale: 8-way interleaving should lift DQ
+    // utilization several-fold over a single bank.
+    EXPECT_GT(eight.dq_utilization, 3.0 * one.dq_utilization);
+}
+
+TEST(RandomRowPattern, UtilizationSaturatesWithEnoughBanks) {
+    const DramTimings t = ddr3_1066e();
+    const PatternResult eight = run_random_row_banked(t, 8, 400);
+    // With tRC = 27 and 4 data cycles per access, 8 banks covers the row
+    // cycle (8*4 > 27): expect > 70 % utilization (tRRD/tFAW limit the rest).
+    EXPECT_GT(eight.dq_utilization, 0.7);
+}
+
+TEST(RandomRowPattern, DeterministicForFixedSeed) {
+    const DramTimings t = ddr3_1066e();
+    const PatternResult a = run_random_row_banked(t, 4, 100, 7);
+    const PatternResult b = run_random_row_banked(t, 4, 100, 7);
+    EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles);
+    EXPECT_DOUBLE_EQ(a.dq_utilization, b.dq_utilization);
+}
+
+}  // namespace
+}  // namespace flowcam::dram

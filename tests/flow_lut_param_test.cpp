@@ -1,0 +1,165 @@
+// Parameterized property sweep of the timed Flow LUT across configuration
+// space: DRAM speed grades, bucket geometry (ways/entry size), hash
+// families, balancer policies and burst-write settings. Every point must
+// satisfy the same invariants: all descriptors retire, FIDs agree with a
+// sequential oracle, the DDR3 protocol stays clean, and per-flow order
+// holds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "core/flow_lut.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::core {
+namespace {
+
+struct SweepPoint {
+    std::string label;
+    FlowLutConfig config;
+};
+
+std::vector<SweepPoint> sweep_points() {
+    std::vector<SweepPoint> points;
+    const auto base = [] {
+        FlowLutConfig config;
+        config.buckets_per_mem = 1 << 9;
+        config.ways = 4;
+        config.cam_capacity = 128;
+        return config;
+    };
+
+    for (const char* grade : {"DDR3-1066", "DDR3-1333", "DDR3-1600"}) {
+        // gtest parameter names must be alphanumeric/underscore only.
+        std::string label = std::string("grade_") + grade;
+        for (char& c : label) {
+            if (c == '-') c = '_';
+        }
+        SweepPoint point{std::move(label), base()};
+        point.config.timings = dram::timings_by_name(grade);
+        points.push_back(std::move(point));
+    }
+    for (const u32 ways : {1u, 2u, 8u}) {
+        SweepPoint point{"ways_" + std::to_string(ways), base()};
+        point.config.ways = ways;
+        points.push_back(std::move(point));
+    }
+    {
+        SweepPoint point{"entry_48B_ntuple", base()};
+        point.config.entry_bytes = 48;  // room for IPv6-scale n-tuples
+        points.push_back(std::move(point));
+    }
+    for (const auto kind :
+         {hash::HashKind::kCrc32c, hash::HashKind::kMurmur3, hash::HashKind::kTabulation}) {
+        SweepPoint point{std::string("hash_") + to_string(kind), base()};
+        point.config.hash_kind = kind;
+        points.push_back(std::move(point));
+    }
+    {
+        SweepPoint point{"writes_unbatched", base()};
+        point.config.burst_write_threshold = 1;
+        points.push_back(std::move(point));
+    }
+    {
+        SweepPoint point{"writes_heavily_batched", base()};
+        point.config.burst_write_threshold = 32;
+        point.config.burst_write_timeout = 512;
+        points.push_back(std::move(point));
+    }
+    {
+        SweepPoint point{"first_fit_insert", base()};
+        point.config.insert_policy = InsertPolicy::kFirstFit;
+        points.push_back(std::move(point));
+    }
+    {
+        SweepPoint point{"bank_high_map", base()};
+        point.config.controller.map_policy = dram::MapPolicy::kBankHigh;
+        points.push_back(std::move(point));
+    }
+    {
+        SweepPoint point{"tiny_queues", base()};
+        point.config.input_depth = 4;
+        point.config.lu_queue_depth = 4;
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+class FlowLutSweepTest : public ::testing::TestWithParam<SweepPoint> {};
+
+INSTANTIATE_TEST_SUITE_P(ConfigSpace, FlowLutSweepTest, ::testing::ValuesIn(sweep_points()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST_P(FlowLutSweepTest, InvariantsHoldUnderMixedWorkload) {
+    FlowLut lut(GetParam().config);
+    Xoshiro256 rng(2024);
+
+    constexpr u64 kPackets = 1200;
+    constexpr u64 kFlows = 200;
+    std::vector<net::NTuple> keys;
+    keys.reserve(kPackets);
+    std::set<u64> distinct;
+    for (u64 i = 0; i < kPackets; ++i) {
+        const u64 flow = rng.bounded(kFlows);
+        distinct.insert(flow);
+        keys.push_back(net::NTuple::from_five_tuple(net::synth_tuple(flow, 17)));
+    }
+
+    std::vector<Completion> completions;
+    u64 offered = 0;
+    u64 guard = 0;
+    while (offered < kPackets && guard++ < 4'000'000) {
+        if (lut.offer(keys[offered], offered + 1, 64)) ++offered;
+        lut.step();
+        while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+    }
+    ASSERT_EQ(offered, kPackets) << "engine stopped accepting input";
+    ASSERT_TRUE(lut.drain()) << "engine failed to drain";
+    while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+
+    // 1. Conservation: exactly one completion per descriptor.
+    ASSERT_EQ(completions.size(), kPackets);
+
+    // 2. Oracle agreement (in seq order).
+    std::map<u64, const Completion*> by_seq;
+    for (const auto& completion : completions) by_seq[completion.seq] = &completion;
+    std::unordered_map<std::string, FlowId> oracle;
+    for (const auto& [seq, completion] : by_seq) {
+        const auto view = completion->key.view();
+        std::string key(reinterpret_cast<const char*>(view.data()), view.size());
+        const auto it = oracle.find(key);
+        if (it == oracle.end()) {
+            EXPECT_TRUE(completion->is_new_flow) << GetParam().label << " seq " << seq;
+            oracle.emplace(std::move(key), completion->fid);
+        } else {
+            EXPECT_EQ(completion->fid, it->second) << GetParam().label << " seq " << seq;
+        }
+    }
+    EXPECT_EQ(oracle.size(), distinct.size());
+    EXPECT_EQ(lut.table().size(), distinct.size());
+
+    // 3. Per-flow ordering in retirement order.
+    std::unordered_map<std::string, u64> last_seq;
+    for (const auto& completion : completions) {
+        const auto view = completion.key.view();
+        std::string key(reinterpret_cast<const char*>(view.data()), view.size());
+        const auto it = last_seq.find(key);
+        if (it != last_seq.end()) {
+            EXPECT_LT(it->second, completion.seq) << GetParam().label;
+        }
+        last_seq[key] = completion.seq;
+    }
+
+    // 4. Protocol cleanliness on both channels.
+    EXPECT_TRUE(lut.controller(Path::kA).protocol_status().is_ok())
+        << lut.controller(Path::kA).protocol_status().to_string();
+    EXPECT_TRUE(lut.controller(Path::kB).protocol_status().is_ok())
+        << lut.controller(Path::kB).protocol_status().to_string();
+}
+
+}  // namespace
+}  // namespace flowcam::core

@@ -1,0 +1,355 @@
+// Integration tests for the timed Flow LUT engine — the paper's Fig. 2
+// machine. The heavyweight properties:
+//   * timed answers always agree with a functional oracle (the Request
+//     Filter's correctness guarantee),
+//   * per-flow completions retire in arrival order (paper §IV-A promise),
+//   * the DDR3 protocol stays violation-free under load,
+//   * housekeeping deletion, CAM collisions, backpressure and drops.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/flow_lut.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::core {
+namespace {
+
+net::NTuple key_of(u64 value, u64 seed = 3) {
+    return net::NTuple::from_five_tuple(net::synth_tuple(value, seed));
+}
+
+FlowLutConfig small_config() {
+    FlowLutConfig config;
+    config.buckets_per_mem = 1 << 10;
+    config.ways = 4;
+    config.cam_capacity = 64;
+    return config;
+}
+
+std::string key_string(const net::NTuple& key) {
+    const auto view = key.view();
+    return {reinterpret_cast<const char*>(view.data()), view.size()};
+}
+
+/// Offer keys at the given input interval, step until drained, collect all
+/// completions.
+std::vector<Completion> run_workload(FlowLut& lut, const std::vector<net::NTuple>& keys,
+                                     u32 cycles_per_offer = 2) {
+    std::vector<Completion> completions;
+    std::size_t offered = 0;
+    u64 ts = 1;
+    while (offered < keys.size()) {
+        if (lut.now() % cycles_per_offer == 0 && lut.offer(keys[offered], ts, 64)) {
+            ++offered;
+            ts += 17;
+        }
+        lut.step();
+        while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+    }
+    EXPECT_TRUE(lut.drain());
+    while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+    return completions;
+}
+
+TEST(FlowLutTest, SingleNewFlowGetsValidFid) {
+    FlowLut lut(small_config());
+    ASSERT_TRUE(lut.offer(key_of(1), 1, 64));
+    ASSERT_TRUE(lut.drain());
+    const auto completion = lut.pop_completion();
+    ASSERT_TRUE(completion.has_value());
+    EXPECT_NE(completion->fid, kInvalidFlowId);
+    EXPECT_TRUE(completion->is_new_flow);
+    EXPECT_EQ(lut.table().size(), 1u);
+    EXPECT_EQ(lut.stats().new_flows, 1u);
+}
+
+TEST(FlowLutTest, SecondPacketSameFlowSameFid) {
+    FlowLut lut(small_config());
+    std::vector<net::NTuple> keys = {key_of(1), key_of(1)};
+    const auto completions = run_workload(lut, keys);
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_TRUE(completions[0].is_new_flow);
+    EXPECT_FALSE(completions[1].is_new_flow);
+    EXPECT_EQ(completions[0].fid, completions[1].fid);
+}
+
+TEST(FlowLutTest, TimedMatchesFunctionalOracle) {
+    // The central property: for an arbitrary interleaved stream, the FID
+    // stream the timed engine produces matches a sequential oracle
+    // (first-seen => new flow with a stable id; repeats => same id).
+    FlowLut lut(small_config());
+    Xoshiro256 rng(99);
+    std::vector<net::NTuple> keys;
+    for (int i = 0; i < 3000; ++i) keys.push_back(key_of(rng.bounded(500)));
+
+    const auto completions = run_workload(lut, keys, 1);
+    ASSERT_EQ(completions.size(), keys.size());
+
+    std::unordered_map<std::string, FlowId> oracle;
+    std::map<u64, const Completion*> by_seq;
+    for (const auto& completion : completions) by_seq[completion.seq] = &completion;
+    ASSERT_EQ(by_seq.size(), keys.size());
+
+    for (const auto& [seq, completion] : by_seq) {
+        const std::string key = key_string(completion->key);
+        const auto it = oracle.find(key);
+        if (it == oracle.end()) {
+            EXPECT_TRUE(completion->is_new_flow) << "seq " << seq;
+            EXPECT_NE(completion->fid, kInvalidFlowId);
+            oracle.emplace(key, completion->fid);
+        } else {
+            EXPECT_EQ(completion->fid, it->second) << "seq " << seq;
+            EXPECT_FALSE(completion->is_new_flow) << "seq " << seq;
+        }
+    }
+    // And the DDR3 protocol stayed clean throughout.
+    EXPECT_TRUE(lut.controller(Path::kA).protocol_status().is_ok());
+    EXPECT_TRUE(lut.controller(Path::kB).protocol_status().is_ok());
+}
+
+TEST(FlowLutTest, PerFlowCompletionsInArrivalOrder) {
+    // Paper §IV-A: "The packets belonging to the same flow are still
+    // strictly maintained in order."
+    FlowLut lut(small_config());
+    Xoshiro256 rng(7);
+    std::vector<net::NTuple> keys;
+    for (int i = 0; i < 4000; ++i) keys.push_back(key_of(rng.bounded(50)));
+
+    std::vector<Completion> completions;
+    std::size_t offered = 0;
+    while (offered < keys.size()) {
+        if (lut.offer(keys[offered], offered + 1, 64)) ++offered;
+        lut.step();
+        while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+    }
+    ASSERT_TRUE(lut.drain());
+    while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+    ASSERT_EQ(completions.size(), keys.size());
+
+    // Completions were collected in retirement order. For each key, the
+    // seq numbers must appear in increasing order.
+    std::unordered_map<std::string, u64> last_seq;
+    for (const auto& completion : completions) {
+        const std::string key = key_string(completion.key);
+        const auto it = last_seq.find(key);
+        if (it != last_seq.end()) {
+            EXPECT_LT(it->second, completion.seq)
+                << "per-flow reordering for key at seq " << completion.seq;
+        }
+        last_seq[key] = completion.seq;
+    }
+}
+
+TEST(FlowLutTest, PreloadedFlowsHitWithoutInsert) {
+    FlowLut lut(small_config());
+    std::map<std::string, FlowId> fids;
+    for (u64 i = 0; i < 200; ++i) {
+        const auto key = key_of(i);
+        const auto fid = lut.preload(key);
+        ASSERT_TRUE(fid.has_value());
+        fids[key_string(key)] = fid.value();
+    }
+    std::vector<net::NTuple> keys;
+    for (u64 i = 0; i < 200; ++i) keys.push_back(key_of(i));
+    const auto completions = run_workload(lut, keys);
+    ASSERT_EQ(completions.size(), 200u);
+    for (const auto& completion : completions) {
+        EXPECT_FALSE(completion.is_new_flow);
+        EXPECT_EQ(completion.fid, fids[key_string(completion.key)]);
+    }
+    EXPECT_EQ(lut.stats().new_flows, 0u);
+    EXPECT_GT(lut.stats().lu1_hits + lut.stats().lu2_hits, 0u);
+}
+
+TEST(FlowLutTest, CamCollisionsAnswerAtSequencer) {
+    FlowLutConfig config = small_config();
+    config.buckets_per_mem = 1;  // force every key into one bucket pair
+    config.ways = 2;
+    config.cam_capacity = 32;
+    FlowLut lut(config);
+    // 4 bucket slots + CAM for the rest. First pass inserts; drain so no
+    // first-pass packet is still in flight (an in-flight elder suppresses
+    // the instant CAM answer to preserve per-flow order); second pass must
+    // then hit at the sequencer CAM stage.
+    std::vector<net::NTuple> first_pass;
+    std::vector<net::NTuple> second_pass;
+    for (u64 i = 0; i < 20; ++i) first_pass.push_back(key_of(i));
+    for (u64 i = 0; i < 20; ++i) second_pass.push_back(key_of(i));
+    auto completions = run_workload(lut, first_pass);
+    const auto second = run_workload(lut, second_pass);
+    completions.insert(completions.end(), second.begin(), second.end());
+    ASSERT_EQ(completions.size(), 40u);
+    EXPECT_EQ(lut.table().cam_entries(), 16u);
+    EXPECT_GT(lut.stats().cam_hits, 0u);  // second-pass CAM keys hit at stage 1
+    // All 20 flows stable across both passes.
+    std::map<std::string, FlowId> fid_of;
+    for (const auto& completion : completions) {
+        const auto [it, inserted] = fid_of.emplace(key_string(completion.key), completion.fid);
+        if (!inserted) EXPECT_EQ(it->second, completion.fid);
+    }
+}
+
+TEST(FlowLutTest, TableFullDropsGracefully) {
+    FlowLutConfig config = small_config();
+    config.buckets_per_mem = 1;
+    config.ways = 1;
+    config.cam_capacity = 2;
+    FlowLut lut(config);
+    std::vector<net::NTuple> keys;
+    for (u64 i = 0; i < 10; ++i) keys.push_back(key_of(i));
+    const auto completions = run_workload(lut, keys);
+    ASSERT_EQ(completions.size(), 10u);
+    EXPECT_EQ(lut.stats().drops, 6u);  // capacity 1+1+2 = 4
+    u64 invalid = 0;
+    for (const auto& completion : completions) invalid += completion.fid == kInvalidFlowId;
+    EXPECT_EQ(invalid, 6u);
+}
+
+TEST(FlowLutTest, HousekeepingExpiresIdleFlows) {
+    FlowLutConfig config = small_config();
+    config.flow_timeout_ns = 1000;
+    config.housekeeping_scan_per_cycle = 16;
+    FlowLut lut(config);
+
+    // Create 50 flows at t=0..., then advance stream time with one late
+    // packet of a fresh flow and let housekeeping reap the idle ones.
+    for (u64 i = 0; i < 50; ++i) {
+        ASSERT_TRUE(lut.offer(key_of(i), 10, 64));
+        ASSERT_TRUE(lut.drain());
+    }
+    EXPECT_EQ(lut.table().size(), 50u);
+    ASSERT_TRUE(lut.offer(key_of(999), 1'000'000, 64));
+    ASSERT_TRUE(lut.drain());
+    lut.run(20000);  // give the scanner and delete writes time
+    ASSERT_TRUE(lut.drain());
+    // All 50 idle flows reaped; the late flow survives.
+    EXPECT_EQ(lut.table().size(), 1u);
+    EXPECT_GE(lut.stats().deletes_applied, 50u);
+    EXPECT_EQ(lut.flow_state().active_flows(), 1u);
+    EXPECT_TRUE(lut.controller(Path::kA).protocol_status().is_ok());
+    EXPECT_TRUE(lut.controller(Path::kB).protocol_status().is_ok());
+}
+
+TEST(FlowLutTest, ReofferAfterExpiryCreatesNewFlow) {
+    FlowLutConfig config = small_config();
+    config.flow_timeout_ns = 1000;
+    config.housekeeping_scan_per_cycle = 16;
+    FlowLut lut(config);
+    ASSERT_TRUE(lut.offer(key_of(1), 10, 64));
+    ASSERT_TRUE(lut.drain());
+    const auto first = lut.pop_completion();
+    ASSERT_TRUE(first.has_value());
+
+    ASSERT_TRUE(lut.offer(key_of(2), 1'000'000, 64));  // advance stream time
+    ASSERT_TRUE(lut.drain());
+    lut.run(20000);
+    ASSERT_TRUE(lut.drain());
+    ASSERT_TRUE(lut.offer(key_of(1), 1'000'100, 64));
+    ASSERT_TRUE(lut.drain());
+    // Flush the queue: the last completion is the re-offered key.
+    Completion last;
+    while (auto completion = lut.pop_completion()) last = *completion;
+    EXPECT_TRUE(last.is_new_flow);
+}
+
+TEST(FlowLutTest, InputBackpressureWhenFlooded) {
+    FlowLutConfig config = small_config();
+    config.input_depth = 8;
+    FlowLut lut(config);
+    u64 accepted = 0;
+    for (u64 i = 0; i < 100; ++i) accepted += lut.offer(key_of(i), i + 1, 64);
+    EXPECT_EQ(accepted, 8u);
+    EXPECT_TRUE(lut.input_full());
+    EXPECT_EQ(lut.stats().rejected_input_full, 92u);
+    ASSERT_TRUE(lut.drain());
+    EXPECT_EQ(lut.stats().completions, 8u);
+}
+
+TEST(FlowLutTest, WeightedBalancerSkewsLoad) {
+    for (const double weight : {0.0, 0.25, 0.5, 1.0}) {
+        FlowLutConfig config = small_config();
+        config.balance = BalancePolicy::kWeightedHash;
+        config.weight_a = weight;
+        FlowLut lut(config);
+        std::vector<net::NTuple> keys;
+        for (u64 i = 0; i < 2000; ++i) keys.push_back(key_of(i));
+        (void)run_workload(lut, keys);
+        EXPECT_NEAR(lut.stats().load_fraction_a(), weight, 0.05) << "weight " << weight;
+    }
+}
+
+TEST(FlowLutTest, HashBitBalancerNearHalf) {
+    FlowLut lut(small_config());
+    std::vector<net::NTuple> keys;
+    for (u64 i = 0; i < 2000; ++i) keys.push_back(key_of(i));
+    (void)run_workload(lut, keys);
+    EXPECT_NEAR(lut.stats().load_fraction_a(), 0.5, 0.06);
+}
+
+TEST(FlowLutTest, RawOfferControlsBucketIndices) {
+    FlowLutConfig config = small_config();
+    FlowLut lut(config);
+    // Bank-increment pattern: bucket index == sequence number.
+    for (u64 i = 0; i < 64; ++i) {
+        ASSERT_TRUE(lut.offer_raw(key_of(i), i, i, i * 0x9e3779b9, i + 1, 64));
+        lut.step();
+    }
+    ASSERT_TRUE(lut.drain());
+    EXPECT_EQ(lut.stats().completions, 64u);
+    EXPECT_EQ(lut.stats().new_flows, 64u);
+}
+
+TEST(FlowLutTest, ThroughputReportedInMdesc) {
+    FlowLut lut(small_config());
+    std::vector<net::NTuple> keys;
+    for (u64 i = 0; i < 500; ++i) keys.push_back(key_of(i % 100));
+    (void)run_workload(lut, keys);
+    EXPECT_GT(lut.mdesc_per_second(), 1.0);
+    EXPECT_LE(lut.mdesc_per_second(), 200.0);  // can't beat the input clock
+}
+
+TEST(FlowLutTest, UpdateBlockBatchesInsertWrites) {
+    FlowLutConfig config = small_config();
+    config.burst_write_threshold = 8;
+    config.burst_write_timeout = 256;
+    FlowLut lut(config);
+    std::vector<net::NTuple> keys;
+    for (u64 i = 0; i < 400; ++i) keys.push_back(key_of(i));  // all new flows
+    (void)run_workload(lut, keys, 1);
+    const auto& updates_a = lut.update_block(Path::kA).stats();
+    const auto& updates_b = lut.update_block(Path::kB).stats();
+    EXPECT_GT(updates_a.requests_released + updates_b.requests_released, 0u);
+    // Batching actually happened: mean burst length > 1.
+    const double mean_burst =
+        static_cast<double>(updates_a.requests_released + updates_b.requests_released) /
+        static_cast<double>(updates_a.bursts_released + updates_b.bursts_released);
+    EXPECT_GT(mean_burst, 1.5);
+}
+
+TEST(FlowLutTest, DrainedOnConstruction) {
+    FlowLut lut(small_config());
+    EXPECT_TRUE(lut.drained());
+    lut.run(100);
+    EXPECT_TRUE(lut.drained());
+    EXPECT_EQ(lut.stats().completions, 0u);
+}
+
+TEST(FlowLutTest, FidEncodesActualLocation) {
+    FlowLut lut(small_config());
+    ASSERT_TRUE(lut.offer(key_of(1), 1, 64));
+    ASSERT_TRUE(lut.drain());
+    const auto completion = lut.pop_completion();
+    ASSERT_TRUE(completion.has_value());
+    const TableIndex location = fid_location(completion->fid);
+    const auto actual = lut.table().locate(completion->key.view());
+    ASSERT_TRUE(actual.has_value());
+    EXPECT_EQ(location, *actual);
+}
+
+}  // namespace
+}  // namespace flowcam::core

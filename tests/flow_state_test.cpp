@@ -1,0 +1,136 @@
+// Flow State block tests: per-flow accounting, housekeeping timeout scans
+// (the source of Del_req), FID reuse after deletion, and export callbacks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/flow_state.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::core {
+namespace {
+
+net::NTuple key_of(u64 value) {
+    return net::NTuple::from_five_tuple(net::synth_tuple(value, 2));
+}
+
+TEST(FlowStateTest, CreatesRecordOnFirstPacket) {
+    FlowStateBlock state(1000, 4);
+    state.on_packet(1, key_of(1), 100, 64);
+    const FlowRecord* record = state.find(1);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->packets, 1u);
+    EXPECT_EQ(record->bytes, 64u);
+    EXPECT_EQ(record->first_ns, 100u);
+    EXPECT_EQ(record->last_ns, 100u);
+    EXPECT_EQ(state.active_flows(), 1u);
+}
+
+TEST(FlowStateTest, AccumulatesCounters) {
+    FlowStateBlock state(1000, 4);
+    state.on_packet(1, key_of(1), 100, 64);
+    state.on_packet(1, key_of(1), 200, 1500);
+    const FlowRecord* record = state.find(1);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->packets, 2u);
+    EXPECT_EQ(record->bytes, 1564u);
+    EXPECT_EQ(record->last_ns, 200u);
+    EXPECT_DOUBLE_EQ(record->duration_s(), 100e-9);
+}
+
+TEST(FlowStateTest, ScanFindsExpiredFlows) {
+    FlowStateBlock state(1000, 16);
+    state.on_packet(1, key_of(1), 0, 64);
+    state.on_packet(2, key_of(2), 500, 64);
+    // At t=1200 flow 1 (idle 1200) expired, flow 2 (idle 700) not. One call
+    // makes at most one pass over the ring, so flow 1 is reported once.
+    const auto expired = state.scan_expired(1200);
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].fid, 1u);
+}
+
+TEST(FlowStateTest, ExpiredFlowReReportedUntilDeleted) {
+    // Housekeeping regenerates Del_req on every pass until the table entry
+    // actually dies; the Update block de-duplicates. After deletion the
+    // record disappears from the scan.
+    FlowStateBlock state(1000, 16);
+    state.on_packet(1, key_of(1), 0, 64);
+    EXPECT_EQ(state.scan_expired(5000).size(), 1u);
+    EXPECT_EQ(state.scan_expired(5000).size(), 1u);
+    state.on_deleted(1);
+    EXPECT_TRUE(state.scan_expired(5000).empty());
+}
+
+TEST(FlowStateTest, ScanIsIncremental) {
+    FlowStateBlock state(10, 2);  // 2 records per scan tick
+    for (u64 fid = 1; fid <= 8; ++fid) state.on_packet(fid, key_of(fid), 0, 64);
+    // One tick examines only 2 records.
+    const auto first = state.scan_expired(1'000'000);
+    EXPECT_LE(first.size(), 2u);
+}
+
+TEST(FlowStateTest, DeleteExportsAndRemoves) {
+    FlowStateBlock state(1000, 4);
+    std::vector<FlowRecord> exported;
+    state.set_export_callback([&](const FlowRecord& record) { exported.push_back(record); });
+    state.on_packet(1, key_of(1), 0, 64);
+    state.on_deleted(1);
+    EXPECT_EQ(state.active_flows(), 0u);
+    ASSERT_EQ(exported.size(), 1u);
+    EXPECT_EQ(exported[0].fid, 1u);
+    EXPECT_EQ(state.find(1), nullptr);
+}
+
+TEST(FlowStateTest, DeleteUnknownFidIsNoop) {
+    FlowStateBlock state(1000, 4);
+    state.on_deleted(42);
+    EXPECT_EQ(state.active_flows(), 0u);
+}
+
+TEST(FlowStateTest, FidReuseByNewKeyRestartsRecord) {
+    // Location-derived FIDs are reused after deletes; a different key under
+    // the same FID must export the old record and start fresh.
+    FlowStateBlock state(1000, 4);
+    std::vector<FlowRecord> exported;
+    state.set_export_callback([&](const FlowRecord& record) { exported.push_back(record); });
+    state.on_packet(7, key_of(1), 0, 64);
+    state.on_packet(7, key_of(1), 10, 64);
+    state.on_packet(7, key_of(2), 20, 128);  // same fid, new flow
+    ASSERT_EQ(exported.size(), 1u);
+    EXPECT_EQ(exported[0].packets, 2u);
+    const FlowRecord* record = state.find(7);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->packets, 1u);
+    EXPECT_EQ(record->bytes, 128u);
+    EXPECT_TRUE(record->key == key_of(2));
+}
+
+TEST(FlowStateTest, ExpiredTotalAccumulates) {
+    FlowStateBlock state(100, 64);
+    for (u64 fid = 1; fid <= 5; ++fid) state.on_packet(fid, key_of(fid), 0, 64);
+    u64 found = 0;
+    for (int tick = 0; tick < 10; ++tick) found += state.scan_expired(1'000).size();
+    EXPECT_GE(found, 5u);  // scans can report a record more than once
+    EXPECT_EQ(state.expired_total(), found);
+}
+
+TEST(FlowStateTest, SnapshotReturnsAllRecords) {
+    FlowStateBlock state(1000, 4);
+    for (u64 fid = 1; fid <= 10; ++fid) state.on_packet(fid, key_of(fid), fid, 64);
+    const auto snapshot = state.snapshot();
+    EXPECT_EQ(snapshot.size(), 10u);
+}
+
+TEST(FlowStateTest, ScanRingCompactsAfterDeletes) {
+    FlowStateBlock state(1'000'000'000, 8);
+    for (u64 fid = 1; fid <= 100; ++fid) state.on_packet(fid, key_of(fid), 0, 64);
+    for (u64 fid = 1; fid <= 100; ++fid) state.on_deleted(fid);
+    // Scanning an empty table must terminate and return nothing.
+    for (int tick = 0; tick < 100; ++tick) {
+        EXPECT_TRUE(state.scan_expired(u64{1} << 40).empty());
+    }
+    EXPECT_EQ(state.active_flows(), 0u);
+}
+
+}  // namespace
+}  // namespace flowcam::core

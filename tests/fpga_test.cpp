@@ -1,0 +1,82 @@
+// Resource-model tests: calibration against the paper's Table I and
+// monotonic scaling of the per-block accounting.
+#include <gtest/gtest.h>
+
+#include "fpga/resource_model.hpp"
+
+namespace flowcam::fpga {
+namespace {
+
+TEST(ResourceModel, CalibratedToTableI) {
+    // Paper Table I (Stratix V 5SGXEA7N2F45C2):
+    //   31,006 ALMs (13 %), 2,604,288 block memory bits (5 %),
+    //   39,664 registers, 2 PLLs, 2 DLLs.
+    const ResourceReport report = estimate(core::FlowLutConfig::prototype_8m());
+    EXPECT_NEAR(static_cast<double>(report.total_alms), 31006.0, 31006.0 * 0.10);
+    EXPECT_NEAR(static_cast<double>(report.total_memory_bits), 2604288.0, 2604288.0 * 0.10);
+    EXPECT_NEAR(static_cast<double>(report.total_registers), 39664.0, 39664.0 * 0.10);
+    EXPECT_EQ(report.plls, 2u);
+    EXPECT_EQ(report.dlls, 2u);
+    EXPECT_NEAR(report.alm_fraction(), 0.13, 0.02);
+    EXPECT_NEAR(report.memory_fraction(), 0.05, 0.01);
+}
+
+TEST(ResourceModel, TotalsEqualSumOfBlocks) {
+    const ResourceReport report = estimate(core::FlowLutConfig::prototype_8m());
+    u64 alms = 0;
+    u64 bits = 0;
+    u64 registers = 0;
+    for (const auto& block : report.blocks) {
+        alms += block.alms;
+        bits += block.memory_bits;
+        registers += block.registers;
+    }
+    EXPECT_EQ(report.total_alms, alms);
+    EXPECT_EQ(report.total_memory_bits, bits);
+    EXPECT_EQ(report.total_registers, registers);
+}
+
+TEST(ResourceModel, CamDepthScalesAlms) {
+    core::FlowLutConfig small = core::FlowLutConfig::prototype_8m();
+    small.cam_capacity = 256;
+    core::FlowLutConfig large = core::FlowLutConfig::prototype_8m();
+    large.cam_capacity = 8192;
+    EXPECT_LT(estimate(small).total_alms, estimate(large).total_alms);
+    EXPECT_LT(estimate(small).total_memory_bits, estimate(large).total_memory_bits);
+}
+
+TEST(ResourceModel, QueueDepthScalesMemory) {
+    core::FlowLutConfig shallow = core::FlowLutConfig::prototype_8m();
+    shallow.lu_queue_depth = 16;
+    core::FlowLutConfig deep = core::FlowLutConfig::prototype_8m();
+    deep.lu_queue_depth = 256;
+    EXPECT_LT(estimate(shallow).total_memory_bits, estimate(deep).total_memory_bits);
+}
+
+TEST(ResourceModel, WiderTuplesCostMore) {
+    const core::FlowLutConfig config = core::FlowLutConfig::prototype_8m();
+    const auto ipv4 = estimate(config, 104);
+    const auto ipv6 = estimate(config, 296);  // IPv6 5-tuple
+    EXPECT_LT(ipv4.total_alms, ipv6.total_alms);
+}
+
+TEST(ResourceModel, ControllersDominatNeitherResourceAlone) {
+    // Sanity on the breakdown: the two DDR3 controllers plus the CAM are
+    // the top ALM consumers; FIFOs dominate the memory bits.
+    const ResourceReport report = estimate(core::FlowLutConfig::prototype_8m());
+    u64 controller_alms = 0;
+    for (const auto& block : report.blocks) {
+        if (block.block.find("uniphy") != std::string::npos) controller_alms += block.alms;
+    }
+    EXPECT_GT(controller_alms, report.total_alms / 5);
+    EXPECT_LT(controller_alms, report.total_alms);
+}
+
+TEST(ResourceModel, FitsTargetDevice) {
+    const ResourceReport report = estimate(core::FlowLutConfig::prototype_8m());
+    EXPECT_LT(report.alm_fraction(), 1.0);
+    EXPECT_LT(report.memory_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace flowcam::fpga

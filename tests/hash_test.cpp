@@ -1,0 +1,170 @@
+// Hash-substrate tests: known-answer vectors, determinism, avalanche
+// behaviour, bucket-distribution uniformity and cross-seed independence —
+// the properties the paper's two-choice scheme relies on. Parameterized
+// (TEST_P) across every hash family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/crc32c.hpp"
+#include "hash/hash_function.hpp"
+#include "hash/index_gen.hpp"
+
+namespace flowcam::hash {
+namespace {
+
+std::vector<u8> bytes_of(const char* text) {
+    return {reinterpret_cast<const u8*>(text), reinterpret_cast<const u8*>(text) + strlen(text)};
+}
+
+TEST(Crc32c, KnownVectors) {
+    // RFC 3720 test vectors for CRC-32C.
+    std::vector<u8> zeros(32, 0x00);
+    EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+    std::vector<u8> ones(32, 0xFF);
+    EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+    std::vector<u8> ascending(32);
+    for (int i = 0; i < 32; ++i) ascending[i] = static_cast<u8>(i);
+    EXPECT_EQ(crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32c, EmptyInput) {
+    EXPECT_EQ(crc32c({}), 0u);
+}
+
+class HashFamilyTest : public ::testing::TestWithParam<HashKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashFamilyTest,
+                         ::testing::Values(HashKind::kCrc32c, HashKind::kLookup3,
+                                           HashKind::kMurmur3, HashKind::kTabulation,
+                                           HashKind::kH3),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST_P(HashFamilyTest, Deterministic) {
+    const auto h1 = make_hash(GetParam(), 42);
+    const auto h2 = make_hash(GetParam(), 42);
+    const auto input = bytes_of("the quick brown fox");
+    EXPECT_EQ(h1->digest(input), h2->digest(input));
+}
+
+TEST_P(HashFamilyTest, SeedChangesDigest) {
+    const auto h1 = make_hash(GetParam(), 1);
+    const auto h2 = make_hash(GetParam(), 2);
+    const auto input = bytes_of("the quick brown fox");
+    EXPECT_NE(h1->digest(input), h2->digest(input));
+}
+
+TEST_P(HashFamilyTest, DifferentKeysDiffer) {
+    const auto h = make_hash(GetParam(), 7);
+    std::set<u64> digests;
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        std::vector<u8> key(13);
+        for (auto& byte : key) byte = static_cast<u8>(rng());
+        digests.insert(h->digest(key));
+    }
+    // All 1000 random 13-byte keys should produce distinct 64-bit digests.
+    EXPECT_EQ(digests.size(), 1000u);
+}
+
+TEST_P(HashFamilyTest, AvalancheSingleBitFlip) {
+    // Flipping one input bit should flip a substantial fraction of output
+    // bits on average (>= 20 of 64 is a loose but meaningful bound).
+    const auto h = make_hash(GetParam(), 99);
+    Xoshiro256 rng(17);
+    double total_flips = 0;
+    int trials = 0;
+    for (int t = 0; t < 200; ++t) {
+        std::vector<u8> key(13);
+        for (auto& byte : key) byte = static_cast<u8>(rng());
+        const u64 base = h->digest(key);
+        const auto bit = static_cast<std::size_t>(rng.bounded(13 * 8));
+        key[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        total_flips += std::popcount(base ^ h->digest(key));
+        ++trials;
+    }
+    EXPECT_GE(total_flips / trials, 20.0) << to_string(GetParam());
+}
+
+TEST_P(HashFamilyTest, BucketDistributionIsUniform) {
+    // Chi-squared check over 256 buckets with 64k keys: statistic should be
+    // within a broad band around its mean (255) — catches gross bias.
+    const auto h = make_hash(GetParam(), 5);
+    constexpr int kBuckets = 256;
+    constexpr int kKeys = 65536;
+    std::vector<u64> counts(kBuckets, 0);
+    for (int i = 0; i < kKeys; ++i) {
+        u8 key[13] = {};
+        std::memcpy(key, &i, sizeof(i));
+        ++counts[h->digest({key, sizeof(key)}) % kBuckets];
+    }
+    const double expected = static_cast<double>(kKeys) / kBuckets;
+    double chi2 = 0;
+    for (const u64 count : counts) {
+        const double delta = static_cast<double>(count) - expected;
+        chi2 += delta * delta / expected;
+    }
+    // dof = 255, stddev = sqrt(2*255) ~ 22.6; allow +8 sigma of bias.
+    // No lower bound: CRC and H3 are linear codes, so on counter-structured
+    // keys they spread *perfectly* (chi2 ~ 0) — a feature in hardware, not
+    // a defect.
+    EXPECT_LT(chi2, 255.0 + 8 * 22.6) << to_string(GetParam());
+}
+
+TEST_P(HashFamilyTest, EmptyKeySupported) {
+    const auto h = make_hash(GetParam(), 1);
+    // Should not crash; value unspecified but deterministic.
+    EXPECT_EQ(h->digest({}), h->digest({}));
+}
+
+TEST(IndexGen, TwoPathsAreIndependent) {
+    IndexGenerator generator(HashKind::kH3, 1, 1024, 2);
+    // Correlation check: the pair (h1, h2) should not be equal for most keys.
+    int equal = 0;
+    for (int i = 0; i < 2000; ++i) {
+        u8 key[13] = {};
+        std::memcpy(key, &i, sizeof(i));
+        const auto indices = generator.indices({key, sizeof(key)});
+        ASSERT_EQ(indices.size(), 2u);
+        equal += indices[0] == indices[1];
+    }
+    // P(h1 == h2) = 1/1024 per key -> expect ~2 of 2000.
+    EXPECT_LT(equal, 12);
+}
+
+TEST(IndexGen, IndicesWithinRange) {
+    IndexGenerator generator(HashKind::kCrc32c, 9, 1 << 12, 2);
+    for (int i = 0; i < 1000; ++i) {
+        u8 key[13] = {};
+        std::memcpy(key, &i, sizeof(i));
+        for (const u64 index : generator.indices({key, sizeof(key)})) {
+            EXPECT_LT(index, u64{1} << 12);
+        }
+    }
+}
+
+TEST(IndexGen, SupportsMultiPathExtension) {
+    // The paper's future work: "multi-path multi-hashing lookup".
+    IndexGenerator generator(HashKind::kH3, 4, 4096, 4);
+    EXPECT_EQ(generator.paths(), 4u);
+    u8 key[13] = {1, 2, 3};
+    const auto indices = generator.indices({key, sizeof(key)});
+    EXPECT_EQ(indices.size(), 4u);
+    std::set<u64> unique(indices.begin(), indices.end());
+    EXPECT_GE(unique.size(), 2u);  // paths decorrelated
+}
+
+TEST(IndexGen, DigestMatchesIndexFold) {
+    IndexGenerator generator(HashKind::kMurmur3, 5, 1 << 10, 2);
+    u8 key[13] = {9, 9, 9};
+    const u64 digest = generator.digest(0, {key, sizeof(key)});
+    const u64 index = generator.index(0, {key, sizeof(key)});
+    EXPECT_EQ(index, xor_fold(digest, 10) % (1 << 10));
+}
+
+}  // namespace
+}  // namespace flowcam::hash

@@ -1,0 +1,109 @@
+// Tests for the multi-path multi-hashing extension (paper §VI future work):
+// correctness across path counts (TEST_P) and the capacity/overflow benefit
+// of more choices.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/trace.hpp"
+#include "table/multi_path.hpp"
+
+namespace flowcam::table {
+namespace {
+
+std::vector<u8> key_of(u64 value) {
+    const auto bytes = net::synth_tuple(value, 31).key_bytes();
+    return {bytes.begin(), bytes.end()};
+}
+
+class MultiPathTest : public ::testing::TestWithParam<u32> {
+  protected:
+    MultiPathConfig config_for(u32 paths) {
+        MultiPathConfig config;
+        config.paths = paths;
+        // Equal TOTAL capacity across parameterizations.
+        config.buckets_per_mem = 2048 / paths;
+        config.ways = 4;
+        config.cam_capacity = 64;
+        return config;
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Paths, MultiPathTest, ::testing::Values(2u, 3u, 4u, 8u),
+                         [](const auto& info) {
+                             return "D" + std::to_string(info.param);
+                         });
+
+TEST_P(MultiPathTest, RoundtripAndErase) {
+    MultiPathTable table(config_for(GetParam()));
+    for (u64 i = 0; i < 100; ++i) ASSERT_TRUE(table.insert(key_of(i), i).is_ok());
+    for (u64 i = 0; i < 100; ++i) EXPECT_EQ(*table.lookup(key_of(i)), i);
+    for (u64 i = 0; i < 50; ++i) ASSERT_TRUE(table.erase(key_of(i)).is_ok());
+    for (u64 i = 0; i < 50; ++i) EXPECT_FALSE(table.lookup(key_of(i)).has_value());
+    for (u64 i = 50; i < 100; ++i) EXPECT_EQ(*table.lookup(key_of(i)), i);
+    EXPECT_EQ(table.size(), 50u);
+}
+
+TEST_P(MultiPathTest, DuplicateRejected) {
+    MultiPathTable table(config_for(GetParam()));
+    ASSERT_TRUE(table.insert(key_of(1), 1).is_ok());
+    EXPECT_EQ(table.insert(key_of(1), 2).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_P(MultiPathTest, HighLoadStillConsistent) {
+    MultiPathTable table(config_for(GetParam()));
+    const auto count = static_cast<u64>(0.8 * static_cast<double>(table.capacity()));
+    u64 inserted = 0;
+    for (u64 i = 0; i < count; ++i) inserted += table.insert(key_of(i), i).is_ok();
+    EXPECT_EQ(inserted, count) << "insert failures below safe load";
+    for (u64 i = 0; i < count; ++i) {
+        ASSERT_TRUE(table.lookup(key_of(i)).has_value()) << i;
+    }
+}
+
+TEST_P(MultiPathTest, ProbeCountBounded) {
+    MultiPathTable table(config_for(GetParam()));
+    for (u64 i = 0; i < 200; ++i) ASSERT_TRUE(table.insert(key_of(i), i).is_ok());
+    for (u64 i = 0; i < 200; ++i) {
+        ASSERT_TRUE(table.lookup(key_of(i)).has_value());
+        EXPECT_LE(table.last_probe_count(), GetParam());
+        EXPECT_GE(table.last_probe_count(), 1u);
+    }
+}
+
+TEST(MultiPathBenefit, MorePathsLessCamPressure) {
+    // At equal total capacity and 90 % load, more hash choices push fewer
+    // entries into the collision CAM — the paper's rationale for the
+    // multi-path upgrade at higher link rates.
+    u64 cam_two = 0;
+    u64 cam_eight = 0;
+    for (const u32 paths : {2u, 8u}) {
+        MultiPathConfig config;
+        config.paths = paths;
+        config.buckets_per_mem = 4096 / paths;
+        config.ways = 2;
+        config.cam_capacity = 2048;
+        MultiPathTable table(config);
+        const auto count = static_cast<u64>(0.9 * 4096 * 2);
+        for (u64 i = 0; i < count; ++i) (void)table.insert(key_of(i), i);
+        (paths == 2 ? cam_two : cam_eight) = table.cam_entries();
+    }
+    EXPECT_LT(cam_eight, cam_two);
+}
+
+TEST(MultiPathBenefit, TwoPathsMatchesBaseSchemeShape) {
+    // D=2 is the paper's base scheme: it should behave like TwoChoice+CAM.
+    MultiPathConfig config;
+    config.paths = 2;
+    config.buckets_per_mem = 512;
+    config.ways = 4;
+    config.cam_capacity = 128;
+    MultiPathTable table(config);
+    const u64 count = 3000;  // ~70 % of 4096+128
+    u64 inserted = 0;
+    for (u64 i = 0; i < count; ++i) inserted += table.insert(key_of(i), i).is_ok();
+    EXPECT_EQ(inserted, count);
+}
+
+}  // namespace
+}  // namespace flowcam::table

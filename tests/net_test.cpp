@@ -1,0 +1,293 @@
+// Packet/flow substrate tests: tuple serialization, header codecs (build +
+// parse roundtrip, parameterized over protocol and VLAN), line-rate math
+// against the paper's §V-B numbers, the Fig. 6 trace calibration, and the
+// binary trace format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "net/headers.hpp"
+#include "net/linerate.hpp"
+#include "net/trace.hpp"
+#include "net/trace_io.hpp"
+#include "net/tuple.hpp"
+
+namespace flowcam::net {
+namespace {
+
+FiveTuple sample_tuple() {
+    FiveTuple t;
+    t.src_ip = 0xC0A80001;  // 192.168.0.1
+    t.dst_ip = 0x08080808;  // 8.8.8.8
+    t.src_port = 51515;
+    t.dst_port = 443;
+    t.protocol = kProtoTcp;
+    return t;
+}
+
+TEST(FiveTupleTest, KeyBytesRoundtrip) {
+    const FiveTuple original = sample_tuple();
+    const auto bytes = original.key_bytes();
+    const FiveTuple decoded = FiveTuple::from_key_bytes(bytes);
+    EXPECT_EQ(decoded, original);
+}
+
+TEST(FiveTupleTest, KeyBytesAreBigEndian) {
+    const auto bytes = sample_tuple().key_bytes();
+    EXPECT_EQ(bytes[0], 0xC0);
+    EXPECT_EQ(bytes[1], 0xA8);
+    EXPECT_EQ(bytes[4], 0x08);
+    EXPECT_EQ(bytes[8], 51515 >> 8);
+    EXPECT_EQ(bytes[12], kProtoTcp);
+}
+
+TEST(FiveTupleTest, ToStringHumanReadable) {
+    EXPECT_EQ(sample_tuple().to_string(), "192.168.0.1:51515 -> 8.8.8.8:443 proto 6");
+}
+
+TEST(NTupleTest, FromFiveTuple) {
+    const NTuple key = NTuple::from_five_tuple(sample_tuple());
+    EXPECT_EQ(key.size(), FiveTuple::kKeyBytes);
+    EXPECT_EQ(FiveTuple::from_key_bytes(key.view()), sample_tuple());
+}
+
+TEST(NTupleTest, AppendFieldBuildsKey) {
+    NTuple key;
+    key.append_field(0xAABB, 2);
+    key.append_field(0x01, 1);
+    EXPECT_EQ(key.size(), 3u);
+    EXPECT_EQ(key.view()[0], 0xAA);
+    EXPECT_EQ(key.view()[1], 0xBB);
+    EXPECT_EQ(key.view()[2], 0x01);
+}
+
+TEST(NTupleTest, TruncatesAtMaxBytes) {
+    NTuple key;
+    for (int i = 0; i < 10; ++i) key.append_field(0x1122334455667788ull, 8);
+    EXPECT_EQ(key.size(), NTuple::kMaxBytes);
+}
+
+TEST(NTupleTest, EqualityIsContentBased) {
+    const NTuple a = NTuple::from_five_tuple(sample_tuple());
+    const NTuple b = NTuple::from_five_tuple(sample_tuple());
+    EXPECT_EQ(a, b);
+    NTuple c = a;
+    c.append_field(1, 1);
+    EXPECT_FALSE(a == c);
+}
+
+struct CodecCase {
+    u8 protocol;
+    bool vlan;
+    u16 payload;
+};
+
+class HeaderCodecTest : public ::testing::TestWithParam<CodecCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, HeaderCodecTest,
+    ::testing::Values(CodecCase{kProtoTcp, false, 0}, CodecCase{kProtoTcp, true, 100},
+                      CodecCase{kProtoUdp, false, 46}, CodecCase{kProtoUdp, true, 1400},
+                      CodecCase{kProtoTcp, false, 1460}),
+    [](const auto& info) {
+        return std::string(info.param.protocol == kProtoTcp ? "tcp" : "udp") +
+               (info.param.vlan ? "_vlan" : "") + "_" + std::to_string(info.param.payload);
+    });
+
+TEST_P(HeaderCodecTest, BuildParseRoundtrip) {
+    PacketSpec spec;
+    spec.tuple = sample_tuple();
+    spec.tuple.protocol = GetParam().protocol;
+    if (GetParam().vlan) spec.vlan = 42;
+    spec.payload_bytes = GetParam().payload;
+
+    const auto frame = build_packet(spec);
+    const auto parsed = parse_packet(frame);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->tuple, spec.tuple);
+    EXPECT_EQ(parsed->has_vlan, GetParam().vlan);
+    EXPECT_EQ(parsed->frame_bytes, frame.size());
+}
+
+TEST(HeaderCodec, ChecksumValidatesToZero) {
+    PacketSpec spec;
+    spec.tuple = sample_tuple();
+    const auto frame = build_packet(spec);
+    // Verifying a correct IPv4 header checksum yields 0.
+    const std::span<const u8> header{frame.data() + kEthHeaderBytes, kIpv4MinHeaderBytes};
+    EXPECT_EQ(ipv4_header_checksum(header), 0u);
+}
+
+TEST(HeaderCodec, RejectsTruncatedFrames) {
+    PacketSpec spec;
+    spec.tuple = sample_tuple();
+    auto frame = build_packet(spec);
+    frame.resize(20);
+    EXPECT_FALSE(parse_packet(frame).has_value());
+}
+
+TEST(HeaderCodec, RejectsNonIpv4) {
+    PacketSpec spec;
+    spec.tuple = sample_tuple();
+    auto frame = build_packet(spec);
+    frame[12] = 0x86;  // EtherType -> IPv6
+    frame[13] = 0xDD;
+    EXPECT_FALSE(parse_packet(frame).has_value());
+}
+
+TEST(HeaderCodec, IcmpParsesWithZeroPorts) {
+    PacketSpec spec;
+    spec.tuple = sample_tuple();
+    spec.tuple.protocol = kProtoIcmp;
+    spec.tuple.src_port = 0;
+    spec.tuple.dst_port = 0;
+    // build_packet emits UDP-ish L4 for non-TCP; overwrite protocol only.
+    auto frame = build_packet(spec);
+    const auto parsed = parse_packet(frame);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->tuple.protocol, kProtoIcmp);
+    EXPECT_EQ(parsed->tuple.src_port, 0u);
+}
+
+TEST(LineRate, PaperNumbers40GbE) {
+    // §V-B: 59.52 Mpps at 12 B IPG; 68.49 Mpps at 1 B IPG (72 B L1 size).
+    EXPECT_NEAR(mpps({40.0, 64.0, 12.0}), 59.52, 0.01);
+    EXPECT_NEAR(mpps({40.0, 64.0, 1.0}), 68.49, 0.01);
+}
+
+TEST(LineRate, SupportedGbpsInverse) {
+    // A 94 Mdesc/s processor supports > 50 Gbps at min packet size (§V-B).
+    EXPECT_GT(supported_gbps(94.36), 50.0);
+    // Round trip: mpps(supported_gbps(x)) == x.
+    const double gbps = supported_gbps(70.0);
+    EXPECT_NEAR(mpps({gbps, 64.0, 12.0}), 70.0, 0.01);
+}
+
+TEST(LineRate, TenAndHundredGig) {
+    EXPECT_NEAR(mpps({10.0, 64.0, 12.0}), 14.88, 0.01);
+    EXPECT_NEAR(mpps({100.0, 64.0, 12.0}), 148.81, 0.01);
+}
+
+TEST(SynthTuple, DistinctFlowsDistinctTuples) {
+    std::set<std::array<u8, FiveTuple::kKeyBytes>> seen;
+    for (u64 flow = 0; flow < 20000; ++flow) {
+        seen.insert(synth_tuple(flow, 1).key_bytes());
+    }
+    EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(SynthTuple, DeterministicPerSeed) {
+    EXPECT_EQ(synth_tuple(5, 9).key_bytes(), synth_tuple(5, 9).key_bytes());
+    EXPECT_NE(synth_tuple(5, 9).key_bytes(), synth_tuple(5, 10).key_bytes());
+}
+
+TEST(TraceGeneratorTest, Fig6CalibrationAt1k) {
+    TraceConfig config;
+    const auto points = measure_flow_growth(config, {1000});
+    // Paper: 570 flows per 1000 packets (57 %). Allow a +-12 % band — the
+    // Pitman-Yor draw is stochastic.
+    EXPECT_NEAR(points[0].ratio, 0.57, 0.07);
+}
+
+TEST(TraceGeneratorTest, Fig6CalibrationAt10k) {
+    TraceConfig config;
+    const auto points = measure_flow_growth(config, {10000});
+    // Paper: 33.81 %.
+    EXPECT_NEAR(points[0].ratio, 0.3381, 0.05);
+}
+
+TEST(TraceGeneratorTest, RatioFallsBelow10PercentEventually) {
+    TraceConfig config;
+    const auto points = measure_flow_growth(config, {2'000'000});
+    EXPECT_LT(points[0].ratio, 0.12);
+}
+
+TEST(TraceGeneratorTest, RatioMonotonicallyDecreases) {
+    TraceConfig config;
+    const auto points = measure_flow_growth(config, {1000, 10000, 100000});
+    EXPECT_GT(points[0].ratio, points[1].ratio);
+    EXPECT_GT(points[1].ratio, points[2].ratio);
+}
+
+TEST(TraceGeneratorTest, TimestampsStrictlyIncrease) {
+    TraceGenerator generator(TraceConfig{});
+    u64 previous = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const auto record = generator.next();
+        EXPECT_GT(record.timestamp_ns, previous);
+        previous = record.timestamp_ns;
+    }
+}
+
+TEST(TraceGeneratorTest, SameFlowSameTuple) {
+    TraceGenerator generator(TraceConfig{});
+    std::map<u64, FiveTuple> tuples;
+    for (int i = 0; i < 5000; ++i) {
+        const auto record = generator.next();
+        const auto [it, inserted] = tuples.emplace(record.flow_index, record.tuple);
+        if (!inserted) EXPECT_EQ(it->second, record.tuple);
+    }
+}
+
+TEST(TraceGeneratorTest, PacketSizesFollowMix) {
+    TraceConfig config;
+    TraceGenerator generator(config);
+    u64 count64 = 0;
+    u64 total = 20000;
+    for (u64 i = 0; i < total; ++i) count64 += generator.next().frame_bytes == 64;
+    EXPECT_NEAR(static_cast<double>(count64) / static_cast<double>(total), 0.5, 0.03);
+}
+
+TEST(UniformWorkloadTest, DrawsOnlyFromPopulation) {
+    UniformFlowWorkload workload(100, 3);
+    std::set<std::array<u8, FiveTuple::kKeyBytes>> population;
+    for (const auto& tuple : workload.flows()) population.insert(tuple.key_bytes());
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(population.contains(workload.next().tuple.key_bytes()));
+    }
+}
+
+TEST(TraceIoTest, WriteReadRoundtrip) {
+    TraceGenerator generator(TraceConfig{});
+    std::vector<PacketRecord> records;
+    for (int i = 0; i < 500; ++i) records.push_back(generator.next());
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "flowcam_trace_test.fct").string();
+    ASSERT_TRUE(write_trace(path, records).is_ok());
+    auto loaded = read_trace(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded.value().size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(loaded.value()[i].tuple, records[i].tuple);
+        EXPECT_EQ(loaded.value()[i].timestamp_ns, records[i].timestamp_ns);
+        EXPECT_EQ(loaded.value()[i].frame_bytes, records[i].frame_bytes);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsBadMagic) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "flowcam_bad_magic.fct").string();
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOPE1234garbage";
+    }
+    const auto loaded = read_trace(path);
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsUnavailable) {
+    const auto loaded = read_trace("/nonexistent/dir/trace.fct");
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace flowcam::net

@@ -1,0 +1,121 @@
+// NetFlow v5 exporter tests: wire-format roundtrip, datagram batching at 30
+// records, sequence numbering, and IPv6 skip behaviour.
+#include <gtest/gtest.h>
+
+#include "analyzer/netflow_export.hpp"
+#include "net/ipv6.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::analyzer {
+namespace {
+
+core::FlowRecord flow_of(u64 index, u64 packets = 10, u64 bytes = 1500) {
+    core::FlowRecord record;
+    record.fid = index + 1;
+    record.key = net::NTuple::from_five_tuple(net::synth_tuple(index, 8));
+    record.packets = packets;
+    record.bytes = bytes;
+    record.first_ns = 1'000'000'000;  // 1 s
+    record.last_ns = 2'500'000'000;   // 2.5 s
+    return record;
+}
+
+TEST(NetflowV5, SerializeParseRoundtrip) {
+    NetflowV5Exporter exporter;
+    for (u64 i = 0; i < 3; ++i) (void)exporter.add(flow_of(i));
+    const auto bytes = exporter.flush();
+    ASSERT_EQ(bytes.size(), kNetflowV5HeaderBytes + 3 * kNetflowV5RecordBytes);
+
+    const auto parsed = parse_netflow_v5(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.version, 5u);
+    EXPECT_EQ(parsed->header.count, 3u);
+    ASSERT_EQ(parsed->records.size(), 3u);
+
+    const auto tuple0 = net::synth_tuple(0, 8);
+    EXPECT_EQ(parsed->records[0].src_addr, tuple0.src_ip);
+    EXPECT_EQ(parsed->records[0].dst_addr, tuple0.dst_ip);
+    EXPECT_EQ(parsed->records[0].src_port, tuple0.src_port);
+    EXPECT_EQ(parsed->records[0].dst_port, tuple0.dst_port);
+    EXPECT_EQ(parsed->records[0].protocol, tuple0.protocol);
+    EXPECT_EQ(parsed->records[0].packets, 10u);
+    EXPECT_EQ(parsed->records[0].bytes, 1500u);
+    EXPECT_EQ(parsed->records[0].first_ms, 1000u);
+    EXPECT_EQ(parsed->records[0].last_ms, 2500u);
+}
+
+TEST(NetflowV5, BatchesAtThirtyRecords) {
+    NetflowV5Exporter exporter;
+    std::size_t datagrams = 0;
+    for (u64 i = 0; i < 65; ++i) {
+        for (const auto& datagram : exporter.add(flow_of(i))) {
+            ++datagrams;
+            const auto parsed = parse_netflow_v5(datagram);
+            ASSERT_TRUE(parsed.has_value());
+            EXPECT_EQ(parsed->header.count, kNetflowV5MaxRecords);
+        }
+    }
+    EXPECT_EQ(datagrams, 2u);  // 60 flows in two full datagrams
+    EXPECT_EQ(exporter.pending(), 5u);
+    const auto tail = exporter.flush();
+    const auto parsed = parse_netflow_v5(tail);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.count, 5u);
+}
+
+TEST(NetflowV5, FlowSequenceAccumulates) {
+    NetflowV5Exporter exporter;
+    for (u64 i = 0; i < 3; ++i) (void)exporter.add(flow_of(i));
+    (void)exporter.flush();
+    for (u64 i = 0; i < 2; ++i) (void)exporter.add(flow_of(10 + i));
+    const auto second = exporter.flush();
+    const auto parsed = parse_netflow_v5(second);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.flow_sequence, 3u);  // flows before this datagram
+    EXPECT_EQ(exporter.flows_exported(), 5u);
+}
+
+TEST(NetflowV5, SkipsIpv6Flows) {
+    NetflowV5Exporter exporter;
+    core::FlowRecord v6;
+    v6.fid = 1;
+    v6.key = net::synth_tuple_v6(1, 1).to_ntuple();
+    v6.packets = 5;
+    (void)exporter.add(v6);
+    EXPECT_EQ(exporter.skipped_non_v4(), 1u);
+    EXPECT_EQ(exporter.pending(), 0u);
+}
+
+TEST(NetflowV5, ParseRejectsMalformed) {
+    EXPECT_FALSE(parse_netflow_v5({}).has_value());
+    std::vector<u8> short_buffer(10, 0);
+    EXPECT_FALSE(parse_netflow_v5(short_buffer).has_value());
+
+    NetflowV5Exporter exporter;
+    (void)exporter.add(flow_of(1));
+    auto bytes = exporter.flush();
+    bytes[0] = 0;
+    bytes[1] = 9;  // version 9
+    EXPECT_FALSE(parse_netflow_v5(bytes).has_value());
+}
+
+TEST(NetflowV5, CountMismatchRejected) {
+    NetflowV5Exporter exporter;
+    (void)exporter.add(flow_of(1));
+    auto bytes = exporter.flush();
+    bytes[3] = 7;  // claims 7 records, buffer has 1
+    EXPECT_FALSE(parse_netflow_v5(bytes).has_value());
+}
+
+TEST(NetflowV5, CounterSaturationAt32Bits) {
+    core::FlowRecord monster = flow_of(1, u64{1} << 40, u64{1} << 45);
+    NetflowV5Exporter exporter;
+    (void)exporter.add(monster);
+    const auto parsed = parse_netflow_v5(exporter.flush());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->records[0].packets, 0xFFFFFFFFu);
+    EXPECT_EQ(parsed->records[0].bytes, 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace flowcam::analyzer

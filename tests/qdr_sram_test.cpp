@@ -1,0 +1,107 @@
+// QDRII+ SRAM model tests: dual-port concurrency, fixed latency, data
+// integrity, and the 144 Mbit capacity ceiling the paper cites as the
+// reason to move to DDR3.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/qdr_sram.hpp"
+
+namespace flowcam::dram {
+namespace {
+
+std::vector<u8> pattern(u8 seed, std::size_t bytes) {
+    std::vector<u8> data(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) data[i] = static_cast<u8>(seed + i);
+    return data;
+}
+
+class QdrTest : public ::testing::Test {
+  protected:
+    QdrConfig config{};
+    QdrSram sram{"dut", config};
+
+    std::vector<QdrSram::Response> run_cycles(u32 cycles) {
+        std::vector<QdrSram::Response> responses;
+        for (u32 i = 0; i < cycles; ++i) {
+            sram.tick(now_++);
+            while (auto response = sram.pop_response()) responses.push_back(*response);
+        }
+        return responses;
+    }
+
+    Cycle now_ = 0;
+};
+
+TEST_F(QdrTest, WriteThenReadRoundtrip) {
+    const auto payload = pattern(7, sram.access_bytes());
+    ASSERT_TRUE(sram.enqueue_write(1, 256, payload));
+    (void)run_cycles(2);
+    ASSERT_TRUE(sram.enqueue_read(2, 256));
+    const auto responses = run_cycles(8);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_FALSE(responses[0].is_write);
+    EXPECT_EQ(responses[0].data, payload);
+}
+
+TEST_F(QdrTest, UnwrittenReadsZero) {
+    ASSERT_TRUE(sram.enqueue_read(1, 1024));
+    const auto responses = run_cycles(8);
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].data, std::vector<u8>(sram.access_bytes(), 0));
+}
+
+TEST_F(QdrTest, FixedReadLatency) {
+    ASSERT_TRUE(sram.enqueue_read(1, 0));
+    // Latency 2: issued at cycle 0, data ready at cycle 2.
+    sram.tick(0);
+    EXPECT_FALSE(sram.pop_response().has_value());
+    sram.tick(1);
+    EXPECT_FALSE(sram.pop_response().has_value());
+    sram.tick(2);
+    EXPECT_TRUE(sram.pop_response().has_value());
+}
+
+TEST_F(QdrTest, ReadAndWritePortsOperateConcurrently) {
+    // QDR's defining feature: one read AND one write retire every cycle.
+    for (u64 i = 0; i < 16; ++i) {
+        ASSERT_TRUE(sram.enqueue_write(100 + i, i * 64, pattern(static_cast<u8>(i), 16)));
+        ASSERT_TRUE(sram.enqueue_read(200 + i, 4096 + i * 64));
+    }
+    const auto responses = run_cycles(16 + config.read_latency + 1);
+    // All 32 operations completed in ~16 cycles + latency tail.
+    EXPECT_EQ(responses.size(), 32u);
+}
+
+TEST_F(QdrTest, CapacityCeilingRejectsLargeAddresses) {
+    const u64 limit = sram.capacity_bytes();
+    EXPECT_TRUE(sram.enqueue_read(1, limit - sram.access_bytes()));
+    EXPECT_FALSE(sram.enqueue_read(2, limit));
+    EXPECT_FALSE(sram.enqueue_write(3, limit + 4096, pattern(1, 16)));
+    EXPECT_EQ(sram.stats().rejected_capacity, 2u);
+}
+
+TEST_F(QdrTest, CapacityIs144MbitAsPaperCites) {
+    EXPECT_EQ(sram.capacity_bytes(), 144ull * 1024 * 1024 / 8);
+    // An 8M-entry flow table at 16 B/entry needs 128 MiB — QDR tops out at
+    // 18 MiB, which is the paper's whole §I argument in one assert.
+    EXPECT_LT(sram.capacity_bytes(), 8ull * 1024 * 1024 * 16);
+}
+
+TEST_F(QdrTest, QueueBackpressure) {
+    u64 accepted = 0;
+    for (u64 i = 0; i < 32; ++i) accepted += sram.enqueue_read(i, i * 64);
+    EXPECT_EQ(accepted, config.queue_depth);
+}
+
+TEST_F(QdrTest, DrainsToIdle) {
+    ASSERT_TRUE(sram.enqueue_write(1, 0, pattern(1, 16)));
+    ASSERT_TRUE(sram.enqueue_read(2, 0));
+    (void)run_cycles(10);
+    EXPECT_TRUE(sram.idle());
+    EXPECT_EQ(sram.stats().reads, 1u);
+    EXPECT_EQ(sram.stats().writes, 1u);
+}
+
+}  // namespace
+}  // namespace flowcam::dram

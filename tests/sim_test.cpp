@@ -1,0 +1,171 @@
+// Simulation-kernel tests: two-phase FIFO visibility, statistics
+// primitives, and engine clock-domain interleaving.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/fifo.hpp"
+#include "sim/stats.hpp"
+
+namespace flowcam::sim {
+namespace {
+
+TEST(Fifo, PushNotVisibleUntilCommit) {
+    Fifo<int> fifo(4);
+    ASSERT_TRUE(fifo.push(1));
+    EXPECT_TRUE(fifo.empty());          // not yet committed
+    EXPECT_EQ(fifo.staged_size(), 1u);
+    fifo.commit();
+    EXPECT_FALSE(fifo.empty());
+    EXPECT_EQ(fifo.pop(), 1);
+}
+
+TEST(Fifo, CapacityCountsStagedPlusCommitted) {
+    Fifo<int> fifo(2);
+    ASSERT_TRUE(fifo.push(1));
+    ASSERT_TRUE(fifo.push(2));
+    EXPECT_FALSE(fifo.can_push());
+    EXPECT_FALSE(fifo.push(3));  // full including staged
+    fifo.commit();
+    EXPECT_FALSE(fifo.can_push());
+    (void)fifo.pop();
+    EXPECT_TRUE(fifo.can_push());
+}
+
+TEST(Fifo, FifoOrderPreserved) {
+    Fifo<int> fifo(16);
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(fifo.push(i));
+    fifo.commit();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(fifo.pop(), i);
+}
+
+TEST(Fifo, CountersTrackTraffic) {
+    Fifo<int> fifo(8);
+    ASSERT_TRUE(fifo.push(1));
+    ASSERT_TRUE(fifo.push(2));
+    fifo.commit();
+    (void)fifo.pop();
+    EXPECT_EQ(fifo.total_pushed(), 2u);
+    EXPECT_EQ(fifo.total_popped(), 1u);
+}
+
+TEST(Fifo, TryPopOnEmptyIsNull) {
+    Fifo<int> fifo(2);
+    EXPECT_FALSE(fifo.try_pop().has_value());
+}
+
+TEST(Counter, IncrementAndReset) {
+    Counter counter;
+    counter.inc();
+    counter.inc(4);
+    EXPECT_EQ(counter.value(), 5u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Accumulator, Summary) {
+    Accumulator acc;
+    acc.add(1.0);
+    acc.add(3.0);
+    acc.add(2.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+    Accumulator acc;
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndPercentiles) {
+    Histogram histogram(10.0, 10);  // buckets of width 10 up to 100.
+    for (int i = 0; i < 100; ++i) histogram.add(static_cast<double>(i));
+    EXPECT_EQ(histogram.summary().count(), 100u);
+    // p50 should be near 50, bucket-granular.
+    EXPECT_NEAR(histogram.percentile(0.5), 50.0, 10.0);
+    EXPECT_NEAR(histogram.percentile(0.99), 100.0, 10.0);
+}
+
+TEST(HistogramTest, OverflowBucketCatchesTail) {
+    Histogram histogram(1.0, 4);
+    histogram.add(1000.0);
+    EXPECT_EQ(histogram.bucket(histogram.bucket_count() - 1), 1u);
+}
+
+TEST(UtilizationMeterTest, RatioOfBusyCycles) {
+    UtilizationMeter meter;
+    meter.start_window(0);
+    meter.mark_busy(0, 4);
+    meter.observe(10);
+    EXPECT_DOUBLE_EQ(meter.utilization(), 0.4);
+}
+
+TEST(MegaPerSecond, ConvertsCorrectly) {
+    // 100 events over 200 cycles at 200 MHz = 1 event/ns / ... :
+    // 200 cycles at 200 MHz = 1 us; 100 events / 1 us = 100 Mevents/s.
+    EXPECT_DOUBLE_EQ(mega_per_second(100, 200, 200e6), 100.0);
+    EXPECT_DOUBLE_EQ(mega_per_second(0, 100, 200e6), 0.0);
+    EXPECT_DOUBLE_EQ(mega_per_second(100, 0, 200e6), 0.0);
+}
+
+class CycleRecorder final : public Ticker {
+  public:
+    explicit CycleRecorder(std::string name) : name_(std::move(name)) {}
+    void tick(Cycle now) override { cycles.push_back(now); }
+    [[nodiscard]] std::string name() const override { return name_; }
+    std::vector<Cycle> cycles;
+
+  private:
+    std::string name_;
+};
+
+TEST(EngineTest, TicksInRegistrationOrder) {
+    Engine engine;
+    CycleRecorder first("first");
+    CycleRecorder second("second");
+    engine.add(first);
+    engine.add(second);
+    engine.run(3);
+    EXPECT_EQ(first.cycles, (std::vector<Cycle>{0, 1, 2}));
+    EXPECT_EQ(second.cycles, (std::vector<Cycle>{0, 1, 2}));
+    EXPECT_EQ(engine.now(), 3u);
+}
+
+TEST(EngineTest, FastClockDomainTicksNTimes) {
+    Engine engine;
+    CycleRecorder fast("fast");
+    engine.add(fast, 4);
+    engine.run(2);
+    // 4 ticks per system cycle with sub-cycle numbering.
+    EXPECT_EQ(fast.cycles, (std::vector<Cycle>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EngineTest, CommitHooksRunEachCycle) {
+    Engine engine;
+    int commits = 0;
+    engine.add_commit([&] { ++commits; });
+    engine.run(5);
+    EXPECT_EQ(commits, 5);
+}
+
+TEST(EngineTest, RunUntilStopsEarly) {
+    Engine engine;
+    CycleRecorder ticker("t");
+    engine.add(ticker);
+    const bool fired = engine.run_until([&] { return engine.now() >= 3; }, 100);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(engine.now(), 3u);
+}
+
+TEST(EngineTest, RunUntilBudgetExhausted) {
+    Engine engine;
+    const bool fired = engine.run_until([] { return false; }, 10);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(engine.now(), 10u);
+}
+
+}  // namespace
+}  // namespace flowcam::sim

@@ -1,0 +1,320 @@
+// Lookup-table baseline tests, parameterized across every implementation
+// behind the shared table::LookupTable interface (including the paper's
+// Hash-CAM scheme), plus implementation-specific behaviours: cuckoo kick
+// chains, Bloom-steered CAM diversion, and Kirsch one-move relocation.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/hash_cam_table.hpp"
+#include "net/trace.hpp"
+#include "table/bloom_cam.hpp"
+#include "table/cuckoo.hpp"
+#include "table/kirsch_one_move.hpp"
+#include "table/lookup_table.hpp"
+#include "table/single_hash.hpp"
+#include "table/two_choice.hpp"
+
+namespace flowcam::table {
+namespace {
+
+std::vector<u8> key_of(u64 value) {
+    const auto tuple = net::synth_tuple(value, 777);
+    const auto bytes = tuple.key_bytes();
+    return {bytes.begin(), bytes.end()};
+}
+
+using Factory = std::function<std::unique_ptr<LookupTable>()>;
+
+struct TableCase {
+    std::string name;
+    Factory make;
+    double safe_load;   ///< bulk-insert load factor for the tests below.
+    /// Insert-failure budget at safe_load: 0 for schemes with overflow
+    /// storage (CAM / kick chains); small but non-zero for plain bucket
+    /// tables, whose Poisson bucket-overflow tail cannot be eliminated.
+    double failure_budget = 0.0;
+};
+
+std::vector<TableCase> all_tables() {
+    std::vector<TableCase> cases;
+    cases.push_back({"single_hash",
+                     [] {
+                         BucketTableConfig config;
+                         config.buckets = 2048;
+                         config.ways = 4;
+                         return std::make_unique<SingleHashTable>(config);
+                     },
+                     0.35,
+                     0.03});
+    cases.push_back({"two_choice",
+                     [] {
+                         BucketTableConfig config;
+                         config.buckets = 1024;
+                         config.ways = 4;
+                         return std::make_unique<TwoChoiceTable>(config);
+                     },
+                     0.7,
+                     0.005});
+    cases.push_back({"cuckoo",
+                     [] {
+                         BucketTableConfig config;
+                         config.buckets = 1024;
+                         config.ways = 4;
+                         return std::make_unique<CuckooTable>(config);
+                     },
+                     0.85});
+    cases.push_back({"bloom_cam",
+                     [] {
+                         BloomCamConfig config;
+                         config.table.buckets = 2048;
+                         config.table.ways = 4;
+                         config.cam_capacity = 512;
+                         return std::make_unique<BloomCamTable>(config);
+                     },
+                     0.5});
+    cases.push_back({"kirsch",
+                     [] {
+                         KirschConfig config;
+                         config.buckets_per_level = 2048;
+                         config.levels = 4;
+                         config.cam_capacity = 64;
+                         return std::make_unique<KirschOneMoveTable>(config);
+                     },
+                     0.5});
+    cases.push_back({"hash_cam",
+                     [] {
+                         core::FlowLutConfig config;
+                         config.buckets_per_mem = 1024;
+                         config.ways = 4;
+                         config.cam_capacity = 256;
+                         return std::make_unique<core::HashCamTable>(config);
+                     },
+                     // 0.8 of total capacity = ~83 % bucket load; the CAM
+                     // absorbs the two-choice overflow tail with margin.
+                     // (Still the highest safe load of all the schemes.)
+                     0.8});
+    return cases;
+}
+
+class LookupTableTest : public ::testing::TestWithParam<TableCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTables, LookupTableTest, ::testing::ValuesIn(all_tables()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(LookupTableTest, EmptyLookupMisses) {
+    auto table = GetParam().make();
+    EXPECT_FALSE(table->lookup(key_of(1)).has_value());
+    EXPECT_EQ(table->size(), 0u);
+}
+
+TEST_P(LookupTableTest, InsertLookupRoundtrip) {
+    auto table = GetParam().make();
+    ASSERT_TRUE(table->insert(key_of(1), 101).is_ok());
+    const auto hit = table->lookup(key_of(1));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 101u);
+    EXPECT_EQ(table->size(), 1u);
+}
+
+TEST_P(LookupTableTest, DuplicateInsertRejected) {
+    auto table = GetParam().make();
+    ASSERT_TRUE(table->insert(key_of(1), 101).is_ok());
+    EXPECT_EQ(table->insert(key_of(1), 999).code(), StatusCode::kAlreadyExists);
+    EXPECT_EQ(*table->lookup(key_of(1)), 101u);
+    EXPECT_EQ(table->size(), 1u);
+}
+
+TEST_P(LookupTableTest, EraseRemoves) {
+    auto table = GetParam().make();
+    ASSERT_TRUE(table->insert(key_of(1), 101).is_ok());
+    ASSERT_TRUE(table->erase(key_of(1)).is_ok());
+    EXPECT_FALSE(table->lookup(key_of(1)).has_value());
+    EXPECT_EQ(table->size(), 0u);
+    EXPECT_EQ(table->erase(key_of(1)).code(), StatusCode::kNotFound);
+}
+
+TEST_P(LookupTableTest, BulkInsertAtSafeLoad) {
+    auto table = GetParam().make();
+    const auto count = static_cast<u64>(GetParam().safe_load *
+                                        static_cast<double>(table->capacity()));
+    std::set<u64> inserted;
+    for (u64 i = 0; i < count; ++i) {
+        if (table->insert(key_of(i), i).is_ok()) inserted.insert(i);
+    }
+    const auto failures = count - inserted.size();
+    EXPECT_LE(static_cast<double>(failures),
+              GetParam().failure_budget * static_cast<double>(count) + 0.5)
+        << GetParam().name;
+    EXPECT_EQ(table->size(), inserted.size());
+    // Every accepted key must be retrievable; every rejected key absent.
+    for (u64 i = 0; i < count; ++i) {
+        const auto hit = table->lookup(key_of(i));
+        if (inserted.contains(i)) {
+            ASSERT_TRUE(hit.has_value()) << GetParam().name << " key " << i;
+            EXPECT_EQ(*hit, i);
+        } else {
+            EXPECT_FALSE(hit.has_value()) << GetParam().name << " key " << i;
+        }
+    }
+}
+
+TEST_P(LookupTableTest, NegativeLookupsStayNegative) {
+    auto table = GetParam().make();
+    for (u64 i = 0; i < 500; ++i) ASSERT_TRUE(table->insert(key_of(i), i).is_ok());
+    for (u64 i = 1'000'000; i < 1'001'000; ++i) {
+        EXPECT_FALSE(table->lookup(key_of(i)).has_value());
+    }
+}
+
+TEST_P(LookupTableTest, ChurnPreservesConsistency) {
+    auto table = GetParam().make();
+    Xoshiro256 rng(13);
+    std::set<u64> alive;
+    const u64 budget = static_cast<u64>(GetParam().safe_load *
+                                        static_cast<double>(table->capacity())) /
+                       2;
+    for (int round = 0; round < 4000; ++round) {
+        if (!alive.empty() && rng.chance(0.45)) {
+            const u64 victim = *alive.begin();
+            ASSERT_TRUE(table->erase(key_of(victim)).is_ok());
+            alive.erase(alive.begin());
+        } else if (alive.size() < budget) {
+            u64 candidate = rng.bounded(100000);
+            if (alive.contains(candidate)) continue;
+            const Status status = table->insert(key_of(candidate), candidate);
+            if (status.is_ok()) alive.insert(candidate);
+        }
+    }
+    EXPECT_EQ(table->size(), alive.size()) << GetParam().name;
+    for (const u64 value : alive) {
+        const auto hit = table->lookup(key_of(value));
+        ASSERT_TRUE(hit.has_value()) << GetParam().name << " lost " << value;
+        EXPECT_EQ(*hit, value);
+    }
+}
+
+TEST_P(LookupTableTest, StatsAreAccounted) {
+    auto table = GetParam().make();
+    (void)table->insert(key_of(1), 1);
+    (void)table->lookup(key_of(1));
+    (void)table->lookup(key_of(2));
+    EXPECT_EQ(table->stats().inserts, 1u);
+    EXPECT_EQ(table->stats().lookups, 2u);
+    EXPECT_EQ(table->stats().hits, 1u);
+    EXPECT_GT(table->stats().bucket_reads + table->stats().cam_searches, 0u);
+    table->reset_stats();
+    EXPECT_EQ(table->stats().lookups, 0u);
+}
+
+TEST(SingleHash, OverflowFailsBeyondBucket) {
+    // Degenerate single-bucket table: the (ways+1)-th colliding insert fails.
+    BucketTableConfig config;
+    config.buckets = 1;
+    config.ways = 4;
+    SingleHashTable table(config);
+    u64 inserted = 0;
+    for (u64 i = 0; i < 8; ++i) inserted += table.insert(key_of(i), i).is_ok();
+    EXPECT_EQ(inserted, 4u);
+    EXPECT_EQ(table.stats().insert_failures, 4u);
+}
+
+TEST(TwoChoice, BalancesLoadBetterThanSingle) {
+    BucketTableConfig config;
+    config.buckets = 512;
+    config.ways = 4;
+    SingleHashTable single(config);
+    TwoChoiceTable two(config);  // capacity 2x: use half the keys per slot
+
+    u64 single_failures = 0;
+    u64 two_failures = 0;
+    // Fill both to ~66 % of the *single* table's capacity... two-choice has
+    // twice the room, so compare failure rates at the same absolute count
+    // as a sanity check of the balanced-allocations advantage per bucket.
+    const u64 keys = 512 * 4 * 2 / 3;
+    for (u64 i = 0; i < keys; ++i) {
+        single_failures += !single.insert(key_of(i), i).is_ok();
+        two_failures += !two.insert(key_of(i), i).is_ok();
+    }
+    EXPECT_LT(two_failures, single_failures);
+}
+
+TEST(Cuckoo, KickChainsRecordedAndBounded) {
+    BucketTableConfig config;
+    config.buckets = 256;
+    config.ways = 2;
+    CuckooTable table(config, 128);
+    // Fill to 80 % (random-walk cuckoo with d=2, K=2 has a ~0.89 load
+    // threshold; a 128-step walk succeeds w.h.p. below it).
+    const u64 keys = static_cast<u64>(0.8 * 256 * 2 * 2);
+    for (u64 i = 0; i < keys; ++i) ASSERT_TRUE(table.insert(key_of(i), i).is_ok());
+    EXPECT_GT(table.stats().relocations, 0u);
+    EXPECT_EQ(table.lost_entries(), 0u);
+    // All keys still reachable after displacement chains.
+    for (u64 i = 0; i < keys; ++i) {
+        ASSERT_TRUE(table.lookup(key_of(i)).has_value()) << i;
+    }
+}
+
+TEST(Cuckoo, LookupCostIsExactlyTwoBuckets) {
+    BucketTableConfig config;
+    config.buckets = 256;
+    config.ways = 4;
+    CuckooTable table(config);
+    for (u64 i = 0; i < 100; ++i) ASSERT_TRUE(table.insert(key_of(i), i).is_ok());
+    table.reset_stats();
+    for (u64 i = 0; i < 100; ++i) (void)table.lookup(key_of(1'000'000 + i));
+    // A miss probes both buckets — never more (the O(1) guarantee [7]).
+    EXPECT_EQ(table.stats().bucket_reads, 200u);
+}
+
+TEST(BloomCam, DivertedKeysFoundViaCam) {
+    BloomCamConfig config;
+    config.table.buckets = 1;  // force collisions into the CAM
+    config.table.ways = 2;
+    config.cam_capacity = 32;
+    BloomCamTable table(config);
+    for (u64 i = 0; i < 10; ++i) ASSERT_TRUE(table.insert(key_of(i), i).is_ok());
+    EXPECT_EQ(table.overflow_cam().size(), 8u);
+    for (u64 i = 0; i < 10; ++i) EXPECT_EQ(*table.lookup(key_of(i)), i);
+}
+
+TEST(BloomCam, CamFullFailsInsert) {
+    BloomCamConfig config;
+    config.table.buckets = 1;
+    config.table.ways = 1;
+    config.cam_capacity = 4;
+    BloomCamTable table(config);
+    u64 ok = 0;
+    for (u64 i = 0; i < 10; ++i) ok += table.insert(key_of(i), i).is_ok();
+    EXPECT_EQ(ok, 5u);  // 1 bucket slot + 4 CAM slots
+}
+
+TEST(Kirsch, OneMoveRelocatesWhenLevelsFull) {
+    KirschConfig config;
+    config.buckets_per_level = 64;
+    config.levels = 2;
+    config.cam_capacity = 64;
+    KirschOneMoveTable table(config);
+    const u64 keys = 96;  // 75 % of the 128 level slots
+    for (u64 i = 0; i < keys; ++i) ASSERT_TRUE(table.insert(key_of(i), i).is_ok());
+    EXPECT_GT(table.moves_performed(), 0u);
+    for (u64 i = 0; i < keys; ++i) EXPECT_TRUE(table.lookup(key_of(i)).has_value()) << i;
+}
+
+TEST(Kirsch, OverflowGoesToCam) {
+    KirschConfig config;
+    config.buckets_per_level = 8;
+    config.levels = 2;
+    config.cam_capacity = 64;
+    KirschOneMoveTable table(config);
+    for (u64 i = 0; i < 30; ++i) ASSERT_TRUE(table.insert(key_of(i), i).is_ok());
+    EXPECT_GT(table.overflow_cam().size(), 0u);
+}
+
+}  // namespace
+}  // namespace flowcam::table

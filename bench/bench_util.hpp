@@ -6,8 +6,15 @@
 // average processing rate in Mdesc/s over the busy interval.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -16,6 +23,80 @@
 #include "net/trace.hpp"
 
 namespace flowcam::bench {
+
+/// One machine-readable bench result: rendered as a single JSON object per
+/// line (JSONL) so a directory of runs concatenates into a trajectory.
+/// Emission is opt-in via the FLOWCAM_BENCH_JSON environment variable:
+/// unset -> no-op, "-" -> stdout, anything else -> append to that path.
+class JsonResult {
+  public:
+    explicit JsonResult(std::string bench) { add("bench", std::move(bench)); }
+
+    JsonResult& add(const std::string& key, const std::string& value) {
+        field(key) << '"' << escape(value) << '"';
+        return *this;
+    }
+    JsonResult& add(const std::string& key, const char* value) {
+        return add(key, std::string(value));
+    }
+    JsonResult& add(const std::string& key, double value) {
+        field(key) << value;
+        return *this;
+    }
+    JsonResult& add(const std::string& key, u64 value) {
+        field(key) << value;
+        return *this;
+    }
+    JsonResult& add(const std::string& key, bool value) {
+        field(key) << (value ? "true" : "false");
+        return *this;
+    }
+
+    [[nodiscard]] std::string line() const { return "{" + body_.str() + "}"; }
+
+    /// Write the line to the sink named by FLOWCAM_BENCH_JSON (no-op when
+    /// the variable is unset).
+    void emit() const {
+        const char* sink = std::getenv("FLOWCAM_BENCH_JSON");
+        if (sink == nullptr || *sink == '\0') return;
+        if (std::string_view(sink) == "-") {
+            std::cout << line() << "\n";
+            return;
+        }
+        std::ofstream out(sink, std::ios::app);
+        if (out) out << line() << "\n";
+    }
+
+  private:
+    std::ostringstream& field(const std::string& key) {
+        if (!first_) body_ << ",";
+        first_ = false;
+        body_ << '"' << escape(key) << "\":";
+        return body_;
+    }
+
+    static std::string escape(const std::string& raw) {
+        std::string out;
+        out.reserve(raw.size());
+        for (const char c : raw) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+                out += c;
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    std::ostringstream body_;
+    bool first_ = true;
+};
+
 
 struct RunResult {
     double mdesc_per_s = 0.0;

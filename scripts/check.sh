@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Single CI entry point: configure, build, run the full test suite, then a
+# quick end-to-end scenario smoke through the timed Flow LUT.
+#
+#   $ scripts/check.sh [build-dir]
+#
+# Exits non-zero on the first failure. Honors CMAKE_BUILD_TYPE and GENERATOR
+# from the environment (defaults: RelWithDebInfo, Ninja if available).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+GENERATOR_ARGS=()
+if [[ -z "${GENERATOR:-}" ]] && command -v ninja >/dev/null 2>&1; then
+  GENERATOR="Ninja"
+fi
+if [[ -n "${GENERATOR:-}" ]]; then
+  GENERATOR_ARGS=(-G "$GENERATOR")
+fi
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== test =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== scenario smoke =="
+"$BUILD_DIR/scenario_runner" --all --packets=3000
+
+echo "OK"

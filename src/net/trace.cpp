@@ -5,19 +5,26 @@
 
 namespace flowcam::net {
 
+u32 synth_public_ip(Xoshiro256& rng) {
+    // Public-looking addresses, avoiding 0.0.0.0/8 and 255.x.
+    return static_cast<u32>(rng.bounded(0xDFFFFFFF - 0x01000000) + 0x01000000);
+}
+
+u16 synth_ephemeral_port(Xoshiro256& rng) {
+    return static_cast<u16>(rng.bounded(65535 - 1024) + 1024);
+}
+
 FiveTuple synth_tuple(u64 flow_index, u64 seed) {
     // One RNG draw sequence per flow index: fully deterministic, collision-
     // free enough for billions of flows (96 bits of entropy in the tuple).
     Xoshiro256 rng(seed ^ (flow_index * 0x9e3779b97f4a7c15ull + 0x1234567));
     FiveTuple t;
-    // Public-looking addresses, avoiding 0.0.0.0/8 and 255.x.
-    t.src_ip = static_cast<u32>(rng.bounded(0xDFFFFFFF - 0x01000000) + 0x01000000);
-    t.dst_ip = static_cast<u32>(rng.bounded(0xDFFFFFFF - 0x01000000) + 0x01000000);
+    t.src_ip = synth_public_ip(rng);
+    t.dst_ip = synth_public_ip(rng);
     // Client ephemeral port to a popular service port mix.
-    t.src_port = static_cast<u16>(rng.bounded(65535 - 1024) + 1024);
+    t.src_port = synth_ephemeral_port(rng);
     constexpr u16 kServices[] = {80, 443, 53, 22, 25, 123, 8080, 3306};
-    t.dst_port = rng.chance(0.7) ? kServices[rng.bounded(8)]
-                                 : static_cast<u16>(rng.bounded(65535 - 1024) + 1024);
+    t.dst_port = rng.chance(0.7) ? kServices[rng.bounded(8)] : synth_ephemeral_port(rng);
     t.protocol = rng.chance(0.8) ? kProtoTcp : (rng.chance(0.9) ? kProtoUdp : kProtoIcmp);
     return t;
 }

@@ -97,4 +97,10 @@ class UniformFlowWorkload {
 /// indices map to distinct, realistic-looking 5-tuples.
 [[nodiscard]] FiveTuple synth_tuple(u64 flow_index, u64 seed);
 
+/// Building blocks of synth_tuple, also used by workload overlay generators:
+/// a public-looking IPv4 address (avoiding 0/8 and multicast/reserved space)
+/// and a client ephemeral port.
+[[nodiscard]] u32 synth_public_ip(Xoshiro256& rng);
+[[nodiscard]] u16 synth_ephemeral_port(Xoshiro256& rng);
+
 }  // namespace flowcam::net

@@ -1,0 +1,51 @@
+#include "workload/registry.hpp"
+
+#include "workload/scenarios.hpp"
+
+namespace flowcam::workload {
+
+void Registry::add(const std::string& name, const std::string& description,
+                   ScenarioFactory factory) {
+    entries_[name] = Entry{description, std::move(factory)};
+}
+
+Result<std::unique_ptr<Scenario>> Registry::create(const std::string& name,
+                                                   const ScenarioConfig& config) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        std::string known;
+        for (const auto& entry : entries_) {
+            if (!known.empty()) known += ", ";
+            known += entry.first;
+        }
+        return Status(StatusCode::kNotFound,
+                      "unknown scenario '" + name + "' (known: " + known + ")");
+    }
+    return it->second.factory(config);
+}
+
+std::vector<std::string> Registry::names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_) out.push_back(entry.first);
+    return out;
+}
+
+Result<std::string> Registry::describe(const std::string& name) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        return Status(StatusCode::kNotFound, "unknown scenario '" + name + "'");
+    }
+    return it->second.description;
+}
+
+Registry& builtin_registry() {
+    static Registry registry = [] {
+        Registry r;
+        register_builtin_scenarios(r);
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace flowcam::workload

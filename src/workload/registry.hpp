@@ -1,0 +1,50 @@
+// String-keyed scenario registry: name -> factory, so benches, tests and the
+// CLI can enumerate and instantiate the whole catalogue without knowing the
+// concrete generator types (the booksim2-style config-driven runner shape).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "workload/scenario.hpp"
+
+namespace flowcam::workload {
+
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>(const ScenarioConfig&)>;
+
+class Registry {
+  public:
+    /// Register `factory` under `name`; re-registering a name replaces the
+    /// previous entry (latest wins, handy for test doubles).
+    void add(const std::string& name, const std::string& description, ScenarioFactory factory);
+
+    /// Instantiate a registered scenario; kNotFound names the known catalogue
+    /// in the status message so CLI typos are self-diagnosing.
+    [[nodiscard]] Result<std::unique_ptr<Scenario>> create(const std::string& name,
+                                                           const ScenarioConfig& config) const;
+
+    [[nodiscard]] bool contains(const std::string& name) const {
+        return entries_.count(name) != 0;
+    }
+    /// Sorted scenario names (std::map keeps them ordered).
+    [[nodiscard]] std::vector<std::string> names() const;
+    [[nodiscard]] Result<std::string> describe(const std::string& name) const;
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry {
+        std::string description;
+        ScenarioFactory factory;
+    };
+    std::map<std::string, Entry> entries_;
+};
+
+/// Process-wide registry preloaded with the builtin catalogue (baseline,
+/// syn_flood, port_scan, heavy_hitter, flash_crowd, churn).
+[[nodiscard]] Registry& builtin_registry();
+
+}  // namespace flowcam::workload

@@ -1,0 +1,173 @@
+#include "workload/runner.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+#include "net/linerate.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/ticker.hpp"
+
+namespace flowcam::workload {
+
+namespace {
+
+/// Pulls packets from the Scenario and offers them into the analyzer's
+/// packet buffer at the configured input rate, holding a packet across
+/// cycles under backpressure (the line side cannot drop a frame it has
+/// already accepted).
+class SourceTicker final : public sim::Ticker {
+  public:
+    SourceTicker(Scenario& scenario, analyzer::TrafficAnalyzer& analyzer, u64 packet_budget,
+                 u32 cycles_per_packet, ScenarioMetrics& metrics)
+        : scenario_(scenario),
+          analyzer_(analyzer),
+          budget_(packet_budget),
+          cycles_per_packet_(cycles_per_packet == 0 ? 1 : cycles_per_packet),
+          metrics_(metrics) {}
+
+    void tick(Cycle now) override {
+        if (done()) return;
+        if (!pending_ && now % cycles_per_packet_ != 0) return;
+        if (!pending_) {
+            record_ = scenario_.next();
+            pending_ = true;
+        }
+        if (!analyzer_.feed_record(record_)) return;  // buffer full; retry.
+        pending_ = false;
+        ++metrics_.packets;
+        metrics_.bytes += record_.frame_bytes;
+        flows_.insert(record_.flow_index);
+        if (record_.flow_index >= kOverlayFlowBase) ++metrics_.overlay_packets;
+        if (first_ns_ == 0) first_ns_ = record_.timestamp_ns;
+        last_ns_ = record_.timestamp_ns;
+    }
+
+    [[nodiscard]] std::string name() const override { return "scenario-source"; }
+
+    [[nodiscard]] bool done() const { return metrics_.packets >= budget_; }
+
+    void finalize() {
+        metrics_.distinct_flows = flows_.size();
+        metrics_.trace_span_ns = last_ns_ - first_ns_;
+    }
+
+  private:
+    Scenario& scenario_;
+    analyzer::TrafficAnalyzer& analyzer_;
+    u64 budget_;
+    u32 cycles_per_packet_;
+    ScenarioMetrics& metrics_;
+    net::PacketRecord record_;
+    bool pending_ = false;
+    std::unordered_set<u64> flows_;
+    u64 first_ns_ = 0;
+    u64 last_ns_ = 0;
+};
+
+/// Adapts the analyzer (packet buffer -> Flow LUT -> event engine) to the
+/// engine's Ticker contract; one tick advances the whole stack one system
+/// cycle.
+class AnalyzerTicker final : public sim::Ticker {
+  public:
+    explicit AnalyzerTicker(analyzer::TrafficAnalyzer& analyzer) : analyzer_(analyzer) {}
+    void tick(Cycle /*now*/) override { analyzer_.step(); }
+    [[nodiscard]] std::string name() const override { return "traffic-analyzer"; }
+
+  private:
+    analyzer::TrafficAnalyzer& analyzer_;
+};
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(RunnerConfig config) : config_(std::move(config)) {}
+
+Result<ScenarioMetrics> ScenarioRunner::run(const std::string& name,
+                                            const ScenarioConfig& scenario_config) {
+    return run(builtin_registry(), name, scenario_config);
+}
+
+Result<ScenarioMetrics> ScenarioRunner::run(const Registry& registry, const std::string& name,
+                                            const ScenarioConfig& scenario_config) {
+    auto scenario = registry.create(name, scenario_config);
+    if (!scenario) return scenario.status();
+    return run(*scenario.value());
+}
+
+ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
+    analyzer::TrafficAnalyzer analyzer(config_.analyzer);
+
+    ScenarioMetrics metrics;
+    metrics.scenario = scenario.name();
+
+    SourceTicker source(scenario, analyzer, config_.packets, config_.cycles_per_packet, metrics);
+    AnalyzerTicker sink(analyzer);
+
+    sim::Engine engine;
+    engine.add(source);  // pipeline order: source before the consuming stack.
+    engine.add(sink);
+
+    metrics.drained = engine.run_until(
+        [&] {
+            // The source retries under backpressure, so every offered packet
+            // eventually reaches the LUT: done means all packets pumped out
+            // of the packet buffer and the LUT pipeline empty.
+            return source.done() && analyzer.stats().packets >= metrics.packets &&
+                   analyzer.lut().drained();
+        },
+        config_.max_cycles);
+    source.finalize();
+
+    const core::FlowLutStats& lut = analyzer.lut().stats();
+    metrics.completions = lut.completions;
+    metrics.cam_hits = lut.cam_hits;
+    metrics.lu1_hits = lut.lu1_hits;
+    metrics.lu2_hits = lut.lu2_hits;
+    metrics.new_flows = lut.new_flows;
+    metrics.drops = lut.drops;
+    // TrafficAnalyzer counts one "drop" per rejected feed_record call; with
+    // a retrying source these are backpressure stalls, not lost packets.
+    metrics.buffer_retries = analyzer.stats().dropped_buffer_full;
+    for (const auto& event : analyzer.events()) {
+        switch (event.kind) {
+            case analyzer::EventKind::kPortScan: ++metrics.events_port_scan; break;
+            case analyzer::EventKind::kHeavyHitter: ++metrics.events_heavy_hitter; break;
+            case analyzer::EventKind::kTablePressure: ++metrics.events_table_pressure; break;
+            default: break;
+        }
+    }
+    metrics.cycles = engine.now();
+    metrics.new_flow_ratio =
+        metrics.completions == 0
+            ? 0.0
+            : static_cast<double>(metrics.new_flows) / static_cast<double>(metrics.completions);
+    metrics.mdesc_per_s = sim::mega_per_second(metrics.completions, metrics.cycles,
+                                               config_.analyzer.lut.system_clock_hz);
+    metrics.sustained_gbps = net::supported_gbps(metrics.mdesc_per_s);
+    metrics.offered_gbps = metrics.trace_span_ns == 0
+                               ? 0.0
+                               : static_cast<double>(metrics.bytes) * 8.0 /
+                                     static_cast<double>(metrics.trace_span_ns);
+    return metrics;
+}
+
+std::string ScenarioMetrics::to_string() const {
+    char buffer[768];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "scenario %-12s  packets %" PRIu64 " (overlay %" PRIu64 ", flows %" PRIu64
+        ")\n"
+        "  completions %" PRIu64 "  hit split CAM/LU1/LU2 = %" PRIu64 "/%" PRIu64 "/%" PRIu64
+        "  new flows %" PRIu64 " (%.1f%%)\n"
+        "  drops %" PRIu64 " (table)  %" PRIu64 " (buffer retries)  events: scan %" PRIu64
+        " heavy %" PRIu64 " pressure %" PRIu64 "\n"
+        "  %" PRIu64 " cycles  %.2f Mdesc/s  sustains %.1f Gb/s @64B  offered %.1f Gb/s%s",
+        scenario.c_str(), packets, overlay_packets, distinct_flows, completions, cam_hits,
+        lu1_hits, lu2_hits, new_flows, 100.0 * new_flow_ratio, drops, buffer_retries,
+        events_port_scan, events_heavy_hitter, events_table_pressure, cycles, mdesc_per_s,
+        sustained_gbps, offered_gbps, drained ? "" : "  [NOT DRAINED]");
+    return buffer;
+}
+
+}  // namespace flowcam::workload

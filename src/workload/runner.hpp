@@ -1,0 +1,94 @@
+// ScenarioRunner: one call runs any registered scenario end-to-end through
+// the timed system — a source Ticker pulls packets from the Scenario and
+// offers them (with backpressure) into the TrafficAnalyzer, whose Flow LUT
+// ticks at the system clock; a sim::Engine sequences both per cycle — and
+// reports per-scenario metrics: CAM/LU1/LU2 hit split, drops, new-flow
+// ratio, lookup rate and the line rate it sustains.
+#pragma once
+
+#include <string>
+
+#include "analyzer/analyzer.hpp"
+#include "common/result.hpp"
+#include "workload/registry.hpp"
+#include "workload/scenario.hpp"
+
+namespace flowcam::workload {
+
+struct RunnerConfig {
+    analyzer::AnalyzerConfig analyzer;
+    /// Packets to offer before draining.
+    u64 packets = 20'000;
+    /// Offer one packet every this many system cycles (2 => 100 MHz input on
+    /// the 200 MHz fabric, the top of the paper's test range).
+    u32 cycles_per_packet = 2;
+    /// Cycle budget for offering + draining before giving up.
+    u64 max_cycles = 50'000'000;
+
+    RunnerConfig() {
+        // Simulation-friendly default geometry (the prototype's 8 M-entry
+        // table would dominate runtime without changing the shape of the
+        // answers); callers can override any of it.
+        analyzer.lut.buckets_per_mem = u64{1} << 14;
+        analyzer.lut.cam_capacity = 2048;
+    }
+};
+
+struct ScenarioMetrics {
+    std::string scenario;
+
+    // Offered stream (ground truth from the generator).
+    u64 packets = 0;
+    u64 bytes = 0;
+    u64 distinct_flows = 0;
+    u64 overlay_packets = 0;
+    u64 trace_span_ns = 0;  ///< last offered timestamp - first.
+
+    // Flow LUT outcome.
+    u64 completions = 0;
+    u64 cam_hits = 0;
+    u64 lu1_hits = 0;
+    u64 lu2_hits = 0;
+    u64 new_flows = 0;
+    u64 drops = 0;  ///< table completely full (these still retire with an
+                    ///< invalid FID, so completions == packets when drained).
+    u64 buffer_retries = 0;  ///< packet-buffer backpressure retries (the
+                             ///< source holds the frame, nothing is lost).
+
+    // Analyzer events.
+    u64 events_port_scan = 0;
+    u64 events_heavy_hitter = 0;
+    u64 events_table_pressure = 0;
+
+    // Timing.
+    u64 cycles = 0;
+    bool drained = false;
+    double new_flow_ratio = 0.0;  ///< new flows / completions (paper's B/A).
+    double mdesc_per_s = 0.0;     ///< lookup rate over the busy interval.
+    double sustained_gbps = 0.0;  ///< min-frame line rate that lookup rate serves (§V-B).
+    double offered_gbps = 0.0;    ///< actual bytes over the trace's time span.
+
+    [[nodiscard]] std::string to_string() const;
+};
+
+class ScenarioRunner {
+  public:
+    explicit ScenarioRunner(RunnerConfig config = {});
+
+    /// Instantiate `name` from `registry` (default: the builtin catalogue)
+    /// and run it; kNotFound for unknown names.
+    [[nodiscard]] Result<ScenarioMetrics> run(const std::string& name,
+                                              const ScenarioConfig& scenario_config);
+    [[nodiscard]] Result<ScenarioMetrics> run(const Registry& registry, const std::string& name,
+                                              const ScenarioConfig& scenario_config);
+
+    /// Run an already-constructed scenario through a fresh analyzer stack.
+    [[nodiscard]] ScenarioMetrics run(Scenario& scenario);
+
+    [[nodiscard]] const RunnerConfig& config() const { return config_; }
+
+  private:
+    RunnerConfig config_;
+};
+
+}  // namespace flowcam::workload

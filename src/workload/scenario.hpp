@@ -1,0 +1,64 @@
+// Scenario-driven workload engine: the Scenario interface.
+//
+// The seed could only exercise the Flow LUT with the calibrated Pitman–Yor
+// background trace (net/trace.hpp). A Scenario turns that one trace into a
+// catalogue: each concrete scenario overlays adversarial or phase traffic
+// (SYN floods, port scans, heavy hitters, flash crowds, churn waves) on the
+// calibrated background, emitting the same net::PacketRecord stream the rest
+// of the system consumes. Everything is deterministic under a fixed seed so
+// a scenario name + a ScenarioConfig fully reproduces an experiment.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::workload {
+
+/// Overlay packets carry flow indices at or above this base so tests and
+/// metrics can separate ground-truth attack traffic from the background
+/// without guessing from tuples (the background's indices grow from 0 and
+/// cannot plausibly reach 2^40 packets in a simulation).
+inline constexpr u64 kOverlayFlowBase = u64{1} << 40;
+
+/// One knob set shared by every scenario; fields are interpreted per
+/// scenario (documented on each generator in scenarios.hpp). Unused knobs
+/// are ignored, so a single config can drive the whole catalogue.
+struct ScenarioConfig {
+    u64 seed = 2014;
+
+    /// Calibrated Pitman–Yor background (its seed field is overridden by
+    /// `seed` so one value pins the entire stream).
+    net::TraceConfig background;
+
+    /// Fraction of post-onset packets drawn from the overlay.
+    double attack_fraction = 0.5;
+    /// Background-only warmup before the overlay switches on — models the
+    /// "sudden" part of sudden events and lets tables warm up first.
+    u64 onset_packets = 2000;
+
+    /// Scenario-specific population size: flash-crowd client pool, churn
+    /// per-wave flow population, port-scan sweep width.
+    u64 pool_size = 4096;
+    /// Churn: overlay packets per birth/death wave (whole population is
+    /// replaced at each wave boundary).
+    u64 wave_packets = 2048;
+    /// Heavy hitter: number of elephant flows and the Zipf skew across them.
+    u64 elephant_count = 64;
+    double zipf_exponent = 1.2;
+};
+
+/// A deterministic, endless packet stream. next() is cheap (amortized O(1))
+/// and timestamps strictly increase, matching TraceGenerator's contract.
+class Scenario {
+  public:
+    virtual ~Scenario() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string description() const = 0;
+
+    virtual net::PacketRecord next() = 0;
+};
+
+}  // namespace flowcam::workload

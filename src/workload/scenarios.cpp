@@ -1,0 +1,214 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/registry.hpp"
+
+namespace flowcam::workload {
+
+namespace {
+
+net::TraceConfig background_config(const ScenarioConfig& config) {
+    net::TraceConfig background = config.background;
+    background.seed = config.seed;  // one seed pins the whole stream.
+    return background;
+}
+
+}  // namespace
+
+// ---- OverlayScenario skeleton ----------------------------------------------
+
+OverlayScenario::OverlayScenario(const ScenarioConfig& config)
+    : config_(config),
+      background_(background_config(config)),
+      gate_rng_(config.seed ^ 0x6A7Eull),
+      clock_rng_(config.seed ^ 0xC10Cull),
+      overlay_rng_(config.seed ^ 0x0E541ull) {}
+
+net::PacketRecord OverlayScenario::next() {
+    net::PacketRecord record;
+    const bool attack_on = emitted_ >= config_.onset_packets;
+    if (attack_on && gate_rng_.chance(config_.attack_fraction)) {
+        record = overlay_packet(overlay_emitted_);
+        ++overlay_emitted_;
+    } else {
+        record = background_.next();
+    }
+    ++emitted_;
+    // One merged clock stamps every packet so the interleaved stream stays
+    // strictly monotonic regardless of which source produced it.
+    const double gap = -config_.background.mean_gap_ns * std::log(1.0 - clock_rng_.uniform());
+    now_ns_ += static_cast<u64>(gap) + 1;
+    record.timestamp_ns = now_ns_;
+    return record;
+}
+
+// ---- baseline ---------------------------------------------------------------
+
+BaselineScenario::BaselineScenario(const ScenarioConfig& config)
+    : OverlayScenario([&] {
+          ScenarioConfig no_attack = config;
+          no_attack.attack_fraction = 0.0;  // the gate never fires.
+          return no_attack;
+      }()) {}
+
+std::string BaselineScenario::description() const {
+    return "calibrated Pitman-Yor background only (control arm, paper Fig. 6)";
+}
+
+net::PacketRecord BaselineScenario::overlay_packet(u64 /*k*/) {
+    return {};  // unreachable: attack_fraction is forced to 0.
+}
+
+// ---- syn_flood --------------------------------------------------------------
+
+SynFloodScenario::SynFloodScenario(const ScenarioConfig& config)
+    : OverlayScenario(config),
+      victim_(net::synth_tuple(kOverlayFlowBase, config.seed ^ 0xF100Dull)) {}
+
+std::string SynFloodScenario::description() const {
+    return "DDoS SYN flood: every overlay packet is a new spoofed-source flow "
+           "to one victim (insert-path worst case)";
+}
+
+net::PacketRecord SynFloodScenario::overlay_packet(u64 k) {
+    net::PacketRecord record;
+    record.tuple.src_ip = net::synth_public_ip(overlay_rng());
+    record.tuple.src_port = net::synth_ephemeral_port(overlay_rng());
+    record.tuple.dst_ip = victim_.dst_ip;
+    record.tuple.dst_port = victim_.dst_port;
+    record.tuple.protocol = net::kProtoTcp;
+    record.frame_bytes = 64;  // bare SYNs.
+    record.flow_index = kOverlayFlowBase + k;  // never repeats: one-packet flows.
+    return record;
+}
+
+// ---- port_scan --------------------------------------------------------------
+
+PortScanScenario::PortScanScenario(const ScenarioConfig& config) : OverlayScenario(config) {
+    const net::FiveTuple endpoints =
+        net::synth_tuple(kOverlayFlowBase + 1, config.seed ^ 0x5CA9ull);
+    scanner_ip_ = endpoints.src_ip;
+    victim_ip_ = endpoints.dst_ip;
+    sweep_width_ = std::clamp<u64>(config.pool_size, 1, 65535);
+}
+
+std::string PortScanScenario::description() const {
+    return "one source sweeps dst ports on one victim host (event-engine and "
+           "correlated-key insert stress)";
+}
+
+net::PacketRecord PortScanScenario::overlay_packet(u64 k) {
+    const u64 probe = k % sweep_width_;
+    net::PacketRecord record;
+    record.tuple.src_ip = scanner_ip_;
+    record.tuple.src_port = 54321;
+    record.tuple.dst_ip = victim_ip_;
+    record.tuple.dst_port = static_cast<u16>(1 + probe);
+    record.tuple.protocol = net::kProtoTcp;
+    record.frame_bytes = 64;
+    record.flow_index = kOverlayFlowBase + probe;  // stable across sweep wraps.
+    return record;
+}
+
+// ---- heavy_hitter -----------------------------------------------------------
+
+HeavyHitterScenario::HeavyHitterScenario(const ScenarioConfig& config)
+    : OverlayScenario(config) {
+    const u64 elephants = std::max<u64>(config.elephant_count, 1);
+    zipf_cdf_.reserve(elephants);
+    double total = 0.0;
+    for (u64 rank = 0; rank < elephants; ++rank) {
+        total += 1.0 / std::pow(static_cast<double>(rank + 1), config.zipf_exponent);
+        zipf_cdf_.push_back(total);
+    }
+    for (double& cumulative : zipf_cdf_) cumulative /= total;
+}
+
+std::string HeavyHitterScenario::description() const {
+    return "Zipf-skewed elephant flows sending MTU frames over the background "
+           "mice (byte concentration on few entries)";
+}
+
+net::PacketRecord HeavyHitterScenario::overlay_packet(u64 /*k*/) {
+    const double u = overlay_rng().uniform();
+    const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    const u64 rank = static_cast<u64>(it - zipf_cdf_.begin());
+    net::PacketRecord record;
+    record.tuple = net::synth_tuple(kOverlayFlowBase + rank, config().seed);
+    record.frame_bytes = 1500;
+    record.flow_index = kOverlayFlowBase + rank;
+    return record;
+}
+
+// ---- flash_crowd ------------------------------------------------------------
+
+FlashCrowdScenario::FlashCrowdScenario(const ScenarioConfig& config)
+    : OverlayScenario(config),
+      victim_(net::synth_tuple(kOverlayFlowBase + 2, config.seed ^ 0xF1A5ull)) {}
+
+std::string FlashCrowdScenario::description() const {
+    return "sudden many-to-one surge: a client pool converges on one victim "
+           "service after onset";
+}
+
+net::PacketRecord FlashCrowdScenario::overlay_packet(u64 /*k*/) {
+    const u64 pool = std::max<u64>(config().pool_size, 1);
+    const u64 client = overlay_rng().bounded(pool);
+    const net::FiveTuple client_side =
+        net::synth_tuple(kOverlayFlowBase + 3 + client, config().seed);
+    net::PacketRecord record;
+    record.tuple.src_ip = client_side.src_ip;
+    record.tuple.src_port = client_side.src_port;
+    record.tuple.dst_ip = victim_.dst_ip;
+    record.tuple.dst_port = 443;
+    record.tuple.protocol = net::kProtoTcp;
+    record.frame_bytes = 576;  // request-sized.
+    record.flow_index = kOverlayFlowBase + client;
+    return record;
+}
+
+// ---- churn ------------------------------------------------------------------
+
+ChurnScenario::ChurnScenario(const ScenarioConfig& config) : OverlayScenario(config) {}
+
+std::string ChurnScenario::description() const {
+    return "flow birth/death waves: the whole overlay population is replaced "
+           "every wave (continuous retire+insert churn)";
+}
+
+net::PacketRecord ChurnScenario::overlay_packet(u64 k) {
+    const u64 pool = std::max<u64>(config().pool_size, 1);
+    const u64 wave_len = std::max<u64>(config().wave_packets, 1);
+    wave_ = k / wave_len;
+    const u64 flow = wave_ * pool + overlay_rng().bounded(pool);
+    net::PacketRecord record;
+    record.tuple = net::synth_tuple(kOverlayFlowBase + flow, config().seed);
+    record.frame_bytes = 64;
+    record.flow_index = kOverlayFlowBase + flow;
+    return record;
+}
+
+// ---- registration -----------------------------------------------------------
+
+void register_builtin_scenarios(Registry& registry) {
+    const auto add = [&registry](const char* name, auto make) {
+        ScenarioConfig probe;
+        auto instance = make(probe);
+        registry.add(name, instance->description(),
+                     [make](const ScenarioConfig& config) -> std::unique_ptr<Scenario> {
+                         return make(config);
+                     });
+    };
+    add("baseline", [](const ScenarioConfig& c) { return std::make_unique<BaselineScenario>(c); });
+    add("syn_flood", [](const ScenarioConfig& c) { return std::make_unique<SynFloodScenario>(c); });
+    add("port_scan", [](const ScenarioConfig& c) { return std::make_unique<PortScanScenario>(c); });
+    add("heavy_hitter",
+        [](const ScenarioConfig& c) { return std::make_unique<HeavyHitterScenario>(c); });
+    add("flash_crowd",
+        [](const ScenarioConfig& c) { return std::make_unique<FlashCrowdScenario>(c); });
+    add("churn", [](const ScenarioConfig& c) { return std::make_unique<ChurnScenario>(c); });
+}
+
+}  // namespace flowcam::workload

@@ -1,0 +1,156 @@
+// The builtin scenario catalogue: adversarial and phase-traffic overlays on
+// the calibrated Pitman–Yor background trace.
+//
+// Every generator shares the OverlayScenario skeleton: one deterministic
+// clock stamps all packets (exponential inter-arrival around the background
+// mean), a warmup of `onset_packets` background-only packets lets the table
+// fill realistically, then each subsequent packet is drawn from the overlay
+// with probability `attack_fraction`. Overlay flows carry indices at or
+// above kOverlayFlowBase so consumers can separate attack from background
+// ground truth.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/scenario.hpp"
+
+namespace flowcam::workload {
+class Registry;
+
+/// Shared skeleton: background + clock + overlay gate. Subclasses implement
+/// overlay_packet(k) for the k-th overlay packet; timestamps are stamped by
+/// the base so the merged stream is monotonic regardless of source.
+class OverlayScenario : public Scenario {
+  public:
+    explicit OverlayScenario(const ScenarioConfig& config);
+
+    net::PacketRecord next() final;
+
+    [[nodiscard]] u64 overlay_emitted() const { return overlay_emitted_; }
+
+  protected:
+    /// The k-th overlay packet (timestamp is overwritten by the caller).
+    [[nodiscard]] virtual net::PacketRecord overlay_packet(u64 k) = 0;
+
+    [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+    /// Deterministic per-scenario RNG for overlay internals.
+    [[nodiscard]] Xoshiro256& overlay_rng() { return overlay_rng_; }
+
+  private:
+    ScenarioConfig config_;
+    net::TraceGenerator background_;
+    Xoshiro256 gate_rng_;     ///< overlay-vs-background coin flips.
+    Xoshiro256 clock_rng_;    ///< inter-arrival draws for the merged stream.
+    Xoshiro256 overlay_rng_;  ///< handed to subclasses.
+    u64 emitted_ = 0;
+    u64 overlay_emitted_ = 0;
+    u64 now_ns_ = 0;
+};
+
+/// `baseline` — the unmodified calibrated background; the control arm every
+/// other scenario is compared against.
+class BaselineScenario final : public OverlayScenario {
+  public:
+    explicit BaselineScenario(const ScenarioConfig& config);
+    [[nodiscard]] std::string name() const override { return "baseline"; }
+    [[nodiscard]] std::string description() const override;
+
+  protected:
+    [[nodiscard]] net::PacketRecord overlay_packet(u64 k) override;
+};
+
+/// `syn_flood` — every overlay packet is a brand-new spoofed source opening
+/// a TCP connection to one victim: a massive wave of short-lived new flows,
+/// the worst case for the insert path (new-flow ratio approaches
+/// attack_fraction instead of the background's sub-10 % tail).
+class SynFloodScenario final : public OverlayScenario {
+  public:
+    explicit SynFloodScenario(const ScenarioConfig& config);
+    [[nodiscard]] std::string name() const override { return "syn_flood"; }
+    [[nodiscard]] std::string description() const override;
+
+  protected:
+    [[nodiscard]] net::PacketRecord overlay_packet(u64 k) override;
+
+  private:
+    net::FiveTuple victim_;
+};
+
+/// `port_scan` — one scanner address sweeps `pool_size` destination ports on
+/// one victim host (each probe is its own 5-tuple flow). Stresses the
+/// analyzer's port-scan event engine and the insert path with correlated,
+/// near-identical keys.
+class PortScanScenario final : public OverlayScenario {
+  public:
+    explicit PortScanScenario(const ScenarioConfig& config);
+    [[nodiscard]] std::string name() const override { return "port_scan"; }
+    [[nodiscard]] std::string description() const override;
+
+    [[nodiscard]] u32 scanner_ip() const { return scanner_ip_; }
+
+  protected:
+    [[nodiscard]] net::PacketRecord overlay_packet(u64 k) override;
+
+  private:
+    u32 scanner_ip_ = 0;
+    u32 victim_ip_ = 0;
+    u64 sweep_width_ = 0;
+};
+
+/// `heavy_hitter` — a fixed set of `elephant_count` elephant flows drawing
+/// Zipf(zipf_exponent) sends MTU-sized frames while the background supplies
+/// the mice: the classic elephant/mouse mix that concentrates bytes (and
+/// update-block traffic) on a few table entries.
+class HeavyHitterScenario final : public OverlayScenario {
+  public:
+    explicit HeavyHitterScenario(const ScenarioConfig& config);
+    [[nodiscard]] std::string name() const override { return "heavy_hitter"; }
+    [[nodiscard]] std::string description() const override;
+
+  protected:
+    [[nodiscard]] net::PacketRecord overlay_packet(u64 k) override;
+
+  private:
+    std::vector<double> zipf_cdf_;  ///< cumulative, normalized to 1.0.
+};
+
+/// `flash_crowd` — after onset, a pool of `pool_size` distinct clients all
+/// converge on one victim service (many-to-one surge): many simultaneous
+/// medium-lived flows that share one destination bucket neighborhood.
+class FlashCrowdScenario final : public OverlayScenario {
+  public:
+    explicit FlashCrowdScenario(const ScenarioConfig& config);
+    [[nodiscard]] std::string name() const override { return "flash_crowd"; }
+    [[nodiscard]] std::string description() const override;
+
+  protected:
+    [[nodiscard]] net::PacketRecord overlay_packet(u64 k) override;
+
+  private:
+    net::FiveTuple victim_;
+};
+
+/// `churn` — flow birth/death waves: overlay packets draw uniformly from a
+/// population of `pool_size` flows that is wholly replaced every
+/// `wave_packets` overlay packets, emulating NAT rollover / DHCP churn that
+/// continuously retires and inserts table entries.
+class ChurnScenario final : public OverlayScenario {
+  public:
+    explicit ChurnScenario(const ScenarioConfig& config);
+    [[nodiscard]] std::string name() const override { return "churn"; }
+    [[nodiscard]] std::string description() const override;
+
+    [[nodiscard]] u64 wave() const { return wave_; }
+
+  protected:
+    [[nodiscard]] net::PacketRecord overlay_packet(u64 k) override;
+
+  private:
+    u64 wave_ = 0;
+};
+
+/// Register the six builtin scenarios above into `registry`.
+void register_builtin_scenarios(Registry& registry);
+
+}  // namespace flowcam::workload

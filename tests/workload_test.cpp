@@ -1,0 +1,312 @@
+// Workload subsystem tests: registry lookup + error path, determinism of
+// every registered scenario under a fixed seed, per-scenario stream
+// invariants (ground truth via kOverlayFlowBase indices), and the
+// ScenarioRunner end-to-end through the timed Flow LUT.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "workload/registry.hpp"
+#include "workload/runner.hpp"
+#include "workload/scenarios.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+std::vector<net::PacketRecord> take(Scenario& scenario, u64 count) {
+    std::vector<net::PacketRecord> records;
+    records.reserve(count);
+    for (u64 i = 0; i < count; ++i) records.push_back(scenario.next());
+    return records;
+}
+
+ScenarioConfig small_config(u64 seed = 2014) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.onset_packets = 500;
+    config.pool_size = 256;
+    config.wave_packets = 512;
+    return config;
+}
+
+bool is_overlay(const net::PacketRecord& record) {
+    return record.flow_index >= kOverlayFlowBase;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(RegistryTest, BuiltinCatalogueIsRegistered) {
+    const auto names = builtin_registry().names();
+    for (const char* expected :
+         {"baseline", "syn_flood", "port_scan", "heavy_hitter", "flash_crowd", "churn"}) {
+        EXPECT_TRUE(builtin_registry().contains(expected)) << expected;
+    }
+    EXPECT_GE(names.size(), 6u);
+}
+
+TEST(RegistryTest, UnknownNameIsNotFoundWithCatalogue) {
+    const auto result = builtin_registry().create("no_such_scenario", ScenarioConfig{});
+    ASSERT_FALSE(result.has_value());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+    // The error names the known catalogue so CLI typos self-diagnose.
+    EXPECT_NE(result.status().message().find("syn_flood"), std::string::npos);
+}
+
+TEST(RegistryTest, CreateProducesNamedScenario) {
+    const auto result = builtin_registry().create("churn", ScenarioConfig{});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result.value()->name(), "churn");
+    EXPECT_FALSE(result.value()->description().empty());
+}
+
+TEST(RegistryTest, DescribeKnownAndUnknown) {
+    EXPECT_TRUE(builtin_registry().describe("baseline").has_value());
+    EXPECT_EQ(builtin_registry().describe("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, LatestRegistrationWins) {
+    Registry registry;
+    register_builtin_scenarios(registry);
+    registry.add("baseline", "override", [](const ScenarioConfig& config) {
+        return std::make_unique<ChurnScenario>(config);
+    });
+    const auto result = registry.create("baseline", ScenarioConfig{});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result.value()->name(), "churn");
+}
+
+// ---- Determinism (every registered scenario) --------------------------------
+
+TEST(ScenarioDeterminismTest, SameSeedSameStream) {
+    for (const auto& name : builtin_registry().names()) {
+        auto a = builtin_registry().create(name, small_config());
+        auto b = builtin_registry().create(name, small_config());
+        ASSERT_TRUE(a.has_value() && b.has_value());
+        const auto stream_a = take(*a.value(), 3000);
+        const auto stream_b = take(*b.value(), 3000);
+        for (std::size_t i = 0; i < stream_a.size(); ++i) {
+            ASSERT_EQ(stream_a[i].tuple, stream_b[i].tuple) << name << " packet " << i;
+            ASSERT_EQ(stream_a[i].timestamp_ns, stream_b[i].timestamp_ns) << name;
+            ASSERT_EQ(stream_a[i].frame_bytes, stream_b[i].frame_bytes) << name;
+            ASSERT_EQ(stream_a[i].flow_index, stream_b[i].flow_index) << name;
+        }
+    }
+}
+
+TEST(ScenarioDeterminismTest, DifferentSeedDifferentStream) {
+    for (const auto& name : builtin_registry().names()) {
+        auto a = builtin_registry().create(name, small_config(1));
+        auto b = builtin_registry().create(name, small_config(2));
+        ASSERT_TRUE(a.has_value() && b.has_value());
+        const auto stream_a = take(*a.value(), 200);
+        const auto stream_b = take(*b.value(), 200);
+        bool any_difference = false;
+        for (std::size_t i = 0; i < stream_a.size(); ++i) {
+            if (!(stream_a[i].tuple == stream_b[i].tuple)) any_difference = true;
+        }
+        EXPECT_TRUE(any_difference) << name;
+    }
+}
+
+TEST(ScenarioDeterminismTest, TimestampsStrictlyIncrease) {
+    for (const auto& name : builtin_registry().names()) {
+        auto scenario = builtin_registry().create(name, small_config());
+        ASSERT_TRUE(scenario.has_value());
+        u64 previous = 0;
+        for (const auto& record : take(*scenario.value(), 2000)) {
+            EXPECT_GT(record.timestamp_ns, previous) << name;
+            previous = record.timestamp_ns;
+        }
+    }
+}
+
+TEST(ScenarioDeterminismTest, NoOverlayBeforeOnset) {
+    for (const auto& name : builtin_registry().names()) {
+        auto scenario = builtin_registry().create(name, small_config());
+        ASSERT_TRUE(scenario.has_value());
+        const auto stream = take(*scenario.value(), 500);  // == onset_packets
+        for (const auto& record : stream) EXPECT_FALSE(is_overlay(record)) << name;
+    }
+}
+
+// ---- Per-scenario invariants ------------------------------------------------
+
+double distinct_flow_ratio(const std::vector<net::PacketRecord>& stream) {
+    std::set<u64> flows;
+    for (const auto& record : stream) flows.insert(record.flow_index);
+    return static_cast<double>(flows.size()) / static_cast<double>(stream.size());
+}
+
+TEST(SynFloodTest, DrivesNewFlowRatioAboveBackground) {
+    BaselineScenario baseline(small_config());
+    SynFloodScenario flood(small_config());
+    const auto base_stream = take(baseline, 8000);
+    const auto flood_stream = take(flood, 8000);
+    // Every overlay packet is a fresh flow, so the flood's distinct-flow
+    // ratio must sit well above the background's decaying Fig. 6 tail.
+    EXPECT_GT(distinct_flow_ratio(flood_stream), distinct_flow_ratio(base_stream) + 0.15);
+}
+
+TEST(SynFloodTest, OverlayTargetsOneVictimWithUniqueSources) {
+    SynFloodScenario flood(small_config());
+    std::set<u32> dst_ips;
+    std::set<std::pair<u32, u16>> sources;
+    u64 overlay = 0;
+    for (const auto& record : take(flood, 8000)) {
+        if (!is_overlay(record)) continue;
+        ++overlay;
+        dst_ips.insert(record.tuple.dst_ip);
+        sources.insert({record.tuple.src_ip, record.tuple.src_port});
+    }
+    ASSERT_GT(overlay, 2000u);
+    EXPECT_EQ(dst_ips.size(), 1u);
+    // Spoofed sources: essentially all distinct.
+    EXPECT_GT(sources.size(), overlay * 99 / 100);
+}
+
+TEST(PortScanTest, OneSourceSweepsManyPorts) {
+    auto config = small_config();
+    config.pool_size = 1000;  // sweep width
+    PortScanScenario scan(config);
+    std::set<u32> src_ips;
+    std::set<u16> dst_ports;
+    std::set<u32> dst_ips;
+    for (const auto& record : take(scan, 8000)) {
+        if (!is_overlay(record)) continue;
+        src_ips.insert(record.tuple.src_ip);
+        dst_ips.insert(record.tuple.dst_ip);
+        dst_ports.insert(record.tuple.dst_port);
+    }
+    EXPECT_EQ(src_ips.size(), 1u);
+    EXPECT_EQ(*src_ips.begin(), scan.scanner_ip());
+    EXPECT_EQ(dst_ips.size(), 1u);
+    EXPECT_GT(dst_ports.size(), 900u);  // nearly the whole sweep width.
+}
+
+TEST(HeavyHitterTest, ZipfConcentratesBytesOnTopElephant) {
+    auto config = small_config();
+    config.elephant_count = 64;
+    HeavyHitterScenario scenario(config);
+    std::map<u64, u64> overlay_bytes;
+    u64 total_overlay_bytes = 0;
+    for (const auto& record : take(scenario, 12000)) {
+        if (!is_overlay(record)) continue;
+        EXPECT_EQ(record.frame_bytes, 1500u);  // elephants send MTU frames.
+        overlay_bytes[record.flow_index] += record.frame_bytes;
+        total_overlay_bytes += record.frame_bytes;
+    }
+    ASSERT_FALSE(overlay_bytes.empty());
+    u64 top = 0;
+    for (const auto& [flow, bytes] : overlay_bytes) top = std::max(top, bytes);
+    // Zipf(1.2) over 64 ranks gives the top elephant ~21 % of the overlay
+    // bytes; a uniform draw would give ~1.6 %.
+    EXPECT_GT(static_cast<double>(top) / static_cast<double>(total_overlay_bytes), 0.10);
+    EXPECT_LE(overlay_bytes.size(), 64u);
+}
+
+TEST(FlashCrowdTest, ManyClientsOneService) {
+    FlashCrowdScenario crowd(small_config());
+    std::set<u32> src_ips;
+    std::set<std::pair<u32, u16>> destinations;
+    for (const auto& record : take(crowd, 8000)) {
+        if (!is_overlay(record)) continue;
+        src_ips.insert(record.tuple.src_ip);
+        destinations.insert({record.tuple.dst_ip, record.tuple.dst_port});
+    }
+    EXPECT_EQ(destinations.size(), 1u);   // one victim service...
+    EXPECT_GT(src_ips.size(), 100u);      // ...hit by a whole client pool.
+}
+
+TEST(ChurnTest, WavesReplaceThePopulation) {
+    auto config = small_config();
+    config.pool_size = 128;
+    config.wave_packets = 1000;
+    ChurnScenario churn(config);
+    std::map<u64, std::set<u64>> flows_by_wave;
+    u64 overlay_seen = 0;
+    while (overlay_seen < 3000) {  // spans >= 3 waves of 1000 overlay packets.
+        const auto record = churn.next();
+        if (!is_overlay(record)) continue;
+        flows_by_wave[overlay_seen / 1000].insert(record.flow_index);
+        ++overlay_seen;
+    }
+    ASSERT_GE(flows_by_wave.size(), 3u);
+    // Wave populations are disjoint: births and deaths, not reshuffles.
+    for (const auto& flow : flows_by_wave[0]) {
+        EXPECT_FALSE(flows_by_wave[1].contains(flow));
+        EXPECT_FALSE(flows_by_wave[2].contains(flow));
+    }
+    // Each wave draws from a fresh pool of at most pool_size flows.
+    for (const auto& [wave, flows] : flows_by_wave) EXPECT_LE(flows.size(), 128u) << wave;
+}
+
+// ---- ScenarioRunner end-to-end ----------------------------------------------
+
+RunnerConfig small_runner() {
+    RunnerConfig config;
+    config.packets = 3000;
+    config.analyzer.lut.buckets_per_mem = u64{1} << 12;
+    config.analyzer.lut.cam_capacity = 512;
+    return config;
+}
+
+TEST(ScenarioRunnerTest, UnknownScenarioPropagatesNotFound) {
+    ScenarioRunner runner(small_runner());
+    const auto result = runner.run("bogus", ScenarioConfig{});
+    ASSERT_FALSE(result.has_value());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScenarioRunnerTest, RunsEveryBuiltinToCompletion) {
+    ScenarioRunner runner(small_runner());
+    for (const auto& name : builtin_registry().names()) {
+        const auto result = runner.run(name, small_config());
+        ASSERT_TRUE(result.has_value()) << name;
+        const ScenarioMetrics& metrics = result.value();
+        EXPECT_TRUE(metrics.drained) << name;
+        EXPECT_EQ(metrics.packets, 3000u) << name;
+        // Every offered packet retires exactly once (table-full drops retire
+        // with an invalid FID and are counted separately in `drops`).
+        EXPECT_EQ(metrics.completions, 3000u) << name;
+        EXPECT_GT(metrics.mdesc_per_s, 0.0) << name;
+        EXPECT_GT(metrics.sustained_gbps, 0.0) << name;
+        EXPECT_GT(metrics.distinct_flows, 0u) << name;
+    }
+}
+
+TEST(ScenarioRunnerTest, MetricsAreReproducible) {
+    ScenarioRunner runner(small_runner());
+    const auto a = runner.run("syn_flood", small_config());
+    const auto b = runner.run("syn_flood", small_config());
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a.value().completions, b.value().completions);
+    EXPECT_EQ(a.value().cam_hits, b.value().cam_hits);
+    EXPECT_EQ(a.value().lu1_hits, b.value().lu1_hits);
+    EXPECT_EQ(a.value().lu2_hits, b.value().lu2_hits);
+    EXPECT_EQ(a.value().new_flows, b.value().new_flows);
+    EXPECT_EQ(a.value().cycles, b.value().cycles);
+    EXPECT_EQ(a.value().bytes, b.value().bytes);
+}
+
+TEST(ScenarioRunnerTest, SynFloodRaisesNewFlowRatioThroughTheLut) {
+    ScenarioRunner runner(small_runner());
+    const auto baseline = runner.run("baseline", small_config());
+    const auto flood = runner.run("syn_flood", small_config());
+    ASSERT_TRUE(baseline.has_value() && flood.has_value());
+    EXPECT_GT(flood.value().new_flow_ratio, baseline.value().new_flow_ratio);
+}
+
+TEST(ScenarioRunnerTest, PortScanRaisesScanEvent) {
+    RunnerConfig config = small_runner();
+    config.analyzer.port_scan_threshold = 64;
+    ScenarioRunner runner(config);
+    auto scenario_config = small_config();
+    scenario_config.pool_size = 2000;
+    const auto result = runner.run("port_scan", scenario_config);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GE(result.value().events_port_scan, 1u);
+}
+
+}  // namespace
+}  // namespace flowcam::workload

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/analyzer_test[1]_include.cmake")
+include("/root/repo/build/bloom_test[1]_include.cmake")
+include("/root/repo/build/cam_test[1]_include.cmake")
+include("/root/repo/build/classifier_test[1]_include.cmake")
+include("/root/repo/build/common_test[1]_include.cmake")
+include("/root/repo/build/core_blocks_test[1]_include.cmake")
+include("/root/repo/build/dram_controller_test[1]_include.cmake")
+include("/root/repo/build/dram_pattern_test[1]_include.cmake")
+include("/root/repo/build/dram_timing_test[1]_include.cmake")
+include("/root/repo/build/flow_lut_param_test[1]_include.cmake")
+include("/root/repo/build/flow_lut_test[1]_include.cmake")
+include("/root/repo/build/flow_state_test[1]_include.cmake")
+include("/root/repo/build/fpga_test[1]_include.cmake")
+include("/root/repo/build/hash_cam_table_test[1]_include.cmake")
+include("/root/repo/build/hash_test[1]_include.cmake")
+include("/root/repo/build/ipv6_test[1]_include.cmake")
+include("/root/repo/build/multi_path_test[1]_include.cmake")
+include("/root/repo/build/net_test[1]_include.cmake")
+include("/root/repo/build/netflow_export_test[1]_include.cmake")
+include("/root/repo/build/qdr_sram_test[1]_include.cmake")
+include("/root/repo/build/sim_test[1]_include.cmake")
+include("/root/repo/build/table_test[1]_include.cmake")
+include("/root/repo/build/workload_test[1]_include.cmake")

@@ -7,31 +7,70 @@
 // floods, port scans, heavy hitters, flash crowds and churn waves — over the
 // calibrated Fig. 6 background, and the question is how the hit split,
 // new-flow ratio and sustained line rate move per scenario.
+//
+// Scenarios are independent (one engine + Flow LUT each), so the sweep runs
+// them on a thread pool; results are merged in catalogue order, making the
+// table and the JSONL stream byte-identical to a serial run (--jobs=1).
+//
+//   $ ./bench_scenarios [packets] [--jobs=N]
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/thread_pool.hpp"
 #include "workload/registry.hpp"
 #include "workload/runner.hpp"
 
 using namespace flowcam;
 
 int main(int argc, char** argv) {
-    const u64 packets = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+    u64 packets = 20'000;
+    std::size_t jobs = common::ThreadPool::default_jobs();
+    for (int i = 1; i < argc; ++i) {
+        char* end = nullptr;
+        const auto malformed = [&] {
+            std::cerr << "usage: bench_scenarios [packets] [--jobs=N]  (got '" << argv[i]
+                      << "')\n";
+            return 2;
+        };
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            const char* value = argv[i] + 7;
+            jobs = std::strtoull(value, &end, 10);
+            if (end == value || *end != '\0') return malformed();
+        } else {
+            packets = std::strtoull(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0') return malformed();
+        }
+    }
 
     workload::RunnerConfig runner_config;
     runner_config.packets = packets;
-    workload::ScenarioRunner runner(runner_config);
     workload::ScenarioConfig scenario_config;
+
+    // Materialize the catalogue before spawning workers: from here on the
+    // registry is only read.
+    const std::vector<std::string> names = workload::builtin_registry().names();
+    std::vector<workload::ScenarioMetrics> results(names.size());
+    std::vector<Status> failures(names.size(), Status::ok());
+
+    common::ThreadPool::parallel_for_indexed(names.size(), jobs, [&](std::size_t i) {
+        workload::ScenarioRunner runner(runner_config);
+        const auto result = runner.run(names[i], scenario_config);
+        if (result) {
+            results[i] = result.value();
+        } else {
+            failures[i] = result.status();
+        }
+    });
 
     TablePrinter table({"scenario", "flows", "CAM", "LU1", "LU2", "new", "B/A", "drops",
                         "Mdesc/s", "Gb/s @64B"});
-    for (const auto& name : workload::builtin_registry().names()) {
-        const auto result = runner.run(name, scenario_config);
-        if (!result) {
-            std::cerr << "error: " << result.status().to_string() << "\n";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (!failures[i].is_ok()) {
+            std::cerr << "error: " << failures[i].to_string() << "\n";
             return 1;
         }
-        const workload::ScenarioMetrics& m = result.value();
+        const workload::ScenarioMetrics& m = results[i];
         table.add_row({m.scenario, std::to_string(m.distinct_flows), std::to_string(m.cam_hits),
                        std::to_string(m.lu1_hits), std::to_string(m.lu2_hits),
                        std::to_string(m.new_flows), TablePrinter::percent(m.new_flow_ratio, 1),

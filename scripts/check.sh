@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Single CI entry point: configure, build, run the full test suite, then a
-# quick end-to-end scenario smoke through the timed Flow LUT.
+# Single CI entry point: configure, build, run the full test suite, a quick
+# end-to-end scenario smoke, then a Release build with hot-path performance
+# gates (allocation counter + wall-clock ceilings).
 #
 #   $ scripts/check.sh [build-dir]
 #
 # Exits non-zero on the first failure. Honors CMAKE_BUILD_TYPE and GENERATOR
 # from the environment (defaults: RelWithDebInfo, Ninja if available).
+# Wall-clock ceilings are deliberately loose (order-of-magnitude guards for
+# slow CI machines); the sharp regression gate is bench_hotpath's built-in
+# zero-allocation check, which fails the run on its own.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,5 +35,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "== scenario smoke =="
 "$BUILD_DIR/scenario_runner" --all --packets=3000
+
+echo "== release build =="
+RELEASE_DIR="$BUILD_DIR-release"
+cmake -B "$RELEASE_DIR" -S . "${GENERATOR_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$RELEASE_DIR" -j
+
+echo "== hot-path budget (zero-alloc gate + 60s ceiling; ~3s expected) =="
+timeout 60 "$RELEASE_DIR/bench_hotpath" 200000
+
+echo "== sweep ceiling (30s; ~1s expected at --jobs=nproc) =="
+timeout 30 "$RELEASE_DIR/bench_scenarios" 20000 --jobs="$(nproc)"
 
 echo "OK"

@@ -42,15 +42,23 @@ bool TrafficAnalyzer::feed_record(const net::PacketRecord& record) {
         ++stats_.dropped_buffer_full;
         return false;
     }
-    packet_buffer_.push_back(record);
+    PreparedPacket prepared;
+    prepared.record = record;
+    prepared.key = core::FlowKey(net::NTuple::from_five_tuple(record.tuple));
+    const hash::IndexGenerator& indexer = lut_.table().indexer();
+    prepared.digest = indexer.digest(0, prepared.key.view());
+    prepared.index_a = indexer.index_of_digest(prepared.digest);
+    prepared.index_b = indexer.index(1, prepared.key.view());
+    packet_buffer_.push_back(std::move(prepared));
     return true;
 }
 
 void TrafficAnalyzer::pump_buffer() {
     while (!packet_buffer_.empty()) {
-        const net::PacketRecord& record = packet_buffer_.front();
-        if (!lut_.offer(net::NTuple::from_five_tuple(record.tuple), record.timestamp_ns,
-                        record.frame_bytes)) {
+        const PreparedPacket& prepared = packet_buffer_.front();
+        const net::PacketRecord& record = prepared.record;
+        if (!lut_.offer_prepared(prepared.key, prepared.index_a, prepared.index_b,
+                                 prepared.digest, record.timestamp_ns, record.frame_bytes)) {
             return;  // Flow LUT backpressure; retry next cycle.
         }
         ++stats_.packets;
@@ -63,8 +71,11 @@ void TrafficAnalyzer::pump_buffer() {
 
 void TrafficAnalyzer::pump_completions() {
     while (const auto completion = lut_.pop_completion()) {
-        const auto tuple = net::FiveTuple::from_key_bytes(completion->key.view());
+        // The FiveTuple is only materialized on event paths (new flow /
+        // heavy hitter) — the steady-state completion stream skips the
+        // byte-unpacking entirely.
         if (completion->is_new_flow) {
+            const auto tuple = net::FiveTuple::from_key_bytes(completion->key.view());
             raise(EventKind::kNewFlow, tuple, completion->fid, completion->timestamp_ns);
             auto& ports = ports_touched_[tuple.src_ip];
             ports.insert(tuple.dst_port);
@@ -77,7 +88,9 @@ void TrafficAnalyzer::pump_completions() {
             if (record != nullptr && record->bytes >= config_.heavy_hitter_bytes &&
                 !heavy_reported_.contains(completion->fid)) {
                 heavy_reported_.insert(completion->fid);
-                raise(EventKind::kHeavyHitter, tuple, record->bytes, completion->timestamp_ns);
+                raise(EventKind::kHeavyHitter,
+                      net::FiveTuple::from_key_bytes(completion->key.view()), record->bytes,
+                      completion->timestamp_ns);
             }
         }
     }

@@ -71,6 +71,15 @@ class TrafficAnalyzer {
     /// Advance the whole system by one system-clock cycle.
     void step();
 
+    /// Batched fast-forward: upcoming cycles step() is provably a no-op for
+    /// (buffer empty, no completions waiting to be pumped, and the Flow LUT
+    /// idle-stalled); skip_idle() jumps them.
+    [[nodiscard]] u64 idle_cycles_hint() const {
+        if (!packet_buffer_.empty() || lut_.completions_pending()) return 0;
+        return lut_.idle_cycles_hint();
+    }
+    void skip_idle(u64 cycles) { lut_.skip_idle(cycles); }
+
     /// Run until everything offered has been processed.
     bool drain(u64 max_cycles = 10'000'000);
 
@@ -85,13 +94,24 @@ class TrafficAnalyzer {
     [[nodiscard]] std::string report(std::size_t top_n = 10) const;
 
   private:
+    /// A buffered packet with its flow key hashed once at admission — the
+    /// packet buffer hands the Flow LUT pre-hashed keys and bucket indices,
+    /// so backpressure retries never re-hash (hardware hashes at arrival).
+    struct PreparedPacket {
+        net::PacketRecord record;
+        core::FlowKey key;
+        u64 index_a = 0;
+        u64 index_b = 0;
+        u64 digest = 0;
+    };
+
     void pump_buffer();
     void pump_completions();
     void raise(EventKind kind, const net::FiveTuple& tuple, u64 value, u64 timestamp_ns);
 
     AnalyzerConfig config_;
     core::FlowLut lut_;
-    std::deque<net::PacketRecord> packet_buffer_;
+    std::deque<PreparedPacket> packet_buffer_;
     TrafficStats stats_;
     std::vector<Event> events_;
     std::map<u32, std::set<u16>> ports_touched_;  ///< src ip -> dst ports.

@@ -1,0 +1,78 @@
+// Growable ring-buffer FIFO. std::deque allocates/frees a chunk every few
+// pushes when elements are large (descriptors, completions, lookup jobs are
+// all >100 B), which put steady-state heap traffic on the simulator's
+// per-packet path. RingQueue keeps one power-of-2 slab that only grows to
+// the high-water mark — after warmup, push/pop never touch the allocator
+// (verified by bench_hotpath's allocation counter).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace flowcam::common {
+
+template <typename T>
+class RingQueue {
+  public:
+    explicit RingQueue(std::size_t initial_capacity = 8) {
+        std::size_t capacity = 2;
+        while (capacity < initial_capacity) capacity *= 2;
+        slots_.resize(capacity);
+    }
+
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] std::size_t size() const { return count_; }
+
+    [[nodiscard]] T& front() {
+        assert(count_ > 0);
+        return slots_[head_];
+    }
+    [[nodiscard]] const T& front() const {
+        assert(count_ > 0);
+        return slots_[head_];
+    }
+
+    void push_back(T value) {
+        if (count_ == slots_.size()) grow();
+        slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(value);
+        ++count_;
+    }
+
+    template <typename... Args>
+    void emplace_back(Args&&... args) {
+        push_back(T(std::forward<Args>(args)...));
+    }
+
+    /// Remove and return the front element (moved out; its slot keeps the
+    /// moved-from shell so its heap capacity is reused by a later push).
+    T pop_front() {
+        assert(count_ > 0);
+        T value = std::move(slots_[head_]);
+        head_ = (head_ + 1) & (slots_.size() - 1);
+        --count_;
+        return value;
+    }
+
+    void clear() {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void grow() {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i) {
+            bigger[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+        }
+        slots_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace flowcam::common

@@ -1,0 +1,113 @@
+// A small fixed-size worker pool for embarrassingly parallel sweeps.
+//
+// The scenario benches run one independent engine + Flow LUT per scenario;
+// nothing is shared between tasks, so the pool only needs submit/wait — no
+// futures, no task graph. parallel_for_indexed() is the common pattern:
+// each task writes its result into a caller-owned slot by index, so results
+// come back in deterministic order no matter how execution interleaved
+// (byte-identical output to a serial run is asserted by workload tests).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flowcam::common {
+
+class ThreadPool {
+  public:
+    /// `threads` = 0 picks the hardware concurrency.
+    explicit ThreadPool(std::size_t threads = 0) {
+        if (threads == 0) threads = default_jobs();
+        workers_.reserve(threads);
+        for (std::size_t i = 0; i < threads; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            std::unique_lock lock(mutex_);
+            stopping_ = true;
+        }
+        wake_workers_.notify_all();
+        for (std::thread& worker : workers_) worker.join();
+    }
+
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    [[nodiscard]] static std::size_t default_jobs() {
+        return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+
+    /// Enqueue one task. Tasks must not throw (the simulator reports errors
+    /// through Status values, not exceptions).
+    void submit(std::function<void()> task) {
+        {
+            std::unique_lock lock(mutex_);
+            queue_.push_back(std::move(task));
+            ++outstanding_;
+        }
+        wake_workers_.notify_one();
+    }
+
+    /// Block until every submitted task has finished.
+    void wait_idle() {
+        std::unique_lock lock(mutex_);
+        idle_.wait(lock, [this] { return outstanding_ == 0; });
+    }
+
+    /// Run `fn(index)` for index in [0, count) across up to `jobs` workers
+    /// of a transient pool; jobs <= 1 runs inline (no threads at all, so a
+    /// serial sweep stays single-threaded deterministic by construction).
+    template <typename Fn>
+    static void parallel_for_indexed(std::size_t count, std::size_t jobs, Fn&& fn) {
+        if (jobs <= 1 || count <= 1) {
+            for (std::size_t i = 0; i < count; ++i) fn(i);
+            return;
+        }
+        ThreadPool pool(std::min(jobs, count));
+        for (std::size_t i = 0; i < count; ++i) {
+            pool.submit([&fn, i] { fn(i); });
+        }
+        pool.wait_idle();
+    }
+
+  private:
+    void worker_loop() {
+        while (true) {
+            std::function<void()> task;
+            {
+                std::unique_lock lock(mutex_);
+                wake_workers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return;  // stopping and drained.
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+            {
+                std::unique_lock lock(mutex_);
+                if (--outstanding_ == 0) idle_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_workers_;
+    std::condition_variable idle_;
+    std::size_t outstanding_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace flowcam::common

@@ -11,10 +11,10 @@
 // as the bank selector works to re-organize the input data into 8 banks").
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 
 namespace flowcam::core {
@@ -37,11 +37,9 @@ class BankSelector {
         for (u32 step = 1; step <= banks; ++step) {
             const u32 bank = (rotor_ + step) % banks;
             if (!queues_[bank].empty()) {
-                Job job = std::move(queues_[bank].front());
-                queues_[bank].pop_front();
                 rotor_ = bank;
                 --size_;
-                return job;
+                return queues_[bank].pop_front();
             }
         }
         return std::nullopt;
@@ -65,7 +63,7 @@ class BankSelector {
     [[nodiscard]] std::size_t bank_depth(u32 bank) const { return queues_[bank].size(); }
 
   private:
-    std::vector<std::deque<Job>> queues_;
+    std::vector<common::RingQueue<Job>> queues_;
     u32 rotor_ = 0;
     std::size_t size_ = 0;
     std::size_t peak_ = 0;

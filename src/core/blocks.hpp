@@ -4,6 +4,7 @@
 #pragma once
 
 #include "common/types.hpp"
+#include "core/flow_key.hpp"
 #include "net/tuple.hpp"
 
 namespace flowcam::core {
@@ -23,16 +24,21 @@ enum class Path : u8 { kA = 0, kB = 1 };
 /// lookup (redirected after an LU1 miss on the other path).
 enum class Stage : u8 { kLu1 = 1, kLu2 = 2 };
 
-/// A packet descriptor entering the Flow LUT: the extracted n-tuple plus
-/// both precomputed hash indices (the hardware hashes at packet arrival).
+/// A packet descriptor entering the Flow LUT: the extracted n-tuple (as a
+/// pre-hashed FlowKey) plus both precomputed bucket indices (the hardware
+/// hashes at packet arrival — descriptors never re-hash downstream).
 struct Descriptor {
     u64 seq = 0;  ///< arrival order, for ordering checks.
-    net::NTuple key;
+    FlowKey key;
     u64 index_a = 0;  ///< bucket index in memory set A (Hash1).
     u64 index_b = 0;  ///< bucket index in memory set B (Hash2).
     u64 digest = 0;   ///< 64-bit digest used for balancing decisions.
     u64 timestamp_ns = 0;
     u32 frame_bytes = 0;
+    /// True when index_a/index_b are the indexer's values for `key` (the
+    /// offer() path); false for synthetic raw-pattern stimuli. Gates whether
+    /// the functional model may reuse them instead of re-hashing.
+    bool hashed_indices = false;
 };
 
 /// One in-flight lookup on one path.
@@ -49,10 +55,15 @@ enum class UpdateKind : u8 { kInsert, kDelete };
 
 struct UpdateRequest {
     UpdateKind kind = UpdateKind::kInsert;
-    net::NTuple key;
+    FlowKey key;
     u64 bucket_index = 0;  ///< target bucket in the owning path's memory.
     u32 way = 0;           ///< slot within the bucket.
     Cycle enqueued_at = 0;
+    /// Delete already applied functionally (and announced to the Req
+    /// Filter). Guards the issue-retry path: a delete whose DDR write was
+    /// rejected by a full controller queue must not re-apply on retry, or
+    /// the filter's pending-update count leaks and parks the bucket forever.
+    bool applied = false;
 };
 
 /// What FID_GEN emits: one completion per descriptor, in retirement order.
@@ -64,7 +75,7 @@ struct Completion {
     Cycle retired_at = 0;   ///< system-clock cycle.
     u64 timestamp_ns = 0;
     u32 frame_bytes = 0;
-    net::NTuple key;
+    FlowKey key;
 };
 
 /// FID encoding: location-derived flow IDs, as the paper's FID_GEN creates

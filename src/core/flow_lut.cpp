@@ -8,12 +8,6 @@ namespace {
 /// Request-id tag bits so read and write completions demultiplex cleanly.
 constexpr u64 kWriteTag = u64{1} << 63;
 
-/// Map key for the in-flight tracker.
-std::string key_string(const net::NTuple& key) {
-    const auto view = key.view();
-    return {reinterpret_cast<const char*>(view.data()), view.size()};
-}
-
 }  // namespace
 
 FlowLut::PathState::PathState(const FlowLutConfig& config, const std::string& name)
@@ -33,20 +27,25 @@ FlowLut::FlowLut(const FlowLutConfig& config)
       paths_{PathState(config, "ddr3-A"), PathState(config, "ddr3-B")},
       rng_(config.hash_seed ^ 0x5e00beefull) {}
 
-bool FlowLut::offer(const net::NTuple& key, u64 timestamp_ns, u32 frame_bytes) {
+bool FlowLut::offer(const FlowKey& key, u64 timestamp_ns, u32 frame_bytes) {
     const auto view = key.view();
-    return offer_raw(key, table_.indexer().index(0, view), table_.indexer().index(1, view),
-                     table_.indexer().digest(0, view), timestamp_ns, frame_bytes);
+    const hash::IndexGenerator& indexer = table_.indexer();
+    // One digest per path; the path-0 digest doubles as the balancing
+    // digest (the hardware computes each hash exactly once per packet).
+    const u64 digest_a = indexer.digest(0, view);
+    const u64 digest_b = indexer.digest(1, view);
+    return offer_prepared(key, indexer.index_of_digest(digest_a),
+                          indexer.index_of_digest(digest_b), digest_a, timestamp_ns,
+                          frame_bytes, /*hashed_indices=*/true);
 }
 
-bool FlowLut::offer_raw(const net::NTuple& key, u64 index_a, u64 index_b, u64 digest,
-                        u64 timestamp_ns, u32 frame_bytes) {
-    ++stats_.offered;
+bool FlowLut::offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 digest,
+                             u64 timestamp_ns, u32 frame_bytes, bool hashed_indices) {
     if (input_full()) {
         ++stats_.rejected_input_full;
-        --stats_.offered;
         return false;
     }
+    ++stats_.offered;
     Descriptor descriptor;
     descriptor.seq = next_seq_++;
     descriptor.key = key;
@@ -55,6 +54,7 @@ bool FlowLut::offer_raw(const net::NTuple& key, u64 index_a, u64 index_b, u64 di
     descriptor.digest = digest;
     descriptor.timestamp_ns = timestamp_ns;
     descriptor.frame_bytes = frame_bytes;
+    descriptor.hashed_indices = hashed_indices;
     stream_time_ns_ = std::max(stream_time_ns_, timestamp_ns);
     input_.push_back(std::move(descriptor));
     return true;
@@ -62,9 +62,7 @@ bool FlowLut::offer_raw(const net::NTuple& key, u64 index_a, u64 index_b, u64 di
 
 std::optional<Completion> FlowLut::pop_completion() {
     if (output_.empty()) return std::nullopt;
-    Completion completion = std::move(output_.front());
-    output_.pop_front();
-    return completion;
+    return output_.pop_front();
 }
 
 Path FlowLut::balance(const Descriptor& descriptor) const {
@@ -111,11 +109,10 @@ void FlowLut::dispatch_inputs(Cycle now) {
         // (the flow-granularity Req Filter waiting list) and resolve when
         // the elder retires — otherwise a younger packet could retire
         // first (paper §IV-A ordering promise).
-        const std::string flow_key = key_string(descriptor.key);
-        if (inflight_keys_.contains(flow_key)) {
-            waiting_room_[flow_key].push_back(std::move(descriptor));
-            ++waiting_now_;
-            input_.pop_front();
+        if (FlowGate* gate = flow_gate_.find(descriptor.key); gate != nullptr) {
+            assert(gate->inflight > 0);
+            park_waiter(*gate, std::move(descriptor));
+            (void)input_.pop_front();
             ++stats_.dispatched;
             continue;
         }
@@ -146,7 +143,7 @@ void FlowLut::dispatch_inputs(Cycle now) {
         path_used[path_index] = true;
         ++stats_.path_dispatch[path_index];
         ++stats_.dispatched;
-        ++inflight_keys_[flow_key];
+        flow_gate_[descriptor.key].inflight = 1;
         LookupJob job;
         job.descriptor = std::move(descriptor);
         job.stage = Stage::kLu1;
@@ -159,18 +156,12 @@ void FlowLut::pump_responses(Path path) {
     PathState& state = paths_[index_of(path)];
     while (auto response = state.controller->pop_response()) {
         if ((response->id & kWriteTag) != 0) {
-            const auto it = state.outstanding_writes.find(response->id);
-            assert(it != state.outstanding_writes.end());
-            const u64 address = it->second;
-            state.outstanding_writes.erase(it);
+            const u64 address = state.outstanding_writes.take(response->id);
             for (LookupJob& job : state.filter.update_retired(address)) {
                 state.ready.push(bank_of(path, address), std::move(job));
             }
         } else {
-            const auto it = state.outstanding_reads.find(response->id);
-            assert(it != state.outstanding_reads.end());
-            LookupJob job = std::move(it->second);
-            state.outstanding_reads.erase(it);
+            LookupJob job = state.outstanding_reads.take(response->id);
             const u64 address = bucket_address(job.bucket_index(path));
             state.filter.read_retired(address);
             state.match_queue.emplace_back(std::move(job), std::move(response->data));
@@ -183,12 +174,12 @@ void FlowLut::run_flow_match(Path path, Cycle now) {
     // The Flow Match comparator handles one bucket per cycle per path
     // (K parallel comparators in hardware).
     if (state.match_queue.empty()) return;
-    auto [job, data] = std::move(state.match_queue.front());
-    state.match_queue.pop_front();
+    auto [job, data] = state.match_queue.pop_front();
 
     const auto way = HashCamTable::match_in_bucket_bytes(data, config_.ways,
                                                          config_.entry_bytes,
                                                          job.descriptor.key.view());
+    state.controller->recycle_buffer(std::move(data));  // decoded; reuse for later reads.
     if (way) {
         const u64 bucket = job.bucket_index(path);
         TableIndex location;
@@ -223,7 +214,10 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
     // this lookup was in flight (its DDR write not yet visible to our read).
     // The functional re-check — in hardware, a comparison against the
     // pending-update list in the Updt block — resolves it.
-    const SearchResult existing = table_.search(key);
+    const Descriptor& d = job.descriptor;
+    const SearchResult existing = d.hashed_indices
+                                      ? table_.search_indexed(key, d.index_a, d.index_b)
+                                      : table_.search(key);
     Completion completion;
     completion.seq = job.descriptor.seq;
     completion.retired_at = now;
@@ -241,7 +235,9 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
     // Genuinely new flow: choose a location, create the entry functionally,
     // emit the FID now (the paper's Mem Updt "output[s] the corresponding
     // location index for that entry"), and schedule the DDR write.
-    auto placement = table_.choose_placement(key);
+    auto placement = d.hashed_indices
+                         ? table_.choose_placement_indexed(key, d.index_a, d.index_b)
+                         : table_.choose_placement(key);
     if (!placement) {
         completion.fid = kInvalidFlowId;
         ++stats_.drops;
@@ -313,9 +309,11 @@ void FlowLut::issue_memory(Path path, Cycle now) {
         if (request.kind == UpdateKind::kDelete && state.filter.delete_blocked(address)) {
             return;  // wait for in-flight reads of this bucket to drain.
         }
-        if (request.kind == UpdateKind::kDelete) {
+        if (request.kind == UpdateKind::kDelete && !request.applied) {
             // Apply the functional erase at issue time so reads accepted
-            // before this instant still matched the old contents.
+            // before this instant still matched the old contents. Applied
+            // exactly once even if the controller rejects the write below
+            // (the retry must not bump the filter's pending count again).
             TableIndex location;
             location.where =
                 path == Path::kA ? TableIndex::Where::kMem1 : TableIndex::Where::kMem2;
@@ -326,16 +324,21 @@ void FlowLut::issue_memory(Path path, Cycle now) {
                 ++stats_.deletes_applied;
             }
             state.filter.update_created(address);
+            request.applied = true;
         }
         dram::MemRequest mem_request;
         mem_request.id = kWriteTag | state.next_request_id++;
         mem_request.is_write = true;
         mem_request.byte_address = address;
         mem_request.bursts = config_.bursts_per_bucket();
-        mem_request.write_data = table_.serialize_bucket(mem_of(path), request.bucket_index);
-        if (state.controller->enqueue(mem_request)) {
-            state.outstanding_writes.emplace(mem_request.id, address);
+        mem_request.write_data = state.controller->take_buffer();
+        table_.serialize_bucket_into(mem_of(path), request.bucket_index, mem_request.write_data);
+        const u64 id = mem_request.id;
+        if (state.controller->enqueue(std::move(mem_request))) {
+            state.outstanding_writes[id] = address;
             state.write_queue.pop_front();
+        } else {
+            --state.next_request_id;  // retry next cycle with the same id.
         }
         return;
     }
@@ -353,7 +356,7 @@ void FlowLut::issue_memory(Path path, Cycle now) {
         auto job = state.ready.pop_rotating();
         assert(job.has_value());
         state.filter.read_issued(address);
-        state.outstanding_reads.emplace(mem_request.id, std::move(*job));
+        state.outstanding_reads[mem_request.id] = std::move(*job);
     }
 }
 
@@ -373,42 +376,74 @@ void FlowLut::housekeeping(Cycle now) {
         const Path owner =
             location->where == TableIndex::Where::kMem1 ? Path::kA : Path::kB;
         PathState& state = paths_[index_of(owner)];
-        if (state.updates.delete_pending(key)) continue;
+        const FlowKey flow_key(record.key);
+        if (state.updates.delete_pending(flow_key)) continue;
         UpdateRequest request;
         request.kind = UpdateKind::kDelete;
-        request.key = record.key;
+        request.key = flow_key;
         request.bucket_index = location->slot / config_.ways;
         request.way = static_cast<u32>(location->slot % config_.ways);
         (void)state.updates.submit(std::move(request), now);
     }
 }
 
+u32 FlowLut::alloc_wait_node() {
+    if (wait_free_ != kNilNode) {
+        const u32 node = wait_free_;
+        wait_free_ = wait_pool_[node].next;
+        return node;
+    }
+    wait_pool_.emplace_back();  // pool grows to high-water mark, then reuses.
+    return static_cast<u32>(wait_pool_.size() - 1);
+}
+
+void FlowLut::free_wait_node(u32 node) {
+    wait_pool_[node].next = wait_free_;
+    wait_free_ = node;
+}
+
+void FlowLut::park_waiter(FlowGate& gate, Descriptor&& descriptor) {
+    const u32 node = alloc_wait_node();
+    wait_pool_[node].descriptor = std::move(descriptor);
+    wait_pool_[node].next = kNilNode;
+    if (gate.waiter_tail != kNilNode) {
+        wait_pool_[gate.waiter_tail].next = node;
+    } else {
+        gate.waiter_head = node;
+    }
+    gate.waiter_tail = node;
+    ++waiting_now_;
+}
+
 void FlowLut::retire_pipelined(Completion completion, Cycle now) {
-    const net::NTuple key = completion.key;
+    const FlowKey key = completion.key;
     retire(std::move(completion));
     release_inflight(key, now);
 }
 
-void FlowLut::release_inflight(const net::NTuple& key, Cycle now) {
-    const std::string flow_key = key_string(key);
-    const auto it = inflight_keys_.find(flow_key);
-    if (it == inflight_keys_.end()) return;
-    if (--it->second > 0) return;
-    inflight_keys_.erase(it);
+void FlowLut::release_inflight(const FlowKey& key, Cycle now) {
+    FlowGate* gate = flow_gate_.find(key);
+    if (gate == nullptr) return;
+    if (--gate->inflight > 0) return;
 
     // Resolve waiters for this flow, oldest first. A waiter whose key now
     // exists retires immediately (after its elder — we are past the elder's
     // retire). If the flow is still absent (elder dropped or was deleted),
     // the waiter enters the pipeline as the new elder and the rest keep
     // waiting on it.
-    const auto room = waiting_room_.find(flow_key);
-    if (room == waiting_room_.end()) return;
-    while (!room->second.empty()) {
-        const SearchResult existing = table_.search(room->second.front().key.view());
+    while (gate->waiter_head != kNilNode) {
+        const u32 node = gate->waiter_head;
+        const Descriptor& waiting = wait_pool_[node].descriptor;
+        const SearchResult existing =
+            waiting.hashed_indices
+                ? table_.search_indexed(waiting.key.view(), waiting.index_a, waiting.index_b)
+                : table_.search(waiting.key.view());
+        Descriptor descriptor = std::move(wait_pool_[node].descriptor);
+        gate->waiter_head = wait_pool_[node].next;
+        if (gate->waiter_head == kNilNode) gate->waiter_tail = kNilNode;
+        free_wait_node(node);
+        --waiting_now_;
         if (existing.hit()) {
-            Descriptor descriptor = std::move(room->second.front());
-            room->second.pop_front();
-            --waiting_now_;
             Completion completion;
             completion.seq = descriptor.seq;
             completion.fid = existing.payload;
@@ -416,26 +451,23 @@ void FlowLut::release_inflight(const net::NTuple& key, Cycle now) {
             completion.retired_at = now;
             completion.timestamp_ns = descriptor.timestamp_ns;
             completion.frame_bytes = descriptor.frame_bytes;
-            completion.key = std::move(descriptor.key);
+            completion.key = descriptor.key;
             retire(std::move(completion));
             continue;
         }
-        Descriptor descriptor = std::move(room->second.front());
-        room->second.pop_front();
-        --waiting_now_;
-        ++inflight_keys_[flow_key];
+        gate->inflight = 1;
         LookupJob job;
         job.descriptor = std::move(descriptor);
         job.stage = Stage::kLu1;
         enqueue_lookup(balance(job.descriptor), std::move(job));
         break;
     }
-    if (room->second.empty()) waiting_room_.erase(room);
+    if (gate->inflight == 0 && gate->waiter_head == kNilNode) flow_gate_.erase(key);
 }
 
 void FlowLut::retire(Completion completion) {
     if (completion.fid != kInvalidFlowId) {
-        flow_state_.on_packet(completion.fid, completion.key, completion.timestamp_ns,
+        flow_state_.on_packet(completion.fid, completion.key.view(), completion.timestamp_ns,
                               completion.frame_bytes);
     }
     ++stats_.completions;
@@ -473,7 +505,33 @@ void FlowLut::step() {
 }
 
 void FlowLut::run(u64 cycles) {
-    for (u64 i = 0; i < cycles; ++i) step();
+    for (u64 i = 0; i < cycles;) {
+        step();
+        ++i;
+        if (const u64 hint = idle_cycles_hint(); hint > 0) {
+            const u64 skipped = std::min<u64>(hint, cycles - i);
+            skip_idle(skipped);
+            i += skipped;
+        }
+    }
+}
+
+u64 FlowLut::idle_cycles_hint() const {
+    // Idle means: no descriptor anywhere in the pipeline, housekeeping
+    // provably quiescent at the current (frozen) stream time, and both
+    // controllers stalled on a known future event. Then every step() until
+    // the earliest controller event only advances clocks.
+    if (!drained()) return 0;
+    if (!flow_state_.expiry_idle(stream_time_ns_)) return 0;
+    u64 hint = ~u64{0};
+    for (const PathState& state : paths_) {
+        // The next step() ticks memory cycles [now_*ratio, now_*ratio+ratio).
+        const Cycle next_mem = now_ * config_.memory_clock_ratio;
+        const Cycle stalled = state.controller->stalled_until();
+        if (stalled <= next_mem) return 0;
+        hint = std::min(hint, (stalled - next_mem) / config_.memory_clock_ratio);
+    }
+    return hint;
 }
 
 bool FlowLut::drained() const {

@@ -28,8 +28,9 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "core/bank_selector.hpp"
 #include "core/blocks.hpp"
@@ -74,19 +75,42 @@ class FlowLut final : public sim::Ticker {
     // ---- Input side ------------------------------------------------------
     /// Offer one packet descriptor; false when the input FIFO is full
     /// (line-side backpressure). Hash indices are computed here, as the
-    /// hardware hashes at packet arrival.
-    [[nodiscard]] bool offer(const net::NTuple& key, u64 timestamp_ns = 0, u32 frame_bytes = 64);
+    /// hardware hashes at packet arrival. The FlowKey overload is the hot
+    /// path: callers that hold a pre-hashed key (the analyzer's packet
+    /// buffer, the scenario runner) avoid re-hashing on every retry.
+    [[nodiscard]] bool offer(const FlowKey& key, u64 timestamp_ns = 0, u32 frame_bytes = 64);
+    [[nodiscard]] bool offer(const net::NTuple& key, u64 timestamp_ns = 0, u32 frame_bytes = 64) {
+        return offer(FlowKey(key), timestamp_ns, frame_bytes);
+    }
 
     /// Offer a raw descriptor with explicit bucket indices — the Table II(A)
     /// "hash pattern" stimulus where the DUT is driven by synthetic hash
     /// sequences instead of real tuples.
+    [[nodiscard]] bool offer_raw(const FlowKey& key, u64 index_a, u64 index_b, u64 digest,
+                                 u64 timestamp_ns = 0, u32 frame_bytes = 64) {
+        return offer_prepared(key, index_a, index_b, digest, timestamp_ns, frame_bytes,
+                              /*hashed_indices=*/false);
+    }
     [[nodiscard]] bool offer_raw(const net::NTuple& key, u64 index_a, u64 index_b, u64 digest,
-                                 u64 timestamp_ns = 0, u32 frame_bytes = 64);
+                                 u64 timestamp_ns = 0, u32 frame_bytes = 64) {
+        return offer_raw(FlowKey(key), index_a, index_b, digest, timestamp_ns, frame_bytes);
+    }
+
+    /// Offer with indices the caller computed from this LUT's own indexer
+    /// (digest = path-0 digest) — behaviorally identical to offer(), but
+    /// lets a buffering front-end hash once at admission and retry under
+    /// backpressure for free.
+    [[nodiscard]] bool offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 digest,
+                                      u64 timestamp_ns, u32 frame_bytes) {
+        return offer_prepared(key, index_a, index_b, digest, timestamp_ns, frame_bytes,
+                              /*hashed_indices=*/true);
+    }
 
     [[nodiscard]] bool input_full() const { return input_.size() >= config_.input_depth; }
 
     // ---- Output side -----------------------------------------------------
     [[nodiscard]] std::optional<Completion> pop_completion();
+    [[nodiscard]] bool completions_pending() const { return !output_.empty(); }
 
     // ---- Clocking --------------------------------------------------------
     /// Advance one system-clock cycle (controllers tick 4x inside).
@@ -98,6 +122,14 @@ class FlowLut final : public sim::Ticker {
 
     void tick(Cycle now) override;  // sim::Ticker (system clock domain)
     [[nodiscard]] std::string name() const override { return "flow-lut"; }
+
+    /// Batched fast-forward (sim::Ticker contract): when the whole pipeline
+    /// is drained, housekeeping proved quiescent and both DDR controllers
+    /// are event-stalled, step()/tick() is a no-op for this many upcoming
+    /// system cycles. skip_idle() advances the clock past them in one call.
+    [[nodiscard]] u64 idle_cycles_hint() const override;
+    void skip_idle(u64 cycles) { now_ += cycles; }
+    void skip(u64 cycles) override { skip_idle(cycles); }
 
     [[nodiscard]] Cycle now() const { return now_; }
     [[nodiscard]] bool drained() const;
@@ -131,15 +163,18 @@ class FlowLut final : public sim::Ticker {
         std::unique_ptr<dram::DramController> controller;
         BankSelector<LookupJob> ready;  ///< bank-ordered lookups (Bank Sel).
         ReqFilter<LookupJob> filter;    ///< Req Filter.
-        std::deque<std::pair<LookupJob, std::vector<u8>>> match_queue;
+        common::RingQueue<std::pair<LookupJob, std::vector<u8>>> match_queue;
         UpdateBlock updates;            ///< Req_Arb + BWr_Gen.
-        std::deque<UpdateRequest> write_queue;  ///< released, awaiting issue.
-        std::unordered_map<u64, LookupJob> outstanding_reads;
-        std::unordered_map<u64, u64> outstanding_writes;  ///< id -> address.
+        common::RingQueue<UpdateRequest> write_queue;  ///< released, awaiting issue.
+        common::FlatU64Map<LookupJob> outstanding_reads;
+        common::FlatU64Map<u64> outstanding_writes;  ///< id -> address.
         u64 next_request_id = 1;
 
         PathState(const FlowLutConfig& config, const std::string& name);
     };
+
+    [[nodiscard]] bool offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 digest,
+                                      u64 timestamp_ns, u32 frame_bytes, bool hashed_indices);
 
     // Pipeline phases, one call each per system cycle.
     void pump_responses(Path path);
@@ -156,7 +191,7 @@ class FlowLut final : public sim::Ticker {
     /// resolve any same-flow packets parked in the waiting room.
     void retire_pipelined(Completion completion, Cycle now);
     /// A pipelined descriptor for `key` left the pipeline; resolve waiters.
-    void release_inflight(const net::NTuple& key, Cycle now);
+    void release_inflight(const FlowKey& key, Cycle now);
     [[nodiscard]] Path balance(const Descriptor& descriptor) const;
     [[nodiscard]] u32 bank_of(Path path, u64 address) const;
     [[nodiscard]] u64 bucket_address(u64 bucket_index) const {
@@ -170,18 +205,37 @@ class FlowLut final : public sim::Ticker {
     HashCamTable table_;
     FlowStateBlock flow_state_;
     PathState paths_[2];
-    std::deque<Descriptor> input_;
-    std::deque<Completion> output_;
-    /// Keys currently inside the lookup pipeline (dispatched, not retired).
-    /// A later packet of a flow with an in-flight elder must not enter the
-    /// pipeline at all: depending on timing it could resolve faster than
-    /// the elder (e.g. its bucket read lands after the elder's insert write
-    /// while the elder is still on its second-lookup detour) and retire out
-    /// of order. Such packets wait per key in `waiting_room_` — the flow-
-    /// granularity instance of the paper's Req Filter "waiting list" — and
-    /// resolve when their elder retires.
-    std::unordered_map<std::string, u32> inflight_keys_;
-    std::unordered_map<std::string, std::deque<Descriptor>> waiting_room_;
+    common::RingQueue<Descriptor> input_;
+    common::RingQueue<Completion> output_;
+    /// Per-flow interlock gate: keys currently inside the lookup pipeline
+    /// (dispatched, not retired) plus their waiting room. A later packet of
+    /// a flow with an in-flight elder must not enter the pipeline at all:
+    /// depending on timing it could resolve faster than the elder (e.g. its
+    /// bucket read lands after the elder's insert write while the elder is
+    /// still on its second-lookup detour) and retire out of order. Such
+    /// packets wait per key — the flow-granularity instance of the paper's
+    /// Req Filter "waiting list" — and resolve when their elder retires.
+    ///
+    /// Waiters live in `wait_pool_`, an index-linked free-list pool, so the
+    /// steady-state dispatch path allocates nothing: the gate table and the
+    /// pool both reuse their high-water storage.
+    static constexpr u32 kNilNode = 0xffffffffu;
+    struct FlowGate {
+        u32 inflight = 0;           ///< elder packets in the pipeline (0 or 1 in practice).
+        u32 waiter_head = kNilNode; ///< oldest parked descriptor.
+        u32 waiter_tail = kNilNode;
+    };
+    struct WaitNode {
+        Descriptor descriptor;
+        u32 next = kNilNode;
+    };
+    [[nodiscard]] u32 alloc_wait_node();
+    void free_wait_node(u32 node);
+    void park_waiter(FlowGate& gate, Descriptor&& descriptor);
+
+    FlowKeyMap<FlowGate> flow_gate_;
+    std::vector<WaitNode> wait_pool_;
+    u32 wait_free_ = kNilNode;
     std::size_t waiting_now_ = 0;
     FlowLutStats stats_;
     Cycle now_ = 0;

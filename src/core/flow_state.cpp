@@ -4,27 +4,36 @@
 
 namespace flowcam::core {
 
-void FlowStateBlock::on_packet(FlowId fid, const net::NTuple& key, u64 timestamp_ns,
+void FlowStateBlock::on_packet(FlowId fid, std::span<const u8> key, u64 timestamp_ns,
                                u32 frame_bytes) {
     auto [it, inserted] = records_.try_emplace(fid);
     FlowRecord& record = it->second;
+    const auto same_key = [&] {
+        const auto held = record.key.view();
+        return held.size() == key.size() &&
+               std::equal(held.begin(), held.end(), key.begin());
+    };
     if (inserted) {
         record.fid = fid;
-        record.key = key;
+        record.key = net::NTuple(key);
         record.first_ns = timestamp_ns;
         scan_ring_.push_back(fid);
-    } else if (!(record.key == key)) {
+    } else if (!same_key()) {
         // The location-derived FID was reused by a different flow after a
         // delete: export the stale record and restart it for the new key.
         if (export_) export_(record);
         record = FlowRecord{};
         record.fid = fid;
-        record.key = key;
+        record.key = net::NTuple(key);
         record.first_ns = timestamp_ns;
     }
     ++record.packets;
     record.bytes += frame_bytes;
     record.last_ns = std::max(record.last_ns, timestamp_ns);
+    // Keep the expiry fast-forward bound conservative even for records
+    // stamped with out-of-order (older) timestamps: nothing may expire
+    // before this record can.
+    scan_skip_below_ns_ = std::min(scan_skip_below_ns_, record.last_ns + timeout_ns_);
 }
 
 void FlowStateBlock::on_deleted(FlowId fid) {
@@ -37,7 +46,7 @@ void FlowStateBlock::on_deleted(FlowId fid) {
 
 std::vector<FlowRecord> FlowStateBlock::scan_expired(u64 now_ns) {
     std::vector<FlowRecord> expired;
-    if (scan_ring_.empty()) return expired;
+    if (scan_ring_.empty() || now_ns < scan_skip_below_ns_) return expired;
     // At most one full pass over the ring per call: an expired record is
     // reported once per call, and again on later calls until it is deleted
     // (the Update block's Req_Arb de-duplicates the resulting Del_reqs).
@@ -46,6 +55,13 @@ std::vector<FlowRecord> FlowStateBlock::scan_expired(u64 now_ns) {
     for (u32 i = 0; i < budget; ++i) {
         if (scan_cursor_ >= scan_ring_.size()) {
             scan_cursor_ = 0;
+            // A full clean pass proves nothing can expire before the oldest
+            // observed activity plus the timeout — skip until then.
+            if (pass_clean_ && pass_min_last_ns_ != ~u64{0}) {
+                scan_skip_below_ns_ = pass_min_last_ns_ + timeout_ns_;
+            }
+            pass_clean_ = true;
+            pass_min_last_ns_ = ~u64{0};
             // Compact the ring occasionally: drop fids without records.
             if (scan_ring_.size() > records_.size() * 2) {
                 std::erase_if(scan_ring_, [&](FlowId fid) { return !records_.contains(fid); });
@@ -55,9 +71,11 @@ std::vector<FlowRecord> FlowStateBlock::scan_expired(u64 now_ns) {
         const FlowId fid = scan_ring_[scan_cursor_++];
         const auto it = records_.find(fid);
         if (it == records_.end()) continue;
+        pass_min_last_ns_ = std::min(pass_min_last_ns_, it->second.last_ns);
         if (now_ns >= it->second.last_ns && now_ns - it->second.last_ns >= timeout_ns_) {
             expired.push_back(it->second);
             ++expired_total_;
+            pass_clean_ = false;
         }
     }
     return expired;

@@ -41,8 +41,13 @@ class FlowStateBlock {
     FlowStateBlock(u64 timeout_ns, u32 scan_per_cycle)
         : timeout_ns_(timeout_ns), scan_per_cycle_(scan_per_cycle) {}
 
-    /// Record a packet for `fid` (creates the record on first sight).
-    void on_packet(FlowId fid, const net::NTuple& key, u64 timestamp_ns, u32 frame_bytes);
+    /// Record a packet for `fid` (creates the record on first sight). The
+    /// span overload is the hot path: the NTuple is materialized only when
+    /// a record is created or restarted.
+    void on_packet(FlowId fid, std::span<const u8> key, u64 timestamp_ns, u32 frame_bytes);
+    void on_packet(FlowId fid, const net::NTuple& key, u64 timestamp_ns, u32 frame_bytes) {
+        on_packet(fid, key.view(), timestamp_ns, frame_bytes);
+    }
 
     /// The flow's entry was removed from the table; drop and export the
     /// record.
@@ -61,6 +66,13 @@ class FlowStateBlock {
     [[nodiscard]] std::size_t active_flows() const { return records_.size(); }
     [[nodiscard]] u64 expired_total() const { return expired_total_; }
 
+    /// True when scan_expired(now_ns) is provably a no-op (no records, or a
+    /// full clean pass established that nothing can expire before stream
+    /// time `now_ns`) — lets the Flow LUT fast-forward idle cycles.
+    [[nodiscard]] bool expiry_idle(u64 now_ns) const {
+        return scan_ring_.empty() || now_ns < scan_skip_below_ns_;
+    }
+
     /// Snapshot of live records (for top-N reports).
     [[nodiscard]] std::vector<FlowRecord> snapshot() const;
 
@@ -72,6 +84,17 @@ class FlowStateBlock {
     std::size_t scan_cursor_ = 0;
     u64 expired_total_ = 0;
     std::function<void(const FlowRecord&)> export_;
+
+    /// Expiry fast-forward: after one full clean ring pass (nothing expired),
+    /// no record can expire before min(last_ns seen) + timeout. Updates only
+    /// raise a record's last_ns, and on_packet() lowers the bound whenever a
+    /// record's last_ns sits below it (covers packets carrying out-of-order
+    /// timestamps), so the bound stays conservative. scan_expired() is then
+    /// O(1) per cycle until stream time reaches the bound; with microsecond
+    /// traces against the 30 s default timeout, that is the whole run.
+    u64 scan_skip_below_ns_ = 0;
+    u64 pass_min_last_ns_ = ~u64{0};
+    bool pass_clean_ = true;
 };
 
 }  // namespace flowcam::core

@@ -19,6 +19,10 @@ HashCamTable::HashCamTable(const FlowLutConfig& config)
 }
 
 SearchResult HashCamTable::search(std::span<const u8> key) {
+    return search_indexed(key, indexer_.index(0, key), indexer_.index(1, key));
+}
+
+SearchResult HashCamTable::search_indexed(std::span<const u8> key, u64 index_a, u64 index_b) {
     ++stats_.lookups;
     // Stage 1: CAM.
     ++stats_.cam_searches;
@@ -32,9 +36,10 @@ SearchResult HashCamTable::search(std::span<const u8> key) {
         return result;
     }
     // Stages 2 and 3: the two memory sets, short-circuit.
+    const u64 indices[2] = {index_a, index_b};
     for (u32 mem = 0; mem < 2; ++mem) {
         ++stats_.bucket_reads;
-        SearchResult result = search_mem(mem, key);
+        SearchResult result = search_mem_at(mem, indices[mem], key);
         if (result.hit()) {
             (mem == 0 ? stage_stats_.mem1_hits : stage_stats_.mem2_hits) += 1;
             ++stats_.hits;
@@ -46,7 +51,11 @@ SearchResult HashCamTable::search(std::span<const u8> key) {
 }
 
 SearchResult HashCamTable::search_mem(u32 mem, std::span<const u8> key) const {
-    const u64 bucket_index = indexer_.index(mem, key);
+    return search_mem_at(mem, indexer_.index(mem, key), key);
+}
+
+SearchResult HashCamTable::search_mem_at(u32 mem, u64 bucket_index,
+                                         std::span<const u8> key) const {
     for (u32 way = 0; way < config_.ways; ++way) {
         const u64 slot = slot_of(bucket_index, way);
         const table::Entry& entry = entry_at(mem, slot);
@@ -80,7 +89,13 @@ std::optional<u64> HashCamTable::lookup(std::span<const u8> key) {
 }
 
 Result<TableIndex> HashCamTable::choose_placement(std::span<const u8> key) const {
-    const u64 idx[2] = {indexer_.index(0, key), indexer_.index(1, key)};
+    return choose_placement_indexed(key, indexer_.index(0, key), indexer_.index(1, key));
+}
+
+Result<TableIndex> HashCamTable::choose_placement_indexed(std::span<const u8> key, u64 index_a,
+                                                          u64 index_b) const {
+    (void)key;
+    const u64 idx[2] = {index_a, index_b};
 
     const auto first_free_way = [&](u32 mem) -> std::optional<u32> {
         for (u32 way = 0; way < config_.ways; ++way) {
@@ -192,15 +207,21 @@ std::optional<TableIndex> HashCamTable::locate(std::span<const u8> key) const {
 }
 
 std::vector<u8> HashCamTable::serialize_bucket(u32 mem, u64 bucket_index) const {
-    std::vector<u8> bytes(config_.bucket_bytes(), 0);
+    std::vector<u8> bytes;
+    serialize_bucket_into(mem, bucket_index, bytes);
+    return bytes;
+}
+
+void HashCamTable::serialize_bucket_into(u32 mem, u64 bucket_index,
+                                         std::vector<u8>& out) const {
+    out.assign(config_.bucket_bytes(), 0);
     for (u32 way = 0; way < config_.ways; ++way) {
         const table::Entry& entry = entry_at(mem, slot_of(bucket_index, way));
-        u8* cell = bytes.data() + static_cast<std::size_t>(way) * config_.entry_bytes;
+        u8* cell = out.data() + static_cast<std::size_t>(way) * config_.entry_bytes;
         if (!entry.valid) continue;
         cell[0] = static_cast<u8>(1u | (entry.key_length << 1));
         std::copy_n(entry.key.begin(), entry.key_length, cell + kEntryHeaderBytes);
     }
-    return bytes;
 }
 
 std::optional<u32> HashCamTable::match_in_bucket_bytes(std::span<const u8> bucket_bytes,

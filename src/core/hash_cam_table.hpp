@@ -53,8 +53,16 @@ class HashCamTable final : public table::LookupTable {
     /// Full three-stage search with stage/location detail.
     [[nodiscard]] SearchResult search(std::span<const u8> key);
 
+    /// search() with the caller's precomputed bucket indices — valid only
+    /// when they equal the indexer's values for `key` (the timed engine's
+    /// descriptors carry them from packet arrival, so the functional
+    /// re-check after an LU2 miss does not re-hash).
+    [[nodiscard]] SearchResult search_indexed(std::span<const u8> key, u64 index_a, u64 index_b);
+
     /// Search only one memory set (one path's Flow Match does exactly this).
     [[nodiscard]] SearchResult search_mem(u32 mem, std::span<const u8> key) const;
+    [[nodiscard]] SearchResult search_mem_at(u32 mem, u64 bucket_index,
+                                             std::span<const u8> key) const;
 
     /// CAM-only search (the sequencer's stage-1 check).
     [[nodiscard]] std::optional<SearchResult> search_cam(std::span<const u8> key);
@@ -62,6 +70,10 @@ class HashCamTable final : public table::LookupTable {
     /// Decide where a new key would be stored, without storing it:
     /// Mem1/Mem2 bucket way per the insert policy, CAM as last resort.
     [[nodiscard]] Result<TableIndex> choose_placement(std::span<const u8> key) const;
+    /// choose_placement() with precomputed bucket indices (same contract as
+    /// search_indexed).
+    [[nodiscard]] Result<TableIndex> choose_placement_indexed(std::span<const u8> key,
+                                                              u64 index_a, u64 index_b) const;
 
     /// Write `key`->`payload` at a previously chosen location.
     Status insert_at(TableIndex location, std::span<const u8> key, u64 payload);
@@ -75,6 +87,9 @@ class HashCamTable final : public table::LookupTable {
     // --- DDR mirroring helpers --------------------------------------------
     /// Serialized bytes of one bucket (what the hardware stores in DDR).
     [[nodiscard]] std::vector<u8> serialize_bucket(u32 mem, u64 bucket_index) const;
+    /// Same, into a caller-provided buffer (the hot write path recycles
+    /// payload buffers through the controller pool).
+    void serialize_bucket_into(u32 mem, u64 bucket_index, std::vector<u8>& out) const;
 
     /// Compare a key against raw bucket bytes read back from DDR; returns
     /// the matching way. This is the Flow Match comparator and is

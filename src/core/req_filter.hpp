@@ -38,6 +38,7 @@ class ReqFilter {
     void park(u64 addr, Job job) {
         state_[addr].parked.push_back(std::move(job));
         ++parked_total_;
+        ++parked_now_;
     }
 
     /// An update write targeting `addr` was created (insert decision or
@@ -53,12 +54,13 @@ class ReqFilter {
         std::vector<Job> released;
         if (it->second.pending_updates == 0) {
             released.reserve(it->second.parked.size());
+            parked_now_ -= it->second.parked.size();
             while (!it->second.parked.empty()) {
                 released.push_back(std::move(it->second.parked.front()));
                 it->second.parked.pop_front();
             }
         }
-        erase_if_idle(it);
+        reclaim_if_crowded(it);
         return released;
     }
 
@@ -68,7 +70,7 @@ class ReqFilter {
         const auto it = state_.find(addr);
         if (it == state_.end()) return;
         if (it->second.inflight_reads > 0) --it->second.inflight_reads;
-        erase_if_idle(it);
+        reclaim_if_crowded(it);
     }
 
     /// True if a *delete* write to `addr` must wait (reads in flight).
@@ -78,12 +80,22 @@ class ReqFilter {
     }
 
     [[nodiscard]] u64 parked_total() const { return parked_total_; }
-    [[nodiscard]] std::size_t tracked_addresses() const { return state_.size(); }
-    [[nodiscard]] std::size_t parked_now() const {
+    /// Addresses with live filter state. Idle nodes are retained (and
+    /// reused on the next touch — no per-read allocation churn) but do not
+    /// count as tracked.
+    [[nodiscard]] std::size_t tracked_addresses() const {
         std::size_t count = 0;
-        for (const auto& [addr, entry] : state_) count += entry.parked.size();
+        for (const auto& [addr, entry] : state_) {
+            if (entry.pending_updates != 0 || entry.inflight_reads != 0 ||
+                !entry.parked.empty()) {
+                ++count;
+            }
+        }
         return count;
     }
+    /// Currently parked jobs — O(1), it gates the engine's idle detection
+    /// every cycle.
+    [[nodiscard]] std::size_t parked_now() const { return parked_now_; }
 
   private:
     struct AddrState {
@@ -92,7 +104,15 @@ class ReqFilter {
         std::deque<Job> parked;
     };
 
-    void erase_if_idle(typename std::unordered_map<u64, AddrState>::iterator it) {
+    /// Idle entries are normally retained so the per-address node (and its
+    /// parked deque's storage) is reused on the next touch — no per-read
+    /// allocation churn. Retention is bounded: past this many entries,
+    /// idle nodes are reclaimed again (large-table configs sweep millions
+    /// of distinct bucket addresses).
+    static constexpr std::size_t kMaxRetainedAddresses = 4096;
+
+    void reclaim_if_crowded(typename std::unordered_map<u64, AddrState>::iterator it) {
+        if (state_.size() <= kMaxRetainedAddresses) return;
         if (it->second.pending_updates == 0 && it->second.inflight_reads == 0 &&
             it->second.parked.empty()) {
             state_.erase(it);
@@ -101,6 +121,7 @@ class ReqFilter {
 
     std::unordered_map<u64, AddrState> state_;
     u64 parked_total_ = 0;
+    std::size_t parked_now_ = 0;
 };
 
 }  // namespace flowcam::core

@@ -6,12 +6,11 @@ bool UpdateBlock::submit(UpdateRequest request, Cycle now) {
     if (!can_accept()) return false;
     auto& pending =
         request.kind == UpdateKind::kInsert ? pending_inserts_ : pending_deletes_;
-    const std::string key = key_of(request.key.view());
-    if (pending.contains(key)) {
+    if (pending.find(request.key) != nullptr) {
         ++stats_.duplicates_merged;
         return true;  // merged into the already-queued request.
     }
-    pending.insert(key);
+    pending[request.key] = 1;
     if (request.kind == UpdateKind::kInsert) {
         ++stats_.inserts_accepted;
     } else {
@@ -34,11 +33,10 @@ std::vector<UpdateRequest> UpdateBlock::release(Cycle now) {
     const std::size_t take = std::min<std::size_t>(queue_.size(), burst_threshold_);
     batch.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-        UpdateRequest request = std::move(queue_.front());
-        queue_.pop_front();
+        UpdateRequest request = queue_.pop_front();
         auto& pending =
             request.kind == UpdateKind::kInsert ? pending_inserts_ : pending_deletes_;
-        pending.erase(key_of(request.key.view()));
+        pending.erase(request.key);
         batch.push_back(std::move(request));
     }
     ++stats_.bursts_released;

@@ -13,13 +13,12 @@
 // write bursts, exploiting the Fig. 3 bandwidth curve.
 #pragma once
 
-#include <deque>
-#include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 #include "core/blocks.hpp"
+#include "core/flow_key.hpp"
 
 namespace flowcam::core {
 
@@ -56,24 +55,25 @@ class UpdateBlock {
     [[nodiscard]] std::vector<UpdateRequest> release(Cycle now);
 
     /// True if a delete for this key is already queued (housekeeping guard).
+    [[nodiscard]] bool delete_pending(const FlowKey& key) const {
+        return pending_deletes_.find(key) != nullptr;
+    }
     [[nodiscard]] bool delete_pending(std::span<const u8> key) const {
-        return pending_deletes_.contains(key_of(key));
+        return delete_pending(FlowKey(key));
     }
 
     [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
     [[nodiscard]] const UpdateBlockStats& stats() const { return stats_; }
 
   private:
-    [[nodiscard]] static std::string key_of(std::span<const u8> key) {
-        return std::string(reinterpret_cast<const char*>(key.data()), key.size());
-    }
-
     u32 burst_threshold_;
     Cycle timeout_;
     std::size_t depth_;
-    std::deque<UpdateRequest> queue_;
-    std::unordered_set<std::string> pending_inserts_;
-    std::unordered_set<std::string> pending_deletes_;
+    common::RingQueue<UpdateRequest> queue_;
+    /// Pending keys per kind (sets: the u8 value is unused) — the Req_Arb
+    /// duplicate filter, now alloc-free per request.
+    FlowKeyMap<u8> pending_inserts_;
+    FlowKeyMap<u8> pending_deletes_;
     UpdateBlockStats stats_;
 };
 

@@ -17,27 +17,36 @@ Cycle after(bool ever, Cycle base, u64 delta, Cycle now) {
 TimingChecker::TimingChecker(const DramTimings& timings, const Geometry& geometry)
     : timings_(timings), geometry_(geometry), banks_(geometry.banks) {}
 
-bool TimingChecker::row_open(u32 bank, u32 row) const {
-    const BankState& state = banks_.at(bank);
-    return state.active && state.row == row;
-}
-
-Cycle TimingChecker::act_earliest(u32 bank, Cycle now) const {
+Cycle TimingChecker::act_bank_earliest(u32 bank, Cycle now) const {
     const BankState& b = banks_[bank];
     Cycle t = now;
     t = after(b.ever_pre, b.last_pre, timings_.trp, t);
     t = after(b.ever_act, b.last_act, timings_.trc, t);
+    return t;
+}
+
+Cycle TimingChecker::act_rank_earliest(Cycle now) const {
+    Cycle t = now;
     // tRRD against the most recent ACT on any bank.
-    if (!act_history_.empty()) {
-        t = std::max(t, act_history_.back() + timings_.trrd);
+    if (act_count() > 0) {
+        t = std::max(t, act_at(act_count() - 1) + timings_.trrd);
     }
     // tFAW: at most 4 ACTs in any tFAW window -> the 4th-previous ACT gates.
-    if (act_history_.size() >= 4) {
-        t = std::max(t, act_history_[act_history_.size() - 4] + timings_.tfaw);
+    if (act_count() >= 4) {
+        t = std::max(t, act_at(act_count() - 4) + timings_.tfaw);
     }
     // tRFC after refresh.
     t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
     return t;
+}
+
+Cycle TimingChecker::act_earliest(u32 bank, Cycle now) const {
+    return std::max(act_bank_earliest(bank, now), act_rank_earliest(now));
+}
+
+Cycle TimingChecker::rcd_earliest(u32 bank, Cycle now) const {
+    const BankState& b = banks_[bank];
+    return after(b.ever_act, b.last_act, timings_.trcd, now);
 }
 
 Cycle TimingChecker::pre_earliest(u32 bank, Cycle now) const {
@@ -118,11 +127,11 @@ Status TimingChecker::record(const Command& cmd, Cycle cycle) {
             if (b.active) return fail("bank-already-active (missing PRE)");
             if (cycle < act_earliest(cmd.bank, cycle)) return fail("tRP/tRC/tRRD/tFAW/tRFC");
             b.active = true;
+            ++active_bank_count_;
             b.row = cmd.row;
             b.last_act = cycle;
             b.ever_act = true;
-            act_history_.push_back(cycle);
-            if (act_history_.size() > 8) act_history_.pop_front();
+            push_act(cycle);
             return Status::ok();
         }
         case CommandType::kPrecharge: {
@@ -130,6 +139,7 @@ Status TimingChecker::record(const Command& cmd, Cycle cycle) {
             if (!b.active) return Status::ok();  // PRE on idle bank is a legal NOP.
             if (cycle < pre_earliest(cmd.bank, cycle)) return fail("tRAS/tRTP/tWR");
             b.active = false;
+            --active_bank_count_;
             b.last_pre = cycle;
             b.ever_pre = true;
             return Status::ok();

@@ -11,7 +11,6 @@
 // row state per bank, and DQ-bus occupancy (one burst at a time).
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "common/result.hpp"
@@ -28,15 +27,41 @@ class TimingChecker {
     /// Earliest cycle >= `now` at which `cmd` may legally issue.
     [[nodiscard]] Cycle earliest_issue(const Command& cmd, Cycle now) const;
 
+    // Split constraint views for the scheduler's pass gates: the rank-wide
+    // part is shared by every candidate of a pass, so one blocked answer
+    // skips the whole queue scan; only the cheap bank-local part is then
+    // evaluated per entry. Each pair composes to exactly earliest_issue.
+    /// Rank-wide RD gate: tCCD / write-to-read / tRFC.
+    [[nodiscard]] Cycle read_rank_earliest(Cycle now) const { return read_earliest(now); }
+    /// Rank-wide WR gate: tCCD / read-to-write / tRFC.
+    [[nodiscard]] Cycle write_rank_earliest(Cycle now) const { return write_earliest(now); }
+    /// Bank-local RD/WR gate: tRCD after the bank's ACT.
+    [[nodiscard]] Cycle rcd_earliest(u32 bank, Cycle now) const;
+    /// Rank-wide ACT gate: tRRD / tFAW / tRFC.
+    [[nodiscard]] Cycle act_rank_earliest(Cycle now) const;
+    /// Bank-local ACT gate: tRP / tRC.
+    [[nodiscard]] Cycle act_bank_earliest(u32 bank, Cycle now) const;
+
     /// Validate and record a command issued at `cycle`. Returns a non-ok
     /// Status naming the violated constraint if the command is illegal
     /// (state is not updated in that case).
     Status record(const Command& cmd, Cycle cycle);
 
-    /// True iff `bank` has `row` open.
-    [[nodiscard]] bool row_open(u32 bank, u32 row) const;
+    /// True iff `bank` has `row` open. Inline: the scheduler probes it for
+    /// every queue entry every evaluated cycle.
+    [[nodiscard]] bool row_open(u32 bank, u32 row) const {
+        const BankState& state = banks_[bank];
+        return state.active && state.row == row;
+    }
     [[nodiscard]] bool bank_active(u32 bank) const { return banks_[bank].active; }
-    [[nodiscard]] i64 open_row(u32 bank) const { return banks_[bank].active ? banks_[bank].row : -1; }
+    /// Banks currently holding an open row — maintained incrementally so the
+    /// scheduler's pass gates are O(1).
+    [[nodiscard]] u32 active_bank_count() const { return active_bank_count_; }
+    /// Open row of `bank`, or -1 when the bank is idle. (The ternary must
+    /// not unify to u32: -1 would silently become 0xFFFFFFFF.)
+    [[nodiscard]] i64 open_row(u32 bank) const {
+        return banks_[bank].active ? static_cast<i64>(banks_[bank].row) : i64{-1};
+    }
 
     /// DQ-bus busy cycles accumulated so far (read+write bursts).
     [[nodiscard]] u64 dq_busy_cycles() const { return dq_busy_; }
@@ -77,10 +102,29 @@ class TimingChecker {
     bool ever_write_ = false;
     Cycle last_refresh_ = 0;
     bool ever_refresh_ = false;
-    std::deque<Cycle> act_history_;  ///< for the tFAW window (last 4 ACTs).
+
+    /// Last up-to-8 ACT times for the tRRD/tFAW windows — a fixed ring, so
+    /// recording a command never touches the heap.
+    static constexpr u32 kActHistory = 8;
+    [[nodiscard]] u32 act_count() const { return act_count_; }
+    [[nodiscard]] Cycle act_at(u32 index_from_oldest) const {
+        return act_history_[(act_head_ + index_from_oldest) % kActHistory];
+    }
+    void push_act(Cycle cycle) {
+        act_history_[(act_head_ + act_count_) % kActHistory] = cycle;
+        if (act_count_ < kActHistory) {
+            ++act_count_;
+        } else {
+            act_head_ = (act_head_ + 1) % kActHistory;
+        }
+    }
+    Cycle act_history_[kActHistory] = {};
+    u32 act_head_ = 0;
+    u32 act_count_ = 0;
 
     u64 dq_busy_ = 0;
     Cycle dq_end_ = 0;
+    u32 active_bank_count_ = 0;
 };
 
 }  // namespace flowcam::dram

@@ -1,6 +1,7 @@
 #include "dram/controller.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace flowcam::dram {
@@ -15,38 +16,74 @@ DramController::DramController(std::string name, const DramTimings& timings,
       map_(geometry, timings.burst_length, config.map_policy, config.interleave_bytes),
       next_refresh_(timings.trefi) {}
 
-bool DramController::enqueue(const MemRequest& request) {
+bool DramController::enqueue(MemRequest request) {
     auto& queue = request.is_write ? writes_ : reads_;
     const std::size_t depth =
         request.is_write ? config_.write_queue_depth : config_.read_queue_depth;
-    if (queue.size() >= depth) return false;
+    if (queue.size() >= depth) {
+        // Caller retries next cycle with a fresh payload; keep the buffer.
+        if (request.is_write) recycle_buffer(std::move(request.write_data));
+        return false;
+    }
 
+    const bool is_write = request.is_write;
     Pending pending;
-    pending.request = request;
     pending.location = map_.decode(request.byte_address);
     pending.accepted_at = now_;
-    queue.push_back(std::move(pending));
-    if (request.is_write) {
+    pending.request = std::move(request);
+    Ref ref;
+    ref.row = pending.location.row;
+    ref.bank = static_cast<u8>(pending.location.bank);
+    ref.slot = alloc_slot(std::move(pending));
+    queue.push_back(ref);
+    if (ref.bank < wanted_count_.size() && checker_.row_open(ref.bank, ref.row)) {
+        ++wanted_count_[ref.bank];
+    }
+    if (is_write) {
         ++stats_.writes_accepted;
     } else {
         ++stats_.reads_accepted;
     }
+    if (stall_until_ > now_ + 1) {
+        // Tighten the stall by the newcomer's own earliest opportunity; the
+        // other entries' candidates are unchanged by an enqueue (a new
+        // request can block a pass-3 precharge, never enable anything).
+        const Cycle candidate = entry_candidate(ref, is_write, now_);
+        stall_until_ = std::min(stall_until_, std::max(candidate, now_ + 1));
+    }
     return true;
+}
+
+Cycle DramController::entry_candidate(const Ref& ref, bool is_write, Cycle now) const {
+    if (checker_.row_open(ref.bank, ref.row)) {
+        const Cycle rank =
+            is_write ? checker_.write_rank_earliest(now) : checker_.read_rank_earliest(now);
+        return std::max(rank, checker_.rcd_earliest(ref.bank, now));
+    }
+    if (!checker_.bank_active(ref.bank)) {
+        return std::max(checker_.act_rank_earliest(now),
+                        checker_.act_bank_earliest(ref.bank, now));
+    }
+    return checker_.earliest_issue(Command{CommandType::kPrecharge, ref.bank, 0, 0}, now);
 }
 
 std::optional<MemResponse> DramController::pop_response() {
     if (responses_.empty()) return std::nullopt;
-    MemResponse response = std::move(responses_.front());
-    responses_.pop_front();
-    return response;
+    return responses_.pop_front();
 }
 
 void DramController::issue(const Command& cmd, Cycle now) {
     const Status status = checker_.record(cmd, now);
     if (!status.is_ok() && protocol_status_.is_ok()) protocol_status_ = status;
     switch (cmd.type) {
-        case CommandType::kActivate: ++stats_.activates; break;
-        case CommandType::kPrecharge: ++stats_.precharges; break;
+        case CommandType::kActivate:
+            ++stats_.activates;
+            if (cmd.bank < wanted_count_.size()) recount_wanted(cmd.bank, cmd.row);
+            break;
+        case CommandType::kPrecharge:
+            ++stats_.precharges;
+            if (cmd.bank < wanted_count_.size()) wanted_count_[cmd.bank] = 0;
+            break;
         case CommandType::kRefresh: ++stats_.refreshes; break;
         default: break;
     }
@@ -54,27 +91,36 @@ void DramController::issue(const Command& cmd, Cycle now) {
 
 bool DramController::try_refresh(Cycle now) {
     if (!config_.refresh_enabled) return false;
-    if (!refresh_pending_ && now >= next_refresh_) refresh_pending_ = true;
-    if (!refresh_pending_) return false;
+    if (!refresh_pending_) {
+        if (now < next_refresh_) {
+            note_candidate(next_refresh_);
+            return false;
+        }
+        refresh_pending_ = true;
+    }
 
     // Precharge any open bank first (one command per cycle).
     for (u32 bank = 0; bank < checker_.geometry().banks; ++bank) {
         if (checker_.bank_active(bank)) {
             const Command pre{CommandType::kPrecharge, bank, 0, 0};
-            if (checker_.earliest_issue(pre, now) <= now) {
+            const Cycle earliest = checker_.earliest_issue(pre, now);
+            if (earliest <= now) {
                 issue(pre, now);
                 return true;
             }
-            return false;  // wait for tRAS/tWR to elapse.
+            note_candidate(earliest);  // wait for tRAS/tWR to elapse.
+            return false;
         }
     }
     const Command ref{CommandType::kRefresh, 0, 0, 0};
-    if (checker_.earliest_issue(ref, now) <= now) {
+    const Cycle earliest = checker_.earliest_issue(ref, now);
+    if (earliest <= now) {
         issue(ref, now);
         refresh_pending_ = false;
         next_refresh_ += timings_.trefi;
         return true;
     }
+    note_candidate(earliest);
     return false;
 }
 
@@ -82,7 +128,7 @@ bool DramController::drain_writes_now(Cycle now) const {
     if (writes_.empty()) return false;
     if (write_drain_mode_) return true;
     if (writes_.size() >= config_.write_drain_high) return true;
-    if (now >= writes_.front().accepted_at + config_.write_age_limit) return true;
+    if (now >= slots_[writes_.front().slot].accepted_at + config_.write_age_limit) return true;
     return reads_.empty();
 }
 
@@ -93,9 +139,11 @@ void DramController::complete(Pending&& pending, Cycle data_end, Cycle now) {
     response.accepted_at = pending.accepted_at;
     if (pending.request.is_write) {
         device_.write(pending.request.byte_address, pending.request.write_data);
+        recycle_buffer(std::move(pending.request.write_data));
         ++stats_.writes_completed;
     } else {
-        response.data = device_.read(pending.request.byte_address, pending.request.bursts);
+        response.data = take_buffer();
+        device_.read_into(pending.request.byte_address, pending.request.bursts, response.data);
         ++stats_.reads_completed;
         stats_.read_latency.add(static_cast<double>(data_end - pending.accepted_at));
     }
@@ -104,73 +152,115 @@ void DramController::complete(Pending&& pending, Cycle data_end, Cycle now) {
     (void)now;
 }
 
-bool DramController::schedule_queue(std::deque<Pending>& queue, bool is_write, Cycle now) {
+bool DramController::schedule_queue(std::vector<Ref>& queue, bool is_write, Cycle now) {
     if (queue.empty()) return false;
-    const auto column_of = [&](const Pending& p, u32 burst) {
-        return p.location.col + burst * timings_.burst_length;
-    };
+
+    const u32 banks = checker_.geometry().banks;
+    const u32 active_banks = checker_.active_bank_count();
 
     // Pass 1 (first-ready): oldest request whose row is open and whose next
-    // RD/WR may issue this cycle.
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (!checker_.row_open(it->location.bank, it->location.row)) continue;
-        const auto type = is_write ? CommandType::kWrite : CommandType::kRead;
-        const Command cmd{type, it->location.bank, it->location.row,
-                          column_of(*it, it->issued_bursts)};
-        if (checker_.earliest_issue(cmd, now) > now) continue;
+    // RD/WR may issue this cycle. The rank-wide gate (tCCD / turnaround /
+    // tRFC) is shared by every candidate: when it blocks, skip the scan.
+    const Cycle rank_ready =
+        is_write ? checker_.write_rank_earliest(now) : checker_.read_rank_earliest(now);
+    if (rank_ready > now) {
+        note_candidate(rank_ready);
+    } else if (active_banks != 0) {
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const Ref ref = queue[i];
+            if (!checker_.row_open(ref.bank, ref.row)) continue;
+            if (const Cycle earliest = checker_.rcd_earliest(ref.bank, now); earliest > now) {
+                note_candidate(earliest);
+                continue;
+            }
+            Pending& pending = slots_[ref.slot];
+            const auto type = is_write ? CommandType::kWrite : CommandType::kRead;
+            const Command cmd{type, ref.bank, ref.row,
+                              pending.location.col + pending.issued_bursts * timings_.burst_length};
 
-        if (is_write != last_was_write_) {
-            ++stats_.rw_turnarounds;
-            last_was_write_ = is_write;
+            if (is_write != last_was_write_) {
+                ++stats_.rw_turnarounds;
+                last_was_write_ = is_write;
+            }
+            if (!pending.classified) {
+                ++stats_.row_hits;
+                pending.classified = true;
+            }
+            issue(cmd, now);
+            ++pending.issued_bursts;
+            if (pending.issued_bursts == pending.request.bursts) {
+                const Cycle latency = is_write ? timings_.cwl : timings_.cl;
+                const Cycle data_end = now + latency + timings_.burst_cycles();
+                complete(std::move(pending), data_end, now);
+                free_slot(ref.slot);
+                queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+                if (ref.bank < wanted_count_.size()) {
+                    --wanted_count_[ref.bank];  // it wanted the open row (pass-1 criterion).
+                }
+            }
+            return true;
         }
-        if (!it->classified) {
-            ++stats_.row_hits;
-            it->classified = true;
-        }
-        issue(cmd, now);
-        ++it->issued_bursts;
-        if (it->issued_bursts == it->request.bursts) {
-            const Cycle latency = is_write ? timings_.cwl : timings_.cl;
-            const Cycle data_end = now + latency + timings_.burst_cycles();
-            complete(std::move(*it), data_end, now);
-            queue.erase(it);
-        }
-        return true;
     }
 
-    // Pass 2: oldest request whose bank is idle -> ACT.
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (checker_.bank_active(it->location.bank)) continue;
-        const Command act{CommandType::kActivate, it->location.bank, it->location.row, 0};
-        if (checker_.earliest_issue(act, now) > now) continue;
-        if (!it->classified) {
-            ++stats_.row_misses;
-            it->classified = true;
+    // Pass 2: oldest request whose bank is idle -> ACT. tRRD/tFAW/tRFC are
+    // rank-wide (one blocked answer covers every candidate), and with all
+    // banks active there is no candidate at all — the steady-state case.
+    const Cycle act_rank = checker_.act_rank_earliest(now);
+    if (act_rank > now) {
+        note_candidate(act_rank);
+    } else if (active_banks < banks) {
+        for (const Ref& ref : queue) {
+            if (checker_.bank_active(ref.bank)) continue;
+            if (const Cycle earliest = checker_.act_bank_earliest(ref.bank, now);
+                earliest > now) {
+                note_candidate(earliest);
+                continue;
+            }
+            const Command act{CommandType::kActivate, ref.bank, ref.row, 0};
+            Pending& pending = slots_[ref.slot];
+            if (!pending.classified) {
+                ++stats_.row_misses;
+                pending.classified = true;
+            }
+            issue(act, now);
+            return true;
         }
-        issue(act, now);
-        return true;
     }
 
     // Pass 3: oldest request blocked by a conflicting open row -> PRE.
-    for (auto it = queue.begin(); it != queue.end(); ++it) {
-        const u32 bank = it->location.bank;
-        if (!checker_.bank_active(bank) || checker_.row_open(bank, it->location.row)) continue;
-        // Do not close a row that an older request in either queue still
-        // wants (keep the hit streak alive).
-        const auto wants_open_row = [&](const std::deque<Pending>& other) {
-            return std::any_of(other.begin(), other.end(), [&](const Pending& p) {
-                return p.location.bank == bank &&
-                       static_cast<i64>(p.location.row) == checker_.open_row(bank);
-            });
-        };
-        if (wants_open_row(reads_) || wants_open_row(writes_)) continue;
+    // `wants_cache` memoizes the per-bank "an older request still wants the
+    // open row" answer (turning the nested any_of into once-per-bank work),
+    // and `pre_cache` the per-bank precharge bound — both are functions of
+    // bank state only, constant across the scan.
+    if (active_banks == 0) return false;  // no open row to conflict with.
+    std::array<Cycle, 16> pre_cache;
+    pre_cache.fill(kNever);
+    for (const Ref& ref : queue) {
+        const u32 bank = ref.bank;
+        if (!checker_.bank_active(bank) || checker_.row_open(bank, ref.row)) continue;
+        // Do not close a row that a request in either queue still wants
+        // (keep the hit streak alive) — wanted_count_ is maintained
+        // incrementally (see recount_wanted()); banks beyond its window
+        // (none in DDR3/DDR4 geometries) fall back to a direct scan.
+        if (bank < wanted_count_.size() ? wanted_count_[bank] != 0
+                                        : open_row_wanted(bank)) {
+            continue;
+        }
         const Command pre{CommandType::kPrecharge, bank, 0, 0};
-        if (checker_.earliest_issue(pre, now) > now) continue;
-        if (!it->classified) {
+        Cycle pre_uncached = kNever;
+        Cycle& earliest =
+            bank < pre_cache.size() ? pre_cache[bank] : pre_uncached;
+        if (earliest == kNever) earliest = checker_.earliest_issue(pre, now);
+        if (earliest > now) {
+            note_candidate(earliest);
+            continue;
+        }
+        Pending& pending = slots_[ref.slot];
+        if (!pending.classified) {
             ++stats_.row_conflicts;
             // Not marking classified: the follow-up ACT counts it as a miss
             // only if still unclassified — so mark here to count once.
-            it->classified = true;
+            pending.classified = true;
         }
         issue(pre, now);
         return true;
@@ -179,13 +269,24 @@ bool DramController::schedule_queue(std::deque<Pending>& queue, bool is_write, C
 }
 
 void DramController::tick(Cycle now) {
-    now_ = now;
+    // Event skip: every cycle in [stall_until_ computation, stall_until_)
+    // was proven to be a no-op — no response matures, no refresh comes due,
+    // and no queued command's earliest_issue arrives. enqueue() resets the
+    // stall, so external stimulus always re-evaluates. The resulting command
+    // stream is cycle-identical to ticking every cycle (asserted by the
+    // DRAM pattern tests and the timed-vs-functional property test).
+    now_ = now;  // before the stall check: enqueue() timestamps off now_.
+    if (now < stall_until_) return;
+    stall_until_ = 0;
+    next_event_ = kNever;
+
     // Deliver matured completions (data fully transferred).
     for (auto it = in_flight_.begin(); it != in_flight_.end();) {
         if (it->ready_at <= now) {
             responses_.push_back(std::move(it->response));
             it = in_flight_.erase(it);
         } else {
+            note_candidate(it->ready_at);
             ++it;
         }
     }
@@ -197,19 +298,24 @@ void DramController::tick(Cycle now) {
     if (write_drain_mode_) {
         if (writes_.size() <= config_.write_drain_low) write_drain_mode_ = false;
     } else if (writes_.size() >= config_.write_drain_high ||
-               (!writes_.empty() && now >= writes_.front().accepted_at + config_.write_age_limit)) {
+               (!writes_.empty() &&
+                now >= slots_[writes_.front().slot].accepted_at + config_.write_age_limit)) {
         write_drain_mode_ = true;
+    }
+    if (!write_drain_mode_ && !writes_.empty()) {
+        // Crossing the age limit flips the phase even with no other event.
+        note_candidate(slots_[writes_.front().slot].accepted_at + config_.write_age_limit);
     }
 
     const bool write_phase = drain_writes_now(now);
+    bool issued;
     if (write_phase) {
-        if (schedule_queue(writes_, true, now)) return;
         // Opportunistically serve reads when no write can issue this cycle.
-        (void)schedule_queue(reads_, false, now);
+        issued = schedule_queue(writes_, true, now) || schedule_queue(reads_, false, now);
     } else {
-        if (schedule_queue(reads_, false, now)) return;
-        (void)schedule_queue(writes_, true, now);
+        issued = schedule_queue(reads_, false, now) || schedule_queue(writes_, true, now);
     }
+    if (!issued) stall_until_ = next_event_;
 }
 
 }  // namespace flowcam::dram

@@ -14,13 +14,14 @@
 // simulation bug and aborts via Status surfaced to the caller.
 #pragma once
 
-#include <deque>
+#include <array>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 #include "dram/checker.hpp"
 #include "dram/command.hpp"
@@ -85,14 +86,31 @@ class DramController final : public sim::Ticker {
 
     /// Offer a request. Returns false when the corresponding queue is full
     /// (caller must retry — hardware "ready" deasserted).
-    [[nodiscard]] bool enqueue(const MemRequest& request);
+    [[nodiscard]] bool enqueue(MemRequest request);
 
     /// Pop one completion if available.
     [[nodiscard]] std::optional<MemResponse> pop_response();
 
+    /// Response/write payload buffer pool: the consumer hands buffers back
+    /// via recycle_buffer() once decoded, and take_buffer() reuses them for
+    /// later requests — the steady-state data path then never allocates.
+    [[nodiscard]] std::vector<u8> take_buffer() {
+        if (spare_buffers_.empty()) return {};
+        std::vector<u8> buffer = std::move(spare_buffers_.back());
+        spare_buffers_.pop_back();
+        buffer.clear();
+        return buffer;
+    }
+    void recycle_buffer(std::vector<u8>&& buffer) {
+        if (spare_buffers_.size() < 512) spare_buffers_.push_back(std::move(buffer));
+    }
+
     [[nodiscard]] bool idle() const {
         return reads_.empty() && writes_.empty() && in_flight_.empty() && responses_.empty();
     }
+    /// Memory cycle before which tick() is a proven no-op (see stall_until_);
+    /// feeds the system-level batched fast-forward.
+    [[nodiscard]] Cycle stalled_until() const { return stall_until_; }
     [[nodiscard]] std::size_t read_queue_size() const { return reads_.size(); }
     [[nodiscard]] std::size_t write_queue_size() const { return writes_.size(); }
 
@@ -123,6 +141,17 @@ class DramController final : public sim::Ticker {
         bool classified = false; ///< row hit/miss/conflict already counted.
     };
 
+    /// Hot scan record: exactly what the FR-FCFS passes test per entry,
+    /// packed to 8 bytes so scanning a full 32-deep queue touches four
+    /// cache lines instead of one per entry. `slot` indexes the cold
+    /// Pending pool; erase is an 8-byte-per-entry memmove, not a Pending
+    /// move.
+    struct Ref {
+        u32 row = 0;
+        u16 slot = 0;
+        u8 bank = 0;
+    };
+
     struct InFlight {
         MemResponse response;
         Cycle ready_at = 0;
@@ -133,8 +162,57 @@ class DramController final : public sim::Ticker {
     [[nodiscard]] bool drain_writes_now(Cycle now) const;
     /// Pick and issue at most one command for the given queue; returns true
     /// if a command was issued.
-    bool schedule_queue(std::deque<Pending>& queue, bool is_write, Cycle now);
+    bool schedule_queue(std::vector<Ref>& queue, bool is_write, Cycle now);
     void complete(Pending&& pending, Cycle data_end, Cycle now);
+
+    /// Per-bank count of queued requests that target the bank's currently
+    /// open row — pass 3 must not close a row these still want. Maintained
+    /// incrementally: +1 on enqueue-to-open-row, -1 on completion, recount
+    /// on ACT (row changes), reset on PRE (no open row left).
+    void recount_wanted(u32 bank, u32 row) {
+        u32 count = 0;
+        for (const Ref& r : reads_) count += (r.bank == bank && r.row == row) ? 1 : 0;
+        for (const Ref& r : writes_) count += (r.bank == bank && r.row == row) ? 1 : 0;
+        wanted_count_[bank] = count;
+    }
+    /// Direct-scan fallback for banks outside the wanted_count_ window.
+    [[nodiscard]] bool open_row_wanted(u32 bank) const {
+        const i64 open = checker_.open_row(bank);
+        const auto wants = [&](const std::vector<Ref>& q) {
+            for (const Ref& r : q) {
+                if (r.bank == bank && static_cast<i64>(r.row) == open) return true;
+            }
+            return false;
+        };
+        return wants(reads_) || wants(writes_);
+    }
+
+    [[nodiscard]] u16 alloc_slot(Pending&& pending) {
+        if (free_slots_.empty()) {
+            slots_.push_back(std::move(pending));
+            return static_cast<u16>(slots_.size() - 1);
+        }
+        const u16 slot = free_slots_.back();
+        free_slots_.pop_back();
+        slots_[slot] = std::move(pending);
+        return slot;
+    }
+    void free_slot(u16 slot) { free_slots_.push_back(slot); }
+
+    /// Event-skip bookkeeping: a cycle at which the controller may next be
+    /// able to act. Collected while a tick fails to issue anything; tick()
+    /// early-returns until the earliest such cycle. Exact, not heuristic:
+    /// every candidate is the precise earliest_issue of a considered command
+    /// (or a response maturity / refresh deadline / write-age threshold), so
+    /// the command stream is cycle-identical to the unskipped simulation.
+    void note_candidate(Cycle cycle) { next_event_ = std::min(next_event_, cycle); }
+    static constexpr Cycle kNever = ~Cycle{0};
+
+    /// Earliest cycle at which `pending` could possibly issue any command,
+    /// given current bank/rank state — used by enqueue() to tighten (not
+    /// reset) an active stall: an arriving request can only add its own
+    /// opportunity, never accelerate anyone else's.
+    [[nodiscard]] Cycle entry_candidate(const Ref& ref, bool is_write, Cycle now) const;
 
     std::string name_;
     DramTimings timings_;
@@ -143,16 +221,25 @@ class DramController final : public sim::Ticker {
     DramDevice device_;
     AddressMap map_;
 
-    std::deque<Pending> reads_;
-    std::deque<Pending> writes_;
+    /// Contiguous pending queues in FIFO order (hot Refs) over a slot pool
+    /// of cold Pendings: depth is bounded (≤ 32 each) and the scheduler
+    /// scans the Refs every evaluated cycle.
+    std::vector<Ref> reads_;
+    std::vector<Ref> writes_;
+    std::vector<Pending> slots_;
+    std::vector<u16> free_slots_;
     std::vector<InFlight> in_flight_;
-    std::deque<MemResponse> responses_;
+    common::RingQueue<MemResponse> responses_;
+    std::vector<std::vector<u8>> spare_buffers_;
 
     bool write_drain_mode_ = false;
     bool refresh_pending_ = false;
     Cycle next_refresh_ = 0;
     bool last_was_write_ = false;
     Cycle now_ = 0;  ///< last ticked memory cycle (for enqueue timestamps).
+    Cycle stall_until_ = 0;   ///< tick() is a provable no-op before this cycle.
+    Cycle next_event_ = kNever;  ///< candidate accumulator for the current tick.
+    std::array<u32, 32> wanted_count_{};  ///< see recount_wanted().
 
     ControllerStats stats_;
     Status protocol_status_;

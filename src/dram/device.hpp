@@ -1,8 +1,16 @@
-// Functional DRAM array: sparse byte storage addressed in burst units.
-// Timing lives in TimingChecker / DramController; this class only stores
-// bits, so tests can verify data integrity end-to-end through the scheduler.
+// Functional DRAM array: sparse page-granular byte storage addressed in
+// burst units. Timing lives in TimingChecker / DramController; this class
+// only stores bits, so tests can verify data integrity end-to-end through
+// the scheduler.
+//
+// Storage is organized as zero-initialized 4 KB pages (one hash-map entry
+// per page instead of one heap vector per 32-byte burst): a bucket read is
+// one page lookup plus one memcpy, and read_into() lets the controller
+// recycle response buffers, keeping the steady-state lookup path free of
+// per-request allocation.
 #pragma once
 
+#include <cstring>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +22,8 @@ namespace flowcam::dram {
 
 class DramDevice {
   public:
+    static constexpr u64 kPageBytes = 4096;
+
     DramDevice(const Geometry& geometry, u32 burst_length)
         : geometry_(geometry), burst_bytes_(geometry.bus_bytes * burst_length) {}
 
@@ -21,42 +31,60 @@ class DramDevice {
     [[nodiscard]] const Geometry& geometry() const { return geometry_; }
 
     /// Read `count` consecutive bursts starting at the burst containing
-    /// `byte_address`. Unwritten memory reads as zero, as after init.
+    /// `byte_address` into `out` (resized; prior capacity is reused).
+    /// Unwritten memory reads as zero, as after init.
+    void read_into(u64 byte_address, u32 count, std::vector<u8>& out) const {
+        const std::size_t total = static_cast<std::size_t>(count) * burst_bytes_;
+        out.resize(total);
+        u64 address = (byte_address / burst_bytes_) * burst_bytes_;
+        std::size_t offset = 0;
+        while (offset < total) {
+            const std::size_t in_page = address % kPageBytes;
+            const std::size_t chunk =
+                std::min<std::size_t>(kPageBytes - in_page, total - offset);
+            const auto it = pages_.find(address / kPageBytes);
+            if (it != pages_.end()) {
+                std::memcpy(out.data() + offset, it->second.data() + in_page, chunk);
+            } else {
+                std::memset(out.data() + offset, 0, chunk);
+            }
+            offset += chunk;
+            address += chunk;
+        }
+    }
+
     [[nodiscard]] std::vector<u8> read(u64 byte_address, u32 count = 1) const {
         std::vector<u8> out;
-        out.reserve(static_cast<std::size_t>(count) * burst_bytes_);
-        const u64 first = byte_address / burst_bytes_;
-        for (u64 burst = first; burst < first + count; ++burst) {
-            const auto it = storage_.find(burst);
-            if (it != storage_.end()) {
-                out.insert(out.end(), it->second.begin(), it->second.end());
-            } else {
-                out.insert(out.end(), burst_bytes_, 0);
-            }
-        }
+        read_into(byte_address, count, out);
         return out;
     }
 
-    /// Write bytes starting at a burst-aligned address; data shorter than a
-    /// multiple of the burst size is zero-padded (models data-mask bits off).
+    /// Write bytes starting at a burst-aligned address (partial trailing
+    /// bursts leave the remainder of the burst untouched, matching DM bits).
     void write(u64 byte_address, std::span<const u8> data) {
-        const u64 first = byte_address / burst_bytes_;
+        u64 address = (byte_address / burst_bytes_) * burst_bytes_;
         std::size_t offset = 0;
-        for (u64 burst = first; offset < data.size(); ++burst) {
-            auto& cell = storage_[burst];
-            cell.resize(burst_bytes_, 0);
-            const std::size_t chunk = std::min<std::size_t>(burst_bytes_, data.size() - offset);
-            std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(offset), chunk, cell.begin());
+        while (offset < data.size()) {
+            const std::size_t in_page = address % kPageBytes;
+            const std::size_t chunk =
+                std::min<std::size_t>(kPageBytes - in_page, data.size() - offset);
+            auto [it, created] = pages_.try_emplace(address / kPageBytes);
+            if (created) it->second.assign(kPageBytes, 0);
+            std::memcpy(it->second.data() + in_page, data.data() + offset, chunk);
             offset += chunk;
+            address += chunk;
         }
     }
 
-    [[nodiscard]] std::size_t touched_bursts() const { return storage_.size(); }
+    /// Footprint at page granularity (bursts covered by touched pages).
+    [[nodiscard]] std::size_t touched_bursts() const {
+        return pages_.size() * (kPageBytes / burst_bytes_);
+    }
 
   private:
     Geometry geometry_;
     u32 burst_bytes_;
-    std::unordered_map<u64, std::vector<u8>> storage_;
+    std::unordered_map<u64, std::vector<u8>> pages_;
 };
 
 }  // namespace flowcam::dram

@@ -39,7 +39,13 @@ class IndexGenerator {
     /// Bucket index on `path`: XOR-fold of the digest down to index width,
     /// then clamp to the bucket count (identity when count is a power of 2).
     [[nodiscard]] u64 index(u32 path, std::span<const u8> key) const {
-        return xor_fold(digest(path, key), index_bits_) % buckets_;
+        return index_of_digest(digest(path, key));
+    }
+
+    /// Same reduction for a digest the caller already computed — lets the
+    /// hot offer path hash each key exactly once per hash function.
+    [[nodiscard]] u64 index_of_digest(u64 digest_value) const {
+        return xor_fold(digest_value, index_bits_) % buckets_;
     }
 
     /// All per-path indices at once, as the hardware computes them in

@@ -9,6 +9,7 @@
 // (consumer-facing) domain.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -26,8 +27,18 @@ class Engine {
         blocks_.push_back(Entry{&ticker, ticks_per_cycle});
     }
 
-    /// Register a commit hook (normally Fifo<T>::commit) run after all ticks.
-    void add_commit(std::function<void()> hook) { commits_.push_back(std::move(hook)); }
+    /// Register a commit hook (normally Fifo<T>::commit) run after all
+    /// ticks. Hooks are stored as a plain (object, function) pair — one
+    /// indirect call per cycle, no std::function dispatch on the hot loop.
+    template <auto Method, typename T>
+    void add_commit(T& object) {
+        commits_.push_back(CommitHook{
+            &object, [](void* o) { (static_cast<T*>(o)->*Method)(); }});
+    }
+    /// C-style registration for contexts that are not member functions.
+    void add_commit(void* context, void (*hook)(void*)) {
+        commits_.push_back(CommitHook{context, hook});
+    }
 
     /// Execute one system-clock cycle.
     void step() {
@@ -36,21 +47,30 @@ class Engine {
                 entry.ticker->tick(now_ * entry.ticks_per_cycle + sub);
             }
         }
-        for (auto& hook : commits_) hook();
+        for (auto& hook : commits_) hook.fn(hook.object);
         ++now_;
     }
 
-    /// Run `cycles` system-clock cycles.
+    /// Run `cycles` system-clock cycles (idle stretches fast-forwarded).
     void run(u64 cycles) {
-        for (u64 i = 0; i < cycles; ++i) step();
+        for (u64 i = 0; i < cycles;) {
+            step();
+            ++i;
+            i += fast_forward(cycles - i);
+        }
     }
 
     /// Run until `done()` returns true or the cycle budget is exhausted.
-    /// Returns true if the predicate fired.
+    /// Returns true if the predicate fired. When every block reports idle
+    /// cycles ahead (idle_cycles_hint), they are skipped in one jump — by
+    /// contract the skipped ticks are no-ops, so `done()` cannot change
+    /// during the jump and the outcome is cycle-identical.
     bool run_until(const std::function<bool()>& done, u64 max_cycles) {
-        for (u64 i = 0; i < max_cycles; ++i) {
+        for (u64 i = 0; i < max_cycles;) {
             if (done()) return true;
             step();
+            ++i;
+            i += fast_forward(max_cycles - i);
         }
         return done();
     }
@@ -62,8 +82,28 @@ class Engine {
         Ticker* ticker;
         u32 ticks_per_cycle;
     };
+    struct CommitHook {
+        void* object;
+        void (*fn)(void*);
+    };
+
+    /// Skip up to `budget` provably idle cycles; returns how many.
+    u64 fast_forward(u64 budget) {
+        if (budget == 0 || blocks_.empty()) return 0;
+        // Commit hooks have no idleness contract; never skip past them.
+        if (!commits_.empty()) return 0;
+        u64 skip = budget;
+        for (const auto& entry : blocks_) {
+            skip = std::min(skip, entry.ticker->idle_cycles_hint());
+            if (skip == 0) return 0;
+        }
+        for (const auto& entry : blocks_) entry.ticker->skip(skip);
+        now_ += skip;
+        return skip;
+    }
+
     std::vector<Entry> blocks_;
-    std::vector<std::function<void()>> commits_;
+    std::vector<CommitHook> commits_;
     Cycle now_ = 0;
 };
 

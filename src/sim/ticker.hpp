@@ -20,6 +20,18 @@ class Ticker {
 
     /// Stable block name for diagnostics and statistics dumps.
     [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Batched fast-forward contract: the number of upcoming *system*
+    /// cycles for which this block's tick is provably a no-op (0 = busy).
+    /// When every registered block reports N > 0, the engine may skip
+    /// min(N) cycles in one call instead of ticking through them; blocks
+    /// with internal clocks are told via skip(). Implementations must be
+    /// exact — a skipped cycle must change nothing but the clock — so the
+    /// fast-forwarded simulation stays cycle-identical.
+    [[nodiscard]] virtual u64 idle_cycles_hint() const { return 0; }
+
+    /// `cycles` system cycles were skipped (only ever ≤ idle_cycles_hint()).
+    virtual void skip(u64 cycles) { (void)cycles; }
 };
 
 }  // namespace flowcam::sim

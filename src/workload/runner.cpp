@@ -28,6 +28,7 @@ class SourceTicker final : public sim::Ticker {
           metrics_(metrics) {}
 
     void tick(Cycle now) override {
+        last_now_ = now;
         if (done()) return;
         if (!pending_ && now % cycles_per_packet_ != 0) return;
         if (!pending_) {
@@ -46,6 +47,14 @@ class SourceTicker final : public sim::Ticker {
 
     [[nodiscard]] std::string name() const override { return "scenario-source"; }
 
+    [[nodiscard]] u64 idle_cycles_hint() const override {
+        if (done()) return ~u64{0};  // exhausted: idle forever.
+        if (pending_) return 0;      // retrying a backpressured packet.
+        // No-op until the next offer slot of the input-rate divider.
+        const Cycle next = last_now_ + 1;
+        return (cycles_per_packet_ - (next % cycles_per_packet_)) % cycles_per_packet_;
+    }
+
     [[nodiscard]] bool done() const { return metrics_.packets >= budget_; }
 
     void finalize() {
@@ -61,6 +70,7 @@ class SourceTicker final : public sim::Ticker {
     ScenarioMetrics& metrics_;
     net::PacketRecord record_;
     bool pending_ = false;
+    Cycle last_now_ = 0;
     std::unordered_set<u64> flows_;
     u64 first_ns_ = 0;
     u64 last_ns_ = 0;
@@ -74,6 +84,8 @@ class AnalyzerTicker final : public sim::Ticker {
     explicit AnalyzerTicker(analyzer::TrafficAnalyzer& analyzer) : analyzer_(analyzer) {}
     void tick(Cycle /*now*/) override { analyzer_.step(); }
     [[nodiscard]] std::string name() const override { return "traffic-analyzer"; }
+    [[nodiscard]] u64 idle_cycles_hint() const override { return analyzer_.idle_cycles_hint(); }
+    void skip(u64 cycles) override { analyzer_.skip_idle(cycles); }
 
   private:
     analyzer::TrafficAnalyzer& analyzer_;

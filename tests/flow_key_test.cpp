@@ -1,0 +1,214 @@
+// FlowKey / FlowKeyMap unit tests plus per-flow ordering-interlock
+// regressions through the timed Flow LUT — specifically with keys that
+// collide in the low bits of the FlowKey hash (the open-addressed gate
+// table's probe bits), IPv4 and IPv6, so interlock state for one flow can
+// never bleed into a colliding neighbor.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "core/flow_key.hpp"
+#include "core/flow_lut.hpp"
+#include "net/ipv6.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::core {
+namespace {
+
+FlowKey key_of(u64 flow) {
+    return FlowKey(net::NTuple::from_five_tuple(net::synth_tuple(flow, 0x5EED)));
+}
+
+net::SixTuple v6_tuple(u64 flow) {
+    net::SixTuple tuple;
+    tuple.src_ip = net::Ipv6Address::from_words(0x20010db8ull << 16 | flow, flow * 7 + 1);
+    tuple.dst_ip = net::Ipv6Address::from_words(0x20010db8ull << 16 | 0xFFFF, 0x2);
+    tuple.src_port = static_cast<u16>(1024 + flow % 50000);
+    tuple.dst_port = 443;
+    tuple.protocol = net::kProtoTcp;
+    return tuple;
+}
+
+FlowKey v6_key_of(u64 flow) { return FlowKey(v6_tuple(flow).to_ntuple()); }
+
+/// First pair of distinct flows (from `make_key`) whose hashes collide in
+/// the low `bits` bits — the probe bits of a 2^bits-slot open table.
+template <typename MakeKey>
+std::pair<u64, u64> colliding_pair(const MakeKey& make_key, u32 bits) {
+    const u64 mask = (u64{1} << bits) - 1;
+    std::map<u64, u64> seen;  // masked hash -> flow index
+    for (u64 flow = 0;; ++flow) {
+        const FlowKey key = make_key(flow);
+        const auto [it, inserted] = seen.emplace(key.hash & mask, flow);
+        if (!inserted) return {it->second, flow};
+    }
+}
+
+TEST(FlowKeyTest, EqualKeysEqualHashes) {
+    const FlowKey a = key_of(7);
+    const FlowKey b = key_of(7);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_NE(a, key_of(8));
+}
+
+TEST(FlowKeyTest, PaddingDoesNotLeakBetweenKeys) {
+    // A long key written into the register, then a shorter one: the shorter
+    // key's hash/equality must not see the longer key's tail bytes.
+    const FlowKey long_key = v6_key_of(1);   // 37 bytes
+    const FlowKey short_key = key_of(1);     // 13 bytes
+    FlowKey reused = long_key;
+    reused = short_key;
+    EXPECT_EQ(reused, short_key);
+    EXPECT_EQ(reused.hash, short_key.hash);
+}
+
+TEST(FlowKeyTest, ViewRoundtripsTuple) {
+    const auto tuple = net::synth_tuple(42, 1);
+    const FlowKey key(net::NTuple::from_five_tuple(tuple));
+    EXPECT_EQ(net::FiveTuple::from_key_bytes(key.view()), tuple);
+}
+
+TEST(FlowKeyMapTest, InsertFindErase) {
+    FlowKeyMap<u32> map;
+    map[key_of(1)] = 10;
+    map[key_of(2)] = 20;
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(key_of(1)), nullptr);
+    EXPECT_EQ(*map.find(key_of(1)), 10u);
+    EXPECT_EQ(map.find(key_of(3)), nullptr);
+    EXPECT_TRUE(map.erase(key_of(1)));
+    EXPECT_FALSE(map.erase(key_of(1)));
+    EXPECT_EQ(map.find(key_of(1)), nullptr);
+    EXPECT_EQ(*map.find(key_of(2)), 20u);
+}
+
+TEST(FlowKeyMapTest, CollidingKeysStayDistinct) {
+    const auto [a, b] = colliding_pair(key_of, 6);  // initial capacity is 64.
+    FlowKeyMap<u32> map;
+    map[key_of(a)] = 1;
+    map[key_of(b)] = 2;
+    EXPECT_EQ(*map.find(key_of(a)), 1u);
+    EXPECT_EQ(*map.find(key_of(b)), 2u);
+    // Erase the first probe occupant; the collided key must stay reachable
+    // across the tombstone.
+    EXPECT_TRUE(map.erase(key_of(a)));
+    EXPECT_EQ(*map.find(key_of(b)), 2u);
+    map[key_of(a)] = 3;  // tombstone slot reused.
+    EXPECT_EQ(*map.find(key_of(a)), 3u);
+    EXPECT_EQ(*map.find(key_of(b)), 2u);
+}
+
+TEST(FlowKeyMapTest, ChurnWithTombstonesKeepsAllLiveKeys) {
+    FlowKeyMap<u64> map;
+    for (u64 round = 0; round < 2000; ++round) {
+        map[key_of(round)] = round;
+        if (round >= 8) EXPECT_TRUE(map.erase(key_of(round - 8)));
+        for (u64 live = round >= 7 ? round - 7 : 0; live <= round; ++live) {
+            ASSERT_NE(map.find(key_of(live)), nullptr) << "round " << round;
+            EXPECT_EQ(*map.find(key_of(live)), live);
+        }
+    }
+}
+
+TEST(FlowKeyMapTest, GrowthPreservesEntries) {
+    FlowKeyMap<u64> map(2);
+    for (u64 flow = 0; flow < 500; ++flow) map[key_of(flow)] = flow * 3;
+    EXPECT_EQ(map.size(), 500u);
+    for (u64 flow = 0; flow < 500; ++flow) {
+        ASSERT_NE(map.find(key_of(flow)), nullptr);
+        EXPECT_EQ(*map.find(key_of(flow)), flow * 3);
+    }
+}
+
+TEST(FlatU64MapTest, InsertTakeErase) {
+    common::FlatU64Map<u64> map;
+    map[5] = 50;
+    map[6] = 60;
+    EXPECT_EQ(map.take(5), 50u);
+    EXPECT_EQ(map.find(5), nullptr);
+    EXPECT_EQ(*map.find(6), 60u);
+    map[5] = 55;
+    EXPECT_EQ(*map.find(5), 55u);
+}
+
+TEST(FlatU64MapTest, SequentialIdChurn) {
+    common::FlatU64Map<u64> map;
+    for (u64 id = 1; id <= 5000; ++id) {
+        map[id] = id;
+        if (id > 16) EXPECT_EQ(map.take(id - 16), id - 16);
+    }
+    for (u64 id = 5000 - 15; id <= 5000; ++id) EXPECT_EQ(*map.find(id), id);
+}
+
+// ---- Ordering interlock through the timed Flow LUT -------------------------
+
+FlowLutConfig small_config() {
+    FlowLutConfig config;
+    config.buckets_per_mem = 1 << 10;
+    config.cam_capacity = 64;
+    return config;
+}
+
+/// Offer interleaved packets of `flows` (every cycle, saturating the input)
+/// and assert that each flow's completions retire in offer order with one
+/// stable FID per flow — the §IV-A ordering promise, which the per-flow
+/// interlock gate must uphold even when the flows' hashes collide in the
+/// gate table's probe bits.
+void check_interlock_ordering(const std::vector<FlowKey>& flows) {
+    FlowLut lut(small_config());
+    constexpr u64 kPacketsPerFlow = 200;
+    std::vector<u64> offered_per_flow(flows.size(), 0);
+    u64 offered = 0;
+    u64 ts = 1;
+    while (offered < kPacketsPerFlow * flows.size()) {
+        const std::size_t which = offered % flows.size();
+        if (lut.offer(flows[which], ts, 64)) {
+            ++offered;
+            ++offered_per_flow[which];
+            ts += 3;
+        }
+        lut.step();
+    }
+    ASSERT_TRUE(lut.drain());
+
+    // seq is global offer order; per flow, completions must come back in
+    // strictly increasing seq with a single FID after the first retire.
+    std::map<std::string, std::pair<u64, FlowId>> last_per_flow;  // key -> (seq, fid)
+    u64 completions = 0;
+    while (const auto completion = lut.pop_completion()) {
+        ++completions;
+        const auto view = completion->key.view();
+        std::string key(reinterpret_cast<const char*>(view.data()), view.size());
+        const auto it = last_per_flow.find(key);
+        if (it == last_per_flow.end()) {
+            ASSERT_NE(completion->fid, kInvalidFlowId);
+            last_per_flow.emplace(key, std::make_pair(completion->seq, completion->fid));
+            continue;
+        }
+        EXPECT_GT(completion->seq, it->second.first) << "flow retired out of order";
+        EXPECT_EQ(completion->fid, it->second.second) << "flow changed FID mid-stream";
+        it->second.first = completion->seq;
+    }
+    EXPECT_EQ(completions, kPacketsPerFlow * flows.size());
+    EXPECT_EQ(last_per_flow.size(), flows.size());
+}
+
+TEST(FlowLutInterlockTest, OrderingHeldForIpv4KeysCollidingInLowHashBits) {
+    const auto [a, b] = colliding_pair(key_of, 8);
+    check_interlock_ordering({key_of(a), key_of(b)});
+}
+
+TEST(FlowLutInterlockTest, OrderingHeldForIpv6KeysCollidingInLowHashBits) {
+    const auto [a, b] = colliding_pair(v6_key_of, 8);
+    check_interlock_ordering({v6_key_of(a), v6_key_of(b)});
+}
+
+TEST(FlowLutInterlockTest, OrderingHeldForMixedIpv4AndIpv6) {
+    check_interlock_ordering({key_of(1), v6_key_of(1), key_of(2), v6_key_of(2)});
+}
+
+}  // namespace
+}  // namespace flowcam::core

@@ -31,7 +31,8 @@ FlowLutConfig small_config() {
     return config;
 }
 
-std::string key_string(const net::NTuple& key) {
+template <typename KeyLike>  // net::NTuple or core::FlowKey
+std::string key_string(const KeyLike& key) {
     const auto view = key.view();
     return {reinterpret_cast<const char*>(view.data()), view.size()};
 }
@@ -349,6 +350,43 @@ TEST(FlowLutTest, FidEncodesActualLocation) {
     const auto actual = lut.table().locate(completion->key.view());
     ASSERT_TRUE(actual.has_value());
     EXPECT_EQ(location, *actual);
+}
+
+TEST(FlowLutTest, DeleteRetryUnderFullWriteQueueDoesNotWedgeBuckets) {
+    // Regression: a delete whose DDR write is rejected by a full controller
+    // write queue retries next cycle; the functional erase and the Req
+    // Filter's pending-update count must be applied exactly once, or the
+    // bucket's pending count leaks and every later lookup to that address
+    // parks forever (drain never completes).
+    FlowLutConfig config = small_config();
+    config.controller.write_queue_depth = 1;  // force enqueue rejections.
+    config.burst_write_threshold = 4;         // deletes released in bursts.
+    config.burst_write_timeout = 8;
+    config.flow_timeout_ns = 1'000;           // expire almost immediately.
+    FlowLut lut(config);
+
+    constexpr u64 kFlows = 64;
+    for (u64 flow = 0; flow < kFlows; ++flow) {
+        while (!lut.offer(key_of(flow), 10 + flow, 64)) lut.step();
+    }
+    ASSERT_TRUE(lut.drain());
+
+    // Advance stream time far past the timeout; housekeeping turns every
+    // flow into a Del_req and the write path churns through the deletes.
+    ASSERT_TRUE(lut.offer(key_of(9999), 1'000'000, 64));
+    ASSERT_TRUE(lut.drain(2'000'000));
+    lut.run(50'000);  // let housekeeping scan + deletes drain.
+    ASSERT_TRUE(lut.drain(2'000'000));
+    EXPECT_GT(lut.stats().deletes_applied, 0u);
+
+    // Re-offer the deleted flows: every bucket must still accept lookups.
+    for (u64 flow = 0; flow < kFlows; ++flow) {
+        while (!lut.offer(key_of(flow), 2'000'000 + flow, 64)) lut.step();
+    }
+    ASSERT_TRUE(lut.drain(2'000'000)) << "a bucket stayed parked after delete retries";
+    u64 completions = 0;
+    while (lut.pop_completion()) ++completions;
+    EXPECT_EQ(completions, 2 * kFlows + 1);
 }
 
 }  // namespace

@@ -146,9 +146,56 @@ TEST(EngineTest, FastClockDomainTicksNTimes) {
 TEST(EngineTest, CommitHooksRunEachCycle) {
     Engine engine;
     int commits = 0;
-    engine.add_commit([&] { ++commits; });
+    engine.add_commit(&commits, [](void* counter) { ++*static_cast<int*>(counter); });
     engine.run(5);
     EXPECT_EQ(commits, 5);
+}
+
+TEST(EngineTest, MemberCommitHookRuns) {
+    Engine engine;
+    Fifo<int> fifo(4);
+    engine.add_commit<&Fifo<int>::commit>(fifo);
+    ASSERT_TRUE(fifo.push(7));
+    EXPECT_TRUE(fifo.empty());  // staged only; visible after the cycle.
+    engine.run(1);
+    EXPECT_EQ(fifo.size(), 1u);
+}
+
+namespace {
+
+/// Ticker that is only busy every `period` cycles — exercises the engine's
+/// batched fast-forward (idle_cycles_hint/skip contract).
+class PeriodicTicker final : public Ticker {
+  public:
+    explicit PeriodicTicker(Cycle period) : period_(period) {}
+    void tick(Cycle now) override {
+        last_now_ = now;
+        ++ticks;
+        if (now % period_ == 0) ++busy_ticks;
+    }
+    [[nodiscard]] std::string name() const override { return "periodic"; }
+    [[nodiscard]] u64 idle_cycles_hint() const override {
+        const Cycle next = last_now_ + 1;
+        return (period_ - (next % period_)) % period_;
+    }
+    void skip(u64 cycles) override { last_now_ += cycles; }
+
+    Cycle period_;
+    Cycle last_now_ = 0;
+    u64 ticks = 0;
+    u64 busy_ticks = 0;
+};
+
+}  // namespace
+
+TEST(EngineTest, FastForwardSkipsProvablyIdleCycles) {
+    Engine engine;
+    PeriodicTicker ticker(10);
+    engine.add(ticker);
+    engine.run(100);
+    EXPECT_EQ(engine.now(), 100u);       // time still advances fully...
+    EXPECT_EQ(ticker.busy_ticks, 10u);   // ...every busy cycle was executed...
+    EXPECT_EQ(ticker.ticks, 10u);        // ...and only the busy ones ticked.
 }
 
 TEST(EngineTest, RunUntilStopsEarly) {

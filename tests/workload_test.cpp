@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "workload/registry.hpp"
 #include "workload/runner.hpp"
 #include "workload/scenarios.hpp"
@@ -306,6 +308,31 @@ TEST(ScenarioRunnerTest, PortScanRaisesScanEvent) {
     const auto result = runner.run("port_scan", scenario_config);
     ASSERT_TRUE(result.has_value());
     EXPECT_GE(result.value().events_port_scan, 1u);
+}
+
+TEST(ScenarioRunnerTest, ParallelSweepIsByteIdenticalToSerial) {
+    // The parallel sweep (one engine + Flow LUT per scenario, merged in
+    // catalogue order) must produce exactly the output of a serial run —
+    // this is what makes bench_scenarios' table and JSONL stream stable
+    // under --jobs.
+    const std::vector<std::string> names = builtin_registry().names();
+    const auto sweep = [&](std::size_t jobs) {
+        std::vector<std::string> rendered(names.size());
+        common::ThreadPool::parallel_for_indexed(names.size(), jobs, [&](std::size_t i) {
+            ScenarioRunner runner(small_runner());
+            const auto result = runner.run(names[i], small_config());
+            rendered[i] = result.has_value() ? result.value().to_string()
+                                             : "error: " + result.status().to_string();
+        });
+        return rendered;
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], parallel[i]) << names[i];
+        EXPECT_NE(serial[i].find(names[i]), std::string::npos);
+    }
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 // calibrated Fig. 6 background, and the question is how the hit split,
 // new-flow ratio and sustained line rate move per scenario.
 //
+// Beyond the six registered generators, the sweep carries composed entries
+// (see workload/compose.hpp): mixed attacks with onset windows and ramping
+// intensity, the combined-stress shapes the Flow LUT tuning work needs.
+//
 // Scenarios are independent (one engine + Flow LUT each), so the sweep runs
 // them on a thread pool; results are merged in catalogue order, making the
 // table and the JSONL stream byte-identical to a serial run (--jobs=1).
@@ -48,8 +52,11 @@ int main(int argc, char** argv) {
     workload::ScenarioConfig scenario_config;
 
     // Materialize the catalogue before spawning workers: from here on the
-    // registry is only read.
-    const std::vector<std::string> names = workload::builtin_registry().names();
+    // registry is only read. Composed specs ride along after the registry
+    // entries so the sweep also answers "what does combined stress do".
+    std::vector<std::string> names = workload::builtin_registry().names();
+    names.emplace_back("flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4");
+    names.emplace_back("churn@attack=0.25+syn_flood@onset=0.5,offset=0.8,attack=0.4");
     std::vector<workload::ScenarioMetrics> results(names.size());
     std::vector<Status> failures(names.size(), Status::ok());
 
@@ -105,6 +112,8 @@ int main(int argc, char** argv) {
     bench::print_shape_note(
         "baseline tracks the Fig. 6 new-flow tail; syn_flood pushes B/A toward the attack\n"
         "fraction (insert-path worst case); port_scan and flash_crowd concentrate on one\n"
-        "victim; heavy_hitter shifts bytes, not lookups; churn sustains retire+insert waves.");
+        "victim; heavy_hitter shifts bytes, not lookups; churn sustains retire+insert waves.\n"
+        "Composed entries stack overlays: the ramped syn_flood joins mid flash-crowd, and\n"
+        "the windowed syn_flood spikes B/A while churn keeps retiring entries underneath.");
     return 0;
 }

@@ -1,15 +1,20 @@
-// Scenario runner CLI — run any registered workload scenario end-to-end
-// through the timed Flow LUT system and print its metrics.
+// Scenario runner CLI — run any workload scenario spec end-to-end through
+// the timed Flow LUT system and print its metrics.
 //
 //   $ ./scenario_runner --list
 //   $ ./scenario_runner --scenario=syn_flood --packets=20000 --seed=2014
+//   $ ./scenario_runner --scenario='flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4'
+//   $ ./scenario_runner --scenario=replay:trace.csv
 //   $ ./scenario_runner --all --packets=10000 --jobs=8
 //
-// Repeated runs with the same scenario + seed print identical metrics: the
-// whole stack (generator, clock, Flow LUT, DRAM model) is deterministic.
-// --all runs the catalogue on a thread pool (one independent engine + LUT
-// per scenario) and prints results in catalogue order, byte-identical to a
-// serial --jobs=1 run.
+// --scenario takes the full composition grammar (see --list): registry
+// names, '+'-composed overlays with onset/offset windows and ramp/pulse
+// intensity schedules, and replay:<path> packet traces (CSV/JSONL, IPv6
+// included). Repeated runs with the same spec + seed print identical
+// metrics: the whole stack (generator, clock, Flow LUT, DRAM model) is
+// deterministic. --all runs the catalogue on a thread pool (one independent
+// engine + LUT per scenario) and prints results in catalogue order,
+// byte-identical to a serial --jobs=1 run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "workload/compose.hpp"
 #include "workload/registry.hpp"
 #include "workload/runner.hpp"
 
@@ -32,7 +38,7 @@ bool parse_flag(const char* arg, const char* name, std::string& value) {
 }
 
 void usage(const char* program) {
-    std::printf("usage: %s [--scenario=<name> | --all | --list] [--packets=N] [--seed=S]\n"
+    std::printf("usage: %s [--scenario=<spec> | --all | --list] [--packets=N] [--seed=S]\n"
                 "           [--attack=F] [--onset=N] [--jobs=N]\n\n",
                 program);
     std::printf("registered scenarios:\n");
@@ -40,6 +46,11 @@ void usage(const char* program) {
         std::printf("  %-14s %s\n", name.c_str(),
                     workload::builtin_registry().describe(name).value_or("?").c_str());
     }
+    std::printf("\n%s\n\nexamples:\n"
+                "  --scenario='flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4'\n"
+                "  --scenario='churn@attack=0.3+heavy_hitter@onset=0.5,offset=0.9'\n"
+                "  --scenario=replay:trace.csv\n",
+                workload::compose_grammar_help().c_str());
 }
 
 }  // namespace

@@ -44,7 +44,9 @@ bool TrafficAnalyzer::feed_record(const net::PacketRecord& record) {
     }
     PreparedPacket prepared;
     prepared.record = record;
-    prepared.key = core::FlowKey(net::NTuple::from_five_tuple(record.tuple));
+    prepared.key = record.key_override.empty()
+                       ? core::FlowKey(net::NTuple::from_five_tuple(record.tuple))
+                       : core::FlowKey(record.key_override);
     const hash::IndexGenerator& indexer = lut_.table().indexer();
     prepared.digest = indexer.digest(0, prepared.key.view());
     prepared.index_a = indexer.index_of_digest(prepared.digest);

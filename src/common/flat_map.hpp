@@ -1,93 +1,18 @@
-// Flat open-addressed map with u64 keys (linear probing, power-of-2
-// capacity, tombstone deletion). Storage is two flat arrays reused across
-// insert/erase cycles, so a bounded working set — like the Flow LUT's
-// outstanding DDR requests — runs allocation-free at steady state, unlike
-// node-based std::unordered_map.
+// FlatU64Map: the u64-keyed instance of common::OpenMap (see open_map.hpp
+// for the open-addressing scheme and the steady-state no-allocation
+// guarantee). Used for bounded id-keyed working sets like the Flow LUT's
+// outstanding DDR requests.
 #pragma once
 
-#include <cassert>
-#include <cstddef>
-#include <vector>
-
+#include "common/open_map.hpp"
 #include "common/types.hpp"
 
 namespace flowcam::common {
 
-template <typename V>
-class FlatU64Map {
-  public:
-    explicit FlatU64Map(std::size_t initial_capacity = 64) { rehash(initial_capacity); }
-
-    [[nodiscard]] std::size_t size() const { return size_; }
-    [[nodiscard]] bool empty() const { return size_ == 0; }
-
-    /// Value for `key` or nullptr. Never allocates. Pointers are
-    /// invalidated by any insert.
-    [[nodiscard]] V* find(u64 key) {
-        const std::size_t slot = find_slot(key);
-        return slot == kNoSlot ? nullptr : &values_[slot];
-    }
-
-    /// Insert `key` -> default V, or return the existing mapping.
-    V& operator[](u64 key) {
-        if ((size_ + tombstones_ + 1) * 4 >= state_.size() * 3) {
-            // Grow only under live-entry pressure; erase/insert churn just
-            // flushes tombstones in place (no allocation once warmed up:
-            // rehash() reuses the spare arrays).
-            rehash((size_ + 1) * 4 >= state_.size() * 2 ? state_.size() * 2 : state_.size());
-        }
-        std::size_t index = mix(key) & mask_;
-        std::size_t first_tombstone = kNoSlot;
-        while (true) {
-            const u8 state = state_[index];
-            if (state == kEmpty) {
-                const std::size_t target = first_tombstone != kNoSlot ? first_tombstone : index;
-                if (first_tombstone != kNoSlot) --tombstones_;
-                state_[target] = kFull;
-                keys_[target] = key;
-                values_[target] = V{};
-                ++size_;
-                return values_[target];
-            }
-            if (state == kTombstone) {
-                if (first_tombstone == kNoSlot) first_tombstone = index;
-            } else if (keys_[index] == key) {
-                return values_[index];
-            }
-            index = (index + 1) & mask_;
-        }
-    }
-
-    /// Move the value out and erase; asserts presence (the Flow LUT only
-    /// pops responses it issued).
-    V take(u64 key) {
-        const std::size_t slot = find_slot(key);
-        assert(slot != kNoSlot);
-        V value = std::move(values_[slot]);
-        values_[slot] = V{};
-        state_[slot] = kTombstone;
-        --size_;
-        ++tombstones_;
-        return value;
-    }
-
-    bool erase(u64 key) {
-        const std::size_t slot = find_slot(key);
-        if (slot == kNoSlot) return false;
-        values_[slot] = V{};
-        state_[slot] = kTombstone;
-        --size_;
-        ++tombstones_;
-        return true;
-    }
-
-  private:
-    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-    static constexpr u8 kEmpty = 0, kFull = 1, kTombstone = 2;
-
-    /// splitmix-style finalizer: sequential request ids must not probe into
-    /// one long run.
-    [[nodiscard]] static u64 mix(u64 x) {
+/// splitmix-style finalizer: sequential request ids must not probe into one
+/// long run (OpenMap uses the hash's low bits directly as table indices).
+struct U64MixHash {
+    [[nodiscard]] u64 operator()(u64 x) const {
         x ^= x >> 30;
         x *= 0xbf58476d1ce4e5b9ull;
         x ^= x >> 27;
@@ -95,43 +20,9 @@ class FlatU64Map {
         x ^= x >> 31;
         return x;
     }
-
-    [[nodiscard]] std::size_t find_slot(u64 key) const {
-        std::size_t index = mix(key) & mask_;
-        while (true) {
-            const u8 state = state_[index];
-            if (state == kEmpty) return kNoSlot;
-            if (state == kFull && keys_[index] == key) return index;
-            index = (index + 1) & mask_;
-        }
-    }
-
-    void rehash(std::size_t new_capacity) {
-        assert((new_capacity & (new_capacity - 1)) == 0 && new_capacity > 0);
-        // Swap into persistent scratch arrays: a same-capacity rehash (the
-        // steady-state tombstone flush) then reuses their storage and
-        // performs no allocation at all.
-        std::swap(state_, scratch_state_);
-        std::swap(keys_, scratch_keys_);
-        std::swap(values_, scratch_values_);
-        state_.assign(new_capacity, kEmpty);
-        keys_.assign(new_capacity, 0);
-        values_.assign(new_capacity, V{});
-        mask_ = new_capacity - 1;
-        size_ = 0;
-        tombstones_ = 0;
-        for (std::size_t i = 0; i < scratch_state_.size(); ++i) {
-            if (scratch_state_[i] != kFull) continue;
-            (*this)[scratch_keys_[i]] = std::move(scratch_values_[i]);
-        }
-    }
-
-    std::vector<u8> state_, scratch_state_;
-    std::vector<u64> keys_, scratch_keys_;
-    std::vector<V> values_, scratch_values_;
-    std::size_t mask_ = 0;
-    std::size_t size_ = 0;
-    std::size_t tombstones_ = 0;
 };
+
+template <typename V>
+using FlatU64Map = OpenMap<u64, V, U64MixHash>;
 
 }  // namespace flowcam::common

@@ -1,0 +1,145 @@
+// OpenMap: the one flat open-addressed hash map behind core::FlowKeyMap and
+// common::FlatU64Map (linear probing, power-of-2 capacity, tombstone deletion
+// with an in-place flush when dirt builds up).
+//
+// Storage is flat arrays reused across insert/erase cycles, so a bounded
+// working set — the Flow LUT's per-flow interlock, the Update block's pending
+// filters, outstanding DDR requests — runs allocation-free at steady state,
+// unlike node-based std::unordered_map (asserted by bench_hotpath's
+// allocation counter). Parameterized over key + hasher: the hasher must
+// return a well-mixed 64-bit value, because its low bits index the table
+// directly (no secondary mixing here).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace flowcam::common {
+
+template <typename K, typename V, typename Hasher>
+class OpenMap {
+  public:
+    explicit OpenMap(std::size_t initial_capacity = 64) { rehash(initial_capacity); }
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+
+    /// Value for `key` or nullptr. Never allocates. Pointers are invalidated
+    /// by any insert.
+    [[nodiscard]] V* find(const K& key) {
+        const std::size_t slot = find_slot(key);
+        return slot == kNoSlot ? nullptr : &slots_[slot].value;
+    }
+    [[nodiscard]] const V* find(const K& key) const {
+        const std::size_t slot = find_slot(key);
+        return slot == kNoSlot ? nullptr : &slots_[slot].value;
+    }
+
+    /// Value for `key`, default-constructed and inserted if absent.
+    /// Allocates only when the table grows (amortized; never at steady state).
+    V& operator[](const K& key) {
+        if ((size_ + tombstones_ + 1) * 4 >= state_.size() * 3) {
+            // Grow only under live-entry pressure; erase/insert churn just
+            // flushes tombstones at the same capacity (reusing the arrays).
+            rehash((size_ + 1) * 4 >= state_.size() * 2 ? state_.size() * 2 : state_.size());
+        }
+        std::size_t index = Hasher{}(key)&mask_;
+        std::size_t first_tombstone = kNoSlot;
+        while (true) {
+            const u8 state = state_[index];
+            if (state == kEmpty) {
+                const std::size_t target = first_tombstone != kNoSlot ? first_tombstone : index;
+                if (first_tombstone != kNoSlot) --tombstones_;
+                state_[target] = kFull;
+                slots_[target].key = key;
+                slots_[target].value = V{};
+                ++size_;
+                return slots_[target].value;
+            }
+            if (state == kTombstone) {
+                if (first_tombstone == kNoSlot) first_tombstone = index;
+            } else if (slots_[index].key == key) {
+                return slots_[index].value;
+            }
+            index = (index + 1) & mask_;
+        }
+    }
+
+    /// Move the value out and erase; asserts presence (the Flow LUT only
+    /// pops responses it issued).
+    V take(const K& key) {
+        const std::size_t slot = find_slot(key);
+        assert(slot != kNoSlot);
+        V value = std::move(slots_[slot].value);
+        slots_[slot].value = V{};
+        state_[slot] = kTombstone;
+        --size_;
+        ++tombstones_;
+        return value;
+    }
+
+    bool erase(const K& key) {
+        const std::size_t slot = find_slot(key);
+        if (slot == kNoSlot) return false;
+        slots_[slot].value = V{};
+        state_[slot] = kTombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+    }
+
+    void reserve(std::size_t entries) {
+        std::size_t capacity = state_.size();
+        while (entries * 4 >= capacity * 3) capacity *= 2;
+        if (capacity != state_.size()) rehash(capacity);
+    }
+
+  private:
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+    static constexpr u8 kEmpty = 0, kFull = 1, kTombstone = 2;
+
+    struct Slot {
+        K key;
+        V value;
+    };
+
+    [[nodiscard]] std::size_t find_slot(const K& key) const {
+        std::size_t index = Hasher{}(key)&mask_;
+        while (true) {
+            const u8 state = state_[index];
+            if (state == kEmpty) return kNoSlot;
+            if (state == kFull && slots_[index].key == key) return index;
+            index = (index + 1) & mask_;
+        }
+    }
+
+    void rehash(std::size_t new_capacity) {
+        assert((new_capacity & (new_capacity - 1)) == 0 && new_capacity > 0);
+        // Swap into persistent scratch arrays: a same-capacity rehash (the
+        // steady-state tombstone flush) then reuses their storage and
+        // performs no allocation at all.
+        std::swap(state_, scratch_state_);
+        std::swap(slots_, scratch_slots_);
+        state_.assign(new_capacity, kEmpty);
+        slots_.assign(new_capacity, Slot{});
+        mask_ = new_capacity - 1;
+        size_ = 0;
+        tombstones_ = 0;
+        for (std::size_t i = 0; i < scratch_state_.size(); ++i) {
+            if (scratch_state_[i] != kFull) continue;
+            (*this)[scratch_slots_[i].key] = std::move(scratch_slots_[i].value);
+        }
+    }
+
+    std::vector<u8> state_, scratch_state_;
+    std::vector<Slot> slots_, scratch_slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    std::size_t tombstones_ = 0;
+};
+
+}  // namespace flowcam::common

@@ -13,11 +13,10 @@
 #pragma once
 
 #include <array>
-#include <cassert>
 #include <cstring>
 #include <span>
-#include <vector>
 
+#include "common/open_map.hpp"
 #include "common/types.hpp"
 #include "net/tuple.hpp"
 
@@ -74,121 +73,17 @@ struct FlowKey {
 
 static_assert(std::is_trivially_copyable_v<FlowKey>);
 
-/// Flat open-addressed hash map keyed by FlowKey (linear probing, power-of-2
-/// capacity, tombstone deletion with rehash on dirt buildup). Value type must
-/// be cheap to move; pointers returned by find() are invalidated by any
-/// insert. Sized for the Flow LUT's interlock working set (hundreds of live
-/// flows), not for millions of entries.
-template <typename V>
-class FlowKeyMap {
-  public:
-    explicit FlowKeyMap(std::size_t initial_capacity = 64) { rehash(initial_capacity); }
-
-    [[nodiscard]] std::size_t size() const { return size_; }
-    [[nodiscard]] bool empty() const { return size_ == 0; }
-
-    /// Value for `key` or nullptr. Never allocates.
-    [[nodiscard]] V* find(const FlowKey& key) {
-        const std::size_t slot = find_slot(key);
-        return slot == kNoSlot ? nullptr : &slots_[slot].value;
-    }
-    [[nodiscard]] const V* find(const FlowKey& key) const {
-        const std::size_t slot = const_cast<FlowKeyMap*>(this)->find_slot(key);
-        return slot == kNoSlot ? nullptr : &slots_[slot].value;
-    }
-
-    /// Value for `key`, default-constructed and inserted if absent.
-    /// Allocates only when the table grows (amortized; never at steady state).
-    V& operator[](const FlowKey& key) {
-        if (occupied_next_insert() * 4 >= state_.size() * 3) {
-            // Grow only under live-entry pressure; erase/insert churn just
-            // flushes tombstones at the same capacity (reusing the arrays).
-            rehash((size_ + 1) * 4 >= state_.size() * 2 ? state_.size() * 2 : state_.size());
-        }
-        std::size_t index = key.hash & mask_;
-        std::size_t first_tombstone = kNoSlot;
-        while (true) {
-            const u8 state = state_[index];
-            if (state == kEmpty) {
-                const std::size_t target = first_tombstone != kNoSlot ? first_tombstone : index;
-                if (first_tombstone != kNoSlot) --tombstones_;
-                state_[target] = kFull;
-                slots_[target].key = key;
-                slots_[target].value = V{};
-                ++size_;
-                return slots_[target].value;
-            }
-            if (state == kTombstone) {
-                if (first_tombstone == kNoSlot) first_tombstone = index;
-            } else if (slots_[index].key == key) {
-                return slots_[index].value;
-            }
-            index = (index + 1) & mask_;
-        }
-    }
-
-    bool erase(const FlowKey& key) {
-        const std::size_t slot = find_slot(key);
-        if (slot == kNoSlot) return false;
-        state_[slot] = kTombstone;
-        slots_[slot].value = V{};
-        --size_;
-        ++tombstones_;
-        return true;
-    }
-
-    void reserve(std::size_t entries) {
-        std::size_t capacity = state_.size();
-        while (entries * 4 >= capacity * 3) capacity *= 2;
-        if (capacity != state_.size()) rehash(capacity);
-    }
-
-  private:
-    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-    static constexpr u8 kEmpty = 0, kFull = 1, kTombstone = 2;
-
-    struct Slot {
-        FlowKey key;
-        V value;
-    };
-
-    [[nodiscard]] std::size_t occupied_next_insert() const {
-        return size_ + tombstones_ + 1;
-    }
-
-    [[nodiscard]] std::size_t find_slot(const FlowKey& key) {
-        std::size_t index = key.hash & mask_;
-        while (true) {
-            const u8 state = state_[index];
-            if (state == kEmpty) return kNoSlot;
-            if (state == kFull && slots_[index].key == key) return index;
-            index = (index + 1) & mask_;
-        }
-    }
-
-    void rehash(std::size_t new_capacity) {
-        assert((new_capacity & (new_capacity - 1)) == 0 && new_capacity > 0);
-        // Swap into persistent scratch arrays: a same-capacity rehash (the
-        // steady-state tombstone flush) then reuses their storage and
-        // performs no allocation at all.
-        std::swap(state_, scratch_state_);
-        std::swap(slots_, scratch_slots_);
-        state_.assign(new_capacity, kEmpty);
-        slots_.assign(new_capacity, Slot{});
-        mask_ = new_capacity - 1;
-        size_ = 0;
-        tombstones_ = 0;
-        for (std::size_t i = 0; i < scratch_state_.size(); ++i) {
-            if (scratch_state_[i] != kFull) continue;
-            (*this)[scratch_slots_[i].key] = std::move(scratch_slots_[i].value);
-        }
-    }
-
-    std::vector<u8> state_, scratch_state_;
-    std::vector<Slot> slots_, scratch_slots_;
-    std::size_t mask_ = 0;
-    std::size_t size_ = 0;
-    std::size_t tombstones_ = 0;
+/// FlowKey hashes once at construction, so the map hasher just forwards the
+/// precomputed (already fully mixed) value.
+struct FlowKeyHash {
+    [[nodiscard]] u64 operator()(const FlowKey& key) const { return key.hash; }
 };
+
+/// The FlowKey-keyed instance of common::OpenMap (see open_map.hpp for the
+/// open-addressing scheme and the steady-state no-allocation guarantee).
+/// Sized for the Flow LUT's interlock working set (hundreds of live flows),
+/// not for millions of entries.
+template <typename V>
+using FlowKeyMap = common::OpenMap<FlowKey, V, FlowKeyHash>;
 
 }  // namespace flowcam::core

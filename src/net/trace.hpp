@@ -25,6 +25,11 @@ struct PacketRecord {
     FiveTuple tuple;
     u16 frame_bytes = 64;
     u64 flow_index = 0;  ///< ground-truth flow id (generator bookkeeping).
+    /// When non-empty this is the exact-match key fed to the Flow LUT instead
+    /// of the serialized IPv4 5-tuple — the IPv6 / generic n-tuple path for
+    /// trace replay. `tuple` still carries ports/protocol for the stats and
+    /// event engines (its addresses are zero for non-IPv4 keys).
+    NTuple key_override;
 };
 
 struct TraceConfig {

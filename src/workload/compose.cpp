@@ -1,0 +1,265 @@
+#include "workload/compose.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/flat_map.hpp"
+#include "workload/replay.hpp"
+
+namespace flowcam::workload {
+
+namespace {
+
+/// Decorrelate per-track seeds from the base seed (golden-ratio stream
+/// offset + the shared splitmix finalizer) so two tracks of the same
+/// generator type do not emit correlated tuples.
+u64 track_seed(u64 base_seed, std::size_t track_index) {
+    return common::U64MixHash{}(
+        base_seed + (static_cast<u64>(track_index) + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+/// Resolve a grammar position: fractions of the horizon up to 1.0, absolute
+/// packet counts beyond.
+u64 resolve_packets(double value, u64 horizon) {
+    if (value <= 1.0) return static_cast<u64>(std::llround(value * static_cast<double>(horizon)));
+    return static_cast<u64>(std::llround(value));
+}
+
+bool parse_double(const std::string& text, double& out) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size();
+}
+
+/// onset/offset: any finite non-negative position (fraction or packets).
+bool parse_position(const std::string& text, double& out) {
+    return parse_double(text, out) && std::isfinite(out) && out >= 0.0;
+}
+
+/// attack/ramp/pulse levels: a probability — "nan" and friends must not
+/// slip through (NaN never compares < cumulative, silently disabling the
+/// track instead of erroring).
+bool parse_fraction(const std::string& text, double& out) {
+    return parse_double(text, out) && std::isfinite(out) && out >= 0.0 && out <= 1.0;
+}
+
+/// Split `text` on `separator`, trimming nothing (the grammar has no spaces).
+std::vector<std::string> split(const std::string& text, char separator) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t at = text.find(separator, start);
+        parts.push_back(text.substr(start, at - start));
+        if (at == std::string::npos) break;
+        start = at + 1;
+    }
+    return parts;
+}
+
+Status bad_spec(const std::string& detail) {
+    return Status(StatusCode::kInvalidArgument, detail + "\n" + compose_grammar_help());
+}
+
+}  // namespace
+
+// ---- ComposedScenario -------------------------------------------------------
+
+ComposedScenario::ComposedScenario(const ScenarioConfig& config, std::string display_name)
+    : config_(config),
+      display_name_(std::move(display_name)),
+      background_([&] {
+          net::TraceConfig background = config.background;
+          background.seed = config.seed;  // one seed pins the whole stream.
+          return background;
+      }()),
+      gate_rng_(config.seed ^ 0x6A7Eull),
+      clock_rng_(config.seed ^ 0xC10Cull) {}
+
+Result<std::unique_ptr<ComposedScenario>> ComposedScenario::create(
+    const Registry& registry, const std::vector<OverlayTrackSpec>& specs,
+    const ScenarioConfig& config, std::string display_name) {
+    auto composed = std::unique_ptr<ComposedScenario>(
+        new ComposedScenario(config, std::move(display_name)));
+    const u64 horizon = effective_horizon(config);
+    for (const OverlayTrackSpec& spec : specs) {
+        if (spec.scenario == "baseline") continue;  // the implicit background.
+        const std::size_t index = composed->tracks_.size();
+
+        ScenarioConfig child_config = config;
+        child_config.seed = track_seed(config.seed, index);
+        child_config.intensity = {};  // the composer owns gating entirely.
+        auto child = registry.create(spec.scenario, child_config);
+        if (!child) return child.status();
+        auto* overlay = dynamic_cast<OverlayScenario*>(child.value().get());
+        if (overlay == nullptr) {
+            return Status(StatusCode::kInvalidArgument,
+                          "'" + spec.scenario +
+                              "' is not an overlay generator and cannot be composed");
+        }
+        child.value().release();
+
+        Track track;
+        track.child.reset(overlay);
+        track.onset = spec.onset < 0.0 ? config.onset_packets
+                                       : resolve_packets(spec.onset, horizon);
+        track.offset = spec.offset < 0.0 ? kNoOffset : resolve_packets(spec.offset, horizon);
+        if (track.offset <= track.onset) {
+            return Status(StatusCode::kInvalidArgument,
+                          "'" + spec.scenario + "': offset must come after onset");
+        }
+        track.attack = spec.attack < 0.0 ? config.attack_fraction : spec.attack;
+        track.intensity = spec.intensity;
+        track.ramp_end = track.offset != kNoOffset ? track.offset : horizon;
+        composed->tracks_.push_back(std::move(track));
+    }
+    return composed;
+}
+
+double ComposedScenario::fraction_of(const Track& track) const {
+    if (emitted_ < track.onset || emitted_ >= track.offset) return 0.0;
+    return scheduled_fraction(track.intensity, emitted_, track.onset, track.ramp_end,
+                              track.attack);
+}
+
+double ComposedScenario::track_fraction(std::size_t i) const {
+    return i < tracks_.size() ? fraction_of(tracks_[i]) : 0.0;
+}
+
+net::PacketRecord ComposedScenario::next() {
+    net::PacketRecord record;
+    // One gate draw per packet walks the cumulative track intensities; the
+    // remainder of the unit interval belongs to the background.
+    const double draw = gate_rng_.uniform();
+    double cumulative = 0.0;
+    Track* picked = nullptr;
+    std::size_t picked_index = 0;
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        cumulative += fraction_of(tracks_[i]);
+        if (draw < cumulative) {
+            picked = &tracks_[i];
+            picked_index = i;
+            break;
+        }
+    }
+    if (picked != nullptr) {
+        record = picked->child->compose_overlay(picked->emitted);
+        ++picked->emitted;
+        // Remap into the track's private index range so composed overlays
+        // keep disjoint ground truth (see kOverlayTrackStride).
+        if (record.flow_index >= kOverlayFlowBase) {
+            record.flow_index = kOverlayFlowBase + picked_index * kOverlayTrackStride +
+                                (record.flow_index - kOverlayFlowBase);
+        }
+    } else {
+        record = background_.next();
+    }
+    ++emitted_;
+    // One merged clock stamps every packet so the interleaved stream stays
+    // strictly monotonic regardless of which source produced it.
+    const double gap = -config_.background.mean_gap_ns * std::log(1.0 - clock_rng_.uniform());
+    now_ns_ += static_cast<u64>(gap) + 1;
+    record.timestamp_ns = now_ns_;
+    return record;
+}
+
+std::string ComposedScenario::description() const {
+    return "composed: " + std::to_string(tracks_.size()) +
+           " overlay track(s) with onset/offset windows and intensity "
+           "schedules over the calibrated background";
+}
+
+// ---- spec grammar -----------------------------------------------------------
+
+Result<std::vector<OverlayTrackSpec>> parse_compose_spec(const std::string& spec) {
+    std::vector<OverlayTrackSpec> tracks;
+    for (const std::string& element : split(spec, '+')) {
+        if (element.empty()) return bad_spec("empty element in '" + spec + "'");
+        OverlayTrackSpec track;
+        const std::size_t at = element.find('@');
+        track.scenario = element.substr(0, at);
+        if (track.scenario.rfind("replay:", 0) == 0) {
+            return bad_spec("trace replay cannot be an overlay element");
+        }
+        if (at != std::string::npos) {
+            for (const std::string& opt : split(element.substr(at + 1), ',')) {
+                const std::size_t eq = opt.find('=');
+                if (eq == std::string::npos) {
+                    return bad_spec("option '" + opt + "' is not key=value");
+                }
+                const std::string key = opt.substr(0, eq);
+                const std::string value = opt.substr(eq + 1);
+                const std::vector<std::string> parts = split(value, ':');
+                double a = 0.0, b = 0.0, c = 0.0;
+                if (key == "onset" || key == "offset") {
+                    if (parts.size() != 1 || !parse_position(parts[0], a)) {
+                        return bad_spec("bad value in '" + opt + "'");
+                    }
+                    (key == "onset" ? track.onset : track.offset) = a;
+                } else if (key == "attack") {
+                    if (parts.size() != 1 || !parse_fraction(parts[0], a)) {
+                        return bad_spec("attack wants a fraction in [0,1] in '" + opt + "'");
+                    }
+                    track.attack = a;
+                } else if (key == "ramp") {
+                    if (parts.size() != 2 || !parse_fraction(parts[0], a) ||
+                        !parse_fraction(parts[1], b)) {
+                        return bad_spec("ramp wants 'ramp=FROM:TO', fractions in [0,1], in '" +
+                                        opt + "'");
+                    }
+                    track.intensity = IntensitySchedule::ramp(a, b);
+                } else if (key == "pulse") {
+                    if (parts.size() != 3 || !parse_fraction(parts[0], a) ||
+                        !parse_fraction(parts[1], b) || !parse_double(parts[2], c) ||
+                        !std::isfinite(c) || c < 1.0) {
+                        return bad_spec("pulse wants 'pulse=LO:HI:COUNT' in '" + opt + "'");
+                    }
+                    track.intensity =
+                        IntensitySchedule::pulse(a, b, static_cast<u64>(std::llround(c)));
+                } else {
+                    return bad_spec("unknown option '" + key + "'");
+                }
+            }
+        }
+        tracks.push_back(std::move(track));
+    }
+    return tracks;
+}
+
+Result<std::unique_ptr<Scenario>> make_scenario(const std::string& spec,
+                                                const ScenarioConfig& config,
+                                                const Registry& registry) {
+    if (spec.rfind("replay:", 0) == 0) {
+        auto replay = TraceReplayScenario::load(spec.substr(7), config);
+        if (!replay) return replay.status();
+        return std::unique_ptr<Scenario>(std::move(replay).value());
+    }
+    if (!config.trace_path.empty() && spec == "trace_replay") {
+        auto replay = TraceReplayScenario::load(config.trace_path, config);
+        if (!replay) return replay.status();
+        return std::unique_ptr<Scenario>(std::move(replay).value());
+    }
+    if (spec.find('+') == std::string::npos && spec.find('@') == std::string::npos) {
+        return registry.create(spec, config);
+    }
+    auto tracks = parse_compose_spec(spec);
+    if (!tracks) return tracks.status();
+    auto composed = ComposedScenario::create(registry, tracks.value(), config, spec);
+    if (!composed) return composed.status();
+    return std::unique_ptr<Scenario>(std::move(composed).value());
+}
+
+std::string compose_grammar_help() {
+    return "scenario spec grammar:\n"
+           "  spec     := element ('+' element)*     e.g. flash_crowd+syn_flood@onset=0.3\n"
+           "  element  := name ('@' opt (',' opt)*)?\n"
+           "  opt      := onset=F | offset=F | attack=F | ramp=F:F | pulse=F:F:N\n"
+           "  special  := replay:<path>              CSV/JSONL trace replay (whole spec only)\n"
+           "F <= 1.0 for onset/offset is a fraction of the run, > 1.0 absolute packets.\n"
+           "ramp=A:B ramps the element's attack fraction from A at onset to B at its\n"
+           "offset (or run end); pulse=LO:HI:N alternates N square pulses. Every element\n"
+           "is an independent overlay on the shared calibrated background; 'baseline'\n"
+           "elements are dropped. Same seed => byte-identical composed stream.";
+}
+
+}  // namespace flowcam::workload

@@ -1,0 +1,112 @@
+// Composable scenario algebra: merge N overlay generators onto one
+// calibrated background with per-overlay onset/offset windows and intensity
+// schedules, under a single deterministic merged clock — a SYN flood arriving
+// mid flash-crowd, churn with a ramping attack fraction, and anything else
+// the spec grammar can express:
+//
+//   spec     := element ('+' element)*
+//   element  := name ('@' opt (',' opt)*)?
+//   opt      := 'onset=' F | 'offset=' F | 'attack=' F
+//             | 'ramp=' F ':' F | 'pulse=' F ':' F ':' N
+//
+//   F values for onset/offset <= 1.0 are fractions of the run horizon,
+//   > 1.0 are absolute packet counts. ramp=A:B ramps the element's attack
+//   fraction linearly from A at its onset to B at its offset (or the run
+//   end); pulse=LO:HI:N alternates N square pulses. 'baseline' elements are
+//   dropped (the background is always present); 'replay:<path>' is only
+//   valid as a whole spec, not as an overlay element.
+//
+//   flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4
+//     => flash crowd from the default onset; a SYN flood joining at 30% of
+//        the run whose intensity ramps from 0 to 0.4 by the end.
+//
+// Each overlay track is remapped into its own flow-index range
+// (kOverlayFlowBase + i*kOverlayTrackStride) and seeded independently from
+// the base seed, so composed ground truth stays separable and two tracks of
+// the same generator do not correlate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "workload/registry.hpp"
+#include "workload/scenarios.hpp"
+
+namespace flowcam::workload {
+
+/// One overlay element of a composition, as parsed from the spec grammar
+/// (or built directly by API callers). Negative fields mean "inherit from
+/// ScenarioConfig".
+struct OverlayTrackSpec {
+    std::string scenario;
+    double onset = -1.0;   ///< <0: config.onset_packets; <=1: run fraction; >1: packets.
+    double offset = -1.0;  ///< <0: runs to the end of the stream; units as onset.
+    double attack = -1.0;  ///< <0: config.attack_fraction.
+    IntensitySchedule intensity;  ///< overrides `attack` when non-empty.
+};
+
+/// N overlay tracks over one background, one merged clock. Per packet, one
+/// gate draw picks a track with its current intensity (cumulative walk, so
+/// fractions sum; if they exceed 1.0 the background is crowded out) or falls
+/// through to the background.
+class ComposedScenario final : public Scenario {
+  public:
+    /// Build from track specs; `display_name` is what name() reports (the
+    /// original spec string for parsed compositions). Fails on unknown or
+    /// non-overlay track scenarios and on windows with offset <= onset.
+    [[nodiscard]] static Result<std::unique_ptr<ComposedScenario>> create(
+        const Registry& registry, const std::vector<OverlayTrackSpec>& specs,
+        const ScenarioConfig& config, std::string display_name);
+
+    [[nodiscard]] std::string name() const override { return display_name_; }
+    [[nodiscard]] std::string description() const override;
+
+    net::PacketRecord next() override;
+
+    [[nodiscard]] std::size_t track_count() const { return tracks_.size(); }
+    /// The current intensity of track `i` (for tests/introspection).
+    [[nodiscard]] double track_fraction(std::size_t i) const;
+
+  private:
+    struct Track {
+        std::unique_ptr<OverlayScenario> child;
+        u64 onset = 0;
+        u64 offset = kNoOffset;  ///< first packet index the track is off again.
+        double attack = 0.0;
+        IntensitySchedule intensity;
+        u64 ramp_end = 0;  ///< schedule time hits 1.0 here (offset or horizon).
+        u64 emitted = 0;   ///< overlay packets drawn from this track.
+    };
+    static constexpr u64 kNoOffset = ~u64{0};
+
+    explicit ComposedScenario(const ScenarioConfig& config, std::string display_name);
+
+    [[nodiscard]] double fraction_of(const Track& track) const;
+
+    ScenarioConfig config_;
+    std::string display_name_;
+    net::TraceGenerator background_;
+    Xoshiro256 gate_rng_;   ///< one track-vs-background draw per packet.
+    Xoshiro256 clock_rng_;  ///< inter-arrival draws for the merged stream.
+    std::vector<Track> tracks_;
+    u64 emitted_ = 0;
+    u64 now_ns_ = 0;
+};
+
+/// Build a scenario from a spec string: a plain registry name, a
+/// "replay:<path>" trace, or a '+'-composition per the grammar above.
+/// This is the one entry point the runner, CLI and benches share.
+[[nodiscard]] Result<std::unique_ptr<Scenario>> make_scenario(
+    const std::string& spec, const ScenarioConfig& config,
+    const Registry& registry = builtin_registry());
+
+/// Parse just the composition grammar into track specs (exposed for tests).
+[[nodiscard]] Result<std::vector<OverlayTrackSpec>> parse_compose_spec(const std::string& spec);
+
+/// Human-readable grammar summary for CLI help output.
+[[nodiscard]] std::string compose_grammar_help();
+
+}  // namespace flowcam::workload

@@ -14,7 +14,9 @@
 
 namespace flowcam::workload {
 
-using ScenarioFactory = std::function<std::unique_ptr<Scenario>(const ScenarioConfig&)>;
+/// Factories are fallible: a scenario that needs external input (e.g. a
+/// trace file) reports why it could not be built instead of dying.
+using ScenarioFactory = std::function<Result<std::unique_ptr<Scenario>>(const ScenarioConfig&)>;
 
 class Registry {
   public:

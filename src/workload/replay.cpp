@@ -1,0 +1,289 @@
+#include "workload/replay.hpp"
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "net/ipv6.hpp"
+
+namespace flowcam::workload {
+
+namespace {
+
+/// One parsed row before flow-index interning.
+struct ParsedRow {
+    net::PacketRecord record;
+    std::string key_bytes;  ///< serialized exact-match key (interning handle).
+    bool ipv6 = false;
+};
+
+struct ParsedAddress {
+    bool ipv6 = false;
+    u32 v4 = 0;
+    net::Ipv6Address v6;
+};
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())) != 0)
+        text.remove_prefix(1);
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())) != 0)
+        text.remove_suffix(1);
+    return text;
+}
+
+std::optional<ParsedAddress> parse_address(std::string_view text) {
+    const std::string owned(trim(text));
+    ParsedAddress out;
+    if (owned.find(':') != std::string::npos) {
+        u8 octets[16];
+        if (inet_pton(AF_INET6, owned.c_str(), octets) != 1) return std::nullopt;
+        out.ipv6 = true;
+        std::copy(std::begin(octets), std::end(octets), out.v6.octets.begin());
+        return out;
+    }
+    u8 octets[4];
+    if (inet_pton(AF_INET, owned.c_str(), octets) != 1) return std::nullopt;
+    out.v4 = (u32{octets[0]} << 24) | (u32{octets[1]} << 16) | (u32{octets[2]} << 8) |
+             u32{octets[3]};
+    return out;
+}
+
+std::optional<u64> parse_u64(std::string_view text) {
+    const std::string owned(trim(text));
+    // strtoull silently wraps negative input into huge values; require a
+    // leading digit so "-5" is a malformed field, not year-584-billion.
+    if (owned.empty() || std::isdigit(static_cast<unsigned char>(owned.front())) == 0) {
+        return std::nullopt;
+    }
+    char* end = nullptr;
+    const u64 value = std::strtoull(owned.c_str(), &end, 10);
+    if (end != owned.c_str() + owned.size()) return std::nullopt;
+    return value;
+}
+
+std::optional<u64> parse_protocol(std::string_view text) {
+    std::string owned(trim(text));
+    std::transform(owned.begin(), owned.end(), owned.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (owned == "tcp") return net::kProtoTcp;
+    if (owned == "udp") return net::kProtoUdp;
+    if (owned == "icmp") return net::kProtoIcmp;
+    return parse_u64(owned);
+}
+
+/// Extract the raw value of `"key":...` from a flat one-line JSON object;
+/// quoted values are returned without the quotes. Good enough for the
+/// trace format above — not a general JSON parser.
+std::optional<std::string> json_field(std::string_view line, std::string_view key) {
+    const std::string needle = "\"" + std::string(key) + "\"";
+    std::size_t at = line.find(needle);
+    if (at == std::string_view::npos) return std::nullopt;
+    at = line.find(':', at + needle.size());
+    if (at == std::string_view::npos) return std::nullopt;
+    std::string_view rest = trim(line.substr(at + 1));
+    if (rest.empty()) return std::nullopt;
+    if (rest.front() == '"') {
+        const std::size_t close = rest.find('"', 1);
+        if (close == std::string_view::npos) return std::nullopt;
+        return std::string(rest.substr(1, close - 1));
+    }
+    const std::size_t end = rest.find_first_of(",}");
+    return std::string(trim(rest.substr(0, end)));
+}
+
+std::optional<std::string> json_field_any(std::string_view line,
+                                          std::initializer_list<std::string_view> keys) {
+    for (const std::string_view key : keys) {
+        if (auto value = json_field(line, key)) return value;
+    }
+    return std::nullopt;
+}
+
+/// Assemble a row from its parsed fields; shared by the CSV and JSONL paths.
+Result<ParsedRow> build_row(u64 timestamp_ns, const ParsedAddress& src, const ParsedAddress& dst,
+                            u64 src_port, u64 dst_port, u64 protocol, u64 bytes) {
+    if (src.ipv6 != dst.ipv6) {
+        return Status(StatusCode::kInvalidArgument, "mixed IPv4/IPv6 endpoints in one record");
+    }
+    if (src_port > 0xFFFF || dst_port > 0xFFFF || protocol > 0xFF) {
+        return Status(StatusCode::kInvalidArgument, "port or protocol out of range");
+    }
+    ParsedRow row;
+    row.record.timestamp_ns = timestamp_ns;
+    row.record.frame_bytes = static_cast<u16>(std::clamp<u64>(bytes, 1, 0xFFFF));
+    row.record.tuple.src_port = static_cast<u16>(src_port);
+    row.record.tuple.dst_port = static_cast<u16>(dst_port);
+    row.record.tuple.protocol = static_cast<u8>(protocol);
+    row.ipv6 = src.ipv6;
+    if (src.ipv6) {
+        net::SixTuple six;
+        six.src_ip = src.v6;
+        six.dst_ip = dst.v6;
+        six.src_port = row.record.tuple.src_port;
+        six.dst_port = row.record.tuple.dst_port;
+        six.protocol = row.record.tuple.protocol;
+        row.record.key_override = six.to_ntuple();
+        const auto view = row.record.key_override.view();
+        row.key_bytes.assign(view.begin(), view.end());
+    } else {
+        row.record.tuple.src_ip = src.v4;
+        row.record.tuple.dst_ip = dst.v4;
+        const auto bytes_v4 = row.record.tuple.key_bytes();
+        row.key_bytes.assign(bytes_v4.begin(), bytes_v4.end());
+    }
+    return row;
+}
+
+Result<ParsedRow> parse_csv_row(std::string_view line) {
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', start);
+        fields.push_back(trim(line.substr(start, comma - start)));
+        if (comma == std::string_view::npos) break;
+        start = comma + 1;
+    }
+    if (fields.size() < 6 || fields.size() > 7) {
+        return Status(StatusCode::kInvalidArgument,
+                      "expected timestamp_ns,src,dst,src_port,dst_port,protocol[,bytes]");
+    }
+    const auto timestamp = parse_u64(fields[0]);
+    const auto src = parse_address(fields[1]);
+    const auto dst = parse_address(fields[2]);
+    const auto src_port = parse_u64(fields[3]);
+    const auto dst_port = parse_u64(fields[4]);
+    const auto protocol = parse_protocol(fields[5]);
+    const auto bytes = fields.size() == 7 ? parse_u64(fields[6]) : std::optional<u64>{64};
+    if (!timestamp || !src || !dst || !src_port || !dst_port || !protocol || !bytes) {
+        return Status(StatusCode::kInvalidArgument, "malformed CSV field");
+    }
+    return build_row(*timestamp, *src, *dst, *src_port, *dst_port, *protocol, *bytes);
+}
+
+Result<ParsedRow> parse_jsonl_row(std::string_view line) {
+    const auto timestamp_raw = json_field_any(line, {"ts", "timestamp_ns"});
+    const auto src_raw = json_field(line, "src");
+    const auto dst_raw = json_field(line, "dst");
+    const auto src_port_raw = json_field_any(line, {"sport", "src_port"});
+    const auto dst_port_raw = json_field_any(line, {"dport", "dst_port"});
+    const auto protocol_raw = json_field_any(line, {"proto", "protocol"});
+    const auto bytes_raw = json_field_any(line, {"bytes", "frame_bytes"});
+    if (!timestamp_raw || !src_raw || !dst_raw || !src_port_raw || !dst_port_raw ||
+        !protocol_raw) {
+        return Status(StatusCode::kInvalidArgument,
+                      "JSONL record needs ts, src, dst, sport, dport, proto");
+    }
+    const auto timestamp = parse_u64(*timestamp_raw);
+    const auto src = parse_address(*src_raw);
+    const auto dst = parse_address(*dst_raw);
+    const auto src_port = parse_u64(*src_port_raw);
+    const auto dst_port = parse_u64(*dst_port_raw);
+    const auto protocol = parse_protocol(*protocol_raw);
+    const auto bytes = bytes_raw ? parse_u64(*bytes_raw) : std::optional<u64>{64};
+    if (!timestamp || !src || !dst || !src_port || !dst_port || !protocol || !bytes) {
+        return Status(StatusCode::kInvalidArgument, "malformed JSONL field");
+    }
+    return build_row(*timestamp, *src, *dst, *src_port, *dst_port, *protocol, *bytes);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TraceReplayScenario>> TraceReplayScenario::load(
+    const std::string& path, const ScenarioConfig& config) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return Status(StatusCode::kNotFound, "cannot open trace file '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), path, config);
+}
+
+Result<std::unique_ptr<TraceReplayScenario>> TraceReplayScenario::parse(
+    std::string_view text, const std::string& origin, const ScenarioConfig& config) {
+    std::vector<ParsedRow> rows;
+    u64 line_no = 0;
+    bool header_skipped = false;
+    while (!text.empty()) {
+        const std::size_t newline = text.find('\n');
+        std::string_view line = trim(text.substr(0, newline));
+        text.remove_prefix(newline == std::string_view::npos ? text.size() : newline + 1);
+        ++line_no;
+        if (line.empty() || line.front() == '#') continue;
+        // Tolerate exactly one leading CSV header line, recognized by its
+        // documented first column — a malformed first *data* row must still
+        // be reported, not silently classified as "the header".
+        if (!header_skipped && rows.empty() &&
+            (line.rfind("timestamp_ns,", 0) == 0 || line.rfind("ts,", 0) == 0)) {
+            header_skipped = true;
+            continue;
+        }
+        auto row = line.front() == '{' ? parse_jsonl_row(line) : parse_csv_row(line);
+        if (!row) {
+            return Status(row.status().code(), origin + ":" + std::to_string(line_no) + ": " +
+                                                   row.status().message());
+        }
+        rows.push_back(std::move(row.value()));
+    }
+    if (rows.empty()) {
+        return Status(StatusCode::kInvalidArgument, "empty trace '" + origin + "'");
+    }
+
+    std::stable_sort(rows.begin(), rows.end(), [](const ParsedRow& a, const ParsedRow& b) {
+        return a.record.timestamp_ns < b.record.timestamp_ns;
+    });
+
+    // Intern flow indices per distinct key, in first-seen (time) order.
+    std::unordered_map<std::string, u64> flow_of_key;
+    std::vector<net::PacketRecord> records;
+    records.reserve(rows.size());
+    u64 ipv6_records = 0;
+    for (ParsedRow& row : rows) {
+        const auto [it, inserted] = flow_of_key.try_emplace(row.key_bytes, flow_of_key.size());
+        row.record.flow_index = it->second;
+        if (row.ipv6) ++ipv6_records;
+        records.push_back(std::move(row.record));
+    }
+
+    const u64 loop_gap =
+        static_cast<u64>(std::max(config.background.mean_gap_ns, 1.0));
+    return std::unique_ptr<TraceReplayScenario>(new TraceReplayScenario(
+        origin, std::move(records), flow_of_key.size(), ipv6_records, loop_gap));
+}
+
+TraceReplayScenario::TraceReplayScenario(std::string origin,
+                                         std::vector<net::PacketRecord> records,
+                                         u64 distinct_flows, u64 ipv6_records, u64 loop_gap_ns)
+    : origin_(std::move(origin)),
+      records_(std::move(records)),
+      distinct_flows_(distinct_flows),
+      ipv6_records_(ipv6_records),
+      loop_gap_ns_(loop_gap_ns) {}
+
+std::string TraceReplayScenario::description() const {
+    return "replay of " + std::to_string(records_.size()) + " captured records (" +
+           std::to_string(distinct_flows_) + " flows, " + std::to_string(ipv6_records_) +
+           " IPv6), looped endlessly";
+}
+
+net::PacketRecord TraceReplayScenario::next() {
+    net::PacketRecord record = records_[cursor_];
+    record.timestamp_ns += loop_offset_ns_;
+    // The Scenario contract is strictly increasing timestamps; captured
+    // traces may carry duplicates, so nudge those forward.
+    if (record.timestamp_ns <= last_ns_) record.timestamp_ns = last_ns_ + 1;
+    last_ns_ = record.timestamp_ns;
+    if (++cursor_ == records_.size()) {
+        cursor_ = 0;
+        loop_offset_ns_ = last_ns_ + loop_gap_ns_ - records_.front().timestamp_ns;
+    }
+    return record;
+}
+
+}  // namespace flowcam::workload

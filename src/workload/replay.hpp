@@ -1,0 +1,72 @@
+// TraceReplayScenario: replay a captured packet trace (CSV or JSONL
+// 5-tuples + timestamps, IPv4 and IPv6) through the Scenario interface, so
+// real traces drive the same runner/bench/CLI machinery as the synthetic
+// catalogue.
+//
+// Format, sniffed per line (blank lines and '#' comments are skipped, as is
+// a leading CSV header line):
+//
+//   CSV:    timestamp_ns,src,dst,src_port,dst_port,protocol[,bytes]
+//   JSONL:  {"ts":N,"src":"A","dst":"A","sport":N,"dport":N,
+//            "proto":N|"tcp"|"udp"|"icmp","bytes":N}
+//
+// Addresses are dotted-quad IPv4 or colon-hex IPv6 (both endpoints must be
+// the same family); IPv6 rows reach the Flow LUT through the 37-byte
+// SixTuple key via PacketRecord::key_override. `bytes` defaults to 64.
+// JSONL accepts the long key spellings (timestamp_ns/src_port/dst_port/
+// protocol/frame_bytes) too.
+//
+// Records are sorted by timestamp and replayed in a loop: the stream is
+// endless (the Scenario contract) with timestamps strictly increasing
+// across loop boundaries. Flow indices are interned per distinct key in
+// first-seen order — replayed traffic is "background" ground truth (indices
+// below kOverlayFlowBase).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "workload/scenario.hpp"
+
+namespace flowcam::workload {
+
+class TraceReplayScenario final : public Scenario {
+  public:
+    /// Read and parse `path`; kNotFound for an unreadable file,
+    /// kInvalidArgument (with line number) for malformed rows or an empty
+    /// trace.
+    [[nodiscard]] static Result<std::unique_ptr<TraceReplayScenario>> load(
+        const std::string& path, const ScenarioConfig& config);
+
+    /// Parse an in-memory trace; `origin` names the source in name().
+    [[nodiscard]] static Result<std::unique_ptr<TraceReplayScenario>> parse(
+        std::string_view text, const std::string& origin, const ScenarioConfig& config);
+
+    [[nodiscard]] std::string name() const override { return "replay:" + origin_; }
+    [[nodiscard]] std::string description() const override;
+
+    net::PacketRecord next() override;
+
+    [[nodiscard]] u64 record_count() const { return records_.size(); }
+    [[nodiscard]] u64 distinct_flows() const { return distinct_flows_; }
+    /// Records containing an IPv6 (key_override) tuple.
+    [[nodiscard]] u64 ipv6_records() const { return ipv6_records_; }
+
+  private:
+    TraceReplayScenario(std::string origin, std::vector<net::PacketRecord> records,
+                        u64 distinct_flows, u64 ipv6_records, u64 loop_gap_ns);
+
+    std::string origin_;
+    std::vector<net::PacketRecord> records_;  ///< sorted by timestamp_ns.
+    u64 distinct_flows_ = 0;
+    u64 ipv6_records_ = 0;
+    u64 loop_gap_ns_ = 1;  ///< inserted between the last and first record when looping.
+    std::size_t cursor_ = 0;
+    u64 loop_offset_ns_ = 0;
+    u64 last_ns_ = 0;
+};
+
+}  // namespace flowcam::workload

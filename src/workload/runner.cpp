@@ -8,6 +8,7 @@
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/ticker.hpp"
+#include "workload/compose.hpp"
 
 namespace flowcam::workload {
 
@@ -102,7 +103,12 @@ Result<ScenarioMetrics> ScenarioRunner::run(const std::string& name,
 
 Result<ScenarioMetrics> ScenarioRunner::run(const Registry& registry, const std::string& name,
                                             const ScenarioConfig& scenario_config) {
-    auto scenario = registry.create(name, scenario_config);
+    // `name` is a full spec (plain name, replay:<path>, or a '+'-composition).
+    // Intensity schedules and fractional windows resolve against the actual
+    // packet budget unless the caller pinned a horizon explicitly.
+    ScenarioConfig resolved = scenario_config;
+    if (resolved.horizon_packets == 0) resolved.horizon_packets = config_.packets;
+    auto scenario = make_scenario(name, resolved, registry);
     if (!scenario) return scenario.status();
     return run(*scenario.value());
 }

@@ -75,8 +75,10 @@ class ScenarioRunner {
   public:
     explicit ScenarioRunner(RunnerConfig config = {});
 
-    /// Instantiate `name` from `registry` (default: the builtin catalogue)
-    /// and run it; kNotFound for unknown names.
+    /// Instantiate `name` — a registry name, a "replay:<path>" trace, or a
+    /// composed spec like "flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4"
+    /// (see workload/compose.hpp for the grammar) — and run it; kNotFound
+    /// for unknown names, kInvalidArgument for malformed specs.
     [[nodiscard]] Result<ScenarioMetrics> run(const std::string& name,
                                               const ScenarioConfig& scenario_config);
     [[nodiscard]] Result<ScenarioMetrics> run(const Registry& registry, const std::string& name,

@@ -9,7 +9,9 @@
 // a scenario name + a ScenarioConfig fully reproduces an experiment.
 #pragma once
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "net/trace.hpp"
@@ -21,6 +23,96 @@ namespace flowcam::workload {
 /// without guessing from tuples (the background's indices grow from 0 and
 /// cannot plausibly reach 2^40 packets in a simulation).
 inline constexpr u64 kOverlayFlowBase = u64{1} << 40;
+
+/// In a ComposedScenario each overlay track gets its own disjoint flow-index
+/// range: track i remaps its child's indices into
+/// [kOverlayFlowBase + i*kOverlayTrackStride, ... + (i+1)*kOverlayTrackStride)
+/// so two overlays that both count from kOverlayFlowBase (they all do) keep
+/// separable ground truth. 2^32 flows per track is far beyond any simulated
+/// run.
+inline constexpr u64 kOverlayTrackStride = u64{1} << 32;
+
+/// Which composed track an overlay flow index belongs to (0 for overlay
+/// indices from an un-composed scenario).
+[[nodiscard]] constexpr u64 overlay_track_of(u64 flow_index) {
+    return flow_index < kOverlayFlowBase ? 0 : (flow_index - kOverlayFlowBase) / kOverlayTrackStride;
+}
+
+/// Nominal run length used to resolve fractional schedule positions when the
+/// caller has not pinned ScenarioConfig::horizon_packets (matches the
+/// ScenarioRunner's default packet budget; the runner overrides the horizon
+/// with its actual budget).
+inline constexpr u64 kDefaultHorizonPackets = 20'000;
+
+/// Piecewise-linear intensity over normalized scenario time t in [0,1]:
+/// attack_fraction(t) ramps and pulses. Empty = "no schedule" (callers fall
+/// back to the constant ScenarioConfig::attack_fraction). Knots sharing the
+/// same t encode a step (the later knot wins at and after t).
+struct IntensitySchedule {
+    struct Knot {
+        double t = 0.0;      ///< normalized time in [0,1].
+        double value = 0.0;  ///< attack fraction at t.
+    };
+    std::vector<Knot> knots;  ///< sorted by t (stable for equal t).
+
+    [[nodiscard]] bool empty() const { return knots.empty(); }
+
+    /// Linear interpolation between the surrounding knots; clamped to the
+    /// first/last value outside the knot span. Meaningless on an empty
+    /// schedule (returns 0).
+    [[nodiscard]] double value_at(double t) const {
+        if (knots.empty()) return 0.0;
+        if (t <= knots.front().t) return knots.front().value;
+        if (t >= knots.back().t) return knots.back().value;
+        for (std::size_t i = 1; i < knots.size(); ++i) {
+            if (t >= knots[i].t) continue;
+            const Knot& a = knots[i - 1];
+            const Knot& b = knots[i];
+            if (b.t <= a.t) return b.value;  // step edge: later knot wins.
+            const double alpha = (t - a.t) / (b.t - a.t);
+            return a.value + alpha * (b.value - a.value);
+        }
+        return knots.back().value;
+    }
+
+    /// Linear ramp from `from` at t=0 to `to` at t=1.
+    [[nodiscard]] static IntensitySchedule ramp(double from, double to) {
+        return IntensitySchedule{{{0.0, from}, {1.0, to}}};
+    }
+
+    /// `count` square pulses alternating hi/lo, starting hi at t=0 (each
+    /// period is an equal hi plateau then lo plateau; steps via duplicate-t
+    /// knots).
+    [[nodiscard]] static IntensitySchedule pulse(double lo, double hi, u64 count) {
+        IntensitySchedule schedule;
+        const u64 pulses = std::max<u64>(count, 1);
+        const double period = 1.0 / static_cast<double>(pulses);
+        for (u64 i = 0; i < pulses; ++i) {
+            const double start = static_cast<double>(i) * period;
+            const double mid = start + period / 2.0;
+            schedule.knots.push_back({start, hi});
+            schedule.knots.push_back({mid, hi});
+            schedule.knots.push_back({mid, lo});
+            schedule.knots.push_back({start + period, lo});
+        }
+        return schedule;
+    }
+};
+
+/// The one schedule-time normalization every overlay gate shares (standalone
+/// OverlayScenario and ComposedScenario tracks): the schedule's value at
+/// stream position `emitted`, with t running 0 at `onset` to 1 at `ramp_end`
+/// (clamped both sides; a degenerate window evaluates the end value), or
+/// `fallback` when no schedule is set.
+[[nodiscard]] inline double scheduled_fraction(const IntensitySchedule& schedule, u64 emitted,
+                                               u64 onset, u64 ramp_end, double fallback) {
+    if (schedule.empty()) return fallback;
+    if (ramp_end <= onset) return schedule.value_at(1.0);
+    const double t = emitted <= onset ? 0.0
+                                      : static_cast<double>(emitted - onset) /
+                                            static_cast<double>(ramp_end - onset);
+    return schedule.value_at(t < 1.0 ? t : 1.0);
+}
 
 /// One knob set shared by every scenario; fields are interpreted per
 /// scenario (documented on each generator in scenarios.hpp). Unused knobs
@@ -38,6 +130,20 @@ struct ScenarioConfig {
     /// "sudden" part of sudden events and lets tables warm up first.
     u64 onset_packets = 2000;
 
+    /// Time-varying attack_fraction(t): when non-empty it overrides the
+    /// constant `attack_fraction`, with t running linearly from 0 at onset
+    /// to 1 at `horizon_packets` (clamped beyond). Empty = constant.
+    IntensitySchedule intensity;
+    /// Nominal run length in packets that normalized schedule time (and the
+    /// composed grammar's fractional onset/offset) is resolved against.
+    /// 0 = unset: the ScenarioRunner fills in its packet budget; direct
+    /// constructions fall back to kDefaultHorizonPackets.
+    u64 horizon_packets = 0;
+
+    /// TraceReplayScenario: path of the CSV/JSONL packet trace to replay
+    /// (see workload/replay.hpp for the format).
+    std::string trace_path;
+
     /// Scenario-specific population size: flash-crowd client pool, churn
     /// per-wave flow population, port-scan sweep width.
     u64 pool_size = 4096;
@@ -48,6 +154,12 @@ struct ScenarioConfig {
     u64 elephant_count = 64;
     double zipf_exponent = 1.2;
 };
+
+/// The horizon schedules and fractional windows resolve against: the
+/// configured value, or kDefaultHorizonPackets when the caller left it 0.
+[[nodiscard]] inline u64 effective_horizon(const ScenarioConfig& config) {
+    return config.horizon_packets != 0 ? config.horizon_packets : kDefaultHorizonPackets;
+}
 
 /// A deterministic, endless packet stream. next() is cheap (amortized O(1))
 /// and timestamps strictly increase, matching TraceGenerator's contract.

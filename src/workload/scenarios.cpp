@@ -26,10 +26,15 @@ OverlayScenario::OverlayScenario(const ScenarioConfig& config)
       clock_rng_(config.seed ^ 0xC10Cull),
       overlay_rng_(config.seed ^ 0x0E541ull) {}
 
+double OverlayScenario::current_attack_fraction() const {
+    return scheduled_fraction(config_.intensity, emitted_, config_.onset_packets,
+                              effective_horizon(config_), config_.attack_fraction);
+}
+
 net::PacketRecord OverlayScenario::next() {
     net::PacketRecord record;
     const bool attack_on = emitted_ >= config_.onset_packets;
-    if (attack_on && gate_rng_.chance(config_.attack_fraction)) {
+    if (attack_on && gate_rng_.chance(current_attack_fraction())) {
         record = overlay_packet(overlay_emitted_);
         ++overlay_emitted_;
     } else {
@@ -50,6 +55,7 @@ BaselineScenario::BaselineScenario(const ScenarioConfig& config)
     : OverlayScenario([&] {
           ScenarioConfig no_attack = config;
           no_attack.attack_fraction = 0.0;  // the gate never fires.
+          no_attack.intensity = {};         // ...even under a schedule.
           return no_attack;
       }()) {}
 
@@ -197,8 +203,8 @@ void register_builtin_scenarios(Registry& registry) {
         ScenarioConfig probe;
         auto instance = make(probe);
         registry.add(name, instance->description(),
-                     [make](const ScenarioConfig& config) -> std::unique_ptr<Scenario> {
-                         return make(config);
+                     [make](const ScenarioConfig& config) -> Result<std::unique_ptr<Scenario>> {
+                         return std::unique_ptr<Scenario>(make(config));
                      });
     };
     add("baseline", [](const ScenarioConfig& c) { return std::make_unique<BaselineScenario>(c); });

@@ -29,6 +29,19 @@ class OverlayScenario : public Scenario {
 
     [[nodiscard]] u64 overlay_emitted() const { return overlay_emitted_; }
 
+    /// Composition entry point: draw the k-th overlay packet directly,
+    /// bypassing this scenario's own background/gate/clock (a
+    /// ComposedScenario owns those and stamps the timestamp itself).
+    [[nodiscard]] net::PacketRecord compose_overlay(u64 k) {
+        ++overlay_emitted_;
+        return overlay_packet(k);
+    }
+
+    /// attack_fraction at the current stream position: the constant config
+    /// value, or — when an IntensitySchedule is set — its value at
+    /// normalized time t (0 at onset, 1 at the horizon, clamped beyond).
+    [[nodiscard]] double current_attack_fraction() const;
+
   protected:
     /// The k-th overlay packet (timestamp is overwritten by the caller).
     [[nodiscard]] virtual net::PacketRecord overlay_packet(u64 k) = 0;

@@ -1,0 +1,409 @@
+// Scenario algebra tests: the composition grammar, ComposedScenario's
+// windows/ramps/index remapping, IntensitySchedule boundary behavior, and
+// CSV/JSONL trace replay (IPv6 included) — plus the acceptance-criterion
+// determinism of composed runs through the ScenarioRunner.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workload/compose.hpp"
+#include "workload/replay.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+ScenarioConfig small_config(u64 seed = 2014) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.onset_packets = 500;
+    config.pool_size = 256;
+    config.wave_packets = 512;
+    config.horizon_packets = 8000;
+    return config;
+}
+
+std::vector<net::PacketRecord> take(Scenario& scenario, u64 count) {
+    std::vector<net::PacketRecord> records;
+    records.reserve(count);
+    for (u64 i = 0; i < count; ++i) records.push_back(scenario.next());
+    return records;
+}
+
+bool is_overlay(const net::PacketRecord& record) {
+    return record.flow_index >= kOverlayFlowBase;
+}
+
+// ---- IntensitySchedule ------------------------------------------------------
+
+TEST(IntensityScheduleTest, RampEvaluatesExactlyAtBothEnds) {
+    const auto ramp = IntensitySchedule::ramp(0.2, 0.8);
+    EXPECT_DOUBLE_EQ(ramp.value_at(0.0), 0.2);
+    EXPECT_DOUBLE_EQ(ramp.value_at(1.0), 0.8);
+    EXPECT_DOUBLE_EQ(ramp.value_at(0.5), 0.5);
+    // Clamped outside the knot span.
+    EXPECT_DOUBLE_EQ(ramp.value_at(-1.0), 0.2);
+    EXPECT_DOUBLE_EQ(ramp.value_at(2.0), 0.8);
+}
+
+TEST(IntensityScheduleTest, PulseAlternatesPlateaus) {
+    const auto pulse = IntensitySchedule::pulse(0.1, 0.9, 2);
+    EXPECT_DOUBLE_EQ(pulse.value_at(0.0), 0.9);   // first hi plateau.
+    EXPECT_DOUBLE_EQ(pulse.value_at(0.15), 0.9);
+    EXPECT_DOUBLE_EQ(pulse.value_at(0.3), 0.1);   // first lo plateau.
+    EXPECT_DOUBLE_EQ(pulse.value_at(0.6), 0.9);   // second hi plateau.
+    EXPECT_DOUBLE_EQ(pulse.value_at(0.8), 0.1);
+}
+
+TEST(IntensityScheduleTest, RampThreadsThroughOverlayGenerators) {
+    // With a 0 -> 1 ramp the overlay share of the first post-onset quarter
+    // must sit well below the last quarter's.
+    ScenarioConfig config = small_config();
+    config.intensity = IntensitySchedule::ramp(0.0, 1.0);
+    SynFloodScenario flood(config);
+    const auto stream = take(flood, config.horizon_packets);
+    const u64 onset = config.onset_packets;
+    const u64 quarter = (config.horizon_packets - onset) / 4;
+    const auto overlay_share = [&](u64 begin, u64 end) {
+        u64 overlay = 0;
+        for (u64 i = begin; i < end; ++i) overlay += is_overlay(stream[i]) ? 1 : 0;
+        return static_cast<double>(overlay) / static_cast<double>(end - begin);
+    };
+    const double early = overlay_share(onset, onset + quarter);
+    const double late = overlay_share(config.horizon_packets - quarter, config.horizon_packets);
+    EXPECT_LT(early, 0.25);  // ramp starts at 0.
+    EXPECT_GT(late, 0.75);   // ...and ends at 1.
+}
+
+TEST(IntensityScheduleTest, BaselineIgnoresSchedules) {
+    ScenarioConfig config = small_config();
+    config.intensity = IntensitySchedule::ramp(1.0, 1.0);
+    BaselineScenario baseline(config);
+    for (const auto& record : take(baseline, 2000)) EXPECT_FALSE(is_overlay(record));
+}
+
+// ---- grammar ----------------------------------------------------------------
+
+TEST(ComposeSpecTest, ParsesElementsWindowsAndSchedules) {
+    const auto parsed =
+        parse_compose_spec("flash_crowd+syn_flood@onset=0.3,offset=0.9,ramp=0.0:0.4");
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed.value().size(), 2u);
+    EXPECT_EQ(parsed.value()[0].scenario, "flash_crowd");
+    EXPECT_LT(parsed.value()[0].onset, 0.0);  // inherit.
+    EXPECT_EQ(parsed.value()[1].scenario, "syn_flood");
+    EXPECT_DOUBLE_EQ(parsed.value()[1].onset, 0.3);
+    EXPECT_DOUBLE_EQ(parsed.value()[1].offset, 0.9);
+    ASSERT_FALSE(parsed.value()[1].intensity.empty());
+    EXPECT_DOUBLE_EQ(parsed.value()[1].intensity.value_at(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(parsed.value()[1].intensity.value_at(1.0), 0.4);
+}
+
+TEST(ComposeSpecTest, RejectsMalformedSpecs) {
+    for (const char* spec : {"syn_flood@wat=1", "syn_flood@ramp=0.1", "syn_flood@onset",
+                             "+syn_flood", "syn_flood@pulse=0:1:0"}) {
+        const auto parsed = parse_compose_spec(spec);
+        ASSERT_FALSE(parsed.has_value()) << spec;
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << spec;
+    }
+}
+
+TEST(ComposeSpecTest, RejectsNonFiniteAndOutOfRangeValues) {
+    // NaN never compares below the gate draw, which would silently disable
+    // a track instead of erroring — these must be parse failures.
+    for (const char* spec :
+         {"syn_flood@ramp=nan:1", "syn_flood@onset=nan", "syn_flood@attack=inf",
+          "syn_flood@attack=1.5", "syn_flood@ramp=-0.1:0.5", "syn_flood@onset=-1",
+          "syn_flood@pulse=0:1:inf"}) {
+        const auto parsed = parse_compose_spec(spec);
+        ASSERT_FALSE(parsed.has_value()) << spec;
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << spec;
+    }
+}
+
+TEST(MakeScenarioTest, PlainNamesStillResolveThroughTheRegistry) {
+    const auto scenario = make_scenario("churn", small_config());
+    ASSERT_TRUE(scenario.has_value());
+    EXPECT_EQ(scenario.value()->name(), "churn");
+}
+
+TEST(MakeScenarioTest, UnknownCompositionElementIsNotFound) {
+    const auto scenario = make_scenario("syn_flood+no_such@onset=0.5", small_config());
+    ASSERT_FALSE(scenario.has_value());
+    EXPECT_EQ(scenario.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MakeScenarioTest, GrammarHelpCoversTheComposedSyntax) {
+    const std::string help = compose_grammar_help();
+    for (const char* token : {"onset=", "offset=", "ramp=", "pulse=", "replay:", "+"}) {
+        EXPECT_NE(help.find(token), std::string::npos) << token;
+    }
+}
+
+// ---- ComposedScenario -------------------------------------------------------
+
+TEST(ComposedScenarioTest, SameSeedSameStream) {
+    const std::string spec = "flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4";
+    auto a = make_scenario(spec, small_config());
+    auto b = make_scenario(spec, small_config());
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    const auto stream_a = take(*a.value(), 6000);
+    const auto stream_b = take(*b.value(), 6000);
+    for (std::size_t i = 0; i < stream_a.size(); ++i) {
+        ASSERT_EQ(stream_a[i].tuple, stream_b[i].tuple) << i;
+        ASSERT_EQ(stream_a[i].timestamp_ns, stream_b[i].timestamp_ns) << i;
+        ASSERT_EQ(stream_a[i].flow_index, stream_b[i].flow_index) << i;
+    }
+}
+
+TEST(ComposedScenarioTest, TimestampsStrictlyIncrease) {
+    auto scenario = make_scenario("churn+heavy_hitter@onset=0.5", small_config());
+    ASSERT_TRUE(scenario.has_value());
+    u64 previous = 0;
+    for (const auto& record : take(*scenario.value(), 4000)) {
+        EXPECT_GT(record.timestamp_ns, previous);
+        previous = record.timestamp_ns;
+    }
+}
+
+TEST(ComposedScenarioTest, TracksKeepDisjointFlowIndexRanges) {
+    // syn_flood and churn both mint indices from kOverlayFlowBase; composed,
+    // each track must land in its own stride so ground truth stays separable.
+    auto scenario = make_scenario("syn_flood+churn", small_config());
+    ASSERT_TRUE(scenario.has_value());
+    std::map<u64, u64> overlay_by_track;
+    for (const auto& record : take(*scenario.value(), 6000)) {
+        if (!is_overlay(record)) continue;
+        ++overlay_by_track[overlay_track_of(record.flow_index)];
+    }
+    ASSERT_EQ(overlay_by_track.size(), 2u);
+    EXPECT_GT(overlay_by_track[0], 500u);
+    EXPECT_GT(overlay_by_track[1], 500u);
+}
+
+TEST(ComposedScenarioTest, DuplicateGeneratorsGetIndependentSeeds) {
+    // Two syn_flood tracks must attack different victims (per-track seeds).
+    auto scenario = make_scenario("syn_flood+syn_flood", small_config());
+    ASSERT_TRUE(scenario.has_value());
+    std::map<u64, std::set<u32>> victims_by_track;
+    for (const auto& record : take(*scenario.value(), 6000)) {
+        if (!is_overlay(record)) continue;
+        victims_by_track[overlay_track_of(record.flow_index)].insert(record.tuple.dst_ip);
+    }
+    ASSERT_EQ(victims_by_track.size(), 2u);
+    EXPECT_EQ(victims_by_track[0].size(), 1u);
+    EXPECT_EQ(victims_by_track[1].size(), 1u);
+    EXPECT_NE(*victims_by_track[0].begin(), *victims_by_track[1].begin());
+}
+
+TEST(ComposedScenarioTest, OnsetAfterEndOfRunNeverFires) {
+    // Onset beyond the horizon (and beyond what we draw): pure background.
+    auto scenario = make_scenario("syn_flood@onset=999999", small_config());
+    ASSERT_TRUE(scenario.has_value());
+    for (const auto& record : take(*scenario.value(), 8000)) {
+        EXPECT_FALSE(is_overlay(record));
+    }
+}
+
+TEST(ComposedScenarioTest, OffsetWindowSwitchesTheTrackOff) {
+    ScenarioConfig config = small_config();
+    config.attack_fraction = 0.8;
+    auto scenario = make_scenario("syn_flood@onset=0.25,offset=0.5", config);
+    ASSERT_TRUE(scenario.has_value());
+    const u64 horizon = config.horizon_packets;
+    const auto stream = take(*scenario.value(), horizon);
+    u64 in_window = 0;
+    for (u64 i = 0; i < stream.size(); ++i) {
+        const bool window = i >= horizon / 4 && i < horizon / 2;
+        if (is_overlay(stream[i])) {
+            EXPECT_TRUE(window) << "overlay packet outside [onset,offset) at " << i;
+            ++in_window;
+        }
+    }
+    EXPECT_GT(in_window, horizon / 8);  // ~0.8 * horizon/4 expected.
+}
+
+TEST(ComposedScenarioTest, OffsetNotAfterOnsetIsRejected) {
+    const auto scenario = make_scenario("syn_flood@onset=0.5,offset=0.5", small_config());
+    ASSERT_FALSE(scenario.has_value());
+    EXPECT_EQ(scenario.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ComposedScenarioTest, BaselineElementsAreTheImplicitBackground) {
+    auto composed = make_scenario("baseline+syn_flood@onset=0.25", small_config());
+    ASSERT_TRUE(composed.has_value());
+    auto* scenario = dynamic_cast<ComposedScenario*>(composed.value().get());
+    ASSERT_NE(scenario, nullptr);
+    EXPECT_EQ(scenario->track_count(), 1u);  // baseline dropped, flood kept.
+}
+
+// ---- ScenarioRunner determinism (acceptance criterion) ----------------------
+
+RunnerConfig small_runner() {
+    RunnerConfig config;
+    config.packets = 3000;
+    config.analyzer.lut.buckets_per_mem = u64{1} << 12;
+    config.analyzer.lut.cam_capacity = 512;
+    return config;
+}
+
+TEST(ComposedRunnerTest, ComposedAndRampedRunsAreByteIdenticalUnderOneSeed) {
+    ScenarioRunner runner(small_runner());
+    ScenarioConfig config;
+    config.seed = 2014;
+    config.onset_packets = 400;
+    for (const char* spec :
+         {"flash_crowd+syn_flood@onset=0.3", "flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4"}) {
+        const auto a = runner.run(spec, config);
+        const auto b = runner.run(spec, config);
+        ASSERT_TRUE(a.has_value() && b.has_value()) << spec;
+        EXPECT_TRUE(a.value().drained) << spec;
+        EXPECT_EQ(a.value().completions, 3000u) << spec;
+        EXPECT_GT(a.value().overlay_packets, 0u) << spec;
+        // Byte-identical metrics: the rendered report is the full surface.
+        EXPECT_EQ(a.value().to_string(), b.value().to_string()) << spec;
+    }
+}
+
+TEST(ComposedRunnerTest, RampChangesTheMetricsVsConstantAttack) {
+    ScenarioRunner runner(small_runner());
+    ScenarioConfig config;
+    const auto constant = runner.run("syn_flood", config);
+    const auto ramped = runner.run("syn_flood@ramp=0.0:1.0", config);
+    ASSERT_TRUE(constant.has_value() && ramped.has_value());
+    EXPECT_NE(constant.value().overlay_packets, ramped.value().overlay_packets);
+}
+
+// ---- trace replay -----------------------------------------------------------
+
+std::string write_temp(const std::string& name, const std::string& content) {
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    return path;
+}
+
+constexpr const char* kCsvTrace =
+    "# captured 5-tuples, deliberately out of order\n"
+    "timestamp_ns,src,dst,src_port,dst_port,protocol,bytes\n"
+    "2000,2001:db8::1,2001:db8::2,5000,443,tcp,1500\n"
+    "1000,10.0.0.1,10.0.0.2,1234,80,tcp,100\n"
+    "1500,10.0.0.3,10.0.0.2,999,53,udp\n"
+    "3000,2001:db8::1,2001:db8::2,5000,443,6,64\n";
+
+TEST(TraceReplayTest, CsvRoundtripSortsInternsAndLoops) {
+    auto scenario = TraceReplayScenario::parse(kCsvTrace, "test.csv", ScenarioConfig{});
+    ASSERT_TRUE(scenario.has_value()) << scenario.status().to_string();
+    EXPECT_EQ(scenario.value()->record_count(), 4u);
+    EXPECT_EQ(scenario.value()->distinct_flows(), 3u);  // the two v6 rows are one flow.
+    EXPECT_EQ(scenario.value()->ipv6_records(), 2u);
+    u64 previous = 0;
+    std::set<u64> flows;
+    for (u64 i = 0; i < 40; ++i) {  // 10 full loops: endless + monotonic.
+        const auto record = scenario.value()->next();
+        EXPECT_GT(record.timestamp_ns, previous);
+        previous = record.timestamp_ns;
+        EXPECT_LT(record.flow_index, kOverlayFlowBase);
+        flows.insert(record.flow_index);
+    }
+    EXPECT_EQ(flows.size(), 3u);
+}
+
+TEST(TraceReplayTest, Ipv6RowsCarryTheSixTupleKey) {
+    auto scenario = TraceReplayScenario::parse(kCsvTrace, "test.csv", ScenarioConfig{});
+    ASSERT_TRUE(scenario.has_value());
+    u64 v6 = 0, v4 = 0;
+    for (u64 i = 0; i < 4; ++i) {
+        const auto record = scenario.value()->next();
+        if (record.key_override.empty()) {
+            ++v4;
+            EXPECT_NE(record.tuple.src_ip, 0u);
+        } else {
+            ++v6;
+            EXPECT_EQ(record.key_override.size(), 37u);  // SixTuple::kKeyBytes.
+            EXPECT_EQ(record.tuple.src_ip, 0u);          // no v4 address to report.
+            EXPECT_EQ(record.tuple.dst_port, 443u);      // ports still feed stats.
+        }
+    }
+    EXPECT_EQ(v6, 2u);
+    EXPECT_EQ(v4, 2u);
+}
+
+TEST(TraceReplayTest, JsonlRowsParse) {
+    const char* jsonl =
+        "{\"ts\":10,\"src\":\"192.168.1.1\",\"dst\":\"8.8.8.8\",\"sport\":1111,"
+        "\"dport\":53,\"proto\":\"udp\",\"bytes\":80}\n"
+        "{\"ts\":20,\"src\":\"2001:db8::9\",\"dst\":\"2001:db8::a\",\"sport\":2,"
+        "\"dport\":3,\"proto\":\"tcp\"}\n";
+    auto scenario = TraceReplayScenario::parse(jsonl, "test.jsonl", ScenarioConfig{});
+    ASSERT_TRUE(scenario.has_value()) << scenario.status().to_string();
+    EXPECT_EQ(scenario.value()->record_count(), 2u);
+    EXPECT_EQ(scenario.value()->ipv6_records(), 1u);
+    const auto first = scenario.value()->next();
+    EXPECT_EQ(first.tuple.dst_port, 53u);
+    EXPECT_EQ(first.frame_bytes, 80u);
+}
+
+TEST(TraceReplayTest, MalformedRowsNameTheLine) {
+    const auto scenario =
+        TraceReplayScenario::parse("1000,10.0.0.1,2001:db8::2,1,2,tcp\n", "mixed.csv",
+                                   ScenarioConfig{});
+    ASSERT_FALSE(scenario.has_value());
+    EXPECT_EQ(scenario.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(scenario.status().message().find("mixed.csv:1"), std::string::npos);
+    EXPECT_FALSE(TraceReplayScenario::parse("", "empty.csv", ScenarioConfig{}).has_value());
+}
+
+TEST(TraceReplayTest, NegativeTimestampsAreMalformedNotWrapped) {
+    // strtoull would wrap "-5" to ~2^64, teleporting the replay clock.
+    const auto scenario = TraceReplayScenario::parse(
+        "-5,10.0.0.1,10.0.0.2,1,2,tcp\n", "neg.csv", ScenarioConfig{});
+    ASSERT_FALSE(scenario.has_value());
+    EXPECT_EQ(scenario.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(scenario.status().message().find("neg.csv:1"), std::string::npos);
+}
+
+TEST(TraceReplayTest, MalformedFirstRowIsReportedNotEatenAsHeader) {
+    // Only the documented header spelling is skipped; a typo'd first data
+    // row must be a diagnostic, not silent data loss.
+    const auto typo = TraceReplayScenario::parse(
+        "12a4,10.0.0.1,10.0.0.2,80,443,tcp\n", "typo.csv", ScenarioConfig{});
+    ASSERT_FALSE(typo.has_value());
+    EXPECT_NE(typo.status().message().find("typo.csv:1"), std::string::npos);
+    // ...while both documented header spellings still parse away cleanly.
+    for (const char* header : {"timestamp_ns,src,dst,src_port,dst_port,protocol,bytes\n",
+                               "ts,src,dst,sport,dport,proto\n"}) {
+        const auto ok = TraceReplayScenario::parse(
+            std::string(header) + "7,10.0.0.1,10.0.0.2,80,443,tcp\n", "h.csv",
+            ScenarioConfig{});
+        ASSERT_TRUE(ok.has_value()) << header << ok.status().to_string();
+        EXPECT_EQ(ok.value()->record_count(), 1u);
+    }
+}
+
+TEST(TraceReplayTest, Ipv6TraceRunsThroughTheTimedSystem) {
+    const std::string path = write_temp("flowcam_replay_test.csv", kCsvTrace);
+    ScenarioRunner runner(small_runner());
+    const auto a = runner.run("replay:" + path, ScenarioConfig{});
+    const auto b = runner.run("replay:" + path, ScenarioConfig{});
+    ASSERT_TRUE(a.has_value()) << a.status().to_string();
+    EXPECT_TRUE(a.value().drained);
+    EXPECT_EQ(a.value().completions, 3000u);  // every looped record retires.
+    EXPECT_EQ(a.value().distinct_flows, 3u);
+    EXPECT_EQ(a.value().drops, 0u);
+    EXPECT_EQ(a.value().to_string(), b.value().to_string());  // deterministic.
+}
+
+TEST(TraceReplayTest, MissingFileIsNotFound) {
+    ScenarioRunner runner(small_runner());
+    const auto result = runner.run("replay:/no/such/trace.csv", ScenarioConfig{});
+    ASSERT_FALSE(result.has_value());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace flowcam::workload

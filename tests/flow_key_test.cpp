@@ -71,6 +71,22 @@ TEST(FlowKeyTest, ViewRoundtripsTuple) {
     EXPECT_EQ(net::FiveTuple::from_key_bytes(key.view()), tuple);
 }
 
+TEST(FlowKeyMapTest, SharedOpenMapFeaturesWorkForBothKeyTypes) {
+    // FlowKeyMap and FlatU64Map are the same common::OpenMap template, so
+    // the full feature set (take, reserve, const find) exists on both.
+    FlowKeyMap<u32> keyed;
+    keyed.reserve(100);
+    keyed[key_of(7)] = 70;
+    EXPECT_EQ(keyed.take(key_of(7)), 70u);
+    EXPECT_TRUE(keyed.empty());
+    common::FlatU64Map<u32> ids;
+    ids.reserve(100);
+    ids[7] = 70;
+    const auto& const_ids = ids;
+    ASSERT_NE(const_ids.find(7), nullptr);
+    EXPECT_EQ(*const_ids.find(7), 70u);
+}
+
 TEST(FlowKeyMapTest, InsertFindErase) {
     FlowKeyMap<u32> map;
     map[key_of(1)] = 10;

@@ -70,9 +70,10 @@ TEST(RegistryTest, DescribeKnownAndUnknown) {
 TEST(RegistryTest, LatestRegistrationWins) {
     Registry registry;
     register_builtin_scenarios(registry);
-    registry.add("baseline", "override", [](const ScenarioConfig& config) {
-        return std::make_unique<ChurnScenario>(config);
-    });
+    registry.add("baseline", "override",
+                 [](const ScenarioConfig& config) -> Result<std::unique_ptr<Scenario>> {
+                     return std::unique_ptr<Scenario>(std::make_unique<ChurnScenario>(config));
+                 });
     const auto result = registry.create("baseline", ScenarioConfig{});
     ASSERT_TRUE(result.has_value());
     EXPECT_EQ(result.value()->name(), "churn");

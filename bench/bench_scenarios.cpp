@@ -22,6 +22,7 @@
 
 #include "bench_util.hpp"
 #include "common/thread_pool.hpp"
+#include "workload/metrics.hpp"
 #include "workload/registry.hpp"
 #include "workload/runner.hpp"
 
@@ -85,25 +86,12 @@ int main(int argc, char** argv) {
                        TablePrinter::fixed(m.mdesc_per_s, 2),
                        TablePrinter::fixed(m.sustained_gbps, 1)});
 
+        // Every metric flows through the one schema registry — adding a
+        // metric there adds it here (and to the experiment CSV/table) at once.
         bench::JsonResult json("bench_scenarios");
-        json.add("scenario", m.scenario)
-            .add("packets", m.packets)
-            .add("overlay_packets", m.overlay_packets)
-            .add("distinct_flows", m.distinct_flows)
-            .add("completions", m.completions)
-            .add("cam_hits", m.cam_hits)
-            .add("lu1_hits", m.lu1_hits)
-            .add("lu2_hits", m.lu2_hits)
-            .add("new_flows", m.new_flows)
-            .add("new_flow_ratio", m.new_flow_ratio)
-            .add("drops", m.drops)
-            .add("buffer_retries", m.buffer_retries)
-            .add("events_port_scan", m.events_port_scan)
-            .add("events_heavy_hitter", m.events_heavy_hitter)
-            .add("cycles", m.cycles)
-            .add("mdesc_per_s", m.mdesc_per_s)
-            .add("sustained_gbps", m.sustained_gbps)
-            .add("drained", m.drained);
+        for (const workload::MetricField& field : workload::metric_schema()) {
+            json.add_raw(field.name, workload::metric_json(field, m));
+        }
         json.emit();
     }
     table.print(std::cout, "Scenario sweep: " + std::to_string(packets) +

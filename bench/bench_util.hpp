@@ -21,6 +21,7 @@
 #include "common/table_printer.hpp"
 #include "core/flow_lut.hpp"
 #include "net/trace.hpp"
+#include "workload/metrics.hpp"
 
 namespace flowcam::bench {
 
@@ -51,6 +52,12 @@ class JsonResult {
         field(key) << (value ? "true" : "false");
         return *this;
     }
+    /// Append an already-rendered JSON literal (e.g. from the workload
+    /// metric schema's metric_json) under `key`.
+    JsonResult& add_raw(const std::string& key, const std::string& json_literal) {
+        field(key) << json_literal;
+        return *this;
+    }
 
     [[nodiscard]] std::string line() const { return "{" + body_.str() + "}"; }
 
@@ -75,22 +82,10 @@ class JsonResult {
         return body_;
     }
 
+    // One escaper for every JSONL surface (add_raw values are escaped by
+    // the same function inside the workload metric schema).
     static std::string escape(const std::string& raw) {
-        std::string out;
-        out.reserve(raw.size());
-        for (const char c : raw) {
-            if (c == '"' || c == '\\') {
-                out += '\\';
-                out += c;
-            } else if (static_cast<unsigned char>(c) < 0x20) {
-                char buffer[8];
-                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-                out += buffer;
-            } else {
-                out += c;
-            }
-        }
-        return out;
+        return flowcam::workload::json_escape(raw);
     }
 
     std::ostringstream body_;

@@ -1,28 +1,37 @@
-// Scenario runner CLI — run any workload scenario spec end-to-end through
-// the timed Flow LUT system and print its metrics.
+// Scenario runner CLI — run workload scenario specs end-to-end through the
+// timed Flow LUT system: single runs, whole-catalogue sweeps, and declarative
+// parameter-grid experiments (N scenario specs x M config axes).
 //
-//   $ ./scenario_runner --list
+//   $ ./scenario_runner --list                 # scenario grammar + catalogue
+//   $ ./scenario_runner --list-keys            # patchable config registry
 //   $ ./scenario_runner --scenario=syn_flood --packets=20000 --seed=2014
 //   $ ./scenario_runner --scenario='flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4'
 //   $ ./scenario_runner --scenario=replay:trace.csv
+//   $ ./scenario_runner --scenario='replay:trace.csv+syn_flood@onset=0.3'
 //   $ ./scenario_runner --all --packets=10000 --jobs=8
+//   $ ./scenario_runner --scenario=syn_flood --set=lut.balance=weighted-hash
+//         --sweep=lut.cam_capacity=1024,2048,4096 --jobs=4   (one command line)
 //
-// --scenario takes the full composition grammar (see --list): registry
-// names, '+'-composed overlays with onset/offset windows and ramp/pulse
-// intensity schedules, and replay:<path> packet traces (CSV/JSONL, IPv6
-// included). Repeated runs with the same spec + seed print identical
-// metrics: the whole stack (generator, clock, Flow LUT, DRAM model) is
-// deterministic. --all runs the catalogue on a thread pool (one independent
-// engine + LUT per scenario) and prints results in catalogue order,
-// byte-identical to a serial --jobs=1 run.
+// --set=key=value patches any registered config field (see --list-keys);
+// --sweep=key=v1,v2,... adds a config axis — all axes and all --scenario
+// specs are crossed into a grid of cells, each run independently (one engine
+// + Flow LUT per cell) on a thread pool. The grid is emitted three ways from
+// one metric schema: an aligned terminal table, a CSV (--csv=PATH, default
+// experiment.csv when sweeping), and a JSONL stream (--jsonl=PATH, default
+// $FLOWCAM_BENCH_JSON or experiment.jsonl when sweeping). Cell order, and
+// with it every rendering, is byte-identical whatever --jobs is.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "workload/compose.hpp"
+#include "workload/config_patch.hpp"
+#include "workload/experiment.hpp"
 #include "workload/registry.hpp"
 #include "workload/runner.hpp"
 
@@ -38,9 +47,12 @@ bool parse_flag(const char* arg, const char* name, std::string& value) {
 }
 
 void usage(const char* program) {
-    std::printf("usage: %s [--scenario=<spec> | --all | --list] [--packets=N] [--seed=S]\n"
-                "           [--attack=F] [--onset=N] [--jobs=N]\n\n",
-                program);
+    std::printf(
+        "usage: %s [--scenario=<spec> ...] [--all | --list | --list-keys]\n"
+        "           [--set=key=value ...] [--sweep=key=v1,v2,... ...]\n"
+        "           [--packets=N] [--seed=S] [--attack=F] [--onset=N] [--jobs=N]\n"
+        "           [--csv=PATH] [--jsonl=PATH]   ('-' = stdout)\n\n",
+        program);
     std::printf("registered scenarios:\n");
     for (const auto& name : workload::builtin_registry().names()) {
         std::printf("  %-14s %s\n", name.c_str(),
@@ -49,37 +61,80 @@ void usage(const char* program) {
     std::printf("\n%s\n\nexamples:\n"
                 "  --scenario='flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4'\n"
                 "  --scenario='churn@attack=0.3+heavy_hitter@onset=0.5,offset=0.9'\n"
-                "  --scenario=replay:trace.csv\n",
+                "  --scenario='replay:trace.csv+syn_flood@onset=0.3'\n"
+                "  --scenario=syn_flood --sweep=lut.cam_capacity=1024,2048,4096 --jobs=4\n"
+                "\n--list-keys prints every --set/--sweep config key with its type,\n"
+                "default and doc.\n",
                 workload::compose_grammar_help().c_str());
+}
+
+/// Write `text` to `path` ("-" = stdout); returns false on I/O failure.
+/// The CSV is a snapshot (truncate); the JSONL is a trajectory (append) —
+/// it may share a file with the benches' $FLOWCAM_BENCH_JSON stream, which
+/// accumulates across runs and must never be clobbered.
+bool write_sink(const std::string& path, const std::string& text, const char* what,
+                bool append) {
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return true;
+    }
+    std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s to '%s'\n", what, path.c_str());
+        return false;
+    }
+    out << text;
+    std::printf("grid %s -> %s%s\n", what, path.c_str(), append ? " (appended)" : "");
+    return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    std::string scenario_name;
+    workload::ExperimentSpec spec;
     bool run_all = false;
-    workload::ScenarioConfig scenario_config;
-    workload::RunnerConfig runner_config;
-
+    std::string csv_path;
+    std::string jsonl_path;
     std::size_t jobs = common::ThreadPool::default_jobs();
+
     for (int i = 1; i < argc; ++i) {
         std::string value;
         if (parse_flag(argv[i], "--scenario", value)) {
-            scenario_name = value;
+            spec.scenarios.push_back(value);
+        } else if (parse_flag(argv[i], "--set", value)) {
+            spec.overrides.push_back(value);
+        } else if (parse_flag(argv[i], "--sweep", value)) {
+            auto axis = workload::parse_sweep_axis(value);
+            if (!axis) {
+                std::fprintf(stderr, "error: %s\n", axis.status().to_string().c_str());
+                return 2;
+            }
+            spec.axes.push_back(std::move(axis).value());
         } else if (parse_flag(argv[i], "--packets", value)) {
-            runner_config.packets = std::strtoull(value.c_str(), nullptr, 10);
+            // Legacy shorthands are ordered overrides like --set, so mixing
+            // them ("--set=scenario.attack=0.8 ... --attack=0.5") resolves
+            // by command-line position instead of silently favoring --set —
+            // and they get the registry's typed value validation for free.
+            spec.overrides.push_back("runner.packets=" + value);
         } else if (parse_flag(argv[i], "--seed", value)) {
-            scenario_config.seed = std::strtoull(value.c_str(), nullptr, 10);
+            spec.overrides.push_back("scenario.seed=" + value);
         } else if (parse_flag(argv[i], "--attack", value)) {
-            scenario_config.attack_fraction = std::strtod(value.c_str(), nullptr);
+            spec.overrides.push_back("scenario.attack=" + value);
         } else if (parse_flag(argv[i], "--onset", value)) {
-            scenario_config.onset_packets = std::strtoull(value.c_str(), nullptr, 10);
+            spec.overrides.push_back("scenario.onset_packets=" + value);
         } else if (parse_flag(argv[i], "--jobs", value)) {
             jobs = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (parse_flag(argv[i], "--csv", value)) {
+            csv_path = value;
+        } else if (parse_flag(argv[i], "--jsonl", value)) {
+            jsonl_path = value;
         } else if (std::strcmp(argv[i], "--all") == 0) {
             run_all = true;
         } else if (std::strcmp(argv[i], "--list") == 0) {
             usage(argv[0]);
+            return 0;
+        } else if (std::strcmp(argv[i], "--list-keys") == 0) {
+            std::fputs(workload::ConfigPatch::registry().list_keys().c_str(), stdout);
             return 0;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n\n", argv[i]);
@@ -87,28 +142,60 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
-    if (!run_all && scenario_name.empty()) {
+    if (run_all) {
+        // --all means exactly the catalogue; an explicit --scenario alongside
+        // it is ignored (pre-grid behavior), not run twice.
+        spec.scenarios = workload::builtin_registry().names();
+    }
+    if (spec.scenarios.empty()) {
         usage(argv[0]);
         return 2;
     }
 
-    const auto names = run_all ? workload::builtin_registry().names()
-                               : std::vector<std::string>{scenario_name};
-    std::vector<Result<workload::ScenarioMetrics>> results;
-    results.reserve(names.size());
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        results.emplace_back(Status(StatusCode::kUnavailable, "not run"));
+    const bool sweeping = !spec.axes.empty();
+    const bool grid_mode = sweeping || spec.scenarios.size() > 1 || !csv_path.empty() ||
+                           !jsonl_path.empty();
+    // A sweep always materializes all three grid renderings; pick default
+    // sinks when the caller did not name any.
+    if (sweeping && csv_path.empty()) csv_path = "experiment.csv";
+    if (sweeping && jsonl_path.empty()) {
+        const char* bench_sink = std::getenv("FLOWCAM_BENCH_JSON");
+        jsonl_path = (bench_sink != nullptr && *bench_sink != '\0') ? bench_sink
+                                                                    : "experiment.jsonl";
     }
-    common::ThreadPool::parallel_for_indexed(names.size(), jobs, [&](std::size_t i) {
-        workload::ScenarioRunner runner(runner_config);
-        results[i] = runner.run(names[i], scenario_config);
-    });
-    for (const auto& metrics : results) {
-        if (!metrics) {
-            std::fprintf(stderr, "error: %s\n", metrics.status().to_string().c_str());
-            return 1;
+
+    auto experiment = workload::Experiment::plan(std::move(spec));
+    if (!experiment) {
+        std::fprintf(stderr, "error: %s\n", experiment.status().to_string().c_str());
+        return 2;
+    }
+    const std::vector<workload::CellResult> results = experiment.value().run(jobs);
+    int failed_cells = 0;
+    for (const workload::CellResult& result : results) {
+        if (!result.status.is_ok()) {
+            ++failed_cells;
+            std::fprintf(stderr, "error: cell %zu (%s): %s\n", result.cell.index,
+                         result.cell.scenario.c_str(), result.status.to_string().c_str());
         }
-        std::printf("%s\n\n", metrics.value().to_string().c_str());
     }
-    return 0;
+
+    if (!grid_mode) {
+        if (failed_cells != 0) return 1;
+        std::printf("%s\n", results[0].metrics.to_string().c_str());
+        return 0;
+    }
+    // Completed cells are expensive; render and persist the grid even when
+    // some cells failed (their rows stay identifiable by scenario/axes and
+    // the errors above), then report the failure via the exit code.
+    std::fputs(experiment.value().table(results).c_str(), stdout);
+    if (!csv_path.empty() &&
+        !write_sink(csv_path, experiment.value().csv(results), "CSV", /*append=*/false)) {
+        return 1;
+    }
+    if (!jsonl_path.empty() &&
+        !write_sink(jsonl_path, experiment.value().jsonl(results), "JSONL",
+                    /*append=*/true)) {
+        return 1;
+    }
+    return failed_cells == 0 ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Single CI entry point: configure, build, run the full test suite, a quick
-# end-to-end scenario smoke (including a composed spec and a trace replay),
-# then a Release build with hot-path performance gates (allocation counter +
-# wall-clock ceilings).
+# end-to-end scenario smoke (including a composed spec, a trace replay and a
+# replay-background composition), an experiment smoke (a tiny 2x2 scenario x
+# cam-depth grid whose CSV/JSONL must be byte-identical serial vs parallel;
+# the grid CSV is a CI artifact), then a Release build with hot-path
+# performance gates (allocation counter + wall-clock ceilings).
 #
 #   $ scripts/check.sh [--quick] [build-dir]
 #
@@ -68,6 +70,21 @@ stage "scenario smoke"
 REPLAY_SMOKE="$BUILD_DIR/check-replay-smoke.csv"
 printf 'timestamp_ns,src,dst,src_port,dst_port,protocol,bytes\n1000,10.0.0.1,10.0.0.2,1234,80,tcp,100\n2000,2001:db8::1,2001:db8::2,5000,443,tcp,1500\n' > "$REPLAY_SMOKE"
 "$BUILD_DIR/scenario_runner" --scenario="replay:$REPLAY_SMOKE" --packets=1000
+"$BUILD_DIR/scenario_runner" --scenario="replay:$REPLAY_SMOKE+syn_flood@onset=0.3" --packets=1000
+
+stage "experiment smoke (2x2 grid; serial == --jobs byte-identity)"
+"$BUILD_DIR/scenario_runner" --list-keys > /dev/null
+# JSONL sinks append (trajectory semantics) — start the cmp from clean files.
+rm -f "$BUILD_DIR"/experiment-grid-serial.{csv,jsonl} "$BUILD_DIR"/experiment-grid.{csv,jsonl}
+"$BUILD_DIR/scenario_runner" --scenario=baseline --scenario=syn_flood \
+  --sweep=lut.cam_capacity=512,1024 --packets=2000 --jobs=1 \
+  --csv="$BUILD_DIR/experiment-grid-serial.csv" --jsonl="$BUILD_DIR/experiment-grid-serial.jsonl" \
+  > /dev/null
+"$BUILD_DIR/scenario_runner" --scenario=baseline --scenario=syn_flood \
+  --sweep=lut.cam_capacity=512,1024 --packets=2000 --jobs="$(nproc)" \
+  --csv="$BUILD_DIR/experiment-grid.csv" --jsonl="$BUILD_DIR/experiment-grid.jsonl"
+cmp "$BUILD_DIR/experiment-grid-serial.csv" "$BUILD_DIR/experiment-grid.csv"
+cmp "$BUILD_DIR/experiment-grid-serial.jsonl" "$BUILD_DIR/experiment-grid.jsonl"
 
 if [[ $QUICK -eq 1 ]]; then
   stage "done (--quick: Release perf gates skipped)"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/flat_map.hpp"
 #include "workload/replay.hpp"
@@ -78,9 +79,11 @@ ComposedScenario::ComposedScenario(const ScenarioConfig& config, std::string dis
 
 Result<std::unique_ptr<ComposedScenario>> ComposedScenario::create(
     const Registry& registry, const std::vector<OverlayTrackSpec>& specs,
-    const ScenarioConfig& config, std::string display_name) {
+    const ScenarioConfig& config, std::string display_name,
+    std::unique_ptr<Scenario> background) {
     auto composed = std::unique_ptr<ComposedScenario>(
         new ComposedScenario(config, std::move(display_name)));
+    composed->replay_background_ = std::move(background);
     const u64 horizon = effective_horizon(config);
     for (const OverlayTrackSpec& spec : specs) {
         if (spec.scenario == "baseline") continue;  // the implicit background.
@@ -152,21 +155,36 @@ net::PacketRecord ComposedScenario::next() {
                                 (record.flow_index - kOverlayFlowBase);
         }
     } else {
-        record = background_.next();
+        record = replay_background_ != nullptr ? replay_background_->next()
+                                               : background_.next();
     }
     ++emitted_;
-    // One merged clock stamps every packet so the interleaved stream stays
-    // strictly monotonic regardless of which source produced it.
-    const double gap = -config_.background.mean_gap_ns * std::log(1.0 - clock_rng_.uniform());
-    now_ns_ += static_cast<u64>(gap) + 1;
-    record.timestamp_ns = now_ns_;
+    if (replay_background_ != nullptr) {
+        // Replay-as-background: captured packets keep their own timing;
+        // overlay packets (and any replay packet the overlays pushed past)
+        // slot in right after the previous packet — attack traffic arrives
+        // at line rate between trace packets, and the merged stream stays
+        // strictly monotonic.
+        if (picked != nullptr || record.timestamp_ns <= now_ns_) {
+            record.timestamp_ns = now_ns_ + 1;
+        }
+        now_ns_ = record.timestamp_ns;
+    } else {
+        // One merged clock stamps every packet so the interleaved stream
+        // stays strictly monotonic regardless of which source produced it.
+        const double gap =
+            -config_.background.mean_gap_ns * std::log(1.0 - clock_rng_.uniform());
+        now_ns_ += static_cast<u64>(gap) + 1;
+        record.timestamp_ns = now_ns_;
+    }
     return record;
 }
 
 std::string ComposedScenario::description() const {
     return "composed: " + std::to_string(tracks_.size()) +
-           " overlay track(s) with onset/offset windows and intensity "
-           "schedules over the calibrated background";
+           " overlay track(s) with onset/offset windows and intensity schedules over " +
+           (replay_background_ != nullptr ? "a replayed trace background"
+                                          : "the calibrated background");
 }
 
 // ---- spec grammar -----------------------------------------------------------
@@ -230,9 +248,28 @@ Result<std::unique_ptr<Scenario>> make_scenario(const std::string& spec,
                                                 const ScenarioConfig& config,
                                                 const Registry& registry) {
     if (spec.rfind("replay:", 0) == 0) {
-        auto replay = TraceReplayScenario::load(spec.substr(7), config);
+        // A leading replay element: the whole spec is a plain trace replay,
+        // or — with a '+' — the trace becomes the *background* of a
+        // composition ("replay:trace.csv+syn_flood@onset=0.3"). A '+' could
+        // also be part of the file name, so the whole-spec path wins when
+        // that file exists (the pre-composition behavior); otherwise the
+        // path is everything up to the first '+'.
+        std::size_t plus = spec.find('+');
+        if (plus != std::string::npos && std::ifstream(spec.substr(7)).good()) {
+            plus = std::string::npos;
+        }
+        auto replay = TraceReplayScenario::load(
+            spec.substr(7, plus == std::string::npos ? std::string::npos : plus - 7), config);
         if (!replay) return replay.status();
-        return std::unique_ptr<Scenario>(std::move(replay).value());
+        if (plus == std::string::npos) {
+            return std::unique_ptr<Scenario>(std::move(replay).value());
+        }
+        auto tracks = parse_compose_spec(spec.substr(plus + 1));
+        if (!tracks) return tracks.status();
+        auto composed = ComposedScenario::create(registry, tracks.value(), config, spec,
+                                                 std::move(replay).value());
+        if (!composed) return composed.status();
+        return std::unique_ptr<Scenario>(std::move(composed).value());
     }
     if (!config.trace_path.empty() && spec == "trace_replay") {
         auto replay = TraceReplayScenario::load(config.trace_path, config);
@@ -254,12 +291,14 @@ std::string compose_grammar_help() {
            "  spec     := element ('+' element)*     e.g. flash_crowd+syn_flood@onset=0.3\n"
            "  element  := name ('@' opt (',' opt)*)?\n"
            "  opt      := onset=F | offset=F | attack=F | ramp=F:F | pulse=F:F:N\n"
-           "  special  := replay:<path>              CSV/JSONL trace replay (whole spec only)\n"
+           "  special  := replay:<path>              CSV/JSONL trace replay; whole spec,\n"
+           "              or first element => the trace is the composition's background\n"
            "F <= 1.0 for onset/offset is a fraction of the run, > 1.0 absolute packets.\n"
            "ramp=A:B ramps the element's attack fraction from A at onset to B at its\n"
            "offset (or run end); pulse=LO:HI:N alternates N square pulses. Every element\n"
-           "is an independent overlay on the shared calibrated background; 'baseline'\n"
-           "elements are dropped. Same seed => byte-identical composed stream.";
+           "is an independent overlay on the shared background (calibrated synthetic, or\n"
+           "a replayed trace via a leading replay:<path> element); 'baseline' elements\n"
+           "are dropped. Same seed => byte-identical composed stream.";
 }
 
 }  // namespace flowcam::workload

@@ -13,8 +13,14 @@
 //   > 1.0 are absolute packet counts. ramp=A:B ramps the element's attack
 //   fraction linearly from A at its onset to B at its offset (or the run
 //   end); pulse=LO:HI:N alternates N square pulses. 'baseline' elements are
-//   dropped (the background is always present); 'replay:<path>' is only
-//   valid as a whole spec, not as an overlay element.
+//   dropped (the background is always present). 'replay:<path>' is valid as
+//   a whole spec or as the FIRST element, where it replaces the synthetic
+//   background: 'replay:trace.csv+syn_flood@onset=0.3' overlays a SYN flood
+//   on the captured trace — replayed packets keep their captured timing,
+//   overlay packets slot in right after the previous packet, and ground
+//   truth stays separable (replayed flow indices sit below kOverlayFlowBase,
+//   each overlay track owns a disjoint range above it). A replay element
+//   anywhere but first is an error (only backgrounds replay).
 //
 //   flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4
 //     => flash crowd from the default onset; a SYN flood joining at 30% of
@@ -57,9 +63,14 @@ class ComposedScenario final : public Scenario {
     /// Build from track specs; `display_name` is what name() reports (the
     /// original spec string for parsed compositions). Fails on unknown or
     /// non-overlay track scenarios and on windows with offset <= onset.
+    /// A non-null `background` (e.g. a TraceReplayScenario) replaces the
+    /// synthetic Pitman-Yor background: its packets keep their own
+    /// timestamps, overlay packets are nudged in right after the previous
+    /// packet (the merged stream stays strictly monotonic).
     [[nodiscard]] static Result<std::unique_ptr<ComposedScenario>> create(
         const Registry& registry, const std::vector<OverlayTrackSpec>& specs,
-        const ScenarioConfig& config, std::string display_name);
+        const ScenarioConfig& config, std::string display_name,
+        std::unique_ptr<Scenario> background = nullptr);
 
     [[nodiscard]] std::string name() const override { return display_name_; }
     [[nodiscard]] std::string description() const override;
@@ -89,6 +100,8 @@ class ComposedScenario final : public Scenario {
     ScenarioConfig config_;
     std::string display_name_;
     net::TraceGenerator background_;
+    /// Replaces background_ when set (replay-as-background composition).
+    std::unique_ptr<Scenario> replay_background_;
     Xoshiro256 gate_rng_;   ///< one track-vs-background draw per packet.
     Xoshiro256 clock_rng_;  ///< inter-arrival draws for the merged stream.
     std::vector<Track> tracks_;

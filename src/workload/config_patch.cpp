@@ -1,0 +1,334 @@
+#include "workload/config_patch.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "common/table_printer.hpp"
+#include "hash/hash_function.hpp"
+#include "workload/metrics.hpp"
+
+namespace flowcam::workload {
+
+namespace {
+
+bool parse_u64_strict(const std::string& text, u64& out) {
+    if (text.empty() || std::isdigit(static_cast<unsigned char>(text.front())) == 0) {
+        return false;  // no signs, no leading whitespace.
+    }
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out, 10);
+    return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+/// Locale-independent (from_chars), matching the locale-independent
+/// shortest_double printer so the parse/print round-trip holds even when a
+/// host process sets a non-C numeric locale.
+bool parse_double_strict(const std::string& text, double& out) {
+    if (text.empty()) return false;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+    return ec == std::errc() && ptr == text.data() + text.size() && std::isfinite(out);
+}
+
+Status bad_value(const std::string& key, const std::string& type, const std::string& value) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad value '" + value + "' for " + key + ": expected " + type);
+}
+
+/// Classic Levenshtein distance (the key set is ~35 short strings; O(n*m)
+/// per candidate is nothing).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diagonal = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+        }
+    }
+    return row[b.size()];
+}
+
+/// Field factories. `Access` is a lambda (ConfigTree&) -> reference to the
+/// target member; print uses it on a const_cast'ed tree (read-only by
+/// construction).
+
+template <typename Access>
+ConfigField uint_field(std::string key, std::string doc, Access access, u64 min_value = 0,
+                       u64 max_value = ~u64{0}) {
+    std::string type = "u64";
+    if (min_value > 0 || max_value != ~u64{0}) {
+        type += " in [" + std::to_string(min_value) + "," +
+                (max_value == ~u64{0} ? "max" : std::to_string(max_value)) + "]";
+    }
+    ConfigField field;
+    field.key = key;
+    field.type = type;
+    field.doc = std::move(doc);
+    field.apply = [key, type, access, min_value, max_value](ConfigTree& tree,
+                                                           const std::string& value) -> Status {
+        u64 parsed = 0;
+        if (!parse_u64_strict(value, parsed) || parsed < min_value || parsed > max_value) {
+            return bad_value(key, type, value);
+        }
+        access(tree) = static_cast<std::remove_reference_t<decltype(access(tree))>>(parsed);
+        return Status::ok();
+    };
+    field.print = [access](const ConfigTree& tree) {
+        return std::to_string(static_cast<u64>(access(const_cast<ConfigTree&>(tree))));
+    };
+    return field;
+}
+
+template <typename Access>
+ConfigField double_field(std::string key, std::string doc, Access access, std::string type,
+                         double min_value, double max_value, bool min_exclusive) {
+    ConfigField field;
+    field.key = key;
+    field.type = type;
+    field.doc = std::move(doc);
+    field.apply = [key, type, access, min_value, max_value, min_exclusive](
+                      ConfigTree& tree, const std::string& value) -> Status {
+        double parsed = 0.0;
+        if (!parse_double_strict(value, parsed) || parsed > max_value ||
+            (min_exclusive ? parsed <= min_value : parsed < min_value)) {
+            return bad_value(key, type, value);
+        }
+        access(tree) = parsed;
+        return Status::ok();
+    };
+    field.print = [access](const ConfigTree& tree) {
+        return shortest_double(access(const_cast<ConfigTree&>(tree)));
+    };
+    return field;
+}
+
+template <typename Access>
+ConfigField fraction_field(std::string key, std::string doc, Access access) {
+    return double_field(std::move(key), std::move(doc), access, "fraction in [0,1]", 0.0, 1.0,
+                        /*min_exclusive=*/false);
+}
+
+template <typename Access>
+ConfigField positive_field(std::string key, std::string doc, Access access) {
+    return double_field(std::move(key), std::move(doc), access, "positive number", 0.0,
+                        std::numeric_limits<double>::max(), /*min_exclusive=*/true);
+}
+
+/// `names[i]` spells the enum value with underlying index `i`.
+template <typename Access>
+ConfigField enum_field(std::string key, std::string doc, std::vector<std::string> names,
+                       Access access) {
+    std::string type = "enum(";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i != 0) type += "|";
+        type += names[i];
+    }
+    type += ")";
+    ConfigField field;
+    field.key = key;
+    field.type = type;
+    field.doc = std::move(doc);
+    field.apply = [key, type, names, access](ConfigTree& tree,
+                                             const std::string& value) -> Status {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i] == value) {
+                using Enum = std::remove_reference_t<decltype(access(tree))>;
+                access(tree) = static_cast<Enum>(i);
+                return Status::ok();
+            }
+        }
+        return bad_value(key, type, value);
+    };
+    field.print = [names, access](const ConfigTree& tree) {
+        const auto index =
+            static_cast<std::size_t>(access(const_cast<ConfigTree&>(tree)));
+        return index < names.size() ? names[index] : "?";
+    };
+    return field;
+}
+
+}  // namespace
+
+ConfigPatch::ConfigPatch() {
+    const auto add = [this](ConfigField field) { fields_[field.key] = std::move(field); };
+    const auto lut = [](ConfigTree& t) -> core::FlowLutConfig& { return t.runner.analyzer.lut; };
+
+    // --- lut.* : geometry, hashing, policies, queues, housekeeping ---------
+    add(uint_field("lut.buckets_per_mem", "hash locations per memory set",
+                   [lut](ConfigTree& t) -> u64& { return lut(t).buckets_per_mem; }, 1));
+    add(uint_field("lut.ways", "entries per hash location",
+                   [lut](ConfigTree& t) -> u32& { return lut(t).ways; }, 1, 0xFFFFFFFF));
+    add(uint_field("lut.cam_capacity", "collision CAM depth",
+                   [lut](ConfigTree& t) -> std::size_t& { return lut(t).cam_capacity; }));
+    add(enum_field("lut.hash", "index hash family",
+                   {"crc32c", "lookup3", "murmur3", "tabulation", "h3"},
+                   [lut](ConfigTree& t) -> hash::HashKind& { return lut(t).hash_kind; }));
+    add(uint_field("lut.hash_seed", "seed of the index hash family",
+                   [lut](ConfigTree& t) -> u64& { return lut(t).hash_seed; }));
+    add(enum_field("lut.balance", "sequencer load-balance policy (paper Fig. 2)",
+                   {"hash-bit", "weighted-hash", "alternate", "least-loaded"},
+                   [lut](ConfigTree& t) -> core::BalancePolicy& { return lut(t).balance; }));
+    add(fraction_field("lut.weight_a", "path-A probability for lut.balance=weighted-hash",
+                       [lut](ConfigTree& t) -> double& { return lut(t).weight_a; }));
+    add(enum_field("lut.insert", "bucket choice when both candidates have room",
+                   {"first-fit", "least-loaded"},
+                   [lut](ConfigTree& t) -> core::InsertPolicy& { return lut(t).insert_policy; }));
+    add(uint_field("lut.input_depth", "input FIFO depth",
+                   [lut](ConfigTree& t) -> std::size_t& { return lut(t).input_depth; }, 1));
+    add(uint_field("lut.lu_queue_depth", "per-path lookup queue depth",
+                   [lut](ConfigTree& t) -> std::size_t& { return lut(t).lu_queue_depth; }, 1));
+    add(uint_field("lut.match_queue_depth", "flow-match queue depth",
+                   [lut](ConfigTree& t) -> std::size_t& { return lut(t).match_queue_depth; },
+                   1));
+    add(uint_field("lut.update_queue_depth", "update-block queue depth",
+                   [lut](ConfigTree& t) -> std::size_t& { return lut(t).update_queue_depth; },
+                   1));
+    add(uint_field("lut.output_depth", "completion FIFO depth",
+                   [lut](ConfigTree& t) -> std::size_t& { return lut(t).output_depth; }, 1));
+    add(uint_field("lut.burst_write_threshold",
+                   "BWr_Gen releases when this many updates wait (paper Fig. 5)",
+                   [lut](ConfigTree& t) -> u32& { return lut(t).burst_write_threshold; }, 1,
+                   0xFFFFFFFF));
+    add(uint_field("lut.burst_write_timeout",
+                   "...or when the oldest queued update is this many cycles old",
+                   [lut](ConfigTree& t) -> Cycle& { return lut(t).burst_write_timeout; }, 1));
+    add(uint_field("lut.flow_timeout_ns", "idle time (stream ns) after which a flow expires",
+                   [lut](ConfigTree& t) -> u64& { return lut(t).flow_timeout_ns; }, 1));
+    add(uint_field("lut.housekeeping_scan_per_cycle",
+                   "flow records scanned per housekeeping tick (0 disables expiry)",
+                   [lut](ConfigTree& t) -> u32& { return lut(t).housekeeping_scan_per_cycle; },
+                   0, 0xFFFFFFFF));
+
+    // --- analyzer.* : event engine + packet buffer -------------------------
+    add(uint_field("analyzer.heavy_hitter_bytes", "heavy-hitter event byte threshold",
+                   [](ConfigTree& t) -> u64& { return t.runner.analyzer.heavy_hitter_bytes; },
+                   1));
+    add(uint_field("analyzer.port_scan_threshold",
+                   "distinct dst ports per src IP before a port-scan event",
+                   [](ConfigTree& t) -> u32& { return t.runner.analyzer.port_scan_threshold; },
+                   1, 0xFFFFFFFF));
+    add(fraction_field("analyzer.table_pressure",
+                       "fraction of table capacity that raises table-pressure",
+                       [](ConfigTree& t) -> double& { return t.runner.analyzer.table_pressure; }));
+    add(uint_field("analyzer.packet_buffer_depth", "packet buffer depth (frames)",
+                   [](ConfigTree& t) -> std::size_t& {
+                       return t.runner.analyzer.packet_buffer_depth;
+                   },
+                   1));
+
+    // --- runner.* : offered load + pacing ----------------------------------
+    add(uint_field("runner.packets", "packets to offer before draining",
+                   [](ConfigTree& t) -> u64& { return t.runner.packets; }, 1));
+    add(uint_field("runner.cycles_per_packet",
+                   "offer one packet every N system cycles (2 = 100 MHz input)",
+                   [](ConfigTree& t) -> u32& { return t.runner.cycles_per_packet; }, 1,
+                   0xFFFFFFFF));
+    add(uint_field("runner.max_cycles", "cycle budget before giving up the drain",
+                   [](ConfigTree& t) -> u64& { return t.runner.max_cycles; }, 1));
+    add(positive_field("runner.time_scale",
+                       "multiply offered timestamps (reach the 30s flow timeout in us runs)",
+                       [](ConfigTree& t) -> double& { return t.runner.time_scale; }));
+
+    // --- scenario.* : stream shape -----------------------------------------
+    add(uint_field("scenario.seed", "master seed pinning the whole offered stream",
+                   [](ConfigTree& t) -> u64& { return t.scenario.seed; }));
+    add(fraction_field("scenario.attack", "fraction of post-onset packets from the overlay",
+                       [](ConfigTree& t) -> double& { return t.scenario.attack_fraction; }));
+    add(uint_field("scenario.onset_packets", "background-only warmup before the overlay",
+                   [](ConfigTree& t) -> u64& { return t.scenario.onset_packets; }));
+    add(uint_field("scenario.horizon_packets",
+                   "run length schedules resolve against (0 = the runner's packet budget)",
+                   [](ConfigTree& t) -> u64& { return t.scenario.horizon_packets; }));
+    add(uint_field("scenario.pool_size",
+                   "scenario population (flash-crowd clients, churn pool, scan width)",
+                   [](ConfigTree& t) -> u64& { return t.scenario.pool_size; }, 1));
+    add(uint_field("scenario.wave_packets", "churn: overlay packets per birth/death wave",
+                   [](ConfigTree& t) -> u64& { return t.scenario.wave_packets; }, 1));
+    add(uint_field("scenario.elephant_count", "heavy-hitter: number of elephant flows",
+                   [](ConfigTree& t) -> u64& { return t.scenario.elephant_count; }, 1));
+    add(positive_field("scenario.zipf_exponent", "heavy-hitter: Zipf skew across elephants",
+                       [](ConfigTree& t) -> double& { return t.scenario.zipf_exponent; }));
+    add(positive_field("scenario.mean_gap_ns", "background mean packet inter-arrival (ns)",
+                       [](ConfigTree& t) -> double& {
+                           return t.scenario.background.mean_gap_ns;
+                       }));
+}
+
+const ConfigPatch& ConfigPatch::registry() {
+    static const ConfigPatch instance;
+    return instance;
+}
+
+const ConfigField* ConfigPatch::find(const std::string& key) const {
+    const auto it = fields_.find(key);
+    return it == fields_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ConfigPatch::keys() const {
+    std::vector<std::string> out;
+    out.reserve(fields_.size());
+    for (const auto& [key, field] : fields_) out.push_back(key);
+    return out;
+}
+
+Status ConfigPatch::apply(ConfigTree& tree, const std::string& key,
+                          const std::string& value) const {
+    const ConfigField* field = find(key);
+    if (field == nullptr) {
+        std::string message = "unknown config key '" + key + "'";
+        const std::string nearest = suggest(key);
+        if (!nearest.empty()) message += " (did you mean '" + nearest + "'?)";
+        message += "; --list-keys prints the registry";
+        return Status(StatusCode::kNotFound, message);
+    }
+    return field->apply(tree, value);
+}
+
+Status ConfigPatch::apply_assignment(ConfigTree& tree, const std::string& assignment) const {
+    const std::size_t eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "'" + assignment + "' is not a key=value assignment");
+    }
+    return apply(tree, assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+std::string ConfigPatch::print(const ConfigTree& tree, const std::string& key) const {
+    const ConfigField* field = find(key);
+    return field == nullptr ? "" : field->print(tree);
+}
+
+std::string ConfigPatch::list_keys() const {
+    const ConfigTree defaults;
+    TablePrinter table({"key", "type", "default", "doc"});
+    for (const auto& [key, field] : fields_) {
+        table.add_row({key, field.type, field.print(defaults), field.doc});
+    }
+    std::ostringstream out;
+    table.print(out, "Patchable config keys (--set key=value, --sweep key=v1,v2,...)");
+    return out.str();
+}
+
+std::string ConfigPatch::suggest(const std::string& key) const {
+    std::string best;
+    std::size_t best_distance = ~std::size_t{0};
+    for (const auto& [candidate, field] : fields_) {
+        const std::size_t distance = edit_distance(key, candidate);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = candidate;
+        }
+    }
+    // Only suggest plausible typos, not wild guesses.
+    const std::size_t threshold = std::max<std::size_t>(2, key.size() / 3);
+    return best_distance <= threshold ? best : "";
+}
+
+}  // namespace flowcam::workload

@@ -1,0 +1,76 @@
+// ConfigPatch: a small field registry over the full run-an-experiment config
+// tree — RunnerConfig (and inside it AnalyzerConfig -> FlowLutConfig) plus
+// ScenarioConfig — so the CLI, the benches and the tests all patch configs
+// through one declarative surface instead of bespoke flag plumbing:
+//
+//   lut.cam_capacity=4096  lut.balance=weighted-hash  lut.weight_a=0.7
+//   runner.cycles_per_packet=3  runner.time_scale=1e6  scenario.attack=0.8
+//
+// Every registered key carries a type label, a doc line, a parser with a
+// typed error message (bad value -> the expected form), and a printer (the
+// current value, round-trippable through the parser). Unknown keys fail with
+// a nearest-match suggestion; `scenario_runner --list-keys` prints the whole
+// registry with defaults and docs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "workload/runner.hpp"
+#include "workload/scenario.hpp"
+
+namespace flowcam::workload {
+
+/// The full config tree one experiment cell runs with.
+struct ConfigTree {
+    RunnerConfig runner;      ///< incl. analyzer -> lut subtrees.
+    ScenarioConfig scenario;  ///< seed, attack shape, generator knobs.
+};
+
+struct ConfigField {
+    std::string key;   ///< dotted path, e.g. "lut.cam_capacity".
+    std::string type;  ///< expected form, e.g. "u64", "fraction", "enum(a|b)".
+    std::string doc;
+    std::function<Status(ConfigTree&, const std::string&)> apply;  ///< parse + assign.
+    std::function<std::string(const ConfigTree&)> print;           ///< round-trippable.
+};
+
+class ConfigPatch {
+  public:
+    /// The process-wide registry of every patchable field.
+    [[nodiscard]] static const ConfigPatch& registry();
+
+    /// nullptr for unknown keys.
+    [[nodiscard]] const ConfigField* find(const std::string& key) const;
+    /// Sorted registered keys.
+    [[nodiscard]] std::vector<std::string> keys() const;
+
+    /// Apply one value; kNotFound (with a nearest-match suggestion) for
+    /// unknown keys, kInvalidArgument (naming the expected form) for
+    /// malformed values.
+    [[nodiscard]] Status apply(ConfigTree& tree, const std::string& key,
+                               const std::string& value) const;
+    /// Apply one "key=value" assignment string.
+    [[nodiscard]] Status apply_assignment(ConfigTree& tree, const std::string& assignment) const;
+
+    /// Current value of `key` in `tree` ("" for unknown keys).
+    [[nodiscard]] std::string print(const ConfigTree& tree, const std::string& key) const;
+
+    /// --list-keys: aligned key / type / default / doc table (defaults from a
+    /// default-constructed ConfigTree).
+    [[nodiscard]] std::string list_keys() const;
+
+    /// Closest registered key by edit distance, or "" when nothing is close
+    /// enough to be a plausible typo.
+    [[nodiscard]] std::string suggest(const std::string& key) const;
+
+  private:
+    ConfigPatch();
+
+    std::map<std::string, ConfigField> fields_;  ///< sorted for stable listings.
+};
+
+}  // namespace flowcam::workload

@@ -1,0 +1,190 @@
+#include "workload/experiment.hpp"
+
+#include <sstream>
+
+#include "common/table_printer.hpp"
+#include "common/thread_pool.hpp"
+#include "workload/compose.hpp"
+#include "workload/metrics.hpp"
+
+namespace flowcam::workload {
+
+Result<SweepAxis> parse_sweep_axis(const std::string& text) {
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "'" + text + "' is not a sweep axis; expected key=v1,v2,...");
+    }
+    SweepAxis axis;
+    axis.key = text.substr(0, eq);
+    std::size_t start = eq + 1;
+    while (true) {
+        const std::size_t comma = text.find(',', start);
+        const std::string value =
+            text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (value.empty()) {
+            return Status(StatusCode::kInvalidArgument,
+                          "empty value in sweep axis '" + text + "'");
+        }
+        axis.values.push_back(value);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return axis;
+}
+
+Result<Experiment> Experiment::plan(ExperimentSpec spec) {
+    if (spec.scenarios.empty()) {
+        return Status(StatusCode::kInvalidArgument, "experiment needs at least one scenario");
+    }
+    const ConfigPatch& patch = ConfigPatch::registry();
+    // Validate eagerly against a scratch tree so a bad key or value fails the
+    // whole plan with a typed error instead of poisoning N cells at run time.
+    ConfigTree scratch = spec.base;
+    for (const std::string& assignment : spec.overrides) {
+        if (Status status = patch.apply_assignment(scratch, assignment); !status.is_ok()) {
+            return status;
+        }
+    }
+    for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+        const SweepAxis& axis = spec.axes[i];
+        if (axis.values.empty()) {
+            return Status(StatusCode::kInvalidArgument,
+                          "sweep axis '" + axis.key + "' has no values");
+        }
+        // A repeated axis key would silently let the later axis win while
+        // the grid's lead columns still claim the earlier one's values —
+        // results attributed to configs that never ran.
+        for (std::size_t j = 0; j < i; ++j) {
+            if (spec.axes[j].key == axis.key) {
+                return Status(StatusCode::kInvalidArgument,
+                              "sweep axis '" + axis.key + "' appears twice");
+            }
+        }
+        for (const std::string& value : axis.values) {
+            if (Status status = patch.apply(scratch, axis.key, value); !status.is_ok()) {
+                return status;
+            }
+        }
+    }
+
+    Experiment experiment(std::move(spec));
+    // Row-major grid: scenarios outermost, the last axis fastest — the cell
+    // order (and with it every rendering) is a pure function of the spec.
+    u64 grid = 1;
+    for (const SweepAxis& axis : experiment.spec_.axes) grid *= axis.values.size();
+    experiment.cells_.reserve(experiment.spec_.scenarios.size() * grid);
+    for (const std::string& scenario : experiment.spec_.scenarios) {
+        for (u64 point = 0; point < grid; ++point) {
+            ExperimentCell cell;
+            cell.index = experiment.cells_.size();
+            cell.scenario = scenario;
+            u64 remainder = point;
+            u64 stride = grid;
+            for (const SweepAxis& axis : experiment.spec_.axes) {
+                stride /= axis.values.size();
+                cell.assignments.emplace_back(axis.key, axis.values[remainder / stride]);
+                remainder %= stride;
+            }
+            experiment.cells_.push_back(std::move(cell));
+        }
+    }
+    return experiment;
+}
+
+Result<ScenarioMetrics> Experiment::run_cell(const ExperimentCell& cell,
+                                             const Registry& registry) const {
+    const ConfigPatch& patch = ConfigPatch::registry();
+    ConfigTree tree = spec_.base;
+    for (const std::string& assignment : spec_.overrides) {
+        if (Status status = patch.apply_assignment(tree, assignment); !status.is_ok()) {
+            return status;
+        }
+    }
+    for (const auto& [key, value] : cell.assignments) {
+        if (Status status = patch.apply(tree, key, value); !status.is_ok()) return status;
+    }
+    // Intensity schedules and fractional windows resolve against the actual
+    // packet budget unless the caller pinned a horizon explicitly.
+    ScenarioConfig resolved = tree.scenario;
+    if (resolved.horizon_packets == 0) resolved.horizon_packets = tree.runner.packets;
+    auto scenario = make_scenario(cell.scenario, resolved, registry);
+    if (!scenario) return scenario.status();
+    ScenarioRunner runner(tree.runner);
+    return runner.run(*scenario.value());
+}
+
+std::vector<CellResult> Experiment::run(std::size_t jobs, const Registry& registry) const {
+    std::vector<CellResult> results(cells_.size());
+    common::ThreadPool::parallel_for_indexed(cells_.size(), jobs, [&](std::size_t i) {
+        results[i].cell = cells_[i];
+        auto metrics = run_cell(cells_[i], registry);
+        if (metrics) {
+            results[i].status = Status::ok();
+            results[i].metrics = std::move(metrics).value();
+        } else {
+            results[i].status = metrics.status();
+            results[i].metrics.scenario = cells_[i].scenario;  // identifiable rows.
+        }
+    });
+    return results;
+}
+
+std::vector<std::string> Experiment::lead_columns() const {
+    std::vector<std::string> lead{"cell"};
+    for (const SweepAxis& axis : spec_.axes) lead.push_back(axis.key);
+    // Failed cells serialize default-zero metrics; the in-row status keeps
+    // them distinguishable from measured zeros in every rendering (the CI
+    // grid artifact is uploaded even when cells failed).
+    lead.push_back("status");
+    return lead;
+}
+
+std::vector<std::string> Experiment::cell_lead(const CellResult& result) const {
+    std::vector<std::string> lead{std::to_string(result.cell.index)};
+    for (const auto& [key, value] : result.cell.assignments) lead.push_back(value);
+    lead.push_back(result.status.is_ok() ? "ok" : result.status.to_string());
+    return lead;
+}
+
+std::string Experiment::table(const std::vector<CellResult>& results) const {
+    std::vector<std::string> headers = lead_columns();
+    for (const MetricField& field : metric_schema()) {
+        if (field.grid) headers.push_back(field.name);
+    }
+    TablePrinter table(std::move(headers));
+    for (const CellResult& result : results) {
+        std::vector<std::string> row = cell_lead(result);
+        for (const MetricField& field : metric_schema()) {
+            if (field.grid) row.push_back(metric_text(field, result.metrics));
+        }
+        table.add_row(std::move(row));
+    }
+    std::ostringstream out;
+    table.print(out, "Experiment grid: " + std::to_string(results.size()) + " cell(s)");
+    return out.str();
+}
+
+std::string Experiment::csv(const std::vector<CellResult>& results) const {
+    std::string out = metrics_csv_header(lead_columns()) + "\n";
+    for (const CellResult& result : results) {
+        out += metrics_csv_row(result.metrics, cell_lead(result)) + "\n";
+    }
+    return out;
+}
+
+std::string Experiment::jsonl(const std::vector<CellResult>& results) const {
+    const std::vector<std::string> columns = lead_columns();
+    std::string out;
+    for (const CellResult& result : results) {
+        std::vector<std::pair<std::string, std::string>> lead{{"bench", "experiment"}};
+        const std::vector<std::string> values = cell_lead(result);
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            lead.emplace_back(columns[i], values[i]);
+        }
+        out += metrics_json_object(result.metrics, lead) + "\n";
+    }
+    return out;
+}
+
+}  // namespace flowcam::workload

@@ -1,0 +1,101 @@
+// Experiment: a declarative parameter study. N scenario specs (full compose
+// grammar) crossed with M config axes (ConfigPatch keys, each with a value
+// list) form a cartesian grid of cells; every cell runs one scenario through
+// a fresh analyzer stack under its patched ConfigTree, on the shared
+// ThreadPool when jobs > 1 — results come back in cell order, so the table,
+// CSV and JSONL renderings are byte-identical to a serial run.
+//
+// Seeding is part of the cell's resolved config, never of the execution
+// order: config-axis cells share the base scenario seed (byte-identical
+// offered stream, so a CAM-depth sweep compares like with like); sweep
+// `scenario.seed` itself to add replications.
+//
+// All three renderers read the one metric schema (workload/metrics.hpp):
+// adding a metric is one registry line, and it shows up in JSONL, CSV and
+// (when flagged) the terminal grid at once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "workload/config_patch.hpp"
+#include "workload/registry.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::workload {
+
+/// One config axis: a ConfigPatch key with the values to sweep.
+struct SweepAxis {
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/// Parse "--sweep" text: `key=v1,v2,...` (at least one value).
+[[nodiscard]] Result<SweepAxis> parse_sweep_axis(const std::string& text);
+
+struct ExperimentSpec {
+    ConfigTree base;
+    /// Scenario specs (full grammar: names, compositions, replay:<path>).
+    std::vector<std::string> scenarios;
+    /// "key=value" patches applied to every cell before the axis values.
+    std::vector<std::string> overrides;
+    /// Config axes, crossed with each other and with `scenarios`.
+    std::vector<SweepAxis> axes;
+};
+
+struct ExperimentCell {
+    std::size_t index = 0;  ///< row-major: scenarios outermost, last axis fastest.
+    std::string scenario;
+    /// One (key, value) per axis, in axis order.
+    std::vector<std::pair<std::string, std::string>> assignments;
+};
+
+struct CellResult {
+    ExperimentCell cell;
+    Status status = Status(StatusCode::kUnavailable, "not run");
+    ScenarioMetrics metrics;  ///< valid when status.is_ok().
+};
+
+class Experiment {
+  public:
+    /// Validate the spec eagerly — every override and axis value must parse
+    /// against the base tree (typed ConfigPatch errors), the scenario list
+    /// must be non-empty — and expand the grid.
+    [[nodiscard]] static Result<Experiment> plan(ExperimentSpec spec);
+
+    [[nodiscard]] const ExperimentSpec& spec() const { return spec_; }
+    [[nodiscard]] const std::vector<ExperimentCell>& cells() const { return cells_; }
+
+    /// Run every cell; jobs > 1 uses the ThreadPool (one independent engine +
+    /// Flow LUT per cell), results in cell order regardless of interleaving.
+    [[nodiscard]] std::vector<CellResult> run(
+        std::size_t jobs = 1, const Registry& registry = builtin_registry()) const;
+
+    /// Run one cell: base tree + overrides + the cell's axis assignments,
+    /// horizon resolved from the patched packet budget.
+    [[nodiscard]] Result<ScenarioMetrics> run_cell(const ExperimentCell& cell,
+                                                   const Registry& registry) const;
+
+    /// The per-cell lead columns every renderer shares: "cell", then one
+    /// column per axis key.
+    [[nodiscard]] std::vector<std::string> lead_columns() const;
+
+    // ---- Renderers (one metric schema; byte-stable across jobs) ----------
+    /// Aligned terminal grid: lead columns + the schema's `grid` fields.
+    [[nodiscard]] std::string table(const std::vector<CellResult>& results) const;
+    /// Header + one row per cell over the full schema.
+    [[nodiscard]] std::string csv(const std::vector<CellResult>& results) const;
+    /// One JSON object per cell over the full schema.
+    [[nodiscard]] std::string jsonl(const std::vector<CellResult>& results) const;
+
+  private:
+    explicit Experiment(ExperimentSpec spec) : spec_(std::move(spec)) {}
+
+    [[nodiscard]] std::vector<std::string> cell_lead(const CellResult& result) const;
+
+    ExperimentSpec spec_;
+    std::vector<ExperimentCell> cells_;
+};
+
+}  // namespace flowcam::workload

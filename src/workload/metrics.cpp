@@ -1,0 +1,223 @@
+#include "workload/metrics.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+
+namespace flowcam::workload {
+
+namespace {
+
+using M = ScenarioMetrics;
+
+MetricField str_field(const char* name, const char* doc, std::string M::* member) {
+    return {name, "", doc, MetricKind::kString, true, 0, member, nullptr, nullptr, nullptr};
+}
+MetricField u64_field(const char* name, const char* unit, const char* doc, u64 M::* member,
+                      bool grid = false) {
+    return {name, unit, doc, MetricKind::kU64, grid, 0, nullptr, member, nullptr, nullptr};
+}
+MetricField dbl_field(const char* name, const char* unit, const char* doc, double M::* member,
+                      bool grid = false, int decimals = 2) {
+    return {name, unit, doc, MetricKind::kDouble, grid, decimals, nullptr, nullptr, member,
+            nullptr};
+}
+MetricField bool_field(const char* name, const char* doc, bool M::* member) {
+    return {name, "", doc, MetricKind::kBool, false, 0, nullptr, nullptr, nullptr, member};
+}
+
+}  // namespace
+
+const std::vector<MetricField>& metric_schema() {
+    static const std::vector<MetricField> schema = {
+        str_field("scenario", "the scenario spec this row measured", &M::scenario),
+        // Offered stream (ground truth from the generator).
+        u64_field("packets", "pkts", "packets offered into the analyzer", &M::packets),
+        u64_field("bytes", "bytes", "frame bytes offered", &M::bytes),
+        u64_field("distinct_flows", "flows", "distinct ground-truth flows offered",
+                  &M::distinct_flows, /*grid=*/true),
+        u64_field("overlay_packets", "pkts", "packets drawn from attack overlays",
+                  &M::overlay_packets),
+        u64_field("trace_span_ns", "ns", "last minus first offered timestamp (scaled time)",
+                  &M::trace_span_ns),
+        // Flow LUT outcome.
+        u64_field("completions", "pkts", "descriptors retired by the Flow LUT",
+                  &M::completions),
+        u64_field("cam_hits", "pkts", "answered at the sequencer CAM stage", &M::cam_hits,
+                  /*grid=*/true),
+        u64_field("lu1_hits", "pkts", "answered by the first memory lookup", &M::lu1_hits,
+                  /*grid=*/true),
+        u64_field("lu2_hits", "pkts", "answered by the redirected second lookup", &M::lu2_hits,
+                  /*grid=*/true),
+        u64_field("new_flows", "flows", "inserts (first packet of a flow)", &M::new_flows,
+                  /*grid=*/true),
+        u64_field("drops", "pkts", "table completely full (retired with invalid FID)",
+                  &M::drops, /*grid=*/true),
+        u64_field("buffer_retries", "pkts",
+                  "packet-buffer backpressure retries (nothing is lost)", &M::buffer_retries),
+        u64_field("flows_expired", "flows", "records evicted by the idle-timeout scan",
+                  &M::flows_expired, /*grid=*/true),
+        // Analyzer events.
+        u64_field("events_port_scan", "events", "port-scan events raised", &M::events_port_scan),
+        u64_field("events_heavy_hitter", "events", "heavy-hitter events raised",
+                  &M::events_heavy_hitter),
+        u64_field("events_table_pressure", "events", "table-pressure events raised",
+                  &M::events_table_pressure),
+        u64_field("events_flow_expired", "events", "flow-expired events raised",
+                  &M::events_flow_expired),
+        // Timing.
+        u64_field("cycles", "cycles", "system-clock cycles simulated", &M::cycles),
+        bool_field("drained", "every offered packet retired within the cycle budget",
+                   &M::drained),
+        dbl_field("new_flow_ratio", "ratio", "new flows / completions (paper's B/A)",
+                  &M::new_flow_ratio, /*grid=*/true, /*decimals=*/4),
+        dbl_field("mdesc_per_s", "Mdesc/s", "lookup rate over the busy interval",
+                  &M::mdesc_per_s, /*grid=*/true),
+        dbl_field("sustained_gbps", "Gb/s", "min-frame line rate that lookup rate serves",
+                  &M::sustained_gbps, /*grid=*/true, /*decimals=*/1),
+        dbl_field("offered_gbps", "Gb/s", "offered bytes over the trace span (scaled time)",
+                  &M::offered_gbps, /*grid=*/false, /*decimals=*/1),
+    };
+    return schema;
+}
+
+std::string metric_text(const MetricField& field, const ScenarioMetrics& metrics) {
+    switch (field.kind) {
+        case MetricKind::kString: return metrics.*(field.s);
+        case MetricKind::kU64: return std::to_string(metrics.*(field.u));
+        case MetricKind::kDouble: return TablePrinter::fixed(metrics.*(field.d), field.decimals);
+        case MetricKind::kBool: return (metrics.*(field.b)) ? "true" : "false";
+    }
+    return "?";
+}
+
+std::string metric_json(const MetricField& field, const ScenarioMetrics& metrics) {
+    switch (field.kind) {
+        case MetricKind::kString: return "\"" + json_escape(metrics.*(field.s)) + "\"";
+        case MetricKind::kU64: return std::to_string(metrics.*(field.u));
+        case MetricKind::kDouble: return shortest_double(metrics.*(field.d));
+        case MetricKind::kBool: return (metrics.*(field.b)) ? "true" : "false";
+    }
+    return "null";
+}
+
+std::string shortest_double(double value) {
+    char buffer[64];
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return ec == std::errc() ? std::string(buffer, ptr) : std::to_string(value);
+}
+
+std::string json_escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string metrics_json_object(const ScenarioMetrics& metrics,
+                                const std::vector<std::pair<std::string, std::string>>& lead) {
+    std::string out = "{";
+    bool first = true;
+    const auto append = [&](const std::string& key, const std::string& json_value) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + json_escape(key) + "\":" + json_value;
+    };
+    for (const auto& [key, value] : lead) {
+        append(key, "\"" + json_escape(value) + "\"");
+    }
+    for (const MetricField& field : metric_schema()) {
+        append(field.name, metric_json(field, metrics));
+    }
+    out += "}";
+    return out;
+}
+
+namespace {
+
+/// Quote a CSV cell only when it needs it (commas/quotes/newlines).
+std::string csv_cell(const std::string& raw) {
+    if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+    std::string out = "\"";
+    for (const char c : raw) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+}  // namespace
+
+std::string metrics_csv_header(const std::vector<std::string>& lead) {
+    std::string out;
+    bool first = true;  // explicit: an empty first cell must still separate.
+    for (const std::string& column : lead) {
+        if (!first) out += ",";
+        first = false;
+        out += csv_cell(column);
+    }
+    for (const MetricField& field : metric_schema()) {
+        if (!first) out += ",";
+        first = false;
+        out += field.name;
+    }
+    return out;
+}
+
+std::string metrics_csv_row(const ScenarioMetrics& metrics,
+                            const std::vector<std::string>& lead) {
+    std::string out;
+    bool first = true;
+    for (const std::string& cell : lead) {
+        if (!first) out += ",";
+        first = false;
+        out += csv_cell(cell);
+    }
+    for (const MetricField& field : metric_schema()) {
+        if (!first) out += ",";
+        first = false;
+        // CSV reuses the JSON scalar rendering (full precision, locale-free);
+        // strings get CSV quoting instead of JSON quoting.
+        out += field.kind == MetricKind::kString ? csv_cell(metrics.*(field.s))
+                                                 : metric_json(field, metrics);
+    }
+    return out;
+}
+
+std::string ScenarioMetrics::to_string() const {
+    // Human summary, emitted straight from the schema registry: a header
+    // line, then name=value tokens wrapped to a terminal-friendly width.
+    std::string out = "scenario " + scenario;
+    if (!drained) out += "  [NOT DRAINED]";
+    std::string line;
+    for (const MetricField& field : metric_schema()) {
+        if (field.s == &ScenarioMetrics::scenario || field.b == &ScenarioMetrics::drained) {
+            continue;  // both already on the header line.
+        }
+        std::string token = std::string(field.name) + "=" + metric_text(field, *this);
+        if (field.unit[0] != '\0') token += std::string(" ") + field.unit;
+        if (line.size() + token.size() + 2 > 78 && !line.empty()) {
+            out += "\n  " + line;
+            line.clear();
+        }
+        if (!line.empty()) line += "  ";
+        line += token;
+    }
+    if (!line.empty()) out += "\n  " + line;
+    return out;
+}
+
+}  // namespace flowcam::workload

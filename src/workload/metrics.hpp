@@ -1,0 +1,62 @@
+// The metric schema registry: every ScenarioMetrics field, described once
+// (name, unit, kind, doc, member pointer), and rendered everywhere from that
+// one description — ScenarioMetrics::to_string, the bench/experiment JSONL
+// stream, the grid CSV and the aligned terminal table all read this list.
+// Adding a metric is one line in metric_schema() plus the struct field.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/runner.hpp"
+
+namespace flowcam::workload {
+
+enum class MetricKind : u8 { kString, kU64, kDouble, kBool };
+
+struct MetricField {
+    const char* name;  ///< stable identifier ("cam_hits"); JSONL/CSV column.
+    const char* unit;  ///< "pkts", "flows", "ratio", "cycles", "Gb/s", ... ("" = plain).
+    const char* doc;   ///< one-line meaning, for readers of this registry (the
+                       ///< renderers emit name/unit/value; docs live here).
+    MetricKind kind;
+    bool grid;         ///< include in the compact terminal grid (wide tables stay readable).
+    int decimals;      ///< human formatting for kDouble (JSON/CSV always use the
+                       ///< shortest exact round-trip rendering).
+    // Exactly one member pointer is set, matching `kind`.
+    std::string ScenarioMetrics::* s = nullptr;
+    u64 ScenarioMetrics::* u = nullptr;
+    double ScenarioMetrics::* d = nullptr;
+    bool ScenarioMetrics::* b = nullptr;
+};
+
+/// The full schema, in emission order ("scenario" first).
+[[nodiscard]] const std::vector<MetricField>& metric_schema();
+
+/// Human-oriented rendering of one field ("12.34", "true", "syn_flood").
+[[nodiscard]] std::string metric_text(const MetricField& field, const ScenarioMetrics& metrics);
+
+/// JSON literal for one field (quotes + escapes strings; doubles use the
+/// shortest exact round-trip rendering, byte-stable across runs and jobs).
+[[nodiscard]] std::string metric_json(const MetricField& field, const ScenarioMetrics& metrics);
+
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+/// Shortest decimal rendering that parses back to the exact double
+/// (std::to_chars) — shared by the JSON/CSV emitters and ConfigPatch
+/// printers so every machine-readable surface round-trips.
+[[nodiscard]] std::string shortest_double(double value);
+
+/// One JSONL object over the whole schema; `lead` key/value pairs (already
+/// valid JSON values NOT included — they are escaped here) come first, for
+/// experiment-cell coordinates.
+[[nodiscard]] std::string metrics_json_object(
+    const ScenarioMetrics& metrics,
+    const std::vector<std::pair<std::string, std::string>>& lead = {});
+
+/// CSV over the whole schema; `lead` columns come first.
+[[nodiscard]] std::string metrics_csv_header(const std::vector<std::string>& lead = {});
+[[nodiscard]] std::string metrics_csv_row(const ScenarioMetrics& metrics,
+                                          const std::vector<std::string>& lead = {});
+
+}  // namespace flowcam::workload

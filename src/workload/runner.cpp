@@ -1,14 +1,12 @@
 #include "workload/runner.hpp"
 
-#include <cinttypes>
-#include <cstdio>
 #include <unordered_set>
 
 #include "net/linerate.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sim/ticker.hpp"
-#include "workload/compose.hpp"
+#include "workload/experiment.hpp"
 
 namespace flowcam::workload {
 
@@ -21,11 +19,12 @@ namespace {
 class SourceTicker final : public sim::Ticker {
   public:
     SourceTicker(Scenario& scenario, analyzer::TrafficAnalyzer& analyzer, u64 packet_budget,
-                 u32 cycles_per_packet, ScenarioMetrics& metrics)
+                 u32 cycles_per_packet, double time_scale, ScenarioMetrics& metrics)
         : scenario_(scenario),
           analyzer_(analyzer),
           budget_(packet_budget),
           cycles_per_packet_(cycles_per_packet == 0 ? 1 : cycles_per_packet),
+          time_scale_(time_scale > 0.0 ? time_scale : 1.0),
           metrics_(metrics) {}
 
     void tick(Cycle now) override {
@@ -34,6 +33,26 @@ class SourceTicker final : public sim::Ticker {
         if (!pending_ && now % cycles_per_packet_ != 0) return;
         if (!pending_) {
             record_ = scenario_.next();
+            // Scenario-time compression: scale the offered timestamp so the
+            // flow idle timeout is reachable inside short runs. Everything
+            // downstream (flow state expiry, trace span, offered Gb/s) sees
+            // only scaled time, so the expiry fast-forward guard stays
+            // consistent by construction. The nudge keeps the stream
+            // strictly monotonic for scales < 1. Products beyond the u64
+            // range (epoch-ns traces under huge scales) saturate instead of
+            // wrapping: past the cap the stream degrades to +1 ns steps.
+            if (time_scale_ != 1.0) {
+                constexpr double kMaxScaledNs = 9.2e18;  // < 2^63: cast-safe.
+                const double scaled =
+                    static_cast<double>(record_.timestamp_ns) * time_scale_;
+                record_.timestamp_ns =
+                    scaled >= kMaxScaledNs ? static_cast<u64>(kMaxScaledNs)
+                                           : static_cast<u64>(scaled);
+            }
+            if (record_.timestamp_ns <= last_scaled_ns_ && metrics_.packets > 0) {
+                record_.timestamp_ns = last_scaled_ns_ + 1;
+            }
+            last_scaled_ns_ = record_.timestamp_ns;
             pending_ = true;
         }
         if (!analyzer_.feed_record(record_)) return;  // buffer full; retry.
@@ -68,8 +87,10 @@ class SourceTicker final : public sim::Ticker {
     analyzer::TrafficAnalyzer& analyzer_;
     u64 budget_;
     u32 cycles_per_packet_;
+    double time_scale_;
     ScenarioMetrics& metrics_;
     net::PacketRecord record_;
+    u64 last_scaled_ns_ = 0;
     bool pending_ = false;
     Cycle last_now_ = 0;
     std::unordered_set<u64> flows_;
@@ -104,13 +125,18 @@ Result<ScenarioMetrics> ScenarioRunner::run(const std::string& name,
 Result<ScenarioMetrics> ScenarioRunner::run(const Registry& registry, const std::string& name,
                                             const ScenarioConfig& scenario_config) {
     // `name` is a full spec (plain name, replay:<path>, or a '+'-composition).
-    // Intensity schedules and fractional windows resolve against the actual
-    // packet budget unless the caller pinned a horizon explicitly.
-    ScenarioConfig resolved = scenario_config;
-    if (resolved.horizon_packets == 0) resolved.horizon_packets = config_.packets;
-    auto scenario = make_scenario(name, resolved, registry);
-    if (!scenario) return scenario.status();
-    return run(*scenario.value());
+    // A plain run IS a one-cell experiment: no axes, this runner's config as
+    // the base tree — so every call site shares the Experiment code path
+    // (horizon resolution, patching, seeding) with the grid sweeps.
+    ExperimentSpec spec;
+    spec.base.runner = config_;
+    spec.base.scenario = scenario_config;
+    spec.scenarios = {name};
+    auto experiment = Experiment::plan(std::move(spec));
+    if (!experiment) return experiment.status();
+    std::vector<CellResult> results = experiment.value().run(1, registry);
+    if (!results[0].status.is_ok()) return results[0].status;
+    return std::move(results[0].metrics);
 }
 
 ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
@@ -119,7 +145,8 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
     ScenarioMetrics metrics;
     metrics.scenario = scenario.name();
 
-    SourceTicker source(scenario, analyzer, config_.packets, config_.cycles_per_packet, metrics);
+    SourceTicker source(scenario, analyzer, config_.packets, config_.cycles_per_packet,
+                        config_.time_scale, metrics);
     AnalyzerTicker sink(analyzer);
 
     sim::Engine engine;
@@ -147,11 +174,13 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
     // TrafficAnalyzer counts one "drop" per rejected feed_record call; with
     // a retrying source these are backpressure stalls, not lost packets.
     metrics.buffer_retries = analyzer.stats().dropped_buffer_full;
+    metrics.flows_expired = analyzer.lut().flow_state().expired_total();
     for (const auto& event : analyzer.events()) {
         switch (event.kind) {
             case analyzer::EventKind::kPortScan: ++metrics.events_port_scan; break;
             case analyzer::EventKind::kHeavyHitter: ++metrics.events_heavy_hitter; break;
             case analyzer::EventKind::kTablePressure: ++metrics.events_table_pressure; break;
+            case analyzer::EventKind::kFlowExpired: ++metrics.events_flow_expired; break;
             default: break;
         }
     }
@@ -170,22 +199,7 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
     return metrics;
 }
 
-std::string ScenarioMetrics::to_string() const {
-    char buffer[768];
-    std::snprintf(
-        buffer, sizeof(buffer),
-        "scenario %-12s  packets %" PRIu64 " (overlay %" PRIu64 ", flows %" PRIu64
-        ")\n"
-        "  completions %" PRIu64 "  hit split CAM/LU1/LU2 = %" PRIu64 "/%" PRIu64 "/%" PRIu64
-        "  new flows %" PRIu64 " (%.1f%%)\n"
-        "  drops %" PRIu64 " (table)  %" PRIu64 " (buffer retries)  events: scan %" PRIu64
-        " heavy %" PRIu64 " pressure %" PRIu64 "\n"
-        "  %" PRIu64 " cycles  %.2f Mdesc/s  sustains %.1f Gb/s @64B  offered %.1f Gb/s%s",
-        scenario.c_str(), packets, overlay_packets, distinct_flows, completions, cam_hits,
-        lu1_hits, lu2_hits, new_flows, 100.0 * new_flow_ratio, drops, buffer_retries,
-        events_port_scan, events_heavy_hitter, events_table_pressure, cycles, mdesc_per_s,
-        sustained_gbps, offered_gbps, drained ? "" : "  [NOT DRAINED]");
-    return buffer;
-}
+// ScenarioMetrics::to_string lives in workload/metrics.cpp, rendered from
+// the metric schema registry.
 
 }  // namespace flowcam::workload

@@ -24,6 +24,12 @@ struct RunnerConfig {
     u32 cycles_per_packet = 2;
     /// Cycle budget for offering + draining before giving up.
     u64 max_cycles = 50'000'000;
+    /// Scenario-time compression: offered timestamps are multiplied by this
+    /// before they enter the analyzer, so stream time (and with it the 30 s
+    /// flow idle timeout) is reachable inside microsecond-span runs. The
+    /// scaled stream stays strictly monotonic; offered_gbps and
+    /// trace_span_ns are reported in scaled time.
+    double time_scale = 1.0;
 
     RunnerConfig() {
         // Simulation-friendly default geometry (the prototype's 8 M-entry
@@ -54,11 +60,13 @@ struct ScenarioMetrics {
                     ///< invalid FID, so completions == packets when drained).
     u64 buffer_retries = 0;  ///< packet-buffer backpressure retries (the
                              ///< source holds the frame, nothing is lost).
+    u64 flows_expired = 0;   ///< records evicted by the idle-timeout scan.
 
     // Analyzer events.
     u64 events_port_scan = 0;
     u64 events_heavy_hitter = 0;
     u64 events_table_pressure = 0;
+    u64 events_flow_expired = 0;
 
     // Timing.
     u64 cycles = 0;
@@ -68,6 +76,8 @@ struct ScenarioMetrics {
     double sustained_gbps = 0.0;  ///< min-frame line rate that lookup rate serves (§V-B).
     double offered_gbps = 0.0;    ///< actual bytes over the trace's time span.
 
+    /// Rendered through the metric schema registry (workload/metrics.hpp) —
+    /// the same field list that backs the JSONL, CSV and grid renderers.
     [[nodiscard]] std::string to_string() const;
 };
 
@@ -78,7 +88,8 @@ class ScenarioRunner {
     /// Instantiate `name` — a registry name, a "replay:<path>" trace, or a
     /// composed spec like "flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4"
     /// (see workload/compose.hpp for the grammar) — and run it; kNotFound
-    /// for unknown names, kInvalidArgument for malformed specs.
+    /// for unknown names, kInvalidArgument for malformed specs. This is a
+    /// thin wrapper over a one-cell Experiment (workload/experiment.hpp).
     [[nodiscard]] Result<ScenarioMetrics> run(const std::string& name,
                                               const ScenarioConfig& scenario_config);
     [[nodiscard]] Result<ScenarioMetrics> run(const Registry& registry, const std::string& name,

@@ -405,5 +405,126 @@ TEST(TraceReplayTest, MissingFileIsNotFound) {
     EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+// ---- replay as the composition background -----------------------------------
+
+TEST(ReplayBackgroundTest, OverlaysRideOnTheCapturedTrace) {
+    const std::string path = write_temp("flowcam_replay_bg.csv", kCsvTrace);
+    ScenarioConfig config = small_config();
+    config.onset_packets = 0;
+    config.attack_fraction = 0.5;
+    auto scenario = make_scenario("replay:" + path + "+syn_flood@onset=0.0", config);
+    ASSERT_TRUE(scenario.has_value()) << scenario.status().to_string();
+    EXPECT_EQ(scenario.value()->name(), "replay:" + path + "+syn_flood@onset=0.0");
+
+    u64 previous_ns = 0;
+    u64 overlay = 0, background = 0;
+    std::set<u64> background_flows;
+    for (const auto& record : take(*scenario.value(), 4000)) {
+        EXPECT_GT(record.timestamp_ns, previous_ns);  // merged stream monotonic.
+        previous_ns = record.timestamp_ns;
+        if (is_overlay(record)) {
+            ++overlay;
+            // Track 0 owns the first overlay index range.
+            EXPECT_LT(record.flow_index, kOverlayFlowBase + kOverlayTrackStride);
+        } else {
+            ++background;
+            background_flows.insert(record.flow_index);
+        }
+    }
+    // Ground truth stays separable: exactly the trace's flows below the
+    // overlay base, and a healthy share of each source at attack=0.5.
+    EXPECT_EQ(background_flows.size(), 3u);
+    EXPECT_GT(overlay, 1000u);
+    EXPECT_GT(background, 1000u);
+}
+
+TEST(ReplayBackgroundTest, BackgroundPacketsKeepCapturedPacing) {
+    // The trace's inter-record gaps (1000/500/500/1000 ns, looped) must
+    // survive composition: background timestamps advance by captured time,
+    // not by the synthetic exponential clock; overlay packets slot in with
+    // +1 ns nudges.
+    const std::string path = write_temp("flowcam_replay_bg2.csv", kCsvTrace);
+    ScenarioConfig config = small_config();
+    config.attack_fraction = 0.3;
+    config.onset_packets = 0;
+    auto scenario = make_scenario("replay:" + path + "+syn_flood@onset=0.0", config);
+    ASSERT_TRUE(scenario.has_value()) << scenario.status().to_string();
+    u64 last_ns = 0;
+    u64 big_gaps = 0, nudges = 0;
+    for (const auto& record : take(*scenario.value(), 2000)) {
+        const u64 gap = record.timestamp_ns - last_ns;
+        last_ns = record.timestamp_ns;
+        if (gap >= 400) ++big_gaps;    // captured spacing.
+        if (gap == 1) ++nudges;        // overlay insertions.
+        EXPECT_TRUE(is_overlay(record) || gap >= 1);
+    }
+    EXPECT_GT(big_gaps, 500u);
+    EXPECT_GT(nudges, 300u);
+}
+
+TEST(ReplayBackgroundTest, DeterministicAndRejectsReplayOverlayElements) {
+    const std::string path = write_temp("flowcam_replay_bg3.csv", kCsvTrace);
+    ScenarioConfig config = small_config();
+    auto a = make_scenario("replay:" + path + "+churn@onset=0.2", config);
+    auto b = make_scenario("replay:" + path + "+churn@onset=0.2", config);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    for (u64 i = 0; i < 1000; ++i) {
+        const auto ra = a.value()->next();
+        const auto rb = b.value()->next();
+        ASSERT_EQ(ra.timestamp_ns, rb.timestamp_ns);
+        ASSERT_EQ(ra.flow_index, rb.flow_index);
+    }
+    // replay anywhere but first stays an error (only backgrounds replay).
+    const auto overlay_replay = make_scenario("syn_flood+replay:" + path, config);
+    ASSERT_FALSE(overlay_replay.has_value());
+    EXPECT_EQ(overlay_replay.status().code(), StatusCode::kInvalidArgument);
+    // ...and a missing background trace reports kNotFound, not a crash.
+    EXPECT_EQ(make_scenario("replay:/no/such/file.csv+syn_flood", config).status().code(),
+              StatusCode::kNotFound);
+    // A '+' inside the file name keeps working un-composed: when the whole
+    // path names an existing file it wins over composition splitting.
+    const std::string plus_path = write_temp("flowcam_a+b.csv", kCsvTrace);
+    const auto whole = make_scenario("replay:" + plus_path, config);
+    ASSERT_TRUE(whole.has_value()) << whole.status().to_string();
+    EXPECT_EQ(whole.value()->name(), "replay:" + plus_path);
+}
+
+TEST(ReplayBackgroundTest, TimeScaleSaturatesInsteadOfWrapping) {
+    // Epoch-ns capture timestamps times a large time_scale exceed u64; the
+    // source must saturate (stream degrades to +1 ns steps past the cap)
+    // rather than wrap or hit cast UB.
+    const std::string path = write_temp(
+        "flowcam_epoch.csv",
+        "timestamp_ns,src,dst,src_port,dst_port,protocol\n"
+        "1750000000000000000,10.0.0.1,10.0.0.2,1,80,tcp\n"
+        "1750000000500000000,10.0.0.3,10.0.0.2,2,80,tcp\n");
+    RunnerConfig config = small_runner();
+    config.packets = 100;
+    config.time_scale = 1000.0;  // 1.75e21 ns >> 2^64.
+    ScenarioRunner runner(config);
+    const auto result = runner.run("replay:" + path, ScenarioConfig{});
+    ASSERT_TRUE(result.has_value()) << result.status().to_string();
+    EXPECT_TRUE(result.value().drained);
+    // Saturated: every packet sits at the cap plus monotonic nudges, so the
+    // span is tiny instead of a wrapped teleport.
+    EXPECT_LT(result.value().trace_span_ns, 1'000'000u);
+}
+
+TEST(ReplayBackgroundTest, RunsEndToEndThroughTheTimedSystem) {
+    const std::string path = write_temp("flowcam_replay_bg4.csv", kCsvTrace);
+    ScenarioRunner runner(small_runner());
+    ScenarioConfig config;
+    config.attack_fraction = 0.4;
+    config.onset_packets = 200;
+    const auto a = runner.run("replay:" + path + "+syn_flood", config);
+    const auto b = runner.run("replay:" + path + "+syn_flood", config);
+    ASSERT_TRUE(a.has_value()) << a.status().to_string();
+    EXPECT_TRUE(a.value().drained);
+    EXPECT_EQ(a.value().completions, 3000u);
+    EXPECT_GT(a.value().overlay_packets, 0u);
+    EXPECT_GT(a.value().distinct_flows, 3u);  // trace flows + flood sources.
+    EXPECT_EQ(a.value().to_string(), b.value().to_string());
+}
+
 }  // namespace
 }  // namespace flowcam::workload

@@ -1,0 +1,117 @@
+// ConfigPatch registry tests: parse/apply/print round-trips for every
+// registered key, typed malformed-value errors, unknown-key nearest-match
+// suggestions, and the --list-keys rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/config_patch.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+TEST(ConfigPatchTest, EveryKeyRoundTripsThroughParseApplyPrint) {
+    const ConfigPatch& patch = ConfigPatch::registry();
+    const std::vector<std::string> keys = patch.keys();
+    ASSERT_GE(keys.size(), 30u);  // the registry covers the whole tree.
+    const ConfigTree defaults;
+    for (const std::string& key : keys) {
+        const std::string printed = patch.print(defaults, key);
+        ASSERT_FALSE(printed.empty()) << key;
+        ConfigTree tree;
+        ASSERT_TRUE(patch.apply(tree, key, printed).is_ok()) << key << "=" << printed;
+        // Applying a field's own printed value is the identity.
+        EXPECT_EQ(patch.print(tree, key), printed) << key;
+    }
+}
+
+TEST(ConfigPatchTest, AppliedValuesLandInTheTree) {
+    const ConfigPatch& patch = ConfigPatch::registry();
+    ConfigTree tree;
+    ASSERT_TRUE(patch.apply(tree, "lut.cam_capacity", "4096").is_ok());
+    EXPECT_EQ(tree.runner.analyzer.lut.cam_capacity, 4096u);
+    ASSERT_TRUE(patch.apply(tree, "lut.balance", "weighted-hash").is_ok());
+    EXPECT_EQ(tree.runner.analyzer.lut.balance, core::BalancePolicy::kWeightedHash);
+    ASSERT_TRUE(patch.apply(tree, "lut.weight_a", "0.7").is_ok());
+    EXPECT_DOUBLE_EQ(tree.runner.analyzer.lut.weight_a, 0.7);
+    ASSERT_TRUE(patch.apply(tree, "lut.hash", "murmur3").is_ok());
+    EXPECT_EQ(tree.runner.analyzer.lut.hash_kind, hash::HashKind::kMurmur3);
+    ASSERT_TRUE(patch.apply(tree, "runner.cycles_per_packet", "3").is_ok());
+    EXPECT_EQ(tree.runner.cycles_per_packet, 3u);
+    ASSERT_TRUE(patch.apply(tree, "runner.time_scale", "1e6").is_ok());
+    EXPECT_DOUBLE_EQ(tree.runner.time_scale, 1e6);
+    ASSERT_TRUE(patch.apply(tree, "scenario.attack", "0.25").is_ok());
+    EXPECT_DOUBLE_EQ(tree.scenario.attack_fraction, 0.25);
+    ASSERT_TRUE(patch.apply(tree, "scenario.mean_gap_ns", "42.5").is_ok());
+    EXPECT_DOUBLE_EQ(tree.scenario.background.mean_gap_ns, 42.5);
+}
+
+TEST(ConfigPatchTest, UnknownKeySuggestsTheNearestMatch) {
+    const ConfigPatch& patch = ConfigPatch::registry();
+    ConfigTree tree;
+    const Status status = patch.apply(tree, "lut.cam_capcity", "4096");  // typo.
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kNotFound);
+    EXPECT_NE(status.message().find("did you mean 'lut.cam_capacity'"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("--list-keys"), std::string::npos);
+    // Nothing close: no wild suggestion, but still a typed unknown-key error.
+    const Status wild = patch.apply(tree, "utterly.unrelated_nonsense_key", "1");
+    ASSERT_FALSE(wild.is_ok());
+    EXPECT_EQ(wild.message().find("did you mean"), std::string::npos) << wild.message();
+}
+
+TEST(ConfigPatchTest, MalformedValuesNameTheExpectedForm) {
+    const ConfigPatch& patch = ConfigPatch::registry();
+    ConfigTree tree;
+    const ConfigTree untouched;
+    const struct {
+        const char* key;
+        const char* value;
+        const char* expected_fragment;
+    } cases[] = {
+        {"lut.cam_capacity", "many", "expected u64"},
+        {"lut.cam_capacity", "-1", "expected u64"},        // no sign wrap-around.
+        {"lut.cam_capacity", "12.5", "expected u64"},      // no silent truncation.
+        {"lut.ways", "0", "expected u64 in [1,"},          // bound enforced.
+        {"lut.weight_a", "1.5", "fraction in [0,1]"},
+        {"lut.weight_a", "nan", "fraction in [0,1]"},      // NaN never sneaks in.
+        {"lut.balance", "round-robin", "enum(hash-bit|"},
+        {"runner.time_scale", "0", "positive number"},
+        {"runner.time_scale", "-2", "positive number"},
+        {"scenario.attack", "2", "fraction in [0,1]"},
+    };
+    for (const auto& test : cases) {
+        const Status status = patch.apply(tree, test.key, test.value);
+        ASSERT_FALSE(status.is_ok()) << test.key << "=" << test.value;
+        EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << test.key;
+        EXPECT_NE(status.message().find(test.expected_fragment), std::string::npos)
+            << test.key << "=" << test.value << " -> " << status.message();
+        EXPECT_NE(status.message().find(test.value), std::string::npos) << test.key;
+    }
+    // Failed applies never half-patch the tree.
+    EXPECT_EQ(patch.print(tree, "lut.cam_capacity"), patch.print(untouched, "lut.cam_capacity"));
+    EXPECT_EQ(patch.print(tree, "lut.weight_a"), patch.print(untouched, "lut.weight_a"));
+}
+
+TEST(ConfigPatchTest, AssignmentGrammarErrors) {
+    const ConfigPatch& patch = ConfigPatch::registry();
+    ConfigTree tree;
+    EXPECT_FALSE(patch.apply_assignment(tree, "lut.cam_capacity").is_ok());   // no '='.
+    EXPECT_FALSE(patch.apply_assignment(tree, "=4096").is_ok());              // no key.
+    EXPECT_TRUE(patch.apply_assignment(tree, "lut.cam_capacity=4096").is_ok());
+    EXPECT_EQ(tree.runner.analyzer.lut.cam_capacity, 4096u);
+}
+
+TEST(ConfigPatchTest, ListKeysShowsEveryKeyWithDefaultAndDoc) {
+    const ConfigPatch& patch = ConfigPatch::registry();
+    const std::string listing = patch.list_keys();
+    for (const std::string& key : patch.keys()) {
+        EXPECT_NE(listing.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(listing.find("collision CAM depth"), std::string::npos);
+    EXPECT_NE(listing.find("hash-bit"), std::string::npos);  // enum types spelled out.
+}
+
+}  // namespace
+}  // namespace flowcam::workload

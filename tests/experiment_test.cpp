@@ -1,0 +1,202 @@
+// Experiment grid tests: spec validation (typed ConfigPatch errors surface
+// at plan time), cartesian cell expansion, the serial-vs-parallel
+// byte-identity of all three schema-backed renderings, and the
+// ScenarioRunner-as-one-cell-experiment equivalence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.hpp"
+#include "workload/metrics.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+ExperimentSpec small_spec() {
+    ExperimentSpec spec;
+    spec.base.runner.packets = 2000;
+    spec.base.runner.analyzer.lut.buckets_per_mem = u64{1} << 12;
+    spec.base.runner.analyzer.lut.cam_capacity = 512;
+    spec.base.scenario.onset_packets = 200;
+    return spec;
+}
+
+TEST(SweepAxisTest, ParsesKeyAndValues) {
+    const auto axis = parse_sweep_axis("lut.cam_capacity=1024,2048,4096");
+    ASSERT_TRUE(axis.has_value()) << axis.status().to_string();
+    EXPECT_EQ(axis.value().key, "lut.cam_capacity");
+    EXPECT_EQ(axis.value().values, (std::vector<std::string>{"1024", "2048", "4096"}));
+    EXPECT_FALSE(parse_sweep_axis("lut.cam_capacity").has_value());   // no '='.
+    EXPECT_FALSE(parse_sweep_axis("=1,2").has_value());               // no key.
+    EXPECT_FALSE(parse_sweep_axis("lut.cam_capacity=1,,2").has_value());  // empty value.
+}
+
+TEST(ExperimentTest, PlanRejectsBadSpecsWithTypedErrors) {
+    ExperimentSpec empty = small_spec();
+    EXPECT_FALSE(Experiment::plan(empty).has_value());  // no scenarios.
+
+    ExperimentSpec typo = small_spec();
+    typo.scenarios = {"baseline"};
+    typo.axes.push_back({"lut.cam_capcity", {"1024"}});
+    const auto typo_plan = Experiment::plan(typo);
+    ASSERT_FALSE(typo_plan.has_value());
+    EXPECT_NE(typo_plan.status().message().find("did you mean 'lut.cam_capacity'"),
+              std::string::npos)
+        << typo_plan.status().to_string();
+
+    ExperimentSpec bad_value = small_spec();
+    bad_value.scenarios = {"baseline"};
+    bad_value.overrides = {"lut.weight_a=2.5"};
+    const auto bad_plan = Experiment::plan(bad_value);
+    ASSERT_FALSE(bad_plan.has_value());
+    EXPECT_EQ(bad_plan.status().code(), StatusCode::kInvalidArgument);
+
+    ExperimentSpec hollow_axis = small_spec();
+    hollow_axis.scenarios = {"baseline"};
+    hollow_axis.axes.push_back({"lut.cam_capacity", {}});
+    EXPECT_FALSE(Experiment::plan(hollow_axis).has_value());
+
+    // A repeated axis key would label cells with values the later axis
+    // silently overwrote — reject it outright.
+    ExperimentSpec duplicate = small_spec();
+    duplicate.scenarios = {"baseline"};
+    duplicate.axes.push_back({"lut.cam_capacity", {"256", "512"}});
+    duplicate.axes.push_back({"lut.cam_capacity", {"1024", "2048"}});
+    const auto duplicate_plan = Experiment::plan(duplicate);
+    ASSERT_FALSE(duplicate_plan.has_value());
+    EXPECT_NE(duplicate_plan.status().message().find("appears twice"), std::string::npos);
+}
+
+TEST(ExperimentTest, CellsCrossScenariosWithAxesRowMajor) {
+    ExperimentSpec spec = small_spec();
+    spec.scenarios = {"baseline", "syn_flood"};
+    spec.axes.push_back({"lut.cam_capacity", {"512", "1024"}});
+    spec.axes.push_back({"runner.cycles_per_packet", {"2", "3", "4"}});
+    const auto experiment = Experiment::plan(spec);
+    ASSERT_TRUE(experiment.has_value()) << experiment.status().to_string();
+    const auto& cells = experiment.value().cells();
+    ASSERT_EQ(cells.size(), 2u * 2u * 3u);
+    // Scenarios outermost, the last axis fastest; indices are positional.
+    EXPECT_EQ(cells[0].scenario, "baseline");
+    EXPECT_EQ(cells[0].assignments,
+              (std::vector<std::pair<std::string, std::string>>{
+                  {"lut.cam_capacity", "512"}, {"runner.cycles_per_packet", "2"}}));
+    EXPECT_EQ(cells[1].assignments.back().second, "3");
+    EXPECT_EQ(cells[3].assignments.front().second, "1024");
+    EXPECT_EQ(cells[6].scenario, "syn_flood");
+    for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(ExperimentTest, GridIsByteIdenticalSerialVsJobs) {
+    // The acceptance criterion: table, CSV and JSONL renderings of a grid
+    // run must not depend on --jobs (results land by cell index; every
+    // renderer walks them in order).
+    ExperimentSpec spec = small_spec();
+    spec.scenarios = {"baseline", "syn_flood"};
+    spec.axes.push_back({"lut.cam_capacity", {"256", "1024"}});
+    const auto experiment = Experiment::plan(spec);
+    ASSERT_TRUE(experiment.has_value());
+    const auto serial = experiment.value().run(1);
+    const auto parallel = experiment.value().run(4);
+    EXPECT_EQ(experiment.value().table(serial), experiment.value().table(parallel));
+    EXPECT_EQ(experiment.value().csv(serial), experiment.value().csv(parallel));
+    EXPECT_EQ(experiment.value().jsonl(serial), experiment.value().jsonl(parallel));
+    for (const CellResult& result : serial) {
+        EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+        EXPECT_TRUE(result.metrics.drained);
+        EXPECT_EQ(result.metrics.packets, 2000u);
+    }
+}
+
+TEST(ExperimentTest, AxisValuesActuallyPatchEachCell) {
+    // Sweeping the input pacing changes the simulated cycle count per cell;
+    // cells in the same axis position are reproducible.
+    ExperimentSpec spec = small_spec();
+    spec.scenarios = {"baseline"};
+    spec.axes.push_back({"runner.cycles_per_packet", {"2", "8"}});
+    const auto experiment = Experiment::plan(spec);
+    ASSERT_TRUE(experiment.has_value());
+    const auto results = experiment.value().run(1);
+    ASSERT_EQ(results.size(), 2u);
+    ASSERT_TRUE(results[0].status.is_ok() && results[1].status.is_ok());
+    // 4x slower input pacing => materially more cycles for the same packets.
+    EXPECT_GT(results[1].metrics.cycles, results[0].metrics.cycles * 2);
+    // Both cells saw the byte-identical offered stream (shared base seed).
+    EXPECT_EQ(results[0].metrics.bytes, results[1].metrics.bytes);
+    EXPECT_EQ(results[0].metrics.distinct_flows, results[1].metrics.distinct_flows);
+}
+
+TEST(ExperimentTest, FailedCellsReportTypedStatusInCellOrder) {
+    ExperimentSpec spec = small_spec();
+    spec.scenarios = {"baseline", "no_such_scenario"};
+    const auto experiment = Experiment::plan(spec);
+    ASSERT_TRUE(experiment.has_value());  // scenario specs resolve at run time.
+    const auto results = experiment.value().run(2);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].status.is_ok());
+    EXPECT_EQ(results[1].status.code(), StatusCode::kNotFound);
+    EXPECT_EQ(results[1].metrics.scenario, "no_such_scenario");  // identifiable row.
+    // The in-row status column keeps failed cells distinguishable from
+    // measured zeros in the persisted grid.
+    const std::string csv = experiment.value().csv(results);
+    EXPECT_NE(csv.find(",status,"), std::string::npos);
+    EXPECT_NE(csv.find(",ok,"), std::string::npos);
+    EXPECT_NE(csv.find("not-found"), std::string::npos);
+}
+
+TEST(ExperimentTest, RunnerRunIsAOneCellExperiment) {
+    ExperimentSpec spec = small_spec();
+    spec.scenarios = {"syn_flood"};
+    const auto experiment = Experiment::plan(spec);
+    ASSERT_TRUE(experiment.has_value());
+    const auto grid = experiment.value().run(1);
+    ASSERT_TRUE(grid[0].status.is_ok());
+
+    ScenarioRunner runner(small_spec().base.runner);
+    const auto direct = runner.run("syn_flood", small_spec().base.scenario);
+    ASSERT_TRUE(direct.has_value()) << direct.status().to_string();
+    EXPECT_EQ(direct.value().to_string(), grid[0].metrics.to_string());
+}
+
+TEST(MetricSchemaTest, RenderersEmitEveryFieldOnce) {
+    const auto& schema = metric_schema();
+    ASSERT_GE(schema.size(), 24u);
+    EXPECT_STREQ(schema.front().name, "scenario");
+
+    ScenarioMetrics metrics;
+    metrics.scenario = "probe\"quoted";
+    metrics.packets = 7;
+    metrics.mdesc_per_s = 1.25;
+    metrics.drained = true;
+
+    const std::string header = metrics_csv_header({"cell"});
+    const std::string row = metrics_csv_row(metrics, {"0"});
+    const std::string json = metrics_json_object(metrics, {{"cell", "0"}});
+    for (const MetricField& field : schema) {
+        EXPECT_NE(header.find(field.name), std::string::npos) << field.name;
+        EXPECT_NE(json.find("\"" + std::string(field.name) + "\":"), std::string::npos)
+            << field.name;
+    }
+    // Same column count in header and row; strings are CSV-quoted, JSON-escaped.
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(row.begin(), row.end(), ','));
+    // ...including with no lead columns and an empty scenario string (the
+    // empty first cell must still be followed by its separator).
+    const std::string bare_row = metrics_csv_row(ScenarioMetrics{}, {});
+    const std::string bare_header = metrics_csv_header({});
+    EXPECT_EQ(std::count(bare_row.begin(), bare_row.end(), ','),
+              std::count(bare_header.begin(), bare_header.end(), ','));
+    EXPECT_NE(row.find("\"probe\"\"quoted\""), std::string::npos);
+    EXPECT_NE(json.find("probe\\\"quoted"), std::string::npos);
+    EXPECT_NE(json.find("\"packets\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"drained\":true"), std::string::npos);
+    // to_string is schema-backed too: every non-header field name appears.
+    const std::string text = metrics.to_string();
+    EXPECT_NE(text.find("new_flow_ratio="), std::string::npos);
+    EXPECT_NE(text.find("flows_expired="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowcam::workload

@@ -311,6 +311,37 @@ TEST(ScenarioRunnerTest, PortScanRaisesScanEvent) {
     EXPECT_GE(result.value().events_port_scan, 1u);
 }
 
+TEST(ScenarioRunnerTest, TimeScaleMakesChurnWavesActuallyExpire) {
+    // Scenario traces span microseconds while the flow idle timeout is 30 s,
+    // so housekeeping never fires in a plain run. runner.time_scale
+    // multiplies offered timestamps: churn waves retire their whole overlay
+    // population, those flows idle past the (scaled) timeout, and the
+    // housekeeping scan must observe actual evictions.
+    RunnerConfig config = small_runner();
+    config.packets = 6000;
+    config.time_scale = 1e6;  // ~100 us trace span -> ~100 s stream time.
+    ScenarioConfig scenario = small_config();
+    scenario.pool_size = 128;
+    scenario.wave_packets = 256;  // many dead waves inside one run.
+    scenario.attack_fraction = 0.8;
+    ScenarioRunner scaled_runner(config);
+    const auto scaled = scaled_runner.run("churn", scenario);
+    ASSERT_TRUE(scaled.has_value()) << scaled.status().to_string();
+    EXPECT_TRUE(scaled.value().drained);
+    EXPECT_GT(scaled.value().flows_expired, 0u);
+    EXPECT_GT(scaled.value().events_flow_expired, 0u);
+    // Same run without compression: the 30 s timeout stays out of reach, so
+    // any eviction here would mean the scaling leaked into unscaled runs.
+    config.time_scale = 1.0;
+    ScenarioRunner plain_runner(config);
+    const auto plain = plain_runner.run("churn", scenario);
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain.value().flows_expired, 0u);
+    // Scaling does not change what is offered, only when: identical stream.
+    EXPECT_EQ(plain.value().bytes, scaled.value().bytes);
+    EXPECT_EQ(plain.value().distinct_flows, scaled.value().distinct_flows);
+}
+
 TEST(ScenarioRunnerTest, ParallelSweepIsByteIdenticalToSerial) {
     // The parallel sweep (one engine + Flow LUT per scenario, merged in
     // catalogue order) must produce exactly the output of a serial run —

@@ -1,0 +1,201 @@
+// DDR3 scheduler microbench: drives the DramController directly (no Flow
+// LUT on top) with synthetic request streams chosen to stress each FR-FCFS
+// pass, and reports wall-clock, issued commands/s and simulated Mcycles/s
+// for both the indexed scheduler and the legacy linear-scan reference.
+//
+// Streams:
+//   row_hit_burst   sequential same-row traffic per bank — pass 1 dominated
+//                   (hit lists stay hot, few ACT/PRE).
+//   bank_rotate     bucket-strided reads across all banks — pass 2/ACT
+//                   dominated, the steady state of the Flow LUT's kBankLow
+//                   mapping.
+//   conflict_storm  random rows under MapPolicy::kBankHigh — pass 3/PRE
+//                   dominated (every access conflicts with the open row).
+//   mixed_rw        70% writes with tight drain watermarks — exercises
+//                   phase flips, write-age timeouts and refresh interleave.
+//
+// Doubles as the scheduler-equivalence smoke: every stream is replayed
+// through a kReference controller and the full command trace (type, bank,
+// row, col, cycle), stats and response stream must match the indexed run
+// bit-for-bit; any divergence exits non-zero, so scripts/check.sh catches a
+// broken index even in Release where the Debug cross-check mode is off.
+//
+//   $ ./bench_dram_sched [requests-per-stream]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "dram/controller.hpp"
+
+using namespace flowcam;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Arrival {
+    Cycle at = 0;
+    dram::MemRequest request;
+};
+
+std::vector<u8> payload(Xoshiro256& rng, std::size_t bytes) {
+    std::vector<u8> data(bytes);
+    for (auto& byte : data) byte = static_cast<u8>(rng());
+    return data;
+}
+
+std::vector<Arrival> make_stream(const std::string& name, u64 requests) {
+    Xoshiro256 rng(0xD12A + requests);
+    std::vector<Arrival> arrivals;
+    arrivals.reserve(requests);
+    Cycle t = 0;
+    for (u64 i = 0; i < requests; ++i) {
+        Arrival arrival;
+        arrival.request.id = i + 1;
+        arrival.request.bursts = 2;
+        if (name == "row_hit_burst") {
+            t += 2;
+            // March sequentially through one row's worth of buckets per bank.
+            arrival.request.byte_address = (i % 1024) * 64;
+        } else if (name == "bank_rotate") {
+            t += 2;
+            arrival.request.byte_address = (i * 17 % 8192) * 64;
+        } else if (name == "conflict_storm") {
+            t += 2;
+            arrival.request.byte_address = rng.bounded(1u << 20) * 64;
+        } else {  // mixed_rw
+            t += rng.bounded(6);
+            arrival.request.byte_address = rng.bounded(4096) * 64;
+            arrival.request.is_write = rng.chance(0.7);
+            if (arrival.request.is_write) arrival.request.write_data = payload(rng, 64);
+        }
+        arrival.at = t;
+        arrivals.push_back(std::move(arrival));
+    }
+    return arrivals;
+}
+
+dram::ControllerConfig stream_config(const std::string& name, dram::SchedulerMode mode) {
+    dram::ControllerConfig config;
+    config.interleave_bytes = 64;
+    config.scheduler = mode;
+    if (name == "conflict_storm") config.map_policy = dram::MapPolicy::kBankHigh;
+    if (name == "mixed_rw") {
+        config.write_drain_high = 8;
+        config.write_drain_low = 2;
+        config.write_age_limit = 128;
+    }
+    return config;
+}
+
+struct RunOutput {
+    std::vector<dram::TracedCommand> trace;
+    std::vector<std::pair<u64, Cycle>> responses;
+    u64 sim_cycles = 0;
+    double wall_seconds = 0.0;
+};
+
+RunOutput run_stream(const std::vector<Arrival>& arrivals, const dram::ControllerConfig& config) {
+    const dram::DramTimings timings = dram::ddr3_1600();
+    const dram::Geometry geometry{};
+    dram::DramController controller("bench", timings, geometry, config);
+    RunOutput out;
+    controller.set_command_trace(&out.trace);
+
+    const auto wall_before = Clock::now();
+    std::size_t next = 0;
+    Cycle now = 0;
+    while (next < arrivals.size() || !controller.idle()) {
+        if (next < arrivals.size() && arrivals[next].at <= now) {
+            dram::MemRequest request = arrivals[next].request;  // payload copy
+            if (controller.enqueue(std::move(request))) ++next;
+        }
+        controller.tick(now);
+        while (auto response = controller.pop_response()) {
+            out.responses.emplace_back(response->id, response->completed_at);
+            controller.recycle_buffer(std::move(response->data));
+        }
+        // Jump straight to the next actionable cycle, exactly like the Flow
+        // LUT's stall-hint plumbing (never past the next arrival).
+        Cycle jump = now + 1;
+        if (controller.stalled_until() > jump) jump = controller.stalled_until();
+        if (next < arrivals.size() && arrivals[next].at > now && arrivals[next].at < jump) {
+            jump = arrivals[next].at;
+        }
+        now = jump;
+    }
+    out.wall_seconds = std::chrono::duration<double>(Clock::now() - wall_before).count();
+    out.sim_cycles = now;
+    if (!controller.protocol_status().is_ok()) {
+        std::cerr << "FAIL: protocol violation: " << controller.protocol_status().to_string()
+                  << "\n";
+        std::exit(1);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const u64 requests = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 50'000;
+    const std::vector<std::string> streams = {"row_hit_burst", "bank_rotate", "conflict_storm",
+                                              "mixed_rw"};
+
+    TablePrinter table({"stream", "requests", "commands", "Mcmd/s (indexed)",
+                        "Mcmd/s (reference)", "speedup", "sim Mcycles"});
+    bool mismatch = false;
+    for (const std::string& stream : streams) {
+        const std::vector<Arrival> arrivals = make_stream(stream, requests);
+        const RunOutput indexed =
+            run_stream(arrivals, stream_config(stream, dram::SchedulerMode::kIndexed));
+        const RunOutput reference =
+            run_stream(arrivals, stream_config(stream, dram::SchedulerMode::kReference));
+
+        // Equivalence smoke: bit-identical command trace and responses.
+        if (indexed.trace != reference.trace || indexed.responses != reference.responses ||
+            indexed.sim_cycles != reference.sim_cycles) {
+            std::cerr << "FAIL: indexed/reference divergence on stream " << stream << " ("
+                      << indexed.trace.size() << " vs " << reference.trace.size()
+                      << " commands, " << indexed.responses.size() << " vs "
+                      << reference.responses.size() << " responses)\n";
+            mismatch = true;
+        }
+
+        const double indexed_rate = indexed.wall_seconds == 0.0
+                                        ? 0.0
+                                        : static_cast<double>(indexed.trace.size()) /
+                                              indexed.wall_seconds / 1e6;
+        const double reference_rate = reference.wall_seconds == 0.0
+                                          ? 0.0
+                                          : static_cast<double>(reference.trace.size()) /
+                                                reference.wall_seconds / 1e6;
+        table.add_row({stream, std::to_string(requests), std::to_string(indexed.trace.size()),
+                       TablePrinter::fixed(indexed_rate, 2), TablePrinter::fixed(reference_rate, 2),
+                       TablePrinter::fixed(reference.wall_seconds /
+                                               (indexed.wall_seconds == 0.0 ? 1e-9
+                                                                            : indexed.wall_seconds),
+                                           2),
+                       TablePrinter::fixed(static_cast<double>(indexed.sim_cycles) / 1e6, 1)});
+
+        bench::JsonResult json("bench_dram_sched");
+        json.add("stream", stream)
+            .add("requests", requests)
+            .add("commands", static_cast<u64>(indexed.trace.size()))
+            .add("sim_cycles", indexed.sim_cycles)
+            .add("wall_seconds", indexed.wall_seconds)
+            .add("commands_per_second", indexed_rate * 1e6)
+            .add("reference_wall_seconds", reference.wall_seconds)
+            .add("equivalent", indexed.trace == reference.trace);
+        json.emit();
+    }
+    table.print(std::cout, "DDR3 FR-FCFS scheduler: issued commands/s, indexed vs reference scan");
+    bench::print_shape_note(
+        "every stream must be bit-identical between the indexed and reference schedulers\n"
+        "(command trace, responses, cycle count) — this is the Release-mode equivalence smoke;\n"
+        "speedup > 1 shows what the per-bank index buys per stream shape.");
+    if (mismatch) return 1;
+    return 0;
+}

@@ -13,11 +13,15 @@
 #
 # Exits non-zero on the first failure, naming the stage that failed. Honors
 # CMAKE_BUILD_TYPE and GENERATOR from the environment (defaults:
-# RelWithDebInfo, Ninja if available). Wall-clock ceilings are deliberately
-# loose (order-of-magnitude guards for slow CI machines); the sharp
-# regression gate is bench_hotpath's built-in zero-allocation check, which
-# fails the run on its own. Every test gets a ctest-level timeout so a hung
-# sim cannot wedge a runner.
+# RelWithDebInfo, Ninja if available). Most wall-clock ceilings are
+# deliberately loose (order-of-magnitude guards for slow CI machines); the
+# sharp regression gates are bench_hotpath's built-in zero-allocation check
+# (0 steady-state allocations for every *_reuse mode), bench_dram_sched's
+# built-in indexed-vs-reference scheduler equivalence smoke, and the serial
+# sweep ceiling (median of 3 runs <= FLOWCAM_SWEEP_CEILING seconds, default
+# 0.65 — the PR 5 target on the 1-core CI container; raise the env var on
+# slower hardware). Every test gets a ctest-level timeout so a hung sim
+# cannot wedge a runner.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -100,8 +104,27 @@ cmake --build "$RELEASE_DIR" -j
 stage "hot-path budget (zero-alloc gate + 60s ceiling; ~3s expected)"
 timeout 60 "$RELEASE_DIR/bench_hotpath" 200000
 
-stage "sweep ceiling (45s; ~1s expected at --jobs=nproc)"
+stage "DDR3 scheduler budget (indexed==reference equivalence smoke + 60s ceiling)"
+timeout 60 "$RELEASE_DIR/bench_dram_sched" 50000
+
+stage "parallel sweep ceiling (45s; ~1s expected at --jobs=nproc)"
 timeout 45 "$RELEASE_DIR/bench_scenarios" 20000 --jobs="$(nproc)"
+
+stage "serial sweep ceiling (median of 3 <= \${FLOWCAM_SWEEP_CEILING:-0.65}s)"
+CEILING="${FLOWCAM_SWEEP_CEILING:-0.65}"
+TIMES=()
+for _ in 1 2 3; do
+  t0=$(date +%s%N)
+  timeout 45 "$RELEASE_DIR/bench_scenarios" 20000 --jobs=1 > /dev/null
+  t1=$(date +%s%N)
+  TIMES+=("$(( (t1 - t0) / 1000000 ))")
+done
+MEDIAN_MS=$(printf '%s\n' "${TIMES[@]}" | sort -n | sed -n 2p)
+echo "serial 8-scenario 20k sweep: runs ${TIMES[*]} ms, median ${MEDIAN_MS} ms (ceiling ${CEILING}s)"
+awk -v m="$MEDIAN_MS" -v c="$CEILING" 'BEGIN { exit !(m / 1000.0 <= c) }' || {
+  echo "serial sweep median ${MEDIAN_MS} ms exceeds ceiling ${CEILING}s" >&2
+  exit 1
+}
 
 stage "done"
 echo "OK"

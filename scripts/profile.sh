@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Profile the serial scenario sweep and print the top symbols, so the next
+# "X% of sweep wall-clock" claim in ROADMAP comes with a committed,
+# re-runnable command instead of an anecdote.
+#
+#   $ scripts/profile.sh [packets] [--bench <name>] [-- <bench args...>]
+#
+# Prefers `perf record` -> `perf report` when perf is available (needs
+# kernel.perf_event_paranoid <= 2 or root). Falls back to a gprof build in
+# a throwaway directory otherwise — same compiler flags as Release plus
+# -pg, so inlining matches what actually ships closely enough to rank hot
+# spots. Either way, the report lands on stdout and the raw artifacts stay
+# under the profile build dir for deeper digging.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PACKETS=20000
+BENCH="bench_scenarios"
+EXTRA_ARGS=("--jobs=1")
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench) BENCH="$2"; EXTRA_ARGS=(); shift 2 ;;
+    --) shift; EXTRA_ARGS=("$@"); break ;;
+    *) PACKETS="$1"; shift ;;
+  esac
+done
+
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS=(-G Ninja)
+fi
+
+if command -v perf >/dev/null 2>&1; then
+  # Own build dir: configuring check.sh's build-release with extra flags
+  # would poison its cached CMAKE_CXX_FLAGS and skew the perf gates.
+  BUILD_DIR="build-profile"
+  echo "== perf profile: $BENCH $PACKETS ${EXTRA_ARGS[*]} =="
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-fno-omit-frame-pointer" > /dev/null
+  cmake --build "$BUILD_DIR" --target "$BENCH" -j > /dev/null
+  perf record -g -o "$BUILD_DIR/perf.data" -- \
+    "$BUILD_DIR/$BENCH" "$PACKETS" "${EXTRA_ARGS[@]}" > /dev/null
+  perf report -i "$BUILD_DIR/perf.data" --stdio --percent-limit 1 | head -60
+  echo "raw profile: $BUILD_DIR/perf.data (perf report -i ... for the full tree)"
+else
+  BUILD_DIR="build-profile"
+  echo "== gprof profile (perf not found): $BENCH $PACKETS ${EXTRA_ARGS[*]} =="
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-pg -O2 -g" -DCMAKE_EXE_LINKER_FLAGS="-pg" > /dev/null
+  cmake --build "$BUILD_DIR" --target "$BENCH" -j > /dev/null
+  (cd "$BUILD_DIR" && "./$BENCH" "$PACKETS" "${EXTRA_ARGS[@]}" > /dev/null)
+  gprof -b "$BUILD_DIR/$BENCH" "$BUILD_DIR/gmon.out" | head -40
+  echo "raw profile: $BUILD_DIR/gmon.out (gprof $BUILD_DIR/$BENCH ... for call graphs)"
+fi

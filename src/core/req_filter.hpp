@@ -14,12 +14,16 @@
 // later lookups for the same address park behind it even if the block
 // clears in between. That preserves per-flow order (same flow => same
 // bucket address on a given path).
+//
+// The filter sits on the per-lookup dispatch path (blocked-check + issue +
+// retire per DDR read), so its address table is a flat open-addressed map
+// and parked jobs live on intrusive FIFO lists over one shared node pool —
+// no node-based containers, no allocation at steady state.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace flowcam::core {
@@ -29,99 +33,143 @@ class ReqFilter {
   public:
     /// True if a lookup for `addr` must be parked right now.
     [[nodiscard]] bool read_blocked(u64 addr) const {
-        const auto it = state_.find(addr);
-        return it != state_.end() &&
-               (it->second.pending_updates > 0 || !it->second.parked.empty());
+        const AddrState* state = state_.find(addr);
+        return state != nullptr && (state->pending_updates > 0 || state->parked_count > 0);
     }
 
     /// Park a lookup until the blocking update retires.
     void park(u64 addr, Job job) {
-        state_[addr].parked.push_back(std::move(job));
+        AddrState& state = state_[addr];
+        const bool was_live = live(state);
+        const u32 node = alloc_node(std::move(job));
+        if (state.parked_tail == kNone) {
+            state.parked_head = node;
+        } else {
+            pool_[state.parked_tail].next = node;
+        }
+        state.parked_tail = node;
+        ++state.parked_count;
         ++parked_total_;
         ++parked_now_;
+        if (!was_live) ++tracked_;
     }
 
     /// An update write targeting `addr` was created (insert decision or
     /// delete issue). Blocks new reads.
-    void update_created(u64 addr) { ++state_[addr].pending_updates; }
+    void update_created(u64 addr) {
+        AddrState& state = state_[addr];
+        if (!live(state)) ++tracked_;
+        ++state.pending_updates;
+    }
 
     /// The update write completed in DDR. Returns lookups now released, in
     /// FIFO order; the caller re-injects them into the bank selector.
     [[nodiscard]] std::vector<Job> update_retired(u64 addr) {
-        const auto it = state_.find(addr);
-        if (it == state_.end()) return {};
-        if (it->second.pending_updates > 0) --it->second.pending_updates;
+        AddrState* state = state_.find(addr);
+        if (state == nullptr) return {};
+        const bool was_live = live(*state);
+        if (state->pending_updates > 0) --state->pending_updates;
         std::vector<Job> released;
-        if (it->second.pending_updates == 0) {
-            released.reserve(it->second.parked.size());
-            parked_now_ -= it->second.parked.size();
-            while (!it->second.parked.empty()) {
-                released.push_back(std::move(it->second.parked.front()));
-                it->second.parked.pop_front();
+        if (state->pending_updates == 0 && state->parked_count != 0) {
+            released.reserve(state->parked_count);
+            parked_now_ -= state->parked_count;
+            for (u32 node = state->parked_head; node != kNone;) {
+                released.push_back(std::move(pool_[node].job));
+                const u32 next = pool_[node].next;
+                free_nodes_.push_back(node);
+                node = next;
             }
+            state->parked_head = kNone;
+            state->parked_tail = kNone;
+            state->parked_count = 0;
         }
-        reclaim_if_crowded(it);
+        settle(addr, *state, was_live);
         return released;
     }
 
     /// Read issued to / retired from the memory controller.
-    void read_issued(u64 addr) { ++state_[addr].inflight_reads; }
+    void read_issued(u64 addr) {
+        AddrState& state = state_[addr];
+        if (!live(state)) ++tracked_;
+        ++state.inflight_reads;
+    }
     void read_retired(u64 addr) {
-        const auto it = state_.find(addr);
-        if (it == state_.end()) return;
-        if (it->second.inflight_reads > 0) --it->second.inflight_reads;
-        reclaim_if_crowded(it);
+        AddrState* state = state_.find(addr);
+        if (state == nullptr) return;
+        const bool was_live = live(*state);
+        if (state->inflight_reads > 0) --state->inflight_reads;
+        settle(addr, *state, was_live);
     }
 
     /// True if a *delete* write to `addr` must wait (reads in flight).
     [[nodiscard]] bool delete_blocked(u64 addr) const {
-        const auto it = state_.find(addr);
-        return it != state_.end() && it->second.inflight_reads > 0;
+        const AddrState* state = state_.find(addr);
+        return state != nullptr && state->inflight_reads > 0;
     }
 
     [[nodiscard]] u64 parked_total() const { return parked_total_; }
-    /// Addresses with live filter state. Idle nodes are retained (and
+    /// Addresses with live filter state. Idle entries are retained (and
     /// reused on the next touch — no per-read allocation churn) but do not
     /// count as tracked.
-    [[nodiscard]] std::size_t tracked_addresses() const {
-        std::size_t count = 0;
-        for (const auto& [addr, entry] : state_) {
-            if (entry.pending_updates != 0 || entry.inflight_reads != 0 ||
-                !entry.parked.empty()) {
-                ++count;
-            }
-        }
-        return count;
-    }
+    [[nodiscard]] std::size_t tracked_addresses() const { return tracked_; }
     /// Currently parked jobs — O(1), it gates the engine's idle detection
     /// every cycle.
     [[nodiscard]] std::size_t parked_now() const { return parked_now_; }
 
   private:
+    static constexpr u32 kNone = ~u32{0};
+
     struct AddrState {
         u32 pending_updates = 0;
         u32 inflight_reads = 0;
-        std::deque<Job> parked;
+        u32 parked_head = kNone;
+        u32 parked_tail = kNone;
+        u32 parked_count = 0;
     };
 
-    /// Idle entries are normally retained so the per-address node (and its
-    /// parked deque's storage) is reused on the next touch — no per-read
-    /// allocation churn. Retention is bounded: past this many entries,
-    /// idle nodes are reclaimed again (large-table configs sweep millions
-    /// of distinct bucket addresses).
-    static constexpr std::size_t kMaxRetainedAddresses = 4096;
+    struct Node {
+        Job job{};
+        u32 next = kNone;
+    };
 
-    void reclaim_if_crowded(typename std::unordered_map<u64, AddrState>::iterator it) {
-        if (state_.size() <= kMaxRetainedAddresses) return;
-        if (it->second.pending_updates == 0 && it->second.inflight_reads == 0 &&
-            it->second.parked.empty()) {
-            state_.erase(it);
-        }
+    [[nodiscard]] static bool live(const AddrState& state) {
+        return state.pending_updates != 0 || state.inflight_reads != 0 ||
+               state.parked_count != 0;
     }
 
-    std::unordered_map<u64, AddrState> state_;
+    /// Idle entries are normally retained so the table slot is reused on the
+    /// next touch. Retention is bounded: past this many entries, idle nodes
+    /// are reclaimed again (large-table configs sweep millions of distinct
+    /// bucket addresses).
+    static constexpr std::size_t kMaxRetainedAddresses = 4096;
+
+    /// Account an entry that may just have gone idle (only live -> idle
+    /// transitions move the tracked count), reclaiming it when the table is
+    /// crowded.
+    void settle(u64 addr, AddrState& state, bool was_live) {
+        if (live(state)) return;
+        if (was_live) --tracked_;
+        if (state_.size() > kMaxRetainedAddresses) state_.erase(addr);
+    }
+
+    [[nodiscard]] u32 alloc_node(Job&& job) {
+        if (free_nodes_.empty()) {
+            pool_.push_back(Node{std::move(job), kNone});
+            return static_cast<u32>(pool_.size() - 1);
+        }
+        const u32 node = free_nodes_.back();
+        free_nodes_.pop_back();
+        pool_[node].job = std::move(job);
+        pool_[node].next = kNone;
+        return node;
+    }
+
+    common::FlatU64Map<AddrState> state_;
+    std::vector<Node> pool_;
+    std::vector<u32> free_nodes_;
     u64 parked_total_ = 0;
     std::size_t parked_now_ = 0;
+    std::size_t tracked_ = 0;
 };
 
 }  // namespace flowcam::core

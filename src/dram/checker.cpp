@@ -6,105 +6,25 @@
 namespace flowcam::dram {
 namespace {
 
-/// max(now, base + delta) guarded by a "has this ever happened" flag so the
-/// cold-start state does not fabricate constraints.
-Cycle after(bool ever, Cycle base, u64 delta, Cycle now) {
-    return ever ? std::max(now, base + delta) : now;
-}
+/// Advance a cached bound: bounds are running maxima of per-event terms, and
+/// event timestamps are monotone, so this is equivalent to recomputing the
+/// constraint formula over the latest events.
+void raise(Cycle& bound, Cycle term) { bound = std::max(bound, term); }
 
 }  // namespace
 
 TimingChecker::TimingChecker(const DramTimings& timings, const Geometry& geometry)
     : timings_(timings), geometry_(geometry), banks_(geometry.banks) {}
 
-Cycle TimingChecker::act_bank_earliest(u32 bank, Cycle now) const {
-    const BankState& b = banks_[bank];
-    Cycle t = now;
-    t = after(b.ever_pre, b.last_pre, timings_.trp, t);
-    t = after(b.ever_act, b.last_act, timings_.trc, t);
-    return t;
-}
-
-Cycle TimingChecker::act_rank_earliest(Cycle now) const {
-    Cycle t = now;
-    // tRRD against the most recent ACT on any bank.
-    if (act_count() > 0) {
-        t = std::max(t, act_at(act_count() - 1) + timings_.trrd);
-    }
-    // tFAW: at most 4 ACTs in any tFAW window -> the 4th-previous ACT gates.
-    if (act_count() >= 4) {
-        t = std::max(t, act_at(act_count() - 4) + timings_.tfaw);
-    }
-    // tRFC after refresh.
-    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
-    return t;
-}
-
-Cycle TimingChecker::act_earliest(u32 bank, Cycle now) const {
-    return std::max(act_bank_earliest(bank, now), act_rank_earliest(now));
-}
-
-Cycle TimingChecker::rcd_earliest(u32 bank, Cycle now) const {
-    const BankState& b = banks_[bank];
-    return after(b.ever_act, b.last_act, timings_.trcd, now);
-}
-
-Cycle TimingChecker::pre_earliest(u32 bank, Cycle now) const {
-    const BankState& b = banks_[bank];
-    Cycle t = now;
-    t = after(b.ever_act, b.last_act, timings_.tras, t);
-    t = after(b.ever_read, b.last_read, timings_.trtp, t);
-    // Write recovery: tWR counts from the end of write data.
-    if (b.ever_write) {
-        const Cycle data_end = b.last_write + timings_.cwl + timings_.burst_cycles();
-        t = std::max(t, data_end + timings_.twr);
-    }
-    return t;
-}
-
-Cycle TimingChecker::read_earliest(Cycle now) const {
-    Cycle t = now;
-    t = after(ever_read_, last_read_cmd_, timings_.tccd, t);
-    t = after(ever_write_, last_write_cmd_, timings_.write_to_read(), t);
-    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
-    return t;
-}
-
-Cycle TimingChecker::write_earliest(Cycle now) const {
-    Cycle t = now;
-    t = after(ever_write_, last_write_cmd_, timings_.tccd, t);
-    t = after(ever_read_, last_read_cmd_, timings_.read_to_write(), t);
-    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
-    return t;
-}
-
-Cycle TimingChecker::refresh_earliest(Cycle now) const {
-    Cycle t = now;
-    t = after(ever_refresh_, last_refresh_, timings_.trfc, t);
-    // All banks must be precharged; the caller is responsible for issuing
-    // PREs, but the refresh cannot start before those precharges complete.
-    for (const BankState& b : banks_) {
-        if (b.ever_pre) t = std::max(t, b.last_pre + timings_.trp);
-    }
-    return t;
-}
-
 Cycle TimingChecker::earliest_issue(const Command& cmd, Cycle now) const {
     switch (cmd.type) {
-        case CommandType::kActivate: return act_earliest(cmd.bank, now);
-        case CommandType::kPrecharge: return pre_earliest(cmd.bank, now);
-        case CommandType::kRead: {
-            const BankState& b = banks_[cmd.bank];
-            Cycle t = read_earliest(now);
-            t = after(b.ever_act, b.last_act, timings_.trcd, t);
-            return t;
-        }
-        case CommandType::kWrite: {
-            const BankState& b = banks_[cmd.bank];
-            Cycle t = write_earliest(now);
-            t = after(b.ever_act, b.last_act, timings_.trcd, t);
-            return t;
-        }
+        case CommandType::kActivate:
+            return std::max(act_bank_earliest(cmd.bank, now), act_rank_earliest(now));
+        case CommandType::kPrecharge: return pre_bank_earliest(cmd.bank, now);
+        case CommandType::kRead:
+            return std::max(read_rank_earliest(now), rcd_earliest(cmd.bank, now));
+        case CommandType::kWrite:
+            return std::max(write_rank_earliest(now), rcd_earliest(cmd.bank, now));
         case CommandType::kRefresh: return refresh_earliest(now);
     }
     return now;
@@ -125,23 +45,30 @@ Status TimingChecker::record(const Command& cmd, Cycle cycle) {
         case CommandType::kActivate: {
             BankState& b = banks_[cmd.bank];
             if (b.active) return fail("bank-already-active (missing PRE)");
-            if (cycle < act_earliest(cmd.bank, cycle)) return fail("tRP/tRC/tRRD/tFAW/tRFC");
+            if (cycle < earliest_issue(cmd, cycle)) return fail("tRP/tRC/tRRD/tFAW/tRFC");
             b.active = true;
             ++active_bank_count_;
             b.row = cmd.row;
-            b.last_act = cycle;
-            b.ever_act = true;
             push_act(cycle);
+            raise(b.rcd_bound, cycle + timings_.trcd);
+            raise(b.act_bound, cycle + timings_.trc);
+            raise(b.pre_bound, cycle + timings_.tras);
+            raise(act_rank_bound_, cycle + timings_.trrd);
+            // tFAW: at most 4 ACTs in any tFAW window — after this ACT, the
+            // next one is gated by the now-4th-previous ACT.
+            if (act_count() >= 4) {
+                raise(act_rank_bound_, act_at(act_count() - 4) + timings_.tfaw);
+            }
             return Status::ok();
         }
         case CommandType::kPrecharge: {
             BankState& b = banks_[cmd.bank];
             if (!b.active) return Status::ok();  // PRE on idle bank is a legal NOP.
-            if (cycle < pre_earliest(cmd.bank, cycle)) return fail("tRAS/tRTP/tWR");
+            if (cycle < pre_bank_earliest(cmd.bank, cycle)) return fail("tRAS/tRTP/tWR");
             b.active = false;
             --active_bank_count_;
-            b.last_pre = cycle;
-            b.ever_pre = true;
+            raise(b.act_bound, cycle + timings_.trp);
+            raise(refresh_bound_, cycle + timings_.trp);
             return Status::ok();
         }
         case CommandType::kRead: {
@@ -151,10 +78,9 @@ Status TimingChecker::record(const Command& cmd, Cycle cycle) {
             if (cycle < earliest_issue(cmd, cycle)) return fail("tRCD/tCCD/WTR");
             const Cycle data_start = cycle + timings_.cl;
             if (data_start < dq_end_) return fail("DQ-bus-overlap");
-            b.last_read = cycle;
-            b.ever_read = true;
-            last_read_cmd_ = cycle;
-            ever_read_ = true;
+            raise(b.pre_bound, cycle + timings_.trtp);
+            raise(read_bound_, cycle + timings_.tccd);
+            raise(write_bound_, cycle + timings_.read_to_write());
             dq_busy_ += timings_.burst_cycles();
             dq_end_ = data_start + timings_.burst_cycles();
             return Status::ok();
@@ -166,21 +92,21 @@ Status TimingChecker::record(const Command& cmd, Cycle cycle) {
             if (cycle < earliest_issue(cmd, cycle)) return fail("tRCD/tCCD/RTW");
             const Cycle data_start = cycle + timings_.cwl;
             if (data_start < dq_end_) return fail("DQ-bus-overlap");
-            b.last_write = cycle;
-            b.ever_write = true;
-            last_write_cmd_ = cycle;
-            ever_write_ = true;
+            // Write recovery: tWR counts from the end of write data.
+            raise(b.pre_bound, data_start + timings_.burst_cycles() + timings_.twr);
+            raise(write_bound_, cycle + timings_.tccd);
+            raise(read_bound_, cycle + timings_.write_to_read());
             dq_busy_ += timings_.burst_cycles();
             dq_end_ = data_start + timings_.burst_cycles();
             return Status::ok();
         }
         case CommandType::kRefresh: {
-            for (const BankState& b : banks_) {
-                if (b.active) return fail("refresh-with-open-bank");
-            }
+            if (active_bank_count_ != 0) return fail("refresh-with-open-bank");
             if (cycle < refresh_earliest(cycle)) return fail("tRFC/tRP");
-            last_refresh_ = cycle;
-            ever_refresh_ = true;
+            raise(read_bound_, cycle + timings_.trfc);
+            raise(write_bound_, cycle + timings_.trfc);
+            raise(act_rank_bound_, cycle + timings_.trfc);
+            raise(refresh_bound_, cycle + timings_.trfc);
             return Status::ok();
         }
     }

@@ -9,8 +9,21 @@
 // Tracked constraints (single rank): tRCD, tRP, tRAS, tRC, tCCD, tRTP, tWR,
 // tWTR (via write_to_read), read-to-write turnaround, tRRD, tFAW, tREFI/tRFC,
 // row state per bank, and DQ-bus occupancy (one burst at a time).
+//
+// Ready-time calendar: every constraint is kept as a *cached absolute bound*
+// (the earliest cycle the gated command may issue, 0 = unconstrained) that is
+// advanced eagerly by record() — the only state-change point — instead of
+// being recomputed from last-event timestamps on every query. All earliest_*
+// queries are then a single max(now, bound) load, which is what lets the
+// controller's scheduler treat them as a per-bank calendar it can consult
+// for every candidate bank every evaluated cycle. Each bound is a running
+// max of per-event terms; since event timestamps are monotone, the running
+// max equals the from-scratch formula over the latest events, so the cached
+// answers are bit-identical to the recomputed ones (asserted by the timing
+// tests and the controller's scheduler-equivalence suite).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/result.hpp"
@@ -29,22 +42,35 @@ class TimingChecker {
 
     // Split constraint views for the scheduler's pass gates: the rank-wide
     // part is shared by every candidate of a pass, so one blocked answer
-    // skips the whole queue scan; only the cheap bank-local part is then
-    // evaluated per entry. Each pair composes to exactly earliest_issue.
+    // skips the whole pass; only the cheap bank-local part is then evaluated
+    // per candidate bank. Each pair composes to exactly earliest_issue.
     /// Rank-wide RD gate: tCCD / write-to-read / tRFC.
-    [[nodiscard]] Cycle read_rank_earliest(Cycle now) const { return read_earliest(now); }
+    [[nodiscard]] Cycle read_rank_earliest(Cycle now) const { return std::max(now, read_bound_); }
     /// Rank-wide WR gate: tCCD / read-to-write / tRFC.
-    [[nodiscard]] Cycle write_rank_earliest(Cycle now) const { return write_earliest(now); }
+    [[nodiscard]] Cycle write_rank_earliest(Cycle now) const {
+        return std::max(now, write_bound_);
+    }
     /// Bank-local RD/WR gate: tRCD after the bank's ACT.
-    [[nodiscard]] Cycle rcd_earliest(u32 bank, Cycle now) const;
+    [[nodiscard]] Cycle rcd_earliest(u32 bank, Cycle now) const {
+        return std::max(now, banks_[bank].rcd_bound);
+    }
     /// Rank-wide ACT gate: tRRD / tFAW / tRFC.
-    [[nodiscard]] Cycle act_rank_earliest(Cycle now) const;
+    [[nodiscard]] Cycle act_rank_earliest(Cycle now) const {
+        return std::max(now, act_rank_bound_);
+    }
     /// Bank-local ACT gate: tRP / tRC.
-    [[nodiscard]] Cycle act_bank_earliest(u32 bank, Cycle now) const;
+    [[nodiscard]] Cycle act_bank_earliest(u32 bank, Cycle now) const {
+        return std::max(now, banks_[bank].act_bound);
+    }
+    /// Bank-local PRE gate: tRAS / tRTP / tWR (a PRE has no rank-wide part).
+    [[nodiscard]] Cycle pre_bank_earliest(u32 bank, Cycle now) const {
+        return std::max(now, banks_[bank].pre_bound);
+    }
 
     /// Validate and record a command issued at `cycle`. Returns a non-ok
     /// Status naming the violated constraint if the command is illegal
-    /// (state is not updated in that case).
+    /// (state is not updated in that case). This is the single mutation
+    /// point: every cached bound the command moves is advanced here.
     Status record(const Command& cmd, Cycle cycle);
 
     /// True iff `bank` has `row` open. Inline: the scheduler probes it for
@@ -75,33 +101,25 @@ class TimingChecker {
     struct BankState {
         bool active = false;
         u32 row = 0;
-        Cycle last_act = 0;
-        Cycle last_pre = 0;
-        Cycle last_read = 0;        ///< command time
-        Cycle last_write = 0;       ///< command time
-        bool ever_act = false;
-        bool ever_pre = false;
-        bool ever_read = false;
-        bool ever_write = false;
+        // Cached per-bank calendar (absolute cycles, 0 = unconstrained).
+        Cycle rcd_bound = 0;  ///< earliest RD/WR: last ACT + tRCD.
+        Cycle act_bound = 0;  ///< earliest ACT: max(last PRE + tRP, last ACT + tRC).
+        Cycle pre_bound = 0;  ///< earliest PRE: max(tRAS, tRTP, write data + tWR).
     };
 
-    [[nodiscard]] Cycle act_earliest(u32 bank, Cycle now) const;
-    [[nodiscard]] Cycle pre_earliest(u32 bank, Cycle now) const;
-    [[nodiscard]] Cycle read_earliest(Cycle now) const;
-    [[nodiscard]] Cycle write_earliest(Cycle now) const;
-    [[nodiscard]] Cycle refresh_earliest(Cycle now) const;
+    [[nodiscard]] Cycle refresh_earliest(Cycle now) const {
+        return std::max(now, refresh_bound_);
+    }
 
     DramTimings timings_;
     Geometry geometry_;
     std::vector<BankState> banks_;
 
-    // Rank-level state.
-    Cycle last_read_cmd_ = 0;
-    Cycle last_write_cmd_ = 0;
-    bool ever_read_ = false;
-    bool ever_write_ = false;
-    Cycle last_refresh_ = 0;
-    bool ever_refresh_ = false;
+    // Rank-level cached bounds (absolute cycles, 0 = unconstrained).
+    Cycle read_bound_ = 0;      ///< earliest RD: tCCD / WTR / tRFC.
+    Cycle write_bound_ = 0;     ///< earliest WR: tCCD / RTW / tRFC.
+    Cycle act_rank_bound_ = 0;  ///< earliest ACT: tRRD / tFAW / tRFC.
+    Cycle refresh_bound_ = 0;   ///< earliest REF: tRFC / all-banks tRP.
 
     /// Last up-to-8 ACT times for the tRRD/tFAW windows — a fixed ring, so
     /// recording a command never touches the heap.

@@ -32,6 +32,8 @@ struct Command {
     u32 bank = 0;
     u32 row = 0;
     u32 col = 0;  ///< burst-aligned column (in bus words).
+
+    friend constexpr bool operator==(const Command&, const Command&) = default;
 };
 
 /// Geometry of one channel's DRAM array.

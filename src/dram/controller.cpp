@@ -1,10 +1,15 @@
 #include "dram/controller.hpp"
 
 #include <algorithm>
-#include <array>
+#include <bit>
 #include <cassert>
 
 namespace flowcam::dram {
+namespace {
+
+[[nodiscard]] u32 lowest_bank(u64 mask) { return static_cast<u32>(std::countr_zero(mask)); }
+
+}  // namespace
 
 DramController::DramController(std::string name, const DramTimings& timings,
                                const Geometry& geometry, const ControllerConfig& config)
@@ -14,30 +19,138 @@ DramController::DramController(std::string name, const DramTimings& timings,
       checker_(timings, geometry),
       device_(geometry, timings.burst_length),
       map_(geometry, timings.burst_length, config.map_policy, config.interleave_bytes),
-      next_refresh_(timings.trefi) {}
+      next_refresh_(timings.trefi),
+      wanted_count_(geometry.banks, 0) {
+    assert(geometry.banks <= 64 && "per-bank candidate state uses u64 bitmasks");
+    for (QueueState& qs : queues_) {
+        qs.bank_head.assign(geometry.banks, kNil);
+        qs.bank_tail.assign(geometry.banks, kNil);
+        qs.hit_head.assign(geometry.banks, kNil);
+        qs.hit_tail.assign(geometry.banks, kNil);
+    }
+}
+
+void DramController::link_request(u32 q, u32 bank, u16 slot) {
+    QueueState& qs = queues_[q];
+    SlotLinks& links = links_[slot];
+    links.q_prev = qs.tail;
+    links.q_next = kNil;
+    if (qs.tail != kNil) {
+        links_[qs.tail].q_next = slot;
+    } else {
+        qs.head = slot;
+    }
+    qs.tail = slot;
+    links.bank_prev = qs.bank_tail[bank];
+    links.bank_next = kNil;
+    if (qs.bank_tail[bank] != kNil) {
+        links_[qs.bank_tail[bank]].bank_next = slot;
+    } else {
+        qs.bank_head[bank] = slot;
+    }
+    qs.bank_tail[bank] = slot;
+    qs.pending_mask |= u64{1} << bank;
+    ++qs.size;
+}
+
+void DramController::unlink_request(u32 q, u32 bank, u16 slot) {
+    QueueState& qs = queues_[q];
+    const SlotLinks& links = links_[slot];
+    if (links.q_prev != kNil) {
+        links_[links.q_prev].q_next = links.q_next;
+    } else {
+        qs.head = links.q_next;
+    }
+    if (links.q_next != kNil) {
+        links_[links.q_next].q_prev = links.q_prev;
+    } else {
+        qs.tail = links.q_prev;
+    }
+    if (links.bank_prev != kNil) {
+        links_[links.bank_prev].bank_next = links.bank_next;
+    } else {
+        qs.bank_head[bank] = links.bank_next;
+    }
+    if (links.bank_next != kNil) {
+        links_[links.bank_next].bank_prev = links.bank_prev;
+    } else {
+        qs.bank_tail[bank] = links.bank_prev;
+    }
+    if (qs.bank_head[bank] == kNil) qs.pending_mask &= ~(u64{1} << bank);
+    --qs.size;
+}
+
+void DramController::hit_push_back(QueueState& qs, u32 bank, u16 slot) {
+    links_[slot].hit_next = kNil;
+    if (qs.hit_tail[bank] != kNil) {
+        links_[qs.hit_tail[bank]].hit_next = slot;
+    } else {
+        qs.hit_head[bank] = slot;
+    }
+    qs.hit_tail[bank] = slot;
+    qs.hit_mask |= u64{1} << bank;
+}
+
+void DramController::rebuild_hits(u32 bank, u32 row) {
+    // Paid once per ACT (the only time a bank's open row changes to a new
+    // value) instead of rediscovering hits by scanning every evaluated
+    // cycle. Bank lists preserve arrival order, so the rebuilt hit lists do
+    // too.
+    const u64 bit = u64{1} << bank;
+    u32 count = 0;
+    for (QueueState& qs : queues_) {
+        qs.hit_head[bank] = kNil;
+        qs.hit_tail[bank] = kNil;
+        qs.hit_mask &= ~bit;
+        for (u16 slot = qs.bank_head[bank]; slot != kNil; slot = links_[slot].bank_next) {
+            if (slots_[slot].location.row != row) continue;
+            hit_push_back(qs, bank, slot);
+            ++count;
+        }
+    }
+    wanted_count_[bank] = count;
+    if (count != 0) {
+        wanted_mask_ |= bit;
+    } else {
+        wanted_mask_ &= ~bit;
+    }
+}
+
+void DramController::clear_hits(u32 bank) {
+    const u64 bit = u64{1} << bank;
+    for (QueueState& qs : queues_) {
+        qs.hit_head[bank] = kNil;
+        qs.hit_tail[bank] = kNil;
+        qs.hit_mask &= ~bit;
+    }
+    wanted_count_[bank] = 0;
+    wanted_mask_ &= ~bit;
+}
 
 bool DramController::enqueue(MemRequest request) {
-    auto& queue = request.is_write ? writes_ : reads_;
+    const bool is_write = request.is_write;
+    const u32 q = is_write ? 1 : 0;
     const std::size_t depth =
-        request.is_write ? config_.write_queue_depth : config_.read_queue_depth;
-    if (queue.size() >= depth) {
+        is_write ? config_.write_queue_depth : config_.read_queue_depth;
+    if (queues_[q].size >= depth) {
         // Caller retries next cycle with a fresh payload; keep the buffer.
-        if (request.is_write) recycle_buffer(std::move(request.write_data));
+        if (is_write) recycle_buffer(std::move(request.write_data));
         return false;
     }
 
-    const bool is_write = request.is_write;
     Pending pending;
     pending.location = map_.decode(request.byte_address);
     pending.accepted_at = now_;
+    pending.seq = next_seq_++;
     pending.request = std::move(request);
-    Ref ref;
-    ref.row = pending.location.row;
-    ref.bank = static_cast<u8>(pending.location.bank);
-    ref.slot = alloc_slot(std::move(pending));
-    queue.push_back(ref);
-    if (ref.bank < wanted_count_.size() && checker_.row_open(ref.bank, ref.row)) {
-        ++wanted_count_[ref.bank];
+    const u32 bank = pending.location.bank;
+    const u32 row = pending.location.row;
+    const u16 slot = alloc_slot(std::move(pending));
+    link_request(q, bank, slot);
+    if (checker_.row_open(bank, row)) {
+        hit_push_back(queues_[q], bank, slot);
+        ++wanted_count_[bank];
+        wanted_mask_ |= u64{1} << bank;
     }
     if (is_write) {
         ++stats_.writes_accepted;
@@ -48,23 +161,23 @@ bool DramController::enqueue(MemRequest request) {
         // Tighten the stall by the newcomer's own earliest opportunity; the
         // other entries' candidates are unchanged by an enqueue (a new
         // request can block a pass-3 precharge, never enable anything).
-        const Cycle candidate = entry_candidate(ref, is_write, now_);
+        const Cycle candidate = entry_candidate(bank, row, is_write, now_);
         stall_until_ = std::min(stall_until_, std::max(candidate, now_ + 1));
     }
     return true;
 }
 
-Cycle DramController::entry_candidate(const Ref& ref, bool is_write, Cycle now) const {
-    if (checker_.row_open(ref.bank, ref.row)) {
+Cycle DramController::entry_candidate(u32 bank, u32 row, bool is_write, Cycle now) const {
+    if (checker_.row_open(bank, row)) {
         const Cycle rank =
             is_write ? checker_.write_rank_earliest(now) : checker_.read_rank_earliest(now);
-        return std::max(rank, checker_.rcd_earliest(ref.bank, now));
+        return std::max(rank, checker_.rcd_earliest(bank, now));
     }
-    if (!checker_.bank_active(ref.bank)) {
+    if (!checker_.bank_active(bank)) {
         return std::max(checker_.act_rank_earliest(now),
-                        checker_.act_bank_earliest(ref.bank, now));
+                        checker_.act_bank_earliest(bank, now));
     }
-    return checker_.earliest_issue(Command{CommandType::kPrecharge, ref.bank, 0, 0}, now);
+    return checker_.pre_bank_earliest(bank, now);
 }
 
 std::optional<MemResponse> DramController::pop_response() {
@@ -75,14 +188,17 @@ std::optional<MemResponse> DramController::pop_response() {
 void DramController::issue(const Command& cmd, Cycle now) {
     const Status status = checker_.record(cmd, now);
     if (!status.is_ok() && protocol_status_.is_ok()) protocol_status_ = status;
+    if (trace_ != nullptr) trace_->push_back(TracedCommand{cmd, now});
     switch (cmd.type) {
         case CommandType::kActivate:
             ++stats_.activates;
-            if (cmd.bank < wanted_count_.size()) recount_wanted(cmd.bank, cmd.row);
+            active_mask_ |= u64{1} << cmd.bank;
+            rebuild_hits(cmd.bank, cmd.row);
             break;
         case CommandType::kPrecharge:
             ++stats_.precharges;
-            if (cmd.bank < wanted_count_.size()) wanted_count_[cmd.bank] = 0;
+            active_mask_ &= ~(u64{1} << cmd.bank);
+            clear_hits(cmd.bank);
             break;
         case CommandType::kRefresh: ++stats_.refreshes; break;
         default: break;
@@ -99,23 +215,23 @@ bool DramController::try_refresh(Cycle now) {
         refresh_pending_ = true;
     }
 
-    // Precharge any open bank first (one command per cycle).
-    for (u32 bank = 0; bank < checker_.geometry().banks; ++bank) {
-        if (checker_.bank_active(bank)) {
-            const Command pre{CommandType::kPrecharge, bank, 0, 0};
-            const Cycle earliest = checker_.earliest_issue(pre, now);
-            if (earliest <= now) {
-                issue(pre, now);
-                return true;
-            }
-            note_candidate(earliest);  // wait for tRAS/tWR to elapse.
-            return false;
+    // Precharge any open bank first (one command per cycle; lowest bank
+    // number first, like the reference bank scan).
+    if (active_mask_ != 0) {
+        const u32 bank = lowest_bank(active_mask_);
+        const Command pre{CommandType::kPrecharge, bank, 0, 0};
+        const Cycle earliest = checker_.pre_bank_earliest(bank, now);
+        if (earliest <= now) {
+            issue(pre, now);
+            return true;
         }
+        note_candidate(earliest);  // wait for tRAS/tWR to elapse.
+        return false;
     }
-    const Command ref{CommandType::kRefresh, 0, 0, 0};
-    const Cycle earliest = checker_.earliest_issue(ref, now);
+    const Command refresh{CommandType::kRefresh, 0, 0, 0};
+    const Cycle earliest = checker_.earliest_issue(refresh, now);
     if (earliest <= now) {
-        issue(ref, now);
+        issue(refresh, now);
         refresh_pending_ = false;
         next_refresh_ += timings_.trefi;
         return true;
@@ -125,11 +241,12 @@ bool DramController::try_refresh(Cycle now) {
 }
 
 bool DramController::drain_writes_now(Cycle now) const {
-    if (writes_.empty()) return false;
+    const QueueState& writes = queues_[1];
+    if (writes.size == 0) return false;
     if (write_drain_mode_) return true;
-    if (writes_.size() >= config_.write_drain_high) return true;
-    if (now >= slots_[writes_.front().slot].accepted_at + config_.write_age_limit) return true;
-    return reads_.empty();
+    if (writes.size >= config_.write_drain_high) return true;
+    if (now >= slots_[writes.head].accepted_at + config_.write_age_limit) return true;
+    return queues_[0].size == 0;
 }
 
 void DramController::complete(Pending&& pending, Cycle data_end, Cycle now) {
@@ -149,35 +266,175 @@ void DramController::complete(Pending&& pending, Cycle data_end, Cycle now) {
     }
     response.completed_at = data_end;
     in_flight_.push_back(InFlight{std::move(response), data_end});
+    in_flight_min_ = std::min(in_flight_min_, data_end);
     (void)now;
 }
 
-bool DramController::schedule_queue(std::vector<Ref>& queue, bool is_write, Cycle now) {
-    if (queue.empty()) return false;
-
+DramController::Decision DramController::decide_indexed(bool is_write, Cycle now,
+                                                        Cycle& next) const {
+    const u32 q = is_write ? 1 : 0;
+    const QueueState& qs = queues_[q];
     const u32 banks = checker_.geometry().banks;
     const u32 active_banks = checker_.active_bank_count();
 
+    struct Winner {
+        u16 slot = kNil;
+        u32 bank = 0;
+    };
+    // Shared winner selection of all three passes: walk the candidate-bank
+    // mask, note the per-bank ready bound when it blocks, and pick the
+    // min-seq list head among the ready banks — each head is its bank's
+    // oldest request, so the min-seq head is the pass's FCFS winner.
+    const auto pick = [&](u64 mask, auto&& bank_earliest, const std::vector<u16>& heads) {
+        Winner winner;
+        u64 best_seq = 0;
+        for (; mask != 0; mask &= mask - 1) {
+            const u32 bank = lowest_bank(mask);
+            if (const Cycle earliest = bank_earliest(bank); earliest > now) {
+                note(next, earliest);
+                continue;
+            }
+            const u16 slot = heads[bank];
+            if (winner.slot == kNil || slots_[slot].seq < best_seq) {
+                winner = Winner{slot, bank};
+                best_seq = slots_[slot].seq;
+            }
+        }
+        return winner;
+    };
+
     // Pass 1 (first-ready): oldest request whose row is open and whose next
     // RD/WR may issue this cycle. The rank-wide gate (tCCD / turnaround /
-    // tRFC) is shared by every candidate: when it blocks, skip the scan.
+    // tRFC) is shared by every candidate: when it blocks, skip the pass.
+    // hit_mask enumerates exactly the banks holding such a request.
     const Cycle rank_ready =
         is_write ? checker_.write_rank_earliest(now) : checker_.read_rank_earliest(now);
     if (rank_ready > now) {
-        note_candidate(rank_ready);
+        note(next, rank_ready);
+    } else {
+        const Winner winner = pick(
+            qs.hit_mask, [&](u32 bank) { return checker_.rcd_earliest(bank, now); },
+            qs.hit_head);
+        if (winner.slot != kNil) {
+            const Pending& pending = slots_[winner.slot];
+            const auto type = is_write ? CommandType::kWrite : CommandType::kRead;
+            return Decision{
+                true, 1,
+                Command{type, winner.bank, pending.location.row,
+                        pending.location.col + pending.issued_bursts * timings_.burst_length},
+                winner.slot};
+        }
+    }
+
+    // Pass 2: oldest request whose bank is idle -> ACT. tRRD/tFAW/tRFC are
+    // rank-wide (one blocked answer covers every candidate); the candidate
+    // banks are exactly pending & ~active.
+    const Cycle act_rank = checker_.act_rank_earliest(now);
+    if (act_rank > now) {
+        note(next, act_rank);
+    } else if (active_banks < banks) {
+        const Winner winner = pick(
+            qs.pending_mask & ~active_mask_,
+            [&](u32 bank) { return checker_.act_bank_earliest(bank, now); }, qs.bank_head);
+        if (winner.slot != kNil) {
+            return Decision{true, 2,
+                            Command{CommandType::kActivate, winner.bank,
+                                    slots_[winner.slot].location.row, 0},
+                            winner.slot};
+        }
+    }
+
+    // Pass 3: oldest request blocked by a conflicting open row -> PRE. A
+    // bank qualifies iff it is active, holds a queued request of this
+    // direction, and nobody (either direction) still wants its open row —
+    // in which case *every* request it holds is a conflict, so the bank-list
+    // head again represents the bank.
+    if (active_banks == 0) return {};  // no open row to conflict with.
+    const Winner winner = pick(
+        qs.pending_mask & active_mask_ & ~wanted_mask_,
+        [&](u32 bank) { return checker_.pre_bank_earliest(bank, now); }, qs.bank_head);
+    if (winner.slot != kNil) {
+        return Decision{true, 3, Command{CommandType::kPrecharge, winner.bank, 0, 0},
+                        winner.slot};
+    }
+    return {};
+}
+
+DramController::Decision DramController::decide_reference(bool is_write, Cycle now,
+                                                          Cycle& next) const {
+    // The pre-index linear-scan FR-FCFS passes, verbatim over the global
+    // FIFO list (which preserves the old queue-vector order). Kept as the
+    // oracle for kCrossCheck and the scheduler-equivalence suite.
+    const u32 q = is_write ? 1 : 0;
+    const QueueState& qs = queues_[q];
+    const u32 banks = checker_.geometry().banks;
+    const u32 active_banks = checker_.active_bank_count();
+
+    // Pass 1 (first-ready).
+    const Cycle rank_ready =
+        is_write ? checker_.write_rank_earliest(now) : checker_.read_rank_earliest(now);
+    if (rank_ready > now) {
+        note(next, rank_ready);
     } else if (active_banks != 0) {
-        for (std::size_t i = 0; i < queue.size(); ++i) {
-            const Ref ref = queue[i];
-            if (!checker_.row_open(ref.bank, ref.row)) continue;
-            if (const Cycle earliest = checker_.rcd_earliest(ref.bank, now); earliest > now) {
-                note_candidate(earliest);
+        for (u16 slot = qs.head; slot != kNil; slot = links_[slot].q_next) {
+            const Pending& pending = slots_[slot];
+            const u32 bank = pending.location.bank;
+            if (!checker_.row_open(bank, pending.location.row)) continue;
+            if (const Cycle earliest = checker_.rcd_earliest(bank, now); earliest > now) {
+                note(next, earliest);
                 continue;
             }
-            Pending& pending = slots_[ref.slot];
             const auto type = is_write ? CommandType::kWrite : CommandType::kRead;
-            const Command cmd{type, ref.bank, ref.row,
-                              pending.location.col + pending.issued_bursts * timings_.burst_length};
+            return Decision{
+                true, 1,
+                Command{type, bank, pending.location.row,
+                        pending.location.col + pending.issued_bursts * timings_.burst_length},
+                slot};
+        }
+    }
 
+    // Pass 2: oldest request whose bank is idle -> ACT.
+    const Cycle act_rank = checker_.act_rank_earliest(now);
+    if (act_rank > now) {
+        note(next, act_rank);
+    } else if (active_banks < banks) {
+        for (u16 slot = qs.head; slot != kNil; slot = links_[slot].q_next) {
+            const Pending& pending = slots_[slot];
+            const u32 bank = pending.location.bank;
+            if (checker_.bank_active(bank)) continue;
+            if (const Cycle earliest = checker_.act_bank_earliest(bank, now); earliest > now) {
+                note(next, earliest);
+                continue;
+            }
+            return Decision{
+                true, 2, Command{CommandType::kActivate, bank, pending.location.row, 0}, slot};
+        }
+    }
+
+    // Pass 3: oldest request blocked by a conflicting open row -> PRE.
+    if (active_banks == 0) return {};  // no open row to conflict with.
+    for (u16 slot = qs.head; slot != kNil; slot = links_[slot].q_next) {
+        const Pending& pending = slots_[slot];
+        const u32 bank = pending.location.bank;
+        if (!checker_.bank_active(bank) || checker_.row_open(bank, pending.location.row)) {
+            continue;
+        }
+        // Do not close a row that a request in either queue still wants
+        // (keep the hit streak alive).
+        if (wanted_count_[bank] != 0) continue;
+        if (const Cycle earliest = checker_.pre_bank_earliest(bank, now); earliest > now) {
+            note(next, earliest);
+            continue;
+        }
+        return Decision{true, 3, Command{CommandType::kPrecharge, bank, 0, 0}, slot};
+    }
+    return {};
+}
+
+void DramController::apply(const Decision& decision, bool is_write, Cycle now) {
+    Pending& pending = slots_[decision.slot];
+    switch (decision.pass) {
+        case 1: {
             if (is_write != last_was_write_) {
                 ++stats_.rw_turnarounds;
                 last_was_write_ = is_write;
@@ -186,86 +443,84 @@ bool DramController::schedule_queue(std::vector<Ref>& queue, bool is_write, Cycl
                 ++stats_.row_hits;
                 pending.classified = true;
             }
-            issue(cmd, now);
+            issue(decision.cmd, now);
             ++pending.issued_bursts;
             if (pending.issued_bursts == pending.request.bursts) {
+                const u32 q = is_write ? 1 : 0;
+                QueueState& qs = queues_[q];
+                const u32 bank = pending.location.bank;
+                const u64 bit = u64{1} << bank;
                 const Cycle latency = is_write ? timings_.cwl : timings_.cl;
                 const Cycle data_end = now + latency + timings_.burst_cycles();
-                complete(std::move(pending), data_end, now);
-                free_slot(ref.slot);
-                queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
-                if (ref.bank < wanted_count_.size()) {
-                    --wanted_count_[ref.bank];  // it wanted the open row (pass-1 criterion).
+                // Retire: the winner is always the oldest open-row request
+                // of its bank, i.e. the bank's hit-list head.
+                assert(qs.hit_head[bank] == decision.slot);
+                qs.hit_head[bank] = links_[decision.slot].hit_next;
+                if (qs.hit_head[bank] == kNil) {
+                    qs.hit_tail[bank] = kNil;
+                    qs.hit_mask &= ~bit;
                 }
+                --wanted_count_[bank];  // it wanted the open row (pass-1 criterion).
+                if (wanted_count_[bank] == 0) wanted_mask_ &= ~bit;
+                unlink_request(q, bank, decision.slot);
+                complete(std::move(pending), data_end, now);
+                free_slot(decision.slot);
             }
-            return true;
+            break;
         }
-    }
-
-    // Pass 2: oldest request whose bank is idle -> ACT. tRRD/tFAW/tRFC are
-    // rank-wide (one blocked answer covers every candidate), and with all
-    // banks active there is no candidate at all — the steady-state case.
-    const Cycle act_rank = checker_.act_rank_earliest(now);
-    if (act_rank > now) {
-        note_candidate(act_rank);
-    } else if (active_banks < banks) {
-        for (const Ref& ref : queue) {
-            if (checker_.bank_active(ref.bank)) continue;
-            if (const Cycle earliest = checker_.act_bank_earliest(ref.bank, now);
-                earliest > now) {
-                note_candidate(earliest);
-                continue;
-            }
-            const Command act{CommandType::kActivate, ref.bank, ref.row, 0};
-            Pending& pending = slots_[ref.slot];
+        case 2: {
             if (!pending.classified) {
                 ++stats_.row_misses;
                 pending.classified = true;
             }
-            issue(act, now);
-            return true;
+            issue(decision.cmd, now);
+            break;
         }
+        case 3: {
+            if (!pending.classified) {
+                ++stats_.row_conflicts;
+                pending.classified = true;
+            }
+            issue(decision.cmd, now);
+            break;
+        }
+        default: break;
     }
+}
 
-    // Pass 3: oldest request blocked by a conflicting open row -> PRE.
-    // `wants_cache` memoizes the per-bank "an older request still wants the
-    // open row" answer (turning the nested any_of into once-per-bank work),
-    // and `pre_cache` the per-bank precharge bound — both are functions of
-    // bank state only, constant across the scan.
-    if (active_banks == 0) return false;  // no open row to conflict with.
-    std::array<Cycle, 16> pre_cache;
-    pre_cache.fill(kNever);
-    for (const Ref& ref : queue) {
-        const u32 bank = ref.bank;
-        if (!checker_.bank_active(bank) || checker_.row_open(bank, ref.row)) continue;
-        // Do not close a row that a request in either queue still wants
-        // (keep the hit streak alive) — wanted_count_ is maintained
-        // incrementally (see recount_wanted()); banks beyond its window
-        // (none in DDR3/DDR4 geometries) fall back to a direct scan.
-        if (bank < wanted_count_.size() ? wanted_count_[bank] != 0
-                                        : open_row_wanted(bank)) {
-            continue;
+bool DramController::schedule_queue(bool is_write, Cycle now) {
+    const u32 q = is_write ? 1 : 0;
+    if (queues_[q].size == 0) return false;
+
+    Decision decision;
+    Cycle next = kNever;
+    switch (config_.scheduler) {
+        case SchedulerMode::kIndexed: decision = decide_indexed(is_write, now, next); break;
+        case SchedulerMode::kReference: decision = decide_reference(is_write, now, next); break;
+        case SchedulerMode::kCrossCheck: {
+            Cycle next_indexed = kNever;
+            const Decision indexed = decide_indexed(is_write, now, next_indexed);
+            decision = decide_reference(is_write, now, next);
+            // The candidate accumulators only matter (and only agree) when
+            // nothing issues: the reference scan stops at the winning
+            // request, so on issue ticks it skips noting younger blocked
+            // candidates that the bank-mask walk still visits — and tick()
+            // discards next_event_ on issue anyway.
+            if (!(indexed == decision) || (!decision.issue && next_indexed != next)) {
+                if (protocol_status_.is_ok()) {
+                    protocol_status_ = Status(
+                        StatusCode::kFailedPrecondition,
+                        "indexed/reference scheduler divergence at memory cycle " +
+                            std::to_string(now));
+                }
+            }
+            break;
         }
-        const Command pre{CommandType::kPrecharge, bank, 0, 0};
-        Cycle pre_uncached = kNever;
-        Cycle& earliest =
-            bank < pre_cache.size() ? pre_cache[bank] : pre_uncached;
-        if (earliest == kNever) earliest = checker_.earliest_issue(pre, now);
-        if (earliest > now) {
-            note_candidate(earliest);
-            continue;
-        }
-        Pending& pending = slots_[ref.slot];
-        if (!pending.classified) {
-            ++stats_.row_conflicts;
-            // Not marking classified: the follow-up ACT counts it as a miss
-            // only if still unclassified — so mark here to count once.
-            pending.classified = true;
-        }
-        issue(pre, now);
-        return true;
     }
-    return false;
+    next_event_ = std::min(next_event_, next);
+    if (!decision.issue) return false;
+    apply(decision, is_write, now);
+    return true;
 }
 
 void DramController::tick(Cycle now) {
@@ -274,20 +529,33 @@ void DramController::tick(Cycle now) {
     // and no queued command's earliest_issue arrives. enqueue() resets the
     // stall, so external stimulus always re-evaluates. The resulting command
     // stream is cycle-identical to ticking every cycle (asserted by the
-    // DRAM pattern tests and the timed-vs-functional property test).
+    // DRAM pattern tests, the timed-vs-functional property test, and the
+    // scheduler-equivalence suite).
     now_ = now;  // before the stall check: enqueue() timestamps off now_.
     if (now < stall_until_) return;
     stall_until_ = 0;
     next_event_ = kNever;
 
-    // Deliver matured completions (data fully transferred).
-    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-        if (it->ready_at <= now) {
-            responses_.push_back(std::move(it->response));
-            it = in_flight_.erase(it);
+    // Deliver matured completions (data fully transferred). The cached
+    // minimum maturity skips the scan on the (common) ticks where nothing
+    // can mature yet; noting the minimum is equivalent to noting every
+    // entry's maturity, since next_event_ only keeps the min anyway.
+    if (!in_flight_.empty()) {
+        if (in_flight_min_ > now) {
+            note_candidate(in_flight_min_);
         } else {
-            note_candidate(it->ready_at);
-            ++it;
+            Cycle min_ready = kNever;
+            for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+                if (it->ready_at <= now) {
+                    responses_.push_back(std::move(it->response));
+                    it = in_flight_.erase(it);
+                } else {
+                    min_ready = std::min(min_ready, it->ready_at);
+                    ++it;
+                }
+            }
+            in_flight_min_ = min_ready;
+            if (min_ready != kNever) note_candidate(min_ready);
         }
     }
 
@@ -295,25 +563,26 @@ void DramController::tick(Cycle now) {
     if (try_refresh(now)) return;
 
     // Phase selection with hysteresis.
+    const std::size_t write_count = queues_[1].size;
     if (write_drain_mode_) {
-        if (writes_.size() <= config_.write_drain_low) write_drain_mode_ = false;
-    } else if (writes_.size() >= config_.write_drain_high ||
-               (!writes_.empty() &&
-                now >= slots_[writes_.front().slot].accepted_at + config_.write_age_limit)) {
+        if (write_count <= config_.write_drain_low) write_drain_mode_ = false;
+    } else if (write_count >= config_.write_drain_high ||
+               (write_count != 0 &&
+                now >= slots_[queues_[1].head].accepted_at + config_.write_age_limit)) {
         write_drain_mode_ = true;
     }
-    if (!write_drain_mode_ && !writes_.empty()) {
+    if (!write_drain_mode_ && write_count != 0) {
         // Crossing the age limit flips the phase even with no other event.
-        note_candidate(slots_[writes_.front().slot].accepted_at + config_.write_age_limit);
+        note_candidate(slots_[queues_[1].head].accepted_at + config_.write_age_limit);
     }
 
     const bool write_phase = drain_writes_now(now);
     bool issued;
     if (write_phase) {
         // Opportunistically serve reads when no write can issue this cycle.
-        issued = schedule_queue(writes_, true, now) || schedule_queue(reads_, false, now);
+        issued = schedule_queue(true, now) || schedule_queue(false, now);
     } else {
-        issued = schedule_queue(reads_, false, now) || schedule_queue(writes_, true, now);
+        issued = schedule_queue(false, now) || schedule_queue(true, now);
     }
     if (!issued) stall_until_ = next_event_;
 }

@@ -10,11 +10,25 @@
 //  * all-bank refresh every tREFI with precharge-all, unless disabled for
 //    microbenchmarks.
 //
+// The scheduler is *indexed*: instead of re-scanning the whole request queue
+// on every evaluated cycle, pending requests are threaded onto per-bank
+// intrusive FIFO lists (reads and writes separately) plus a per-bank
+// open-row "hit list", all maintained incrementally on enqueue / issue /
+// completion. Bank bitmasks (banks-with-candidates, banks-whose-open-row-is-
+// wanted, banks-active) let each FR-FCFS pass visit only the banks that can
+// actually contribute a candidate, and a monotone per-request sequence
+// number recovers the global FCFS order by comparing at most `banks` list
+// heads. The legacy linear-scan scheduler is retained as a reference
+// implementation behind SchedulerMode: the command stream, stats, and stall
+// computation of the indexed scheduler are cycle-identical to it (enforced
+// continuously in kCrossCheck mode and by the scheduler-equivalence tests).
+//
 // Every issued command is validated by the TimingChecker; a violation is a
 // simulation bug and aborts via Status surfaced to the caller.
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <functional>
 #include <optional>
 #include <string>
@@ -48,6 +62,14 @@ struct MemResponse {
     Cycle completed_at = 0;   ///< memory cycle the last data beat transferred.
 };
 
+/// Which FR-FCFS decision procedure drives the controller.
+enum class SchedulerMode : u8 {
+    kIndexed,    ///< per-bank indexed scheduler (production).
+    kReference,  ///< legacy linear queue scan (oracle for equivalence tests).
+    kCrossCheck, ///< run both, assert identical decisions every evaluated
+                 ///< cycle (Debug equivalence harness; reference decides).
+};
+
 struct ControllerConfig {
     std::size_t read_queue_depth = 32;
     std::size_t write_queue_depth = 32;
@@ -62,6 +84,7 @@ struct ControllerConfig {
     /// Bank-rotation granule (0 = one burst). The Flow LUT sets this to its
     /// bucket size so a multi-burst bucket stays in one row of one bank.
     u64 interleave_bytes = 0;
+    SchedulerMode scheduler = SchedulerMode::kIndexed;
 };
 
 struct ControllerStats {
@@ -77,6 +100,14 @@ struct ControllerStats {
     u64 row_conflicts = 0;  ///< required PRE of another row first.
     u64 rw_turnarounds = 0; ///< read<->write phase switches.
     sim::Histogram read_latency{4.0, 64};  ///< memory-clock cycles.
+};
+
+/// One issued command with its issue cycle — the unit of the optional trace
+/// sink the equivalence tests compare across scheduler modes.
+struct TracedCommand {
+    Command cmd;
+    Cycle at = 0;
+    friend bool operator==(const TracedCommand&, const TracedCommand&) = default;
 };
 
 class DramController final : public sim::Ticker {
@@ -106,13 +137,14 @@ class DramController final : public sim::Ticker {
     }
 
     [[nodiscard]] bool idle() const {
-        return reads_.empty() && writes_.empty() && in_flight_.empty() && responses_.empty();
+        return queues_[0].size == 0 && queues_[1].size == 0 && in_flight_.empty() &&
+               responses_.empty();
     }
     /// Memory cycle before which tick() is a proven no-op (see stall_until_);
     /// feeds the system-level batched fast-forward.
     [[nodiscard]] Cycle stalled_until() const { return stall_until_; }
-    [[nodiscard]] std::size_t read_queue_size() const { return reads_.size(); }
-    [[nodiscard]] std::size_t write_queue_size() const { return writes_.size(); }
+    [[nodiscard]] std::size_t read_queue_size() const { return queues_[0].size; }
+    [[nodiscard]] std::size_t write_queue_size() const { return queues_[1].size; }
 
     void tick(Cycle now) override;
     [[nodiscard]] std::string name() const override { return name_; }
@@ -129,8 +161,13 @@ class DramController final : public sim::Ticker {
     }
 
     /// Last Status from an internal protocol check; non-ok indicates a
-    /// scheduler bug (tests assert this stays ok).
+    /// scheduler bug (tests assert this stays ok). In kCrossCheck mode this
+    /// also reports any indexed-vs-reference decision divergence.
     [[nodiscard]] const Status& protocol_status() const { return protocol_status_; }
+
+    /// Test hook: when set, every issued command is appended to `sink`
+    /// (equivalence suites diff the streams of two controllers).
+    void set_command_trace(std::vector<TracedCommand>* sink) { trace_ = sink; }
 
   private:
     struct Pending {
@@ -138,18 +175,36 @@ class DramController final : public sim::Ticker {
         BurstAddress location;   ///< of the first burst.
         u32 issued_bursts = 0;   ///< RD/WR commands already sent.
         Cycle accepted_at = 0;
+        u64 seq = 0;             ///< global arrival order (FCFS tie-break).
         bool classified = false; ///< row hit/miss/conflict already counted.
     };
 
-    /// Hot scan record: exactly what the FR-FCFS passes test per entry,
-    /// packed to 8 bytes so scanning a full 32-deep queue touches four
-    /// cache lines instead of one per entry. `slot` indexes the cold
-    /// Pending pool; erase is an 8-byte-per-entry memmove, not a Pending
-    /// move.
-    struct Ref {
-        u32 row = 0;
-        u16 slot = 0;
-        u8 bank = 0;
+    static constexpr u16 kNil = 0xFFFF;
+
+    /// Intrusive links threading each pool slot onto (a) its queue's global
+    /// FIFO list, (b) its bank's FIFO list, and (c) its bank's open-row hit
+    /// list. Kept in a dense array parallel to `slots_` so the scheduler's
+    /// pointer chases stay inside a few cache lines.
+    struct SlotLinks {
+        u16 q_prev = kNil, q_next = kNil;
+        u16 bank_prev = kNil, bank_next = kNil;
+        u16 hit_next = kNil;  ///< hit lists pop at the head only.
+    };
+
+    /// Per-direction (reads / writes) index state. Invariants:
+    ///  * the global list is the arrival (FCFS) order of queued requests;
+    ///  * bank lists are the global order restricted to one bank;
+    ///  * the hit list of bank b is its bank list restricted to requests
+    ///    targeting b's open row (rebuilt on ACT, cleared on PRE);
+    ///  * pending_mask bit b <=> bank list b nonempty; hit_mask bit b <=>
+    ///    hit list b nonempty.
+    struct QueueState {
+        u16 head = kNil, tail = kNil;
+        u32 size = 0;
+        u64 pending_mask = 0;
+        u64 hit_mask = 0;
+        std::vector<u16> bank_head, bank_tail;
+        std::vector<u16> hit_head, hit_tail;
     };
 
     struct InFlight {
@@ -157,44 +212,51 @@ class DramController final : public sim::Ticker {
         Cycle ready_at = 0;
     };
 
+    /// One scheduling decision of a pass pipeline — computed side-effect-free
+    /// by decide_indexed()/decide_reference(), then applied once. The split
+    /// is what makes kCrossCheck possible.
+    struct Decision {
+        bool issue = false;
+        u8 pass = 0;  ///< 1 = RD/WR (hit), 2 = ACT (miss), 3 = PRE (conflict).
+        Command cmd{};
+        u16 slot = kNil;
+        friend bool operator==(const Decision& a, const Decision& b) {
+            return a.issue == b.issue && a.pass == b.pass && a.slot == b.slot &&
+                   a.cmd == b.cmd;
+        }
+    };
+
     void issue(const Command& cmd, Cycle now);
     bool try_refresh(Cycle now);
     [[nodiscard]] bool drain_writes_now(Cycle now) const;
     /// Pick and issue at most one command for the given queue; returns true
     /// if a command was issued.
-    bool schedule_queue(std::vector<Ref>& queue, bool is_write, Cycle now);
+    bool schedule_queue(bool is_write, Cycle now);
+    [[nodiscard]] Decision decide_indexed(bool is_write, Cycle now, Cycle& next) const;
+    [[nodiscard]] Decision decide_reference(bool is_write, Cycle now, Cycle& next) const;
+    void apply(const Decision& decision, bool is_write, Cycle now);
     void complete(Pending&& pending, Cycle data_end, Cycle now);
 
-    /// Per-bank count of queued requests that target the bank's currently
-    /// open row — pass 3 must not close a row these still want. Maintained
-    /// incrementally: +1 on enqueue-to-open-row, -1 on completion, recount
-    /// on ACT (row changes), reset on PRE (no open row left).
-    void recount_wanted(u32 bank, u32 row) {
-        u32 count = 0;
-        for (const Ref& r : reads_) count += (r.bank == bank && r.row == row) ? 1 : 0;
-        for (const Ref& r : writes_) count += (r.bank == bank && r.row == row) ? 1 : 0;
-        wanted_count_[bank] = count;
-    }
-    /// Direct-scan fallback for banks outside the wanted_count_ window.
-    [[nodiscard]] bool open_row_wanted(u32 bank) const {
-        const i64 open = checker_.open_row(bank);
-        const auto wants = [&](const std::vector<Ref>& q) {
-            for (const Ref& r : q) {
-                if (r.bank == bank && static_cast<i64>(r.row) == open) return true;
-            }
-            return false;
-        };
-        return wants(reads_) || wants(writes_);
-    }
+    // ---- Index maintenance (see QueueState invariants) ----
+    void link_request(u32 q, u32 bank, u16 slot);
+    void unlink_request(u32 q, u32 bank, u16 slot);
+    void hit_push_back(QueueState& qs, u32 bank, u16 slot);
+    /// Rebuild bank `bank`'s hit lists (both queues) and wanted count for
+    /// newly opened `row` — the only O(bank occupancy) maintenance step,
+    /// paid once per ACT instead of once per evaluated cycle.
+    void rebuild_hits(u32 bank, u32 row);
+    void clear_hits(u32 bank);
 
     [[nodiscard]] u16 alloc_slot(Pending&& pending) {
         if (free_slots_.empty()) {
             slots_.push_back(std::move(pending));
+            links_.emplace_back();
             return static_cast<u16>(slots_.size() - 1);
         }
         const u16 slot = free_slots_.back();
         free_slots_.pop_back();
         slots_[slot] = std::move(pending);
+        links_[slot] = SlotLinks{};
         return slot;
     }
     void free_slot(u16 slot) { free_slots_.push_back(slot); }
@@ -206,13 +268,14 @@ class DramController final : public sim::Ticker {
     /// (or a response maturity / refresh deadline / write-age threshold), so
     /// the command stream is cycle-identical to the unskipped simulation.
     void note_candidate(Cycle cycle) { next_event_ = std::min(next_event_, cycle); }
+    static void note(Cycle& next, Cycle cycle) { next = std::min(next, cycle); }
     static constexpr Cycle kNever = ~Cycle{0};
 
-    /// Earliest cycle at which `pending` could possibly issue any command,
-    /// given current bank/rank state — used by enqueue() to tighten (not
-    /// reset) an active stall: an arriving request can only add its own
+    /// Earliest cycle at which a queued request could possibly issue any
+    /// command, given current bank/rank state — used by enqueue() to tighten
+    /// (not reset) an active stall: an arriving request can only add its own
     /// opportunity, never accelerate anyone else's.
-    [[nodiscard]] Cycle entry_candidate(const Ref& ref, bool is_write, Cycle now) const;
+    [[nodiscard]] Cycle entry_candidate(u32 bank, u32 row, bool is_write, Cycle now) const;
 
     std::string name_;
     DramTimings timings_;
@@ -221,14 +284,16 @@ class DramController final : public sim::Ticker {
     DramDevice device_;
     AddressMap map_;
 
-    /// Contiguous pending queues in FIFO order (hot Refs) over a slot pool
-    /// of cold Pendings: depth is bounded (≤ 32 each) and the scheduler
-    /// scans the Refs every evaluated cycle.
-    std::vector<Ref> reads_;
-    std::vector<Ref> writes_;
+    /// Pending-request pool: cold Pendings in `slots_`, hot intrusive links
+    /// in `links_`, free list in `free_slots_`. Queue membership lives
+    /// entirely in `queues_` + the links (no dense per-queue array to erase
+    /// from). Depth is bounded (<= 32 each side).
     std::vector<Pending> slots_;
+    std::vector<SlotLinks> links_;
     std::vector<u16> free_slots_;
+    std::array<QueueState, 2> queues_;  ///< [0] reads, [1] writes.
     std::vector<InFlight> in_flight_;
+    Cycle in_flight_min_ = kNever;  ///< earliest ready_at in in_flight_ (cached).
     common::RingQueue<MemResponse> responses_;
     std::vector<std::vector<u8>> spare_buffers_;
 
@@ -239,7 +304,19 @@ class DramController final : public sim::Ticker {
     Cycle now_ = 0;  ///< last ticked memory cycle (for enqueue timestamps).
     Cycle stall_until_ = 0;   ///< tick() is a provable no-op before this cycle.
     Cycle next_event_ = kNever;  ///< candidate accumulator for the current tick.
-    std::array<u32, 32> wanted_count_{};  ///< see recount_wanted().
+    u64 next_seq_ = 0;
+
+    /// Per-bank incremental candidate state, all sized/masked from
+    /// Geometry::banks (<= 64):
+    ///  * wanted_count_[b]: queued requests (either queue) targeting b's
+    ///    open row — pass 3 must not close a row these still want;
+    ///  * wanted_mask_: banks with wanted_count_ > 0;
+    ///  * active_mask_: banks holding an open row (mirrors the checker).
+    std::vector<u32> wanted_count_;
+    u64 wanted_mask_ = 0;
+    u64 active_mask_ = 0;
+
+    std::vector<TracedCommand>* trace_ = nullptr;
 
     ControllerStats stats_;
     Status protocol_status_;

@@ -3,18 +3,20 @@
 // only stores bits, so tests can verify data integrity end-to-end through
 // the scheduler.
 //
-// Storage is organized as zero-initialized 4 KB pages (one hash-map entry
+// Storage is organized as zero-initialized 4 KB pages (one flat-map entry
 // per page instead of one heap vector per 32-byte burst): a bucket read is
-// one page lookup plus one memcpy, and read_into() lets the controller
-// recycle response buffers, keeping the steady-state lookup path free of
+// one open-addressed page lookup plus one memcpy — every completed DDR
+// access pays it, so the page table is a FlatU64Map rather than a
+// node-based unordered_map — and read_into() lets the controller recycle
+// response buffers, keeping the steady-state lookup path free of
 // per-request allocation.
 #pragma once
 
 #include <cstring>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "dram/command.hpp"
 
@@ -42,9 +44,9 @@ class DramDevice {
             const std::size_t in_page = address % kPageBytes;
             const std::size_t chunk =
                 std::min<std::size_t>(kPageBytes - in_page, total - offset);
-            const auto it = pages_.find(address / kPageBytes);
-            if (it != pages_.end()) {
-                std::memcpy(out.data() + offset, it->second.data() + in_page, chunk);
+            const std::vector<u8>* page = pages_.find(address / kPageBytes);
+            if (page != nullptr) {
+                std::memcpy(out.data() + offset, page->data() + in_page, chunk);
             } else {
                 std::memset(out.data() + offset, 0, chunk);
             }
@@ -68,9 +70,9 @@ class DramDevice {
             const std::size_t in_page = address % kPageBytes;
             const std::size_t chunk =
                 std::min<std::size_t>(kPageBytes - in_page, data.size() - offset);
-            auto [it, created] = pages_.try_emplace(address / kPageBytes);
-            if (created) it->second.assign(kPageBytes, 0);
-            std::memcpy(it->second.data() + in_page, data.data() + offset, chunk);
+            std::vector<u8>& page = pages_[address / kPageBytes];
+            if (page.empty()) page.assign(kPageBytes, 0);
+            std::memcpy(page.data() + in_page, data.data() + offset, chunk);
             offset += chunk;
             address += chunk;
         }
@@ -84,7 +86,7 @@ class DramDevice {
   private:
     Geometry geometry_;
     u32 burst_bytes_;
-    std::unordered_map<u64, std::vector<u8>> pages_;
+    common::FlatU64Map<std::vector<u8>> pages_;
 };
 
 }  // namespace flowcam::dram

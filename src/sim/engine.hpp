@@ -30,14 +30,28 @@ class Engine {
     /// Register a commit hook (normally Fifo<T>::commit) run after all
     /// ticks. Hooks are stored as a plain (object, function) pair — one
     /// indirect call per cycle, no std::function dispatch on the hot loop.
+    /// A hook registered this way has no idleness contract, so it pins the
+    /// fast-forward (every cycle must run it); prefer the two-method
+    /// overload when the hook can prove itself a no-op.
     template <auto Method, typename T>
     void add_commit(T& object) {
         commits_.push_back(CommitHook{
-            &object, [](void* o) { (static_cast<T*>(o)->*Method)(); }});
+            &object, [](void* o) { (static_cast<T*>(o)->*Method)(); }, nullptr});
+    }
+    /// Register a commit hook with an idleness companion, e.g.
+    /// add_commit<&Fifo<int>::commit, &Fifo<int>::commit_idle>(fifo).
+    /// While IdleMethod returns true the hook is provably a no-op, so
+    /// pipelines built on commit hooks still fast-forward through idle
+    /// stretches instead of pinning the engine to 1-cycle steps.
+    template <auto Method, auto IdleMethod, typename T>
+    void add_commit(T& object) {
+        commits_.push_back(
+            CommitHook{&object, [](void* o) { (static_cast<T*>(o)->*Method)(); },
+                       [](void* o) -> bool { return (static_cast<T*>(o)->*IdleMethod)(); }});
     }
     /// C-style registration for contexts that are not member functions.
     void add_commit(void* context, void (*hook)(void*)) {
-        commits_.push_back(CommitHook{context, hook});
+        commits_.push_back(CommitHook{context, hook, nullptr});
     }
 
     /// Execute one system-clock cycle.
@@ -85,13 +99,19 @@ class Engine {
     struct CommitHook {
         void* object;
         void (*fn)(void*);
+        bool (*idle)(void*);  ///< nullptr: no contract, pins fast-forward.
     };
 
     /// Skip up to `budget` provably idle cycles; returns how many.
     u64 fast_forward(u64 budget) {
         if (budget == 0 || blocks_.empty()) return 0;
-        // Commit hooks have no idleness contract; never skip past them.
-        if (!commits_.empty()) return 0;
+        // A commit hook may only be skipped when it proves itself a no-op
+        // (e.g. a Fifo with nothing staged). That proof holds for the whole
+        // jump: no ticker runs during a skip, so nothing new can be staged
+        // mid-jump. Hooks without an idle companion pin the engine.
+        for (const auto& hook : commits_) {
+            if (hook.idle == nullptr || !hook.idle(hook.object)) return 0;
+        }
         u64 skip = budget;
         for (const auto& entry : blocks_) {
             skip = std::min(skip, entry.ticker->idle_cycles_hint());

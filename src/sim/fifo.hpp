@@ -65,6 +65,11 @@ class Fifo {
         return pop();
     }
 
+    /// True when commit() is provably a no-op — nothing staged, so the
+    /// engine's fast-forward may jump over this hook (register with
+    /// Engine::add_commit<&Fifo::commit, &Fifo::commit_idle>).
+    [[nodiscard]] bool commit_idle() const { return staged_.empty(); }
+
     /// Move staged pushes into the visible queue. Called by the engine once
     /// per cycle after all tickers have run.
     void commit() {

@@ -225,5 +225,207 @@ TEST_F(ControllerTest, DqUtilizationBoundedByOne) {
     EXPECT_LE(utilization, 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// Scheduler-equivalence suite: the indexed FR-FCFS scheduler must be
+// cycle-identical to the reference linear-scan implementation — same command
+// stream (type/bank/row/col/cycle), same responses, same stats, and the same
+// stall_until_ value after every tick (the event-skip computation is part of
+// the contract: a looser stall would change which cycles get evaluated).
+// ---------------------------------------------------------------------------
+
+class SchedulerEquivalenceTest : public ::testing::Test {
+  protected:
+    DramTimings timings = ddr3_1600();
+    Geometry geometry{};
+
+    struct Arrival {
+        Cycle at = 0;
+        MemRequest request;
+    };
+
+    static std::vector<u8> pattern(u64 seed, std::size_t bytes) {
+        std::vector<u8> data(bytes);
+        Xoshiro256 rng(seed);
+        for (auto& byte : data) byte = static_cast<u8>(rng());
+        return data;
+    }
+
+    /// Randomized request stream: mixed read/write, 1-2 burst accesses
+    /// (64-byte interleave granule keeps multi-burst requests in one row),
+    /// arrival gaps wide enough to flip drain phases when `sparse`.
+    std::vector<Arrival> make_stream(u64 seed, u64 ops, double write_fraction, bool sparse) {
+        std::vector<Arrival> arrivals;
+        arrivals.reserve(ops);
+        Xoshiro256 rng(seed);
+        Cycle t = 0;
+        for (u64 i = 0; i < ops; ++i) {
+            t += rng.bounded(sparse ? 120 : 6);
+            Arrival arrival;
+            arrival.at = t;
+            arrival.request.id = i + 1;
+            arrival.request.is_write = rng.chance(write_fraction);
+            arrival.request.bursts = 1 + static_cast<u32>(rng.bounded(2));
+            arrival.request.byte_address = rng.bounded(1024) * 64;
+            if (arrival.request.is_write) {
+                arrival.request.write_data = pattern(rng(), arrival.request.bursts * 32ull);
+            }
+            arrivals.push_back(std::move(arrival));
+        }
+        return arrivals;
+    }
+
+    /// Drive a reference-mode and an indexed-mode controller in lockstep
+    /// through the same arrival stream and assert cycle-identical behavior.
+    void expect_equivalent(const ControllerConfig& base, u64 seed, u64 ops,
+                           double write_fraction, bool sparse) {
+        ControllerConfig ref_config = base;
+        ref_config.scheduler = SchedulerMode::kReference;
+        ControllerConfig idx_config = base;
+        idx_config.scheduler = SchedulerMode::kIndexed;
+        DramController ref("ref", timings, geometry, ref_config);
+        DramController idx("idx", timings, geometry, idx_config);
+        std::vector<TracedCommand> ref_trace, idx_trace;
+        ref.set_command_trace(&ref_trace);
+        idx.set_command_trace(&idx_trace);
+
+        const std::vector<Arrival> arrivals = make_stream(seed, ops, write_fraction, sparse);
+        std::size_t next = 0;
+        Cycle now = 0;
+        const Cycle horizon = arrivals.back().at + 200000;
+        while (now < horizon && (next < arrivals.size() || !ref.idle() || !idx.idle())) {
+            if (next < arrivals.size() && arrivals[next].at <= now) {
+                MemRequest for_ref = arrivals[next].request;  // deep copy incl. payload
+                MemRequest for_idx = arrivals[next].request;
+                const bool ref_ok = ref.enqueue(std::move(for_ref));
+                const bool idx_ok = idx.enqueue(std::move(for_idx));
+                ASSERT_EQ(ref_ok, idx_ok) << "backpressure diverged at cycle " << now;
+                if (ref_ok) ++next;
+            }
+            ref.tick(now);
+            idx.tick(now);
+            ASSERT_EQ(ref.stalled_until(), idx.stalled_until())
+                << "stall_until_ diverged at cycle " << now;
+            ASSERT_EQ(ref_trace.size(), idx_trace.size())
+                << "command stream diverged at cycle " << now;
+            while (true) {
+                auto ref_response = ref.pop_response();
+                auto idx_response = idx.pop_response();
+                ASSERT_EQ(ref_response.has_value(), idx_response.has_value())
+                    << "response timing diverged at cycle " << now;
+                if (!ref_response.has_value()) break;
+                EXPECT_EQ(ref_response->id, idx_response->id);
+                EXPECT_EQ(ref_response->completed_at, idx_response->completed_at);
+                EXPECT_EQ(ref_response->data, idx_response->data);
+            }
+            ++now;
+        }
+        ASSERT_TRUE(ref.idle() && idx.idle()) << "controllers did not drain";
+        ASSERT_TRUE(ref.protocol_status().is_ok()) << ref.protocol_status().to_string();
+        ASSERT_TRUE(idx.protocol_status().is_ok()) << idx.protocol_status().to_string();
+        ASSERT_EQ(ref_trace.size(), idx_trace.size());
+        for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+            ASSERT_TRUE(ref_trace[i] == idx_trace[i]) << "command " << i << " differs: "
+                << to_string(ref_trace[i].cmd.type) << "@" << ref_trace[i].at << " vs "
+                << to_string(idx_trace[i].cmd.type) << "@" << idx_trace[i].at;
+        }
+
+        const ControllerStats& a = ref.stats();
+        const ControllerStats& b = idx.stats();
+        EXPECT_EQ(a.reads_accepted, b.reads_accepted);
+        EXPECT_EQ(a.writes_accepted, b.writes_accepted);
+        EXPECT_EQ(a.reads_completed, b.reads_completed);
+        EXPECT_EQ(a.writes_completed, b.writes_completed);
+        EXPECT_EQ(a.activates, b.activates);
+        EXPECT_EQ(a.precharges, b.precharges);
+        EXPECT_EQ(a.refreshes, b.refreshes);
+        EXPECT_EQ(a.row_hits, b.row_hits);
+        EXPECT_EQ(a.row_misses, b.row_misses);
+        EXPECT_EQ(a.row_conflicts, b.row_conflicts);
+        EXPECT_EQ(a.rw_turnarounds, b.rw_turnarounds);
+        EXPECT_EQ(a.read_latency.summary().count(), b.read_latency.summary().count());
+        EXPECT_EQ(a.read_latency.summary().sum(), b.read_latency.summary().sum());
+        EXPECT_GT(ref_trace.size(), 0u);
+    }
+};
+
+TEST_F(SchedulerEquivalenceTest, ReadOnlyStreams) {
+    ControllerConfig config;
+    config.interleave_bytes = 64;
+    for (u64 seed : {1u, 2u, 3u}) expect_equivalent(config, seed, 600, 0.0, false);
+}
+
+TEST_F(SchedulerEquivalenceTest, MixedReadWriteStreams) {
+    ControllerConfig config;
+    config.interleave_bytes = 64;
+    for (u64 seed : {7u, 8u, 9u}) expect_equivalent(config, seed, 600, 0.5, false);
+}
+
+TEST_F(SchedulerEquivalenceTest, WriteDrainPhaseFlips) {
+    ControllerConfig config;
+    config.interleave_bytes = 64;
+    config.write_drain_high = 6;
+    config.write_drain_low = 1;
+    config.write_age_limit = 64;  // sparse arrivals cross the age limit often
+    for (u64 seed : {11u, 12u}) expect_equivalent(config, seed, 400, 0.7, true);
+}
+
+TEST_F(SchedulerEquivalenceTest, RefreshDisabled) {
+    ControllerConfig config;
+    config.interleave_bytes = 64;
+    config.refresh_enabled = false;
+    for (u64 seed : {21u, 22u}) expect_equivalent(config, seed, 600, 0.4, false);
+}
+
+TEST_F(SchedulerEquivalenceTest, ConflictHeavyBankHighMap) {
+    ControllerConfig config;
+    config.interleave_bytes = 64;
+    config.map_policy = MapPolicy::kBankHigh;  // consecutive buckets share a bank
+    for (u64 seed : {31u, 32u}) expect_equivalent(config, seed, 500, 0.3, false);
+}
+
+TEST_F(SchedulerEquivalenceTest, ShallowQueuesBackpressure) {
+    ControllerConfig config;
+    config.interleave_bytes = 64;
+    config.read_queue_depth = 4;
+    config.write_queue_depth = 4;
+    config.write_drain_high = 3;
+    config.write_drain_low = 1;
+    for (u64 seed : {41u, 42u}) expect_equivalent(config, seed, 500, 0.5, false);
+}
+
+TEST_F(SchedulerEquivalenceTest, CrossCheckModeStaysClean) {
+    // kCrossCheck runs both deciders on every evaluated cycle and reports
+    // any divergence (decision or next-event candidate) via protocol_status.
+    ControllerConfig config;
+    config.interleave_bytes = 64;
+    config.scheduler = SchedulerMode::kCrossCheck;
+    DramController controller("xcheck", timings, geometry, config);
+    Xoshiro256 rng(99);
+    Cycle now = 0;
+    u64 id = 1;
+    for (int op = 0; op < 500; ++op) {
+        MemRequest request;
+        request.id = id++;
+        request.byte_address = rng.bounded(512) * 64;
+        request.bursts = 2;
+        request.is_write = rng.chance(0.5);
+        if (request.is_write) request.write_data = pattern(rng(), 64);
+        while (!controller.enqueue(request)) controller.tick(now++);
+        for (int i = 0; i < static_cast<int>(rng.bounded(30)); ++i) {
+            controller.tick(now++);
+            while (controller.pop_response()) {
+            }
+        }
+    }
+    while (!controller.idle() && now < 2'000'000) {
+        controller.tick(now++);
+        while (controller.pop_response()) {
+        }
+    }
+    ASSERT_TRUE(controller.idle());
+    ASSERT_TRUE(controller.protocol_status().is_ok())
+        << controller.protocol_status().to_string();
+}
+
 }  // namespace
 }  // namespace flowcam::dram

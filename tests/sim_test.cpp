@@ -198,6 +198,46 @@ TEST(EngineTest, FastForwardSkipsProvablyIdleCycles) {
     EXPECT_EQ(ticker.ticks, 10u);        // ...and only the busy ones ticked.
 }
 
+TEST(EngineTest, CommitHookWithoutIdleContractPinsFastForward) {
+    Engine engine;
+    PeriodicTicker ticker(10);
+    Fifo<int> fifo(4);
+    engine.add(ticker);
+    engine.add_commit<&Fifo<int>::commit>(fifo);  // no idle companion
+    engine.run(100);
+    EXPECT_EQ(ticker.ticks, 100u);  // every cycle ran: the hook has no contract.
+}
+
+TEST(EngineTest, CommitHookWithIdleCompanionStillFastForwards) {
+    Engine engine;
+    PeriodicTicker ticker(10);
+    Fifo<int> fifo(4);
+    engine.add(ticker);
+    engine.add_commit<&Fifo<int>::commit, &Fifo<int>::commit_idle>(fifo);
+    engine.run(100);
+    EXPECT_EQ(engine.now(), 100u);
+    EXPECT_EQ(ticker.busy_ticks, 10u);
+    EXPECT_EQ(ticker.ticks, 10u);  // idle stretches were skipped despite the hook.
+}
+
+TEST(EngineTest, StagedEntryBlocksCommitHookFastForward) {
+    Engine engine;
+    PeriodicTicker ticker(10);
+    Fifo<int> fifo(4);
+    engine.add(ticker);
+    engine.add_commit<&Fifo<int>::commit, &Fifo<int>::commit_idle>(fifo);
+    ASSERT_TRUE(fifo.push(7));  // staged: the very next commit is not a no-op.
+    engine.run(1);
+    EXPECT_EQ(fifo.size(), 1u);  // the hook ran (not skipped) and committed.
+    // Committed-but-unconsumed entries do not stage anything, so the engine
+    // may fast-forward again; only tickers decide busyness from here:
+    // cycle 1 runs once, then every idle stretch is skipped (ticks only at
+    // the 10 busy cycles 0, 10, ..., 90 plus cycles 0 and 1 above).
+    engine.run(99);
+    EXPECT_EQ(ticker.busy_ticks, 10u);
+    EXPECT_EQ(ticker.ticks, 11u);
+}
+
 TEST(EngineTest, RunUntilStopsEarly) {
     Engine engine;
     CycleRecorder ticker("t");

@@ -13,6 +13,10 @@
 //   rotating_rehash    same traffic, but the FlowKey is rebuilt from the
 //                      tuple for every offer — quantifies what key reuse
 //                      saves (hashing only; still allocation-free).
+//   rotating_reuse_obs rotating_reuse with a flight recorder attached and
+//                      tracing on — the obs-on overhead line. The recorder
+//                      preallocates its trace ring, so steady state must
+//                      STILL be allocation-free (the _reuse gate applies).
 //   unique_insert      a brand-new flow per packet — the full insert path
 //                      (table, CAM, flow records legitimately allocate).
 //   sparse_arrival     one packet every 64 cycles — exercises the batched
@@ -27,11 +31,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <new>
 
 #include "bench_util.hpp"
 #include "core/flow_lut.hpp"
 #include "net/trace.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -110,8 +116,18 @@ void pump(core::FlowLut& lut, const KeyAt& key_at, u64 count, u32 cycles_per_off
 
 template <typename KeyAt>
 ModeResult run_mode(const std::string& mode, const KeyAt& key_at, u64 packets,
-                    u32 cycles_per_offer) {
+                    u32 cycles_per_offer, bool with_obs = false) {
     core::FlowLut lut(bench_config());
+    // The obs arm attaches a tracing recorder before warmup: registration
+    // and the trace ring allocate here, outside the measured window — the
+    // steady-state window must stay at zero even with every event site live.
+    std::unique_ptr<obs::Recorder> recorder;
+    if (with_obs) {
+        obs::ObsConfig obs_config;
+        obs_config.trace = true;
+        recorder = std::make_unique<obs::Recorder>(obs_config);
+        lut.set_recorder(recorder.get());
+    }
     u64 next = 0;
     u64 ts = 1;
 
@@ -164,6 +180,10 @@ int main(int argc, char** argv) {
         "rotating_reuse",
         [&](u64 i) -> const core::FlowKey& { return resident[i % resident.size()]; }, packets,
         2));
+    results.push_back(run_mode(
+        "rotating_reuse_obs",
+        [&](u64 i) -> const core::FlowKey& { return resident[i % resident.size()]; }, packets,
+        2, /*with_obs=*/true));
     results.push_back(run_mode(
         "rotating_rehash",
         [&](u64 i) {

@@ -3,7 +3,9 @@
 # end-to-end scenario smoke (including a composed spec, a trace replay and a
 # replay-background composition), an experiment smoke (a tiny 2x2 scenario x
 # cam-depth grid whose CSV/JSONL must be byte-identical serial vs parallel;
-# the grid CSV is a CI artifact), then a Release build with hot-path
+# the grid CSV is a CI artifact), a trace smoke (a composed scenario with the
+# flight recorder on — the Chrome trace JSON and sampler JSONL must be
+# well-formed, and both are CI artifacts), then a Release build with hot-path
 # performance gates (allocation counter + wall-clock ceilings).
 #
 #   $ scripts/check.sh [--quick] [build-dir]
@@ -89,6 +91,34 @@ rm -f "$BUILD_DIR"/experiment-grid-serial.{csv,jsonl} "$BUILD_DIR"/experiment-gr
   --csv="$BUILD_DIR/experiment-grid.csv" --jsonl="$BUILD_DIR/experiment-grid.jsonl"
 cmp "$BUILD_DIR/experiment-grid-serial.csv" "$BUILD_DIR/experiment-grid.csv"
 cmp "$BUILD_DIR/experiment-grid-serial.jsonl" "$BUILD_DIR/experiment-grid.jsonl"
+
+stage "trace smoke (composed scenario with obs.trace=1; JSON must be loadable)"
+rm -f "$BUILD_DIR/check-trace.json" "$BUILD_DIR/check-samples.jsonl"
+"$BUILD_DIR/scenario_runner" --scenario='flash_crowd+syn_flood@onset=0.3' --packets=3000 \
+  --set=obs.trace=1 --set=obs.trace_path="$BUILD_DIR/check-trace.json" \
+  --set=obs.sample_interval=512 --set=obs.sample_path="$BUILD_DIR/check-samples.jsonl" \
+  > /dev/null
+test -s "$BUILD_DIR/check-trace.json"
+test -s "$BUILD_DIR/check-samples.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/check-trace.json" "$BUILD_DIR/check-samples.jsonl" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert len(events) > 0, "empty traceEvents"
+for event in events:
+    for key in ("ph", "ts", "pid", "tid", "name"):
+        assert key in event, f"event missing {key}: {event}"
+rows = [json.loads(line) for line in open(sys.argv[2])]
+assert len(rows) > 1 and all("cycle" in r for r in rows), "bad sampler JSONL"
+print(f"trace smoke: {len(events)} events, {len(rows)} sampler rows")
+PY
+else
+  # No python3: at least reject a truncated write (the emitter always closes
+  # with the otherData object and a trailing newline).
+  tail -c 8 "$BUILD_DIR/check-trace.json" | grep -q '}' || {
+    echo "check-trace.json looks truncated" >&2; exit 1; }
+fi
 
 if [[ $QUICK -eq 1 ]]; then
   stage "done (--quick: Release perf gates skipped)"

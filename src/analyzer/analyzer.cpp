@@ -52,7 +52,17 @@ bool TrafficAnalyzer::feed_record(const net::PacketRecord& record) {
     prepared.index_a = indexer.index_of_digest(prepared.digest);
     prepared.index_b = indexer.index(1, prepared.key.view());
     packet_buffer_.push_back(std::move(prepared));
+    if (obs_ != nullptr) obs::Recorder::high_water(obs_hwm_buffer_, packet_buffer_.size());
     return true;
+}
+
+void TrafficAnalyzer::set_recorder(obs::Recorder* recorder) {
+    if (recorder == obs_) return;
+    obs_ = recorder;
+    lut_.set_recorder(recorder);
+    if (obs_ == nullptr) return;
+    auto cell = obs_->register_counter("analyzer.hwm_packet_buffer");
+    obs_hwm_buffer_ = cell ? cell.value() : &obs_scrap_cell_;
 }
 
 void TrafficAnalyzer::pump_buffer() {

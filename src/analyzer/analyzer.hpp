@@ -83,6 +83,11 @@ class TrafficAnalyzer {
     /// Run until everything offered has been processed.
     bool drain(u64 max_cycles = 10'000'000);
 
+    /// Attach a flight recorder: registers the packet-buffer high-water
+    /// counter and forwards the recorder to the Flow LUT (which in turn
+    /// attaches both DDR3 controllers). nullptr detaches.
+    void set_recorder(obs::Recorder* recorder);
+
     [[nodiscard]] const TrafficStats& stats() const { return stats_; }
     [[nodiscard]] const std::vector<Event>& events() const { return events_; }
     [[nodiscard]] core::FlowLut& lut() { return lut_; }
@@ -117,6 +122,9 @@ class TrafficAnalyzer {
     std::map<u32, std::set<u16>> ports_touched_;  ///< src ip -> dst ports.
     std::set<FlowId> heavy_reported_;
     bool pressure_reported_ = false;
+    obs::Recorder* obs_ = nullptr;
+    u64* obs_hwm_buffer_ = nullptr;  ///< packet-buffer occupancy high-water.
+    u64 obs_scrap_cell_ = 0;
 };
 
 }  // namespace flowcam::analyzer

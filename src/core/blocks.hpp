@@ -34,6 +34,8 @@ struct Descriptor {
     u64 index_b = 0;  ///< bucket index in memory set B (Hash2).
     u64 digest = 0;   ///< 64-bit digest used for balancing decisions.
     u64 timestamp_ns = 0;
+    Cycle offered_at = 0;  ///< system cycle the descriptor entered the LUT
+                           ///< (end-to-end latency = retired_at - offered_at).
     u32 frame_bytes = 0;
     /// True when index_a/index_b are the indexer's values for `key` (the
     /// offer() path); false for synthetic raw-pattern stimuli. Gates whether
@@ -73,6 +75,7 @@ struct Completion {
     bool is_new_flow = false;
     bool via_cam = false;
     Cycle retired_at = 0;   ///< system-clock cycle.
+    Cycle offered_at = 0;   ///< copied from the descriptor (latency metric).
     u64 timestamp_ns = 0;
     u32 frame_bytes = 0;
     FlowKey key;

@@ -53,11 +53,42 @@ bool FlowLut::offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 d
     descriptor.index_b = index_b % config_.buckets_per_mem;
     descriptor.digest = digest;
     descriptor.timestamp_ns = timestamp_ns;
+    descriptor.offered_at = now_;
     descriptor.frame_bytes = frame_bytes;
     descriptor.hashed_indices = hashed_indices;
     stream_time_ns_ = std::max(stream_time_ns_, timestamp_ns);
     input_.push_back(std::move(descriptor));
+    if (obs_ != nullptr) obs::Recorder::high_water(obs_hwm_input_, input_.size());
     return true;
+}
+
+void FlowLut::set_recorder(obs::Recorder* recorder) {
+    if (recorder == obs_) return;
+    obs_ = recorder;
+    paths_[0].controller->set_recorder(recorder);
+    paths_[1].controller->set_recorder(recorder);
+    if (obs_ == nullptr) {
+        obs_latency_ = nullptr;
+        return;
+    }
+    // Registration collisions (a second LUT on the same recorder) fall back
+    // to private scrap cells so the bump sites stay branchless-valid.
+    const auto cell = [&](const char* name) {
+        auto result = obs_->register_counter(name);
+        return result ? result.value() : &obs_scrap_cell_;
+    };
+    auto latency = obs_->register_histogram("lut.desc_latency_ns");
+    obs_latency_ = latency ? latency.value() : &obs_scrap_hist_;
+    obs_completions_ = cell("lut.completions");
+    obs_new_flows_ = cell("lut.new_flows");
+    obs_drops_ = cell("lut.drops");
+    obs_cam_hits_ = cell("lut.cam_hits");
+    obs_table_size_ = cell("lut.table_size");
+    obs_cam_size_ = cell("lut.cam_size");
+    obs_hwm_input_ = cell("lut.hwm_input");
+    obs_hwm_waiting_ = cell("lut.hwm_waiting");
+    obs_hwm_table_ = cell("lut.hwm_table");
+    obs_hwm_cam_ = cell("lut.hwm_cam");
 }
 
 std::optional<Completion> FlowLut::pop_completion() {
@@ -124,10 +155,12 @@ void FlowLut::dispatch_inputs(Cycle now) {
             completion.fid = cam_hit->payload;
             completion.via_cam = true;
             completion.retired_at = now;
+            completion.offered_at = descriptor.offered_at;
             completion.timestamp_ns = descriptor.timestamp_ns;
             completion.frame_bytes = descriptor.frame_bytes;
             completion.key = descriptor.key;
             ++stats_.cam_hits;
+            if (obs_ != nullptr) ++*obs_cam_hits_;
             retire(std::move(completion));
             input_.pop_front();
             ++stats_.dispatched;
@@ -190,6 +223,7 @@ void FlowLut::run_flow_match(Path path, Cycle now) {
         completion.seq = job.descriptor.seq;
         completion.fid = make_fid(location);
         completion.retired_at = now;
+        completion.offered_at = job.descriptor.offered_at;
         completion.timestamp_ns = job.descriptor.timestamp_ns;
         completion.frame_bytes = job.descriptor.frame_bytes;
         completion.key = job.descriptor.key;
@@ -221,6 +255,7 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
     Completion completion;
     completion.seq = job.descriptor.seq;
     completion.retired_at = now;
+    completion.offered_at = job.descriptor.offered_at;
     completion.timestamp_ns = job.descriptor.timestamp_ns;
     completion.frame_bytes = job.descriptor.frame_bytes;
     completion.key = job.descriptor.key;
@@ -449,6 +484,7 @@ void FlowLut::release_inflight(const FlowKey& key, Cycle now) {
             completion.fid = existing.payload;
             completion.via_cam = existing.stage == MatchStage::kCam;
             completion.retired_at = now;
+            completion.offered_at = descriptor.offered_at;
             completion.timestamp_ns = descriptor.timestamp_ns;
             completion.frame_bytes = descriptor.frame_bytes;
             completion.key = descriptor.key;
@@ -471,6 +507,17 @@ void FlowLut::retire(Completion completion) {
                               completion.frame_bytes);
     }
     ++stats_.completions;
+    if (obs_ != nullptr) {
+        obs_latency_->add(obs_->sys_ns(completion.retired_at - completion.offered_at));
+        ++*obs_completions_;
+        if (completion.is_new_flow) ++*obs_new_flows_;
+        if (completion.fid == kInvalidFlowId) ++*obs_drops_;
+        *obs_table_size_ = table_.size();
+        *obs_cam_size_ = table_.cam_entries();
+        obs::Recorder::high_water(obs_hwm_table_, table_.size());
+        obs::Recorder::high_water(obs_hwm_cam_, table_.cam_entries());
+        obs::Recorder::high_water(obs_hwm_waiting_, waiting_now_);
+    }
     // The output queue is unbounded on purpose: the hardware FID stream
     // sinks into the Flow State pipeline at line rate, and dropping
     // completions here would silently lose descriptors (output_depth only

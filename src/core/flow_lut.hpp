@@ -40,6 +40,7 @@
 #include "core/req_filter.hpp"
 #include "core/update_block.hpp"
 #include "dram/controller.hpp"
+#include "obs/obs.hpp"
 #include "sim/fifo.hpp"
 #include "sim/stats.hpp"
 #include "sim/ticker.hpp"
@@ -152,6 +153,16 @@ class FlowLut final : public sim::Ticker {
     }
     [[nodiscard]] const FlowLutConfig& config() const { return config_; }
 
+    /// Attach the flight recorder: descriptor end-to-end latency histogram,
+    /// completion/drop/new-flow/CAM-hit counters (the sampler's time series),
+    /// and input/waiting/table/CAM occupancy high-water marks; forwarded to
+    /// both DDR controllers. Passive — never changes a decision. nullptr
+    /// detaches (event sites return to one predictable dead branch).
+    void set_recorder(obs::Recorder* recorder);
+    /// The attached recorder's descriptor-latency histogram, in sim-ns
+    /// (nullptr when detached) — the source of the lat_p* metrics.
+    [[nodiscard]] const obs::Histogram* latency_histogram() const { return obs_latency_; }
+
     /// Throughput in Mdesc/s over the cycles elapsed so far (paper Table II
     /// metric) at the configured system clock.
     [[nodiscard]] double mdesc_per_second() const {
@@ -237,6 +248,22 @@ class FlowLut final : public sim::Ticker {
     std::vector<WaitNode> wait_pool_;
     u32 wait_free_ = kNilNode;
     std::size_t waiting_now_ = 0;
+    /// Flight recorder (nullable): histogram/counter cells registered once
+    /// at attach, bumped behind a single `obs_ != nullptr` branch.
+    obs::Recorder* obs_ = nullptr;
+    obs::Histogram* obs_latency_ = nullptr;
+    u64* obs_completions_ = nullptr;
+    u64* obs_new_flows_ = nullptr;
+    u64* obs_drops_ = nullptr;
+    u64* obs_cam_hits_ = nullptr;
+    u64* obs_table_size_ = nullptr;  ///< gauge: live table entries.
+    u64* obs_cam_size_ = nullptr;    ///< gauge: live collision-CAM entries.
+    u64* obs_hwm_input_ = nullptr;
+    u64* obs_hwm_waiting_ = nullptr;
+    u64* obs_hwm_table_ = nullptr;
+    u64* obs_hwm_cam_ = nullptr;
+    u64 obs_scrap_cell_ = 0;
+    obs::Histogram obs_scrap_hist_;  ///< fallback on registration collision.
     FlowLutStats stats_;
     Cycle now_ = 0;
     u64 next_seq_ = 0;

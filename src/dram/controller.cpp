@@ -185,10 +185,37 @@ std::optional<MemResponse> DramController::pop_response() {
     return responses_.pop_front();
 }
 
+void DramController::set_recorder(obs::Recorder* recorder) {
+    if (recorder == obs_) return;
+    obs_ = recorder;
+    if (obs_ == nullptr) return;
+    obs_track_ = obs_->track(name_);
+    // A name collision (two same-named controllers on one recorder) falls
+    // back to the scrap cells: the bump sites stay valid, the duplicate's
+    // numbers just don't reach the registry.
+    const auto cell = [&](const std::string& name) {
+        auto result = obs_->register_counter(name);
+        return result ? result.value() : &obs_scrap_cell_;
+    };
+    const auto hist = [&](const std::string& name) {
+        auto result = obs_->register_histogram(name);
+        return result ? result.value() : &obs_scrap_hist_;
+    };
+    pass_picks_[0] = cell(name_ + ".pass1_rdwr");
+    pass_picks_[1] = cell(name_ + ".pass2_act");
+    pass_picks_[2] = cell(name_ + ".pass3_pre");
+    rd_issue_lat_ = hist(name_ + ".rd_issue_ns");
+    wr_issue_lat_ = hist(name_ + ".wr_issue_ns");
+}
+
 void DramController::issue(const Command& cmd, Cycle now) {
     const Status status = checker_.record(cmd, now);
     if (!status.is_ok() && protocol_status_.is_ok()) protocol_status_ = status;
     if (trace_ != nullptr) trace_->push_back(TracedCommand{cmd, now});
+    if (obs_ != nullptr) {
+        obs_->event_instant(obs_track_, to_string(cmd.type), obs_->mem_ns(now), "bank",
+                            cmd.bank);
+    }
     switch (cmd.type) {
         case CommandType::kActivate:
             ++stats_.activates;
@@ -262,7 +289,7 @@ void DramController::complete(Pending&& pending, Cycle data_end, Cycle now) {
         response.data = take_buffer();
         device_.read_into(pending.request.byte_address, pending.request.bursts, response.data);
         ++stats_.reads_completed;
-        stats_.read_latency.add(static_cast<double>(data_end - pending.accepted_at));
+        stats_.read_latency.add(data_end - pending.accepted_at);
     }
     response.completed_at = data_end;
     in_flight_.push_back(InFlight{std::move(response), data_end});
@@ -433,6 +460,7 @@ DramController::Decision DramController::decide_reference(bool is_write, Cycle n
 
 void DramController::apply(const Decision& decision, bool is_write, Cycle now) {
     Pending& pending = slots_[decision.slot];
+    if (obs_ != nullptr) ++*pass_picks_[decision.pass - 1];
     switch (decision.pass) {
         case 1: {
             if (is_write != last_was_write_) {
@@ -442,6 +470,11 @@ void DramController::apply(const Decision& decision, bool is_write, Cycle now) {
             if (!pending.classified) {
                 ++stats_.row_hits;
                 pending.classified = true;
+            }
+            if (obs_ != nullptr && pending.issued_bursts == 0) {
+                // Issue latency: queue acceptance to the first RD/WR command.
+                (is_write ? wr_issue_lat_ : rd_issue_lat_)
+                    ->add(obs_->mem_ns(now - pending.accepted_at));
             }
             issue(decision.cmd, now);
             ++pending.issued_bursts;

@@ -41,7 +41,7 @@
 #include "dram/command.hpp"
 #include "dram/device.hpp"
 #include "dram/timing.hpp"
-#include "sim/stats.hpp"
+#include "obs/obs.hpp"
 #include "sim/ticker.hpp"
 
 namespace flowcam::dram {
@@ -99,7 +99,7 @@ struct ControllerStats {
     u64 row_misses = 0;     ///< required ACT (bank idle).
     u64 row_conflicts = 0;  ///< required PRE of another row first.
     u64 rw_turnarounds = 0; ///< read<->write phase switches.
-    sim::Histogram read_latency{4.0, 64};  ///< memory-clock cycles.
+    obs::Histogram read_latency;  ///< accept -> data end, memory-clock cycles.
 };
 
 /// One issued command with its issue cycle — the unit of the optional trace
@@ -168,6 +168,12 @@ class DramController final : public sim::Ticker {
     /// Test hook: when set, every issued command is appended to `sink`
     /// (equivalence suites diff the streams of two controllers).
     void set_command_trace(std::vector<TracedCommand>* sink) { trace_ = sink; }
+
+    /// Attach the flight recorder: per-pass pick counters, command-issue
+    /// latency histograms, and one trace event per issued command (ACT/PRE/
+    /// RD/WR/REF with the bank as arg) on a track named after this
+    /// controller. Passive — scheduling decisions are unaffected.
+    void set_recorder(obs::Recorder* recorder);
 
   private:
     struct Pending {
@@ -317,6 +323,17 @@ class DramController final : public sim::Ticker {
     u64 active_mask_ = 0;
 
     std::vector<TracedCommand>* trace_ = nullptr;
+
+    /// Flight recorder (nullable; every event site is one predictable branch
+    /// when detached). The scrap cell/histogram back the pointers when a
+    /// registration collides, so bump sites never need a second null check.
+    obs::Recorder* obs_ = nullptr;
+    u16 obs_track_ = 0;
+    u64* pass_picks_[3] = {nullptr, nullptr, nullptr};  ///< FR-FCFS pass 1/2/3.
+    obs::Histogram* rd_issue_lat_ = nullptr;  ///< accept -> first RD, sim-ns.
+    obs::Histogram* wr_issue_lat_ = nullptr;  ///< accept -> first WR, sim-ns.
+    u64 obs_scrap_cell_ = 0;
+    obs::Histogram obs_scrap_hist_;
 
     ControllerStats stats_;
     Status protocol_status_;

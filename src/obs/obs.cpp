@@ -1,0 +1,175 @@
+#include "obs/obs.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace flowcam::obs {
+
+namespace {
+
+/// Shortest exact round-trip rendering (the same contract as the workload
+/// metric emitters; duplicated here because obs sits below workload in the
+/// layering).
+std::string shortest(double value) {
+    char buffer[64];
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return ec == std::errc() ? std::string(buffer, ptr) : std::to_string(value);
+}
+
+std::string json_string(const std::string& raw) {
+    std::string out = "\"";
+    for (const char c : raw) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+}  // namespace
+
+u64 Histogram::percentile(double fraction) const {
+    if (count_ == 0) return 0;
+    const auto target =
+        static_cast<u64>(std::ceil(fraction * static_cast<double>(count_)));
+    u64 seen = 0;
+    for (u32 bucket = 0; bucket < kBuckets; ++bucket) {
+        seen += buckets_[bucket];
+        if (seen >= target) return std::min(upper_bound_of(bucket), max_);
+    }
+    return max_;
+}
+
+Recorder::Recorder(const ObsConfig& config) : config_(config), trace_on_(config.trace) {
+    if (trace_on_) {
+        ring_.resize(config_.ring_events == 0 ? 1 : config_.ring_events);
+    }
+    // Canonical tracks (see kTrack*); order defines the tid values.
+    track_names_ = {"engine", "scenario", "source"};
+}
+
+void Recorder::set_clock(double system_clock_hz, u32 memory_clock_ratio) {
+    if (system_clock_hz <= 0.0) return;
+    ns_per_sys_cycle_ = 1e9 / system_clock_hz;
+    ns_per_mem_cycle_ =
+        ns_per_sys_cycle_ / static_cast<double>(memory_clock_ratio == 0 ? 1 : memory_clock_ratio);
+}
+
+Result<u64*> Recorder::register_counter(const std::string& name) {
+    if (counters_by_name_.contains(name)) {
+        return Status(StatusCode::kAlreadyExists,
+                      "obs counter '" + name + "' is already registered");
+    }
+    counter_cells_.emplace_back();
+    u64* cell = &counter_cells_.back().value;
+    counters_by_name_[name] = cell;
+    counter_order_.emplace_back(name, cell);
+    return cell;
+}
+
+Result<Histogram*> Recorder::register_histogram(const std::string& name) {
+    if (histograms_by_name_.contains(name)) {
+        return Status(StatusCode::kAlreadyExists,
+                      "obs histogram '" + name + "' is already registered");
+    }
+    histograms_.emplace_back();
+    Histogram* histogram = &histograms_.back();
+    histograms_by_name_[name] = histogram;
+    return histogram;
+}
+
+const u64* Recorder::find_counter(const std::string& name) const {
+    const auto it = counters_by_name_.find(name);
+    return it == counters_by_name_.end() ? nullptr : it->second;
+}
+
+const Histogram* Recorder::find_histogram(const std::string& name) const {
+    const auto it = histograms_by_name_.find(name);
+    return it == histograms_by_name_.end() ? nullptr : it->second;
+}
+
+u16 Recorder::track(const std::string& name) {
+    for (std::size_t i = 0; i < track_names_.size(); ++i) {
+        if (track_names_[i] == name) return static_cast<u16>(i);
+    }
+    track_names_.push_back(name);
+    return static_cast<u16>(track_names_.size() - 1);
+}
+
+std::string Recorder::trace_json() const {
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    const auto append = [&](const std::string& event) {
+        if (!first) out += ",";
+        first = false;
+        out += "\n";
+        out += event;
+    };
+    // thread_name metadata gives every track a human label in the Perfetto
+    // timeline (pid 1 = the simulation process).
+    for (std::size_t tid = 0; tid < track_names_.size(); ++tid) {
+        append("{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":" +
+               std::to_string(tid) + ",\"args\":{\"name\":" + json_string(track_names_[tid]) +
+               "}}");
+    }
+    // Oldest retained event first. ts is microseconds per the trace-event
+    // spec; sub-us resolution survives as the fractional part.
+    const std::size_t start = filled_ == ring_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < filled_; ++i) {
+        const TraceEvent& event = ring_[(start + i) % ring_.size()];
+        std::string line = "{\"name\":\"";
+        line += event.name;
+        line += "\",\"ph\":\"";
+        line += event.phase;
+        line += "\",\"ts\":" + shortest(static_cast<double>(event.ts_ns) / 1000.0);
+        if (event.phase == 'X') {
+            line += ",\"dur\":" + shortest(static_cast<double>(event.dur_ns) / 1000.0);
+        }
+        line += ",\"pid\":1,\"tid\":" + std::to_string(event.track);
+        if (event.phase == 'i') line += ",\"s\":\"t\"";  // thread-scoped instant.
+        if (event.arg_name != nullptr) {
+            line += ",\"args\":{\"";
+            line += event.arg_name;
+            line += "\":" + std::to_string(event.arg) + "}";
+        }
+        line += "}";
+        append(line);
+    }
+    out += "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"events_recorded\":" +
+           std::to_string(events_recorded_) +
+           ",\"events_dropped\":" + std::to_string(events_dropped_) + "}}";
+    out += "\n";
+    return out;
+}
+
+void Recorder::sample(Cycle now) {
+    if (samples_.size() < kMaxSamples) {
+        samples_.emplace_back();
+    }
+    SampleRow& row = samples_[sample_next_];
+    sample_next_ = (sample_next_ + 1) % kMaxSamples;
+    if (sample_filled_ < kMaxSamples) ++sample_filled_;
+    row.cycle = now;
+    row.values.resize(counter_order_.size());
+    for (std::size_t i = 0; i < counter_order_.size(); ++i) {
+        row.values[i] = *counter_order_[i].second;
+    }
+    ++samples_recorded_;
+}
+
+std::string Recorder::samples_jsonl() const {
+    std::string out;
+    const std::size_t start = sample_filled_ == kMaxSamples ? sample_next_ : 0;
+    for (std::size_t i = 0; i < sample_filled_; ++i) {
+        const SampleRow& row = samples_[(start + i) % kMaxSamples];
+        out += "{\"cycle\":" + std::to_string(row.cycle);
+        for (std::size_t c = 0; c < row.values.size() && c < counter_order_.size(); ++c) {
+            out += "," + json_string(counter_order_[c].first) + ":" +
+                   std::to_string(row.values[c]);
+        }
+        out += "}\n";
+    }
+    return out;
+}
+
+}  // namespace flowcam::obs

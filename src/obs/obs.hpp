@@ -1,0 +1,250 @@
+// Flight recorder: the always-available observability layer the tuning and
+// sharding work is judged with. Three pieces, all passive (attaching a
+// Recorder never changes a simulation's decisions, only records them):
+//
+//  * a registry of named u64 counters (cache-line-aligned cells, stable
+//    addresses) and log-bucketed Histograms (p50/p95/p99/max) — components
+//    register once at attach time and bump through a raw pointer with a
+//    single inlined add;
+//  * a periodic Sampler snapshotting every registered counter into a bounded
+//    ring every N sim-cycles, emitted as a JSONL time series so intensity
+//    ramps can be correlated with drops/occupancy over time;
+//  * a TraceSink recording engine/DDR/scenario events into a bounded
+//    in-memory ring, serialized as Chrome trace-event JSON loadable in
+//    Perfetto / chrome://tracing.
+//
+// Cost model: components hold a nullable `Recorder*`; every event site is
+// one predictable branch when observability is off, and allocation-free
+// stores into preallocated storage when it is on (the trace ring and all
+// histogram buckets are sized at construction — bench_hotpath's allocation
+// counter gates both arms).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace flowcam::obs {
+
+/// Observability knobs, patchable through the ConfigPatch registry
+/// (`obs.trace=1 obs.sample_interval=512 ...`). Default-constructed = fully
+/// off: the hot path stays allocation-free and within noise of a build
+/// without the layer.
+struct ObsConfig {
+    /// Snapshot every registered counter each N system cycles (0 = off).
+    u64 sample_interval = 0;
+    /// Where the sampler's JSONL time series lands when sampling is on.
+    std::string sample_path = "obs-samples.jsonl";
+    /// Record engine/DDR/scenario events into the trace ring.
+    bool trace = false;
+    /// Where the Chrome trace-event JSON lands when tracing is on.
+    std::string trace_path = "obs-trace.json";
+    /// Trace ring capacity (flight-recorder semantics: when full, the oldest
+    /// events are overwritten and counted as dropped).
+    u64 ring_events = u64{1} << 16;
+
+    [[nodiscard]] bool enabled() const { return trace || sample_interval > 0; }
+};
+
+/// Log-bucketed latency histogram: 2 significant bits per bucket (HDR
+/// style), so any u64 sample lands in one of <= 256 buckets with <= 25%
+/// relative bucket width. Count/sum/min/max are exact; percentiles are
+/// bucket-granular (the reported value is the bucket's upper bound, clamped
+/// to the exact max). add() is a handful of ALU ops and two stores — cheap
+/// enough for per-descriptor and per-DDR-command call sites.
+class Histogram {
+  public:
+    static constexpr std::size_t kBuckets = 256;
+
+    void add(u64 sample) {
+        ++buckets_[bucket_of(sample)];
+        ++count_;
+        sum_ += sample;
+        if (sample < min_) min_ = sample;
+        if (sample > max_) max_ = sample;
+    }
+
+    [[nodiscard]] u64 count() const { return count_; }
+    [[nodiscard]] u64 sum() const { return sum_; }
+    [[nodiscard]] u64 min() const { return count_ == 0 ? 0 : min_; }
+    [[nodiscard]] u64 max() const { return max_; }
+    [[nodiscard]] double mean() const {
+        return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+    }
+
+    /// Smallest recorded-value bound below which >= `fraction` of samples
+    /// fall (bucket upper bound, clamped to the exact max).
+    [[nodiscard]] u64 percentile(double fraction) const;
+
+    [[nodiscard]] static constexpr u32 bucket_of(u64 value) {
+        if (value < 4) return static_cast<u32>(value);
+        const int width = std::bit_width(value);  // >= 3.
+        return static_cast<u32>(4 + (width - 3) * 4 + ((value >> (width - 3)) & 3));
+    }
+    /// Largest value mapping to `bucket` (inverse of bucket_of).
+    [[nodiscard]] static constexpr u64 upper_bound_of(u32 bucket) {
+        if (bucket < 4) return bucket;
+        const u32 width = 3 + (bucket - 4) / 4;
+        const u64 sub = (bucket - 4) % 4;
+        return ((sub + 5) << (width - 3)) - 1;
+    }
+
+  private:
+    std::array<u64, kBuckets> buckets_{};
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 min_ = ~u64{0};
+    u64 max_ = 0;
+};
+
+/// One recorded trace event. Names are interned string literals (call sites
+/// pass `"ACT"`, `"fast-forward"`, ...), so recording is a fixed-size store.
+struct TraceEvent {
+    u64 ts_ns = 0;
+    u64 dur_ns = 0;               ///< 'X' (complete) events only.
+    const char* name = nullptr;
+    const char* arg_name = nullptr;  ///< nullptr = no args object.
+    u64 arg = 0;
+    u16 track = 0;                ///< Perfetto tid; named via track().
+    char phase = 'i';             ///< 'i' instant, 'X' complete.
+};
+
+/// The flight recorder one simulation stack (engine + analyzer + Flow LUT +
+/// DDR controllers) attaches to. Not thread-safe by design — experiment
+/// cells each own a private Recorder, matching their private engine.
+class Recorder {
+  public:
+    explicit Recorder(const ObsConfig& config);
+
+    [[nodiscard]] const ObsConfig& config() const { return config_; }
+
+    // ---- Clock domains ---------------------------------------------------
+    /// Trace/sample timestamps are sim-ns derived from the system clock;
+    /// memory-domain call sites convert their (ratio x faster) cycles.
+    void set_clock(double system_clock_hz, u32 memory_clock_ratio);
+    [[nodiscard]] u64 sys_ns(Cycle cycle) const {
+        return static_cast<u64>(static_cast<double>(cycle) * ns_per_sys_cycle_);
+    }
+    [[nodiscard]] u64 mem_ns(Cycle memory_cycle) const {
+        return static_cast<u64>(static_cast<double>(memory_cycle) * ns_per_mem_cycle_);
+    }
+
+    // ---- Counter / histogram registry ------------------------------------
+    /// Register a named counter; the returned cell pointer is stable for the
+    /// Recorder's lifetime and bumped directly (`++*cell`).
+    /// kAlreadyExists when the name is taken — names are the JSONL schema,
+    /// so a collision means two components would silently share a cell.
+    [[nodiscard]] Result<u64*> register_counter(const std::string& name);
+    [[nodiscard]] Result<Histogram*> register_histogram(const std::string& name);
+
+    /// Read-side lookups (reporting; nullptr when absent).
+    [[nodiscard]] const u64* find_counter(const std::string& name) const;
+    [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+    /// High-water-mark update for occupancy gauges.
+    static void high_water(u64* cell, u64 value) {
+        if (value > *cell) *cell = value;
+    }
+
+    // ---- Trace sink ------------------------------------------------------
+    /// Canonical tracks, registered by the constructor; components with
+    /// several instances (the DDR controllers) register their own by name.
+    static constexpr u16 kTrackEngine = 0;
+    static constexpr u16 kTrackScenario = 1;
+    static constexpr u16 kTrackSource = 2;
+
+    /// Register-or-get a named track (Perfetto thread) id.
+    [[nodiscard]] u16 track(const std::string& name);
+
+    void event_instant(u16 track, const char* name, u64 ts_ns,
+                       const char* arg_name = nullptr, u64 arg = 0) {
+        if (!trace_on_) return;
+        push_event(TraceEvent{ts_ns, 0, name, arg_name, arg, track, 'i'});
+    }
+    void event_span(u16 track, const char* name, u64 ts_ns, u64 dur_ns,
+                    const char* arg_name = nullptr, u64 arg = 0) {
+        if (!trace_on_) return;
+        push_event(TraceEvent{ts_ns, dur_ns, name, arg_name, arg, track, 'X'});
+    }
+
+    [[nodiscard]] bool tracing() const { return trace_on_; }
+    [[nodiscard]] u64 events_recorded() const { return events_recorded_; }
+    /// Events overwritten because the ring was full (flight-recorder drop).
+    [[nodiscard]] u64 events_dropped() const { return events_dropped_; }
+
+    /// Chrome trace-event JSON: `{"traceEvents":[...]}` with thread_name
+    /// metadata per track; `ts` in microseconds as Perfetto expects.
+    [[nodiscard]] std::string trace_json() const;
+
+    // ---- Sampler ---------------------------------------------------------
+    /// Snapshot every registered counter at `now` into the sample ring
+    /// (bounded; oldest rows overwritten). Driven by the runner's sampler
+    /// ticker every `sample_interval` cycles.
+    void sample(Cycle now);
+
+    [[nodiscard]] u64 samples_recorded() const { return samples_recorded_; }
+
+    /// One JSONL object per retained sample, oldest first:
+    /// `{"cycle":N,"<counter>":v,...}`.
+    [[nodiscard]] std::string samples_jsonl() const;
+
+  private:
+    struct alignas(64) CounterCell {
+        u64 value = 0;
+    };
+    struct SampleRow {
+        Cycle cycle = 0;
+        std::vector<u64> values;
+    };
+
+    void push_event(const TraceEvent& event) {
+        if (ring_.empty()) return;
+        if (filled_ == ring_.size()) {
+            ++events_dropped_;  // overwrite the oldest retained event.
+        } else {
+            ++filled_;
+        }
+        ring_[next_] = event;
+        next_ = (next_ + 1) % ring_.size();
+        ++events_recorded_;
+    }
+
+    /// The sampler ring is bounded independently of the (much larger) trace
+    /// ring: a row carries every counter, so 4k rows of ~30 counters is
+    /// already a ~1 MB flight recording.
+    static constexpr std::size_t kMaxSamples = 4096;
+
+    ObsConfig config_;
+    double ns_per_sys_cycle_ = 5.0;   ///< 200 MHz default system clock.
+    double ns_per_mem_cycle_ = 1.25;  ///< x4 memory clock ratio default.
+
+    // Registry. Deques give stable cell addresses across registrations.
+    std::deque<CounterCell> counter_cells_;
+    std::deque<Histogram> histograms_;
+    std::map<std::string, u64*> counters_by_name_;
+    std::map<std::string, Histogram*> histograms_by_name_;
+    std::vector<std::pair<std::string, const u64*>> counter_order_;
+
+    // Trace ring (preallocated when tracing; recording never allocates).
+    bool trace_on_ = false;
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;
+    std::size_t filled_ = 0;
+    u64 events_recorded_ = 0;
+    u64 events_dropped_ = 0;
+    std::vector<std::string> track_names_;
+
+    // Sample ring.
+    std::vector<SampleRow> samples_;
+    std::size_t sample_next_ = 0;
+    std::size_t sample_filled_ = 0;
+    u64 samples_recorded_ = 0;
+};
+
+}  // namespace flowcam::obs

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 #include "sim/ticker.hpp"
 
 namespace flowcam::sim {
@@ -91,6 +92,10 @@ class Engine {
 
     [[nodiscard]] Cycle now() const { return now_; }
 
+    /// Attach a flight recorder (nullptr detaches). The engine emits one
+    /// trace span per fast-forward jump; cycle accounting is unchanged.
+    void set_recorder(obs::Recorder* recorder) { obs_ = recorder; }
+
   private:
     struct Entry {
         Ticker* ticker;
@@ -118,6 +123,10 @@ class Engine {
             if (skip == 0) return 0;
         }
         for (const auto& entry : blocks_) entry.ticker->skip(skip);
+        if (obs_ != nullptr) {
+            obs_->event_span(obs::Recorder::kTrackEngine, "fast-forward", obs_->sys_ns(now_),
+                             obs_->sys_ns(skip), "cycles", skip);
+        }
         now_ += skip;
         return skip;
     }
@@ -125,6 +134,7 @@ class Engine {
     std::vector<Entry> blocks_;
     std::vector<CommitHook> commits_;
     Cycle now_ = 0;
+    obs::Recorder* obs_ = nullptr;
 };
 
 }  // namespace flowcam::sim

@@ -121,6 +121,47 @@ ConfigField positive_field(std::string key, std::string doc, Access access) {
                         std::numeric_limits<double>::max(), /*min_exclusive=*/true);
 }
 
+template <typename Access>
+ConfigField bool_field(std::string key, std::string doc, Access access) {
+    ConfigField field;
+    field.key = key;
+    field.type = "bool(0|1)";
+    field.doc = std::move(doc);
+    field.apply = [key, access](ConfigTree& tree, const std::string& value) -> Status {
+        if (value == "0" || value == "false") {
+            access(tree) = false;
+        } else if (value == "1" || value == "true") {
+            access(tree) = true;
+        } else {
+            return bad_value(key, "bool(0|1)", value);
+        }
+        return Status::ok();
+    };
+    field.print = [access](const ConfigTree& tree) {
+        return access(const_cast<ConfigTree&>(tree)) ? std::string("1") : std::string("0");
+    };
+    return field;
+}
+
+/// Free-form strings (paths). Non-empty by contract so the registry's
+/// printed defaults stay visible in --list-keys.
+template <typename Access>
+ConfigField string_field(std::string key, std::string doc, Access access) {
+    ConfigField field;
+    field.key = key;
+    field.type = "string";
+    field.doc = std::move(doc);
+    field.apply = [key, access](ConfigTree& tree, const std::string& value) -> Status {
+        if (value.empty()) return bad_value(key, "non-empty string", value);
+        access(tree) = value;
+        return Status::ok();
+    };
+    field.print = [access](const ConfigTree& tree) {
+        return access(const_cast<ConfigTree&>(tree));
+    };
+    return field;
+}
+
 /// `names[i]` spells the enum value with underlying index `i`.
 template <typename Access>
 ConfigField enum_field(std::string key, std::string doc, std::vector<std::string> names,
@@ -235,6 +276,20 @@ ConfigPatch::ConfigPatch() {
     add(positive_field("runner.time_scale",
                        "multiply offered timestamps (reach the 30s flow timeout in us runs)",
                        [](ConfigTree& t) -> double& { return t.runner.time_scale; }));
+
+    // --- obs.* : flight recorder (tracing + counter sampling) --------------
+    add(uint_field("obs.sample_interval",
+                   "snapshot all counters every N system cycles (0 = sampling off)",
+                   [](ConfigTree& t) -> u64& { return t.runner.obs.sample_interval; }));
+    add(string_field("obs.sample_path", "JSONL file the counter time series is written to",
+                     [](ConfigTree& t) -> std::string& { return t.runner.obs.sample_path; }));
+    add(bool_field("obs.trace", "record engine/DDR/scenario events as Chrome trace JSON",
+                   [](ConfigTree& t) -> bool& { return t.runner.obs.trace; }));
+    add(string_field("obs.trace_path", "file the Chrome trace JSON is written to",
+                     [](ConfigTree& t) -> std::string& { return t.runner.obs.trace_path; }));
+    add(uint_field("obs.ring_events",
+                   "trace ring capacity; when full the oldest events are overwritten",
+                   [](ConfigTree& t) -> u64& { return t.runner.obs.ring_events; }, 1));
 
     // --- scenario.* : stream shape -----------------------------------------
     add(uint_field("scenario.seed", "master seed pinning the whole offered stream",

@@ -110,6 +110,13 @@ Result<ScenarioMetrics> Experiment::run_cell(const ExperimentCell& cell,
     if (resolved.horizon_packets == 0) resolved.horizon_packets = tree.runner.packets;
     auto scenario = make_scenario(cell.scenario, resolved, registry);
     if (!scenario) return scenario.status();
+    // Multi-cell sweeps run concurrently; give each cell its own trace /
+    // sample artifacts so they don't clobber a shared output path.
+    if (cells_.size() > 1 && tree.runner.obs.enabled()) {
+        const std::string suffix = ".cell" + std::to_string(cell.index);
+        tree.runner.obs.trace_path += suffix;
+        tree.runner.obs.sample_path += suffix;
+    }
     ScenarioRunner runner(tree.runner);
     return runner.run(*scenario.value());
 }

@@ -55,9 +55,20 @@ const std::vector<MetricField>& metric_schema() {
         u64_field("drops", "pkts", "table completely full (retired with invalid FID)",
                   &M::drops, /*grid=*/true),
         u64_field("buffer_retries", "pkts",
-                  "packet-buffer backpressure retries (nothing is lost)", &M::buffer_retries),
+                  "rejected feed_record calls while the packet buffer was full; the source "
+                  "holds the frame and re-offers it, so unlike drops nothing is lost",
+                  &M::buffer_retries),
         u64_field("flows_expired", "flows", "records evicted by the idle-timeout scan",
                   &M::flows_expired, /*grid=*/true),
+        // Descriptor latency (flight recorder; zero when obs is off).
+        u64_field("lat_p50_ns", "ns", "median offer->completion latency (obs only)",
+                  &M::lat_p50_ns),
+        u64_field("lat_p95_ns", "ns", "p95 offer->completion latency (obs only)",
+                  &M::lat_p95_ns),
+        u64_field("lat_p99_ns", "ns", "p99 offer->completion latency (obs only)",
+                  &M::lat_p99_ns),
+        u64_field("lat_max_ns", "ns", "max offer->completion latency (obs only)",
+                  &M::lat_max_ns),
         // Analyzer events.
         u64_field("events_port_scan", "events", "port-scan events raised", &M::events_port_scan),
         u64_field("events_heavy_hitter", "events", "heavy-hitter events raised",

@@ -1,5 +1,8 @@
 #include "workload/runner.hpp"
 
+#include <fstream>
+#include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "net/linerate.hpp"
@@ -19,13 +22,20 @@ namespace {
 class SourceTicker final : public sim::Ticker {
   public:
     SourceTicker(Scenario& scenario, analyzer::TrafficAnalyzer& analyzer, u64 packet_budget,
-                 u32 cycles_per_packet, double time_scale, ScenarioMetrics& metrics)
+                 u32 cycles_per_packet, double time_scale, ScenarioMetrics& metrics,
+                 obs::Recorder* obs = nullptr)
         : scenario_(scenario),
           analyzer_(analyzer),
           budget_(packet_budget),
           cycles_per_packet_(cycles_per_packet == 0 ? 1 : cycles_per_packet),
           time_scale_(time_scale > 0.0 ? time_scale : 1.0),
-          metrics_(metrics) {}
+          metrics_(metrics),
+          obs_(obs) {
+        if (obs_ != nullptr) {
+            auto cell = obs_->register_counter("source.backpressure_retries");
+            obs_retries_ = cell ? cell.value() : &obs_scrap_cell_;
+        }
+    }
 
     void tick(Cycle now) override {
         last_now_ = now;
@@ -55,12 +65,32 @@ class SourceTicker final : public sim::Ticker {
             last_scaled_ns_ = record_.timestamp_ns;
             pending_ = true;
         }
-        if (!analyzer_.feed_record(record_)) return;  // buffer full; retry.
+        if (!analyzer_.feed_record(record_)) {  // buffer full; retry next cycle.
+            if (obs_ != nullptr) {
+                if (burst_retries_ == 0) burst_start_ = now;
+                ++burst_retries_;
+                ++*obs_retries_;
+            }
+            return;
+        }
+        if (obs_ != nullptr && burst_retries_ > 0) {
+            obs_->event_span(obs::Recorder::kTrackSource, "backpressure",
+                             obs_->sys_ns(burst_start_), obs_->sys_ns(now - burst_start_),
+                             "retries", burst_retries_);
+            burst_retries_ = 0;
+        }
         pending_ = false;
         ++metrics_.packets;
         metrics_.bytes += record_.frame_bytes;
         flows_.insert(record_.flow_index);
-        if (record_.flow_index >= kOverlayFlowBase) ++metrics_.overlay_packets;
+        if (record_.flow_index >= kOverlayFlowBase) {
+            ++metrics_.overlay_packets;
+            if (!overlay_seen_) {
+                overlay_seen_ = true;
+                overlay_first_ = now;
+            }
+            overlay_last_ = now;
+        }
         if (first_ns_ == 0) first_ns_ = record_.timestamp_ns;
         last_ns_ = record_.timestamp_ns;
     }
@@ -80,6 +110,20 @@ class SourceTicker final : public sim::Ticker {
     void finalize() {
         metrics_.distinct_flows = flows_.size();
         metrics_.trace_span_ns = last_ns_ - first_ns_;
+        if (obs_ == nullptr) return;
+        if (burst_retries_ > 0) {  // run ended mid-burst; close the span.
+            obs_->event_span(obs::Recorder::kTrackSource, "backpressure",
+                             obs_->sys_ns(burst_start_), obs_->sys_ns(last_now_ - burst_start_),
+                             "retries", burst_retries_);
+            burst_retries_ = 0;
+        }
+        if (overlay_seen_) {
+            // The composed-scenario overlay window (onset..offset) as one span.
+            obs_->event_span(obs::Recorder::kTrackScenario, "overlay-window",
+                             obs_->sys_ns(overlay_first_),
+                             obs_->sys_ns(overlay_last_ - overlay_first_ + 1), "packets",
+                             metrics_.overlay_packets);
+        }
     }
 
   private:
@@ -96,6 +140,14 @@ class SourceTicker final : public sim::Ticker {
     std::unordered_set<u64> flows_;
     u64 first_ns_ = 0;
     u64 last_ns_ = 0;
+    obs::Recorder* obs_;
+    u64* obs_retries_ = nullptr;
+    u64 obs_scrap_cell_ = 0;
+    Cycle burst_start_ = 0;
+    u64 burst_retries_ = 0;
+    bool overlay_seen_ = false;
+    Cycle overlay_first_ = 0;
+    Cycle overlay_last_ = 0;
 };
 
 /// Adapts the analyzer (packet buffer -> Flow LUT -> event engine) to the
@@ -112,6 +164,38 @@ class AnalyzerTicker final : public sim::Ticker {
   private:
     analyzer::TrafficAnalyzer& analyzer_;
 };
+
+/// Snapshots all registered counters every `interval` system cycles. The
+/// ticker never pins the fast-forward (hint = infinite): clamping idle jumps
+/// to sampling boundaries would change engine.now() and break the obs-off /
+/// obs-on metric identity, so samples simply stretch across idle stretches —
+/// the next tick after a jump catches up with one snapshot.
+class SamplerTicker final : public sim::Ticker {
+  public:
+    SamplerTicker(obs::Recorder& recorder, u64 interval)
+        : recorder_(recorder), interval_(interval == 0 ? 1 : interval) {}
+
+    void tick(Cycle now) override {
+        if (now < next_due_) return;
+        recorder_.sample(now);
+        next_due_ = now + interval_;
+    }
+
+    [[nodiscard]] std::string name() const override { return "obs-sampler"; }
+    [[nodiscard]] u64 idle_cycles_hint() const override { return ~u64{0}; }
+
+  private:
+    obs::Recorder& recorder_;
+    u64 interval_;
+    Cycle next_due_ = 0;
+};
+
+/// Best-effort artifact write; observability output must never fail a run.
+void write_file(const std::string& path, const std::string& contents) {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) out << contents;
+}
 
 }  // namespace
 
@@ -142,16 +226,33 @@ Result<ScenarioMetrics> ScenarioRunner::run(const Registry& registry, const std:
 ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
     analyzer::TrafficAnalyzer analyzer(config_.analyzer);
 
+    // Flight recorder: only constructed when tracing or sampling is on, so
+    // the disabled path allocates nothing and every event site stays one
+    // predictable null-check branch.
+    std::unique_ptr<obs::Recorder> recorder;
+    if (config_.obs.enabled()) {
+        recorder = std::make_unique<obs::Recorder>(config_.obs);
+        recorder->set_clock(config_.analyzer.lut.system_clock_hz,
+                            config_.analyzer.lut.memory_clock_ratio);
+        analyzer.set_recorder(recorder.get());
+    }
+
     ScenarioMetrics metrics;
     metrics.scenario = scenario.name();
 
     SourceTicker source(scenario, analyzer, config_.packets, config_.cycles_per_packet,
-                        config_.time_scale, metrics);
+                        config_.time_scale, metrics, recorder.get());
     AnalyzerTicker sink(analyzer);
 
     sim::Engine engine;
+    engine.set_recorder(recorder.get());
     engine.add(source);  // pipeline order: source before the consuming stack.
     engine.add(sink);
+    std::optional<SamplerTicker> sampler;
+    if (recorder != nullptr && config_.obs.sample_interval > 0) {
+        sampler.emplace(*recorder, config_.obs.sample_interval);
+        engine.add(*sampler);
+    }
 
     metrics.drained = engine.run_until(
         [&] {
@@ -196,6 +297,23 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
                                ? 0.0
                                : static_cast<double>(metrics.bytes) * 8.0 /
                                      static_cast<double>(metrics.trace_span_ns);
+
+    if (recorder != nullptr) {
+        if (const obs::Histogram* latency = analyzer.lut().latency_histogram();
+            latency != nullptr && latency->count() > 0) {
+            metrics.lat_p50_ns = latency->percentile(0.50);
+            metrics.lat_p95_ns = latency->percentile(0.95);
+            metrics.lat_p99_ns = latency->percentile(0.99);
+            metrics.lat_max_ns = latency->max();
+        }
+        if (config_.obs.sample_interval > 0) {
+            recorder->sample(engine.now());  // final state, deterministic tail.
+            write_file(config_.obs.sample_path, recorder->samples_jsonl());
+        }
+        if (config_.obs.trace) {
+            write_file(config_.obs.trace_path, recorder->trace_json());
+        }
+    }
     return metrics;
 }
 

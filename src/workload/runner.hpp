@@ -10,6 +10,7 @@
 
 #include "analyzer/analyzer.hpp"
 #include "common/result.hpp"
+#include "obs/obs.hpp"
 #include "workload/registry.hpp"
 #include "workload/scenario.hpp"
 
@@ -30,6 +31,10 @@ struct RunnerConfig {
     /// scaled stream stays strictly monotonic; offered_gbps and
     /// trace_span_ns are reported in scaled time.
     double time_scale = 1.0;
+    /// Flight-recorder knobs (obs.* ConfigPatch keys). Disabled by default;
+    /// when both trace and sampling are off no Recorder is created and the
+    /// hot path stays allocation-free.
+    obs::ObsConfig obs;
 
     RunnerConfig() {
         // Simulation-friendly default geometry (the prototype's 8 M-entry
@@ -61,6 +66,15 @@ struct ScenarioMetrics {
     u64 buffer_retries = 0;  ///< packet-buffer backpressure retries (the
                              ///< source holds the frame, nothing is lost).
     u64 flows_expired = 0;   ///< records evicted by the idle-timeout scan.
+
+    // Descriptor end-to-end latency (offer -> completion, sim-ns), from the
+    // flight recorder's log-bucketed histogram. All zero when obs is off —
+    // the percentiles cost one histogram add per completion, so they are
+    // only collected when a Recorder is attached.
+    u64 lat_p50_ns = 0;
+    u64 lat_p95_ns = 0;
+    u64 lat_p99_ns = 0;
+    u64 lat_max_ns = 0;
 
     // Analyzer events.
     u64 events_port_scan = 0;

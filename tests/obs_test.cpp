@@ -1,0 +1,461 @@
+// Flight-recorder tests: histogram bucket math and percentiles, the
+// counter/histogram registry's collision contract, trace-ring flight
+// semantics, Chrome trace-event JSON well-formedness (a real parser walks
+// every record), sampler determinism under a fixed seed, and the obs-off
+// guarantee that attaching a Recorder never changes a simulation's answers.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "workload/metrics.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::obs {
+namespace {
+
+// ---- A small strict JSON parser --------------------------------------------
+// The point of these tests is that the emitted trace is *actually* JSON, so
+// the checker is a real recursive-descent parser, not a regex.
+
+struct Json {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    [[nodiscard]] const Json* find(const std::string& key) const {
+        const auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser {
+  public:
+    explicit JsonParser(const std::string& text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+    bool parse(Json& out) {
+        skip_ws();
+        if (!value(out)) return false;
+        skip_ws();
+        return p_ == end_;  // no trailing garbage.
+    }
+
+  private:
+    void skip_ws() {
+        while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_)) != 0) ++p_;
+    }
+    bool literal(const char* text) {
+        const char* q = p_;
+        for (; *text != '\0'; ++text, ++q) {
+            if (q == end_ || *q != *text) return false;
+        }
+        p_ = q;
+        return true;
+    }
+    bool value(Json& out) {
+        if (p_ == end_) return false;
+        switch (*p_) {
+            case '{': return object(out);
+            case '[': return array(out);
+            case '"': out.type = Json::Type::kString; return string(out.str);
+            case 't': out.type = Json::Type::kBool; out.boolean = true; return literal("true");
+            case 'f': out.type = Json::Type::kBool; out.boolean = false; return literal("false");
+            case 'n': out.type = Json::Type::kNull; return literal("null");
+            default: return number(out);
+        }
+    }
+    bool number(Json& out) {
+        char* parse_end = nullptr;
+        out.number = std::strtod(p_, &parse_end);
+        if (parse_end == p_ || parse_end > end_) return false;
+        out.type = Json::Type::kNumber;
+        p_ = parse_end;
+        return true;
+    }
+    bool string(std::string& out) {
+        if (*p_ != '"') return false;
+        ++p_;
+        out.clear();
+        while (p_ != end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ == end_) return false;
+                switch (*p_) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    case 'r': out += '\r'; break;
+                    case 'b': case 'f': break;
+                    case 'u':
+                        for (int i = 0; i < 4; ++i) {
+                            ++p_;
+                            if (p_ == end_ ||
+                                std::isxdigit(static_cast<unsigned char>(*p_)) == 0) {
+                                return false;
+                            }
+                        }
+                        out += '?';  // code point itself is irrelevant here.
+                        break;
+                    default: return false;
+                }
+                ++p_;
+            } else {
+                out += *p_++;
+            }
+        }
+        if (p_ == end_) return false;
+        ++p_;  // closing quote.
+        return true;
+    }
+    bool array(Json& out) {
+        out.type = Json::Type::kArray;
+        ++p_;  // '['.
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') { ++p_; return true; }
+        while (true) {
+            Json element;
+            skip_ws();
+            if (!value(element)) return false;
+            out.array.push_back(std::move(element));
+            skip_ws();
+            if (p_ == end_) return false;
+            if (*p_ == ']') { ++p_; return true; }
+            if (*p_ != ',') return false;
+            ++p_;
+        }
+    }
+    bool object(Json& out) {
+        out.type = Json::Type::kObject;
+        ++p_;  // '{'.
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') { ++p_; return true; }
+        while (true) {
+            skip_ws();
+            std::string key;
+            if (p_ == end_ || !string(key)) return false;
+            skip_ws();
+            if (p_ == end_ || *p_ != ':') return false;
+            ++p_;
+            skip_ws();
+            Json element;
+            if (!value(element)) return false;
+            out.object[std::move(key)] = std::move(element);
+            skip_ws();
+            if (p_ == end_) return false;
+            if (*p_ == '}') { ++p_; return true; }
+            if (*p_ != ',') return false;
+            ++p_;
+        }
+    }
+
+    const char* p_;
+    const char* end_;
+};
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/// Parse a trace file and assert the Chrome trace-event contract on every
+/// record: ph/ts/pid/tid/name present and typed, ts non-decreasing per tid.
+void check_trace_wellformed(const std::string& path, u64 min_events = 1) {
+    const std::string text = read_file(path);
+    ASSERT_FALSE(text.empty()) << path;
+    Json root;
+    ASSERT_TRUE(JsonParser(text).parse(root)) << path;
+    ASSERT_EQ(root.type, Json::Type::kObject);
+    const Json* events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->type, Json::Type::kArray);
+    const Json* unit = root.find("displayTimeUnit");
+    ASSERT_NE(unit, nullptr);
+    EXPECT_EQ(unit->str, "ns");
+
+    std::map<double, double> last_ts_by_tid;
+    u64 non_meta = 0;
+    for (const Json& event : events->array) {
+        ASSERT_EQ(event.type, Json::Type::kObject);
+        const Json* ph = event.find("ph");
+        const Json* ts = event.find("ts");
+        const Json* pid = event.find("pid");
+        const Json* tid = event.find("tid");
+        const Json* name = event.find("name");
+        ASSERT_NE(ph, nullptr);
+        ASSERT_NE(ts, nullptr);
+        ASSERT_NE(pid, nullptr);
+        ASSERT_NE(tid, nullptr);
+        ASSERT_NE(name, nullptr);
+        ASSERT_EQ(ph->type, Json::Type::kString);
+        ASSERT_EQ(ph->str.size(), 1u);
+        ASSERT_EQ(ts->type, Json::Type::kNumber);
+        EXPECT_GE(ts->number, 0.0);
+        ASSERT_EQ(pid->type, Json::Type::kNumber);
+        EXPECT_EQ(pid->number, 1.0);
+        ASSERT_EQ(tid->type, Json::Type::kNumber);
+        ASSERT_EQ(name->type, Json::Type::kString);
+        ASSERT_FALSE(name->str.empty());
+        if (ph->str == "M") continue;  // metadata carries no timeline order.
+        ++non_meta;
+        EXPECT_TRUE(ph->str == "X" || ph->str == "i") << ph->str;
+        if (ph->str == "X") {
+            const Json* dur = event.find("dur");
+            ASSERT_NE(dur, nullptr);
+            ASSERT_EQ(dur->type, Json::Type::kNumber);
+            EXPECT_GE(dur->number, 0.0);
+        }
+        const auto [it, inserted] = last_ts_by_tid.try_emplace(tid->number, ts->number);
+        if (!inserted) {
+            EXPECT_LE(it->second, ts->number)
+                << "ts went backwards on tid " << tid->number << " in " << path;
+            it->second = ts->number;
+        }
+    }
+    EXPECT_GE(non_meta, min_events) << path;
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, BucketMappingRoundTrips) {
+    u32 last_bucket = 0;
+    for (const u64 value :
+         {u64{0}, u64{1}, u64{2}, u64{3}, u64{4}, u64{5}, u64{7}, u64{8}, u64{100}, u64{1000},
+          u64{123456}, u64{1} << 40, (u64{1} << 40) + 12345, ~u64{0} >> 1, ~u64{0}}) {
+        const u32 bucket = Histogram::bucket_of(value);
+        ASSERT_LT(bucket, Histogram::kBuckets) << value;
+        EXPECT_GE(bucket, last_bucket) << value;  // monotone in the value.
+        last_bucket = bucket;
+        EXPECT_LE(value, Histogram::upper_bound_of(bucket)) << value;
+        // The bucket's upper bound belongs to the bucket (tight inverse).
+        EXPECT_EQ(Histogram::bucket_of(Histogram::upper_bound_of(bucket)), bucket) << value;
+    }
+    // Exhaustive low range: every value maps into a bucket whose bound it
+    // respects, and bounds are within 25% of the value (2 significant bits).
+    for (u64 value = 0; value < 4096; ++value) {
+        const u64 bound = Histogram::upper_bound_of(Histogram::bucket_of(value));
+        ASSERT_GE(bound, value);
+        ASSERT_LE(static_cast<double>(bound),
+                  static_cast<double>(value) * 1.25 + 1.0);
+    }
+}
+
+TEST(HistogramTest, PercentilesBracketTheSamples) {
+    Histogram histogram;
+    for (u64 i = 1; i <= 100; ++i) histogram.add(i * 10);
+    EXPECT_EQ(histogram.count(), 100u);
+    EXPECT_EQ(histogram.min(), 10u);
+    EXPECT_EQ(histogram.max(), 1000u);
+    // Log-bucketed percentiles land at a bucket bound >= the exact rank
+    // value, within one bucket width (25%) above it.
+    const u64 p50 = histogram.percentile(0.50);
+    EXPECT_GE(p50, 500u);
+    EXPECT_LE(p50, 639u);
+    const u64 p99 = histogram.percentile(0.99);
+    EXPECT_GE(p99, 990u);
+    EXPECT_LE(p99, 1000u);  // clamped to the exact max.
+    EXPECT_EQ(histogram.percentile(1.0), 1000u);
+}
+
+TEST(HistogramTest, EmptyAndSmallValuesAreExact) {
+    Histogram histogram;
+    EXPECT_EQ(histogram.percentile(0.99), 0u);
+    EXPECT_EQ(histogram.min(), 0u);
+    histogram.add(3);  // values < 4 have exact unit buckets.
+    EXPECT_EQ(histogram.percentile(0.5), 3u);
+    EXPECT_EQ(histogram.mean(), 3.0);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(RecorderTest, DoubleRegistrationIsAlreadyExists) {
+    ObsConfig config;
+    config.sample_interval = 1;
+    Recorder recorder(config);
+    const auto first = recorder.register_counter("x.count");
+    ASSERT_TRUE(first.has_value());
+    const auto duplicate = recorder.register_counter("x.count");
+    ASSERT_FALSE(duplicate.has_value());
+    EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+
+    const auto histogram = recorder.register_histogram("x.lat");
+    ASSERT_TRUE(histogram.has_value());
+    const auto histogram_dup = recorder.register_histogram("x.lat");
+    ASSERT_FALSE(histogram_dup.has_value());
+    EXPECT_EQ(histogram_dup.status().code(), StatusCode::kAlreadyExists);
+
+    // Counter and histogram namespaces are independent; the cell survives
+    // at a stable address.
+    ++*first.value();
+    EXPECT_EQ(*recorder.find_counter("x.count"), 1u);
+    EXPECT_EQ(recorder.find_counter("nope"), nullptr);
+}
+
+TEST(RecorderTest, TraceRingOverwritesOldestAndCountsDrops) {
+    ObsConfig config;
+    config.trace = true;
+    config.ring_events = 8;
+    Recorder recorder(config);
+    const u16 track = recorder.track("test-track");
+    for (u64 i = 0; i < 20; ++i) {
+        recorder.event_instant(track, "tick", i * 100, "i", i);
+    }
+    EXPECT_EQ(recorder.events_recorded(), 20u);
+    EXPECT_EQ(recorder.events_dropped(), 12u);
+
+    Json root;
+    ASSERT_TRUE(JsonParser(recorder.trace_json()).parse(root));
+    const Json* events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    // 8 retained events + metadata for 3 canonical tracks + this one.
+    EXPECT_EQ(events->array.size(), 8u + 4u);
+    // Oldest retained first: ts of the first non-metadata record is event 12.
+    for (const Json& event : events->array) {
+        if (event.find("ph")->str == "M") continue;
+        EXPECT_EQ(event.find("ts")->number, 12 * 100 / 1000.0);
+        break;
+    }
+    const Json* other = root.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->find("events_recorded")->number, 20.0);
+    EXPECT_EQ(other->find("events_dropped")->number, 12.0);
+}
+
+TEST(RecorderTest, DirectTraceJsonIsWellFormed) {
+    ObsConfig config;
+    config.trace = true;
+    Recorder recorder(config);
+    recorder.event_instant(Recorder::kTrackEngine, "boot", 0);
+    recorder.event_span(Recorder::kTrackEngine, "fast-forward", 100, 50, "cycles", 10);
+    recorder.event_span(Recorder::kTrackSource, "backpressure", 20, 30, "retries", 3);
+    recorder.event_instant(recorder.track("ddr3-A"), "ACT", 125, "bank", 5);
+
+    const std::string path = "obs_test_direct_trace.json";
+    std::ofstream(path, std::ios::binary) << recorder.trace_json();
+    check_trace_wellformed(path, 4);
+    std::remove(path.c_str());
+}
+
+TEST(RecorderTest, SamplerRowsCarryEveryCounter) {
+    ObsConfig config;
+    config.sample_interval = 4;
+    Recorder recorder(config);
+    u64* a = recorder.register_counter("a").value();
+    u64* b = recorder.register_counter("b").value();
+    *a = 7;
+    recorder.sample(0);
+    *a = 9;
+    *b = 2;
+    recorder.sample(4);
+    EXPECT_EQ(recorder.samples_recorded(), 2u);
+    EXPECT_EQ(recorder.samples_jsonl(),
+              "{\"cycle\":0,\"a\":7,\"b\":0}\n{\"cycle\":4,\"a\":9,\"b\":2}\n");
+}
+
+// ---- End-to-end through the ScenarioRunner ----------------------------------
+
+workload::RunnerConfig obs_runner_config(u64 packets, const std::string& tag, bool trace,
+                                         u64 sample_interval) {
+    workload::RunnerConfig config;
+    config.packets = packets;
+    config.obs.trace = trace;
+    config.obs.trace_path = "obs_test_trace_" + tag + ".json";
+    config.obs.sample_interval = sample_interval;
+    config.obs.sample_path = "obs_test_samples_" + tag + ".jsonl";
+    return config;
+}
+
+TEST(ScenarioObsTest, SweepTracesParseEndToEnd) {
+    // The full 8-scenario sweep the serial perf gate runs: every builtin
+    // plus the two composed stress specs, each with tracing on; every
+    // produced file must be loadable Chrome trace JSON.
+    std::vector<std::string> names = workload::builtin_registry().names();
+    names.emplace_back("flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4");
+    names.emplace_back("churn@attack=0.25+syn_flood@onset=0.5,offset=0.8,attack=0.4");
+    ASSERT_GE(names.size(), 8u);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string tag = "sweep" + std::to_string(i);
+        workload::ScenarioRunner runner(
+            obs_runner_config(800, tag, /*trace=*/true, /*sample_interval=*/0));
+        const auto metrics = runner.run(names[i], workload::ScenarioConfig{});
+        ASSERT_TRUE(metrics.has_value()) << names[i] << ": " << metrics.status().to_string();
+        EXPECT_TRUE(metrics.value().drained) << names[i];
+        // Latency percentiles flow out of the recorder's histogram.
+        EXPECT_GT(metrics.value().lat_max_ns, 0u) << names[i];
+        EXPECT_LE(metrics.value().lat_p50_ns, metrics.value().lat_p95_ns) << names[i];
+        EXPECT_LE(metrics.value().lat_p95_ns, metrics.value().lat_p99_ns) << names[i];
+        EXPECT_LE(metrics.value().lat_p99_ns, metrics.value().lat_max_ns) << names[i];
+        const std::string path = "obs_test_trace_" + tag + ".json";
+        check_trace_wellformed(path, 10);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(ScenarioObsTest, SamplerIsDeterministicUnderFixedSeed) {
+    workload::ScenarioConfig scenario;
+    scenario.seed = 77;
+    std::string first;
+    for (int run = 0; run < 2; ++run) {
+        const std::string tag = "det" + std::to_string(run);
+        workload::ScenarioRunner runner(
+            obs_runner_config(2000, tag, /*trace=*/false, /*sample_interval=*/256));
+        const auto metrics = runner.run("syn_flood", scenario);
+        ASSERT_TRUE(metrics.has_value()) << metrics.status().to_string();
+        const std::string path = "obs_test_samples_" + tag + ".jsonl";
+        const std::string contents = read_file(path);
+        std::remove(path.c_str());
+        ASSERT_FALSE(contents.empty());
+        EXPECT_GT(std::count(contents.begin(), contents.end(), '\n'), 1);
+        if (run == 0) {
+            first = contents;
+        } else {
+            EXPECT_EQ(first, contents) << "sampler time series not reproducible";
+        }
+    }
+}
+
+TEST(ScenarioObsTest, AttachingTheRecorderNeverChangesTheAnswers) {
+    // The passivity contract: every pre-existing metric field is
+    // byte-identical between an obs-off and a fully-instrumented run —
+    // attaching the flight recorder must not perturb the simulation.
+    workload::ScenarioConfig scenario;
+    scenario.seed = 4242;
+
+    workload::RunnerConfig off_config;
+    off_config.packets = 2000;
+    workload::ScenarioRunner off_runner(off_config);
+    const auto off = off_runner.run("churn", scenario);
+    ASSERT_TRUE(off.has_value());
+
+    workload::ScenarioRunner on_runner(
+        obs_runner_config(2000, "identity", /*trace=*/true, /*sample_interval=*/512));
+    const auto on = on_runner.run("churn", scenario);
+    ASSERT_TRUE(on.has_value());
+    std::remove("obs_test_trace_identity.json");
+    std::remove("obs_test_samples_identity.jsonl");
+
+    for (const workload::MetricField& field : workload::metric_schema()) {
+        const std::string name = field.name;
+        if (name.rfind("lat_", 0) == 0) continue;  // obs-only fields.
+        EXPECT_EQ(workload::metric_json(field, off.value()),
+                  workload::metric_json(field, on.value()))
+            << "metric '" << name << "' changed when the recorder was attached";
+    }
+}
+
+}  // namespace
+}  // namespace flowcam::obs

@@ -116,8 +116,9 @@ void pump(core::FlowLut& lut, const KeyAt& key_at, u64 count, u32 cycles_per_off
 
 template <typename KeyAt>
 ModeResult run_mode(const std::string& mode, const KeyAt& key_at, u64 packets,
-                    u32 cycles_per_offer, bool with_obs = false) {
-    core::FlowLut lut(bench_config());
+                    u32 cycles_per_offer, bool with_obs = false,
+                    const core::FlowLutConfig& config = bench_config()) {
+    core::FlowLut lut(config);
     // The obs arm attaches a tracing recorder before warmup: registration
     // and the trace ring allocate here, outside the measured window — the
     // steady-state window must stay at zero even with every event site live.
@@ -184,6 +185,22 @@ int main(int argc, char** argv) {
         "rotating_reuse_obs",
         [&](u64 i) -> const core::FlowKey& { return resident[i % resident.size()]; }, packets,
         2, /*with_obs=*/true));
+    {
+        // Every overload policy armed at once (pressure threshold 0 keeps
+        // the admission/reservation branches live even at bench occupancy).
+        // The "_reuse" name applies the zero-steady-state-allocation gate:
+        // policies must not put allocations on the dispatch path.
+        core::FlowLutConfig policies = bench_config();
+        policies.admission = core::AdmissionPolicy::kProbabilistic;
+        policies.admission_pressure = 0.0;
+        policies.admission_p = 1.0;  // admit everyone; the check still runs.
+        policies.eviction = core::EvictionPolicy::kLru;
+        policies.reservation = true;
+        results.push_back(run_mode(
+            "rotating_reuse_policies",
+            [&](u64 i) -> const core::FlowKey& { return resident[i % resident.size()]; },
+            packets, 2, /*with_obs=*/false, policies));
+    }
     results.push_back(run_mode(
         "rotating_rehash",
         [&](u64 i) {

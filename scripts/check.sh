@@ -5,8 +5,13 @@
 # cam-depth grid whose CSV/JSONL must be byte-identical serial vs parallel;
 # the grid CSV is a CI artifact), a trace smoke (a composed scenario with the
 # flight recorder on — the Chrome trace JSON and sampler JSONL must be
-# well-formed, and both are CI artifacts), then a Release build with hot-path
-# performance gates (allocation counter + wall-clock ceilings).
+# well-formed, and both are CI artifacts), a fault-injection smoke (every
+# fault family fired once under the invariant auditor; audit_violations must
+# stay 0), then a Release build with hot-path performance gates (allocation
+# counter + wall-clock ceilings). The zero-alloc gate also covers the
+# overload policies: bench_hotpath's rotating_reuse_policies mode runs
+# admission+eviction+reservation enabled and must stay at 0 steady-state
+# allocations like every other *_reuse mode.
 #
 #   $ scripts/check.sh [--quick] [build-dir]
 #
@@ -119,6 +124,44 @@ else
   tail -c 8 "$BUILD_DIR/check-trace.json" | grep -q '}' || {
     echo "check-trace.json looks truncated" >&2; exit 1; }
 fi
+
+stage "fault-injection smoke (every family under the auditor)"
+FAULT_CSV="$BUILD_DIR/check-faults.csv"
+FAULT_ARMS=(
+  "fault.ddr_reject_p=0.05 fault.ddr_reject_len=4"
+  "fault.resp_delay_p=0.05 fault.resp_delay_cycles=48"
+  "fault.resp_dup_p=0.03"
+  "fault.buffer_storm_p=0.01 fault.buffer_storm_len=8"
+  "fault.expiry_skew_ns=1000000 lut.flow_timeout_ns=200000"
+)
+for arm in "${FAULT_ARMS[@]}"; do
+  rm -f "$FAULT_CSV"
+  SET_ARGS=(--set=fault.audit=1)
+  for kv in $arm; do SET_ARGS+=("--set=$kv"); done
+  "$BUILD_DIR/scenario_runner" --scenario=syn_flood --attack=0.6 --packets=3000 \
+    "${SET_ARGS[@]}" --csv="$FAULT_CSV" > /dev/null
+  # Columns by NAME (the schema may grow): auditor green, and the configured
+  # fault actually fired (expiry skew has no RNG counter — its signature is
+  # forced expiries instead).
+  awk -F, -v arm="$arm" '
+    NR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+    NR == 2 {
+      if ($col["status"] != "ok") {
+        printf "fault smoke [%s]: status=%s\n", arm, $col["status"]; exit 1
+      }
+      if ($col["audit_violations"] != "0") {
+        printf "fault smoke [%s]: audit_violations=%s\n", arm,
+               $col["audit_violations"]; exit 1
+      }
+      fired = $col["faults_injected"] + 0
+      expired = $col["flows_expired"] + 0
+      if (fired == 0 && expired == 0) {
+        printf "fault smoke [%s]: fault never fired\n", arm; exit 1
+      }
+      printf "fault smoke [%s]: faults=%d expired=%d, auditor green\n",
+             arm, fired, expired
+    }' "$FAULT_CSV"
+done
 
 if [[ $QUICK -eq 1 ]]; then
   stage "done (--quick: Release perf gates skipped)"

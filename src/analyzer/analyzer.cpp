@@ -38,7 +38,10 @@ bool TrafficAnalyzer::feed_frame(std::span<const u8> frame, u64 timestamp_ns) {
 }
 
 bool TrafficAnalyzer::feed_record(const net::PacketRecord& record) {
-    if (packet_buffer_.size() >= config_.packet_buffer_depth) {
+    if (packet_buffer_.size() >= config_.packet_buffer_depth ||
+        (faults_ != nullptr && faults_->veto_feed())) {
+        // Real buffer-full and injected backpressure storms look identical
+        // to the source: it holds the frame and retries.
         ++stats_.dropped_buffer_full;
         return false;
     }
@@ -65,12 +68,18 @@ void TrafficAnalyzer::set_recorder(obs::Recorder* recorder) {
     obs_hwm_buffer_ = cell ? cell.value() : &obs_scrap_cell_;
 }
 
+void TrafficAnalyzer::set_faults(faults::FaultInjector* faults) {
+    faults_ = faults;
+    lut_.set_faults(faults);
+}
+
 void TrafficAnalyzer::pump_buffer() {
     while (!packet_buffer_.empty()) {
         const PreparedPacket& prepared = packet_buffer_.front();
         const net::PacketRecord& record = prepared.record;
         if (!lut_.offer_prepared(prepared.key, prepared.index_a, prepared.index_b,
-                                 prepared.digest, record.timestamp_ns, record.frame_bytes)) {
+                                 prepared.digest, record.timestamp_ns, record.frame_bytes,
+                                 /*tag=*/record.flow_index)) {
             return;  // Flow LUT backpressure; retry next cycle.
         }
         ++stats_.packets;
@@ -93,6 +102,16 @@ void TrafficAnalyzer::pump_completions() {
             ports.insert(tuple.dst_port);
             if (ports.size() == config_.port_scan_threshold) {
                 raise(EventKind::kPortScan, tuple, ports.size(), completion->timestamp_ns);
+            }
+        }
+        if (completion->fid == kInvalidFlowId) {
+            // No table slot (admission reject or table full): which side of
+            // the overload did we shed? The tag carries the generator's
+            // flow index; overlay indices sit above overlay_flow_base.
+            if (completion->tag >= config_.overlay_flow_base) {
+                ++stats_.drops_overlay;
+            } else {
+                ++stats_.drops_real;
             }
         }
         if (completion->fid != kInvalidFlowId) {

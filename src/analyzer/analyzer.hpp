@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/flow_lut.hpp"
+#include "faults/faults.hpp"
 #include "net/headers.hpp"
 #include "net/trace.hpp"
 
@@ -41,6 +42,10 @@ struct AnalyzerConfig {
     u32 port_scan_threshold = 64;        ///< distinct dst ports per src IP.
     double table_pressure = 0.9;         ///< of total capacity.
     std::size_t packet_buffer_depth = 256;
+    /// Generator flow indices at or above this are attack-overlay traffic
+    /// (workload::kOverlayFlowBase); used to split drops into real vs
+    /// overlay when completions carry the flow index as their tag.
+    u64 overlay_flow_base = u64{1} << 40;
 };
 
 /// Aggregated statistics the stats engine maintains.
@@ -49,6 +54,11 @@ struct TrafficStats {
     u64 bytes = 0;
     u64 unparseable = 0;
     u64 dropped_buffer_full = 0;
+    /// Completions that retired without a table slot (admission reject or
+    /// table full), split by whether the offered packet was background
+    /// ("real") traffic or attack overlay (see overlay_flow_base).
+    u64 drops_real = 0;
+    u64 drops_overlay = 0;
     std::map<u8, u64> packets_by_protocol;
     std::map<u16, u64> bytes_by_dst_port;
 
@@ -88,6 +98,11 @@ class TrafficAnalyzer {
     /// attaches both DDR3 controllers). nullptr detaches.
     void set_recorder(obs::Recorder* recorder);
 
+    /// Attach a fault injector: packet-buffer storm vetoes fire here, and
+    /// the injector is forwarded to the Flow LUT (DDR rejects, response
+    /// delay/duplication, expiry skew). nullptr detaches.
+    void set_faults(faults::FaultInjector* faults);
+
     [[nodiscard]] const TrafficStats& stats() const { return stats_; }
     [[nodiscard]] const std::vector<Event>& events() const { return events_; }
     [[nodiscard]] core::FlowLut& lut() { return lut_; }
@@ -125,6 +140,7 @@ class TrafficAnalyzer {
     obs::Recorder* obs_ = nullptr;
     u64* obs_hwm_buffer_ = nullptr;  ///< packet-buffer occupancy high-water.
     u64 obs_scrap_cell_ = 0;
+    faults::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace flowcam::analyzer

@@ -37,6 +37,10 @@ struct Descriptor {
     Cycle offered_at = 0;  ///< system cycle the descriptor entered the LUT
                            ///< (end-to-end latency = retired_at - offered_at).
     u32 frame_bytes = 0;
+    /// Opaque caller tag carried through to the Completion. The workload
+    /// layer threads the generator flow index here so drops can be
+    /// classified as real vs. attack-overlay traffic.
+    u64 tag = 0;
     /// True when index_a/index_b are the indexer's values for `key` (the
     /// offer() path); false for synthetic raw-pattern stimuli. Gates whether
     /// the functional model may reuse them instead of re-hashing.
@@ -66,6 +70,11 @@ struct UpdateRequest {
     /// rejected by a full controller queue must not re-apply on retry, or
     /// the filter's pending-update count leaks and parks the bucket forever.
     bool applied = false;
+    /// Insert revoked while still queued (reservation reclaim won the race
+    /// against the burst-write release). The write is skipped at pump time,
+    /// but the Req Filter pending-update count it holds must still be
+    /// released exactly once via update_cancelled().
+    bool cancelled = false;
 };
 
 /// What FID_GEN emits: one completion per descriptor, in retirement order.
@@ -79,6 +88,7 @@ struct Completion {
     u64 timestamp_ns = 0;
     u32 frame_bytes = 0;
     FlowKey key;
+    u64 tag = 0;  ///< copied from the descriptor (drop classification).
 };
 
 /// FID encoding: location-derived flow IDs, as the paper's FID_GEN creates

@@ -40,6 +40,43 @@ enum class InsertPolicy : u8 {
     kLeastLoaded,  ///< emptier bucket first (balanced-allocations flavor).
 };
 
+/// Whether a genuinely-new flow is admitted when the table is under
+/// pressure (load >= admission_pressure). kAlways reproduces the original
+/// drop-on-full behavior exactly; the other two trade new-flow admission
+/// for established-flow retention under floods.
+enum class AdmissionPolicy : u8 {
+    kAlways,         ///< admit whenever a slot exists (drop only when full).
+    kProbabilistic,  ///< Bloom front-end: keys seen before are admitted;
+                     ///< never-seen keys are admitted with probability
+                     ///< admission_p (flow-affine, digest-derived).
+    kRejectFull,     ///< refuse all new flows while under pressure.
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionPolicy policy) {
+    switch (policy) {
+        case AdmissionPolicy::kAlways: return "always";
+        case AdmissionPolicy::kProbabilistic: return "probabilistic";
+        case AdmissionPolicy::kRejectFull: return "reject-full";
+    }
+    return "?";
+}
+
+/// What happens when a new flow is admitted but no slot is free.
+enum class EvictionPolicy : u8 {
+    kNone,       ///< drop the new flow (original behavior).
+    kLru,        ///< evict the idlest entry among the two candidate buckets.
+    kCamOldest,  ///< evict the oldest collision-CAM entry.
+};
+
+[[nodiscard]] constexpr const char* to_string(EvictionPolicy policy) {
+    switch (policy) {
+        case EvictionPolicy::kNone: return "none";
+        case EvictionPolicy::kLru: return "lru";
+        case EvictionPolicy::kCamOldest: return "cam-oldest";
+    }
+    return "?";
+}
+
 struct FlowLutConfig {
     // --- Geometry of the lookup structure -------------------------------
     u64 buckets_per_mem = u64{1} << 16;  ///< hash locations per memory set.
@@ -79,6 +116,31 @@ struct FlowLutConfig {
     // --- Flow state housekeeping ------------------------------------------
     u64 flow_timeout_ns = 30'000'000'000ull;  ///< 30 s idle timeout.
     u32 housekeeping_scan_per_cycle = 4;      ///< records scanned per cycle.
+
+    // --- Overload resilience (admission / eviction / reservation) ---------
+    AdmissionPolicy admission = AdmissionPolicy::kAlways;
+    EvictionPolicy eviction = EvictionPolicy::kNone;
+    /// Table load fraction above which admission control engages and new
+    /// flows get reservation-grant (provisional) slots instead of firm ones.
+    double admission_pressure = 0.9;
+    /// Probability a never-seen key is admitted under pressure
+    /// (admission=probabilistic). Flow-affine: derived from the key digest.
+    double admission_p = 0.1;
+    /// Bloom front-end sizing for admission=probabilistic.
+    u64 admission_bloom_bits = u64{1} << 18;
+    u32 admission_bloom_hashes = 4;
+    /// Reservation path: a new flow admitted under pressure holds only a
+    /// provisional slot; a second packet confirms it, otherwise the slot is
+    /// reclaimed after reservation_deadline cycles (booksim2-style
+    /// ack/nack/grant over the insert machinery).
+    bool reservation = false;
+    Cycle reservation_deadline = 4096;
+
+    /// TEST ONLY: reintroduce the PR 2 delete-retry double-apply bug (the
+    /// Req Filter pending-update leak) so the fault-injection harness can
+    /// prove its invariant auditor detects that bug class. Never set
+    /// outside tests.
+    bool debug_double_apply_delete = false;
 
     // --- Derived ----------------------------------------------------------
     [[nodiscard]] u64 bucket_bytes() const { return u64{ways} * entry_bytes; }

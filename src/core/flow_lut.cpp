@@ -25,7 +25,13 @@ FlowLut::FlowLut(const FlowLutConfig& config)
       table_(config),
       flow_state_(config.flow_timeout_ns, config.housekeeping_scan_per_cycle),
       paths_{PathState(config, "ddr3-A"), PathState(config, "ddr3-B")},
-      rng_(config.hash_seed ^ 0x5e00beefull) {}
+      rng_(config.hash_seed ^ 0x5e00beefull) {
+    if (config_.admission == AdmissionPolicy::kProbabilistic) {
+        admission_bloom_ = std::make_unique<bloom::BloomFilter>(
+            config_.admission_bloom_bits, config_.admission_bloom_hashes,
+            config_.hash_kind, config_.hash_seed ^ 0xb100full);
+    }
+}
 
 bool FlowLut::offer(const FlowKey& key, u64 timestamp_ns, u32 frame_bytes) {
     const auto view = key.view();
@@ -40,7 +46,8 @@ bool FlowLut::offer(const FlowKey& key, u64 timestamp_ns, u32 frame_bytes) {
 }
 
 bool FlowLut::offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 digest,
-                             u64 timestamp_ns, u32 frame_bytes, bool hashed_indices) {
+                             u64 timestamp_ns, u32 frame_bytes, bool hashed_indices,
+                             u64 tag) {
     if (input_full()) {
         ++stats_.rejected_input_full;
         return false;
@@ -56,6 +63,7 @@ bool FlowLut::offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 d
     descriptor.offered_at = now_;
     descriptor.frame_bytes = frame_bytes;
     descriptor.hashed_indices = hashed_indices;
+    descriptor.tag = tag;
     stream_time_ns_ = std::max(stream_time_ns_, timestamp_ns);
     input_.push_back(std::move(descriptor));
     if (obs_ != nullptr) obs::Recorder::high_water(obs_hwm_input_, input_.size());
@@ -89,6 +97,26 @@ void FlowLut::set_recorder(obs::Recorder* recorder) {
     obs_hwm_waiting_ = cell("lut.hwm_waiting");
     obs_hwm_table_ = cell("lut.hwm_table");
     obs_hwm_cam_ = cell("lut.hwm_cam");
+    obs_admission_rejects_ = cell("lut.admission_rejects");
+    obs_evictions_lru_ = cell("lut.evictions_lru");
+    obs_evictions_cam_ = cell("lut.evictions_cam");
+    obs_res_granted_ = cell("lut.reservations_granted");
+    obs_res_confirmed_ = cell("lut.reservations_confirmed");
+    obs_res_reclaimed_ = cell("lut.reservations_reclaimed");
+}
+
+void FlowLut::set_faults(faults::FaultInjector* faults) {
+    faults_ = faults;
+    for (u32 path = 0; path < 2; ++path) {
+        if (faults != nullptr && faults->config().ddr_reject_p > 0.0) {
+            paths_[path].controller->set_enqueue_veto(
+                [faults, path](const dram::MemRequest&) {
+                    return faults->veto_ddr_enqueue(path);
+                });
+        } else {
+            paths_[path].controller->set_enqueue_veto(nullptr);
+        }
+    }
 }
 
 std::optional<Completion> FlowLut::pop_completion() {
@@ -159,6 +187,7 @@ void FlowLut::dispatch_inputs(Cycle now) {
             completion.timestamp_ns = descriptor.timestamp_ns;
             completion.frame_bytes = descriptor.frame_bytes;
             completion.key = descriptor.key;
+            completion.tag = descriptor.tag;
             ++stats_.cam_hits;
             if (obs_ != nullptr) ++*obs_cam_hits_;
             retire(std::move(completion));
@@ -187,18 +216,56 @@ void FlowLut::dispatch_inputs(Cycle now) {
 
 void FlowLut::pump_responses(Path path) {
     PathState& state = paths_[index_of(path)];
-    while (auto response = state.controller->pop_response()) {
-        if ((response->id & kWriteTag) != 0) {
-            const u64 address = state.outstanding_writes.take(response->id);
-            for (LookupJob& job : state.filter.update_retired(address)) {
-                state.ready.push(bank_of(path, address), std::move(job));
-            }
-        } else {
-            LookupJob job = state.outstanding_reads.take(response->id);
-            const u64 address = bucket_address(job.bucket_index(path));
-            state.filter.read_retired(address);
-            state.match_queue.emplace_back(std::move(job), std::move(response->data));
+    if (faults_ != nullptr) {
+        // Deliver matured held-back responses first (FIFO per path).
+        while (!state.delayed.empty() && state.delayed.front().release_at <= now_) {
+            deliver_response(path, std::move(state.delayed.front().response));
+            state.delayed.pop_front();
         }
+    }
+    while (auto response = state.controller->pop_response()) {
+        if (faults_ != nullptr) {
+            if (const u32 hold = faults_->response_delay(); hold > 0) {
+                state.delayed.push_back({std::move(*response), now_ + hold});
+                continue;
+            }
+            if (faults_->duplicate_response()) {
+                dram::MemResponse duplicate = *response;
+                deliver_response(path, std::move(*response));
+                // The second delivery is a spurious unknown-id response the
+                // demux must ignore, not crash on.
+                deliver_response(path, std::move(duplicate));
+                continue;
+            }
+        }
+        deliver_response(path, std::move(*response));
+    }
+}
+
+void FlowLut::deliver_response(Path path, dram::MemResponse&& response) {
+    PathState& state = paths_[index_of(path)];
+    if ((response.id & kWriteTag) != 0) {
+        const u64* address_slot = state.outstanding_writes.find(response.id);
+        if (address_slot == nullptr) {
+            ++stats_.spurious_responses;
+            return;
+        }
+        const u64 address = *address_slot;
+        state.outstanding_writes.erase(response.id);
+        for (LookupJob& job : state.filter.update_retired(address)) {
+            state.ready.push(bank_of(path, address), std::move(job));
+        }
+    } else {
+        LookupJob* job_slot = state.outstanding_reads.find(response.id);
+        if (job_slot == nullptr) {
+            ++stats_.spurious_responses;
+            return;
+        }
+        LookupJob job = std::move(*job_slot);
+        state.outstanding_reads.erase(response.id);
+        const u64 address = bucket_address(job.bucket_index(path));
+        state.filter.read_retired(address);
+        state.match_queue.emplace_back(std::move(job), std::move(response.data));
     }
 }
 
@@ -227,6 +294,7 @@ void FlowLut::run_flow_match(Path path, Cycle now) {
         completion.timestamp_ns = job.descriptor.timestamp_ns;
         completion.frame_bytes = job.descriptor.frame_bytes;
         completion.key = job.descriptor.key;
+        completion.tag = job.descriptor.tag;
         (job.stage == Stage::kLu1 ? stats_.lu1_hits : stats_.lu2_hits) += 1;
         retire_pipelined(std::move(completion), now);
         return;
@@ -259,6 +327,7 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
     completion.timestamp_ns = job.descriptor.timestamp_ns;
     completion.frame_bytes = job.descriptor.frame_bytes;
     completion.key = job.descriptor.key;
+    completion.tag = job.descriptor.tag;
     if (existing.hit()) {
         completion.fid = existing.payload;
         completion.via_cam = existing.stage == MatchStage::kCam;
@@ -267,33 +336,68 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
         return;
     }
 
-    // Genuinely new flow: choose a location, create the entry functionally,
-    // emit the FID now (the paper's Mem Updt "output[s] the corresponding
-    // location index for that entry"), and schedule the DDR write.
-    auto placement = d.hashed_indices
-                         ? table_.choose_placement_indexed(key, d.index_a, d.index_b)
-                         : table_.choose_placement(key);
-    if (!placement) {
+    // Genuinely new flow. Under pressure, admission control decides whether
+    // it even earns a slot; a surviving new flow then gets its placement,
+    // stealing one via the eviction policy when the table is out of room.
+    // A reject is a drop (the packet retires with an invalid FID, like a
+    // capacity-full drop) and additionally counted as admission_rejects so
+    // policy-chosen drops stay distinguishable from out-of-room drops.
+    const bool pressured = under_pressure();
+    if (config_.admission != AdmissionPolicy::kAlways && pressured && !admit_new_flow(d)) {
         completion.fid = kInvalidFlowId;
+        ++stats_.admission_rejects;
         ++stats_.drops;
+        if (obs_ != nullptr) {
+            ++*obs_admission_rejects_;
+            ++*obs_drops_;
+        }
         retire_pipelined(std::move(completion), now);
         return;
     }
-    TableIndex location = placement.value();
+
+    // Choose a location, create the entry functionally, emit the FID now
+    // (the paper's Mem Updt "output[s] the corresponding location index for
+    // that entry"), and schedule the DDR write.
+    auto placement = d.hashed_indices
+                         ? table_.choose_placement_indexed(key, d.index_a, d.index_b)
+                         : table_.choose_placement(key);
+    TableIndex location;
+    bool evicted_slot = false;
+    if (placement) {
+        location = placement.value();
+    } else {
+        std::optional<TableIndex> freed;
+        if (config_.eviction != EvictionPolicy::kNone) freed = try_evict_for(d);
+        if (!freed) {
+            completion.fid = kInvalidFlowId;
+            ++stats_.drops;
+            retire_pipelined(std::move(completion), now);
+            return;
+        }
+        location = *freed;
+        evicted_slot = true;
+    }
     if (location.where == TableIndex::Where::kCam) {
-        // The CAM's priority encoder determines the slot, hence the FID,
-        // before the entry is written.
-        const auto slot = table_.collision_cam().next_free_slot();
-        assert(slot.has_value());
-        location.slot = *slot;
+        if (!evicted_slot) {
+            // The CAM's priority encoder determines the slot, hence the FID,
+            // before the entry is written.
+            const auto slot = table_.collision_cam().next_free_slot();
+            assert(slot.has_value());
+            location.slot = *slot;
+        }
         const FlowId fid = make_fid(location);
         const Status status = table_.insert_at(location, key, fid);
         assert(status.is_ok());
         (void)status;
+        ++stats_.table_inserts;
+        if (config_.eviction == EvictionPolicy::kCamOldest) {
+            cam_order_.push_back(job.descriptor.key);
+        }
         completion.fid = fid;
         completion.via_cam = true;
         completion.is_new_flow = true;
         ++stats_.new_flows;
+        if (config_.reservation && pressured) grant_reservation(job.descriptor.key, now);
         retire_pipelined(std::move(completion), now);
         return;
     }
@@ -302,12 +406,15 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
     const Status status = table_.insert_at(location, key, fid);
     assert(status.is_ok());
     (void)status;
+    ++stats_.table_inserts;
     completion.fid = fid;
     completion.is_new_flow = true;
     ++stats_.new_flows;
 
     // Register the pending DDR write with the owning path's Req Filter and
-    // queue the update through Req_Arb/BWr_Gen.
+    // queue the update through Req_Arb/BWr_Gen. When the slot was freed by
+    // an eviction, this one write also covers the victim's removal (the
+    // whole bucket is re-serialized from the authoritative table at issue).
     const Path owner =
         location.where == TableIndex::Where::kMem1 ? Path::kA : Path::kB;
     PathState& owner_state = paths_[index_of(owner)];
@@ -321,12 +428,216 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
     const bool accepted = owner_state.updates.submit(std::move(update), now);
     assert(accepted);  // update_queue_depth sized to make overflow impossible
     (void)accepted;
+    if (config_.reservation && pressured) grant_reservation(job.descriptor.key, now);
     retire_pipelined(std::move(completion), now);
+}
+
+bool FlowLut::admit_new_flow(const Descriptor& descriptor) {
+    switch (config_.admission) {
+        case AdmissionPolicy::kAlways:
+            return true;
+        case AdmissionPolicy::kRejectFull:
+            return false;
+        case AdmissionPolicy::kProbabilistic: {
+            if (admission_bloom_ == nullptr) return true;  // defensive.
+            const auto key = descriptor.key.view();
+            // A key seen before is a returning flow proving liveness by its
+            // second packet — always admit. Never-seen keys draw a
+            // digest-derived (flow-affine) coin: one-shot flood keys lose
+            // with probability 1 - admission_p, and the shared rng_ stream
+            // stays untouched so default runs are unaffected.
+            if (admission_bloom_->maybe_contains(key)) return true;
+            admission_bloom_->add(key);
+            u64 mixed = descriptor.digest * 0x9e3779b97f4a7c15ull;
+            mixed ^= mixed >> 29;
+            const double unit = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+            return unit < config_.admission_p;
+        }
+    }
+    return true;
+}
+
+std::optional<TableIndex> FlowLut::try_evict_for(const Descriptor& descriptor) {
+    if (config_.eviction == EvictionPolicy::kLru) {
+        // Victim = idlest valid entry across the two candidate buckets,
+        // skipping anything the timed machinery still has in motion: buckets
+        // with in-flight reads (an evicted victim would stale-hit), keys
+        // with a pending delete, keys with packets mid-pipeline, and keys
+        // holding a provisional reservation.
+        std::optional<TableIndex> victim;
+        const table::Entry* victim_entry = nullptr;
+        FlowId victim_fid = kInvalidFlowId;
+        u64 victim_last = ~u64{0};
+        for (u32 mem = 0; mem < 2; ++mem) {
+            const u64 bucket = mem == 0 ? descriptor.index_a : descriptor.index_b;
+            PathState& state = paths_[mem];
+            if (state.filter.delete_blocked(bucket_address(bucket))) continue;
+            for (u32 way = 0; way < config_.ways; ++way) {
+                const u64 slot = bucket * config_.ways + way;
+                const table::Entry& entry = table_.mem_entry(mem, slot);
+                if (!entry.valid) continue;
+                const FlowKey entry_key(
+                    std::span<const u8>(entry.key.data(), entry.key_length));
+                if (state.updates.delete_pending(entry_key)) continue;
+                if (flow_gate_.find(entry_key) != nullptr) continue;
+                if (reserved_.find(entry_key) != nullptr) continue;
+                TableIndex location;
+                location.where = mem == 0 ? TableIndex::Where::kMem1
+                                          : TableIndex::Where::kMem2;
+                location.slot = slot;
+                const FlowId fid = make_fid(location);
+                const FlowRecord* record = flow_state_.find(fid);
+                const u64 last_ns = record == nullptr ? 0 : record->last_ns;
+                if (!victim.has_value() || last_ns < victim_last) {
+                    victim = location;
+                    victim_entry = &entry;
+                    victim_fid = fid;
+                    victim_last = last_ns;
+                }
+            }
+        }
+        if (!victim.has_value()) return std::nullopt;
+        const std::span<const u8> victim_key(victim_entry->key.data(),
+                                             victim_entry->key_length);
+        if (!table_.erase_at(*victim, victim_key).is_ok()) return std::nullopt;
+        flow_state_.on_deleted(victim_fid);
+        ++stats_.evictions_lru;
+        ++stats_.table_removals;
+        if (obs_ != nullptr) ++*obs_evictions_lru_;
+        return victim;
+    }
+
+    // kCamOldest: the oldest CAM entry still present and not in motion.
+    // Stale order entries (already expired/moved) are dropped lazily; busy
+    // entries recycle to the back, bounded by one full rotation.
+    std::size_t recycled = 0;
+    while (!cam_order_.empty()) {
+        if (recycled >= cam_order_.size()) return std::nullopt;  // all busy.
+        FlowKey victim_key = std::move(cam_order_.front());
+        cam_order_.pop_front();
+        const auto location = table_.locate(victim_key.view());
+        if (!location || location->where != TableIndex::Where::kCam) continue;
+        if (flow_gate_.find(victim_key) != nullptr ||
+            reserved_.find(victim_key) != nullptr) {
+            cam_order_.push_back(std::move(victim_key));
+            ++recycled;
+            continue;
+        }
+        const FlowId fid = make_fid(*location);
+        if (!table_.erase_at(*location, victim_key.view()).is_ok()) continue;
+        flow_state_.on_deleted(fid);
+        ++stats_.evictions_cam;
+        ++stats_.table_removals;
+        if (obs_ != nullptr) ++*obs_evictions_cam_;
+        return *location;
+    }
+    return std::nullopt;
+}
+
+void FlowLut::grant_reservation(const FlowKey& key, Cycle now) {
+    const Cycle deadline = now + config_.reservation_deadline;
+    if (Cycle* open = reserved_.find(key); open != nullptr) {
+        // Regranted while an earlier grant is still open (the flow expired
+        // and re-inserted before its deadline) — extend, one ledger entry.
+        *open = deadline;
+        return;
+    }
+    reserved_[key] = deadline;
+    reservations_.push_back({key, deadline});
+    ++stats_.reservations_granted;
+    if (obs_ != nullptr) ++*obs_res_granted_;
+}
+
+void FlowLut::reclaim_reservations(Cycle now) {
+    while (!reservations_.empty() && reservations_.front().deadline <= now) {
+        Reservation entry = std::move(reservations_.front());
+        reservations_.pop_front();
+        Cycle* current = reserved_.find(entry.key);
+        if (current == nullptr) continue;  // confirmed.
+        if (*current > entry.deadline) {
+            // Extended meanwhile: this ledger entry matures later.
+            reservations_.push_back({std::move(entry.key), *current});
+            continue;
+        }
+        if (flow_gate_.find(entry.key) != nullptr) {
+            // Packets of this flow are mid-pipeline; their retire is about
+            // to confirm. Don't race them — extend instead.
+            const Cycle extended = now + config_.reservation_deadline;
+            *current = extended;
+            reservations_.push_back({std::move(entry.key), extended});
+            continue;
+        }
+        const auto location = table_.locate(entry.key.view());
+        if (!location) {
+            // Entry already gone (skew-expired, evicted): the grant still
+            // ended unconfirmed.
+            finish_reclaim(entry.key);
+            continue;
+        }
+        const FlowId fid = make_fid(*location);
+        if (location->where == TableIndex::Where::kCam) {
+            if (table_.erase_at(*location, entry.key.view()).is_ok()) {
+                flow_state_.on_deleted(fid);
+                ++stats_.table_removals;
+            }
+            finish_reclaim(entry.key);
+            continue;
+        }
+        const Path owner =
+            location->where == TableIndex::Where::kMem1 ? Path::kA : Path::kB;
+        PathState& state = paths_[index_of(owner)];
+        if (state.updates.cancel_insert(entry.key)) {
+            // The nack won the race against the burst-write release: revoke
+            // the still-queued insert and erase functionally now. The Req
+            // Filter's pending hold is dropped exactly once when the
+            // cancelled request flows out of BWr_Gen (pump_updates) — NOT
+            // here, or a parked bucket would leak (the PR 2 bug class).
+            if (table_.erase_at(*location, entry.key.view()).is_ok()) {
+                flow_state_.on_deleted(fid);
+                ++stats_.table_removals;
+            }
+        } else if (!state.updates.delete_pending(entry.key)) {
+            // The insert write already left Req_Arb (possibly in flight or
+            // retrying against a full controller queue): retire the slot
+            // through the normal delete machinery, whose issue-time
+            // exactly-once apply already survives rejected writes.
+            UpdateRequest request;
+            request.kind = UpdateKind::kDelete;
+            request.key = entry.key;
+            request.bucket_index = location->slot / config_.ways;
+            request.way = static_cast<u32>(location->slot % config_.ways);
+            if (!state.updates.submit(std::move(request), now)) {
+                // Update queue full: extend and retry next deadline.
+                const Cycle extended = now + config_.reservation_deadline;
+                *current = extended;
+                reservations_.push_back({std::move(entry.key), extended});
+                continue;
+            }
+        }
+        finish_reclaim(entry.key);
+    }
+}
+
+void FlowLut::finish_reclaim(const FlowKey& key) {
+    reserved_.erase(key);
+    ++stats_.reservations_reclaimed;
+    if (obs_ != nullptr) ++*obs_res_reclaimed_;
 }
 
 void FlowLut::pump_updates(Path path, Cycle now) {
     PathState& state = paths_[index_of(path)];
     for (UpdateRequest& request : state.updates.release(now)) {
+        if (request.cancelled) {
+            // A reclaim revoked this insert while it was queued: no DDR
+            // write happens, but the Req Filter hold it created must be
+            // released here — exactly once — and anything it parked
+            // re-dispatched, or the bucket wedges forever (PR 2 bug class).
+            const u64 address = bucket_address(request.bucket_index);
+            for (LookupJob& job : state.filter.update_cancelled(address)) {
+                state.ready.push(bank_of(path, address), std::move(job));
+            }
+            continue;
+        }
         state.write_queue.push_back(std::move(request));
     }
 }
@@ -357,6 +668,7 @@ void FlowLut::issue_memory(Path path, Cycle now) {
             if (table_.erase_at(location, request.key.view()).is_ok()) {
                 flow_state_.on_deleted(fid);
                 ++stats_.deletes_applied;
+                ++stats_.table_removals;
             }
             state.filter.update_created(address);
             request.applied = true;
@@ -374,6 +686,12 @@ void FlowLut::issue_memory(Path path, Cycle now) {
             state.write_queue.pop_front();
         } else {
             --state.next_request_id;  // retry next cycle with the same id.
+            if (config_.debug_double_apply_delete && request.kind == UpdateKind::kDelete) {
+                // DELIBERATE BUG (test-only flag): forget the exactly-once
+                // guard so the retry re-applies — the filter's pending count
+                // leaks and the invariant auditor must catch it.
+                request.applied = false;
+            }
         }
         return;
     }
@@ -396,7 +714,8 @@ void FlowLut::issue_memory(Path path, Cycle now) {
 }
 
 void FlowLut::housekeeping(Cycle now) {
-    for (const FlowRecord& record : flow_state_.scan_expired(stream_time_ns_)) {
+    if (config_.reservation && !reservations_.empty()) reclaim_reservations(now);
+    for (const FlowRecord& record : flow_state_.scan_expired(effective_expiry_time())) {
         const auto key = record.key.view();
         const auto location = table_.locate(key);
         if (!location) continue;  // already gone.
@@ -405,6 +724,7 @@ void FlowLut::housekeeping(Cycle now) {
             if (table_.erase_at(*location, key).is_ok()) {
                 flow_state_.on_deleted(record.fid);
                 ++stats_.deletes_applied;
+                ++stats_.table_removals;
             }
             continue;
         }
@@ -488,6 +808,7 @@ void FlowLut::release_inflight(const FlowKey& key, Cycle now) {
             completion.timestamp_ns = descriptor.timestamp_ns;
             completion.frame_bytes = descriptor.frame_bytes;
             completion.key = descriptor.key;
+            completion.tag = descriptor.tag;
             retire(std::move(completion));
             continue;
         }
@@ -505,6 +826,14 @@ void FlowLut::retire(Completion completion) {
     if (completion.fid != kInvalidFlowId) {
         flow_state_.on_packet(completion.fid, completion.key.view(), completion.timestamp_ns,
                               completion.frame_bytes);
+        if (config_.reservation && !completion.is_new_flow &&
+            reserved_.find(completion.key) != nullptr) {
+            // The ack: a second packet of a provisionally-granted flow
+            // confirms the slot.
+            reserved_.erase(completion.key);
+            ++stats_.reservations_confirmed;
+            if (obs_ != nullptr) ++*obs_res_confirmed_;
+        }
     }
     ++stats_.completions;
     if (obs_ != nullptr) {
@@ -569,8 +898,14 @@ u64 FlowLut::idle_cycles_hint() const {
     // controllers stalled on a known future event. Then every step() until
     // the earliest controller event only advances clocks.
     if (!drained()) return 0;
-    if (!flow_state_.expiry_idle(stream_time_ns_)) return 0;
+    if (!flow_state_.expiry_idle(effective_expiry_time())) return 0;
     u64 hint = ~u64{0};
+    if (config_.reservation && !reservations_.empty()) {
+        // Don't skip past the next reclaim deadline.
+        const Cycle deadline = reservations_.front().deadline;
+        if (deadline <= now_) return 0;
+        hint = deadline - now_;
+    }
     for (const PathState& state : paths_) {
         // The next step() ticks memory cycles [now_*ratio, now_*ratio+ratio).
         const Cycle next_mem = now_ * config_.memory_clock_ratio;
@@ -598,6 +933,76 @@ bool FlowLut::drain(u64 max_cycles) {
     return drained();
 }
 
+u64 FlowLut::audit(bool final_pass, std::string* detail) const {
+    u64 violations = 0;
+    const auto fail = [&](std::string message) {
+        ++violations;
+        if (detail != nullptr) {
+            detail->append(message);
+            detail->push_back('\n');
+        }
+    };
+
+    // Occupancy conservation: every live entry entered through a counted
+    // insert and left through a counted removal.
+    if (table_.size() != stats_.table_inserts - stats_.table_removals) {
+        fail("occupancy " + std::to_string(table_.size()) + " != inserts " +
+             std::to_string(stats_.table_inserts) + " - removals " +
+             std::to_string(stats_.table_removals));
+    }
+    // Reservation ledger: every grant is confirmed, reclaimed, or still open.
+    if (config_.reservation &&
+        stats_.reservations_granted != stats_.reservations_confirmed +
+                                           stats_.reservations_reclaimed +
+                                           reserved_.size()) {
+        fail("reservation ledger: granted " + std::to_string(stats_.reservations_granted) +
+             " != confirmed " + std::to_string(stats_.reservations_confirmed) +
+             " + reclaimed " + std::to_string(stats_.reservations_reclaimed) +
+             " + open " + std::to_string(reserved_.size()));
+    }
+    if (!final_pass) return violations;
+
+    // Post-drain checks: every accepted descriptor completed, and nothing
+    // is parked or held forever (the PR 2 parked-bucket leak shows up here).
+    if (stats_.completions != stats_.offered) {
+        fail("completions " + std::to_string(stats_.completions) + " != offered " +
+             std::to_string(stats_.offered));
+    }
+    if (waiting_now_ != 0) {
+        fail("flow-gate waiting room not empty: " + std::to_string(waiting_now_));
+    }
+    for (u32 path = 0; path < 2; ++path) {
+        const PathState& state = paths_[path];
+        const std::string tag = std::string(" (path ") + (path == 0 ? "A)" : "B)");
+        if (state.filter.parked_now() != 0) {
+            fail("lookups parked forever: " + std::to_string(state.filter.parked_now()) + tag);
+        }
+        if (state.filter.pending_update_count() != 0) {
+            fail("pending filter updates leaked: " +
+                 std::to_string(state.filter.pending_update_count()) + tag);
+        }
+        if (state.updates.backlog() != 0) {
+            fail("update backlog not drained: " + std::to_string(state.updates.backlog()) + tag);
+        }
+        if (!state.write_queue.empty()) fail("write queue not drained" + tag);
+        if (!state.outstanding_reads.empty() || !state.outstanding_writes.empty()) {
+            fail("outstanding DDR requests after drain" + tag);
+        }
+        if (!state.delayed.empty()) fail("undelivered delayed responses" + tag);
+    }
+    // Ghost-record scan: every live flow record must point at a live table
+    // entry whose location-derived FID matches (an evicted-then-recreated
+    // record would betray a stale-hit bug).
+    for (const FlowRecord& record : flow_state_.snapshot()) {
+        const auto location = table_.locate(record.key.view());
+        if (!location || make_fid(*location) != record.fid) {
+            fail("ghost flow record: fid " + std::to_string(record.fid) +
+                 (location ? " points at a different entry" : " has no table entry"));
+        }
+    }
+    return violations;
+}
+
 Result<FlowId> FlowLut::preload(const net::NTuple& key) {
     const auto view = key.view();
     if (const SearchResult existing = table_.search(view); existing.hit()) {
@@ -613,12 +1018,17 @@ Result<FlowId> FlowLut::preload(const net::NTuple& key) {
         const FlowId fid = make_fid(location);
         const Status status = table_.insert_at(location, view, fid);
         if (!status.is_ok()) return status;
+        ++stats_.table_inserts;
+        if (config_.eviction == EvictionPolicy::kCamOldest) {
+            cam_order_.push_back(FlowKey(view));
+        }
         return fid;
     }
 
     const FlowId fid = make_fid(location);
     const Status status = table_.insert_at(location, view, fid);
     if (!status.is_ok()) return status;
+    ++stats_.table_inserts;
     const Path owner = location.where == TableIndex::Where::kMem1 ? Path::kA : Path::kB;
     const u64 bucket = location.slot / config_.ways;
     paths_[index_of(owner)].controller->device().write(

@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 
+#include "bloom/bloom.hpp"
 #include "common/flat_map.hpp"
 #include "common/ring_queue.hpp"
 #include "common/rng.hpp"
@@ -40,6 +41,7 @@
 #include "core/req_filter.hpp"
 #include "core/update_block.hpp"
 #include "dram/controller.hpp"
+#include "faults/faults.hpp"
 #include "obs/obs.hpp"
 #include "sim/fifo.hpp"
 #include "sim/stats.hpp"
@@ -58,9 +60,23 @@ struct FlowLutStats {
     u64 resolved_inflight = 0;  ///< LU2 miss resolved by re-search (race with
                                 ///< a concurrent insert of the same key).
     u64 new_flows = 0;
-    u64 drops = 0;          ///< table completely full.
+    u64 drops = 0;          ///< table completely full (and no eviction helped).
     u64 deletes_applied = 0;
     u64 path_dispatch[2] = {0, 0};  ///< LU1 sent to path A / B.
+
+    // Overload-resilience layer (all zero under the default config).
+    u64 admission_rejects = 0;    ///< new flows refused by admission policy.
+    u64 evictions_lru = 0;        ///< idle entries evicted to make room.
+    u64 evictions_cam = 0;        ///< oldest CAM entries evicted to make room.
+    u64 reservations_granted = 0;
+    u64 reservations_confirmed = 0;
+    u64 reservations_reclaimed = 0;
+    u64 spurious_responses = 0;   ///< unknown-id DDR responses ignored
+                                  ///< (duplicate-completion fault).
+    /// Occupancy conservation ledger for the invariant auditor:
+    /// table size must always equal inserts - removals.
+    u64 table_inserts = 0;
+    u64 table_removals = 0;
 
     [[nodiscard]] double load_fraction_a() const {
         const u64 total = path_dispatch[0] + path_dispatch[1];
@@ -100,11 +116,12 @@ class FlowLut final : public sim::Ticker {
     /// Offer with indices the caller computed from this LUT's own indexer
     /// (digest = path-0 digest) — behaviorally identical to offer(), but
     /// lets a buffering front-end hash once at admission and retry under
-    /// backpressure for free.
+    /// backpressure for free. `tag` is an opaque caller value copied onto
+    /// the eventual Completion (drop classification).
     [[nodiscard]] bool offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 digest,
-                                      u64 timestamp_ns, u32 frame_bytes) {
+                                      u64 timestamp_ns, u32 frame_bytes, u64 tag = 0) {
         return offer_prepared(key, index_a, index_b, digest, timestamp_ns, frame_bytes,
-                              /*hashed_indices=*/true);
+                              /*hashed_indices=*/true, tag);
     }
 
     [[nodiscard]] bool input_full() const { return input_.size() >= config_.input_depth; }
@@ -163,6 +180,20 @@ class FlowLut final : public sim::Ticker {
     /// (nullptr when detached) — the source of the lat_p* metrics.
     [[nodiscard]] const obs::Histogram* latency_histogram() const { return obs_latency_; }
 
+    /// Attach the fault injector: DDR enqueue vetoes, delayed/duplicated
+    /// completions and expiry clock skew all key off it. nullptr detaches
+    /// (every fault site returns to one predictable dead branch).
+    void set_faults(faults::FaultInjector* faults);
+
+    /// Invariant auditor (the robustness cross-check, in the spirit of
+    /// SchedulerMode::kCrossCheck): verifies conservation laws and returns
+    /// the number of violations (0 = healthy), appending one line per
+    /// violation to `detail` when given. Cheap O(1) checks always run;
+    /// `final_pass` adds the post-drain checks (completions == offered, no
+    /// parked-forever buckets, no leaked pending updates, no ghost flow
+    /// records) — call it after drain() only.
+    [[nodiscard]] u64 audit(bool final_pass, std::string* detail = nullptr) const;
+
     /// Throughput in Mdesc/s over the cycles elapsed so far (paper Table II
     /// metric) at the configured system clock.
     [[nodiscard]] double mdesc_per_second() const {
@@ -180,15 +211,27 @@ class FlowLut final : public sim::Ticker {
         common::FlatU64Map<LookupJob> outstanding_reads;
         common::FlatU64Map<u64> outstanding_writes;  ///< id -> address.
         u64 next_request_id = 1;
+        /// Responses held back by the delayed-completion fault (empty and
+        /// untouched when no injector is attached).
+        struct DelayedResponse {
+            dram::MemResponse response;
+            Cycle release_at = 0;  ///< system cycle.
+        };
+        std::deque<DelayedResponse> delayed;
 
         PathState(const FlowLutConfig& config, const std::string& name);
     };
 
     [[nodiscard]] bool offer_prepared(const FlowKey& key, u64 index_a, u64 index_b, u64 digest,
-                                      u64 timestamp_ns, u32 frame_bytes, bool hashed_indices);
+                                      u64 timestamp_ns, u32 frame_bytes, bool hashed_indices,
+                                      u64 tag = 0);
 
     // Pipeline phases, one call each per system cycle.
     void pump_responses(Path path);
+    /// Demux one DDR response (write retire / read -> Flow Match). Unknown
+    /// ids are counted and ignored (the duplicate-completion fault must not
+    /// crash the pipeline).
+    void deliver_response(Path path, dram::MemResponse&& response);
     void run_flow_match(Path path, Cycle now);
     void dispatch_inputs(Cycle now);
     void pump_updates(Path path, Cycle now);
@@ -211,6 +254,29 @@ class FlowLut final : public sim::Ticker {
     [[nodiscard]] u32 mem_of(Path path) const { return index_of(path); }
     /// Submit one update request; applies functional delete at issue time.
     void submit_update(Path path, UpdateRequest request, Cycle now);
+
+    // ---- Overload-resilience internals -----------------------------------
+    /// Expiry clock as housekeeping sees it (stream time + injected skew).
+    [[nodiscard]] u64 effective_expiry_time() const {
+        return faults_ == nullptr ? stream_time_ns_
+                                  : stream_time_ns_ + faults_->expiry_skew_ns();
+    }
+    /// True when the table load is at/above the admission-pressure knee.
+    [[nodiscard]] bool under_pressure() const {
+        return static_cast<double>(table_.size()) >=
+               config_.admission_pressure * static_cast<double>(config_.table_capacity());
+    }
+    /// Admission policy verdict for a genuinely-new flow (true = admit).
+    [[nodiscard]] bool admit_new_flow(const Descriptor& descriptor);
+    /// Try to free a slot for `descriptor` per the eviction policy; returns
+    /// the freed location (exact slot) or nullopt when nothing evictable.
+    [[nodiscard]] std::optional<TableIndex> try_evict_for(const Descriptor& descriptor);
+    /// Record a provisional (reservation) grant for a just-inserted flow.
+    void grant_reservation(const FlowKey& key, Cycle now);
+    /// Reclaim unconfirmed reservations whose deadline passed.
+    void reclaim_reservations(Cycle now);
+    /// Close one grant's ledger entry as reclaimed.
+    void finish_reclaim(const FlowKey& key);
 
     FlowLutConfig config_;
     HashCamTable table_;
@@ -262,8 +328,33 @@ class FlowLut final : public sim::Ticker {
     u64* obs_hwm_waiting_ = nullptr;
     u64* obs_hwm_table_ = nullptr;
     u64* obs_hwm_cam_ = nullptr;
+    u64* obs_admission_rejects_ = nullptr;
+    u64* obs_evictions_lru_ = nullptr;
+    u64* obs_evictions_cam_ = nullptr;
+    u64* obs_res_granted_ = nullptr;
+    u64* obs_res_confirmed_ = nullptr;
+    u64* obs_res_reclaimed_ = nullptr;
     u64 obs_scrap_cell_ = 0;
     obs::Histogram obs_scrap_hist_;  ///< fallback on registration collision.
+
+    // ---- Overload-resilience state (all empty under the default config) --
+    /// Fault injector (nullable; owned by the workload runner).
+    faults::FaultInjector* faults_ = nullptr;
+    /// Bloom front-end for probabilistic admission (constructed only when
+    /// the policy is selected — the default path pays nothing).
+    std::unique_ptr<bloom::BloomFilter> admission_bloom_;
+    /// Keys holding a provisional (unconfirmed) slot -> current deadline.
+    FlowKeyMap<Cycle> reserved_;
+    /// Grant deadlines, FIFO by grant time (confirmed entries are skipped
+    /// lazily — reserved_ is authoritative).
+    struct Reservation {
+        FlowKey key;
+        Cycle deadline = 0;
+    };
+    std::deque<Reservation> reservations_;
+    /// CAM insertion order for EvictionPolicy::kCamOldest (stale entries —
+    /// already erased or moved — are skipped lazily).
+    std::deque<FlowKey> cam_order_;
     FlowLutStats stats_;
     Cycle now_ = 0;
     u64 next_seq_ = 0;

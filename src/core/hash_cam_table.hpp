@@ -98,6 +98,11 @@ class HashCamTable final : public table::LookupTable {
         std::span<const u8> bucket_bytes, u32 ways, u32 entry_bytes, std::span<const u8> key);
 
     // --- Introspection -----------------------------------------------------
+    /// The stored entry at a memory-set slot (eviction policies read victim
+    /// keys through this; check `valid` before use).
+    [[nodiscard]] const table::Entry& mem_entry(u32 mem, u64 slot) const {
+        return entry_at(mem, slot);
+    }
     [[nodiscard]] const hash::IndexGenerator& indexer() const { return indexer_; }
     [[nodiscard]] const cam::Cam& collision_cam() const { return cam_; }
     [[nodiscard]] u64 cam_entries() const { return cam_.size(); }

@@ -60,6 +60,16 @@ class ReqFilter {
         AddrState& state = state_[addr];
         if (!live(state)) ++tracked_;
         ++state.pending_updates;
+        ++pending_updates_now_;
+    }
+
+    /// An update was revoked before its DDR write was issued (reservation
+    /// reclaim cancelled a still-queued insert). Identical release semantics
+    /// to update_retired — the pending count must drop exactly once and any
+    /// parked lookups must come free — only the name documents that no DDR
+    /// write ever happened.
+    [[nodiscard]] std::vector<Job> update_cancelled(u64 addr) {
+        return update_retired(addr);
     }
 
     /// The update write completed in DDR. Returns lookups now released, in
@@ -68,7 +78,10 @@ class ReqFilter {
         AddrState* state = state_.find(addr);
         if (state == nullptr) return {};
         const bool was_live = live(*state);
-        if (state->pending_updates > 0) --state->pending_updates;
+        if (state->pending_updates > 0) {
+            --state->pending_updates;
+            --pending_updates_now_;
+        }
         std::vector<Job> released;
         if (state->pending_updates == 0 && state->parked_count != 0) {
             released.reserve(state->parked_count);
@@ -115,6 +128,10 @@ class ReqFilter {
     /// Currently parked jobs — O(1), it gates the engine's idle detection
     /// every cycle.
     [[nodiscard]] std::size_t parked_now() const { return parked_now_; }
+    /// Total pending updates across all addresses — O(1); the invariant
+    /// auditor checks this drains to zero (a leak here is the PR 2
+    /// parked-forever-bucket bug class).
+    [[nodiscard]] u64 pending_update_count() const { return pending_updates_now_; }
 
   private:
     static constexpr u32 kNone = ~u32{0};
@@ -170,6 +187,7 @@ class ReqFilter {
     u64 parked_total_ = 0;
     std::size_t parked_now_ = 0;
     std::size_t tracked_ = 0;
+    u64 pending_updates_now_ = 0;
 };
 
 }  // namespace flowcam::core

@@ -34,14 +34,30 @@ std::vector<UpdateRequest> UpdateBlock::release(Cycle now) {
     batch.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
         UpdateRequest request = queue_.pop_front();
-        auto& pending =
-            request.kind == UpdateKind::kInsert ? pending_inserts_ : pending_deletes_;
-        pending.erase(request.key);
+        if (request.kind == UpdateKind::kInsert) {
+            if (u32* cancels = cancelled_.find(request.key); cancels != nullptr) {
+                // cancel_insert() already removed the pending_inserts_ entry.
+                request.cancelled = true;
+                if (--*cancels == 0) cancelled_.erase(request.key);
+            } else {
+                pending_inserts_.erase(request.key);
+            }
+        } else {
+            pending_deletes_.erase(request.key);
+        }
         batch.push_back(std::move(request));
     }
     ++stats_.bursts_released;
     stats_.requests_released += batch.size();
     return batch;
+}
+
+bool UpdateBlock::cancel_insert(const FlowKey& key) {
+    if (pending_inserts_.find(key) == nullptr) return false;
+    pending_inserts_.erase(key);
+    ++cancelled_[key];
+    ++stats_.inserts_cancelled;
+    return true;
 }
 
 }  // namespace flowcam::core

@@ -26,6 +26,7 @@ struct UpdateBlockStats {
     u64 inserts_accepted = 0;
     u64 deletes_accepted = 0;
     u64 duplicates_merged = 0;
+    u64 inserts_cancelled = 0;
     u64 bursts_released = 0;
     u64 requests_released = 0;
     u64 releases_on_timeout = 0;
@@ -62,6 +63,15 @@ class UpdateBlock {
         return delete_pending(FlowKey(key));
     }
 
+    /// Revoke a still-queued insert (reservation reclaim, the "nack" arm of
+    /// the grant protocol). Returns true if the insert was queued and is now
+    /// marked cancelled: the request still flows through release() (tagged
+    /// `cancelled`) so the caller can drop its Req Filter pending-update
+    /// hold exactly once — erasing it from the queue here would leak that
+    /// hold, the PR 2 bug class. Returns false if the insert already left
+    /// the queue (the write may be in flight or done).
+    [[nodiscard]] bool cancel_insert(const FlowKey& key);
+
     [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
     [[nodiscard]] const UpdateBlockStats& stats() const { return stats_; }
 
@@ -74,6 +84,10 @@ class UpdateBlock {
     /// duplicate filter, now alloc-free per request.
     FlowKeyMap<u8> pending_inserts_;
     FlowKeyMap<u8> pending_deletes_;
+    /// Inserts revoked while queued, by key (a count: a key can in theory be
+    /// cancelled, re-inserted and cancelled again before a release). Marked
+    /// onto the matching request(s) as they leave the queue.
+    FlowKeyMap<u32> cancelled_;
     UpdateBlockStats stats_;
 };
 

@@ -132,6 +132,10 @@ bool DramController::enqueue(MemRequest request) {
     const u32 q = is_write ? 1 : 0;
     const std::size_t depth =
         is_write ? config_.write_queue_depth : config_.read_queue_depth;
+    if (enqueue_veto_ && enqueue_veto_(request)) {
+        if (is_write) recycle_buffer(std::move(request.write_data));
+        return false;
+    }
     if (queues_[q].size >= depth) {
         // Caller retries next cycle with a fresh payload; keep the buffer.
         if (is_write) recycle_buffer(std::move(request.write_data));

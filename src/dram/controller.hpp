@@ -119,6 +119,14 @@ class DramController final : public sim::Ticker {
     /// (caller must retry — hardware "ready" deasserted).
     [[nodiscard]] bool enqueue(MemRequest request);
 
+    /// Fault-injection hook: when set, every enqueue first consults the veto;
+    /// a vetoed request is rejected exactly as if the queue were full (the
+    /// caller sees "ready" deasserted and retries). Simulates queue-full
+    /// bursts the workload alone can't reach.
+    void set_enqueue_veto(std::function<bool(const MemRequest&)> veto) {
+        enqueue_veto_ = std::move(veto);
+    }
+
     /// Pop one completion if available.
     [[nodiscard]] std::optional<MemResponse> pop_response();
 
@@ -323,6 +331,7 @@ class DramController final : public sim::Ticker {
     u64 active_mask_ = 0;
 
     std::vector<TracedCommand>* trace_ = nullptr;
+    std::function<bool(const MemRequest&)> enqueue_veto_;
 
     /// Flight recorder (nullable; every event site is one predictable branch
     /// when detached). The scrap cell/histogram back the pointers when a

@@ -1,0 +1,155 @@
+// Fault-injection harness: seeded, deterministic fault schedules that drive
+// the Flow LUT's retry / backpressure / expiry machinery through states
+// normal runs never reach. Four injectable fault families, all patchable
+// through `fault.*` ConfigPatch keys:
+//
+//  * DDR queue-full bursts — the controller's enqueue is vetoed for a run of
+//    requests, exercising the issue-retry paths (including the PR 2
+//    delete-retry exactly-once guard);
+//  * delayed completions — a DDR response is held for N memory cycles before
+//    delivery (ordering is preserved per path), stretching the in-flight
+//    windows the Req Filter protects;
+//  * duplicated completions — a response is delivered twice; the second is a
+//    spurious unknown-id response the LUT must ignore, not crash on;
+//  * packet-buffer backpressure storms — feed_record force-rejects a run of
+//    packets, exercising the source hold/retry loop;
+//  * clock-skewed expiry — the housekeeping expiry clock runs ahead of the
+//    stream clock by a fixed skew, forcing early expiries that race live
+//    lookups.
+//
+// The injector is owned by the workload runner and threaded down to the
+// analyzer / LUT / DDR controllers. Like the obs layer, components hold a
+// nullable pointer: faults off = one branch per site.
+//
+// Alongside injection sits the invariant auditor (FlowLut::audit): a
+// cross-check mode in the spirit of PR 5's SchedulerMode::kCrossCheck that
+// asserts conservation laws (completions == packets, occupancy ==
+// inserts - removals, reservation grants == confirms + reclaims + open, no
+// parked-forever buckets) both periodically and after drain.
+#pragma once
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace flowcam::faults {
+
+/// Fault-injection knobs. Default-constructed = fully off; `audit` alone
+/// turns on the invariant auditor without injecting anything.
+struct FaultConfig {
+    u64 seed = 0xfa17;  ///< injector PRNG seed (independent of workload seeds).
+
+    /// Per-enqueue probability that a DDR queue-full burst starts; once
+    /// started, the next `ddr_reject_len` enqueues on that channel are
+    /// force-rejected.
+    double ddr_reject_p = 0.0;
+    u32 ddr_reject_len = 8;
+
+    /// Per-response probability that a DDR completion is held for
+    /// `resp_delay_cycles` memory cycles before the LUT sees it.
+    double resp_delay_p = 0.0;
+    u32 resp_delay_cycles = 32;
+
+    /// Per-response probability that a completion is delivered twice (the
+    /// duplicate arrives as a spurious unknown-id response).
+    double resp_dup_p = 0.0;
+
+    /// Per-packet probability that a packet-buffer backpressure storm
+    /// starts; once started, the next `buffer_storm_len` feed_record calls
+    /// are force-rejected (the source holds and re-offers).
+    double buffer_storm_p = 0.0;
+    u32 buffer_storm_len = 16;
+
+    /// Fixed skew added to the expiry clock only: housekeeping sees
+    /// stream_time + skew, so flows expire early and deletes race lookups.
+    u64 expiry_skew_ns = 0;
+
+    /// Run the invariant auditor (periodic + final conservation checks).
+    bool audit = false;
+
+    [[nodiscard]] bool any() const {
+        return ddr_reject_p > 0.0 || resp_delay_p > 0.0 || resp_dup_p > 0.0 ||
+               buffer_storm_p > 0.0 || expiry_skew_ns != 0;
+    }
+    [[nodiscard]] bool enabled() const { return any() || audit; }
+};
+
+/// How often each fault family actually fired (harvested into metrics so CI
+/// can assert every configured fault fired at least once).
+struct FaultStats {
+    u64 ddr_rejects = 0;
+    u64 resp_delays = 0;
+    u64 resp_dups = 0;
+    u64 storm_rejects = 0;
+
+    [[nodiscard]] u64 total() const {
+        return ddr_rejects + resp_delays + resp_dups + storm_rejects;
+    }
+};
+
+/// One PRNG, one stats block, per-site burst counters. Draw order is
+/// deterministic because the simulator is single-threaded; a given
+/// (config, workload) pair replays byte-identically.
+class FaultInjector {
+  public:
+    static constexpr u32 kMaxDdrSites = 4;  ///< 2 paths suffice today.
+
+    explicit FaultInjector(const FaultConfig& config)
+        : config_(config), rng_(config.seed) {}
+
+    /// DDR enqueue veto for channel `site`. True = force-reject this request.
+    [[nodiscard]] bool veto_ddr_enqueue(u32 site) {
+        auto& burst_left = reject_burst_left_.at(site % kMaxDdrSites);
+        if (burst_left == 0) {
+            if (config_.ddr_reject_p <= 0.0 || !rng_.chance(config_.ddr_reject_p)) {
+                return false;
+            }
+            burst_left = config_.ddr_reject_len == 0 ? 1 : config_.ddr_reject_len;
+        }
+        --burst_left;
+        ++stats_.ddr_rejects;
+        return true;
+    }
+
+    /// Hold cycles for a DDR response about to be delivered (0 = deliver now).
+    [[nodiscard]] u32 response_delay() {
+        if (config_.resp_delay_p <= 0.0 || !rng_.chance(config_.resp_delay_p)) return 0;
+        ++stats_.resp_delays;
+        return config_.resp_delay_cycles == 0 ? 1 : config_.resp_delay_cycles;
+    }
+
+    /// True = deliver this response a second time (as a spurious duplicate).
+    [[nodiscard]] bool duplicate_response() {
+        if (config_.resp_dup_p <= 0.0 || !rng_.chance(config_.resp_dup_p)) return false;
+        ++stats_.resp_dups;
+        return true;
+    }
+
+    /// Packet-buffer storm veto. True = force-reject this feed_record call.
+    [[nodiscard]] bool veto_feed() {
+        if (storm_left_ == 0) {
+            if (config_.buffer_storm_p <= 0.0 || !rng_.chance(config_.buffer_storm_p)) {
+                return false;
+            }
+            storm_left_ = config_.buffer_storm_len == 0 ? 1 : config_.buffer_storm_len;
+        }
+        --storm_left_;
+        ++stats_.storm_rejects;
+        return true;
+    }
+
+    [[nodiscard]] u64 expiry_skew_ns() const { return config_.expiry_skew_ns; }
+
+    [[nodiscard]] const FaultConfig& config() const { return config_; }
+    [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  private:
+    FaultConfig config_;
+    Xoshiro256 rng_;
+    FaultStats stats_;
+    std::array<u32, kMaxDdrSites> reject_burst_left_{};
+    u32 storm_left_ = 0;
+};
+
+}  // namespace flowcam::faults

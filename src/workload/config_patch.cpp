@@ -247,6 +247,59 @@ ConfigPatch::ConfigPatch() {
                    [lut](ConfigTree& t) -> u32& { return lut(t).housekeeping_scan_per_cycle; },
                    0, 0xFFFFFFFF));
 
+    // --- lut.* : overload resilience (admission / eviction / reservation) --
+    add(enum_field("lut.admission", "new-flow admission policy under pressure",
+                   {"always", "probabilistic", "reject-full"},
+                   [lut](ConfigTree& t) -> core::AdmissionPolicy& { return lut(t).admission; }));
+    add(fraction_field("lut.admission_pressure",
+                       "occupancy fraction above which admission policies engage",
+                       [lut](ConfigTree& t) -> double& { return lut(t).admission_pressure; }));
+    add(fraction_field("lut.admission_p",
+                       "probabilistic: admit chance for a never-before-seen flow",
+                       [lut](ConfigTree& t) -> double& { return lut(t).admission_p; }));
+    add(enum_field("lut.eviction", "victim policy when placement fails",
+                   {"none", "lru", "cam-oldest"},
+                   [lut](ConfigTree& t) -> core::EvictionPolicy& { return lut(t).eviction; }));
+    add(bool_field("lut.reservation",
+                   "grant new flows provisional slots under pressure; a second packet "
+                   "confirms, the deadline reclaims",
+                   [lut](ConfigTree& t) -> bool& { return lut(t).reservation; }));
+    add(uint_field("lut.reservation_deadline",
+                   "cycles a provisional slot survives without a confirming packet",
+                   [lut](ConfigTree& t) -> Cycle& { return lut(t).reservation_deadline; }, 1));
+
+    // --- fault.* : deterministic fault injection ---------------------------
+    const auto fault = [](ConfigTree& t) -> faults::FaultConfig& { return t.runner.fault; };
+    add(uint_field("fault.seed", "seed of the (single) fault-injection RNG stream",
+                   [fault](ConfigTree& t) -> u64& { return fault(t).seed; }));
+    add(fraction_field("fault.ddr_reject_p",
+                       "chance per DDR enqueue of starting a queue-full burst",
+                       [fault](ConfigTree& t) -> double& { return fault(t).ddr_reject_p; }));
+    add(uint_field("fault.ddr_reject_len", "enqueue rejections per DDR queue-full burst",
+                   [fault](ConfigTree& t) -> u32& { return fault(t).ddr_reject_len; }, 1,
+                   0xFFFFFFFF));
+    add(fraction_field("fault.resp_delay_p", "chance per DDR response of a delivery delay",
+                       [fault](ConfigTree& t) -> double& { return fault(t).resp_delay_p; }));
+    add(uint_field("fault.resp_delay_cycles", "system cycles a delayed response is held",
+                   [fault](ConfigTree& t) -> u32& { return fault(t).resp_delay_cycles; }, 1,
+                   0xFFFFFFFF));
+    add(fraction_field("fault.resp_dup_p",
+                       "chance per DDR response of a duplicated delivery (exercises the "
+                       "unknown-id guard)",
+                       [fault](ConfigTree& t) -> double& { return fault(t).resp_dup_p; }));
+    add(fraction_field("fault.buffer_storm_p",
+                       "chance per feed of starting a packet-buffer backpressure storm",
+                       [fault](ConfigTree& t) -> double& { return fault(t).buffer_storm_p; }));
+    add(uint_field("fault.buffer_storm_len", "rejected feeds per backpressure storm",
+                   [fault](ConfigTree& t) -> u32& { return fault(t).buffer_storm_len; }, 1,
+                   0xFFFFFFFF));
+    add(uint_field("fault.expiry_skew_ns",
+                   "stream-ns added to the expiry clock only (clock-skewed expiry)",
+                   [fault](ConfigTree& t) -> u64& { return fault(t).expiry_skew_ns; }));
+    add(bool_field("fault.audit",
+                   "run the invariant auditor during and after the run (audit_violations)",
+                   [fault](ConfigTree& t) -> bool& { return fault(t).audit; }));
+
     // --- analyzer.* : event engine + packet buffer -------------------------
     add(uint_field("analyzer.heavy_hitter_bytes", "heavy-hitter event byte threshold",
                    [](ConfigTree& t) -> u64& { return t.runner.analyzer.heavy_hitter_bytes; },

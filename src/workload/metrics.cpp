@@ -52,11 +52,24 @@ const std::vector<MetricField>& metric_schema() {
                   /*grid=*/true),
         u64_field("new_flows", "flows", "inserts (first packet of a flow)", &M::new_flows,
                   /*grid=*/true),
-        u64_field("drops", "pkts", "table completely full (retired with invalid FID)",
+        // Three distinct fates for a packet under pressure — do not conflate:
+        //   drops             lost for good: no table slot was available (or
+        //                     admission said no); the packet still retires,
+        //                     but with an invalid FID and no flow record.
+        //   buffer_retries    not lost at all: the packet buffer was full (or
+        //                     a fault storm vetoed the feed), the source held
+        //                     the frame and re-offered it next cycle.
+        //   admission_rejects the policy's share of drops: new flows turned
+        //                     away on purpose to protect existing flows
+        //                     (always a subset of drops).
+        u64_field("drops", "pkts",
+                  "packets retired with an invalid FID because no table slot was available "
+                  "or admission rejected the new flow — the only fate that loses data",
                   &M::drops, /*grid=*/true),
         u64_field("buffer_retries", "pkts",
-                  "rejected feed_record calls while the packet buffer was full; the source "
-                  "holds the frame and re-offers it, so unlike drops nothing is lost",
+                  "rejected feed_record calls while the packet buffer was full (or a fault "
+                  "storm vetoed the feed); the source holds the frame and re-offers it, so "
+                  "unlike drops nothing is lost",
                   &M::buffer_retries),
         u64_field("flows_expired", "flows", "records evicted by the idle-timeout scan",
                   &M::flows_expired, /*grid=*/true),
@@ -89,6 +102,34 @@ const std::vector<MetricField>& metric_schema() {
                   &M::sustained_gbps, /*grid=*/true, /*decimals=*/1),
         dbl_field("offered_gbps", "Gb/s", "offered bytes over the trace span (scaled time)",
                   &M::offered_gbps, /*grid=*/false, /*decimals=*/1),
+        // Overload resilience (appended so pre-existing column order is
+        // stable; all zero under the default policies).
+        u64_field("admission_rejects", "flows",
+                  "new flows deliberately turned away by the admission policy under "
+                  "pressure (a subset of drops; see the drops/buffer_retries contrast)",
+                  &M::admission_rejects),
+        u64_field("evictions_lru", "flows", "idle victims evicted from Mem1/Mem2 by lut.eviction=lru",
+                  &M::evictions_lru),
+        u64_field("evictions_cam", "flows",
+                  "oldest CAM entries evicted by lut.eviction=cam-oldest", &M::evictions_cam),
+        u64_field("reservations_granted", "flows",
+                  "provisional slots granted to new flows under pressure", &M::reservations_granted),
+        u64_field("reservations_confirmed", "flows",
+                  "reservations confirmed by a second packet before the deadline",
+                  &M::reservations_confirmed),
+        u64_field("reservations_reclaimed", "flows",
+                  "reservations whose deadline passed; the slot was taken back",
+                  &M::reservations_reclaimed),
+        u64_field("drops_real", "pkts", "drops that hit background (non-overlay) traffic",
+                  &M::drops_real),
+        u64_field("drops_overlay", "pkts", "drops that hit attack-overlay traffic",
+                  &M::drops_overlay),
+        // Fault injection (zero when fault.* is off).
+        u64_field("faults_injected", "faults",
+                  "total injected faults fired across all sites", &M::faults_injected),
+        u64_field("audit_violations", "violations",
+                  "invariant-auditor failures under fault.audit=1 (0 = green)",
+                  &M::audit_violations),
     };
     return schema;
 }

@@ -190,6 +190,33 @@ class SamplerTicker final : public sim::Ticker {
     Cycle next_due_ = 0;
 };
 
+/// Runs the Flow LUT's invariant auditor periodically while faults are
+/// firing (fault.audit=1) — the cross-check mode of the robustness story:
+/// conservation invariants must hold *during* the storm, not only after it.
+/// Cheap O(1) checks only (final_pass=false); never pins the fast-forward.
+class AuditorTicker final : public sim::Ticker {
+  public:
+    AuditorTicker(core::FlowLut& lut, u64 interval = 1024)
+        : lut_(lut), interval_(interval == 0 ? 1 : interval) {}
+
+    void tick(Cycle now) override {
+        if (now < next_due_) return;
+        violations_ += lut_.audit(/*final_pass=*/false);
+        next_due_ = now + interval_;
+    }
+
+    [[nodiscard]] std::string name() const override { return "fault-auditor"; }
+    [[nodiscard]] u64 idle_cycles_hint() const override { return ~u64{0}; }
+
+    [[nodiscard]] u64 violations() const { return violations_; }
+
+  private:
+    core::FlowLut& lut_;
+    u64 interval_;
+    Cycle next_due_ = 0;
+    u64 violations_ = 0;
+};
+
 /// Best-effort artifact write; observability output must never fail a run.
 void write_file(const std::string& path, const std::string& contents) {
     if (path.empty()) return;
@@ -237,6 +264,14 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
         analyzer.set_recorder(recorder.get());
     }
 
+    // Fault injector: like the recorder, only constructed when asked for,
+    // so the default path carries a single null-check per site.
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (config_.fault.enabled()) {
+        injector = std::make_unique<faults::FaultInjector>(config_.fault);
+        analyzer.set_faults(injector.get());
+    }
+
     ScenarioMetrics metrics;
     metrics.scenario = scenario.name();
 
@@ -252,6 +287,11 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
     if (recorder != nullptr && config_.obs.sample_interval > 0) {
         sampler.emplace(*recorder, config_.obs.sample_interval);
         engine.add(*sampler);
+    }
+    std::optional<AuditorTicker> auditor;
+    if (injector != nullptr && config_.fault.audit) {
+        auditor.emplace(analyzer.lut());
+        engine.add(*auditor);
     }
 
     metrics.drained = engine.run_until(
@@ -276,6 +316,29 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
     // a retrying source these are backpressure stalls, not lost packets.
     metrics.buffer_retries = analyzer.stats().dropped_buffer_full;
     metrics.flows_expired = analyzer.lut().flow_state().expired_total();
+    metrics.admission_rejects = lut.admission_rejects;
+    metrics.evictions_lru = lut.evictions_lru;
+    metrics.evictions_cam = lut.evictions_cam;
+    metrics.reservations_granted = lut.reservations_granted;
+    metrics.reservations_confirmed = lut.reservations_confirmed;
+    metrics.reservations_reclaimed = lut.reservations_reclaimed;
+    metrics.drops_real = analyzer.stats().drops_real;
+    metrics.drops_overlay = analyzer.stats().drops_overlay;
+    if (injector != nullptr) {
+        metrics.faults_injected = injector->stats().total();
+        if (config_.fault.audit) {
+            // Mid-run conservation sweeps plus the full post-drain pass
+            // (queue emptiness, parked-bucket leaks, ghost records). A run
+            // that cannot drain inside its cycle budget is itself a failed
+            // invariant in audit mode — a parked-forever bucket presents
+            // exactly as a wedged drain, and the full pass only makes sense
+            // on a quiescent pipeline.
+            metrics.audit_violations =
+                (auditor ? auditor->violations() : 0) +
+                analyzer.lut().audit(/*final_pass=*/metrics.drained) +
+                (metrics.drained ? 0 : 1);
+        }
+    }
     for (const auto& event : analyzer.events()) {
         switch (event.kind) {
             case analyzer::EventKind::kPortScan: ++metrics.events_port_scan; break;

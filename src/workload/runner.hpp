@@ -10,6 +10,7 @@
 
 #include "analyzer/analyzer.hpp"
 #include "common/result.hpp"
+#include "faults/faults.hpp"
 #include "obs/obs.hpp"
 #include "workload/registry.hpp"
 #include "workload/scenario.hpp"
@@ -35,6 +36,10 @@ struct RunnerConfig {
     /// when both trace and sampling are off no Recorder is created and the
     /// hot path stays allocation-free.
     obs::ObsConfig obs;
+    /// Fault-injection knobs (fault.* ConfigPatch keys). All off by default;
+    /// when off no injector is constructed and the run is byte-identical to
+    /// a build without the harness.
+    faults::FaultConfig fault;
 
     RunnerConfig() {
         // Simulation-friendly default geometry (the prototype's 8 M-entry
@@ -66,6 +71,21 @@ struct ScenarioMetrics {
     u64 buffer_retries = 0;  ///< packet-buffer backpressure retries (the
                              ///< source holds the frame, nothing is lost).
     u64 flows_expired = 0;   ///< records evicted by the idle-timeout scan.
+
+    // Overload-resilience outcome (all zero under the default
+    // always-admit / no-eviction / no-reservation policies).
+    u64 admission_rejects = 0;       ///< new flows turned away at admission.
+    u64 evictions_lru = 0;           ///< idle victims evicted from Mem1/Mem2.
+    u64 evictions_cam = 0;           ///< oldest entries evicted from the CAM.
+    u64 reservations_granted = 0;    ///< provisional slots handed out.
+    u64 reservations_confirmed = 0;  ///< confirmed by a second packet.
+    u64 reservations_reclaimed = 0;  ///< deadline passed; slot taken back.
+    u64 drops_real = 0;              ///< dropped packets of background flows.
+    u64 drops_overlay = 0;           ///< dropped packets of attack overlay.
+
+    // Fault-injection outcome (zero when fault.* is off).
+    u64 faults_injected = 0;    ///< total faults fired across all sites.
+    u64 audit_violations = 0;   ///< invariant auditor failures (0 = green).
 
     // Descriptor end-to-end latency (offer -> completion, sim-ns), from the
     // flight recorder's log-bucketed histogram. All zero when obs is off —

@@ -1,0 +1,175 @@
+// Fault-injection soak: every fault family crossed with every
+// admission x eviction policy pair, reservation on, invariant auditor armed.
+// The contract under any injected storm: the run drains, every offered
+// packet completes, and the auditor's conservation laws hold. Plus the
+// prove-it test — a deliberately reintroduced PR 2-class bug (delete retry
+// double-applying its Req Filter bookkeeping) must be CAUGHT by the same
+// auditor that stays green on the correct code.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workload/metrics.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+/// Small geometry + syn_flood = genuine overload in a few thousand packets.
+RunnerConfig overload_runner() {
+    RunnerConfig config;
+    config.packets = 1'500;
+    config.max_cycles = 5'000'000;
+    config.analyzer.lut.buckets_per_mem = 256;
+    config.analyzer.lut.cam_capacity = 128;
+    return config;
+}
+
+ScenarioMetrics run_syn_flood(const RunnerConfig& config, double attack = 0.6) {
+    ScenarioRunner runner(config);
+    ScenarioConfig scenario;
+    scenario.attack_fraction = attack;
+    scenario.onset_packets = 200;
+    auto result = runner.run("syn_flood", scenario);
+    EXPECT_TRUE(result) << result.status().to_string();
+    return result ? std::move(result.value()) : ScenarioMetrics{};
+}
+
+struct FaultArm {
+    const char* name;
+    faults::FaultConfig config;
+};
+
+/// One arm per fault family, each aggressive enough to fire many times in a
+/// 1.5k-packet run. All share fault.audit = 1.
+std::vector<FaultArm> fault_arms() {
+    std::vector<FaultArm> arms;
+    {
+        faults::FaultConfig f;
+        f.ddr_reject_p = 0.05;
+        f.ddr_reject_len = 4;
+        arms.push_back({"ddr_reject", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.resp_delay_p = 0.05;
+        f.resp_delay_cycles = 48;
+        arms.push_back({"resp_delay", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.resp_dup_p = 0.03;
+        arms.push_back({"resp_dup", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.buffer_storm_p = 0.01;
+        f.buffer_storm_len = 8;
+        arms.push_back({"buffer_storm", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.expiry_skew_ns = 1'000'000;  // >> the shortened flow timeout below.
+        arms.push_back({"expiry_skew", f});
+    }
+    for (FaultArm& arm : arms) arm.config.audit = true;
+    return arms;
+}
+
+TEST(FaultHarnessTest, EveryFaultTimesEveryPolicyPairStaysGreen) {
+    const std::vector<core::AdmissionPolicy> admissions = {
+        core::AdmissionPolicy::kAlways, core::AdmissionPolicy::kProbabilistic,
+        core::AdmissionPolicy::kRejectFull};
+    const std::vector<core::EvictionPolicy> evictions = {
+        core::EvictionPolicy::kNone, core::EvictionPolicy::kLru,
+        core::EvictionPolicy::kCamOldest};
+
+    for (const FaultArm& arm : fault_arms()) {
+        for (const auto admission : admissions) {
+            for (const auto eviction : evictions) {
+                RunnerConfig config = overload_runner();
+                config.fault = arm.config;
+                config.analyzer.lut.admission = admission;
+                config.analyzer.lut.eviction = eviction;
+                config.analyzer.lut.reservation = true;
+                if (arm.config.expiry_skew_ns != 0) {
+                    // Make the skew bite: idle + skew crosses this timeout,
+                    // so skewed expiry races live traffic all run long.
+                    config.analyzer.lut.flow_timeout_ns = 200'000;
+                }
+                const ScenarioMetrics metrics = run_syn_flood(config);
+                const std::string cell =
+                    std::string(arm.name) + " x " + to_string(admission) + "/" +
+                    to_string(eviction);
+                EXPECT_TRUE(metrics.drained) << cell;
+                EXPECT_EQ(metrics.completions, metrics.packets) << cell;
+                EXPECT_EQ(metrics.audit_violations, 0u) << cell;
+                // The configured fault actually fired (skew has no RNG draw
+                // counter — its signature is forced expiries instead).
+                if (arm.config.expiry_skew_ns != 0) {
+                    EXPECT_GT(metrics.flows_expired, 0u) << cell;
+                } else {
+                    EXPECT_GT(metrics.faults_injected, 0u) << cell;
+                }
+            }
+        }
+    }
+}
+
+TEST(FaultHarnessTest, FixedSeedFaultScheduleIsByteIdentical) {
+    // Same seed, every fault family at once, the most entangled policy mix:
+    // two full runs must render byte-identical metric rows.
+    RunnerConfig config = overload_runner();
+    config.fault.audit = true;
+    config.fault.seed = 0xd15ea5e;
+    config.fault.ddr_reject_p = 0.04;
+    config.fault.resp_delay_p = 0.04;
+    config.fault.resp_dup_p = 0.02;
+    config.fault.buffer_storm_p = 0.01;
+    config.fault.expiry_skew_ns = 1'000'000;
+    config.analyzer.lut.flow_timeout_ns = 200'000;
+    config.analyzer.lut.admission = core::AdmissionPolicy::kProbabilistic;
+    config.analyzer.lut.eviction = core::EvictionPolicy::kLru;
+    config.analyzer.lut.reservation = true;
+
+    const ScenarioMetrics first = run_syn_flood(config);
+    const ScenarioMetrics second = run_syn_flood(config);
+    EXPECT_EQ(first.audit_violations, 0u);
+    EXPECT_GT(first.faults_injected, 0u);
+    EXPECT_EQ(metrics_csv_row(first), metrics_csv_row(second))
+        << "fault schedule not deterministic under a fixed seed";
+}
+
+TEST(FaultHarnessTest, AuditorCatchesAReintroducedDeleteRetryBug) {
+    // The PR 2 bug class, deliberately reintroduced behind a debug flag: a
+    // delete whose DDR write is rejected re-applies its Req Filter
+    // bookkeeping on retry, leaking the bucket's pending-update count. DDR
+    // queue-full fault bursts manufacture exactly the rejections that
+    // trigger it. The control arm (same faults, bug off) must stay green —
+    // that asymmetry is the evidence the harness detects this bug class.
+    RunnerConfig config = overload_runner();
+    config.max_cycles = 2'000'000;  // a wedged drain must not stall the test.
+    config.fault.audit = true;
+    config.fault.ddr_reject_p = 0.2;
+    config.fault.ddr_reject_len = 6;
+    config.analyzer.lut.flow_timeout_ns = 2'000;  // expire fast: many deletes
+                                                  // (the 1.5k-packet stream
+                                                  // spans only ~25us).
+    config.analyzer.lut.controller.write_queue_depth = 2;
+
+    RunnerConfig buggy = config;
+    buggy.analyzer.lut.debug_double_apply_delete = true;
+
+    const ScenarioMetrics green = run_syn_flood(config);
+    EXPECT_TRUE(green.drained);
+    EXPECT_EQ(green.audit_violations, 0u) << "control arm must be green";
+    EXPECT_GT(green.faults_injected, 0u);
+
+    const ScenarioMetrics caught = run_syn_flood(buggy);
+    EXPECT_GT(caught.audit_violations, 0u)
+        << "auditor failed to catch the reintroduced delete-retry leak";
+}
+
+}  // namespace
+}  // namespace flowcam::workload

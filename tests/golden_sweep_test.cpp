@@ -1,0 +1,131 @@
+// Default-config regression gate: the column-for-column CSV of the
+// 8-scenario sweep (the six builtin scenarios plus the two composed specs
+// bench_scenarios runs) under the default ConfigTree must stay
+// byte-identical to the golden fixture captured from the pre-policy-zoo
+// seed. The overload policies, reservation path and fault harness are all
+// opt-in; this test is what enforces "opt-in" — any default-path behavior
+// change (an extra RNG draw, a reordered queue, a changed counter) shows up
+// here as a diff.
+//
+// New metric columns may be appended to the schema (the comparison is by
+// column NAME over the golden header, not by position), but every column
+// the golden file knows about must render byte-for-byte identically.
+//
+// Regenerate (only when a default-path change is intended and understood)
+// by running scenario_runner with one --scenario flag per spec in
+// kGoldenSpecs, serial, default config:
+//   ./build/scenario_runner --scenario=baseline --scenario=churn ... \
+//       --csv=tests/data/golden_default_sweep.csv
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+/// The two composed-spec entries from bench_scenarios' sweep ride along
+/// after the registry order, so the fixture covers the full 8-scenario
+/// default sweep.
+std::vector<std::string> golden_specs() {
+    std::vector<std::string> specs = builtin_registry().names();
+    specs.emplace_back("flash_crowd+syn_flood@onset=0.3,ramp=0.0:0.4");
+    specs.emplace_back("churn@attack=0.25+syn_flood@onset=0.5,offset=0.8,attack=0.4");
+    return specs;
+}
+
+/// RFC-style CSV split: composed-spec cells carry commas and arrive quoted
+/// (metrics.cpp quotes a cell only when it needs it, doubling inner quotes).
+std::vector<std::string> split_row(const std::string& line) {
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+                cell += '"';
+                ++i;
+            } else if (c == '"') {
+                quoted = false;
+            } else {
+                cell += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string line;
+    std::stringstream stream(text);
+    while (std::getline(stream, line)) {
+        if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+}
+
+TEST(GoldenSweepTest, DefaultConfigCatalogueIsByteIdenticalToSeed) {
+    const std::string path =
+        std::string(FLOWCAM_SOURCE_DIR) + "/tests/data/golden_default_sweep.csv";
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "golden fixture missing: " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<std::string> golden = split_lines(buffer.str());
+    ASSERT_GE(golden.size(), 2u) << "golden fixture empty";
+
+    // The 8-spec default sweep, default ConfigTree, serial.
+    ExperimentSpec spec;
+    spec.scenarios = golden_specs();
+    auto experiment = Experiment::plan(std::move(spec));
+    ASSERT_TRUE(experiment) << experiment.status().to_string();
+    const std::vector<CellResult> results = experiment.value().run(1);
+    const std::vector<std::string> fresh = split_lines(experiment.value().csv(results));
+    ASSERT_EQ(fresh.size(), golden.size()) << "row count changed";
+
+    // Map every golden column to its position in the fresh header; columns
+    // may have been appended since the fixture was captured, never removed
+    // or renamed.
+    const std::vector<std::string> golden_header = split_row(golden[0]);
+    const std::vector<std::string> fresh_header = split_row(fresh[0]);
+    std::vector<std::size_t> column_map;
+    for (const std::string& name : golden_header) {
+        std::size_t found = fresh_header.size();
+        for (std::size_t i = 0; i < fresh_header.size(); ++i) {
+            if (fresh_header[i] == name) {
+                found = i;
+                break;
+            }
+        }
+        ASSERT_LT(found, fresh_header.size()) << "golden column '" << name << "' disappeared";
+        column_map.push_back(found);
+    }
+
+    for (std::size_t row = 1; row < golden.size(); ++row) {
+        const std::vector<std::string> want = split_row(golden[row]);
+        const std::vector<std::string> have = split_row(fresh[row]);
+        ASSERT_EQ(want.size(), golden_header.size()) << "malformed golden row " << row;
+        for (std::size_t column = 0; column < want.size(); ++column) {
+            EXPECT_EQ(have[column_map[column]], want[column])
+                << "default-path drift in column '" << golden_header[column] << "', row "
+                << row << " (" << want[2] << ")";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace flowcam::workload

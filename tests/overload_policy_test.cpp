@@ -1,0 +1,271 @@
+// Admission / eviction / reservation policies on the timed Flow LUT — the
+// graceful-degradation machinery. Each policy is exercised through the same
+// offer -> step -> pop_completion loop as the core tests, and every test
+// finishes with the invariant auditor: conservation must hold no matter
+// which policy shed the load.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/flow_lut.hpp"
+#include "net/trace.hpp"
+
+namespace flowcam::core {
+namespace {
+
+net::NTuple key_of(u64 value, u64 seed = 3) {
+    return net::NTuple::from_five_tuple(net::synth_tuple(value, seed));
+}
+
+FlowLutConfig small_config() {
+    FlowLutConfig config;
+    config.buckets_per_mem = 1 << 10;
+    config.ways = 4;
+    config.cam_capacity = 64;
+    return config;
+}
+
+/// Tiny table: capacity 2 buckets x 2 ways x 2 mems + 2 CAM = 10 entries,
+/// so a handful of unique flows is already overload.
+FlowLutConfig tiny_config() {
+    FlowLutConfig config;
+    config.buckets_per_mem = 2;
+    config.ways = 2;
+    config.cam_capacity = 2;
+    return config;
+}
+
+/// Offer one key and run to completion (serial: no interlock in play).
+Completion offer_one(FlowLut& lut, const net::NTuple& key, u64 ts) {
+    while (!lut.offer(key, ts, 64)) lut.step();
+    EXPECT_TRUE(lut.drain());
+    const auto completion = lut.pop_completion();
+    EXPECT_TRUE(completion.has_value());
+    return completion.value_or(Completion{});
+}
+
+std::string audit_report(const FlowLut& lut, bool final_pass = true) {
+    std::string detail;
+    if (lut.audit(final_pass, &detail) == 0) return "";
+    return detail.empty() ? "violations without detail" : detail;
+}
+
+TEST(AdmissionPolicyTest, RejectFullTurnsNewFlowsAwayAbovePressure) {
+    FlowLutConfig config = tiny_config();
+    config.admission = AdmissionPolicy::kRejectFull;
+    config.admission_pressure = 0.5;  // engage at 5 of 10 entries.
+    FlowLut lut(config);
+
+    u64 ts = 1;
+    u64 admitted = 0;
+    for (u64 flow = 0; flow < 20; ++flow) {
+        const Completion completion = offer_one(lut, key_of(flow), ts += 17);
+        if (completion.fid != kInvalidFlowId) ++admitted;
+    }
+    // The first flows fit below the pressure threshold; everything after is
+    // rejected outright — the table never grows past the threshold.
+    EXPECT_GT(admitted, 0u);
+    EXPECT_LT(admitted, 20u);
+    EXPECT_GT(lut.stats().admission_rejects, 0u);
+    EXPECT_LE(lut.table().size(), 5u);
+    // Rejects are drops (invalid-FID retires), specifically the policy's.
+    EXPECT_GE(lut.stats().drops, lut.stats().admission_rejects);
+    // Existing flows are untouched: a packet of an admitted flow still hits.
+    const Completion repeat = offer_one(lut, key_of(0), ts += 17);
+    EXPECT_NE(repeat.fid, kInvalidFlowId);
+    EXPECT_FALSE(repeat.is_new_flow);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(AdmissionPolicyTest, ProbabilisticAdmitsTheSecondAttempt) {
+    // admission_p = 0: a never-seen key always loses the coin toss, but the
+    // Bloom front-end remembers it — the flow's next packet is a seen key
+    // and is admitted unconditionally. One-packet flood flows never come
+    // back; real flows do. That asymmetry is the whole policy.
+    FlowLutConfig config = small_config();
+    config.admission = AdmissionPolicy::kProbabilistic;
+    config.admission_pressure = 0.0;  // always "under pressure".
+    config.admission_p = 0.0;
+    FlowLut lut(config);
+
+    const Completion first = offer_one(lut, key_of(42), 100);
+    EXPECT_EQ(first.fid, kInvalidFlowId);
+    EXPECT_EQ(lut.stats().admission_rejects, 1u);
+
+    const Completion second = offer_one(lut, key_of(42), 200);
+    EXPECT_NE(second.fid, kInvalidFlowId);
+    EXPECT_TRUE(second.is_new_flow);
+    EXPECT_EQ(lut.table().size(), 1u);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(AdmissionPolicyTest, ProbabilisticWithFullChanceAdmitsEveryone) {
+    FlowLutConfig config = small_config();
+    config.admission = AdmissionPolicy::kProbabilistic;
+    config.admission_pressure = 0.0;
+    config.admission_p = 1.0;
+    FlowLut lut(config);
+    u64 ts = 1;
+    for (u64 flow = 0; flow < 32; ++flow) {
+        const Completion completion = offer_one(lut, key_of(flow), ts += 17);
+        EXPECT_NE(completion.fid, kInvalidFlowId) << "flow " << flow;
+    }
+    EXPECT_EQ(lut.stats().admission_rejects, 0u);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(EvictionPolicyTest, LruEvictsIdleVictimsInsteadOfDropping) {
+    FlowLutConfig config = tiny_config();
+    config.eviction = EvictionPolicy::kLru;
+    FlowLut lut(config);
+
+    u64 ts = 1;
+    for (u64 flow = 0; flow < 40; ++flow) {
+        const Completion completion = offer_one(lut, key_of(flow), ts += 17);
+        EXPECT_NE(completion.fid, kInvalidFlowId) << "flow " << flow;
+    }
+    EXPECT_EQ(lut.stats().drops, 0u);
+    EXPECT_GT(lut.stats().evictions_lru, 0u);
+    EXPECT_LE(lut.table().size(), lut.table().capacity());
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(EvictionPolicyTest, CamOldestRotatesTheCollisionCam) {
+    FlowLutConfig config = tiny_config();
+    config.eviction = EvictionPolicy::kCamOldest;
+    FlowLut lut(config);
+
+    u64 ts = 1;
+    u64 drops = 0;
+    for (u64 flow = 0; flow < 40; ++flow) {
+        const Completion completion = offer_one(lut, key_of(flow), ts += 17);
+        if (completion.fid == kInvalidFlowId) ++drops;
+    }
+    // CAM-oldest can only free CAM slots: memory-bucket overflow beyond the
+    // CAM's reach still drops, but the CAM itself keeps absorbing new flows.
+    EXPECT_GT(lut.stats().evictions_cam, 0u);
+    EXPECT_EQ(lut.stats().drops, drops);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(ReservationTest, SecondPacketConfirmsTheGrant) {
+    FlowLutConfig config = small_config();
+    config.reservation = true;
+    config.admission_pressure = 0.0;  // pressured from the first insert.
+    FlowLut lut(config);
+
+    const Completion first = offer_one(lut, key_of(7), 100);
+    EXPECT_NE(first.fid, kInvalidFlowId);
+    EXPECT_EQ(lut.stats().reservations_granted, 1u);
+    EXPECT_EQ(lut.stats().reservations_confirmed, 0u);
+
+    const Completion second = offer_one(lut, key_of(7), 200);
+    EXPECT_EQ(second.fid, first.fid);
+    EXPECT_EQ(lut.stats().reservations_confirmed, 1u);
+    EXPECT_EQ(lut.stats().reservations_reclaimed, 0u);
+
+    // Confirmed = permanent: the deadline passing changes nothing.
+    lut.run(2 * config.reservation_deadline);
+    ASSERT_TRUE(lut.drain());
+    EXPECT_EQ(lut.stats().reservations_reclaimed, 0u);
+    EXPECT_EQ(lut.table().size(), 1u);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(ReservationTest, UnconfirmedGrantIsReclaimedAfterDeadline) {
+    FlowLutConfig config = small_config();
+    config.reservation = true;
+    config.admission_pressure = 0.0;
+    config.reservation_deadline = 256;
+    FlowLut lut(config);
+
+    const Completion only = offer_one(lut, key_of(9), 100);
+    EXPECT_NE(only.fid, kInvalidFlowId);
+    EXPECT_EQ(lut.stats().reservations_granted, 1u);
+
+    // No second packet: past the deadline housekeeping reclaims the slot
+    // through the normal delete machinery.
+    lut.run(4 * config.reservation_deadline);
+    ASSERT_TRUE(lut.drain());
+    EXPECT_EQ(lut.stats().reservations_reclaimed, 1u);
+    EXPECT_EQ(lut.table().size(), 0u);
+
+    // The bucket is reusable — the same key inserts again cleanly.
+    const Completion again = offer_one(lut, key_of(9), 5'000'000);
+    EXPECT_NE(again.fid, kInvalidFlowId);
+    EXPECT_TRUE(again.is_new_flow);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(ReservationTest, ReclaimRacingRejectedWritesNeverParksBuckets) {
+    // The PR 2 bug class, reservation edition: a reclaim whose delete write
+    // is rejected by a full controller queue (or whose insert is still
+    // queued and gets cancelled) must release the Req Filter's pending hold
+    // exactly once. A double release corrupts the count; a missed release
+    // parks the bucket forever and the re-offer below never drains.
+    FlowLutConfig config = small_config();
+    config.reservation = true;
+    config.admission_pressure = 0.0;
+    config.reservation_deadline = 64;          // reclaim almost immediately,
+    config.controller.write_queue_depth = 1;   // against a rejecting queue,
+    config.burst_write_threshold = 4;          // with bursty write release —
+    config.burst_write_timeout = 8;            // maximal write contention.
+    FlowLut lut(config);
+
+    constexpr u64 kFlows = 64;
+    u64 ts = 1;
+    // One packet per flow, offered back-to-back: every grant goes
+    // unconfirmed while insert writes are still fighting the tiny queue.
+    for (u64 flow = 0; flow < kFlows; ++flow) {
+        while (!lut.offer(key_of(flow), ts += 17, 64)) lut.step();
+    }
+    ASSERT_TRUE(lut.drain());
+    lut.run(50'000);  // deadlines pass; reclaims and deletes churn through.
+    ASSERT_TRUE(lut.drain(2'000'000));
+    EXPECT_EQ(lut.stats().reservations_granted, kFlows);
+    EXPECT_EQ(lut.stats().reservations_reclaimed, kFlows);
+    EXPECT_EQ(lut.table().size(), 0u);
+    EXPECT_EQ(audit_report(lut), "");
+
+    // Every bucket must still accept lookups (the PR 2 litmus).
+    for (u64 flow = 0; flow < kFlows; ++flow) {
+        while (!lut.offer(key_of(flow), 10'000'000 + flow, 64)) lut.step();
+    }
+    ASSERT_TRUE(lut.drain(2'000'000)) << "a bucket stayed parked after reclaim";
+    u64 completions = 0;
+    while (lut.pop_completion()) ++completions;
+    EXPECT_EQ(completions, 2 * kFlows);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(ReservationTest, InterleavedTrafficConservesTheLedger)
+{
+    // Grants, confirms and reclaims all interleaved: the ledger invariant
+    // granted == confirmed + reclaimed + open is the auditor's to check.
+    FlowLutConfig config = tiny_config();
+    config.reservation = true;
+    config.eviction = EvictionPolicy::kLru;
+    config.reservation_deadline = 128;
+    FlowLut lut(config);
+
+    u64 ts = 1;
+    for (u64 round = 0; round < 6; ++round) {
+        for (u64 flow = 0; flow < 12; ++flow) {
+            // Even flows send two packets (confirm); odd flows one (reclaim).
+            while (!lut.offer(key_of(100 * round + flow), ts += 17, 64)) lut.step();
+            if (flow % 2 == 0) {
+                while (!lut.offer(key_of(100 * round + flow), ts += 17, 64)) lut.step();
+            }
+        }
+        lut.run(256);
+    }
+    ASSERT_TRUE(lut.drain());
+    lut.run(10'000);
+    ASSERT_TRUE(lut.drain());
+    EXPECT_GT(lut.stats().reservations_granted, 0u);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+}  // namespace
+}  // namespace flowcam::core

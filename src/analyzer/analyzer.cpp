@@ -59,6 +59,24 @@ bool TrafficAnalyzer::feed_record(const net::PacketRecord& record) {
     return true;
 }
 
+bool TrafficAnalyzer::feed_prepared(const net::PacketRecord& record, const core::FlowKey& key,
+                                    u64 index_a, u64 index_b, u64 digest) {
+    if (packet_buffer_.size() >= config_.packet_buffer_depth ||
+        (faults_ != nullptr && faults_->veto_feed())) {
+        ++stats_.dropped_buffer_full;
+        return false;
+    }
+    PreparedPacket prepared;
+    prepared.record = record;
+    prepared.key = key;
+    prepared.index_a = index_a;
+    prepared.index_b = index_b;
+    prepared.digest = digest;
+    packet_buffer_.push_back(std::move(prepared));
+    if (obs_ != nullptr) obs::Recorder::high_water(obs_hwm_buffer_, packet_buffer_.size());
+    return true;
+}
+
 void TrafficAnalyzer::set_recorder(obs::Recorder* recorder) {
     if (recorder == obs_) return;
     obs_ = recorder;

@@ -78,6 +78,15 @@ class TrafficAnalyzer {
     /// Feed a pre-parsed trace record (bypasses the header parser).
     [[nodiscard]] bool feed_record(const net::PacketRecord& record);
 
+    /// feed_record() with the key and hashes the caller already computed —
+    /// the batched source pushes whole groups of keys through the multi-key
+    /// hash kernel, then admits them one by one through this. The admission
+    /// check (buffer-full OR fault veto, in that short-circuit order) is
+    /// replicated from feed_record exactly so fault-RNG draw counts match
+    /// scalar dispatch per attempt.
+    [[nodiscard]] bool feed_prepared(const net::PacketRecord& record, const core::FlowKey& key,
+                                     u64 index_a, u64 index_b, u64 digest);
+
     /// Advance the whole system by one system-clock cycle.
     void step();
 

@@ -34,6 +34,14 @@ class RingQueue {
         return slots_[head_];
     }
 
+    /// Element `i` positions behind the front (at(0) == front()). Lets the
+    /// batched dispatch path peek the next queued descriptor for prefetch
+    /// without popping it.
+    [[nodiscard]] const T& at(std::size_t i) const {
+        assert(i < count_);
+        return slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+
     void push_back(T value) {
         if (count_ == slots_.size()) grow();
         slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(value);

@@ -1,0 +1,56 @@
+// Batched-dispatch support: the fixed batch geometry shared by the Flow
+// LUT's internal batch paths, and a small helper that amortizes per-packet
+// hashing by pushing groups of keys through the multi-key H3 kernel.
+//
+// Everything here is host-side amortization of work whose *results* are
+// already determined per packet — batching never changes a simulated
+// decision, a cycle count or a metric (the batched-vs-scalar equivalence
+// suite pins that down).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+#include "hash/index_gen.hpp"
+
+namespace flowcam::core {
+
+/// Upper bound on every internal dispatch batch (flow-state touches, waiter
+/// probes, hash groups). Sized for the worst case — a waiting room drained
+/// in one retire — while keeping all batch state in fixed arrays so the
+/// steady-state dispatch path stays allocation-free.
+inline constexpr std::size_t kMaxDispatchBatch = 64;
+
+/// Hashes up to kMaxDispatchBatch keys per prepare() call: both per-path
+/// digests through IndexGenerator::digest_multi (the vector kernel for H3)
+/// plus the folded bucket indices. One prepare() replaces 2·N scalar digest
+/// calls on the admission path.
+class BatchHasher {
+  public:
+    struct Prepared {
+        u64 digest_a = 0;
+        u64 digest_b = 0;
+        u64 index_a = 0;
+        u64 index_b = 0;
+    };
+
+    /// Fill `out[0..count)` for `keys[0..count)`. `count` is clamped to
+    /// kMaxDispatchBatch by contract (callers size their batches to it).
+    static void prepare(const hash::IndexGenerator& indexer, const std::span<const u8>* keys,
+                        std::size_t count, Prepared* out) {
+        std::array<u64, kMaxDispatchBatch> digests_a;
+        std::array<u64, kMaxDispatchBatch> digests_b;
+        indexer.digest_multi(0, keys, count, digests_a.data());
+        indexer.digest_multi(1, keys, count, digests_b.data());
+        for (std::size_t i = 0; i < count; ++i) {
+            out[i].digest_a = digests_a[i];
+            out[i].digest_b = digests_b[i];
+            out[i].index_a = indexer.index_of_digest(digests_a[i]);
+            out[i].index_b = indexer.index_of_digest(digests_b[i]);
+        }
+    }
+};
+
+}  // namespace flowcam::core

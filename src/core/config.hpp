@@ -102,6 +102,18 @@ struct FlowLutConfig {
     double weight_a = 0.5;  ///< for kWeightedHash.
     InsertPolicy insert_policy = InsertPolicy::kLeastLoaded;
 
+    // --- Batched dispatch --------------------------------------------------
+    /// Descriptors per host-side dispatch batch. 0 (default) = scalar
+    /// dispatch. N > 0 turns on the batched fast paths end-to-end: the
+    /// workload source hashes N keys at a time through the multi-key H3
+    /// kernel, the LUT prefetches the next descriptor's bucket lines while
+    /// dispatching the current one, waiter resolution probes the table in
+    /// batch, and flow-state touches are applied through the batch entry
+    /// point. Pure host-side amortization: results (completion order,
+    /// cycles, every metric) are byte-identical to scalar dispatch — the
+    /// batched-vs-scalar equivalence suite enforces it.
+    u32 batch = 0;
+
     // --- Queue depths (hardware FIFOs) ------------------------------------
     std::size_t input_depth = 64;
     std::size_t lu_queue_depth = 64;

@@ -161,6 +161,13 @@ void FlowLut::dispatch_inputs(Cycle now) {
     // Up to two descriptors per cycle — one entering each path — matching
     // the paper's "process two lookup requests simultaneously".
     for (u32 round = 0; round < 2 && !input_.empty(); ++round) {
+        if (config_.batch > 0 && input_.size() > 1) {
+            // Pull the following descriptor's candidate bucket lines toward
+            // the cache while this one dispatches (pure timing hint — no
+            // architectural effect).
+            const Descriptor& upcoming = input_.at(1);
+            table_.prefetch_buckets(upcoming.index_a, upcoming.index_b);
+        }
         Descriptor& descriptor = input_.front();
 
         // Per-flow interlock: while an older packet of this flow is still
@@ -458,6 +465,9 @@ bool FlowLut::admit_new_flow(const Descriptor& descriptor) {
 }
 
 std::optional<TableIndex> FlowLut::try_evict_for(const Descriptor& descriptor) {
+    // The LRU policy reads flow records' last_ns below; deferred touches
+    // from retires earlier this tick must land first.
+    flush_touches();
     if (config_.eviction == EvictionPolicy::kLru) {
         // Victim = idlest valid entry across the two candidate buckets,
         // skipping anything the timed machinery still has in motion: buckets
@@ -714,6 +724,10 @@ void FlowLut::issue_memory(Path path, Cycle now) {
 }
 
 void FlowLut::housekeeping(Cycle now) {
+    // All retire sources (flow match, CAM-hit dispatch, waiter resolution)
+    // ran earlier this tick; apply their deferred touches before anything
+    // below reads or deletes flow records.
+    flush_touches();
     if (config_.reservation && !reservations_.empty()) reclaim_reservations(now);
     for (const FlowRecord& record : flow_state_.scan_expired(effective_expiry_time())) {
         const auto key = record.key.view();
@@ -781,6 +795,12 @@ void FlowLut::release_inflight(const FlowKey& key, Cycle now) {
     if (gate == nullptr) return;
     if (--gate->inflight > 0) return;
 
+    if (config_.batch > 0) {
+        release_waiters_batched(*gate, now);
+        if (gate->inflight == 0 && gate->waiter_head == kNilNode) flow_gate_.erase(key);
+        return;
+    }
+
     // Resolve waiters for this flow, oldest first. A waiter whose key now
     // exists retires immediately (after its elder — we are past the elder's
     // retire). If the flow is still absent (elder dropped or was deleted),
@@ -822,10 +842,93 @@ void FlowLut::release_inflight(const FlowKey& key, Cycle now) {
     if (gate->inflight == 0 && gate->waiter_head == kNilNode) flow_gate_.erase(key);
 }
 
+void FlowLut::release_waiters_batched(FlowGate& gate, Cycle now) {
+    // Same resolution semantics as the scalar waiter loop, but the table
+    // probes run speculatively in batch: nothing in the consume loop below
+    // mutates the table (retire never touches it), so every precomputed
+    // result stays exact for the prefix actually consumed — the hits plus
+    // the first miss. Statistics are replayed per consumed probe through
+    // record_search(), so counters match scalar dispatch bit for bit.
+    while (gate.waiter_head != kNilNode) {
+        std::array<SearchProbe, kMaxDispatchBatch> probes;
+        std::array<SearchResult, kMaxDispatchBatch> results;
+        std::array<u32, kMaxDispatchBatch> nodes;
+        std::size_t count = 0;
+        for (u32 node = gate.waiter_head; node != kNilNode && count < kMaxDispatchBatch;
+             node = wait_pool_[node].next) {
+            const Descriptor& waiting = wait_pool_[node].descriptor;
+            nodes[count] = node;
+            probes[count].key = waiting.key.view();
+            if (waiting.hashed_indices) {
+                probes[count].index_a = waiting.index_a;
+                probes[count].index_b = waiting.index_b;
+            } else {
+                probes[count].index_a = table_.indexer().index(0, waiting.key.view());
+                probes[count].index_b = table_.indexer().index(1, waiting.key.view());
+            }
+            ++count;
+        }
+        table_.search_indexed_multi(probes.data(), count, results.data());
+
+        for (std::size_t i = 0; i < count; ++i) {
+            const SearchResult& existing = results[i];
+            table_.record_search(existing);
+            const u32 node = nodes[i];
+            Descriptor descriptor = std::move(wait_pool_[node].descriptor);
+            gate.waiter_head = wait_pool_[node].next;
+            if (gate.waiter_head == kNilNode) gate.waiter_tail = kNilNode;
+            free_wait_node(node);
+            --waiting_now_;
+            if (existing.hit()) {
+                Completion completion;
+                completion.seq = descriptor.seq;
+                completion.fid = existing.payload;
+                completion.via_cam = existing.stage == MatchStage::kCam;
+                completion.retired_at = now;
+                completion.offered_at = descriptor.offered_at;
+                completion.timestamp_ns = descriptor.timestamp_ns;
+                completion.frame_bytes = descriptor.frame_bytes;
+                completion.key = descriptor.key;
+                completion.tag = descriptor.tag;
+                retire(std::move(completion));
+                continue;
+            }
+            // First miss: this waiter enters the pipeline as the new elder;
+            // the remaining probes are discarded unconsumed (scalar never
+            // searched them either).
+            gate.inflight = 1;
+            LookupJob job;
+            job.descriptor = std::move(descriptor);
+            job.stage = Stage::kLu1;
+            enqueue_lookup(balance(job.descriptor), std::move(job));
+            return;
+        }
+        // Every gathered probe hit; keep going if waiters remain.
+    }
+}
+
+void FlowLut::flush_touches() {
+    if (touch_count_ == 0) return;
+    flow_state_.on_packet_multi(touch_batch_.data(), touch_count_);
+    touch_count_ = 0;
+}
+
 void FlowLut::retire(Completion completion) {
     if (completion.fid != kInvalidFlowId) {
-        flow_state_.on_packet(completion.fid, completion.key.view(), completion.timestamp_ns,
-                              completion.frame_bytes);
+        if (config_.batch > 0) {
+            // Defer the flow-state touch into the dispatch batch. Safe while
+            // nothing reads or deletes flow records before the next flush —
+            // flush_touches() sits at every such point.
+            FlowTouch& touch = touch_batch_[touch_count_++];
+            touch.fid = completion.fid;
+            touch.key = completion.key;
+            touch.timestamp_ns = completion.timestamp_ns;
+            touch.frame_bytes = completion.frame_bytes;
+            if (touch_count_ == kMaxDispatchBatch) flush_touches();
+        } else {
+            flow_state_.on_packet(completion.fid, completion.key.view(),
+                                  completion.timestamp_ns, completion.frame_bytes);
+        }
         if (config_.reservation && !completion.is_new_flow &&
             reserved_.find(completion.key) != nullptr) {
             // The ack: a second packet of a provisionally-granted flow

@@ -25,6 +25,7 @@
 // (which is precisely the Request Filter's job to guarantee).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -34,6 +35,7 @@
 #include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "core/bank_selector.hpp"
+#include "core/batch.hpp"
 #include "core/blocks.hpp"
 #include "core/config.hpp"
 #include "core/flow_state.hpp"
@@ -310,10 +312,26 @@ class FlowLut final : public sim::Ticker {
     void free_wait_node(u32 node);
     void park_waiter(FlowGate& gate, Descriptor&& descriptor);
 
+    // ---- Batched dispatch internals (active when config_.batch > 0) ------
+    /// Resolve a retired elder's waiters through batched speculative table
+    /// probes (search_indexed_multi) instead of one search per waiter.
+    void release_waiters_batched(FlowGate& gate, Cycle now);
+    /// Apply every deferred flow-state touch. Called at batch-full, at the
+    /// top of housekeeping (before anything reads or deletes flow records),
+    /// and on entry to try_evict_for (LRU reads last_ns) — so the batch is
+    /// provably empty at the end of every tick (all retire sources precede
+    /// housekeeping in tick()).
+    void flush_touches();
+
     FlowKeyMap<FlowGate> flow_gate_;
     std::vector<WaitNode> wait_pool_;
     u32 wait_free_ = kNilNode;
     std::size_t waiting_now_ = 0;
+    /// Deferred flow-state touches (batched dispatch only): retire() appends
+    /// here instead of calling on_packet per completion. Fixed storage —
+    /// the steady-state path never allocates.
+    std::array<FlowTouch, kMaxDispatchBatch> touch_batch_;
+    std::size_t touch_count_ = 0;
     /// Flight recorder (nullable): histogram/counter cells registered once
     /// at attach, bumped behind a single `obs_ != nullptr` branch.
     obs::Recorder* obs_ = nullptr;

@@ -4,8 +4,8 @@
 
 namespace flowcam::core {
 
-void FlowStateBlock::on_packet(FlowId fid, std::span<const u8> key, u64 timestamp_ns,
-                               u32 frame_bytes) {
+u64 FlowStateBlock::apply_touch(FlowId fid, std::span<const u8> key, u64 timestamp_ns,
+                                u32 frame_bytes) {
     auto [it, inserted] = records_.try_emplace(fid);
     FlowRecord& record = it->second;
     const auto same_key = [&] {
@@ -30,10 +30,26 @@ void FlowStateBlock::on_packet(FlowId fid, std::span<const u8> key, u64 timestam
     ++record.packets;
     record.bytes += frame_bytes;
     record.last_ns = std::max(record.last_ns, timestamp_ns);
+    return record.last_ns + timeout_ns_;
+}
+
+void FlowStateBlock::on_packet(FlowId fid, std::span<const u8> key, u64 timestamp_ns,
+                               u32 frame_bytes) {
     // Keep the expiry fast-forward bound conservative even for records
     // stamped with out-of-order (older) timestamps: nothing may expire
     // before this record can.
-    scan_skip_below_ns_ = std::min(scan_skip_below_ns_, record.last_ns + timeout_ns_);
+    scan_skip_below_ns_ =
+        std::min(scan_skip_below_ns_, apply_touch(fid, key, timestamp_ns, frame_bytes));
+}
+
+void FlowStateBlock::on_packet_multi(const FlowTouch* touches, std::size_t count) {
+    u64 bound = scan_skip_below_ns_;
+    for (std::size_t i = 0; i < count; ++i) {
+        const FlowTouch& touch = touches[i];
+        bound = std::min(bound, apply_touch(touch.fid, touch.key.view(), touch.timestamp_ns,
+                                            touch.frame_bytes));
+    }
+    scan_skip_below_ns_ = bound;
 }
 
 void FlowStateBlock::on_deleted(FlowId fid) {

@@ -34,6 +34,16 @@ struct FlowRecord {
     }
 };
 
+/// One deferred flow-state update in a dispatch batch. The key is held by
+/// value: the touch outlives the retire that produced it (the completion has
+/// already moved on), so a span would dangle.
+struct FlowTouch {
+    FlowId fid = kInvalidFlowId;
+    FlowKey key;
+    u64 timestamp_ns = 0;
+    u32 frame_bytes = 0;
+};
+
 class FlowStateBlock {
   public:
     /// `timeout_ns`: idle time after which a flow expires.
@@ -48,6 +58,11 @@ class FlowStateBlock {
     void on_packet(FlowId fid, const net::NTuple& key, u64 timestamp_ns, u32 frame_bytes) {
         on_packet(fid, key.view(), timestamp_ns, frame_bytes);
     }
+
+    /// Apply a batch of touches in order. Equivalent to calling on_packet()
+    /// per touch — the per-touch expiry-bound store is hoisted into one
+    /// accumulated min (std::min is associative), nothing else differs.
+    void on_packet_multi(const FlowTouch* touches, std::size_t count);
 
     /// The flow's entry was removed from the table; drop and export the
     /// record.
@@ -77,6 +92,11 @@ class FlowStateBlock {
     [[nodiscard]] std::vector<FlowRecord> snapshot() const;
 
   private:
+    /// The shared body of on_packet / on_packet_multi: updates the record
+    /// and returns its expiry bound (last_ns + timeout) for the caller to
+    /// fold into scan_skip_below_ns_.
+    u64 apply_touch(FlowId fid, std::span<const u8> key, u64 timestamp_ns, u32 frame_bytes);
+
     u64 timeout_ns_;
     u32 scan_per_cycle_;
     std::unordered_map<FlowId, FlowRecord> records_;

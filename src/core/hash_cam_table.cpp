@@ -23,31 +23,82 @@ SearchResult HashCamTable::search(std::span<const u8> key) {
 }
 
 SearchResult HashCamTable::search_indexed(std::span<const u8> key, u64 index_a, u64 index_b) {
-    ++stats_.lookups;
-    // Stage 1: CAM.
-    ++stats_.cam_searches;
-    if (const auto slot = cam_.slot_of(key)) {
-        ++stage_stats_.cam_hits;
-        ++stats_.hits;
-        SearchResult result;
-        result.stage = MatchStage::kCam;
-        result.location = TableIndex{TableIndex::Where::kCam, *slot};
-        result.payload = *cam_.peek(key);
-        return result;
+    const SearchResult result = search_core(key, index_a, index_b);
+    record_search(result);
+    return result;
+}
+
+SearchResult HashCamTable::search_core(std::span<const u8> key, u64 index_a,
+                                       u64 index_b) const {
+    // Stage 1: CAM. An empty CAM cannot hit, so skip the software index
+    // probe entirely (the hardware match lines are free either way).
+    if (cam_.size() != 0) {
+        if (const auto slot = cam_.slot_of(key)) {
+            SearchResult result;
+            result.stage = MatchStage::kCam;
+            result.location = TableIndex{TableIndex::Where::kCam, *slot};
+            result.payload = *cam_.peek(key);
+            return result;
+        }
     }
     // Stages 2 and 3: the two memory sets, short-circuit.
     const u64 indices[2] = {index_a, index_b};
     for (u32 mem = 0; mem < 2; ++mem) {
-        ++stats_.bucket_reads;
         SearchResult result = search_mem_at(mem, indices[mem], key);
-        if (result.hit()) {
-            (mem == 0 ? stage_stats_.mem1_hits : stage_stats_.mem2_hits) += 1;
-            ++stats_.hits;
-            return result;
-        }
+        if (result.hit()) return result;
     }
-    ++stage_stats_.misses;
     return SearchResult{};
+}
+
+void HashCamTable::record_search(const SearchResult& result) {
+    // Mirrors exactly what the inline counting in a monolithic
+    // search_indexed would do: every search costs one lookup and one CAM
+    // search; each memory stage reached costs one bucket read.
+    ++stats_.lookups;
+    ++stats_.cam_searches;
+    switch (result.stage) {
+        case MatchStage::kCam:
+            ++stage_stats_.cam_hits;
+            ++stats_.hits;
+            break;
+        case MatchStage::kMem1:
+            ++stats_.bucket_reads;
+            ++stage_stats_.mem1_hits;
+            ++stats_.hits;
+            break;
+        case MatchStage::kMem2:
+            stats_.bucket_reads += 2;
+            ++stage_stats_.mem2_hits;
+            ++stats_.hits;
+            break;
+        case MatchStage::kMiss:
+            stats_.bucket_reads += 2;
+            ++stage_stats_.misses;
+            break;
+    }
+}
+
+void HashCamTable::search_indexed_multi(const SearchProbe* probes, std::size_t count,
+                                        SearchResult* out) const {
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i + 1 < count) prefetch_buckets(probes[i + 1].index_a, probes[i + 1].index_b);
+        out[i] = search_core(probes[i].key, probes[i].index_a, probes[i].index_b);
+    }
+}
+
+void HashCamTable::prefetch_buckets(u64 index_a, u64 index_b) const {
+#if defined(__GNUC__) || defined(__clang__)
+    // First and last way of each candidate bucket: a bucket spans a couple
+    // of cache lines, so this touches both ends of the range.
+    const u32 last = config_.ways - 1;
+    __builtin_prefetch(&mems_[0][slot_of(index_a, 0)], 0, 1);
+    __builtin_prefetch(&mems_[0][slot_of(index_a, last)], 0, 1);
+    __builtin_prefetch(&mems_[1][slot_of(index_b, 0)], 0, 1);
+    __builtin_prefetch(&mems_[1][slot_of(index_b, last)], 0, 1);
+#else
+    (void)index_a;
+    (void)index_b;
+#endif
 }
 
 SearchResult HashCamTable::search_mem(u32 mem, std::span<const u8> key) const {
@@ -73,6 +124,7 @@ SearchResult HashCamTable::search_mem_at(u32 mem, u64 bucket_index,
 
 std::optional<SearchResult> HashCamTable::search_cam(std::span<const u8> key) {
     ++stats_.cam_searches;
+    if (cam_.size() == 0) return std::nullopt;
     const auto slot = cam_.slot_of(key);
     if (!slot) return std::nullopt;
     SearchResult result;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cam/cam.hpp"
@@ -35,6 +36,14 @@ struct SearchResult {
     u64 payload = 0;
 
     [[nodiscard]] bool hit() const { return stage != MatchStage::kMiss; }
+};
+
+/// One key of a batched probe: the caller carries the precomputed bucket
+/// indices exactly as search_indexed does.
+struct SearchProbe {
+    std::span<const u8> key;
+    u64 index_a = 0;
+    u64 index_b = 0;
 };
 
 class HashCamTable final : public table::LookupTable {
@@ -58,6 +67,26 @@ class HashCamTable final : public table::LookupTable {
     /// descriptors carry them from packet arrival, so the functional
     /// re-check after an LU2 miss does not re-hash).
     [[nodiscard]] SearchResult search_indexed(std::span<const u8> key, u64 index_a, u64 index_b);
+
+    /// The stat-free core of search_indexed: identical answer, no counter
+    /// updates. Batched paths probe speculatively through this and then
+    /// replay the exact counter increments with record_search() for the
+    /// probes they actually consume, so statistics stay byte-identical to
+    /// scalar dispatch.
+    [[nodiscard]] SearchResult search_core(std::span<const u8> key, u64 index_a,
+                                           u64 index_b) const;
+
+    /// Apply the statistics that search_indexed would have recorded for
+    /// `result` (per-stage short-circuit costs included).
+    void record_search(const SearchResult& result);
+
+    /// Batched stat-free probes: out[i] = search_core(probes[i]), with the
+    /// next probe's bucket lines prefetched while the current one compares.
+    void search_indexed_multi(const SearchProbe* probes, std::size_t count,
+                              SearchResult* out) const;
+
+    /// Hint the cache that both candidate buckets are about to be searched.
+    void prefetch_buckets(u64 index_a, u64 index_b) const;
 
     /// Search only one memory set (one path's Flow Match does exactly this).
     [[nodiscard]] SearchResult search_mem(u32 mem, std::span<const u8> key) const;

@@ -1,18 +1,21 @@
 #include "hash/h3.hpp"
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 
 namespace flowcam::hash {
 
-H3Hash::H3Hash(u64 seed, std::size_t max_key_bytes) : rows_(max_key_bytes) {
+H3Hash::H3Hash(u64 seed, std::size_t max_key_bytes)
+    : rows_(max_key_bytes * 256), positions_(max_key_bytes) {
     Xoshiro256 rng(seed ^ 0x48334833c3a5c3a5ull);
     // Draw one random 64-bit column per key *bit*, then precompute the XOR of
     // all selected columns for each possible byte value (28 entries per byte
     // position) so digest() is one table read + XOR per key byte.
-    for (auto& row : rows_) {
+    for (std::size_t position = 0; position < positions_; ++position) {
         u64 columns[8];
         for (auto& column : columns) column = rng();
-        row.resize(256);
+        u64* row = rows_.data() + position * 256;
         for (u32 value = 0; value < 256; ++value) {
             u64 acc = 0;
             for (int bit = 0; bit < 8; ++bit) {
@@ -26,9 +29,75 @@ H3Hash::H3Hash(u64 seed, std::size_t max_key_bytes) : rows_(max_key_bytes) {
 u64 H3Hash::digest(std::span<const u8> bytes) const {
     u64 h = 0;
     for (std::size_t i = 0; i < bytes.size(); ++i) {
-        h ^= rows_[i % rows_.size()][bytes[i]];
+        h ^= row(i)[bytes[i]];
     }
     return h;
 }
+
+#if defined(FLOWCAM_SIMD_ENABLED) && (defined(__GNUC__) || defined(__clang__))
+
+namespace {
+/// Four 64-bit XOR accumulators in one vector register (AVX2 when the
+/// target has it; the compiler lowers to paired 128-bit ops otherwise).
+using u64x4 = u64 __attribute__((vector_size(32)));
+}  // namespace
+
+void H3Hash::digest_multi(const std::span<const u8>* keys, std::size_t count, u64* out) const {
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const std::span<const u8>* group = keys + i;
+        const std::size_t common = std::min(std::min(group[0].size(), group[1].size()),
+                                            std::min(group[2].size(), group[3].size()));
+        u64x4 acc = {0, 0, 0, 0};
+        // Lockstep over the shared prefix: the four table loads per byte
+        // position are independent, so they pipeline, and the XOR runs as
+        // one vector op.
+        for (std::size_t j = 0; j < common; ++j) {
+            const u64* r = row(j);
+            const u64x4 rows = {r[group[0][j]], r[group[1][j]], r[group[2][j]],
+                                r[group[3][j]]};
+            acc ^= rows;
+        }
+        // Per-lane tails for keys longer than the shared prefix.
+        for (int lane = 0; lane < 4; ++lane) {
+            u64 h = acc[lane];
+            for (std::size_t j = common; j < group[lane].size(); ++j) {
+                h ^= row(j)[group[lane][j]];
+            }
+            out[i + lane] = h;
+        }
+    }
+    for (; i < count; ++i) out[i] = digest(keys[i]);
+}
+
+#else  // scalar fallback: four independent accumulators for ILP.
+
+void H3Hash::digest_multi(const std::span<const u8>* keys, std::size_t count, u64* out) const {
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const std::span<const u8>* group = keys + i;
+        const std::size_t common = std::min(std::min(group[0].size(), group[1].size()),
+                                            std::min(group[2].size(), group[3].size()));
+        u64 acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+        for (std::size_t j = 0; j < common; ++j) {
+            const u64* r = row(j);
+            acc0 ^= r[group[0][j]];
+            acc1 ^= r[group[1][j]];
+            acc2 ^= r[group[2][j]];
+            acc3 ^= r[group[3][j]];
+        }
+        u64 accs[4] = {acc0, acc1, acc2, acc3};
+        for (int lane = 0; lane < 4; ++lane) {
+            u64 h = accs[lane];
+            for (std::size_t j = common; j < group[lane].size(); ++j) {
+                h ^= row(j)[group[lane][j]];
+            }
+            out[i + lane] = h;
+        }
+    }
+    for (; i < count; ++i) out[i] = digest(keys[i]);
+}
+
+#endif
 
 }  // namespace flowcam::hash

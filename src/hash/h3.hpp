@@ -21,12 +21,26 @@ class H3Hash final : public HashFunction {
 
     [[nodiscard]] u64 digest(std::span<const u8> bytes) const override;
 
+    /// Multi-key kernel: XORs matrix rows across up to four keys per
+    /// iteration (GCC/Clang vector extension when FLOWCAM_SIMD_ENABLED,
+    /// four independent scalar accumulators otherwise). Bit-identical to
+    /// per-key digest() — XOR is associative and commutative, so row order
+    /// within a key never changes the parity.
+    void digest_multi(const std::span<const u8>* keys, std::size_t count,
+                      u64* out) const override;
+
     [[nodiscard]] std::string name() const override { return "h3"; }
 
   private:
-    // rows_[byte_position][byte_value] = XOR of the 8 per-bit matrix columns
-    // selected by that byte value — a precomputed byte-granular view of Q.
-    std::vector<std::vector<u64>> rows_;
+    [[nodiscard]] const u64* row(std::size_t byte_position) const {
+        return rows_.data() + (byte_position % positions_) * 256;
+    }
+
+    // rows_[position * 256 + byte_value] = XOR of the 8 per-bit matrix
+    // columns selected by that byte value — a precomputed byte-granular view
+    // of Q, flattened to one slab so the multi-key kernel strides it.
+    std::vector<u64> rows_;
+    std::size_t positions_;
 };
 
 }  // namespace flowcam::hash

@@ -23,6 +23,16 @@ class HashFunction {
     /// 64-bit digest of the byte string.
     [[nodiscard]] virtual u64 digest(std::span<const u8> bytes) const = 0;
 
+    /// Digest `count` keys at once: out[i] = digest(keys[i]). The default is
+    /// a scalar loop; families with a vectorizable kernel (H3's matrix-row
+    /// XORs) override it. Must be bit-identical to per-key digest() calls —
+    /// the batched dispatch mode relies on that to keep results byte-equal
+    /// to scalar dispatch.
+    virtual void digest_multi(const std::span<const u8>* keys, std::size_t count,
+                              u64* out) const {
+        for (std::size_t i = 0; i < count; ++i) out[i] = digest(keys[i]);
+    }
+
     [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -36,6 +36,13 @@ class IndexGenerator {
         return hashes_.at(path)->digest(key);
     }
 
+    /// Batched digests on `path`: out[i] = digest(path, keys[i]), through
+    /// the family's multi-key kernel (bit-identical to per-key digest()).
+    void digest_multi(u32 path, const std::span<const u8>* keys, std::size_t count,
+                      u64* out) const {
+        hashes_.at(path)->digest_multi(keys, count, out);
+    }
+
     /// Bucket index on `path`: XOR-fold of the digest down to index width,
     /// then clamp to the bucket count (identity when count is a power of 2).
     [[nodiscard]] u64 index(u32 path, std::span<const u8> key) const {

@@ -246,6 +246,10 @@ ConfigPatch::ConfigPatch() {
                    "flow records scanned per housekeeping tick (0 disables expiry)",
                    [lut](ConfigTree& t) -> u32& { return lut(t).housekeeping_scan_per_cycle; },
                    0, 0xFFFFFFFF));
+    add(uint_field("lut.batch",
+                   "descriptors per host-side dispatch batch (0 = scalar dispatch); results "
+                   "are byte-identical either way",
+                   [lut](ConfigTree& t) -> u32& { return lut(t).batch; }, 0, 64));
 
     // --- lut.* : overload resilience (admission / eviction / reservation) --
     add(enum_field("lut.admission", "new-flow admission policy under pressure",

@@ -73,6 +73,11 @@ const std::vector<MetricField>& metric_schema() {
                   &M::buffer_retries),
         u64_field("flows_expired", "flows", "records evicted by the idle-timeout scan",
                   &M::flows_expired, /*grid=*/true),
+        u64_field("hash_batches", "batches",
+                  "multi-key hash batches prepared by the batched source (lut.batch > 0); "
+                  "the one mode-dependent field — everything else is byte-identical to "
+                  "scalar dispatch",
+                  &M::hash_batches),
         // Descriptor latency (flight recorder; zero when obs is off).
         u64_field("lat_p50_ns", "ns", "median offer->completion latency (obs only)",
                   &M::lat_p50_ns),

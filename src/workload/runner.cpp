@@ -1,8 +1,10 @@
 #include "workload/runner.hpp"
 
+#include <array>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_set>
 
 #include "net/linerate.hpp"
@@ -21,6 +23,11 @@ namespace {
 /// already accepted).
 class SourceTicker final : public sim::Ticker {
   public:
+    /// Upper bound on the batched source's hash lookahead. Small enough that
+    /// the drawn-ahead records are a trivial fixed footprint, large enough to
+    /// keep the 4-wide multi-key hash kernel fed.
+    static constexpr std::size_t kMaxSourceBatch = 16;
+
     SourceTicker(Scenario& scenario, analyzer::TrafficAnalyzer& analyzer, u64 packet_budget,
                  u32 cycles_per_packet, double time_scale, ScenarioMetrics& metrics,
                  obs::Recorder* obs = nullptr)
@@ -29,6 +36,7 @@ class SourceTicker final : public sim::Ticker {
           budget_(packet_budget),
           cycles_per_packet_(cycles_per_packet == 0 ? 1 : cycles_per_packet),
           time_scale_(time_scale > 0.0 ? time_scale : 1.0),
+          batch_(std::min<std::size_t>(analyzer.lut().config().batch, kMaxSourceBatch)),
           metrics_(metrics),
           obs_(obs) {
         if (obs_ != nullptr) {
@@ -42,30 +50,23 @@ class SourceTicker final : public sim::Ticker {
         if (done()) return;
         if (!pending_ && now % cycles_per_packet_ != 0) return;
         if (!pending_) {
-            record_ = scenario_.next();
-            // Scenario-time compression: scale the offered timestamp so the
-            // flow idle timeout is reachable inside short runs. Everything
-            // downstream (flow state expiry, trace span, offered Gb/s) sees
-            // only scaled time, so the expiry fast-forward guard stays
-            // consistent by construction. The nudge keeps the stream
-            // strictly monotonic for scales < 1. Products beyond the u64
-            // range (epoch-ns traces under huge scales) saturate instead of
-            // wrapping: past the cap the stream degrades to +1 ns steps.
-            if (time_scale_ != 1.0) {
-                constexpr double kMaxScaledNs = 9.2e18;  // < 2^63: cast-safe.
-                const double scaled =
-                    static_cast<double>(record_.timestamp_ns) * time_scale_;
-                record_.timestamp_ns =
-                    scaled >= kMaxScaledNs ? static_cast<u64>(kMaxScaledNs)
-                                           : static_cast<u64>(scaled);
+            if (batch_ > 0) {
+                if (batch_pos_ == batch_count_) prepare_batch();
+            } else {
+                record_ = scenario_.next();
+                scale_timestamp(record_, metrics_.packets > 0);
             }
-            if (record_.timestamp_ns <= last_scaled_ns_ && metrics_.packets > 0) {
-                record_.timestamp_ns = last_scaled_ns_ + 1;
-            }
-            last_scaled_ns_ = record_.timestamp_ns;
             pending_ = true;
         }
-        if (!analyzer_.feed_record(record_)) {  // buffer full; retry next cycle.
+        const net::PacketRecord& record =
+            batch_ > 0 ? batch_records_[batch_pos_] : record_;
+        const bool fed =
+            batch_ > 0 ? analyzer_.feed_prepared(record, batch_keys_[batch_pos_],
+                                                 batch_index_a_[batch_pos_],
+                                                 batch_index_b_[batch_pos_],
+                                                 batch_digests_[batch_pos_])
+                       : analyzer_.feed_record(record_);
+        if (!fed) {  // buffer full; retry next cycle.
             if (obs_ != nullptr) {
                 if (burst_retries_ == 0) burst_start_ = now;
                 ++burst_retries_;
@@ -81,9 +82,9 @@ class SourceTicker final : public sim::Ticker {
         }
         pending_ = false;
         ++metrics_.packets;
-        metrics_.bytes += record_.frame_bytes;
-        flows_.insert(record_.flow_index);
-        if (record_.flow_index >= kOverlayFlowBase) {
+        metrics_.bytes += record.frame_bytes;
+        flows_.insert(record.flow_index);
+        if (record.flow_index >= kOverlayFlowBase) {
             ++metrics_.overlay_packets;
             if (!overlay_seen_) {
                 overlay_seen_ = true;
@@ -91,8 +92,9 @@ class SourceTicker final : public sim::Ticker {
             }
             overlay_last_ = now;
         }
-        if (first_ns_ == 0) first_ns_ = record_.timestamp_ns;
-        last_ns_ = record_.timestamp_ns;
+        if (first_ns_ == 0) first_ns_ = record.timestamp_ns;
+        last_ns_ = record.timestamp_ns;
+        if (batch_ > 0) ++batch_pos_;
     }
 
     [[nodiscard]] std::string name() const override { return "scenario-source"; }
@@ -127,15 +129,81 @@ class SourceTicker final : public sim::Ticker {
     }
 
   private:
+    /// Scenario-time compression: scale the offered timestamp so the flow
+    /// idle timeout is reachable inside short runs. Everything downstream
+    /// (flow state expiry, trace span, offered Gb/s) sees only scaled time,
+    /// so the expiry fast-forward guard stays consistent by construction.
+    /// The nudge keeps the stream strictly monotonic for scales < 1
+    /// (`not_first` is false only for the very first drawn record). Products
+    /// beyond the u64 range (epoch-ns traces under huge scales) saturate
+    /// instead of wrapping: past the cap the stream degrades to +1 ns steps.
+    void scale_timestamp(net::PacketRecord& record, bool not_first) {
+        if (time_scale_ != 1.0) {
+            constexpr double kMaxScaledNs = 9.2e18;  // < 2^63: cast-safe.
+            const double scaled = static_cast<double>(record.timestamp_ns) * time_scale_;
+            record.timestamp_ns = scaled >= kMaxScaledNs ? static_cast<u64>(kMaxScaledNs)
+                                                         : static_cast<u64>(scaled);
+        }
+        if (record.timestamp_ns <= last_scaled_ns_ && not_first) {
+            record.timestamp_ns = last_scaled_ns_ + 1;
+        }
+        last_scaled_ns_ = record.timestamp_ns;
+    }
+
+    /// Draw up to `batch_` records ahead and hash all their keys through the
+    /// multi-key kernel in one go. Sound because scenario generators are
+    /// pure record streams: drawing record k early yields exactly the record
+    /// scalar dispatch would draw at its offer slot, and the timestamp
+    /// scale/nudge is applied in draw order with the same not-first
+    /// condition (at scalar draw k, metrics_.packets == k == drawn_).
+    void prepare_batch() {
+        const u64 remaining = budget_ - drawn_;
+        const std::size_t n =
+            static_cast<std::size_t>(std::min<u64>(batch_, remaining));
+        std::array<std::span<const u8>, kMaxSourceBatch> views;
+        for (std::size_t i = 0; i < n; ++i) {
+            net::PacketRecord& record = batch_records_[i];
+            record = scenario_.next();
+            scale_timestamp(record, drawn_ > 0);
+            ++drawn_;
+            batch_keys_[i] = record.key_override.empty()
+                                 ? core::FlowKey(net::NTuple::from_five_tuple(record.tuple))
+                                 : core::FlowKey(record.key_override);
+            views[i] = batch_keys_[i].view();
+        }
+        const hash::IndexGenerator& indexer = analyzer_.lut().table().indexer();
+        indexer.digest_multi(0, views.data(), n, batch_digests_.data());
+        indexer.digest_multi(1, views.data(), n, batch_digests_b_.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            batch_index_a_[i] = indexer.index_of_digest(batch_digests_[i]);
+            batch_index_b_[i] = indexer.index_of_digest(batch_digests_b_[i]);
+        }
+        batch_pos_ = 0;
+        batch_count_ = n;
+        ++metrics_.hash_batches;
+    }
+
     Scenario& scenario_;
     analyzer::TrafficAnalyzer& analyzer_;
     u64 budget_;
     u32 cycles_per_packet_;
     double time_scale_;
+    std::size_t batch_;  ///< 0 = scalar dispatch; else lookahead depth.
     ScenarioMetrics& metrics_;
     net::PacketRecord record_;
     u64 last_scaled_ns_ = 0;
     bool pending_ = false;
+    // Batched-dispatch lookahead state (fixed storage; untouched when
+    // batch_ == 0).
+    std::array<net::PacketRecord, kMaxSourceBatch> batch_records_;
+    std::array<core::FlowKey, kMaxSourceBatch> batch_keys_;
+    std::array<u64, kMaxSourceBatch> batch_digests_;    ///< path-0 digests.
+    std::array<u64, kMaxSourceBatch> batch_digests_b_;  ///< path-1 digests.
+    std::array<u64, kMaxSourceBatch> batch_index_a_;
+    std::array<u64, kMaxSourceBatch> batch_index_b_;
+    std::size_t batch_pos_ = 0;
+    std::size_t batch_count_ = 0;
+    u64 drawn_ = 0;  ///< records drawn ahead (== metrics_.packets at scalar draw).
     Cycle last_now_ = 0;
     std::unordered_set<u64> flows_;
     u64 first_ns_ = 0;

@@ -71,6 +71,8 @@ struct ScenarioMetrics {
     u64 buffer_retries = 0;  ///< packet-buffer backpressure retries (the
                              ///< source holds the frame, nothing is lost).
     u64 flows_expired = 0;   ///< records evicted by the idle-timeout scan.
+    u64 hash_batches = 0;    ///< multi-key hash batches prepared by the
+                             ///< batched source (0 under scalar dispatch).
 
     // Overload-resilience outcome (all zero under the default
     // always-admit / no-eviction / no-reservation policies).

@@ -1,0 +1,243 @@
+// Batched-dispatch equivalence suite: lut.batch is a host-side throughput
+// lever (multi-key hashing, prefetch, deferred flow-state touches) and must
+// be invisible in simulated behaviour. Every runner-level metric except
+// hash_batches — cycles included — must be byte-identical between a scalar
+// run (lut.batch=0) and a batched run (lut.batch=16) of the same spec:
+//   * all six builtin scenarios, a composed spec, and a trace replay whose
+//     IPv6 rows exercise the key_override path through the batched hasher;
+//   * odd packet counts, so the last batch is partial and the drain-time
+//     flush of a half-full batch is always exercised;
+//   * an arm with every overload policy live (admission + LRU eviction +
+//     reservations read flow state that batching defers), and a
+//     buffer-storm fault arm (feed_prepared must draw the veto RNG exactly
+//     like feed_record, attempt for attempt).
+// Plus a direct FlowLut lockstep test on interlock-heavy traffic comparing
+// the two completion streams field by field.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/flow_lut.hpp"
+#include "net/trace.hpp"
+#include "workload/metrics.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+ScenarioConfig scenario_config(u64 seed = 2014) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.onset_packets = 500;
+    config.pool_size = 256;
+    config.wave_packets = 512;
+    return config;
+}
+
+RunnerConfig runner_config() {
+    RunnerConfig config;
+    config.packets = 3001;  // odd: the final batch is partial by design.
+    config.analyzer.lut.buckets_per_mem = u64{1} << 12;
+    config.analyzer.lut.cam_capacity = 512;
+    return config;
+}
+
+/// Render every schema field except the explicitly mode-dependent batch
+/// counter; `cycles` stays in — timing equivalence is the whole point.
+std::string comparable_metrics(const ScenarioMetrics& metrics) {
+    std::string out;
+    for (const MetricField& field : metric_schema()) {
+        if (std::string(field.name) == "hash_batches") continue;
+        out += std::string(field.name) + "=" + metric_json(field, metrics) + "\n";
+    }
+    return out;
+}
+
+void expect_equivalent(RunnerConfig config, const std::string& spec, u64 seed = 2014) {
+    config.analyzer.lut.batch = 0;
+    ScenarioRunner scalar(config);
+    const auto scalar_result = scalar.run(spec, scenario_config(seed));
+    ASSERT_TRUE(scalar_result.has_value())
+        << spec << ": " << scalar_result.status().to_string();
+
+    config.analyzer.lut.batch = 16;
+    ScenarioRunner batched(config);
+    const auto batched_result = batched.run(spec, scenario_config(seed));
+    ASSERT_TRUE(batched_result.has_value())
+        << spec << ": " << batched_result.status().to_string();
+
+    EXPECT_EQ(comparable_metrics(scalar_result.value()),
+              comparable_metrics(batched_result.value()))
+        << spec;
+    // The batched run really took the batched path.
+    EXPECT_GT(batched_result.value().hash_batches, 0u) << spec;
+    EXPECT_EQ(scalar_result.value().hash_batches, 0u) << spec;
+}
+
+TEST(BatchEquivalenceTest, EveryBuiltinScenarioIsByteIdentical) {
+    for (const char* name :
+         {"baseline", "syn_flood", "port_scan", "heavy_hitter", "flash_crowd", "churn"}) {
+        expect_equivalent(runner_config(), name);
+    }
+}
+
+TEST(BatchEquivalenceTest, SeedSweepOnTheHardestScenarios) {
+    // A few extra seeds on the scenarios with the most RNG interplay
+    // (spoofed floods and population churn) to vary arrival patterns.
+    for (const u64 seed : {1u, 7u, 99u}) {
+        expect_equivalent(runner_config(), "syn_flood", seed);
+        expect_equivalent(runner_config(), "churn", seed);
+    }
+}
+
+TEST(BatchEquivalenceTest, ComposedSpecIsByteIdentical) {
+    expect_equivalent(runner_config(), "flash_crowd+syn_flood@onset=0.3");
+}
+
+TEST(BatchEquivalenceTest, ReplayWithIpv6KeyOverridesIsByteIdentical) {
+    // IPv6 rows travel as PacketRecord::key_override (a SixTuple-backed
+    // NTuple), the one key shape the batched hasher does not synthesize
+    // itself — both paths must hash the override bytes.
+    const std::filesystem::path trace =
+        std::filesystem::path(::testing::TempDir()) / "batch-equivalence-replay.csv";
+    {
+        std::ofstream out(trace);
+        out << "timestamp_ns,src,dst,src_port,dst_port,protocol,bytes\n";
+        for (int i = 0; i < 16; ++i) {
+            out << (1000 + i * 500) << ",10.0.0." << (1 + i % 4) << ",10.0.1.1," << (1024 + i)
+                << ",80,tcp,200\n";
+            out << (1250 + i * 500) << ",2001:db8::" << (1 + i % 8) << ",2001:db8::ffff,"
+                << (2048 + i) << ",443,tcp,1500\n";
+        }
+    }
+    RunnerConfig config = runner_config();
+    config.packets = 501;  // loops the 32-row trace; odd tail again.
+    expect_equivalent(config, "replay:" + trace.string());
+    std::filesystem::remove(trace);
+}
+
+TEST(BatchEquivalenceTest, OverloadPoliciesStayByteIdentical) {
+    // Admission, LRU eviction and reservations all read flow/table state
+    // that the batched mode touches on a deferred schedule — the flush
+    // points must make those reads see exactly the scalar state.
+    RunnerConfig config = runner_config();
+    config.analyzer.lut.cam_capacity = 64;
+    config.analyzer.lut.buckets_per_mem = u64{1} << 8;  // real pressure.
+    config.analyzer.lut.admission = core::AdmissionPolicy::kProbabilistic;
+    config.analyzer.lut.admission_pressure = 0.5;
+    config.analyzer.lut.admission_p = 0.7;
+    config.analyzer.lut.eviction = core::EvictionPolicy::kLru;
+    config.analyzer.lut.reservation = true;
+    expect_equivalent(config, "syn_flood");
+    expect_equivalent(config, "churn");
+}
+
+TEST(BatchEquivalenceTest, BufferStormFaultStaysByteIdentical) {
+    // The storm veto is drawn per feed attempt from the fault RNG;
+    // feed_prepared must consume that stream exactly like feed_record or
+    // every later fault decision shifts.
+    RunnerConfig config = runner_config();
+    config.fault.buffer_storm_p = 0.01;
+    config.fault.buffer_storm_len = 8;
+    config.fault.audit = true;
+    expect_equivalent(config, "syn_flood");
+}
+
+// ---- Direct FlowLut lockstep ------------------------------------------------
+
+core::FlowLutConfig lut_config(u32 batch) {
+    core::FlowLutConfig config;
+    config.buckets_per_mem = 1 << 10;
+    config.ways = 4;
+    config.cam_capacity = 64;
+    config.batch = batch;
+    return config;
+}
+
+std::vector<core::Completion> run_keys(core::FlowLut& lut,
+                                       const std::vector<net::NTuple>& keys) {
+    std::vector<core::Completion> completions;
+    std::size_t offered = 0;
+    u64 ts = 1;
+    while (offered < keys.size()) {
+        if (lut.now() % 2 == 0 && lut.offer(keys[offered], ts, 64)) {
+            ++offered;
+            ts += 17;
+        }
+        lut.step();
+        while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+    }
+    EXPECT_TRUE(lut.drain());
+    while (auto completion = lut.pop_completion()) completions.push_back(*completion);
+    return completions;
+}
+
+TEST(BatchEquivalenceTest, FlowLutCompletionStreamsAreIdentical) {
+    // Interlock-heavy traffic: a small key population makes same-flow
+    // packets pile up behind in-flight lookups, so the batched waiter
+    // release and deferred touches are constantly live.
+    Xoshiro256 rng(99);
+    std::vector<net::NTuple> keys;
+    for (int i = 0; i < 3001; ++i) {
+        keys.push_back(net::NTuple::from_five_tuple(net::synth_tuple(rng.bounded(40), 3)));
+    }
+
+    core::FlowLut scalar(lut_config(0));
+    core::FlowLut batched(lut_config(16));
+    const auto scalar_stream = run_keys(scalar, keys);
+    const auto batched_stream = run_keys(batched, keys);
+
+    ASSERT_EQ(scalar_stream.size(), batched_stream.size());
+    for (std::size_t i = 0; i < scalar_stream.size(); ++i) {
+        const core::Completion& a = scalar_stream[i];
+        const core::Completion& b = batched_stream[i];
+        EXPECT_EQ(a.seq, b.seq) << i;
+        EXPECT_EQ(a.fid, b.fid) << i;
+        EXPECT_EQ(a.is_new_flow, b.is_new_flow) << i;
+        EXPECT_EQ(a.via_cam, b.via_cam) << i;
+        EXPECT_EQ(a.retired_at, b.retired_at) << i;
+        EXPECT_EQ(a.offered_at, b.offered_at) << i;
+        EXPECT_EQ(a.timestamp_ns, b.timestamp_ns) << i;
+        EXPECT_EQ(a.frame_bytes, b.frame_bytes) << i;
+        EXPECT_EQ(a.tag, b.tag) << i;
+        EXPECT_EQ(a.key.view().size(), b.key.view().size()) << i;
+    }
+    EXPECT_EQ(scalar.now(), batched.now());
+
+    const core::FlowLutStats& s = scalar.stats();
+    const core::FlowLutStats& t = batched.stats();
+    EXPECT_EQ(s.offered, t.offered);
+    EXPECT_EQ(s.dispatched, t.dispatched);
+    EXPECT_EQ(s.completions, t.completions);
+    EXPECT_EQ(s.cam_hits, t.cam_hits);
+    EXPECT_EQ(s.lu1_hits, t.lu1_hits);
+    EXPECT_EQ(s.lu2_hits, t.lu2_hits);
+    EXPECT_EQ(s.resolved_inflight, t.resolved_inflight);
+    EXPECT_EQ(s.new_flows, t.new_flows);
+    EXPECT_EQ(s.drops, t.drops);
+    EXPECT_EQ(s.deletes_applied, t.deletes_applied);
+    EXPECT_EQ(s.path_dispatch[0], t.path_dispatch[0]);
+    EXPECT_EQ(s.path_dispatch[1], t.path_dispatch[1]);
+    EXPECT_EQ(s.table_inserts, t.table_inserts);
+    EXPECT_EQ(s.table_removals, t.table_removals);
+
+    // Table search statistics cover the speculative batched waiter search:
+    // record_search must replay exactly the counters the scalar path bumps.
+    EXPECT_EQ(scalar.table().stats().lookups, batched.table().stats().lookups);
+    EXPECT_EQ(scalar.table().stats().hits, batched.table().stats().hits);
+    EXPECT_EQ(scalar.table().stats().bucket_reads, batched.table().stats().bucket_reads);
+    EXPECT_EQ(scalar.table().stats().cam_searches, batched.table().stats().cam_searches);
+    EXPECT_EQ(scalar.table().stage_stats().cam_hits, batched.table().stage_stats().cam_hits);
+    EXPECT_EQ(scalar.table().stage_stats().mem1_hits,
+              batched.table().stage_stats().mem1_hits);
+    EXPECT_EQ(scalar.table().stage_stats().mem2_hits,
+              batched.table().stage_stats().mem2_hits);
+    EXPECT_EQ(scalar.table().stage_stats().misses, batched.table().stage_stats().misses);
+}
+
+}  // namespace
+}  // namespace flowcam::workload

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstring>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -119,6 +120,66 @@ TEST_P(HashFamilyTest, EmptyKeySupported) {
     const auto h = make_hash(GetParam(), 1);
     // Should not crash; value unspecified but deterministic.
     EXPECT_EQ(h->digest({}), h->digest({}));
+}
+
+TEST_P(HashFamilyTest, MultiKeyDigestMatchesScalar) {
+    // digest_multi must be bit-identical to per-key digest() for every
+    // family — H3 swaps in the vectorized XOR kernel, the others use the
+    // default loop — over adversarial key shapes: empty keys, mixed lengths
+    // in one batch (the lockstep kernel must handle per-lane tails), keys
+    // longer than the 64-byte H3 row table (position wrap-around), all-0xFF,
+    // and batch counts that are not a multiple of the 4-lane group width.
+    const auto h = make_hash(GetParam(), 77);
+    Xoshiro256 rng(41);
+
+    std::vector<std::vector<u8>> keys;
+    keys.push_back({});                        // empty
+    keys.push_back(std::vector<u8>(1, 0x00));  // single zero byte
+    keys.push_back(std::vector<u8>(13, 0xFF));
+    keys.push_back(std::vector<u8>(37, 0xAB));  // odd length
+    keys.push_back(std::vector<u8>(200, 0x5A));  // wraps the 64-byte row table
+    for (std::size_t length : {2u, 5u, 13u, 16u, 31u, 64u, 65u, 128u}) {
+        std::vector<u8> key(length);
+        for (auto& byte : key) byte = static_cast<u8>(rng());
+        keys.push_back(std::move(key));
+    }
+
+    // Try every batch size 1..N so group remainders (count % 4 != 0) and
+    // every mixed-length adjacency are covered.
+    for (std::size_t count = 1; count <= keys.size(); ++count) {
+        std::vector<std::span<const u8>> views;
+        views.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) views.emplace_back(keys[i]);
+        std::vector<u64> digests(count, 0);
+        h->digest_multi(views.data(), count, digests.data());
+        for (std::size_t i = 0; i < count; ++i) {
+            EXPECT_EQ(digests[i], h->digest(views[i]))
+                << to_string(GetParam()) << " count=" << count << " key=" << i;
+        }
+    }
+}
+
+TEST(IndexGen, MultiKeyDigestMatchesScalarPerPath) {
+    IndexGenerator generator(HashKind::kH3, 11, 1 << 10, 2);
+    Xoshiro256 rng(5);
+    constexpr std::size_t kCount = 9;  // not a multiple of the lane width.
+    std::vector<std::vector<u8>> keys(kCount);
+    std::vector<std::span<const u8>> views;
+    for (std::size_t i = 0; i < kCount; ++i) {
+        keys[i].resize(1 + rng.bounded(48));
+        for (auto& byte : keys[i]) byte = static_cast<u8>(rng());
+        views.emplace_back(keys[i]);
+    }
+    for (u32 path = 0; path < 2; ++path) {
+        std::vector<u64> digests(kCount, 0);
+        generator.digest_multi(path, views.data(), kCount, digests.data());
+        for (std::size_t i = 0; i < kCount; ++i) {
+            EXPECT_EQ(digests[i], generator.digest(path, views[i])) << "path=" << path;
+            EXPECT_EQ(generator.index_of_digest(digests[i]),
+                      generator.index(path, views[i]))
+                << "path=" << path;
+        }
+    }
 }
 
 TEST(IndexGen, TwoPathsAreIndependent) {

@@ -46,12 +46,15 @@
 #include <memory>
 #include <new>
 #include <span>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/batch.hpp"
 #include "core/flow_lut.hpp"
 #include "net/trace.hpp"
 #include "obs/obs.hpp"
+#include "shard/sharded_engine.hpp"
+#include "workload/runner.hpp"
 
 namespace {
 
@@ -394,6 +397,118 @@ int main(int argc, char** argv) {
             std::cout << "batch gate: OK (identical cycles; best-of-3 batched "
                       << TablePrinter::fixed(batched_best / scalar_best, 3)
                       << "x scalar)\n";
+        }
+    }
+
+    // Sharded-execution gate: a 100k-packet syn_flood through the monolithic
+    // runner vs the sharded engine at lanes=4 on 4 threads, best-of-3
+    // alternating windows. Two checks: the sharded merge must be
+    // deterministic across the repeats (exact cycles/completions — a
+    // threading bug shows up here first), and on hardware with >= 4 cores
+    // the sharded arm must beat FLOWCAM_SHARD_MIN_SPEEDUP (default 1.5x)
+    // wall clock. On smaller machines the measured speedup is reported but
+    // not enforced — 8 slice simulations on one core cannot beat one.
+    {
+        const u64 scenario_packets = 100'000;
+        workload::ScenarioConfig scenario_config;
+        scenario_config.seed = 2014;
+        scenario_config.horizon_packets = scenario_packets;
+
+        workload::RunnerConfig mono_config;
+        mono_config.packets = scenario_packets;
+        workload::RunnerConfig shard_config = mono_config;
+        shard_config.shard.lanes = 4;
+        shard_config.shard.jobs = 4;
+
+        const auto run_mono = [&](double& wall) -> Result<workload::ScenarioMetrics> {
+            workload::ScenarioRunner runner(mono_config);
+            const auto before = Clock::now();
+            auto metrics = runner.run("syn_flood", scenario_config);
+            wall = std::chrono::duration<double>(Clock::now() - before).count();
+            return metrics;
+        };
+        const auto run_sharded = [&](double& wall) -> Result<workload::ScenarioMetrics> {
+            shard::ShardedEngine engine(shard_config);
+            const auto before = Clock::now();
+            auto metrics = engine.run("syn_flood", scenario_config);
+            wall = std::chrono::duration<double>(Clock::now() - before).count();
+            return metrics;
+        };
+
+        double mono_best = 0.0;
+        double sharded_best = 0.0;
+        u64 sharded_cycles = 0;
+        u64 sharded_completions = 0;
+        bool sharded_ok = true;
+        for (int repeat = 0; repeat < 3; ++repeat) {
+            double mono_wall = 0.0;
+            double sharded_wall = 0.0;
+            const auto mono = run_mono(mono_wall);
+            const auto sharded = run_sharded(sharded_wall);
+            if (!mono || !sharded) {
+                std::cerr << "FAIL: shard gate run errored: "
+                          << (!mono ? mono.status().to_string()
+                                    : sharded.status().to_string())
+                          << "\n";
+                return 1;
+            }
+            if (mono.value().packets != sharded.value().packets ||
+                mono.value().completions != sharded.value().completions) {
+                std::cerr << "FAIL: sharded run lost packets (" << sharded.value().packets
+                          << "/" << sharded.value().completions << " vs monolithic "
+                          << mono.value().packets << "/" << mono.value().completions
+                          << ")\n";
+                return 1;
+            }
+            if (repeat == 0) {
+                sharded_cycles = sharded.value().cycles;
+                sharded_completions = sharded.value().completions;
+                mono_best = mono_wall;
+                sharded_best = sharded_wall;
+            } else {
+                if (sharded.value().cycles != sharded_cycles ||
+                    sharded.value().completions != sharded_completions) {
+                    sharded_ok = false;
+                }
+                mono_best = std::min(mono_best, mono_wall);
+                sharded_best = std::min(sharded_best, sharded_wall);
+            }
+        }
+        if (!sharded_ok) {
+            std::cerr << "FAIL: sharded merge diverged between repeats (thread "
+                         "scheduling leaked into results)\n";
+            return 1;
+        }
+        const double speedup = sharded_best == 0.0 ? 0.0 : mono_best / sharded_best;
+        double min_speedup = 1.5;
+        if (const char* env = std::getenv("FLOWCAM_SHARD_MIN_SPEEDUP")) {
+            min_speedup = std::strtod(env, nullptr);
+        }
+        const unsigned cores = std::thread::hardware_concurrency();
+        const bool enforced = cores >= 4;
+
+        bench::JsonResult json("bench_hotpath");
+        json.add("mode", "sharded_scenario_gate")
+            .add("scenario", "syn_flood")
+            .add("packets", scenario_packets)
+            .add("lanes", u64{4})
+            .add("jobs", u64{4})
+            .add("monolithic_wall_seconds", mono_best)
+            .add("sharded_wall_seconds", sharded_best)
+            .add("speedup", speedup)
+            .add("min_speedup", min_speedup)
+            .add("hardware_threads", static_cast<u64>(cores))
+            .add("gate_enforced", enforced ? u64{1} : u64{0});
+        json.emit();
+        std::cout << "shard gate: best-of-3 speedup "
+                  << TablePrinter::fixed(speedup, 3) << "x at lanes=4 jobs=4 ("
+                  << cores << " hardware threads; gate "
+                  << (enforced ? "enforced" : "report-only") << ")\n";
+        if (enforced && speedup < min_speedup) {
+            std::cerr << "FAIL: sharded execution below gate: "
+                      << TablePrinter::fixed(speedup, 3) << "x vs required "
+                      << TablePrinter::fixed(min_speedup, 2) << "x\n";
+            return 1;
         }
     }
     return 0;

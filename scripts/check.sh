@@ -5,7 +5,10 @@
 # cam-depth grid whose CSV/JSONL must be byte-identical serial vs parallel;
 # the grid CSV is a CI artifact), a trace smoke (a composed scenario with the
 # flight recorder on — the Chrome trace JSON and sampler JSONL must be
-# well-formed, and both are CI artifacts), a fault-injection smoke (every
+# well-formed, and both are CI artifacts), a sharded-execution smoke (a
+# lanes=FLOWCAM_SHARD_LANES run must be byte-identical to a different
+# lane count and match the monolithic run's conserved stream totals), a
+# fault-injection smoke (every
 # fault family fired once under the invariant auditor; audit_violations must
 # stay 0), then a Release build with hot-path performance gates (allocation
 # counter + wall-clock ceilings). The zero-alloc gate also covers the
@@ -26,6 +29,8 @@
 #   FLOWCAM_SANITIZE=1      configure with -DFLOWCAM_SANITIZE=ON (ASan+UBSan)
 #   FLOWCAM_FAULT_SEED=N    fault-injection RNG seed for the fault smoke
 #                           (default 0 = the deterministic built-in seed)
+#   FLOWCAM_SHARD_LANES=N   lane count for the shard smoke (1|2|4|8,
+#                           default 4)
 #   FLOWCAM_SWEEP_CEILING=S serial sweep median ceiling in seconds
 #
 # Exits non-zero on the first failure, naming the stage that failed. Honors
@@ -202,6 +207,54 @@ else
   tail -c 8 "$BUILD_DIR/check-trace.json" | grep -q '}' || {
     echo "check-trace.json looks truncated" >&2; exit 1; }
 fi
+
+SHARD_LANES="${FLOWCAM_SHARD_LANES:-4}"
+stage "shard smoke (lanes=$SHARD_LANES: merge invariance + conserved totals vs monolithic)"
+STAGE_DETAIL="set FLOWCAM_SHARD_LANES (1|2|4|8) to change the sharded arm"
+SHARD_MONO_CSV="$BUILD_DIR/check-shard-mono.csv"
+SHARD_CSV="$BUILD_DIR/check-shard-lanes.csv"
+SHARD_ALT_CSV="$BUILD_DIR/check-shard-alt.csv"
+rm -f "$SHARD_MONO_CSV" "$SHARD_CSV" "$SHARD_ALT_CSV"
+"$BUILD_DIR/scenario_runner" --scenario=syn_flood --attack=0.6 --packets=3000 \
+  --csv="$SHARD_MONO_CSV" > /dev/null
+"$BUILD_DIR/scenario_runner" --scenario=syn_flood --attack=0.6 --packets=3000 \
+  "--set=shard.lanes=$SHARD_LANES" --jobs="$(nproc)" --csv="$SHARD_CSV" > /dev/null
+if [[ "$SHARD_LANES" != "1" ]]; then
+  # Merged metrics are lane-count invariant (the simulation unit is the
+  # slice, lanes only group slices), so a different lane count — run serial
+  # to also cover thread-count invariance — must be byte-identical.
+  ALT_LANES=2
+  [[ "$SHARD_LANES" == "2" ]] && ALT_LANES=8
+  "$BUILD_DIR/scenario_runner" --scenario=syn_flood --attack=0.6 --packets=3000 \
+    "--set=shard.lanes=$ALT_LANES" --jobs=1 --csv="$SHARD_ALT_CSV" > /dev/null
+  cmp "$SHARD_CSV" "$SHARD_ALT_CSV"
+fi
+# Stream-side totals and end-to-end conservation must match the monolithic
+# run exactly, whatever the lane count. Columns by NAME (the schema grows).
+awk -F, -v lanes="$SHARD_LANES" '
+  FNR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+  NR == FNR {                  # first file (monolithic) data row
+    n = split("status,packets,bytes,distinct_flows,overlay_packets,trace_span_ns,completions,new_flows,drained", keys, ",")
+    for (k = 1; k <= n; k++) mono[keys[k]] = $col[keys[k]]
+    next
+  }
+  FNR == 2 {                   # second file (sharded) data row
+    if ($col["status"] != "ok") {
+      printf "shard smoke: lanes=%s status=%s\n", lanes, $col["status"]; exit 1
+    }
+    if ($col["drained"] != "1" && $col["drained"] != "true") {
+      printf "shard smoke: lanes=%s not drained\n", lanes; exit 1
+    }
+    n = split("packets,bytes,distinct_flows,overlay_packets,trace_span_ns,completions,new_flows", keys, ",")
+    for (k = 1; k <= n; k++) {
+      if ($col[keys[k]] != mono[keys[k]]) {
+        printf "shard smoke: lanes=%s %s=%s != monolithic %s\n",
+               lanes, keys[k], $col[keys[k]], mono[keys[k]]; exit 1
+      }
+    }
+    printf "shard smoke: lanes=%s conserved totals match monolithic (packets=%s completions=%s)\n",
+           lanes, $col["packets"], $col["completions"]
+  }' "$SHARD_MONO_CSV" "$SHARD_CSV"
 
 run_fault_smoke
 

@@ -66,6 +66,7 @@ enum class EvictionPolicy : u8 {
     kNone,       ///< drop the new flow (original behavior).
     kLru,        ///< evict the idlest entry among the two candidate buckets.
     kCamOldest,  ///< evict the oldest collision-CAM entry.
+    kClock,      ///< second-chance sweep over the candidate buckets.
 };
 
 [[nodiscard]] constexpr const char* to_string(EvictionPolicy policy) {
@@ -73,6 +74,7 @@ enum class EvictionPolicy : u8 {
         case EvictionPolicy::kNone: return "none";
         case EvictionPolicy::kLru: return "lru";
         case EvictionPolicy::kCamOldest: return "cam-oldest";
+        case EvictionPolicy::kClock: return "clock";
     }
     return "?";
 }

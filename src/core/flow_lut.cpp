@@ -100,6 +100,7 @@ void FlowLut::set_recorder(obs::Recorder* recorder) {
     obs_admission_rejects_ = cell("lut.admission_rejects");
     obs_evictions_lru_ = cell("lut.evictions_lru");
     obs_evictions_cam_ = cell("lut.evictions_cam");
+    obs_evictions_clock_ = cell("lut.evictions_clock");
     obs_res_granted_ = cell("lut.reservations_granted");
     obs_res_confirmed_ = cell("lut.reservations_confirmed");
     obs_res_reclaimed_ = cell("lut.reservations_reclaimed");
@@ -515,6 +516,45 @@ std::optional<TableIndex> FlowLut::try_evict_for(const Descriptor& descriptor) {
         ++stats_.table_removals;
         if (obs_ != nullptr) ++*obs_evictions_lru_;
         return victim;
+    }
+
+    if (config_.eviction == EvictionPolicy::kClock) {
+        // Second-chance sweep over the two candidate buckets: the hand walks
+        // the combined [mem0 ways | mem1 ways] window, clearing each passed
+        // entry's referenced bit; the first unreferenced entry not in motion
+        // (same guards as the LRU arm) is the victim. Two revolutions bound
+        // the walk: everything evictable is unreferenced by the second.
+        const u32 positions = 2 * config_.ways;
+        for (u32 step = 0; step < 2 * positions; ++step) {
+            const u32 pos = clock_hand_;
+            clock_hand_ = (clock_hand_ + 1) % positions;
+            const u32 mem = pos / config_.ways;
+            const u32 way = pos % config_.ways;
+            const u64 bucket = mem == 0 ? descriptor.index_a : descriptor.index_b;
+            PathState& state = paths_[mem];
+            if (state.filter.delete_blocked(bucket_address(bucket))) continue;
+            const u64 slot = bucket * config_.ways + way;
+            const table::Entry& entry = table_.mem_entry(mem, slot);
+            if (!entry.valid) continue;
+            const FlowKey entry_key(
+                std::span<const u8>(entry.key.data(), entry.key_length));
+            if (state.updates.delete_pending(entry_key)) continue;
+            if (flow_gate_.find(entry_key) != nullptr) continue;
+            if (reserved_.find(entry_key) != nullptr) continue;
+            TableIndex location;
+            location.where =
+                mem == 0 ? TableIndex::Where::kMem1 : TableIndex::Where::kMem2;
+            location.slot = slot;
+            const FlowId fid = make_fid(location);
+            if (flow_state_.consume_referenced(fid)) continue;  // second chance.
+            if (!table_.erase_at(location, entry_key.view()).is_ok()) continue;
+            flow_state_.on_deleted(fid);
+            ++stats_.evictions_clock;
+            ++stats_.table_removals;
+            if (obs_ != nullptr) ++*obs_evictions_clock_;
+            return location;
+        }
+        return std::nullopt;
     }
 
     // kCamOldest: the oldest CAM entry still present and not in motion.

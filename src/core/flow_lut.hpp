@@ -70,6 +70,7 @@ struct FlowLutStats {
     u64 admission_rejects = 0;    ///< new flows refused by admission policy.
     u64 evictions_lru = 0;        ///< idle entries evicted to make room.
     u64 evictions_cam = 0;        ///< oldest CAM entries evicted to make room.
+    u64 evictions_clock = 0;      ///< second-chance sweep evictions.
     u64 reservations_granted = 0;
     u64 reservations_confirmed = 0;
     u64 reservations_reclaimed = 0;
@@ -150,6 +151,14 @@ class FlowLut final : public sim::Ticker {
     [[nodiscard]] u64 idle_cycles_hint() const override;
     void skip_idle(u64 cycles) { now_ += cycles; }
     void skip(u64 cycles) override { skip_idle(cycles); }
+
+    /// Sharded-execution epoch barrier: raise the expiry stream clock to the
+    /// global floor (the laggard slice's stream position) so time-based
+    /// housekeeping observes a consistent global clock across lanes. Never
+    /// lowers the clock; monolithic runs never call this.
+    void advance_stream_floor(u64 ns) {
+        if (ns > stream_time_ns_) stream_time_ns_ = ns;
+    }
 
     [[nodiscard]] Cycle now() const { return now_; }
     [[nodiscard]] bool drained() const;
@@ -349,6 +358,7 @@ class FlowLut final : public sim::Ticker {
     u64* obs_admission_rejects_ = nullptr;
     u64* obs_evictions_lru_ = nullptr;
     u64* obs_evictions_cam_ = nullptr;
+    u64* obs_evictions_clock_ = nullptr;
     u64* obs_res_granted_ = nullptr;
     u64* obs_res_confirmed_ = nullptr;
     u64* obs_res_reclaimed_ = nullptr;
@@ -373,6 +383,11 @@ class FlowLut final : public sim::Ticker {
     /// CAM insertion order for EvictionPolicy::kCamOldest (stale entries —
     /// already erased or moved — are skipped lazily).
     std::deque<FlowKey> cam_order_;
+    /// Clock hand for EvictionPolicy::kClock: a position in the combined
+    /// [mem0 ways | mem1 ways] candidate window of whichever descriptor is
+    /// evicting. Persisting the hand across evictions is what makes the
+    /// sweep a rotation rather than a fixed-priority scan.
+    u32 clock_hand_ = 0;
     FlowLutStats stats_;
     Cycle now_ = 0;
     u64 next_seq_ = 0;

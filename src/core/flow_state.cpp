@@ -30,6 +30,7 @@ u64 FlowStateBlock::apply_touch(FlowId fid, std::span<const u8> key, u64 timesta
     ++record.packets;
     record.bytes += frame_bytes;
     record.last_ns = std::max(record.last_ns, timestamp_ns);
+    record.referenced = true;
     return record.last_ns + timeout_ns_;
 }
 
@@ -100,6 +101,14 @@ std::vector<FlowRecord> FlowStateBlock::scan_expired(u64 now_ns) {
 const FlowRecord* FlowStateBlock::find(FlowId fid) const {
     const auto it = records_.find(fid);
     return it == records_.end() ? nullptr : &it->second;
+}
+
+bool FlowStateBlock::consume_referenced(FlowId fid) {
+    const auto it = records_.find(fid);
+    if (it == records_.end()) return false;
+    const bool was = it->second.referenced;
+    it->second.referenced = false;
+    return was;
 }
 
 std::vector<FlowRecord> FlowStateBlock::snapshot() const {

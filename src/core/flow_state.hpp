@@ -28,6 +28,10 @@ struct FlowRecord {
     u64 bytes = 0;
     u64 first_ns = 0;
     u64 last_ns = 0;
+    /// Second-chance bit: set on every touch, cleared by the clock eviction
+    /// sweep (EvictionPolicy::kClock). A flow is evictable once the hand has
+    /// passed it a full revolution without a new packet.
+    bool referenced = false;
 
     [[nodiscard]] double duration_s() const {
         return static_cast<double>(last_ns - first_ns) / 1e9;
@@ -78,6 +82,11 @@ class FlowStateBlock {
     }
 
     [[nodiscard]] const FlowRecord* find(FlowId fid) const;
+
+    /// Clock-eviction support: report whether `fid`'s record carried the
+    /// second-chance bit, clearing it as a side effect (the hand passed).
+    /// Missing records read as unreferenced (immediately evictable).
+    [[nodiscard]] bool consume_referenced(FlowId fid);
     [[nodiscard]] std::size_t active_flows() const { return records_.size(); }
     [[nodiscard]] u64 expired_total() const { return expired_total_; }
 

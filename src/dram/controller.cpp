@@ -237,13 +237,18 @@ void DramController::issue(const Command& cmd, Cycle now) {
 }
 
 bool DramController::try_refresh(Cycle now) {
-    if (!config_.refresh_enabled) return false;
+    if (!config_.refresh_enabled) {
+        refresh_gate_ = kNever;
+        return false;
+    }
     if (!refresh_pending_) {
         if (now < next_refresh_) {
+            refresh_gate_ = next_refresh_;
             note_candidate(next_refresh_);
             return false;
         }
         refresh_pending_ = true;
+        refresh_gate_ = 0;  // retry every evaluated tick until the REF lands.
     }
 
     // Precharge any open bank first (one command per cycle; lowest bank
@@ -265,6 +270,7 @@ bool DramController::try_refresh(Cycle now) {
         issue(refresh, now);
         refresh_pending_ = false;
         next_refresh_ += timings_.trefi;
+        refresh_gate_ = next_refresh_;
         return true;
     }
     note_candidate(earliest);
@@ -596,8 +602,14 @@ void DramController::tick(Cycle now) {
         }
     }
 
-    // Refresh has absolute priority when due.
-    if (try_refresh(now)) return;
+    // Refresh has absolute priority when due. The cached gate makes the
+    // common not-yet-due case one compare; noting the gate reproduces the
+    // note_candidate(next_refresh_) try_refresh would have made.
+    if (now >= refresh_gate_) {
+        if (try_refresh(now)) return;
+    } else {
+        note_candidate(refresh_gate_);
+    }
 
     // Phase selection with hysteresis.
     const std::size_t write_count = queues_[1].size;

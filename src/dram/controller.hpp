@@ -314,6 +314,13 @@ class DramController final : public sim::Ticker {
     bool write_drain_mode_ = false;
     bool refresh_pending_ = false;
     Cycle next_refresh_ = 0;
+    /// tick() skips try_refresh() entirely before this cycle: while no
+    /// refresh is pending the gate sits at next_refresh_, and while one is
+    /// pending it sits at 0 so the retry logic runs every evaluated tick.
+    /// try_refresh() maintains the gate at each return path, so the command
+    /// stream and stall calendar are identical to calling it unconditionally
+    /// (profiled at 2.2M calls for 1.2M issues before the gate).
+    Cycle refresh_gate_ = 0;
     bool last_was_write_ = false;
     Cycle now_ = 0;  ///< last ticked memory cycle (for enqueue timestamps).
     Cycle stall_until_ = 0;   ///< tick() is a provable no-op before this cycle.

@@ -82,6 +82,18 @@ class Histogram {
     /// fall (bucket upper bound, clamped to the exact max).
     [[nodiscard]] u64 percentile(double fraction) const;
 
+    /// Fold another histogram into this one (the sharded-lane merge):
+    /// buckets add elementwise, count/sum accumulate, min/max widen. The
+    /// result is exactly the histogram a single Recorder would have built
+    /// from the union of both sample streams.
+    void merge(const Histogram& other) {
+        for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.count_ != 0 && other.min_ < min_) min_ = other.min_;
+        if (other.max_ > max_) max_ = other.max_;
+    }
+
     [[nodiscard]] static constexpr u32 bucket_of(u64 value) {
         if (value < 4) return static_cast<u32>(value);
         const int width = std::bit_width(value);  // >= 3.

@@ -1,0 +1,64 @@
+// RSS-style sharding of the table model: the packet stream is partitioned
+// into a fixed number of virtual slices by a stable function of the
+// pre-hashed FlowKey (the top bits of the fully-avalanched digest, like an
+// RSS indirection table), and `lanes` groups those slices onto execution
+// lanes. The *simulation unit is the slice*, never the lane: lanes=2, 4 and
+// 8 all run the same eight slice simulations and merge them in slice order,
+// so their merged metrics are bit-identical by construction and independent
+// of thread count or scheduling. lanes=1 bypasses sharding entirely and is
+// byte-identical to the monolithic path.
+#pragma once
+
+#include "common/result.hpp"
+#include "core/flow_key.hpp"
+
+namespace flowcam::shard {
+
+/// Fixed virtual-slice count (the RSS indirection table size). Eight slices
+/// match the widest supported lane count; intermediate lane counts own
+/// kShardSlices / lanes contiguous slices each.
+inline constexpr u32 kShardSlices = 8;
+
+/// Stable slice assignment: the top three bits of the FlowKey digest. The
+/// digest is fully avalanched (MurmurHash3 finalizer), so the top bits are
+/// as uniform as the low bits the table indexes with — and independent of
+/// them, which keeps per-slice bucket indexing unbiased.
+[[nodiscard]] inline u32 slice_of(const core::FlowKey& key) {
+    return static_cast<u32>(key.hash >> 61);
+}
+
+/// Sharded-execution knobs. `lanes` and `epoch_cycles` are semantic
+/// (ConfigPatch keys `shard.lanes` / `shard.epoch_cycles` — they change the
+/// simulated model); `jobs` is pure runtime parallelism (how many OS threads
+/// run the lanes) and must never change any result — the determinism suite
+/// asserts serial-vs-threaded byte identity.
+struct ShardConfig {
+    /// 1 = monolithic (sharding off); 2/4/8 = sharded over kShardSlices
+    /// virtual slices grouped onto this many lanes.
+    u32 lanes = 1;
+    /// Cross-lane epoch barrier interval in system cycles: every epoch all
+    /// lanes synchronize and the global stream-time floor (the laggard
+    /// slice's stream position) is pushed into every slice's expiry clock,
+    /// so time-based housekeeping observes a consistent global clock.
+    u64 epoch_cycles = 4096;
+    /// Threads used to run the lanes (<= lanes is useful; 0 or 1 = serial).
+    /// Not a ConfigPatch key: thread count is runtime, not semantics.
+    std::size_t jobs = 1;
+
+    [[nodiscard]] bool active() const { return lanes > 1; }
+
+    [[nodiscard]] Status validate() const {
+        if (lanes == 0 || lanes > kShardSlices || kShardSlices % lanes != 0) {
+            return Status(StatusCode::kInvalidArgument,
+                          "shard.lanes must be 1, 2, 4 or 8 (got " +
+                              std::to_string(lanes) + ")");
+        }
+        if (epoch_cycles == 0) {
+            return Status(StatusCode::kInvalidArgument,
+                          "shard.epoch_cycles must be positive");
+        }
+        return Status::ok();
+    }
+};
+
+}  // namespace flowcam::shard

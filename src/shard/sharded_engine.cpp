@@ -1,0 +1,424 @@
+#include "shard/sharded_engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+#include "common/thread_pool.hpp"
+#include "net/linerate.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sim/ticker.hpp"
+#include "workload/compose.hpp"
+#include "workload/tickers.hpp"
+
+namespace flowcam::shard {
+
+namespace {
+
+using workload::ScenarioMetrics;
+
+/// The slice-filtered source: draws the FULL global stream from its own
+/// scenario instance (generators are pure deterministic streams, so every
+/// slice sees identical records and identical scaled timestamps) and offers
+/// only the records whose key hashes to this slice. Record k is offered no
+/// earlier than cycle k * cycles_per_packet — the offer slot the monolithic
+/// source would use — so pacing, idle gaps and the input-rate divider carry
+/// over; backpressure holds the frame and retries, exactly like the
+/// monolithic SourceTicker.
+class SliceSource final : public sim::Ticker {
+  public:
+    SliceSource(workload::Scenario& scenario, analyzer::TrafficAnalyzer& analyzer, u32 slice,
+                u64 packet_budget, u32 cycles_per_packet, double time_scale,
+                ScenarioMetrics& metrics, obs::Recorder* obs)
+        : scenario_(scenario),
+          analyzer_(analyzer),
+          slice_(slice),
+          budget_(packet_budget),
+          cycles_per_packet_(cycles_per_packet == 0 ? 1 : cycles_per_packet),
+          time_scale_(time_scale > 0.0 ? time_scale : 1.0),
+          metrics_(metrics),
+          obs_(obs) {
+        if (obs_ != nullptr) {
+            auto cell = obs_->register_counter("source.backpressure_retries");
+            obs_retries_ = cell ? cell.value() : &obs_scrap_cell_;
+        }
+    }
+
+    void tick(Cycle now) override {
+        last_now_ = now;
+        if (!have_held_ && !exhausted_) draw_until_kept();
+        if (!have_held_) return;
+        if (now < due_) return;
+        // Align fresh offers to the input-rate divider; a backpressured
+        // frame retries every cycle (the line side cannot drop it).
+        if (!retrying_ && now % cycles_per_packet_ != 0) return;
+        if (!analyzer_.feed_record(held_)) {
+            if (obs_ != nullptr) {
+                if (burst_retries_ == 0) burst_start_ = now;
+                ++burst_retries_;
+                ++*obs_retries_;
+            }
+            retrying_ = true;
+            return;
+        }
+        if (obs_ != nullptr && burst_retries_ > 0) {
+            obs_->event_span(obs::Recorder::kTrackSource, "backpressure",
+                             obs_->sys_ns(burst_start_), obs_->sys_ns(now - burst_start_),
+                             "retries", burst_retries_);
+            burst_retries_ = 0;
+        }
+        retrying_ = false;
+        ++metrics_.packets;
+        metrics_.bytes += held_.frame_bytes;
+        flows_.insert(held_.flow_index);
+        if (held_.flow_index >= workload::kOverlayFlowBase) {
+            ++metrics_.overlay_packets;
+            if (!overlay_seen_) {
+                overlay_seen_ = true;
+                overlay_first_ = now;
+            }
+            overlay_last_ = now;
+        }
+        if (metrics_.packets == 1) first_ns_ = held_.timestamp_ns;
+        last_ns_ = held_.timestamp_ns;
+        have_held_ = false;
+    }
+
+    [[nodiscard]] std::string name() const override { return "shard-slice-source"; }
+
+    [[nodiscard]] u64 idle_cycles_hint() const override {
+        if (done()) return ~u64{0};  // exhausted: idle forever.
+        if (!have_held_) return 0;   // next tick must draw.
+        if (retrying_) return 0;     // retrying a backpressured frame.
+        const Cycle next = last_now_ + 1;
+        // Idle until the held record's due slot, then align to the divider.
+        if (due_ > next) return due_ - next;
+        return (cycles_per_packet_ - (next % cycles_per_packet_)) % cycles_per_packet_;
+    }
+
+    /// The full global stream has been drawn and every kept record offered.
+    [[nodiscard]] bool done() const { return exhausted_ && !have_held_; }
+
+    /// Global stream time at this slice's draw cursor (scaled ns of the last
+    /// drawn record, kept or not) — the epoch barrier takes the minimum over
+    /// slices as the consistent global expiry clock.
+    [[nodiscard]] u64 stream_position_ns() const { return last_scaled_ns_; }
+
+    [[nodiscard]] u64 first_ns() const { return first_ns_; }
+    [[nodiscard]] u64 last_ns() const { return last_ns_; }
+
+    void finalize() {
+        metrics_.distinct_flows = flows_.size();
+        metrics_.trace_span_ns = last_ns_ - first_ns_;
+        if (obs_ == nullptr) return;
+        if (burst_retries_ > 0) {  // run ended mid-burst; close the span.
+            obs_->event_span(obs::Recorder::kTrackSource, "backpressure",
+                             obs_->sys_ns(burst_start_), obs_->sys_ns(last_now_ - burst_start_),
+                             "retries", burst_retries_);
+            burst_retries_ = 0;
+        }
+        if (overlay_seen_) {
+            obs_->event_span(obs::Recorder::kTrackScenario, "overlay-window",
+                             obs_->sys_ns(overlay_first_),
+                             obs_->sys_ns(overlay_last_ - overlay_first_ + 1), "packets",
+                             metrics_.overlay_packets);
+        }
+    }
+
+  private:
+    /// Identical to the monolithic source's timestamp treatment, applied in
+    /// global draw order — every slice computes the same scaled stream.
+    void scale_timestamp(net::PacketRecord& record, bool not_first) {
+        if (time_scale_ != 1.0) {
+            constexpr double kMaxScaledNs = 9.2e18;  // < 2^63: cast-safe.
+            const double scaled = static_cast<double>(record.timestamp_ns) * time_scale_;
+            record.timestamp_ns = scaled >= kMaxScaledNs ? static_cast<u64>(kMaxScaledNs)
+                                                         : static_cast<u64>(scaled);
+        }
+        if (record.timestamp_ns <= last_scaled_ns_ && not_first) {
+            record.timestamp_ns = last_scaled_ns_ + 1;
+        }
+        last_scaled_ns_ = record.timestamp_ns;
+    }
+
+    /// Advance the global draw cursor until a record for this slice is held
+    /// (with its offer slot) or the budget is exhausted. Skipped records are
+    /// other slices' traffic; they still advance the scaled stream clock.
+    void draw_until_kept() {
+        while (drawn_ < budget_) {
+            net::PacketRecord record = scenario_.next();
+            scale_timestamp(record, drawn_ > 0);
+            const u64 index = drawn_;
+            ++drawn_;
+            const core::FlowKey key =
+                record.key_override.empty()
+                    ? core::FlowKey(net::NTuple::from_five_tuple(record.tuple))
+                    : core::FlowKey(record.key_override);
+            if (slice_of(key) != slice_) continue;
+            held_ = record;
+            due_ = static_cast<Cycle>(index) * cycles_per_packet_;
+            have_held_ = true;
+            return;
+        }
+        exhausted_ = true;
+    }
+
+    workload::Scenario& scenario_;
+    analyzer::TrafficAnalyzer& analyzer_;
+    u32 slice_;
+    u64 budget_;
+    u32 cycles_per_packet_;
+    double time_scale_;
+    ScenarioMetrics& metrics_;
+    u64 drawn_ = 0;  ///< global draw cursor (all slices' records).
+    u64 last_scaled_ns_ = 0;
+    net::PacketRecord held_;
+    Cycle due_ = 0;
+    bool have_held_ = false;
+    bool retrying_ = false;
+    bool exhausted_ = false;
+    Cycle last_now_ = 0;
+    std::unordered_set<u64> flows_;
+    u64 first_ns_ = 0;
+    u64 last_ns_ = 0;
+    obs::Recorder* obs_;
+    u64* obs_retries_ = nullptr;
+    u64 obs_scrap_cell_ = 0;
+    Cycle burst_start_ = 0;
+    u64 burst_retries_ = 0;
+    bool overlay_seen_ = false;
+    Cycle overlay_first_ = 0;
+    Cycle overlay_last_ = 0;
+};
+
+/// One slice's whole simulation stack. Heap-allocated once and never moved:
+/// the engine holds references into it.
+struct Slice {
+    std::unique_ptr<workload::Scenario> scenario;
+    std::unique_ptr<analyzer::TrafficAnalyzer> analyzer;
+    std::unique_ptr<obs::Recorder> recorder;
+    std::unique_ptr<faults::FaultInjector> injector;
+    std::unique_ptr<SliceSource> source;
+    std::unique_ptr<workload::detail::AnalyzerTicker> sink;
+    std::unique_ptr<workload::detail::SamplerTicker> sampler;
+    std::unique_ptr<workload::detail::AuditorTicker> auditor;
+    sim::Engine engine;
+    ScenarioMetrics metrics;
+    bool finished = false;
+    bool drained = false;
+};
+
+bool slice_done(const Slice& slice) {
+    return slice.source->done() &&
+           slice.analyzer->stats().packets >= slice.metrics.packets &&
+           slice.analyzer->lut().drained();
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(workload::RunnerConfig config) : config_(std::move(config)) {}
+
+Result<ScenarioMetrics> ShardedEngine::run(const std::string& spec,
+                                           const workload::ScenarioConfig& scenario_config,
+                                           const workload::Registry& registry) {
+    if (Status status = config_.shard.validate(); !status.is_ok()) return status;
+    const u32 lanes = config_.shard.lanes;
+    const u32 per_lane = kShardSlices / lanes;
+
+    // Slice geometry: each slice owns 1/kShardSlices of the buckets and the
+    // CAM (total capacity conserved); queue depths, clocks and policies are
+    // per-stack resources and stay as configured.
+    analyzer::AnalyzerConfig slice_config = config_.analyzer;
+    slice_config.lut.buckets_per_mem =
+        std::max<u64>(1, config_.analyzer.lut.buckets_per_mem / kShardSlices);
+    slice_config.lut.cam_capacity =
+        std::max<std::size_t>(1, config_.analyzer.lut.cam_capacity / kShardSlices);
+
+    std::vector<std::unique_ptr<Slice>> slices;
+    slices.reserve(kShardSlices);
+    for (u32 s = 0; s < kShardSlices; ++s) {
+        auto scenario = workload::make_scenario(spec, scenario_config, registry);
+        if (!scenario) return scenario.status();
+        auto slice = std::make_unique<Slice>();
+        slice->scenario = std::move(scenario).value();
+        slice->analyzer = std::make_unique<analyzer::TrafficAnalyzer>(slice_config);
+        if (config_.obs.enabled()) {
+            slice->recorder = std::make_unique<obs::Recorder>(config_.obs);
+            slice->recorder->set_clock(slice_config.lut.system_clock_hz,
+                                       slice_config.lut.memory_clock_ratio);
+            slice->analyzer->set_recorder(slice->recorder.get());
+        }
+        if (config_.fault.enabled()) {
+            // Per-slice fault stream: a deterministically derived seed per
+            // slice, so fault schedules are independent across slices but
+            // identical across lane counts and thread counts.
+            faults::FaultConfig fault = config_.fault;
+            fault.seed = core::detail::mix64(fault.seed ^ (0x5eed5a1cull + s));
+            slice->injector = std::make_unique<faults::FaultInjector>(fault);
+            slice->analyzer->set_faults(slice->injector.get());
+        }
+        slice->metrics.scenario = slice->scenario->name();
+        slice->source = std::make_unique<SliceSource>(
+            *slice->scenario, *slice->analyzer, s, config_.packets, config_.cycles_per_packet,
+            config_.time_scale, slice->metrics, slice->recorder.get());
+        slice->sink = std::make_unique<workload::detail::AnalyzerTicker>(*slice->analyzer);
+        slice->engine.set_recorder(slice->recorder.get());
+        slice->engine.add(*slice->source);  // pipeline order: source first.
+        slice->engine.add(*slice->sink);
+        if (slice->recorder != nullptr && config_.obs.sample_interval > 0) {
+            slice->sampler = std::make_unique<workload::detail::SamplerTicker>(
+                *slice->recorder, config_.obs.sample_interval);
+            slice->engine.add(*slice->sampler);
+        }
+        if (slice->injector != nullptr && config_.fault.audit) {
+            slice->auditor =
+                std::make_unique<workload::detail::AuditorTicker>(slice->analyzer->lut());
+            slice->engine.add(*slice->auditor);
+        }
+        slices.push_back(std::move(slice));
+    }
+
+    // The epoch loop. Every slice simulates independently inside an epoch
+    // (no shared state whatsoever), then all lanes synchronize: unfinished
+    // slices sit exactly at the epoch boundary (run_until never overshoots
+    // its budget), and the barrier pushes the laggard slice's stream
+    // position into every live slice's expiry clock so time-based
+    // housekeeping observes a consistent global clock. Slice state at each
+    // barrier is therefore a pure function of the epoch schedule — never of
+    // lane grouping or thread scheduling.
+    u64 epoch_start = 0;
+    while (epoch_start < config_.max_cycles) {
+        bool all_finished = true;
+        for (const auto& slice : slices) all_finished = all_finished && slice->finished;
+        if (all_finished) break;
+        const u64 epoch_end =
+            std::min(epoch_start + config_.shard.epoch_cycles, config_.max_cycles);
+        common::ThreadPool::parallel_for_indexed(
+            lanes, config_.shard.jobs, [&](std::size_t lane) {
+                const u32 begin = static_cast<u32>(lane) * per_lane;
+                for (u32 s = begin; s < begin + per_lane; ++s) {
+                    Slice& slice = *slices[s];
+                    if (slice.finished) continue;
+                    slice.drained = slice.engine.run_until(
+                        [&slice] { return slice_done(slice); },
+                        epoch_end - slice.engine.now());
+                    if (slice.drained) slice.finished = true;
+                }
+            });
+        u64 floor = ~u64{0};
+        for (const auto& slice : slices) {
+            floor = std::min(floor, slice->source->stream_position_ns());
+        }
+        if (floor != 0 && floor != ~u64{0}) {
+            for (const auto& slice : slices) {
+                if (!slice->finished) slice->analyzer->lut().advance_stream_floor(floor);
+            }
+        }
+        epoch_start = epoch_end;
+    }
+
+    // Per-slice harvest (same shape as the monolithic runner's), then the
+    // deterministic merge: a slice-order reduction — additive counters sum,
+    // cycles take the max, drained ANDs, spans take min/max of the slice
+    // endpoints, histograms merge — so the result is independent of lane
+    // grouping and thread scheduling by construction.
+    ScenarioMetrics merged;
+    merged.drained = true;
+    u64 span_first = ~u64{0};
+    u64 span_last = 0;
+    obs::Histogram latency;
+    for (u32 s = 0; s < kShardSlices; ++s) {
+        Slice& slice = *slices[s];
+        slice.source->finalize();
+        workload::detail::harvest_counters(slice.metrics, *slice.analyzer);
+        if (slice.injector != nullptr) {
+            slice.metrics.faults_injected = slice.injector->stats().total();
+            if (config_.fault.audit) {
+                slice.metrics.audit_violations =
+                    (slice.auditor != nullptr ? slice.auditor->violations() : 0) +
+                    slice.analyzer->lut().audit(/*final_pass=*/slice.drained) +
+                    (slice.drained ? 0 : 1);
+            }
+        }
+        slice.metrics.cycles = slice.engine.now();
+        slice.metrics.drained = slice.drained;
+        if (slice.recorder != nullptr) {
+            const std::string suffix = ".slice" + std::to_string(s);
+            if (config_.obs.sample_interval > 0) {
+                slice.recorder->sample(slice.engine.now());
+                workload::detail::write_file(config_.obs.sample_path + suffix,
+                                             slice.recorder->samples_jsonl());
+            }
+            if (config_.obs.trace) {
+                workload::detail::write_file(config_.obs.trace_path + suffix,
+                                             slice.recorder->trace_json());
+            }
+            if (const obs::Histogram* hist = slice.analyzer->lut().latency_histogram();
+                hist != nullptr) {
+                latency.merge(*hist);
+            }
+        }
+
+        const ScenarioMetrics& m = slice.metrics;
+        if (s == 0) merged.scenario = m.scenario;
+        merged.packets += m.packets;
+        merged.bytes += m.bytes;
+        merged.distinct_flows += m.distinct_flows;  // keys never span slices.
+        merged.overlay_packets += m.overlay_packets;
+        merged.completions += m.completions;
+        merged.cam_hits += m.cam_hits;
+        merged.lu1_hits += m.lu1_hits;
+        merged.lu2_hits += m.lu2_hits;
+        merged.new_flows += m.new_flows;
+        merged.drops += m.drops;
+        merged.buffer_retries += m.buffer_retries;
+        merged.flows_expired += m.flows_expired;
+        merged.hash_batches += m.hash_batches;
+        merged.admission_rejects += m.admission_rejects;
+        merged.evictions_lru += m.evictions_lru;
+        merged.evictions_cam += m.evictions_cam;
+        merged.evictions_clock += m.evictions_clock;
+        merged.reservations_granted += m.reservations_granted;
+        merged.reservations_confirmed += m.reservations_confirmed;
+        merged.reservations_reclaimed += m.reservations_reclaimed;
+        merged.drops_real += m.drops_real;
+        merged.drops_overlay += m.drops_overlay;
+        merged.faults_injected += m.faults_injected;
+        merged.audit_violations += m.audit_violations;
+        merged.events_port_scan += m.events_port_scan;
+        merged.events_heavy_hitter += m.events_heavy_hitter;
+        merged.events_table_pressure += m.events_table_pressure;
+        merged.events_flow_expired += m.events_flow_expired;
+        merged.cycles = std::max(merged.cycles, m.cycles);
+        merged.drained = merged.drained && m.drained;
+        if (m.packets > 0) {
+            span_first = std::min(span_first, slice.source->first_ns());
+            span_last = std::max(span_last, slice.source->last_ns());
+        }
+    }
+    merged.trace_span_ns = span_last > span_first ? span_last - span_first : 0;
+    merged.new_flow_ratio = merged.completions == 0
+                                ? 0.0
+                                : static_cast<double>(merged.new_flows) /
+                                      static_cast<double>(merged.completions);
+    merged.mdesc_per_s = sim::mega_per_second(merged.completions, merged.cycles,
+                                              config_.analyzer.lut.system_clock_hz);
+    merged.sustained_gbps = net::supported_gbps(merged.mdesc_per_s);
+    merged.offered_gbps = merged.trace_span_ns == 0
+                              ? 0.0
+                              : static_cast<double>(merged.bytes) * 8.0 /
+                                    static_cast<double>(merged.trace_span_ns);
+    if (latency.count() > 0) {
+        merged.lat_p50_ns = latency.percentile(0.50);
+        merged.lat_p95_ns = latency.percentile(0.95);
+        merged.lat_p99_ns = latency.percentile(0.99);
+        merged.lat_max_ns = latency.max();
+    }
+    return merged;
+}
+
+}  // namespace flowcam::shard

@@ -1,0 +1,41 @@
+// ShardedEngine: runs one scenario as kShardSlices independent slice
+// simulations — each slice owning its own analyzer stack (bucket/CAM slice,
+// DDR controllers, flow state, engine clock, fault stream, obs recorder) —
+// synchronized by a cross-lane epoch barrier and merged deterministically in
+// slice order. See shard.hpp for the slicing function and the lanes/jobs
+// contract, and the README "Sharded execution" note for the model's
+// relationship to the monolithic path.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "shard/shard.hpp"
+#include "workload/registry.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::shard {
+
+class ShardedEngine {
+  public:
+    /// `config.shard` selects lanes/epoch/jobs; the rest of the RunnerConfig
+    /// is interpreted exactly as the monolithic ScenarioRunner interprets it,
+    /// except that table geometry (buckets_per_mem, cam_capacity) is divided
+    /// across the kShardSlices slices.
+    explicit ShardedEngine(workload::RunnerConfig config);
+
+    /// Instantiate `spec` (full compose grammar) once per slice — scenario
+    /// generators are pure deterministic streams, so every slice draws the
+    /// identical global stream and keeps only its own records — and run all
+    /// slices to completion under the epoch barrier.
+    [[nodiscard]] Result<workload::ScenarioMetrics> run(
+        const std::string& spec, const workload::ScenarioConfig& scenario_config,
+        const workload::Registry& registry = workload::builtin_registry());
+
+    [[nodiscard]] const workload::RunnerConfig& config() const { return config_; }
+
+  private:
+    workload::RunnerConfig config_;
+};
+
+}  // namespace flowcam::shard

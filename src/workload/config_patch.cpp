@@ -262,7 +262,7 @@ ConfigPatch::ConfigPatch() {
                        "probabilistic: admit chance for a never-before-seen flow",
                        [lut](ConfigTree& t) -> double& { return lut(t).admission_p; }));
     add(enum_field("lut.eviction", "victim policy when placement fails",
-                   {"none", "lru", "cam-oldest"},
+                   {"none", "lru", "cam-oldest", "clock"},
                    [lut](ConfigTree& t) -> core::EvictionPolicy& { return lut(t).eviction; }));
     add(bool_field("lut.reservation",
                    "grant new flows provisional slots under pressure; a second packet "
@@ -333,6 +333,32 @@ ConfigPatch::ConfigPatch() {
     add(positive_field("runner.time_scale",
                        "multiply offered timestamps (reach the 30s flow timeout in us runs)",
                        [](ConfigTree& t) -> double& { return t.runner.time_scale; }));
+
+    // --- shard.* : sharded multi-lane execution ----------------------------
+    {
+        // Bespoke field: the lane count is a membership test (1|2|4|8 — the
+        // divisors of the fixed virtual-slice count), not a range.
+        ConfigField field;
+        field.key = "shard.lanes";
+        field.type = "1|2|4|8";
+        field.doc = "execution lanes (1 = monolithic; RSS-style slice sharding otherwise)";
+        field.apply = [](ConfigTree& tree, const std::string& value) -> Status {
+            u64 parsed = 0;
+            if (!parse_u64_strict(value, parsed) ||
+                (parsed != 1 && parsed != 2 && parsed != 4 && parsed != 8)) {
+                return bad_value("shard.lanes", "1|2|4|8", value);
+            }
+            tree.runner.shard.lanes = static_cast<u32>(parsed);
+            return Status::ok();
+        };
+        field.print = [](const ConfigTree& tree) {
+            return std::to_string(tree.runner.shard.lanes);
+        };
+        add(std::move(field));
+    }
+    add(uint_field("shard.epoch_cycles",
+                   "cross-lane barrier interval (system cycles) under shard.lanes > 1",
+                   [](ConfigTree& t) -> u64& { return t.runner.shard.epoch_cycles; }, 1));
 
     // --- obs.* : flight recorder (tracing + counter sampling) --------------
     add(uint_field("obs.sample_interval",

@@ -1,9 +1,11 @@
 #include "workload/experiment.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/table_printer.hpp"
 #include "common/thread_pool.hpp"
+#include "shard/sharded_engine.hpp"
 #include "workload/compose.hpp"
 #include "workload/metrics.hpp"
 
@@ -93,7 +95,8 @@ Result<Experiment> Experiment::plan(ExperimentSpec spec) {
 }
 
 Result<ScenarioMetrics> Experiment::run_cell(const ExperimentCell& cell,
-                                             const Registry& registry) const {
+                                             const Registry& registry,
+                                             std::size_t intra_jobs) const {
     const ConfigPatch& patch = ConfigPatch::registry();
     ConfigTree tree = spec_.base;
     for (const std::string& assignment : spec_.overrides) {
@@ -108,8 +111,6 @@ Result<ScenarioMetrics> Experiment::run_cell(const ExperimentCell& cell,
     // packet budget unless the caller pinned a horizon explicitly.
     ScenarioConfig resolved = tree.scenario;
     if (resolved.horizon_packets == 0) resolved.horizon_packets = tree.runner.packets;
-    auto scenario = make_scenario(cell.scenario, resolved, registry);
-    if (!scenario) return scenario.status();
     // Multi-cell sweeps run concurrently; give each cell its own trace /
     // sample artifacts so they don't clobber a shared output path.
     if (cells_.size() > 1 && tree.runner.obs.enabled()) {
@@ -117,15 +118,27 @@ Result<ScenarioMetrics> Experiment::run_cell(const ExperimentCell& cell,
         tree.runner.obs.trace_path += suffix;
         tree.runner.obs.sample_path += suffix;
     }
+    if (tree.runner.shard.active()) {
+        // The sharded engine instantiates the spec per slice itself; jobs is
+        // runtime parallelism only, so it is not part of the patched tree.
+        tree.runner.shard.jobs = std::max(tree.runner.shard.jobs, intra_jobs);
+        shard::ShardedEngine engine(tree.runner);
+        return engine.run(cell.scenario, resolved, registry);
+    }
+    auto scenario = make_scenario(cell.scenario, resolved, registry);
+    if (!scenario) return scenario.status();
     ScenarioRunner runner(tree.runner);
     return runner.run(*scenario.value());
 }
 
 std::vector<CellResult> Experiment::run(std::size_t jobs, const Registry& registry) const {
     std::vector<CellResult> results(cells_.size());
+    // A one-cell "sweep" cannot use cell-level parallelism; hand the jobs
+    // budget down so a sharded cell's lanes run on those threads instead.
+    const std::size_t intra_jobs = cells_.size() == 1 ? jobs : 1;
     common::ThreadPool::parallel_for_indexed(cells_.size(), jobs, [&](std::size_t i) {
         results[i].cell = cells_[i];
-        auto metrics = run_cell(cells_[i], registry);
+        auto metrics = run_cell(cells_[i], registry, intra_jobs);
         if (metrics) {
             results[i].status = Status::ok();
             results[i].metrics = std::move(metrics).value();

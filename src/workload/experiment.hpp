@@ -73,9 +73,13 @@ class Experiment {
         std::size_t jobs = 1, const Registry& registry = builtin_registry()) const;
 
     /// Run one cell: base tree + overrides + the cell's axis assignments,
-    /// horizon resolved from the patched packet budget.
+    /// horizon resolved from the patched packet budget. A cell whose patched
+    /// tree enables sharding (shard.lanes > 1) routes through the
+    /// shard::ShardedEngine; `intra_jobs` threads then run its lanes (the
+    /// single-cell `--jobs` reuse — thread count never changes results).
     [[nodiscard]] Result<ScenarioMetrics> run_cell(const ExperimentCell& cell,
-                                                   const Registry& registry) const;
+                                                   const Registry& registry,
+                                                   std::size_t intra_jobs = 1) const;
 
     /// The per-cell lead columns every renderer shares: "cell", then one
     /// column per axis key.

@@ -117,6 +117,9 @@ const std::vector<MetricField>& metric_schema() {
                   &M::evictions_lru),
         u64_field("evictions_cam", "flows",
                   "oldest CAM entries evicted by lut.eviction=cam-oldest", &M::evictions_cam),
+        u64_field("evictions_clock", "flows",
+                  "second-chance sweep victims evicted by lut.eviction=clock",
+                  &M::evictions_clock),
         u64_field("reservations_granted", "flows",
                   "provisional slots granted to new flows under pressure", &M::reservations_granted),
         u64_field("reservations_confirmed", "flows",

@@ -12,6 +12,7 @@
 #include "sim/stats.hpp"
 #include "sim/ticker.hpp"
 #include "workload/experiment.hpp"
+#include "workload/tickers.hpp"
 
 namespace flowcam::workload {
 
@@ -218,79 +219,13 @@ class SourceTicker final : public sim::Ticker {
     Cycle overlay_last_ = 0;
 };
 
-/// Adapts the analyzer (packet buffer -> Flow LUT -> event engine) to the
-/// engine's Ticker contract; one tick advances the whole stack one system
-/// cycle.
-class AnalyzerTicker final : public sim::Ticker {
-  public:
-    explicit AnalyzerTicker(analyzer::TrafficAnalyzer& analyzer) : analyzer_(analyzer) {}
-    void tick(Cycle /*now*/) override { analyzer_.step(); }
-    [[nodiscard]] std::string name() const override { return "traffic-analyzer"; }
-    [[nodiscard]] u64 idle_cycles_hint() const override { return analyzer_.idle_cycles_hint(); }
-    void skip(u64 cycles) override { analyzer_.skip_idle(cycles); }
-
-  private:
-    analyzer::TrafficAnalyzer& analyzer_;
-};
-
-/// Snapshots all registered counters every `interval` system cycles. The
-/// ticker never pins the fast-forward (hint = infinite): clamping idle jumps
-/// to sampling boundaries would change engine.now() and break the obs-off /
-/// obs-on metric identity, so samples simply stretch across idle stretches —
-/// the next tick after a jump catches up with one snapshot.
-class SamplerTicker final : public sim::Ticker {
-  public:
-    SamplerTicker(obs::Recorder& recorder, u64 interval)
-        : recorder_(recorder), interval_(interval == 0 ? 1 : interval) {}
-
-    void tick(Cycle now) override {
-        if (now < next_due_) return;
-        recorder_.sample(now);
-        next_due_ = now + interval_;
-    }
-
-    [[nodiscard]] std::string name() const override { return "obs-sampler"; }
-    [[nodiscard]] u64 idle_cycles_hint() const override { return ~u64{0}; }
-
-  private:
-    obs::Recorder& recorder_;
-    u64 interval_;
-    Cycle next_due_ = 0;
-};
-
-/// Runs the Flow LUT's invariant auditor periodically while faults are
-/// firing (fault.audit=1) — the cross-check mode of the robustness story:
-/// conservation invariants must hold *during* the storm, not only after it.
-/// Cheap O(1) checks only (final_pass=false); never pins the fast-forward.
-class AuditorTicker final : public sim::Ticker {
-  public:
-    AuditorTicker(core::FlowLut& lut, u64 interval = 1024)
-        : lut_(lut), interval_(interval == 0 ? 1 : interval) {}
-
-    void tick(Cycle now) override {
-        if (now < next_due_) return;
-        violations_ += lut_.audit(/*final_pass=*/false);
-        next_due_ = now + interval_;
-    }
-
-    [[nodiscard]] std::string name() const override { return "fault-auditor"; }
-    [[nodiscard]] u64 idle_cycles_hint() const override { return ~u64{0}; }
-
-    [[nodiscard]] u64 violations() const { return violations_; }
-
-  private:
-    core::FlowLut& lut_;
-    u64 interval_;
-    Cycle next_due_ = 0;
-    u64 violations_ = 0;
-};
-
-/// Best-effort artifact write; observability output must never fail a run.
-void write_file(const std::string& path, const std::string& contents) {
-    if (path.empty()) return;
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (out) out << contents;
-}
+// AnalyzerTicker, SamplerTicker, AuditorTicker, write_file and the counter
+// harvest moved to workload/tickers.hpp — the sharded engine builds the same
+// per-stack pipeline around its slice sources.
+using detail::AnalyzerTicker;
+using detail::AuditorTicker;
+using detail::SamplerTicker;
+using detail::write_file;
 
 }  // namespace
 
@@ -373,25 +308,7 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
         config_.max_cycles);
     source.finalize();
 
-    const core::FlowLutStats& lut = analyzer.lut().stats();
-    metrics.completions = lut.completions;
-    metrics.cam_hits = lut.cam_hits;
-    metrics.lu1_hits = lut.lu1_hits;
-    metrics.lu2_hits = lut.lu2_hits;
-    metrics.new_flows = lut.new_flows;
-    metrics.drops = lut.drops;
-    // TrafficAnalyzer counts one "drop" per rejected feed_record call; with
-    // a retrying source these are backpressure stalls, not lost packets.
-    metrics.buffer_retries = analyzer.stats().dropped_buffer_full;
-    metrics.flows_expired = analyzer.lut().flow_state().expired_total();
-    metrics.admission_rejects = lut.admission_rejects;
-    metrics.evictions_lru = lut.evictions_lru;
-    metrics.evictions_cam = lut.evictions_cam;
-    metrics.reservations_granted = lut.reservations_granted;
-    metrics.reservations_confirmed = lut.reservations_confirmed;
-    metrics.reservations_reclaimed = lut.reservations_reclaimed;
-    metrics.drops_real = analyzer.stats().drops_real;
-    metrics.drops_overlay = analyzer.stats().drops_overlay;
+    detail::harvest_counters(metrics, analyzer);
     if (injector != nullptr) {
         metrics.faults_injected = injector->stats().total();
         if (config_.fault.audit) {
@@ -405,15 +322,6 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
                 (auditor ? auditor->violations() : 0) +
                 analyzer.lut().audit(/*final_pass=*/metrics.drained) +
                 (metrics.drained ? 0 : 1);
-        }
-    }
-    for (const auto& event : analyzer.events()) {
-        switch (event.kind) {
-            case analyzer::EventKind::kPortScan: ++metrics.events_port_scan; break;
-            case analyzer::EventKind::kHeavyHitter: ++metrics.events_heavy_hitter; break;
-            case analyzer::EventKind::kTablePressure: ++metrics.events_table_pressure; break;
-            case analyzer::EventKind::kFlowExpired: ++metrics.events_flow_expired; break;
-            default: break;
         }
     }
     metrics.cycles = engine.now();

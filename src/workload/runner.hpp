@@ -12,6 +12,7 @@
 #include "common/result.hpp"
 #include "faults/faults.hpp"
 #include "obs/obs.hpp"
+#include "shard/shard.hpp"
 #include "workload/registry.hpp"
 #include "workload/scenario.hpp"
 
@@ -40,6 +41,10 @@ struct RunnerConfig {
     /// when off no injector is constructed and the run is byte-identical to
     /// a build without the harness.
     faults::FaultConfig fault;
+    /// Sharded-execution knobs (shard.* ConfigPatch keys plus the runtime
+    /// jobs count). lanes=1 (the default) keeps the monolithic path;
+    /// lanes>1 routes the run through shard::ShardedEngine.
+    shard::ShardConfig shard;
 
     RunnerConfig() {
         // Simulation-friendly default geometry (the prototype's 8 M-entry
@@ -79,6 +84,7 @@ struct ScenarioMetrics {
     u64 admission_rejects = 0;       ///< new flows turned away at admission.
     u64 evictions_lru = 0;           ///< idle victims evicted from Mem1/Mem2.
     u64 evictions_cam = 0;           ///< oldest entries evicted from the CAM.
+    u64 evictions_clock = 0;         ///< second-chance sweep victims.
     u64 reservations_granted = 0;    ///< provisional slots handed out.
     u64 reservations_confirmed = 0;  ///< confirmed by a second packet.
     u64 reservations_reclaimed = 0;  ///< deadline passed; slot taken back.

@@ -131,6 +131,46 @@ TEST(EvictionPolicyTest, LruEvictsIdleVictimsInsteadOfDropping) {
     EXPECT_EQ(audit_report(lut), "");
 }
 
+TEST(EvictionPolicyTest, ClockEvictsUnreferencedVictims) {
+    FlowLutConfig config = tiny_config();
+    config.eviction = EvictionPolicy::kClock;
+    FlowLut lut(config);
+
+    u64 ts = 1;
+    for (u64 flow = 0; flow < 40; ++flow) {
+        const Completion completion = offer_one(lut, key_of(flow), ts += 17);
+        EXPECT_NE(completion.fid, kInvalidFlowId) << "flow " << flow;
+    }
+    EXPECT_EQ(lut.stats().drops, 0u);
+    EXPECT_GT(lut.stats().evictions_clock, 0u);
+    EXPECT_LE(lut.table().size(), lut.table().capacity());
+    EXPECT_EQ(audit_report(lut), "");
+}
+
+TEST(EvictionPolicyTest, ClockGivesAReferencedFlowASecondChance) {
+    // Keep one flow hot: every sweep clears its referenced bit, but the
+    // flow's next packet sets it again — the hand must pass over it and
+    // evict colder entries instead.
+    FlowLutConfig config = tiny_config();
+    config.eviction = EvictionPolicy::kClock;
+    FlowLut lut(config);
+
+    u64 ts = 1;
+    const net::NTuple hot = key_of(1000);
+    (void)offer_one(lut, hot, ts += 17);
+    for (u64 flow = 0; flow < 60; ++flow) {
+        (void)offer_one(lut, key_of(flow), ts += 17);
+        (void)offer_one(lut, hot, ts += 17);  // re-reference every round.
+    }
+    // The hot flow survived the whole storm: its last packet hit, so it was
+    // resident from first insert to final touch.
+    const Completion last = offer_one(lut, hot, ts += 17);
+    EXPECT_NE(last.fid, kInvalidFlowId);
+    EXPECT_FALSE(last.is_new_flow);
+    EXPECT_GT(lut.stats().evictions_clock, 0u);
+    EXPECT_EQ(audit_report(lut), "");
+}
+
 TEST(EvictionPolicyTest, CamOldestRotatesTheCollisionCam) {
     FlowLutConfig config = tiny_config();
     config.eviction = EvictionPolicy::kCamOldest;

@@ -1,0 +1,330 @@
+// Sharded multi-lane execution suite. The contract under test, in order of
+// importance:
+//   * lane-count determinism — lanes 2, 4 and 8 run the same eight virtual
+//     slice simulations and must merge to byte-identical metrics, across
+//     builtins, a composed spec, an IPv6 trace replay and a fault arm;
+//   * thread-count independence — jobs is runtime parallelism only: a
+//     serial run (jobs=1) and a threaded run (jobs=8) of the same sharded
+//     config must be byte-identical;
+//   * conservation vs the monolithic path — the offered stream is the
+//     same stream, so stream-side and end-to-end totals (packets, bytes,
+//     flows, overlay, completions, drain) must match lanes=1 exactly even
+//     though per-path microbehaviour (LU1/LU2 splits, buffer retries)
+//     legitimately differs across table slices;
+//   * the slicing function and config validation;
+//   * Histogram::merge, the reduction the latency percentiles ride on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/trace.hpp"
+#include "obs/obs.hpp"
+#include "shard/sharded_engine.hpp"
+#include "workload/config_patch.hpp"
+#include "workload/metrics.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::shard {
+namespace {
+
+using workload::RunnerConfig;
+using workload::ScenarioConfig;
+using workload::ScenarioMetrics;
+
+ScenarioConfig scenario_config(u64 seed = 2014) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.onset_packets = 500;
+    config.pool_size = 256;
+    config.wave_packets = 512;
+    config.horizon_packets = 3001;  // ShardedEngine is below the Experiment
+                                    // layer that auto-resolves the horizon.
+    return config;
+}
+
+RunnerConfig runner_config() {
+    RunnerConfig config;
+    config.packets = 3001;  // odd: uneven slice tails by construction.
+    config.analyzer.lut.buckets_per_mem = u64{1} << 12;
+    config.analyzer.lut.cam_capacity = 512;
+    return config;
+}
+
+std::string all_metrics(const ScenarioMetrics& metrics) {
+    return workload::metrics_json_object(metrics, {});
+}
+
+Result<ScenarioMetrics> run_sharded(RunnerConfig config, u32 lanes, std::size_t jobs,
+                                    const std::string& spec, u64 seed = 2014) {
+    config.shard.lanes = lanes;
+    config.shard.jobs = jobs;
+    ShardedEngine engine(config);
+    return engine.run(spec, scenario_config(seed));
+}
+
+/// Every lane count must merge to the identical result; jobs varies across
+/// the lane counts so thread scheduling gets a chance to interfere (it must
+/// not).
+void expect_lane_count_invariant(const RunnerConfig& config, const std::string& spec,
+                                 u64 seed = 2014) {
+    const auto lanes2 = run_sharded(config, 2, 1, spec, seed);
+    ASSERT_TRUE(lanes2.has_value()) << spec << ": " << lanes2.status().to_string();
+    const auto lanes4 = run_sharded(config, 4, 4, spec, seed);
+    ASSERT_TRUE(lanes4.has_value()) << spec << ": " << lanes4.status().to_string();
+    const auto lanes8 = run_sharded(config, 8, 3, spec, seed);
+    ASSERT_TRUE(lanes8.has_value()) << spec << ": " << lanes8.status().to_string();
+
+    EXPECT_EQ(all_metrics(lanes2.value()), all_metrics(lanes4.value())) << spec;
+    EXPECT_EQ(all_metrics(lanes4.value()), all_metrics(lanes8.value())) << spec;
+    EXPECT_TRUE(lanes4.value().drained) << spec;
+}
+
+// ---- Slicing function -------------------------------------------------------
+
+TEST(ShardSliceTest, SliceOfIsStableAndInRange) {
+    for (u64 flow = 0; flow < 4096; ++flow) {
+        const core::FlowKey key(
+            net::NTuple::from_five_tuple(net::synth_tuple(flow, 7)));
+        const u32 slice = slice_of(key);
+        EXPECT_LT(slice, kShardSlices);
+        EXPECT_EQ(slice, slice_of(key));  // pure function of the key.
+    }
+}
+
+TEST(ShardSliceTest, SliceOfSpreadsAcrossAllSlices) {
+    std::vector<u64> counts(kShardSlices, 0);
+    for (u64 flow = 0; flow < 8192; ++flow) {
+        const core::FlowKey key(
+            net::NTuple::from_five_tuple(net::synth_tuple(flow, 11)));
+        ++counts[slice_of(key)];
+    }
+    // The digest is fully avalanched; every slice must see a healthy share
+    // (an empty or dominant slice means the top bits are not uniform).
+    for (u32 s = 0; s < kShardSlices; ++s) {
+        EXPECT_GT(counts[s], 8192u / kShardSlices / 2) << "slice " << s;
+        EXPECT_LT(counts[s], 8192u / kShardSlices * 2) << "slice " << s;
+    }
+}
+
+// ---- Config validation ------------------------------------------------------
+
+TEST(ShardConfigTest, ValidatesLaneCounts) {
+    ShardConfig config;
+    for (const u32 lanes : {1u, 2u, 4u, 8u}) {
+        config.lanes = lanes;
+        EXPECT_TRUE(config.validate().is_ok()) << lanes;
+    }
+    for (const u32 lanes : {0u, 3u, 5u, 6u, 7u, 16u}) {
+        config.lanes = lanes;
+        EXPECT_FALSE(config.validate().is_ok()) << lanes;
+    }
+    config.lanes = 4;
+    config.epoch_cycles = 0;
+    EXPECT_FALSE(config.validate().is_ok());
+}
+
+TEST(ShardConfigTest, ConfigPatchAcceptsOnlyTheSupportedLaneCounts) {
+    const workload::ConfigPatch& patch = workload::ConfigPatch::registry();
+    workload::ConfigTree tree;
+    for (const char* value : {"1", "2", "4", "8"}) {
+        EXPECT_TRUE(patch.apply(tree, "shard.lanes", value).is_ok()) << value;
+    }
+    EXPECT_EQ(tree.runner.shard.lanes, 8u);
+    for (const char* value : {"0", "3", "16", "-4", "two", ""}) {
+        EXPECT_FALSE(patch.apply(tree, "shard.lanes", value).is_ok()) << value;
+    }
+    EXPECT_TRUE(patch.apply(tree, "shard.epoch_cycles", "1024").is_ok());
+    EXPECT_EQ(tree.runner.shard.epoch_cycles, 1024u);
+    EXPECT_FALSE(patch.apply(tree, "shard.epoch_cycles", "0").is_ok());
+}
+
+// ---- Lane-count determinism -------------------------------------------------
+
+TEST(ShardDeterminismTest, EveryBuiltinScenarioIsLaneCountInvariant) {
+    for (const char* name :
+         {"baseline", "syn_flood", "port_scan", "heavy_hitter", "flash_crowd", "churn"}) {
+        expect_lane_count_invariant(runner_config(), name);
+    }
+}
+
+TEST(ShardDeterminismTest, ComposedSpecIsLaneCountInvariant) {
+    expect_lane_count_invariant(runner_config(), "flash_crowd+syn_flood@onset=0.3");
+}
+
+TEST(ShardDeterminismTest, ReplayWithIpv6KeyOverridesIsLaneCountInvariant) {
+    // IPv6 rows travel as PacketRecord::key_override — the slice splitter
+    // must hash the override bytes exactly like the analyzer does, or a
+    // record lands in one slice and is looked up in another.
+    const std::filesystem::path trace =
+        std::filesystem::path(::testing::TempDir()) / "shard-replay.csv";
+    {
+        std::ofstream out(trace);
+        out << "timestamp_ns,src,dst,src_port,dst_port,protocol,bytes\n";
+        for (int i = 0; i < 16; ++i) {
+            out << (1000 + i * 500) << ",10.0.0." << (1 + i % 4) << ",10.0.1.1,"
+                << (1024 + i) << ",80,tcp,200\n";
+            out << (1250 + i * 500) << ",2001:db8::" << (1 + i % 8) << ",2001:db8::ffff,"
+                << (2048 + i) << ",443,tcp,1500\n";
+        }
+    }
+    RunnerConfig config = runner_config();
+    config.packets = 501;  // loops the 32-row trace.
+    ScenarioConfig scenario = scenario_config();
+    scenario.horizon_packets = 501;
+    const std::string spec = "replay:" + trace.string();
+    const auto lanes2 = run_sharded(config, 2, 1, spec);
+    ASSERT_TRUE(lanes2.has_value()) << lanes2.status().to_string();
+    const auto lanes8 = run_sharded(config, 8, 2, spec);
+    ASSERT_TRUE(lanes8.has_value()) << lanes8.status().to_string();
+    EXPECT_EQ(all_metrics(lanes2.value()), all_metrics(lanes8.value()));
+    EXPECT_EQ(lanes2.value().packets, 501u);
+    std::filesystem::remove(trace);
+}
+
+TEST(ShardDeterminismTest, FaultArmIsLaneCountInvariant) {
+    // Per-slice fault streams are derived deterministically from the slice
+    // index, never from lane grouping — so the fault schedule (and the
+    // auditor's verdict) must survive any lane count.
+    RunnerConfig config = runner_config();
+    config.fault.ddr_reject_p = 0.01;
+    config.fault.ddr_reject_len = 4;
+    config.fault.buffer_storm_p = 0.01;
+    config.fault.buffer_storm_len = 8;
+    config.fault.audit = true;
+    expect_lane_count_invariant(config, "syn_flood");
+    const auto metrics = run_sharded(config, 4, 1, "syn_flood");
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_GT(metrics.value().faults_injected, 0u);
+    EXPECT_EQ(metrics.value().audit_violations, 0u);
+}
+
+TEST(ShardDeterminismTest, SerialAndThreadedRunsAreByteIdentical) {
+    for (const std::size_t jobs : {2u, 4u, 8u}) {
+        const auto serial = run_sharded(runner_config(), 4, 1, "churn");
+        ASSERT_TRUE(serial.has_value());
+        const auto threaded = run_sharded(runner_config(), 4, jobs, "churn");
+        ASSERT_TRUE(threaded.has_value());
+        EXPECT_EQ(all_metrics(serial.value()), all_metrics(threaded.value()))
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(ShardDeterminismTest, RepeatedRunsAreByteIdentical) {
+    const auto first = run_sharded(runner_config(), 4, 4, "syn_flood");
+    const auto second = run_sharded(runner_config(), 4, 4, "syn_flood");
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(all_metrics(first.value()), all_metrics(second.value()));
+}
+
+// ---- Conservation vs the monolithic path ------------------------------------
+
+TEST(ShardConservationTest, StreamTotalsMatchMonolithicExactly) {
+    for (const char* name : {"baseline", "syn_flood", "churn"}) {
+        workload::ScenarioRunner mono(runner_config());
+        const auto mono_result = mono.run(name, scenario_config());
+        ASSERT_TRUE(mono_result.has_value()) << name;
+        const auto sharded = run_sharded(runner_config(), 4, 2, name);
+        ASSERT_TRUE(sharded.has_value()) << name;
+
+        const ScenarioMetrics& m = mono_result.value();
+        const ScenarioMetrics& s = sharded.value();
+        // The offered stream is the same stream: every slice draws the full
+        // generator sequence and keeps a disjoint subset.
+        EXPECT_EQ(m.packets, s.packets) << name;
+        EXPECT_EQ(m.bytes, s.bytes) << name;
+        EXPECT_EQ(m.distinct_flows, s.distinct_flows) << name;
+        EXPECT_EQ(m.overlay_packets, s.overlay_packets) << name;
+        EXPECT_EQ(m.trace_span_ns, s.trace_span_ns) << name;
+        // End-to-end conservation: everything offered retires.
+        EXPECT_EQ(m.completions, s.completions) << name;
+        EXPECT_EQ(m.new_flows, s.new_flows) << name;
+        EXPECT_TRUE(s.drained) << name;
+    }
+}
+
+TEST(ShardConservationTest, LanesOneMatchesTheMonolithicRunnerByteForByte) {
+    // lanes=1 is the monolithic path (the Experiment layer never routes it
+    // through the sharded engine); the full metric set must agree.
+    workload::ScenarioRunner mono(runner_config());
+    const auto mono_result = mono.run("syn_flood", scenario_config());
+    ASSERT_TRUE(mono_result.has_value());
+
+    RunnerConfig config = runner_config();
+    config.shard.lanes = 1;
+    workload::ScenarioRunner still_mono(config);
+    const auto still_mono_result = still_mono.run("syn_flood", scenario_config());
+    ASSERT_TRUE(still_mono_result.has_value());
+    EXPECT_EQ(all_metrics(mono_result.value()), all_metrics(still_mono_result.value()));
+}
+
+TEST(ShardConservationTest, InvalidLaneCountIsATypedError) {
+    RunnerConfig config = runner_config();
+    config.shard.lanes = 3;
+    ShardedEngine engine(config);
+    const auto result = engine.run("baseline", scenario_config());
+    ASSERT_FALSE(result.has_value());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Histogram merge --------------------------------------------------------
+
+TEST(ShardHistogramTest, MergeEqualsTheUnionStream) {
+    obs::Histogram left;
+    obs::Histogram right;
+    obs::Histogram together;
+    for (u64 sample = 1; sample < 2000; sample += 7) {
+        (sample % 2 == 0 ? left : right).add(sample * sample);
+        together.add(sample * sample);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), together.count());
+    EXPECT_EQ(left.sum(), together.sum());
+    EXPECT_EQ(left.min(), together.min());
+    EXPECT_EQ(left.max(), together.max());
+    for (const double fraction : {0.5, 0.95, 0.99}) {
+        EXPECT_EQ(left.percentile(fraction), together.percentile(fraction)) << fraction;
+    }
+}
+
+TEST(ShardHistogramTest, MergeWithEmptyIsIdentity) {
+    obs::Histogram histogram;
+    histogram.add(42);
+    histogram.add(7);
+    obs::Histogram empty;
+    histogram.merge(empty);
+    EXPECT_EQ(histogram.count(), 2u);
+    EXPECT_EQ(histogram.min(), 7u);
+    EXPECT_EQ(histogram.max(), 42u);
+    // Merging into an empty histogram adopts the other side's min.
+    empty.merge(histogram);
+    EXPECT_EQ(empty.min(), 7u);
+    EXPECT_EQ(empty.count(), 2u);
+}
+
+// ---- Latency percentiles through the sharded merge --------------------------
+
+TEST(ShardObsTest, MergedLatencyPercentilesAreLaneCountInvariant) {
+    RunnerConfig config = runner_config();
+    config.obs.sample_interval = 512;
+    config.obs.sample_path =
+        (std::filesystem::path(::testing::TempDir()) / "shard-samples.jsonl").string();
+    const auto lanes2 = run_sharded(config, 2, 1, "syn_flood");
+    ASSERT_TRUE(lanes2.has_value()) << lanes2.status().to_string();
+    const auto lanes8 = run_sharded(config, 8, 4, "syn_flood");
+    ASSERT_TRUE(lanes8.has_value()) << lanes8.status().to_string();
+    EXPECT_EQ(all_metrics(lanes2.value()), all_metrics(lanes8.value()));
+    EXPECT_GT(lanes2.value().lat_p50_ns, 0u);
+    EXPECT_GE(lanes2.value().lat_max_ns, lanes2.value().lat_p99_ns);
+    // Per-slice sample artifacts land beside the configured path.
+    EXPECT_TRUE(std::filesystem::exists(config.obs.sample_path + ".slice0"));
+    for (u32 s = 0; s < kShardSlices; ++s) {
+        std::filesystem::remove(config.obs.sample_path + ".slice" + std::to_string(s));
+    }
+}
+
+}  // namespace
+}  // namespace flowcam::shard

@@ -42,6 +42,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <new>
@@ -181,8 +182,12 @@ template <typename KeyAt>
 ModeResult run_mode(const std::string& mode, const KeyAt& key_at, u64 packets,
                     u32 cycles_per_offer, bool with_obs = false,
                     const core::FlowLutConfig& config = bench_config(),
-                    bool batched = false) {
+                    bool batched = false,
+                    const std::function<void(core::FlowLut&)>& prepare = {}) {
     core::FlowLut lut(config);
+    // Pre-measurement hook (e.g. pre-arming the governor's runtime policy
+    // switching): anything it allocates lands outside the measured window.
+    if (prepare) prepare(lut);
     // The obs arm attaches a tracing recorder before warmup: registration
     // and the trace ring allocate here, outside the measured window — the
     // steady-state window must stay at zero even with every event site live.
@@ -279,6 +284,38 @@ int main(int argc, char** argv) {
             "rotating_reuse_policies",
             [&](u64 i) -> const core::FlowKey& { return resident[i % resident.size()]; },
             packets, 2, /*with_obs=*/false, policies));
+    }
+    {
+        // The governor's lever under the same gate: runtime policy switches
+        // (the L0..L3 staircase profiles in rotation, every 4096 packets)
+        // must not put a single allocation on the steady-state window — the
+        // Bloom front-end and CAM-order tracking are pre-armed by
+        // prepare_policy_switching, never built mid-run.
+        core::FlowLutConfig governed_config = bench_config();
+        governed_config.admission_pressure = 0.0;
+        governed_config.admission_p = 1.0;
+        governed_config.reservation = true;
+        core::FlowLut* governed = nullptr;
+        const std::function<void(core::FlowLut&)> prepare = [&](core::FlowLut& lut) {
+            lut.prepare_policy_switching(core::EvictionPolicy::kCamOldest);
+            governed = &lut;
+        };
+        results.push_back(run_mode(
+            "rotating_reuse_governor",
+            [&](u64 i) -> const core::FlowKey& {
+                if (governed != nullptr && i % 4096 == 0) {
+                    const u64 level = (i / 4096) % 4;
+                    governed->apply_overload_policies(
+                        level == 0   ? core::AdmissionPolicy::kAlways
+                        : level == 3 ? core::AdmissionPolicy::kRejectFull
+                                     : core::AdmissionPolicy::kProbabilistic,
+                        level >= 2 ? core::EvictionPolicy::kCamOldest
+                                   : core::EvictionPolicy::kNone,
+                        level >= 3 ? 64 : 1024);
+                }
+                return resident[i % resident.size()];
+            },
+            packets, 2, /*with_obs=*/false, governed_config, /*batched=*/false, prepare));
     }
     results.push_back(run_mode(
         "rotating_rehash",

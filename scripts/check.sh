@@ -20,7 +20,8 @@
 #
 # --quick skips the Release perf-gate stages — that's the CI Debug-assertions
 # job, which only wants correctness under assertions, not timings.
-# --chaos runs only configure + build + the fault-injection smoke — that's
+# --chaos runs only configure + build + the fault-injection smoke + the
+# correlated-campaign smoke (governor on, recovery SLO asserted) — that's
 # the CI chaos arm, which randomizes FLOWCAM_FAULT_SEED per run so every CI
 # pass explores a different fault schedule (the seed is echoed so a red run
 # is reproducible locally with the same FLOWCAM_FAULT_SEED).
@@ -126,6 +127,70 @@ run_fault_smoke() {
   done
 }
 
+# Correlated-campaign smoke: governor on, a two-window correlated fault
+# campaign overlapping a windowed syn_flood, invariant auditor armed, 1e6x
+# time compression so flood entries expire mid-run. The recovery-SLO
+# contract: the run ends back at L0 within governor.recovery_budget with the
+# auditor green. On violation the governor's level timeline (from the obs
+# sampler) is printed so a red run shows WHERE the staircase got stuck.
+run_campaign_smoke() {
+  FAULT_SEED="${FLOWCAM_FAULT_SEED:-0}"
+  stage "correlated-campaign smoke (governor on; recovery SLO; fault.seed=$FAULT_SEED)"
+  STAGE_DETAIL="reproduce with FLOWCAM_FAULT_SEED=$FAULT_SEED scripts/check.sh --chaos"
+  CAMPAIGN_CSV="$BUILD_DIR/check-campaign.csv"
+  CAMPAIGN_SAMPLES="$BUILD_DIR/check-campaign-samples.jsonl"
+  rm -f "$CAMPAIGN_CSV" "$CAMPAIGN_SAMPLES"
+  # churn background: its live set is pool-bounded (256 flows), so the
+  # post-flood tail always decays below every exit threshold and the
+  # walk-down to L0 is seed-robust (a baseline background keeps ~80% tail
+  # occupancy at this geometry and flaps at the L1 boundary by fault seed).
+  "$BUILD_DIR/scenario_runner" \
+    --scenario='churn+syn_flood@onset=0.1,offset=0.45,attack=0.9' --packets=8000 \
+    --set=scenario.pool_size=256 \
+    --set=lut.buckets_per_mem=256 --set=lut.cam_capacity=128 \
+    --set=runner.time_scale=1000000 \
+    --set=governor.on=1 --set=governor.interval=128 --set=governor.dwell=512 \
+    --set=governor.recovery_budget=20000 \
+    --set=fault.audit=1 "--set=fault.seed=$FAULT_SEED" \
+    --set=fault.campaign_onset=2000 --set=fault.campaign_len=1500 \
+    --set=fault.campaign_period=3000 --set=fault.campaign_count=2 \
+    --set=fault.campaign_intensity=0.2 \
+    --set=obs.sample_interval=256 --set=obs.sample_path="$CAMPAIGN_SAMPLES" \
+    --csv="$CAMPAIGN_CSV" > /dev/null
+  # The composed scenario spec renders as a quoted CSV field with embedded
+  # commas; flatten it to a bare token so awk's comma split stays aligned.
+  if ! sed 's/"[^"]*"/composed/' "$CAMPAIGN_CSV" | awk -F, '
+    NR == 1 { for (i = 1; i <= NF; i++) col[$i] = i; next }
+    NR == 2 {
+      if ($col["status"] != "ok") {
+        printf "campaign smoke: status=%s\n", $col["status"]; exit 1 }
+      if ($col["audit_violations"] != "0") {
+        printf "campaign smoke: audit_violations=%s\n", $col["audit_violations"]; exit 1 }
+      if ($col["fault_campaign_windows"] + 0 < 1) {
+        printf "campaign smoke: campaign never opened a window\n"; exit 1 }
+      if ($col["faults_injected"] + 0 == 0) {
+        printf "campaign smoke: no fault ever fired inside the windows\n"; exit 1 }
+      if ($col["governor_max_level"] + 0 < 1) {
+        printf "campaign smoke: governor never escalated\n"; exit 1 }
+      if ($col["governor_final_level"] != "0") {
+        printf "campaign smoke: still degraded at end of run (L%s)\n",
+               $col["governor_final_level"]; exit 1 }
+      if ($col["governor_slo_ok"] != "1") {
+        printf "campaign smoke: recovery SLO violated (walk-down %s cycles)\n",
+               $col["governor_recovery_cycles"]; exit 1 }
+      printf "campaign smoke: windows=%s faults=%s max_level=L%s recovery=%s cycles, SLO met, auditor green\n",
+             $col["fault_campaign_windows"], $col["faults_injected"],
+             $col["governor_max_level"], $col["governor_recovery_cycles"]
+    }'; then
+    echo "campaign smoke failed; governor level timeline (cycle -> level):" >&2
+    # The sampler JSONL carries the governor.level gauge per sample — the
+    # staircase itself, so a stuck walk-down is visible at a glance.
+    sed -n 's/.*"cycle":\([0-9]*\).*"governor\.level":\([0-9]*\).*/  \1 -> L\2/p' \
+      "$CAMPAIGN_SAMPLES" | uniq -f 2 >&2 || true
+    exit 1
+  fi
+}
+
 GENERATOR_ARGS=()
 if [[ -z "${GENERATOR:-}" ]] && command -v ninja >/dev/null 2>&1; then
   GENERATOR="Ninja"
@@ -149,7 +214,8 @@ cmake --build "$BUILD_DIR" -j
 
 if [[ $CHAOS -eq 1 ]]; then
   run_fault_smoke
-  stage "done (--chaos: fault smoke only)"
+  run_campaign_smoke
+  stage "done (--chaos: fault + correlated-campaign smokes only)"
   echo "OK"
   exit 0
 fi
@@ -257,6 +323,7 @@ awk -F, -v lanes="$SHARD_LANES" '
   }' "$SHARD_MONO_CSV" "$SHARD_CSV"
 
 run_fault_smoke
+run_campaign_smoke
 
 if [[ $QUICK -eq 1 ]]; then
   stage "done (--quick: Release perf gates skipped)"

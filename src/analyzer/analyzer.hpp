@@ -115,6 +115,9 @@ class TrafficAnalyzer {
     [[nodiscard]] const TrafficStats& stats() const { return stats_; }
     [[nodiscard]] const std::vector<Event>& events() const { return events_; }
     [[nodiscard]] core::FlowLut& lut() { return lut_; }
+    [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
+    /// Instantaneous packet-buffer fill (the governor's backpressure signal).
+    [[nodiscard]] std::size_t packet_buffer_size() const { return packet_buffer_.size(); }
 
     /// Top `n` live flows by bytes.
     [[nodiscard]] std::vector<core::FlowRecord> top_flows(std::size_t n) const;

@@ -83,6 +83,11 @@ struct Completion {
     FlowId fid = kInvalidFlowId;
     bool is_new_flow = false;
     bool via_cam = false;
+    /// FID decoded from DDR bucket bytes rather than the functional table.
+    /// The read data can trail a functional erase of the same bucket (a
+    /// delete racing the match queue), so the flow-state touch must not
+    /// resurrect a record the exporter already saw die.
+    bool snapshot_fid = false;
     Cycle retired_at = 0;   ///< system-clock cycle.
     Cycle offered_at = 0;   ///< copied from the descriptor (latency metric).
     u64 timestamp_ns = 0;

@@ -1,5 +1,6 @@
 #include "core/flow_lut.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace flowcam::core {
@@ -106,10 +107,27 @@ void FlowLut::set_recorder(obs::Recorder* recorder) {
     obs_res_reclaimed_ = cell("lut.reservations_reclaimed");
 }
 
+void FlowLut::prepare_policy_switching(EvictionPolicy eviction) {
+    if (admission_bloom_ == nullptr) {
+        admission_bloom_ = std::make_unique<bloom::BloomFilter>(
+            config_.admission_bloom_bits, config_.admission_bloom_hashes,
+            config_.hash_kind, config_.hash_seed ^ 0xb100full);
+    }
+    if (eviction == EvictionPolicy::kCamOldest) track_cam_order_ = true;
+}
+
+void FlowLut::apply_overload_policies(AdmissionPolicy admission, EvictionPolicy eviction,
+                                      Cycle reservation_deadline) {
+    config_.admission = admission;
+    config_.eviction = eviction;
+    config_.reservation_deadline = reservation_deadline;
+}
+
 void FlowLut::set_faults(faults::FaultInjector* faults) {
     faults_ = faults;
     for (u32 path = 0; path < 2; ++path) {
-        if (faults != nullptr && faults->config().ddr_reject_p > 0.0) {
+        if (faults != nullptr &&
+            (faults->config().ddr_reject_p > 0.0 || faults->config().campaign_enabled())) {
             paths_[path].controller->set_enqueue_veto(
                 [faults, path](const dram::MemRequest&) {
                     return faults->veto_ddr_enqueue(path);
@@ -294,9 +312,20 @@ void FlowLut::run_flow_match(Path path, Cycle now) {
         location.where =
             path == Path::kA ? TableIndex::Where::kMem1 : TableIndex::Where::kMem2;
         location.slot = bucket * config_.ways + *way;
+        // The match ran against read data snapshotted at response delivery; a
+        // functional erase of this bucket (delete/expiry racing the match
+        // queue) may have landed since. Check the live entry — one array
+        // probe — and mark raced completions so the flow-state touch can't
+        // resurrect a record the exporter already saw die.
+        const auto key_view = job.descriptor.key.view();
+        const table::Entry& live = table_.mem_entry(index_of(path), location.slot);
+        const bool still_live =
+            live.valid && live.key_length == key_view.size() &&
+            std::equal(live.key.data(), live.key.data() + live.key_length, key_view.begin());
         Completion completion;
         completion.seq = job.descriptor.seq;
         completion.fid = make_fid(location);
+        completion.snapshot_fid = !still_live;
         completion.retired_at = now;
         completion.offered_at = job.descriptor.offered_at;
         completion.timestamp_ns = job.descriptor.timestamp_ns;
@@ -398,7 +427,7 @@ void FlowLut::handle_lu2_miss(Path /*path*/, const LookupJob& job, Cycle now) {
         assert(status.is_ok());
         (void)status;
         ++stats_.table_inserts;
-        if (config_.eviction == EvictionPolicy::kCamOldest) {
+        if (config_.eviction == EvictionPolicy::kCamOldest || track_cam_order_) {
             cam_order_.push_back(job.descriptor.key);
         }
         completion.fid = fid;
@@ -964,10 +993,12 @@ void FlowLut::retire(Completion completion) {
             touch.key = completion.key;
             touch.timestamp_ns = completion.timestamp_ns;
             touch.frame_bytes = completion.frame_bytes;
+            touch.snapshot = completion.snapshot_fid;
             if (touch_count_ == kMaxDispatchBatch) flush_touches();
         } else {
             flow_state_.on_packet(completion.fid, completion.key.view(),
-                                  completion.timestamp_ns, completion.frame_bytes);
+                                  completion.timestamp_ns, completion.frame_bytes,
+                                  completion.snapshot_fid);
         }
         if (config_.reservation && !completion.is_new_flow &&
             reserved_.find(completion.key) != nullptr) {
@@ -998,6 +1029,9 @@ void FlowLut::retire(Completion completion) {
 }
 
 void FlowLut::tick(Cycle now) {
+    // Advance the fault injector's campaign clock first: every fault site
+    // consulted this cycle sees a consistent window verdict.
+    if (faults_ != nullptr) faults_->advance_to(now);
     // Response-side first so freed resources are visible to the issue side
     // within the same cycle (hardware would pipeline; order only affects
     // latency by one cycle, not correctness).
@@ -1162,7 +1196,7 @@ Result<FlowId> FlowLut::preload(const net::NTuple& key) {
         const Status status = table_.insert_at(location, view, fid);
         if (!status.is_ok()) return status;
         ++stats_.table_inserts;
-        if (config_.eviction == EvictionPolicy::kCamOldest) {
+        if (config_.eviction == EvictionPolicy::kCamOldest || track_cam_order_) {
             cam_order_.push_back(FlowKey(view));
         }
         return fid;

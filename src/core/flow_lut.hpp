@@ -196,6 +196,35 @@ class FlowLut final : public sim::Ticker {
     /// (every fault site returns to one predictable dead branch).
     void set_faults(faults::FaultInjector* faults);
 
+    // ---- Runtime overload-policy switching (the governor's lever) ---------
+    /// Pre-arm runtime policy switching: builds the admission Bloom
+    /// front-end if absent and, when `eviction` is cam-oldest, starts
+    /// tracking CAM insert order from now on — every allocation happens
+    /// here, before the run, never inside a mid-run switch.
+    void prepare_policy_switching(EvictionPolicy eviction);
+    /// Swap the active admission/eviction policies and reservation-reclaim
+    /// deadline; takes effect at the next dispatch/housekeeping. Open
+    /// reservation grants keep their original deadlines (the ledger the
+    /// auditor checks is unaffected), new grants and extensions use the new
+    /// one.
+    void apply_overload_policies(AdmissionPolicy admission, EvictionPolicy eviction,
+                                 Cycle reservation_deadline);
+    /// True when the table load is at/above the admission-pressure knee.
+    /// Whole-table and collision-CAM occupancy are judged jointly: a
+    /// saturated CAM engages the policies even while the buckets have room
+    /// (the CAM is tiny, so a hash-skewed flood fills it long before the
+    /// overall fraction moves — exactly when shedding should start).
+    [[nodiscard]] bool under_pressure() const {
+        const double knee = config_.admission_pressure;
+        if (static_cast<double>(table_.size()) >=
+            knee * static_cast<double>(config_.table_capacity())) {
+            return true;
+        }
+        return config_.cam_capacity != 0 &&
+               static_cast<double>(table_.cam_entries()) >=
+                   knee * static_cast<double>(config_.cam_capacity);
+    }
+
     /// Invariant auditor (the robustness cross-check, in the spirit of
     /// SchedulerMode::kCrossCheck): verifies conservation laws and returns
     /// the number of violations (0 = healthy), appending one line per
@@ -271,11 +300,6 @@ class FlowLut final : public sim::Ticker {
     [[nodiscard]] u64 effective_expiry_time() const {
         return faults_ == nullptr ? stream_time_ns_
                                   : stream_time_ns_ + faults_->expiry_skew_ns();
-    }
-    /// True when the table load is at/above the admission-pressure knee.
-    [[nodiscard]] bool under_pressure() const {
-        return static_cast<double>(table_.size()) >=
-               config_.admission_pressure * static_cast<double>(config_.table_capacity());
     }
     /// Admission policy verdict for a genuinely-new flow (true = admit).
     [[nodiscard]] bool admit_new_flow(const Descriptor& descriptor);
@@ -383,6 +407,10 @@ class FlowLut final : public sim::Ticker {
     /// CAM insertion order for EvictionPolicy::kCamOldest (stale entries —
     /// already erased or moved — are skipped lazily).
     std::deque<FlowKey> cam_order_;
+    /// Keep cam_order_ maintained even while eviction != kCamOldest, so the
+    /// governor can switch to cam-oldest mid-run without a stale (or empty)
+    /// order book. Set by prepare_policy_switching; never cleared.
+    bool track_cam_order_ = false;
     /// Clock hand for EvictionPolicy::kClock: a position in the combined
     /// [mem0 ways | mem1 ways] candidate window of whichever descriptor is
     /// evicting. Persisting the hand across evictions is what makes the

@@ -5,42 +5,55 @@
 namespace flowcam::core {
 
 u64 FlowStateBlock::apply_touch(FlowId fid, std::span<const u8> key, u64 timestamp_ns,
-                                u32 frame_bytes) {
-    auto [it, inserted] = records_.try_emplace(fid);
-    FlowRecord& record = it->second;
-    const auto same_key = [&] {
+                                u32 frame_bytes, bool snapshot) {
+    const auto same_key = [&](const FlowRecord& record) {
         const auto held = record.key.view();
         return held.size() == key.size() &&
                std::equal(held.begin(), held.end(), key.begin());
     };
-    if (inserted) {
-        record.fid = fid;
-        record.key = net::NTuple(key);
-        record.first_ns = timestamp_ns;
-        scan_ring_.push_back(fid);
-    } else if (!same_key()) {
-        // The location-derived FID was reused by a different flow after a
-        // delete: export the stale record and restart it for the new key.
-        if (export_) export_(record);
-        record = FlowRecord{};
-        record.fid = fid;
-        record.key = net::NTuple(key);
-        record.first_ns = timestamp_ns;
+    FlowRecord* record = nullptr;
+    if (snapshot) {
+        // The FID was decoded from DDR bucket bytes that can trail a
+        // functional erase of the same bucket (a delete or expiry racing the
+        // match queue). The packet still completes — the hardware matched
+        // what it read — but a dropped touch is the only sound outcome when
+        // the record is gone or the slot was reused: resurrecting it would
+        // double-export the flow and leave a ghost record behind.
+        const auto it = records_.find(fid);
+        if (it == records_.end() || !same_key(it->second)) return ~u64{0};
+        record = &it->second;
+    } else {
+        auto [it, inserted] = records_.try_emplace(fid);
+        record = &it->second;
+        if (inserted) {
+            record->fid = fid;
+            record->key = net::NTuple(key);
+            record->first_ns = timestamp_ns;
+            scan_ring_.push_back(fid);
+        } else if (!same_key(*record)) {
+            // The location-derived FID was reused by a different flow after a
+            // delete: export the stale record and restart it for the new key.
+            if (export_) export_(*record);
+            *record = FlowRecord{};
+            record->fid = fid;
+            record->key = net::NTuple(key);
+            record->first_ns = timestamp_ns;
+        }
     }
-    ++record.packets;
-    record.bytes += frame_bytes;
-    record.last_ns = std::max(record.last_ns, timestamp_ns);
-    record.referenced = true;
-    return record.last_ns + timeout_ns_;
+    ++record->packets;
+    record->bytes += frame_bytes;
+    record->last_ns = std::max(record->last_ns, timestamp_ns);
+    record->referenced = true;
+    return record->last_ns + timeout_ns_;
 }
 
 void FlowStateBlock::on_packet(FlowId fid, std::span<const u8> key, u64 timestamp_ns,
-                               u32 frame_bytes) {
+                               u32 frame_bytes, bool snapshot) {
     // Keep the expiry fast-forward bound conservative even for records
     // stamped with out-of-order (older) timestamps: nothing may expire
     // before this record can.
-    scan_skip_below_ns_ =
-        std::min(scan_skip_below_ns_, apply_touch(fid, key, timestamp_ns, frame_bytes));
+    scan_skip_below_ns_ = std::min(scan_skip_below_ns_,
+                                   apply_touch(fid, key, timestamp_ns, frame_bytes, snapshot));
 }
 
 void FlowStateBlock::on_packet_multi(const FlowTouch* touches, std::size_t count) {
@@ -48,7 +61,7 @@ void FlowStateBlock::on_packet_multi(const FlowTouch* touches, std::size_t count
     for (std::size_t i = 0; i < count; ++i) {
         const FlowTouch& touch = touches[i];
         bound = std::min(bound, apply_touch(touch.fid, touch.key.view(), touch.timestamp_ns,
-                                            touch.frame_bytes));
+                                            touch.frame_bytes, touch.snapshot));
     }
     scan_skip_below_ns_ = bound;
 }

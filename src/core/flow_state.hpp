@@ -46,6 +46,7 @@ struct FlowTouch {
     FlowKey key;
     u64 timestamp_ns = 0;
     u32 frame_bytes = 0;
+    bool snapshot = false;  ///< see Completion::snapshot_fid.
 };
 
 class FlowStateBlock {
@@ -57,8 +58,13 @@ class FlowStateBlock {
 
     /// Record a packet for `fid` (creates the record on first sight). The
     /// span overload is the hot path: the NTuple is materialized only when
-    /// a record is created or restarted.
-    void on_packet(FlowId fid, std::span<const u8> key, u64 timestamp_ns, u32 frame_bytes);
+    /// a record is created or restarted. With `snapshot` set the touch is
+    /// best-effort: it applies only to an existing record whose key matches
+    /// — a FID decoded from stale DDR read data must neither resurrect a
+    /// dead flow's record nor clobber a successor's (see
+    /// Completion::snapshot_fid).
+    void on_packet(FlowId fid, std::span<const u8> key, u64 timestamp_ns, u32 frame_bytes,
+                   bool snapshot = false);
     void on_packet(FlowId fid, const net::NTuple& key, u64 timestamp_ns, u32 frame_bytes) {
         on_packet(fid, key.view(), timestamp_ns, frame_bytes);
     }
@@ -103,8 +109,9 @@ class FlowStateBlock {
   private:
     /// The shared body of on_packet / on_packet_multi: updates the record
     /// and returns its expiry bound (last_ns + timeout) for the caller to
-    /// fold into scan_skip_below_ns_.
-    u64 apply_touch(FlowId fid, std::span<const u8> key, u64 timestamp_ns, u32 frame_bytes);
+    /// fold into scan_skip_below_ns_ (~0 when a snapshot touch is dropped).
+    u64 apply_touch(FlowId fid, std::span<const u8> key, u64 timestamp_ns, u32 frame_bytes,
+                    bool snapshot);
 
     u64 timeout_ns_;
     u32 scan_per_cycle_;

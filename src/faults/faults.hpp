@@ -17,6 +17,15 @@
 //    stream clock by a fixed skew, forcing early expiries that race live
 //    lookups.
 //
+// On top of the independent per-site knobs sits the **correlated fault
+// campaign** (`fault.campaign_*`): piecewise cycle windows during which
+// every probabilistic family fires with at least `fault.campaign_intensity`
+// simultaneously — the coordinated-failure mode (memory pressure + slow
+// responses + input backpressure arriving together) that independent knobs
+// cannot produce. The Flow LUT advances the campaign clock at the top of
+// every tick; sharded runs salt the campaign seed per slice, so campaigns
+// are lane-count-invariant like every other fault.
+//
 // The injector is owned by the workload runner and threaded down to the
 // analyzer / LUT / DDR controllers. Like the obs layer, components hold a
 // nullable pointer: faults off = one branch per site.
@@ -28,6 +37,7 @@
 // parked-forever buckets) both periodically and after drain.
 #pragma once
 
+#include <algorithm>
 #include <array>
 
 #include "common/rng.hpp"
@@ -68,9 +78,30 @@ struct FaultConfig {
     /// Run the invariant auditor (periodic + final conservation checks).
     bool audit = false;
 
+    // --- Correlated fault campaign ---------------------------------------
+    // A piecewise fault timeline (windows like the workload's
+    // IntensitySchedule): inside a campaign window EVERY probabilistic fault
+    // family fires with at least `campaign_intensity` — DDR queue-full
+    // bursts, delayed/dup completions and backpressure storms arrive
+    // *together*, the correlated failure mode independent per-site knobs
+    // can't produce. Windows are cycle-based: the first opens at
+    // `campaign_onset`, lasts `campaign_len` cycles, and repeats every
+    // `campaign_period` cycles (`0` = one-shot) for `campaign_count`
+    // repetitions (`0` = unbounded). `campaign_len == 0` disables the whole
+    // feature (the default path pays one dead branch).
+    u64 campaign_onset = 0;
+    u64 campaign_len = 0;
+    u64 campaign_period = 0;
+    u64 campaign_count = 1;
+    double campaign_intensity = 0.25;
+
+    [[nodiscard]] bool campaign_enabled() const {
+        return campaign_len > 0 && campaign_intensity > 0.0;
+    }
+
     [[nodiscard]] bool any() const {
         return ddr_reject_p > 0.0 || resp_delay_p > 0.0 || resp_dup_p > 0.0 ||
-               buffer_storm_p > 0.0 || expiry_skew_ns != 0;
+               buffer_storm_p > 0.0 || expiry_skew_ns != 0 || campaign_enabled();
     }
     [[nodiscard]] bool enabled() const { return any() || audit; }
 };
@@ -82,6 +113,7 @@ struct FaultStats {
     u64 resp_delays = 0;
     u64 resp_dups = 0;
     u64 storm_rejects = 0;
+    u64 campaign_windows = 0;  ///< campaign windows actually entered.
 
     [[nodiscard]] u64 total() const {
         return ddr_rejects + resp_delays + resp_dups + storm_rejects;
@@ -98,13 +130,24 @@ class FaultInjector {
     explicit FaultInjector(const FaultConfig& config)
         : config_(config), rng_(config.seed) {}
 
+    /// Advance the campaign clock (the Flow LUT calls this once at the top
+    /// of every tick). Rising edges count windows; fault sites consulted
+    /// after this call all see the same verdict for cycle `now`.
+    void advance_to(u64 now) {
+        const bool in = in_campaign(now);
+        if (in && !in_window_) ++stats_.campaign_windows;
+        in_window_ = in;
+    }
+
+    /// True while the current cycle sits inside a campaign window.
+    [[nodiscard]] bool in_campaign() const { return in_window_; }
+
     /// DDR enqueue veto for channel `site`. True = force-reject this request.
     [[nodiscard]] bool veto_ddr_enqueue(u32 site) {
         auto& burst_left = reject_burst_left_.at(site % kMaxDdrSites);
         if (burst_left == 0) {
-            if (config_.ddr_reject_p <= 0.0 || !rng_.chance(config_.ddr_reject_p)) {
-                return false;
-            }
+            const double p = boosted(config_.ddr_reject_p);
+            if (p <= 0.0 || !rng_.chance(p)) return false;
             burst_left = config_.ddr_reject_len == 0 ? 1 : config_.ddr_reject_len;
         }
         --burst_left;
@@ -114,14 +157,16 @@ class FaultInjector {
 
     /// Hold cycles for a DDR response about to be delivered (0 = deliver now).
     [[nodiscard]] u32 response_delay() {
-        if (config_.resp_delay_p <= 0.0 || !rng_.chance(config_.resp_delay_p)) return 0;
+        const double p = boosted(config_.resp_delay_p);
+        if (p <= 0.0 || !rng_.chance(p)) return 0;
         ++stats_.resp_delays;
         return config_.resp_delay_cycles == 0 ? 1 : config_.resp_delay_cycles;
     }
 
     /// True = deliver this response a second time (as a spurious duplicate).
     [[nodiscard]] bool duplicate_response() {
-        if (config_.resp_dup_p <= 0.0 || !rng_.chance(config_.resp_dup_p)) return false;
+        const double p = boosted(config_.resp_dup_p);
+        if (p <= 0.0 || !rng_.chance(p)) return false;
         ++stats_.resp_dups;
         return true;
     }
@@ -129,9 +174,8 @@ class FaultInjector {
     /// Packet-buffer storm veto. True = force-reject this feed_record call.
     [[nodiscard]] bool veto_feed() {
         if (storm_left_ == 0) {
-            if (config_.buffer_storm_p <= 0.0 || !rng_.chance(config_.buffer_storm_p)) {
-                return false;
-            }
+            const double p = boosted(config_.buffer_storm_p);
+            if (p <= 0.0 || !rng_.chance(p)) return false;
             storm_left_ = config_.buffer_storm_len == 0 ? 1 : config_.buffer_storm_len;
         }
         --storm_left_;
@@ -145,11 +189,31 @@ class FaultInjector {
     [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
   private:
+    /// Inside a campaign window every probabilistic family fires with at
+    /// least the campaign intensity; outside, base knobs apply unchanged.
+    /// Zero-probability families draw nothing outside windows, so a
+    /// campaign config replays byte-identically regardless of which other
+    /// fault knobs are set.
+    [[nodiscard]] double boosted(double p) const {
+        return in_window_ ? std::max(p, config_.campaign_intensity) : p;
+    }
+
+    [[nodiscard]] bool in_campaign(u64 now) const {
+        if (!config_.campaign_enabled()) return false;
+        if (now < config_.campaign_onset) return false;
+        const u64 t = now - config_.campaign_onset;
+        if (config_.campaign_period == 0) return t < config_.campaign_len;
+        const u64 window = t / config_.campaign_period;
+        if (config_.campaign_count != 0 && window >= config_.campaign_count) return false;
+        return t % config_.campaign_period < config_.campaign_len;
+    }
+
     FaultConfig config_;
     Xoshiro256 rng_;
     FaultStats stats_;
     std::array<u32, kMaxDdrSites> reject_burst_left_{};
     u32 storm_left_ = 0;
+    bool in_window_ = false;
 };
 
 }  // namespace flowcam::faults

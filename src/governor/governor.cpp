@@ -1,0 +1,187 @@
+#include "governor/governor.hpp"
+
+namespace flowcam::governor {
+namespace {
+
+constexpr const char* kLevelNames[4] = {"L0", "L1", "L2", "L3"};
+
+}  // namespace
+
+OverloadGovernor::OverloadGovernor(const GovernorConfig& config,
+                                   analyzer::TrafficAnalyzer& analyzer, obs::Recorder* recorder)
+    : config_(config), analyzer_(analyzer), obs_(recorder) {
+    // Self-healing threshold bands: enters ascend, each exit sits at or
+    // below its enter and at or above the exit one level down — a crossed
+    // band would make a level unreachable or oscillate without hysteresis.
+    config_.enter_l2 = std::max(config_.enter_l2, config_.enter_l1);
+    config_.enter_l3 = std::max(config_.enter_l3, config_.enter_l2);
+    config_.exit_l1 = std::min(config_.exit_l1, config_.enter_l1);
+    config_.exit_l2 = std::clamp(config_.exit_l2, config_.exit_l1, config_.enter_l2);
+    config_.exit_l3 = std::clamp(config_.exit_l3, config_.exit_l2, config_.enter_l3);
+
+    core::FlowLut& lut = analyzer_.lut();
+    base_deadline_ = lut.config().reservation_deadline;
+    lut.prepare_policy_switching(config_.eviction);
+    apply_level(0);
+
+    if (obs_ != nullptr) {
+        const auto cell = [&](const char* name) {
+            auto result = obs_->register_counter(name);
+            return result ? result.value() : &obs_scrap_cell_;
+        };
+        obs_level_ = cell("governor.level");
+        obs_up_ = cell("governor.transitions_up");
+        obs_down_ = cell("governor.transitions_down");
+        obs_track_ = obs_->track("governor");
+    }
+}
+
+double OverloadGovernor::enter_threshold(u64 level) const {
+    switch (level) {
+        case 1: return config_.enter_l1;
+        case 2: return config_.enter_l2;
+        default: return config_.enter_l3;
+    }
+}
+
+double OverloadGovernor::exit_threshold(u64 level) const {
+    switch (level) {
+        case 1: return config_.exit_l1;
+        case 2: return config_.exit_l2;
+        default: return config_.exit_l3;
+    }
+}
+
+void OverloadGovernor::apply_level(u64 level) {
+    using core::AdmissionPolicy;
+    using core::EvictionPolicy;
+    const AdmissionPolicy admission = level == 0   ? AdmissionPolicy::kAlways
+                                      : level == 3 ? AdmissionPolicy::kRejectFull
+                                                   : AdmissionPolicy::kProbabilistic;
+    const EvictionPolicy eviction = level >= 2 ? config_.eviction : EvictionPolicy::kNone;
+    const Cycle deadline = level >= 3 ? config_.reclaim_deadline : base_deadline_;
+    analyzer_.lut().apply_overload_policies(admission, eviction, deadline);
+}
+
+void OverloadGovernor::transition_to(u64 level, Cycle now) {
+    const u64 prev = level_;
+    if (obs_ != nullptr && prev > 0) {
+        // One span per escalated-level episode on the "governor" track, so
+        // the staircase lines up against overlay/fault windows in Perfetto.
+        obs_->event_span(obs_track_, kLevelNames[prev], obs_->sys_ns(level_since_),
+                         obs_->sys_ns(now - level_since_), "level", prev);
+    }
+    ++stats_.transitions;
+    if (level > prev) {
+        ++stats_.transitions_up;
+        ++*obs_up_;
+    } else {
+        ++stats_.transitions_down;
+        ++*obs_down_;
+    }
+    stats_.max_level = std::max(stats_.max_level, level);
+    if (level == 0 && prev > 0) {
+        // Recovered: the walk-down is measured from the moment the score
+        // last fell below the L1 exit threshold (pressure cleared), and the
+        // SLO judges the worst episode of the run.
+        const u64 walk = pressure_clear_ != kNever && now >= pressure_clear_
+                             ? now - pressure_clear_
+                             : 0;
+        stats_.recovery_cycles = std::max(stats_.recovery_cycles, walk);
+        pressure_clear_ = kNever;
+    }
+    level_ = level;
+    level_since_ = now;
+    *obs_level_ = level_;
+    apply_level(level);
+}
+
+void OverloadGovernor::sample(Cycle now) {
+    ++stats_.samples;
+    const core::FlowLut& lut = analyzer_.lut();
+    const core::FlowLutStats& stats = lut.stats();
+    const core::FlowLutConfig& lut_config = lut.config();
+
+    // Unified load fraction — the same definition under_pressure() uses:
+    // whichever of the whole table and the collision CAM is fuller.
+    const double capacity = static_cast<double>(lut_config.table_capacity());
+    const double occ =
+        capacity == 0.0 ? 0.0 : static_cast<double>(lut.table().size()) / capacity;
+    const double cam_capacity = static_cast<double>(lut_config.cam_capacity);
+    const double cam = cam_capacity == 0.0
+                           ? 0.0
+                           : static_cast<double>(lut.table().cam_entries()) / cam_capacity;
+    const double load = std::max(occ, cam);
+
+    if (have_prev_) {
+        const double delta = load - prev_occupancy_;
+        slope_ewma_ = (1.0 - config_.alpha) * slope_ewma_ + config_.alpha * delta;
+    }
+    const double interval = static_cast<double>(config_.interval);
+    const auto rate = [interval](u64 current, u64 previous) {
+        const double events = static_cast<double>(current - previous);
+        return std::min(1.0, events / interval);
+    };
+    const double drop_rate = have_prev_ ? rate(stats.drops, prev_drops_) : 0.0;
+    const double reclaim_rate =
+        have_prev_ ? rate(stats.reservations_reclaimed, prev_reclaims_) : 0.0;
+    const double buffer_depth = static_cast<double>(analyzer_.config().packet_buffer_depth);
+    const double buffer_frac =
+        buffer_depth == 0.0
+            ? 0.0
+            : static_cast<double>(analyzer_.packet_buffer_size()) / buffer_depth;
+
+    score_ = load + config_.slope_gain * std::max(0.0, slope_ewma_) +
+             config_.drop_weight * drop_rate + config_.reclaim_weight * reclaim_rate +
+             config_.buffer_weight * buffer_frac;
+
+    prev_occupancy_ = load;
+    prev_drops_ = stats.drops;
+    prev_reclaims_ = stats.reservations_reclaimed;
+    have_prev_ = true;
+    *obs_level_ = level_;
+
+    // Recovery anchor before any transition: "pressure cleared" means the
+    // score sits below the L1 exit threshold while still escalated.
+    if (level_ > 0) {
+        if (score_ < config_.exit_l1) {
+            if (pressure_clear_ == kNever) pressure_clear_ = now;
+        } else {
+            pressure_clear_ = kNever;
+        }
+    }
+
+    // Escalate straight to the highest level whose enter threshold the
+    // score meets; de-escalate one level per elapsed dwell.
+    u64 target = level_;
+    for (u64 k = 3; k > level_; --k) {
+        if (score_ >= enter_threshold(k)) {
+            target = k;
+            break;
+        }
+    }
+    if (target > level_) {
+        transition_to(target, now);
+        below_since_ = kNever;
+        return;
+    }
+    if (level_ == 0) return;
+    if (score_ < exit_threshold(level_)) {
+        if (below_since_ == kNever) below_since_ = now;
+        if (now - below_since_ >= config_.dwell) {
+            transition_to(level_ - 1, now);
+            below_since_ = kNever;
+        }
+    } else {
+        below_since_ = kNever;
+    }
+}
+
+void OverloadGovernor::finish(Cycle now) {
+    if (obs_ != nullptr && level_ > 0 && now > level_since_) {
+        obs_->event_span(obs_track_, kLevelNames[level_], obs_->sys_ns(level_since_),
+                         obs_->sys_ns(now - level_since_), "level", level_);
+    }
+}
+
+}  // namespace flowcam::governor

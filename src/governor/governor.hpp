@@ -1,0 +1,188 @@
+// Adaptive overload governor: a deterministic closed-loop controller that
+// samples the analyzer stack's pressure signals every `governor.interval`
+// cycles and walks the Flow LUT through staged degradation levels —
+//
+//   L0  nominal        always-admit, no eviction, base reclaim deadline
+//   L1  shedding       probabilistic admission with the Bloom re-admit
+//                      front-end (one-shot flood keys lose the coin, real
+//                      flows' second packets always return)
+//   L2  recycling      L1 + the configured eviction policy engages
+//   L3  survival       reject-full admission + the aggressive reclaim
+//                      deadline (`governor.reclaim_deadline`)
+//
+// The composite pressure score is built from the same signals the obs
+// sampler exposes as time series: bucket-table / collision-CAM occupancy
+// fractions (the max of the two — the same unified definition
+// FlowLut::under_pressure uses), an EWMA of the occupancy slope
+// (anticipatory: a fast-filling table escalates before it is full), the
+// drop rate and reservation-reclaim rate since the last sample, and the
+// packet-buffer fill fraction.
+//
+// Transitions are hysteretic: escalation is immediate (straight to the
+// highest level whose enter threshold the score meets), de-escalation walks
+// down one level at a time and only after the score has stayed below the
+// current level's exit threshold for `governor.dwell` consecutive cycles.
+// Every transition bumps an obs counter and closes a trace span on the
+// "governor" track, so a Perfetto load shows the level staircase against
+// the fault/overlay windows.
+//
+// Recovery SLO: the governor timestamps the moment the score last fell
+// below the L1 exit threshold while escalated ("pressure cleared") and, on
+// reaching L0, records the walk-down time. The contract asserted by tests,
+// check.sh and the CI chaos arm is `slo_ok()`: the run must end at L0 with
+// the worst walk-down within `governor.recovery_budget` cycles.
+//
+// Everything here is opt-in (`governor.on`, default off): when off, no
+// ticker is constructed and default-config runs stay byte-identical to the
+// golden sweep. When on, the governor owns the admission/eviction levers —
+// `lut.admission` / `lut.eviction` are overridden from the first cycle (L0
+// is always nominal). All state is plain arithmetic over deterministic
+// inputs, so governor runs are repeat-, lane-count- and thread-count-
+// invariant like everything else in the simulator.
+#pragma once
+
+#include <algorithm>
+
+#include "analyzer/analyzer.hpp"
+#include "core/config.hpp"
+#include "obs/obs.hpp"
+#include "sim/ticker.hpp"
+
+namespace flowcam::governor {
+
+/// `governor.*` ConfigPatch keys. Defaults are tuned for the policy-grid
+/// geometry (small tables under syn_flood); every knob is patchable.
+struct GovernorConfig {
+    bool on = false;    ///< master switch; off = no ticker, byte-identical runs.
+    u64 interval = 256; ///< cycles between pressure samples.
+
+    // --- Composite pressure score ----------------------------------------
+    double alpha = 0.25;         ///< EWMA weight for the occupancy slope.
+    double slope_gain = 64.0;    ///< score boost per unit positive slope.
+    double drop_weight = 0.15;   ///< weight of the drop rate since last sample.
+    double reclaim_weight = 0.05;///< weight of the reservation-reclaim rate.
+    double buffer_weight = 0.10; ///< weight of the packet-buffer fill fraction.
+
+    // --- Per-level enter/exit thresholds (hysteresis bands) ---------------
+    double enter_l1 = 0.70;
+    double enter_l2 = 0.85;
+    double enter_l3 = 0.97;
+    double exit_l1 = 0.55;
+    double exit_l2 = 0.75;
+    double exit_l3 = 0.90;
+
+    /// Cycles the score must stay below the current level's exit threshold
+    /// before one step down (per level, so a full L3->L0 walk costs 3 dwells).
+    u64 dwell = 2048;
+    /// Recovery SLO: worst allowed walk-down (pressure-clear -> L0) in cycles.
+    u64 recovery_budget = 100'000;
+
+    /// Eviction policy L2/L3 engage (the zoo's measured winners are
+    /// cam-oldest and clock; clock needs no auxiliary order state).
+    core::EvictionPolicy eviction = core::EvictionPolicy::kClock;
+    /// Aggressive reservation-reclaim deadline applied at L3 (base deadline
+    /// restored below L3). Inert unless `lut.reservation` is on.
+    Cycle reclaim_deadline = 256;
+};
+
+/// Transition/outcome counters, harvested into ScenarioMetrics (summed in
+/// slice order by the sharded merge; levels merge by max, slo by AND).
+struct GovernorStats {
+    u64 samples = 0;
+    u64 transitions = 0;       ///< all level changes.
+    u64 transitions_up = 0;
+    u64 transitions_down = 0;
+    u64 max_level = 0;         ///< highest level reached.
+    u64 recovery_cycles = 0;   ///< worst pressure-clear -> L0 walk-down.
+};
+
+class OverloadGovernor {
+  public:
+    /// Binds to the analyzer stack, pre-arms the Flow LUT's runtime policy
+    /// switching (Bloom front-end, CAM-order tracking — all allocation
+    /// happens here, never mid-run) and applies the L0 nominal profile.
+    /// `recorder` may be null (obs off).
+    OverloadGovernor(const GovernorConfig& config, analyzer::TrafficAnalyzer& analyzer,
+                     obs::Recorder* recorder);
+
+    /// One closed-loop step: sample signals, update the score, transition.
+    void sample(Cycle now);
+
+    /// End-of-run: close the open trace span and the final level episode.
+    void finish(Cycle now);
+
+    [[nodiscard]] u64 level() const { return level_; }
+    [[nodiscard]] double score() const { return score_; }
+    [[nodiscard]] const GovernorStats& stats() const { return stats_; }
+
+    /// The recovery-SLO verdict: the governor either never escalated, or it
+    /// is back at L0 and its worst walk-down fit inside the budget.
+    [[nodiscard]] bool slo_ok() const {
+        return level_ == 0 && stats_.recovery_cycles <= config_.recovery_budget;
+    }
+
+  private:
+    void transition_to(u64 level, Cycle now);
+    void apply_level(u64 level);
+    [[nodiscard]] double enter_threshold(u64 level) const;
+    [[nodiscard]] double exit_threshold(u64 level) const;
+
+    GovernorConfig config_;
+    analyzer::TrafficAnalyzer& analyzer_;
+    obs::Recorder* obs_ = nullptr;
+    Cycle base_deadline_ = 0;  ///< lut.reservation_deadline before we touched it.
+
+    u64 level_ = 0;
+    double score_ = 0.0;
+    double slope_ewma_ = 0.0;
+    double prev_occupancy_ = 0.0;
+    u64 prev_drops_ = 0;
+    u64 prev_reclaims_ = 0;
+    bool have_prev_ = false;
+
+    static constexpr Cycle kNever = ~Cycle{0};
+    Cycle below_since_ = kNever;     ///< dwell timer for the next step down.
+    Cycle pressure_clear_ = kNever;  ///< recovery anchor: score < exit_l1 while escalated.
+    Cycle level_since_ = 0;          ///< start of the current level episode (trace span).
+
+    GovernorStats stats_;
+    u64 obs_scrap_cell_ = 0;
+    u64* obs_level_ = &obs_scrap_cell_;
+    u64* obs_up_ = &obs_scrap_cell_;
+    u64* obs_down_ = &obs_scrap_cell_;
+    u16 obs_track_ = 0;
+};
+
+/// Engine adapter: samples every `interval` cycles and pins the idle
+/// fast-forward to the sampling grid — unlike the obs sampler, the governor
+/// must observe pressure decay during quiet stretches or it could never
+/// walk back to L0, so stretching samples across idle jumps is not an
+/// option. Governor-on runs therefore fast-forward in interval-sized hops;
+/// governor-off runs don't construct the ticker at all.
+class GovernorTicker final : public sim::Ticker {
+  public:
+    explicit GovernorTicker(OverloadGovernor& governor, u64 interval)
+        : governor_(governor), interval_(interval == 0 ? 1 : interval) {}
+
+    void tick(Cycle now) override {
+        last_now_ = now;
+        if (now < next_due_) return;
+        governor_.sample(now);
+        next_due_ = now + interval_;
+    }
+
+    [[nodiscard]] std::string name() const override { return "overload-governor"; }
+
+    [[nodiscard]] u64 idle_cycles_hint() const override {
+        return next_due_ > last_now_ + 1 ? next_due_ - last_now_ - 1 : 0;
+    }
+    void skip(u64 cycles) override { last_now_ += cycles; }
+
+  private:
+    OverloadGovernor& governor_;
+    u64 interval_;
+    Cycle next_due_ = 0;
+    Cycle last_now_ = 0;
+};
+
+}  // namespace flowcam::governor

@@ -8,6 +8,7 @@
 
 #include "analyzer/analyzer.hpp"
 #include "common/thread_pool.hpp"
+#include "governor/governor.hpp"
 #include "net/linerate.hpp"
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
@@ -206,6 +207,8 @@ struct Slice {
     std::unique_ptr<workload::detail::AnalyzerTicker> sink;
     std::unique_ptr<workload::detail::SamplerTicker> sampler;
     std::unique_ptr<workload::detail::AuditorTicker> auditor;
+    std::unique_ptr<governor::OverloadGovernor> governor;
+    std::unique_ptr<governor::GovernorTicker> governor_ticker;
     sim::Engine engine;
     ScenarioMetrics metrics;
     bool finished = false;
@@ -279,6 +282,16 @@ Result<ScenarioMetrics> ShardedEngine::run(const std::string& spec,
                 std::make_unique<workload::detail::AuditorTicker>(slice->analyzer->lut());
             slice->engine.add(*slice->auditor);
         }
+        if (config_.governor.on) {
+            // One governor per slice: each watches only its own stack's
+            // pressure, so transitions are a pure function of slice traffic
+            // and the merge stays lane-count-invariant.
+            slice->governor = std::make_unique<governor::OverloadGovernor>(
+                config_.governor, *slice->analyzer, slice->recorder.get());
+            slice->governor_ticker = std::make_unique<governor::GovernorTicker>(
+                *slice->governor, config_.governor.interval);
+            slice->engine.add(*slice->governor_ticker);
+        }
         slices.push_back(std::move(slice));
     }
 
@@ -335,8 +348,18 @@ Result<ScenarioMetrics> ShardedEngine::run(const std::string& spec,
         Slice& slice = *slices[s];
         slice.source->finalize();
         workload::detail::harvest_counters(slice.metrics, *slice.analyzer);
+        if (slice.governor != nullptr) {
+            slice.governor->finish(slice.engine.now());
+            const governor::GovernorStats& gstats = slice.governor->stats();
+            slice.metrics.governor_transitions = gstats.transitions;
+            slice.metrics.governor_max_level = gstats.max_level;
+            slice.metrics.governor_final_level = slice.governor->level();
+            slice.metrics.governor_recovery_cycles = gstats.recovery_cycles;
+            slice.metrics.governor_slo_ok = slice.governor->slo_ok() ? 1 : 0;
+        }
         if (slice.injector != nullptr) {
             slice.metrics.faults_injected = slice.injector->stats().total();
+            slice.metrics.fault_campaign_windows = slice.injector->stats().campaign_windows;
             if (config_.fault.audit) {
                 slice.metrics.audit_violations =
                     (slice.auditor != nullptr ? slice.auditor->violations() : 0) +
@@ -389,6 +412,16 @@ Result<ScenarioMetrics> ShardedEngine::run(const std::string& spec,
         merged.drops_overlay += m.drops_overlay;
         merged.faults_injected += m.faults_injected;
         merged.audit_violations += m.audit_violations;
+        merged.fault_campaign_windows += m.fault_campaign_windows;
+        // Governor merge: transitions sum; levels and the recovery walk take
+        // the worst slice; the SLO verdict is the AND over slices.
+        merged.governor_transitions += m.governor_transitions;
+        merged.governor_max_level = std::max(merged.governor_max_level, m.governor_max_level);
+        merged.governor_final_level =
+            std::max(merged.governor_final_level, m.governor_final_level);
+        merged.governor_recovery_cycles =
+            std::max(merged.governor_recovery_cycles, m.governor_recovery_cycles);
+        merged.governor_slo_ok = merged.governor_slo_ok & m.governor_slo_ok;
         merged.events_port_scan += m.events_port_scan;
         merged.events_heavy_hitter += m.events_heavy_hitter;
         merged.events_table_pressure += m.events_table_pressure;

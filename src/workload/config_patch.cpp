@@ -256,7 +256,8 @@ ConfigPatch::ConfigPatch() {
                    {"always", "probabilistic", "reject-full"},
                    [lut](ConfigTree& t) -> core::AdmissionPolicy& { return lut(t).admission; }));
     add(fraction_field("lut.admission_pressure",
-                       "occupancy fraction above which admission policies engage",
+                       "load fraction above which admission policies engage (whole table OR "
+                       "collision CAM — a CAM-saturated table is pressured too)",
                        [lut](ConfigTree& t) -> double& { return lut(t).admission_pressure; }));
     add(fraction_field("lut.admission_p",
                        "probabilistic: admit chance for a never-before-seen flow",
@@ -303,6 +304,64 @@ ConfigPatch::ConfigPatch() {
     add(bool_field("fault.audit",
                    "run the invariant auditor during and after the run (audit_violations)",
                    [fault](ConfigTree& t) -> bool& { return fault(t).audit; }));
+    add(uint_field("fault.campaign_onset", "cycle the first correlated campaign window opens",
+                   [fault](ConfigTree& t) -> u64& { return fault(t).campaign_onset; }));
+    add(uint_field("fault.campaign_len",
+                   "cycles per correlated campaign window (0 = campaigns off)",
+                   [fault](ConfigTree& t) -> u64& { return fault(t).campaign_len; }));
+    add(uint_field("fault.campaign_period",
+                   "cycles between window starts (0 = a single one-shot window)",
+                   [fault](ConfigTree& t) -> u64& { return fault(t).campaign_period; }));
+    add(uint_field("fault.campaign_count", "campaign windows to fire (0 = unbounded)",
+                   [fault](ConfigTree& t) -> u64& { return fault(t).campaign_count; }));
+    add(fraction_field("fault.campaign_intensity",
+                       "floor probability every fault family fires with inside a window",
+                       [fault](ConfigTree& t) -> double& { return fault(t).campaign_intensity; }));
+
+    // --- governor.* : adaptive overload governor ---------------------------
+    const auto gov = [](ConfigTree& t) -> governor::GovernorConfig& { return t.runner.governor; };
+    add(bool_field("governor.on",
+                   "enable the closed-loop staged-degradation governor (off = byte-identical "
+                   "to a build without it)",
+                   [gov](ConfigTree& t) -> bool& { return gov(t).on; }));
+    add(uint_field("governor.interval", "cycles between pressure samples",
+                   [gov](ConfigTree& t) -> u64& { return gov(t).interval; }, 1));
+    add(fraction_field("governor.alpha", "EWMA weight for the occupancy slope",
+                       [gov](ConfigTree& t) -> double& { return gov(t).alpha; }));
+    add(positive_field("governor.slope_gain", "pressure-score boost per unit positive slope",
+                       [gov](ConfigTree& t) -> double& { return gov(t).slope_gain; }));
+    add(fraction_field("governor.drop_weight", "score weight of the per-sample drop rate",
+                       [gov](ConfigTree& t) -> double& { return gov(t).drop_weight; }));
+    add(fraction_field("governor.reclaim_weight",
+                       "score weight of the reservation-reclaim rate",
+                       [gov](ConfigTree& t) -> double& { return gov(t).reclaim_weight; }));
+    add(fraction_field("governor.buffer_weight",
+                       "score weight of the packet-buffer fill fraction",
+                       [gov](ConfigTree& t) -> double& { return gov(t).buffer_weight; }));
+    add(fraction_field("governor.enter_l1", "score at which L1 (shedding) engages",
+                       [gov](ConfigTree& t) -> double& { return gov(t).enter_l1; }));
+    add(fraction_field("governor.enter_l2", "score at which L2 (recycling) engages",
+                       [gov](ConfigTree& t) -> double& { return gov(t).enter_l2; }));
+    add(fraction_field("governor.enter_l3", "score at which L3 (survival) engages",
+                       [gov](ConfigTree& t) -> double& { return gov(t).enter_l3; }));
+    add(fraction_field("governor.exit_l1", "score below which L1 steps back to L0",
+                       [gov](ConfigTree& t) -> double& { return gov(t).exit_l1; }));
+    add(fraction_field("governor.exit_l2", "score below which L2 steps back to L1",
+                       [gov](ConfigTree& t) -> double& { return gov(t).exit_l2; }));
+    add(fraction_field("governor.exit_l3", "score below which L3 steps back to L2",
+                       [gov](ConfigTree& t) -> double& { return gov(t).exit_l3; }));
+    add(uint_field("governor.dwell",
+                   "cycles the score must hold below the exit threshold per step down",
+                   [gov](ConfigTree& t) -> u64& { return gov(t).dwell; }, 1));
+    add(uint_field("governor.recovery_budget",
+                   "recovery SLO: worst allowed pressure-clear -> L0 walk-down (cycles)",
+                   [gov](ConfigTree& t) -> u64& { return gov(t).recovery_budget; }, 1));
+    add(enum_field("governor.eviction", "eviction policy L2/L3 engage",
+                   {"none", "lru", "cam-oldest", "clock"},
+                   [gov](ConfigTree& t) -> core::EvictionPolicy& { return gov(t).eviction; }));
+    add(uint_field("governor.reclaim_deadline",
+                   "aggressive reservation-reclaim deadline applied at L3 (cycles)",
+                   [gov](ConfigTree& t) -> Cycle& { return gov(t).reclaim_deadline; }, 1));
 
     // --- analyzer.* : event engine + packet buffer -------------------------
     add(uint_field("analyzer.heavy_hitter_bytes", "heavy-hitter event byte threshold",

@@ -138,6 +138,24 @@ const std::vector<MetricField>& metric_schema() {
         u64_field("audit_violations", "violations",
                   "invariant-auditor failures under fault.audit=1 (0 = green)",
                   &M::audit_violations),
+        u64_field("fault_campaign_windows", "windows",
+                  "correlated fault-campaign windows entered (fault.campaign_*)",
+                  &M::fault_campaign_windows),
+        // Overload governor (zero — and slo_ok trivially 1 — when
+        // governor.on is off).
+        u64_field("governor_transitions", "transitions",
+                  "governor level changes, up and down", &M::governor_transitions),
+        u64_field("governor_max_level", "level",
+                  "highest degradation level reached (0..3)", &M::governor_max_level),
+        u64_field("governor_final_level", "level",
+                  "degradation level at end of run (the recovery SLO wants 0)",
+                  &M::governor_final_level),
+        u64_field("governor_recovery_cycles", "cycles",
+                  "worst pressure-clear -> L0 walk-down observed",
+                  &M::governor_recovery_cycles),
+        u64_field("governor_slo_ok", "bool",
+                  "recovery-SLO verdict: ended at L0 within governor.recovery_budget",
+                  &M::governor_slo_ok),
     };
     return schema;
 }

@@ -296,6 +296,17 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
         auditor.emplace(analyzer.lut());
         engine.add(*auditor);
     }
+    // Overload governor: closed-loop staged degradation. Constructed only
+    // when asked for — governor-off runs build neither the controller nor
+    // its ticker and stay byte-identical to a build without src/governor.
+    std::unique_ptr<governor::OverloadGovernor> gov;
+    std::optional<governor::GovernorTicker> gov_ticker;
+    if (config_.governor.on) {
+        gov = std::make_unique<governor::OverloadGovernor>(config_.governor, analyzer,
+                                                           recorder.get());
+        gov_ticker.emplace(*gov, config_.governor.interval);
+        engine.add(*gov_ticker);
+    }
 
     metrics.drained = engine.run_until(
         [&] {
@@ -309,8 +320,18 @@ ScenarioMetrics ScenarioRunner::run(Scenario& scenario) {
     source.finalize();
 
     detail::harvest_counters(metrics, analyzer);
+    if (gov != nullptr) {
+        gov->finish(engine.now());
+        const governor::GovernorStats& gstats = gov->stats();
+        metrics.governor_transitions = gstats.transitions;
+        metrics.governor_max_level = gstats.max_level;
+        metrics.governor_final_level = gov->level();
+        metrics.governor_recovery_cycles = gstats.recovery_cycles;
+        metrics.governor_slo_ok = gov->slo_ok() ? 1 : 0;
+    }
     if (injector != nullptr) {
         metrics.faults_injected = injector->stats().total();
+        metrics.fault_campaign_windows = injector->stats().campaign_windows;
         if (config_.fault.audit) {
             // Mid-run conservation sweeps plus the full post-drain pass
             // (queue emptiness, parked-bucket leaks, ghost records). A run

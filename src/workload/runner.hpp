@@ -11,6 +11,7 @@
 #include "analyzer/analyzer.hpp"
 #include "common/result.hpp"
 #include "faults/faults.hpp"
+#include "governor/governor.hpp"
 #include "obs/obs.hpp"
 #include "shard/shard.hpp"
 #include "workload/registry.hpp"
@@ -41,6 +42,10 @@ struct RunnerConfig {
     /// when off no injector is constructed and the run is byte-identical to
     /// a build without the harness.
     faults::FaultConfig fault;
+    /// Overload-governor knobs (governor.* ConfigPatch keys). Off by
+    /// default; when off no governor or ticker is constructed and runs are
+    /// byte-identical to a build without src/governor.
+    governor::GovernorConfig governor;
     /// Sharded-execution knobs (shard.* ConfigPatch keys plus the runtime
     /// jobs count). lanes=1 (the default) keeps the monolithic path;
     /// lanes>1 routes the run through shard::ShardedEngine.
@@ -94,6 +99,16 @@ struct ScenarioMetrics {
     // Fault-injection outcome (zero when fault.* is off).
     u64 faults_injected = 0;    ///< total faults fired across all sites.
     u64 audit_violations = 0;   ///< invariant auditor failures (0 = green).
+    u64 fault_campaign_windows = 0;  ///< correlated campaign windows entered.
+
+    // Overload-governor outcome (all zero — and slo_ok trivially 1 — when
+    // governor.on is off). Sharded runs sum transitions, take the max of
+    // levels/recovery, and AND slo_ok across slices.
+    u64 governor_transitions = 0;     ///< level changes (up + down).
+    u64 governor_max_level = 0;       ///< highest degradation level reached.
+    u64 governor_final_level = 0;     ///< level at end of run (SLO wants 0).
+    u64 governor_recovery_cycles = 0; ///< worst pressure-clear -> L0 walk-down.
+    u64 governor_slo_ok = 1;          ///< recovery SLO verdict (1 = met).
 
     // Descriptor end-to-end latency (offer -> completion, sim-ns), from the
     // flight recorder's log-bucketed histogram. All zero when obs is off —

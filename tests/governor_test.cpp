@@ -1,0 +1,205 @@
+// Overload-governor coverage: opt-in byte-identity (governor off — even
+// with every other governor.* knob patched — must not perturb a run),
+// repeat- and lane/thread-count invariance of the transition counters, the
+// forced L0 -> L3 -> L0 round trip under a correlated fault campaign with
+// the invariant auditor green, and the unified (table OR CAM) pressure
+// definition behind lut.admission_pressure.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/flow_lut.hpp"
+#include "net/trace.hpp"
+#include "shard/sharded_engine.hpp"
+#include "workload/metrics.hpp"
+#include "workload/runner.hpp"
+
+namespace flowcam::workload {
+namespace {
+
+std::string all_metrics(const ScenarioMetrics& metrics) {
+    return metrics_json_object(metrics, {});
+}
+
+/// Small geometry + a windowed syn_flood overlay: the flood saturates the
+/// table inside the window, the 1e6x time compression lets the one-shot
+/// flood entries hit the 30 s idle timeout mid-run, and the post-window
+/// tail gives the governor room to walk back down to L0 before the drain.
+constexpr char kWindowedFlood[] = "baseline+syn_flood@onset=0.1,offset=0.45,attack=0.9";
+constexpr u64 kPackets = 8'000;
+
+ScenarioConfig windowed_scenario(u64 seed = 2014) {
+    ScenarioConfig config;
+    config.seed = seed;
+    config.pool_size = 256;  // background stays small; pressure is the flood.
+    config.horizon_packets = kPackets;
+    return config;
+}
+
+RunnerConfig governed_runner() {
+    RunnerConfig config;
+    config.packets = kPackets;
+    config.analyzer.lut.buckets_per_mem = 256;
+    config.analyzer.lut.cam_capacity = 128;
+    config.time_scale = 1e6;  // idle flood entries expire mid-run.
+    config.governor.on = true;
+    config.governor.interval = 128;
+    config.governor.dwell = 512;
+    config.governor.recovery_budget = 20'000;
+    return config;
+}
+
+/// The correlated campaign: two windows inside / just after the attack
+/// window, every fault family boosted to 0.2 together, auditor armed.
+void arm_campaign(RunnerConfig& config) {
+    config.fault.audit = true;
+    config.fault.campaign_onset = 2'000;
+    config.fault.campaign_len = 1'500;
+    config.fault.campaign_period = 3'000;
+    config.fault.campaign_count = 2;
+    config.fault.campaign_intensity = 0.2;
+}
+
+ScenarioMetrics run_windowed(const RunnerConfig& config, u64 seed = 2014) {
+    ScenarioRunner runner(config);
+    auto result = runner.run(kWindowedFlood, windowed_scenario(seed));
+    EXPECT_TRUE(result) << result.status().to_string();
+    return result ? std::move(result.value()) : ScenarioMetrics{};
+}
+
+TEST(GovernorTest, OffIsByteIdenticalEvenWithOtherKnobsPatched) {
+    RunnerConfig plain;
+    plain.packets = 2'000;
+    plain.analyzer.lut.buckets_per_mem = 256;
+    plain.analyzer.lut.cam_capacity = 128;
+
+    // Same run with every governor knob moved but the master switch off:
+    // no governor, no ticker, no policy override — byte-identical rows.
+    RunnerConfig patched = plain;
+    patched.governor.interval = 64;
+    patched.governor.dwell = 1;
+    patched.governor.enter_l1 = 0.01;
+    patched.governor.enter_l2 = 0.02;
+    patched.governor.enter_l3 = 0.03;
+    patched.governor.eviction = core::EvictionPolicy::kLru;
+    ASSERT_FALSE(patched.governor.on);
+
+    ScenarioConfig scenario;
+    scenario.attack_fraction = 0.6;
+    scenario.onset_packets = 200;
+    ScenarioRunner a(plain);
+    ScenarioRunner b(patched);
+    auto first = a.run("syn_flood", scenario);
+    auto second = b.run("syn_flood", scenario);
+    ASSERT_TRUE(first);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(all_metrics(first.value()), all_metrics(second.value()));
+    EXPECT_EQ(first.value().governor_transitions, 0u);
+    EXPECT_EQ(first.value().governor_slo_ok, 1u);  // trivially met when off.
+}
+
+TEST(GovernorTest, RoundTripUnderCorrelatedCampaignRecoversWithAuditorGreen) {
+    RunnerConfig config = governed_runner();
+    arm_campaign(config);
+
+    const ScenarioMetrics metrics = run_windowed(config);
+    EXPECT_TRUE(metrics.drained);
+    EXPECT_EQ(metrics.completions, metrics.packets);
+
+    // The campaign fired, correlated: multiple fault families injected.
+    EXPECT_GE(metrics.fault_campaign_windows, 1u);
+    EXPECT_GT(metrics.faults_injected, 0u);
+
+    // Forced round trip: the flood saturates the table (L3), the window
+    // closes, entries expire, and the governor must walk all the way back.
+    EXPECT_EQ(metrics.governor_max_level, 3u) << all_metrics(metrics);
+    EXPECT_EQ(metrics.governor_final_level, 0u) << all_metrics(metrics);
+    EXPECT_GE(metrics.governor_transitions, 4u);  // >= 1 up + 3 down.
+    EXPECT_EQ(metrics.governor_slo_ok, 1u)
+        << "recovery took " << metrics.governor_recovery_cycles << " cycles";
+
+    // Degradation did real work and the conservation laws all held.
+    EXPECT_GT(metrics.admission_rejects, 0u);
+    EXPECT_EQ(metrics.audit_violations, 0u);
+}
+
+TEST(GovernorTest, ChurnDeletesRacingTheMatchQueueLeaveNoGhostRecords) {
+    // Regression: a churn delete's functional erase can land while a read
+    // response for the same bucket sits in the match queue (fault-induced
+    // multi-response cycles create the dwell). The stale-data match used to
+    // resurrect the exported flow record — a ghost the final audit flags.
+    // fault.seed 64023 with this exact geometry reproduced it.
+    RunnerConfig config = governed_runner();
+    arm_campaign(config);
+    config.fault.seed = 64023;
+
+    ScenarioRunner runner(config);
+    auto result = runner.run("churn+syn_flood@onset=0.1,offset=0.45,attack=0.9",
+                             windowed_scenario());
+    ASSERT_TRUE(result) << result.status().to_string();
+    const ScenarioMetrics& metrics = result.value();
+    EXPECT_TRUE(metrics.drained);
+    EXPECT_EQ(metrics.audit_violations, 0u) << all_metrics(metrics);
+    EXPECT_EQ(metrics.governor_max_level, 3u);
+    EXPECT_EQ(metrics.governor_final_level, 0u);
+    EXPECT_EQ(metrics.governor_slo_ok, 1u);
+}
+
+TEST(GovernorTest, TransitionCountersAreRepeatInvariant) {
+    RunnerConfig config = governed_runner();
+    arm_campaign(config);
+    const ScenarioMetrics first = run_windowed(config);
+    const ScenarioMetrics second = run_windowed(config);
+    EXPECT_EQ(all_metrics(first), all_metrics(second));
+    EXPECT_GT(first.governor_transitions, 0u);
+}
+
+TEST(GovernorTest, ShardedGovernorIsLaneAndThreadCountInvariant) {
+    RunnerConfig config = governed_runner();
+    arm_campaign(config);
+    // Slices see 1/8 of the flood against 1/8 of the capacity, so per-slice
+    // governors escalate too; the merge must not depend on lane grouping or
+    // thread scheduling.
+    const auto run_lanes = [&](u32 lanes, std::size_t jobs) {
+        RunnerConfig sharded = config;
+        sharded.shard.lanes = lanes;
+        sharded.shard.jobs = jobs;
+        shard::ShardedEngine engine(sharded);
+        auto result = engine.run(kWindowedFlood, windowed_scenario());
+        EXPECT_TRUE(result) << result.status().to_string();
+        return result ? std::move(result.value()) : ScenarioMetrics{};
+    };
+    const ScenarioMetrics lanes2 = run_lanes(2, 1);
+    const ScenarioMetrics lanes4 = run_lanes(4, 4);
+    const ScenarioMetrics lanes8 = run_lanes(8, 3);
+    EXPECT_EQ(all_metrics(lanes2), all_metrics(lanes4));
+    EXPECT_EQ(all_metrics(lanes4), all_metrics(lanes8));
+    EXPECT_GT(lanes4.governor_transitions, 0u);
+    EXPECT_EQ(lanes4.audit_violations, 0u);
+    EXPECT_TRUE(lanes4.drained);
+}
+
+TEST(GovernorTest, AdmissionPressureCountsCollisionCamOccupancy) {
+    // A saturated collision CAM must register as pressure even while the
+    // whole table is nearly empty: 8/16 CAM entries is 0.5 of the CAM but
+    // only ~0.1% of the 8k+16 total capacity.
+    core::FlowLutConfig config;
+    config.buckets_per_mem = 1024;
+    config.cam_capacity = 16;
+    config.admission_pressure = 0.5;
+    core::FlowLut lut(config);
+    EXPECT_FALSE(lut.under_pressure());
+    for (u64 slot = 0; slot < 8; ++slot) {
+        const core::FlowKey key(
+            net::NTuple::from_five_tuple(net::synth_tuple(static_cast<u32>(slot), 4)));
+        const Status status = lut.table().insert_at(
+            TableIndex{TableIndex::Where::kCam, slot}, key.view(), slot + 1);
+        ASSERT_TRUE(status.is_ok()) << status.to_string();
+    }
+    EXPECT_TRUE(lut.under_pressure())
+        << "CAM at 50% must engage admission policies under the unified "
+           "pressure definition";
+}
+
+}  // namespace
+}  // namespace flowcam::workload
